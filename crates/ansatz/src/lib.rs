@@ -1,0 +1,26 @@
+//! # vaqem-ansatz
+//!
+//! Variational ansatz circuits and micro-benchmarks for the VAQEM
+//! (HPCA 2022) reproduction: the hardware-efficient [`su2::EfficientSu2`]
+//! family (the paper's TFIM and Li+ benchmarks), a first-principles
+//! [`uccsd::uccsd_h2`] ansatz built from exponentiated cluster operators,
+//! and the idle-window micro-benchmark circuits behind the paper's Figs. 5,
+//! 6 and 9.
+//!
+//! # Examples
+//!
+//! ```
+//! use vaqem_ansatz::su2::{EfficientSu2, Entanglement};
+//!
+//! let ansatz = EfficientSu2::new(6, 2, Entanglement::Circular);
+//! assert_eq!(ansatz.label(), "6q_c_2r");
+//! let circuit = ansatz.circuit()?;
+//! assert_eq!(circuit.num_params(), 36);
+//! # Ok::<(), vaqem_circuit::error::CircuitError>(())
+//! ```
+
+pub mod micro;
+pub mod su2;
+pub mod uccsd;
+
+pub use su2::{EfficientSu2, Entanglement};

@@ -1,0 +1,204 @@
+//! Hardware-efficient SU2 ansatz (Qiskit `EfficientSU2`).
+//!
+//! The paper's TFIM and Li+ benchmarks all use this ansatz family,
+//! hyper-parameterized by qubit count, repetitions, and entanglement
+//! pattern (§II-B2, §VII-A). Each repetition is an RY+RZ rotation layer on
+//! every qubit followed by a CX entanglement block; a final rotation layer
+//! closes the circuit, giving `2 * n * (reps + 1)` parameters.
+
+use vaqem_circuit::circuit::QuantumCircuit;
+use vaqem_circuit::error::CircuitError;
+
+/// CX entanglement pattern of an SU2 block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Entanglement {
+    /// CX between every qubit pair `(i, j)`, `i < j` ("full" in the paper).
+    Full,
+    /// Nearest-neighbour chain `0-1, 1-2, ...`.
+    Linear,
+    /// Chain plus the wrap-around CX ("circular" in the paper).
+    Circular,
+}
+
+impl Entanglement {
+    /// The CX pairs of one entanglement block on `n` qubits.
+    pub fn pairs(self, n: usize) -> Vec<(usize, usize)> {
+        match self {
+            Entanglement::Full => {
+                let mut v = Vec::new();
+                for i in 0..n {
+                    for j in (i + 1)..n {
+                        v.push((i, j));
+                    }
+                }
+                v
+            }
+            Entanglement::Linear => (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect(),
+            Entanglement::Circular => {
+                let mut v: Vec<(usize, usize)> =
+                    (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect();
+                if n > 2 {
+                    v.push((n - 1, 0));
+                }
+                v
+            }
+        }
+    }
+
+    /// Short name used in benchmark labels ("f", "l", "c").
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Entanglement::Full => "f",
+            Entanglement::Linear => "l",
+            Entanglement::Circular => "c",
+        }
+    }
+}
+
+/// An EfficientSU2 ansatz description.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EfficientSu2 {
+    num_qubits: usize,
+    reps: usize,
+    entanglement: Entanglement,
+}
+
+impl EfficientSu2 {
+    /// Creates the ansatz description.
+    ///
+    /// # Panics
+    ///
+    /// Panics for zero qubits or zero repetitions.
+    pub fn new(num_qubits: usize, reps: usize, entanglement: Entanglement) -> Self {
+        assert!(num_qubits >= 1, "ansatz needs at least one qubit");
+        assert!(reps >= 1, "ansatz needs at least one repetition");
+        EfficientSu2 {
+            num_qubits,
+            reps,
+            entanglement,
+        }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of repetitions.
+    pub fn reps(&self) -> usize {
+        self.reps
+    }
+
+    /// Entanglement pattern.
+    pub fn entanglement(&self) -> Entanglement {
+        self.entanglement
+    }
+
+    /// Number of variational parameters: `2 n (reps + 1)`.
+    pub fn num_params(&self) -> usize {
+        2 * self.num_qubits * (self.reps + 1)
+    }
+
+    /// Builds the parameterized circuit (no measurements).
+    ///
+    /// # Errors
+    ///
+    /// Never fails for valid constructions; propagates builder errors.
+    pub fn circuit(&self) -> Result<QuantumCircuit, CircuitError> {
+        let n = self.num_qubits;
+        let mut qc = QuantumCircuit::new(n);
+        let mut param = 0usize;
+        let rotation_layer = |qc: &mut QuantumCircuit, param: &mut usize| -> Result<(), CircuitError> {
+            for q in 0..n {
+                qc.ry_param(*param, q)?;
+                *param += 1;
+            }
+            for q in 0..n {
+                qc.rz_param(*param, q)?;
+                *param += 1;
+            }
+            Ok(())
+        };
+        for _ in 0..self.reps {
+            rotation_layer(&mut qc, &mut param)?;
+            for (a, b) in self.entanglement.pairs(n) {
+                qc.cx(a, b)?;
+            }
+        }
+        rotation_layer(&mut qc, &mut param)?;
+        debug_assert_eq!(param, self.num_params());
+        Ok(qc)
+    }
+
+    /// Benchmark-style label, e.g. `"6q_c_4r"`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}q_{}_{}r",
+            self.num_qubits,
+            self.entanglement.short_name(),
+            self.reps
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vaqem_sim::statevector::StateVector;
+
+    #[test]
+    fn parameter_count_formula() {
+        let a = EfficientSu2::new(6, 2, Entanglement::Full);
+        assert_eq!(a.num_params(), 36);
+        let qc = a.circuit().unwrap();
+        assert_eq!(qc.num_params(), 36);
+        assert!(qc.is_parameterized());
+    }
+
+    #[test]
+    fn entanglement_pairs() {
+        assert_eq!(Entanglement::Full.pairs(4).len(), 6);
+        assert_eq!(Entanglement::Linear.pairs(4), vec![(0, 1), (1, 2), (2, 3)]);
+        let circ = Entanglement::Circular.pairs(4);
+        assert_eq!(circ.len(), 4);
+        assert!(circ.contains(&(3, 0)));
+        // Degenerate cases.
+        assert!(Entanglement::Linear.pairs(1).is_empty());
+        assert_eq!(Entanglement::Circular.pairs(2), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn cx_count_matches_pattern() {
+        let full = EfficientSu2::new(4, 6, Entanglement::Full).circuit().unwrap();
+        assert_eq!(full.cx_count(), 6 * 6);
+        let circ = EfficientSu2::new(6, 4, Entanglement::Circular).circuit().unwrap();
+        assert_eq!(circ.cx_count(), 4 * 6);
+    }
+
+    #[test]
+    fn zero_parameters_give_identity_state() {
+        // RY(0) and RZ(0) are identity; CX on |0...0> is identity.
+        let a = EfficientSu2::new(3, 2, Entanglement::Circular);
+        let qc = a.circuit().unwrap();
+        let bound = qc.bind(&vec![0.0; a.num_params()]).unwrap();
+        let sv = StateVector::run(&bound).unwrap();
+        assert!(sv.probabilities()[0] > 1.0 - 1e-10);
+    }
+
+    #[test]
+    fn bound_circuit_is_concrete_and_runs() {
+        let a = EfficientSu2::new(4, 2, Entanglement::Linear);
+        let qc = a.circuit().unwrap();
+        let params: Vec<f64> = (0..a.num_params()).map(|i| 0.1 * i as f64).collect();
+        let bound = qc.bind(&params).unwrap();
+        assert!(!bound.is_parameterized());
+        let sv = StateVector::run(&bound).unwrap();
+        assert!((sv.norm() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn labels_match_paper_naming() {
+        assert_eq!(EfficientSu2::new(6, 4, Entanglement::Circular).label(), "6q_c_4r");
+        assert_eq!(EfficientSu2::new(4, 6, Entanglement::Full).label(), "4q_f_6r");
+    }
+}

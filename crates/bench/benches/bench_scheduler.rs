@@ -1,0 +1,45 @@
+//! Criterion benches for scheduling and idle-window extraction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId as CriterionId, Criterion};
+use vaqem::benchmarks::BenchmarkId;
+use vaqem_circuit::schedule::{schedule, DurationModel, ScheduleKind};
+
+fn bench_alap_scheduling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alap_schedule");
+    for id in [BenchmarkId::Tfim6qC2r, BenchmarkId::Tfim6qC4r, BenchmarkId::UccsdH2] {
+        let problem = id.problem().expect("benchmark builds");
+        let ansatz = problem.ansatz();
+        let mut bound = ansatz
+            .bind(&vec![0.1; ansatz.num_params()])
+            .expect("binding");
+        bound.measure_all();
+        let durations = DurationModel::ibm_default();
+        group.bench_with_input(CriterionId::from_parameter(id.label()), &bound, |b, qc| {
+            b.iter(|| schedule(qc, &durations, ScheduleKind::Alap).expect("schedules"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_window_extraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("idle_windows");
+    for id in [BenchmarkId::Tfim6qC4r, BenchmarkId::UccsdH2] {
+        let problem = id.problem().expect("benchmark builds");
+        let ansatz = problem.ansatz();
+        let mut bound = ansatz
+            .bind(&vec![0.1; ansatz.num_params()])
+            .expect("binding");
+        bound.measure_all();
+        let durations = DurationModel::ibm_default();
+        let scheduled = schedule(&bound, &durations, ScheduleKind::Alap).expect("schedules");
+        group.bench_with_input(
+            CriterionId::from_parameter(id.label()),
+            &scheduled,
+            |b, s| b.iter(|| s.idle_windows(35.56)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_alap_scheduling, bench_window_extraction);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion benches for the three simulation engines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId as CriterionId, Criterion};
+use vaqem_ansatz::su2::{EfficientSu2, Entanglement};
+use vaqem_bench::alap;
+use vaqem_circuit::circuit::QuantumCircuit;
+use vaqem_device::noise::NoiseParameters;
+use vaqem_mathkit::rng::SeedStream;
+use vaqem_sim::density::run_markovian;
+use vaqem_sim::machine::MachineExecutor;
+use vaqem_sim::statevector::StateVector;
+
+fn bound_ansatz(n: usize, reps: usize) -> QuantumCircuit {
+    let a = EfficientSu2::new(n, reps, Entanglement::Circular);
+    let qc = a.circuit().expect("ansatz builds");
+    let params: Vec<f64> = (0..a.num_params()).map(|i| 0.1 * i as f64).collect();
+    let mut bound = qc.bind(&params).expect("binding");
+    bound.measure_all();
+    bound
+}
+
+fn bench_statevector(c: &mut Criterion) {
+    let mut group = c.benchmark_group("statevector_run");
+    for n in [2usize, 4, 6] {
+        let qc = bound_ansatz(n, 2);
+        group.bench_with_input(CriterionId::from_parameter(n), &qc, |b, qc| {
+            b.iter(|| StateVector::run(qc).expect("runs"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_density(c: &mut Criterion) {
+    let mut group = c.benchmark_group("density_markovian");
+    group.sample_size(10);
+    for n in [2usize, 4] {
+        let s = alap(&bound_ansatz(n, 2));
+        let noise = NoiseParameters::uniform(n);
+        group.bench_with_input(CriterionId::from_parameter(n), &s, |b, s| {
+            b.iter(|| run_markovian(s, &noise))
+        });
+    }
+    group.finish();
+}
+
+fn bench_machine_trajectories(c: &mut Criterion) {
+    let mut group = c.benchmark_group("machine_256_shots");
+    group.sample_size(10);
+    for n in [2usize, 4, 6] {
+        let s = alap(&bound_ansatz(n, 2));
+        let exec =
+            MachineExecutor::new(NoiseParameters::uniform(n), SeedStream::new(1)).with_shots(256);
+        group.bench_with_input(CriterionId::from_parameter(n), &s, |b, s| {
+            b.iter(|| exec.run(s))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_statevector, bench_density, bench_machine_trajectories);
+criterion_main!(benches);

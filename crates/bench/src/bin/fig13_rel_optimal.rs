@@ -1,0 +1,53 @@
+//! Fig. 13: VQE energy measurements as a percentage of the simulated
+//! optimal (exact diagonalization), per benchmark and strategy.
+//!
+//! Paper ranges: No-EM 1-30%, MEM 2-35%, VAQEM:XY 10-52%, VAQEM:GS 17-45%,
+//! VAQEM:GS+XY 19-55% (always best).
+
+use vaqem::benchmarks::BenchmarkId;
+use vaqem::pipeline::{run_pipeline, Strategy};
+
+fn main() {
+    let config = vaqem_bench::evaluation_config();
+    let strategies = [
+        Strategy::NoEm,
+        Strategy::MemBaseline,
+        Strategy::VaqemGs,
+        Strategy::VaqemXy,
+        Strategy::VaqemGsXy,
+    ];
+
+    println!("=== Fig. 13: VQE energy relative to simulated optimal (%) ===\n");
+    print!("{:<18}", "bench");
+    for s in strategies {
+        print!(" {:>13}", s.label());
+    }
+    println!(" {:>10}", "E0 (exact)");
+
+    let mut best_always_combined = true;
+    for id in BenchmarkId::ALL {
+        let problem = id.problem().expect("benchmark builds");
+        let noise = id.circuit_noise();
+        let run = run_pipeline(&problem, &noise, &config, &strategies).expect("pipeline runs");
+        print!("{:<18}", run.label);
+        let mut fractions = Vec::new();
+        for s in strategies {
+            let r = run.result(s).expect("strategy evaluated");
+            print!(" {:>12.1}%", 100.0 * r.fraction_of_optimal);
+            fractions.push((s, r.fraction_of_optimal));
+        }
+        println!(" {:>10.3}", run.exact_ground);
+        let combined = fractions
+            .iter()
+            .find(|(s, _)| *s == Strategy::VaqemGsXy)
+            .map(|(_, f)| *f)
+            .unwrap_or(0.0);
+        if fractions.iter().any(|(s, f)| *s != Strategy::VaqemGsXy && *f > combined + 1e-9) {
+            best_always_combined = false;
+        }
+    }
+    println!(
+        "\nGS+XY best on every benchmark: {}",
+        if best_always_combined { "yes (matches paper)" } else { "no (noise-run variance)" }
+    );
+}

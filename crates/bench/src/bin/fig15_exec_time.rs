@@ -1,0 +1,50 @@
+//! Fig. 15: total VQA execution time broken into angle tuning (sim or
+//! Qiskit Runtime), EM tuning, and queuing — per benchmark.
+//!
+//! Workload profiles come from the measured Table I characteristics; the
+//! chemistry benchmarks use the Runtime path (as in the paper), the TFIM
+//! benchmarks the simulation path.
+
+use vaqem::benchmarks::{characteristics, BenchmarkId};
+use vaqem_mathkit::rng::SeedStream;
+use vaqem_runtime::cost::{AngleTuningMode, CostModel, WorkloadProfile};
+
+fn main() {
+    let model = CostModel::ibm_cloud_2021();
+    let seeds = SeedStream::new(1515);
+
+    println!("=== Fig. 15: execution time breakdown (minutes) ===\n");
+    println!(
+        "{:<18} {:>12} {:>12} {:>10} {:>10} {:>10}",
+        "bench", "angles-sim", "angles-QR", "EM-tune", "queuing", "total"
+    );
+
+    for id in BenchmarkId::ALL {
+        let c = characteristics(id).expect("benchmark builds");
+        let mode = match id {
+            BenchmarkId::LiIon | BenchmarkId::UccsdH2 => AngleTuningMode::QiskitRuntime,
+            _ => AngleTuningMode::IdealSimulation,
+        };
+        let profile = WorkloadProfile {
+            num_qubits: id.num_qubits(),
+            circuit_ns: c.makespan_ns,
+            iterations: 400,
+            measurement_groups: c.measurement_groups,
+            windows: c.windows,
+            sweep_resolution: 8,
+            shots: 2048,
+        };
+        let b = model.breakdown(&profile, mode, &seeds, c.label);
+        println!(
+            "{:<18} {:>12.1} {:>12.1} {:>10.1} {:>10.1} {:>10.1}",
+            c.label,
+            b.angle_tuning_sim_min,
+            b.angle_tuning_runtime_min,
+            b.em_tuning_min,
+            b.queuing_min,
+            b.total_min()
+        );
+    }
+    println!("\n(paper: queuing dominates; EM tuning < 1 h; Runtime angle tuning is the");
+    println!(" largest compute component for the chemistry apps)");
+}

@@ -1,0 +1,42 @@
+//! Table I: benchmark characteristics — CX depth and number of idle
+//! windows targeted by mitigation, per benchmark.
+//!
+//! Paper values are printed alongside for comparison; this reproduction's
+//! transpiler differs from Qiskit's (no SWAP routing — our machine model is
+//! all-to-all), so absolute depths differ while orderings should hold.
+
+use vaqem::benchmarks::{characteristics, BenchmarkId};
+
+fn main() {
+    // Paper Table I: (depth, windows).
+    let paper: [(&str, usize, usize); 7] = [
+        ("HW_TFIM_6q_f_2r", 54, 42),
+        ("HW_TFIM_6q_c_2r", 31, 24),
+        ("HW_TFIM_4q_c_6r", 57, 22),
+        ("HW_TFIM_4q_f_6r", 101, 34),
+        ("HW_TFIM_6q_c_4r", 55, 30),
+        ("HW_Li+", 90, 45),
+        ("UCCSD_H2", 61, 26),
+    ];
+
+    println!("=== Table I: benchmark characteristics ===\n");
+    println!(
+        "{:<18} {:>9} {:>9} {:>7} {:>7} {:>8} {:>12}",
+        "bench", "cx-depth", "paper", "#win", "paper", "groups", "makespan-us"
+    );
+    for (id, (plabel, pdepth, pwin)) in BenchmarkId::ALL.iter().zip(paper.iter()) {
+        let c = characteristics(*id).expect("benchmark builds");
+        assert_eq!(c.label, *plabel, "ordering mismatch");
+        println!(
+            "{:<18} {:>9} {:>9} {:>7} {:>7} {:>8} {:>12.2}",
+            c.label,
+            c.cx_depth,
+            pdepth,
+            c.windows,
+            pwin,
+            c.measurement_groups,
+            c.makespan_ns / 1000.0
+        );
+    }
+    println!("\n(depth: CX-only circuit depth; #win: idle windows > 1 slot under ALAP)");
+}

@@ -1,0 +1,122 @@
+//! # vaqem-bench
+//!
+//! Shared infrastructure for the figure/table regeneration binaries and the
+//! Criterion benches. Every table and figure of the paper's evaluation has
+//! a `src/bin/` binary that prints the corresponding rows/series; see
+//! `EXPERIMENTS.md` at the repository root for the index and for
+//! paper-vs-measured comparisons.
+//!
+//! Set `VAQEM_QUICK=1` to run the heavyweight pipeline binaries with
+//! reduced shots/iterations (useful for smoke-testing; the printed shapes
+//! remain, with more statistical noise).
+
+use vaqem::pipeline::PipelineConfig;
+use vaqem_circuit::circuit::QuantumCircuit;
+use vaqem_circuit::schedule::{schedule, DurationModel, ScheduleKind, ScheduledCircuit};
+use vaqem_device::backend::DeviceModel;
+use vaqem_device::noise::NoiseParameters;
+use vaqem_mathkit::rng::SeedStream;
+use vaqem_optim::spsa::SpsaConfig;
+use vaqem_sim::counts::Counts;
+use vaqem_sim::machine::MachineExecutor;
+use vaqem_sim::statevector::StateVector;
+
+/// Returns `true` when `VAQEM_QUICK=1` is set.
+pub fn quick_mode() -> bool {
+    std::env::var("VAQEM_QUICK").map(|v| v == "1").unwrap_or(false)
+}
+
+/// The pipeline configuration the fig12/fig13 binaries use: paper-shaped,
+/// but sized to finish in minutes on a laptop; `VAQEM_QUICK=1` shrinks it
+/// further.
+pub fn evaluation_config() -> PipelineConfig {
+    if quick_mode() {
+        PipelineConfig {
+            spsa: SpsaConfig::paper_default().with_iterations(60),
+            shots: 192,
+            sweep_resolution: 3,
+            max_repetitions: 8,
+            seeds: SeedStream::new(2024),
+            eval_repeats: 1,
+        }
+    } else {
+        PipelineConfig {
+            spsa: SpsaConfig::paper_default().with_iterations(200),
+            shots: 512,
+            sweep_resolution: 5,
+            max_repetitions: 12,
+            seeds: SeedStream::new(2024),
+            eval_repeats: 2,
+        }
+    }
+}
+
+/// Schedules a concrete circuit ALAP under IBM-default durations.
+///
+/// # Panics
+///
+/// Panics on parameterized circuits (bench inputs are always bound).
+pub fn alap(qc: &QuantumCircuit) -> ScheduledCircuit {
+    schedule(qc, &DurationModel::ibm_default(), ScheduleKind::Alap).expect("bound circuit")
+}
+
+/// The 2-qubit noise environment used by the micro-benchmarks: the first
+/// two qubits of `ibmq_casablanca`.
+pub fn casablanca_2q() -> NoiseParameters {
+    DeviceModel::ibmq_casablanca().noise().subset(&[0, 1])
+}
+
+/// The single-qubit environment of casablanca's qubit 0.
+pub fn casablanca_1q() -> NoiseParameters {
+    DeviceModel::ibmq_casablanca().noise().subset(&[0])
+}
+
+/// Hellinger fidelity of machine counts against the ideal distribution of
+/// the same circuit.
+pub fn fidelity_vs_ideal(qc: &QuantumCircuit, executor: &MachineExecutor, job: u64) -> f64 {
+    let measured = executor.run_job(&alap(qc), job);
+    let ideal = ideal_counts(qc, executor.shots());
+    measured.hellinger_fidelity(&ideal)
+}
+
+/// Ideal (noise- and sampling-free) reference counts for a circuit.
+pub fn ideal_counts(qc: &QuantumCircuit, shots: u64) -> Counts {
+    StateVector::run(qc).expect("bound circuit").exact_counts(shots)
+}
+
+/// Prints a two-column series as an aligned table with a title.
+pub fn print_series(title: &str, x_label: &str, y_label: &str, series: &[(f64, f64)]) {
+    println!("\n=== {title} ===");
+    println!("{x_label:>14}  {y_label:>14}");
+    for (x, y) in series {
+        println!("{x:>14.4}  {y:>14.4}");
+    }
+}
+
+/// Formats a ratio row for the Fig. 12-style tables.
+pub fn fmt_ratio(v: f64) -> String {
+    format!("{v:>8.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_build_and_run() {
+        let mut qc = QuantumCircuit::new(1);
+        qc.h(0).unwrap();
+        qc.measure(0).unwrap();
+        let exec = MachineExecutor::new(casablanca_1q(), SeedStream::new(9)).with_shots(256);
+        let f = fidelity_vs_ideal(&qc, &exec, 0);
+        assert!((0.0..=1.0).contains(&f));
+        assert!(casablanca_2q().num_qubits() == 2);
+    }
+
+    #[test]
+    fn evaluation_config_is_paper_shaped() {
+        let c = evaluation_config();
+        assert!(c.shots >= 128);
+        assert!(c.sweep_resolution >= 3);
+    }
+}

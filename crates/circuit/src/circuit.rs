@@ -1,0 +1,524 @@
+//! The [`QuantumCircuit`] intermediate representation.
+//!
+//! A circuit is an ordered list of [`Instruction`]s over `n` qubits, with an
+//! optional pool of symbolic parameters referenced by rotation gates. The
+//! representation intentionally mirrors the shape of a transpiled Qiskit
+//! circuit right before scheduling: flat, basis-level, and measured at the
+//! end.
+//!
+//! # Examples
+//!
+//! ```
+//! use vaqem_circuit::circuit::QuantumCircuit;
+//!
+//! let mut qc = QuantumCircuit::new(2);
+//! qc.h(0).unwrap();
+//! qc.cx(0, 1).unwrap();
+//! qc.measure_all();
+//! assert_eq!(qc.num_qubits(), 2);
+//! assert_eq!(qc.depth(), 3);
+//! ```
+
+use crate::error::CircuitError;
+use crate::gate::{Angle, Gate};
+use std::fmt;
+
+/// One gate application: a [`Gate`] plus its qubit operands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instruction {
+    /// The operation.
+    pub gate: Gate,
+    /// Operand qubits; for `Cx` the first entry is the control.
+    pub qubits: Vec<usize>,
+}
+
+impl Instruction {
+    /// Creates an instruction, validating arity and operand uniqueness.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::ArityMismatch`] or
+    /// [`CircuitError::DuplicateQubits`] on malformed operands.
+    pub fn new(gate: Gate, qubits: Vec<usize>) -> Result<Self, CircuitError> {
+        let arity = gate.arity();
+        if arity != 0 && qubits.len() != arity {
+            return Err(CircuitError::ArityMismatch {
+                gate: gate.name(),
+                expected: arity,
+                actual: qubits.len(),
+            });
+        }
+        for (i, q) in qubits.iter().enumerate() {
+            if qubits[..i].contains(q) {
+                return Err(CircuitError::DuplicateQubits { qubit: *q });
+            }
+        }
+        Ok(Instruction { gate, qubits })
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ", self.gate)?;
+        for (i, q) in self.qubits.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "q{q}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A flat quantum circuit over `num_qubits` qubits.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QuantumCircuit {
+    num_qubits: usize,
+    instructions: Vec<Instruction>,
+    num_params: usize,
+}
+
+impl QuantumCircuit {
+    /// Creates an empty circuit on `num_qubits` qubits.
+    pub fn new(num_qubits: usize) -> Self {
+        QuantumCircuit {
+            num_qubits,
+            instructions: Vec::new(),
+            num_params: 0,
+        }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of symbolic parameters declared (`max index + 1`).
+    pub fn num_params(&self) -> usize {
+        self.num_params
+    }
+
+    /// Instruction list in program order.
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instructions
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// Returns `true` when the circuit contains no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// Appends a validated instruction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates operand validation errors and returns
+    /// [`CircuitError::QubitOutOfRange`] for bad indices.
+    pub fn push(&mut self, gate: Gate, qubits: &[usize]) -> Result<&mut Self, CircuitError> {
+        for &q in qubits {
+            if q >= self.num_qubits {
+                return Err(CircuitError::QubitOutOfRange {
+                    qubit: q,
+                    num_qubits: self.num_qubits,
+                });
+            }
+        }
+        if let Some(k) = gate.param_index() {
+            self.num_params = self.num_params.max(k + 1);
+        }
+        self.instructions.push(Instruction::new(gate, qubits.to_vec())?);
+        Ok(self)
+    }
+
+    // --- Convenience builders (one per basis/ansatz gate) -----------------
+
+    /// Appends an identity gate.
+    pub fn id(&mut self, q: usize) -> Result<&mut Self, CircuitError> {
+        self.push(Gate::I, &[q])
+    }
+
+    /// Appends a Pauli X.
+    pub fn x(&mut self, q: usize) -> Result<&mut Self, CircuitError> {
+        self.push(Gate::X, &[q])
+    }
+
+    /// Appends a Pauli Y.
+    pub fn y(&mut self, q: usize) -> Result<&mut Self, CircuitError> {
+        self.push(Gate::Y, &[q])
+    }
+
+    /// Appends a Pauli Z.
+    pub fn z(&mut self, q: usize) -> Result<&mut Self, CircuitError> {
+        self.push(Gate::Z, &[q])
+    }
+
+    /// Appends a Hadamard.
+    pub fn h(&mut self, q: usize) -> Result<&mut Self, CircuitError> {
+        self.push(Gate::H, &[q])
+    }
+
+    /// Appends an S gate.
+    pub fn s(&mut self, q: usize) -> Result<&mut Self, CircuitError> {
+        self.push(Gate::S, &[q])
+    }
+
+    /// Appends an S-dagger gate.
+    pub fn sdg(&mut self, q: usize) -> Result<&mut Self, CircuitError> {
+        self.push(Gate::Sdg, &[q])
+    }
+
+    /// Appends a square-root-of-X gate.
+    pub fn sx(&mut self, q: usize) -> Result<&mut Self, CircuitError> {
+        self.push(Gate::Sx, &[q])
+    }
+
+    /// Appends an inverse square-root-of-X gate.
+    pub fn sxdg(&mut self, q: usize) -> Result<&mut Self, CircuitError> {
+        self.push(Gate::Sxdg, &[q])
+    }
+
+    /// Appends a fixed-angle X rotation.
+    pub fn rx(&mut self, theta: f64, q: usize) -> Result<&mut Self, CircuitError> {
+        self.push(Gate::Rx(Angle::Fixed(theta)), &[q])
+    }
+
+    /// Appends a fixed-angle Y rotation.
+    pub fn ry(&mut self, theta: f64, q: usize) -> Result<&mut Self, CircuitError> {
+        self.push(Gate::Ry(Angle::Fixed(theta)), &[q])
+    }
+
+    /// Appends a fixed-angle Z rotation.
+    pub fn rz(&mut self, theta: f64, q: usize) -> Result<&mut Self, CircuitError> {
+        self.push(Gate::Rz(Angle::Fixed(theta)), &[q])
+    }
+
+    /// Appends a symbolic X rotation referencing parameter `k`.
+    pub fn rx_param(&mut self, k: usize, q: usize) -> Result<&mut Self, CircuitError> {
+        self.push(Gate::Rx(Angle::Param(k)), &[q])
+    }
+
+    /// Appends a symbolic Y rotation referencing parameter `k`.
+    pub fn ry_param(&mut self, k: usize, q: usize) -> Result<&mut Self, CircuitError> {
+        self.push(Gate::Ry(Angle::Param(k)), &[q])
+    }
+
+    /// Appends a symbolic Z rotation referencing parameter `k`.
+    pub fn rz_param(&mut self, k: usize, q: usize) -> Result<&mut Self, CircuitError> {
+        self.push(Gate::Rz(Angle::Param(k)), &[q])
+    }
+
+    /// Appends a CX with `control` and `target`.
+    pub fn cx(&mut self, control: usize, target: usize) -> Result<&mut Self, CircuitError> {
+        self.push(Gate::Cx, &[control, target])
+    }
+
+    /// Appends a CZ.
+    pub fn cz(&mut self, a: usize, b: usize) -> Result<&mut Self, CircuitError> {
+        self.push(Gate::Cz, &[a, b])
+    }
+
+    /// Appends a SWAP.
+    pub fn swap(&mut self, a: usize, b: usize) -> Result<&mut Self, CircuitError> {
+        self.push(Gate::Swap, &[a, b])
+    }
+
+    /// Appends an explicit idle period on one qubit.
+    pub fn delay(&mut self, duration_ns: f64, q: usize) -> Result<&mut Self, CircuitError> {
+        self.push(Gate::Delay { duration_ns }, &[q])
+    }
+
+    /// Appends a barrier across all qubits.
+    pub fn barrier_all(&mut self) -> &mut Self {
+        let qubits: Vec<usize> = (0..self.num_qubits).collect();
+        self.instructions.push(Instruction {
+            gate: Gate::Barrier,
+            qubits,
+        });
+        self
+    }
+
+    /// Appends a measurement on one qubit.
+    pub fn measure(&mut self, q: usize) -> Result<&mut Self, CircuitError> {
+        self.push(Gate::Measure, &[q])
+    }
+
+    /// Measures every qubit (preceded by a barrier, Qiskit-style).
+    pub fn measure_all(&mut self) -> &mut Self {
+        self.barrier_all();
+        for q in 0..self.num_qubits {
+            self.instructions.push(Instruction {
+                gate: Gate::Measure,
+                qubits: vec![q],
+            });
+        }
+        self
+    }
+
+    /// Appends all instructions of `other` (same width required).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::QubitOutOfRange`] if `other` is wider.
+    pub fn compose(&mut self, other: &QuantumCircuit) -> Result<&mut Self, CircuitError> {
+        if other.num_qubits > self.num_qubits {
+            return Err(CircuitError::QubitOutOfRange {
+                qubit: other.num_qubits - 1,
+                num_qubits: self.num_qubits,
+            });
+        }
+        for inst in &other.instructions {
+            if let Some(k) = inst.gate.param_index() {
+                self.num_params = self.num_params.max(k + 1);
+            }
+            self.instructions.push(inst.clone());
+        }
+        Ok(self)
+    }
+
+    /// Returns the inverse circuit (reversed order, inverted gates),
+    /// excluding measurements and barriers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit contains unbound parameters.
+    pub fn inverse(&self) -> QuantumCircuit {
+        let mut inv = QuantumCircuit::new(self.num_qubits);
+        for inst in self.instructions.iter().rev() {
+            match inst.gate {
+                Gate::Measure | Gate::Barrier => continue,
+                g => inv.instructions.push(Instruction {
+                    gate: g.inverse(),
+                    qubits: inst.qubits.clone(),
+                }),
+            }
+        }
+        inv
+    }
+
+    /// Binds parameter values, producing a fully concrete circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::ParameterCountMismatch`] when `values.len()`
+    /// differs from [`Self::num_params`].
+    pub fn bind(&self, values: &[f64]) -> Result<QuantumCircuit, CircuitError> {
+        if values.len() != self.num_params {
+            return Err(CircuitError::ParameterCountMismatch {
+                expected: self.num_params,
+                actual: values.len(),
+            });
+        }
+        let mut out = QuantumCircuit::new(self.num_qubits);
+        for inst in &self.instructions {
+            out.instructions.push(Instruction {
+                gate: inst.gate.bind(values)?,
+                qubits: inst.qubits.clone(),
+            });
+        }
+        Ok(out)
+    }
+
+    /// Returns `true` if any instruction still references a parameter.
+    pub fn is_parameterized(&self) -> bool {
+        self.instructions.iter().any(|i| i.gate.is_parameterized())
+    }
+
+    /// Circuit depth: length of the longest qubit-dependency chain, counting
+    /// every non-barrier instruction as one layer contribution.
+    pub fn depth(&self) -> usize {
+        self.depth_filtered(|g| !matches!(g, Gate::Barrier))
+    }
+
+    /// Depth counting only CX gates — the "Depth" column of Table I.
+    pub fn cx_depth(&self) -> usize {
+        self.depth_filtered(|g| matches!(g, Gate::Cx))
+    }
+
+    fn depth_filtered(&self, count: impl Fn(&Gate) -> bool) -> usize {
+        let mut level = vec![0usize; self.num_qubits];
+        for inst in &self.instructions {
+            if inst.qubits.is_empty() {
+                continue;
+            }
+            let base = inst.qubits.iter().map(|&q| level[q]).max().unwrap_or(0);
+            let next = if count(&inst.gate) { base + 1 } else { base };
+            for &q in &inst.qubits {
+                level[q] = next;
+            }
+        }
+        level.into_iter().max().unwrap_or(0)
+    }
+
+    /// Counts instructions whose gate name matches `name`.
+    pub fn count_gate(&self, name: &str) -> usize {
+        self.instructions.iter().filter(|i| i.gate.name() == name).count()
+    }
+
+    /// Total number of CX gates.
+    pub fn cx_count(&self) -> usize {
+        self.count_gate("cx")
+    }
+}
+
+impl fmt::Display for QuantumCircuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "circuit({} qubits, {} params)", self.num_qubits, self.num_params)?;
+        for inst in &self.instructions {
+            writeln!(f, "  {inst}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn bell() -> QuantumCircuit {
+        let mut qc = QuantumCircuit::new(2);
+        qc.h(0).unwrap();
+        qc.cx(0, 1).unwrap();
+        qc
+    }
+
+    #[test]
+    fn builder_chain_and_len() {
+        let mut qc = QuantumCircuit::new(3);
+        qc.h(0).unwrap().cx(0, 1).unwrap().cx(1, 2).unwrap();
+        assert_eq!(qc.len(), 3);
+        assert!(!qc.is_empty());
+    }
+
+    #[test]
+    fn out_of_range_qubit_rejected() {
+        let mut qc = QuantumCircuit::new(2);
+        let err = qc.h(2).unwrap_err();
+        assert_eq!(err, CircuitError::QubitOutOfRange { qubit: 2, num_qubits: 2 });
+    }
+
+    #[test]
+    fn duplicate_operands_rejected() {
+        let mut qc = QuantumCircuit::new(2);
+        let err = qc.cx(1, 1).unwrap_err();
+        assert_eq!(err, CircuitError::DuplicateQubits { qubit: 1 });
+    }
+
+    #[test]
+    fn depth_counts_dependency_chains() {
+        let mut qc = QuantumCircuit::new(2);
+        qc.h(0).unwrap(); // depth 1 on q0
+        qc.h(1).unwrap(); // parallel, depth 1 on q1
+        qc.cx(0, 1).unwrap(); // depth 2
+        assert_eq!(qc.depth(), 2);
+    }
+
+    #[test]
+    fn cx_depth_ignores_single_qubit_gates() {
+        let mut qc = QuantumCircuit::new(3);
+        qc.h(0).unwrap();
+        qc.cx(0, 1).unwrap();
+        qc.h(1).unwrap();
+        qc.cx(1, 2).unwrap();
+        qc.cx(0, 1).unwrap();
+        assert_eq!(qc.cx_depth(), 3);
+        assert_eq!(qc.cx_count(), 3);
+    }
+
+    #[test]
+    fn barriers_do_not_add_depth() {
+        let mut qc = bell();
+        let d = qc.depth();
+        qc.barrier_all();
+        assert_eq!(qc.depth(), d);
+    }
+
+    #[test]
+    fn measure_all_appends_per_qubit_measures() {
+        let mut qc = bell();
+        qc.measure_all();
+        assert_eq!(qc.count_gate("measure"), 2);
+        assert_eq!(qc.count_gate("barrier"), 1);
+    }
+
+    #[test]
+    fn parameter_tracking_via_builders() {
+        let mut qc = QuantumCircuit::new(2);
+        qc.ry_param(0, 0).unwrap();
+        qc.ry_param(3, 1).unwrap();
+        assert_eq!(qc.num_params(), 4);
+        assert!(qc.is_parameterized());
+    }
+
+    #[test]
+    fn bind_produces_concrete_circuit() {
+        let mut qc = QuantumCircuit::new(1);
+        qc.ry_param(0, 0).unwrap();
+        qc.rz_param(1, 0).unwrap();
+        let bound = qc.bind(&[0.5, -0.25]).unwrap();
+        assert!(!bound.is_parameterized());
+        assert_eq!(bound.instructions()[0].gate, Gate::Ry(Angle::Fixed(0.5)));
+        assert_eq!(bound.instructions()[1].gate, Gate::Rz(Angle::Fixed(-0.25)));
+    }
+
+    #[test]
+    fn bind_with_wrong_count_errors() {
+        let mut qc = QuantumCircuit::new(1);
+        qc.ry_param(0, 0).unwrap();
+        let err = qc.bind(&[]).unwrap_err();
+        assert_eq!(err, CircuitError::ParameterCountMismatch { expected: 1, actual: 0 });
+    }
+
+    #[test]
+    fn inverse_reverses_and_inverts() {
+        let mut qc = QuantumCircuit::new(2);
+        qc.h(0).unwrap();
+        qc.s(0).unwrap();
+        qc.cx(0, 1).unwrap();
+        qc.measure_all();
+        let inv = qc.inverse();
+        assert_eq!(inv.len(), 3); // measures and barrier dropped
+        assert_eq!(inv.instructions()[0].gate, Gate::Cx);
+        assert_eq!(inv.instructions()[1].gate, Gate::Sdg);
+        assert_eq!(inv.instructions()[2].gate, Gate::H);
+    }
+
+    #[test]
+    fn compose_appends_and_tracks_params() {
+        let mut a = QuantumCircuit::new(2);
+        a.h(0).unwrap();
+        let mut b = QuantumCircuit::new(2);
+        b.ry_param(2, 1).unwrap();
+        a.compose(&b).unwrap();
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.num_params(), 3);
+    }
+
+    #[test]
+    fn compose_wider_circuit_rejected() {
+        let mut a = QuantumCircuit::new(1);
+        let b = QuantumCircuit::new(2);
+        assert!(a.compose(&b).is_err());
+    }
+
+    #[test]
+    fn rotations_with_fixed_angles() {
+        let mut qc = QuantumCircuit::new(1);
+        qc.rx(PI, 0).unwrap().ry(PI / 2.0, 0).unwrap().rz(-PI, 0).unwrap();
+        assert_eq!(qc.len(), 3);
+        assert!(!qc.is_parameterized());
+    }
+
+    #[test]
+    fn display_contains_instructions() {
+        let qc = bell();
+        let s = qc.to_string();
+        assert!(s.contains("h q0"));
+        assert!(s.contains("cx q0,q1"));
+    }
+}

@@ -1,0 +1,97 @@
+//! Error types for circuit construction and scheduling.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building, binding, or scheduling circuits.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CircuitError {
+    /// A gate referenced a qubit index outside the circuit.
+    QubitOutOfRange {
+        /// Offending qubit index.
+        qubit: usize,
+        /// Number of qubits in the circuit.
+        num_qubits: usize,
+    },
+    /// A multi-qubit gate was applied to duplicate qubit indices.
+    DuplicateQubits {
+        /// The duplicated index.
+        qubit: usize,
+    },
+    /// A gate was applied with the wrong number of qubit operands.
+    ArityMismatch {
+        /// Gate name.
+        gate: &'static str,
+        /// Expected operand count.
+        expected: usize,
+        /// Provided operand count.
+        actual: usize,
+    },
+    /// An operation requires concrete angles but the circuit still contains
+    /// symbolic parameters.
+    UnboundParameter {
+        /// Index of the first unbound parameter encountered.
+        param: usize,
+    },
+    /// `bind` was called with the wrong number of parameter values.
+    ParameterCountMismatch {
+        /// Parameters declared by the circuit.
+        expected: usize,
+        /// Values supplied.
+        actual: usize,
+    },
+    /// Two scheduled operations overlap on the same qubit.
+    OverlappingOps {
+        /// Qubit where the overlap occurs.
+        qubit: usize,
+        /// Start time (ns) of the second op.
+        at_ns: f64,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::QubitOutOfRange { qubit, num_qubits } => {
+                write!(f, "qubit {qubit} out of range for {num_qubits}-qubit circuit")
+            }
+            CircuitError::DuplicateQubits { qubit } => {
+                write!(f, "duplicate qubit operand {qubit}")
+            }
+            CircuitError::ArityMismatch { gate, expected, actual } => {
+                write!(f, "gate {gate} expects {expected} qubits, got {actual}")
+            }
+            CircuitError::UnboundParameter { param } => {
+                write!(f, "circuit contains unbound parameter {param}")
+            }
+            CircuitError::ParameterCountMismatch { expected, actual } => {
+                write!(f, "expected {expected} parameter values, got {actual}")
+            }
+            CircuitError::OverlappingOps { qubit, at_ns } => {
+                write!(f, "scheduled operations overlap on qubit {qubit} at {at_ns} ns")
+            }
+        }
+    }
+}
+
+impl Error for CircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = CircuitError::QubitOutOfRange { qubit: 9, num_qubits: 4 };
+        assert_eq!(e.to_string(), "qubit 9 out of range for 4-qubit circuit");
+        let e = CircuitError::ParameterCountMismatch { expected: 3, actual: 1 };
+        assert!(e.to_string().contains("expected 3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CircuitError>();
+    }
+}

@@ -1,0 +1,101 @@
+//! OpenQASM 2-style text emission.
+//!
+//! A lightweight serializer so circuits can be inspected, diffed, and
+//! embedded in experiment logs. Only emission is provided; this workspace
+//! never needs to parse QASM.
+
+use crate::circuit::QuantumCircuit;
+use crate::gate::{Angle, Gate};
+use std::fmt::Write as _;
+
+/// Renders a circuit as OpenQASM 2 text.
+///
+/// Symbolic parameters are rendered as `theta_k` identifiers, which makes
+/// the output human-readable but not executable until bound.
+pub fn to_qasm(circuit: &QuantumCircuit) -> String {
+    let mut s = String::new();
+    s.push_str("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n");
+    let n = circuit.num_qubits();
+    let _ = writeln!(s, "qreg q[{n}];");
+    let _ = writeln!(s, "creg c[{n}];");
+    for inst in circuit.instructions() {
+        match inst.gate {
+            Gate::Barrier => {
+                let args: Vec<String> = inst.qubits.iter().map(|q| format!("q[{q}]")).collect();
+                let _ = writeln!(s, "barrier {};", args.join(","));
+            }
+            Gate::Measure => {
+                let q = inst.qubits[0];
+                let _ = writeln!(s, "measure q[{q}] -> c[{q}];");
+            }
+            Gate::Delay { duration_ns } => {
+                let _ = writeln!(s, "delay({duration_ns}ns) q[{}];", inst.qubits[0]);
+            }
+            ref g => {
+                let name = g.name();
+                let angle = match g {
+                    Gate::Rx(a) | Gate::Ry(a) | Gate::Rz(a) | Gate::P(a) => Some(*a),
+                    _ => None,
+                };
+                let args: Vec<String> = inst.qubits.iter().map(|q| format!("q[{q}]")).collect();
+                match angle {
+                    Some(Angle::Fixed(t)) => {
+                        let _ = writeln!(s, "{name}({t}) {};", args.join(","));
+                    }
+                    Some(Angle::Param(k)) => {
+                        let _ = writeln!(s, "{name}(theta_{k}) {};", args.join(","));
+                    }
+                    None => {
+                        let _ = writeln!(s, "{name} {};", args.join(","));
+                    }
+                }
+            }
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emits_header_and_registers() {
+        let qc = QuantumCircuit::new(3);
+        let s = to_qasm(&qc);
+        assert!(s.starts_with("OPENQASM 2.0;"));
+        assert!(s.contains("qreg q[3];"));
+        assert!(s.contains("creg c[3];"));
+    }
+
+    #[test]
+    fn emits_gates_and_measures() {
+        let mut qc = QuantumCircuit::new(2);
+        qc.h(0).unwrap();
+        qc.cx(0, 1).unwrap();
+        qc.rx(0.5, 1).unwrap();
+        qc.measure_all();
+        let s = to_qasm(&qc);
+        assert!(s.contains("h q[0];"));
+        assert!(s.contains("cx q[0],q[1];"));
+        assert!(s.contains("rx(0.5) q[1];"));
+        assert!(s.contains("measure q[0] -> c[0];"));
+        assert!(s.contains("barrier q[0],q[1];"));
+    }
+
+    #[test]
+    fn emits_symbolic_params() {
+        let mut qc = QuantumCircuit::new(1);
+        qc.ry_param(2, 0).unwrap();
+        let s = to_qasm(&qc);
+        assert!(s.contains("ry(theta_2) q[0];"));
+    }
+
+    #[test]
+    fn emits_delay() {
+        let mut qc = QuantumCircuit::new(1);
+        qc.delay(128.0, 0).unwrap();
+        let s = to_qasm(&qc);
+        assert!(s.contains("delay(128ns) q[0];"));
+    }
+}

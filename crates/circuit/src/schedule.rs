@@ -1,0 +1,611 @@
+//! Timing, scheduling, and idle-window extraction.
+//!
+//! The two mitigation techniques the paper tunes both live in **idle
+//! windows**: per-qubit gaps on the scheduled timeline between consecutive
+//! operations (Section III). This module turns a [`QuantumCircuit`] into a
+//! [`ScheduledCircuit`] under a [`DurationModel`] using ASAP or ALAP list
+//! scheduling (ALAP is the Qiskit-style baseline, Section III-B), and
+//! extracts the [`IdleWindow`]s that the mitigation passes later fill with DD
+//! sequences or reposition gates within.
+
+use crate::circuit::QuantumCircuit;
+use crate::error::CircuitError;
+use crate::gate::Gate;
+use std::fmt;
+
+/// Gate-duration table in nanoseconds, modeled on IBM backends.
+///
+/// `rz` is virtual (zero duration) as on IBM hardware; every other
+/// single-qubit gate takes one timing slot; `cx` and `measure` dominate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DurationModel {
+    single_qubit_ns: f64,
+    rz_ns: f64,
+    cx_ns: f64,
+    measure_ns: f64,
+}
+
+impl DurationModel {
+    /// IBM-like defaults: 35.56 ns single-qubit slot (the paper's ID slot
+    /// duration in Fig. 6), 320 ns CX, 5 µs measurement, virtual RZ.
+    pub fn ibm_default() -> Self {
+        DurationModel {
+            single_qubit_ns: 35.56,
+            rz_ns: 0.0,
+            cx_ns: 320.0,
+            measure_ns: 5000.0,
+        }
+    }
+
+    /// Creates a custom duration table.
+    pub fn new(single_qubit_ns: f64, rz_ns: f64, cx_ns: f64, measure_ns: f64) -> Self {
+        DurationModel {
+            single_qubit_ns,
+            rz_ns,
+            cx_ns,
+            measure_ns,
+        }
+    }
+
+    /// Duration of one single-qubit slot (also the ID/DD pulse duration).
+    pub fn single_qubit_ns(&self) -> f64 {
+        self.single_qubit_ns
+    }
+
+    /// Duration of a CX gate.
+    pub fn cx_ns(&self) -> f64 {
+        self.cx_ns
+    }
+
+    /// Duration of a measurement.
+    pub fn measure_ns(&self) -> f64 {
+        self.measure_ns
+    }
+
+    /// Duration of `gate` in nanoseconds.
+    pub fn duration_of(&self, gate: &Gate) -> f64 {
+        match gate {
+            Gate::Rz(_) | Gate::P(_) | Gate::Z | Gate::S | Gate::Sdg | Gate::T | Gate::Tdg => {
+                self.rz_ns
+            }
+            Gate::Cx | Gate::Cz | Gate::Swap => self.cx_ns,
+            Gate::Measure => self.measure_ns,
+            Gate::Barrier => 0.0,
+            Gate::Delay { duration_ns } => *duration_ns,
+            _ => self.single_qubit_ns,
+        }
+    }
+}
+
+impl Default for DurationModel {
+    fn default() -> Self {
+        DurationModel::ibm_default()
+    }
+}
+
+/// Scheduling direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleKind {
+    /// As soon as possible.
+    Asap,
+    /// As late as possible — the standard compilation baseline (paper §III-B).
+    Alap,
+}
+
+/// A gate application pinned to wall-clock time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedOp {
+    /// The operation (concrete angles only).
+    pub gate: Gate,
+    /// Operand qubits.
+    pub qubits: Vec<usize>,
+    /// Start time in nanoseconds from circuit start.
+    pub start_ns: f64,
+    /// Duration in nanoseconds.
+    pub duration_ns: f64,
+}
+
+impl TimedOp {
+    /// End time in nanoseconds.
+    pub fn end_ns(&self) -> f64 {
+        self.start_ns + self.duration_ns
+    }
+}
+
+impl fmt::Display for TimedOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:9.2}..{:9.2}] {} {:?}",
+            self.start_ns,
+            self.end_ns(),
+            self.gate,
+            self.qubits
+        )
+    }
+}
+
+/// A per-qubit idle gap on the scheduled timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IdleWindow {
+    /// Qubit whose timeline contains the gap.
+    pub qubit: usize,
+    /// Gap start (end of the preceding op).
+    pub start_ns: f64,
+    /// Gap end (start of the following op).
+    pub end_ns: f64,
+    /// Index into [`ScheduledCircuit::ops`] of the op preceding the gap.
+    pub prev_op: usize,
+    /// Index into [`ScheduledCircuit::ops`] of the op following the gap.
+    pub next_op: usize,
+    /// `true` when the *following* op is a movable single-qubit unitary, so
+    /// gate-scheduling mitigation can reposition it within this window.
+    pub next_op_movable: bool,
+}
+
+impl IdleWindow {
+    /// Gap duration in nanoseconds.
+    pub fn duration_ns(&self) -> f64 {
+        self.end_ns - self.start_ns
+    }
+
+    /// Maximum number of DD sequence repetitions that fit, where one
+    /// repetition consists of `pulses_per_seq` pulses of `pulse_ns` each.
+    pub fn max_dd_repetitions(&self, pulses_per_seq: usize, pulse_ns: f64) -> usize {
+        if pulse_ns <= 0.0 || pulses_per_seq == 0 {
+            return 0;
+        }
+        (self.duration_ns() / (pulses_per_seq as f64 * pulse_ns)).floor() as usize
+    }
+}
+
+/// A circuit whose every operation has a start time; the input to the noisy
+/// "machine" executor and to the mitigation passes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduledCircuit {
+    num_qubits: usize,
+    ops: Vec<TimedOp>,
+    total_ns: f64,
+}
+
+impl ScheduledCircuit {
+    /// Builds a scheduled circuit from raw timed ops.
+    ///
+    /// Ops are sorted by start time. Use [`Self::validate`] to check for
+    /// overlaps after manual edits.
+    pub fn from_ops(num_qubits: usize, mut ops: Vec<TimedOp>) -> Self {
+        ops.sort_by(|a, b| a.start_ns.partial_cmp(&b.start_ns).expect("finite times"));
+        let total_ns = ops.iter().map(|o| o.end_ns()).fold(0.0, f64::max);
+        ScheduledCircuit {
+            num_qubits,
+            ops,
+            total_ns,
+        }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Scheduled ops sorted by start time.
+    pub fn ops(&self) -> &[TimedOp] {
+        &self.ops
+    }
+
+    /// Makespan in nanoseconds.
+    pub fn total_ns(&self) -> f64 {
+        self.total_ns
+    }
+
+    /// Checks that no two ops overlap on any qubit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::OverlappingOps`] at the first conflict.
+    pub fn validate(&self) -> Result<(), CircuitError> {
+        const EPS: f64 = 1e-6;
+        for q in 0..self.num_qubits {
+            let mut intervals: Vec<(f64, f64)> = self
+                .ops
+                .iter()
+                .filter(|o| o.qubits.contains(&q) && o.duration_ns > 0.0)
+                .map(|o| (o.start_ns, o.end_ns()))
+                .collect();
+            intervals.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+            for w in intervals.windows(2) {
+                if w[1].0 < w[0].1 - EPS {
+                    return Err(CircuitError::OverlappingOps {
+                        qubit: q,
+                        at_ns: w[1].0,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Extracts idle windows longer than `min_ns`, per qubit, within each
+    /// qubit's runtime (after its first op, before its measurement).
+    ///
+    /// Windows are returned sorted by `(qubit, start_ns)`. Barriers are
+    /// transparent: they do not terminate a window.
+    pub fn idle_windows(&self, min_ns: f64) -> Vec<IdleWindow> {
+        let mut windows = Vec::new();
+        for q in 0..self.num_qubits {
+            // Indices of real (non-barrier) ops on this qubit, in time order.
+            let mut op_idx: Vec<usize> = self
+                .ops
+                .iter()
+                .enumerate()
+                .filter(|(_, o)| o.qubits.contains(&q) && !matches!(o.gate, Gate::Barrier))
+                .map(|(i, _)| i)
+                .collect();
+            op_idx.sort_by(|&a, &b| {
+                self.ops[a]
+                    .start_ns
+                    .partial_cmp(&self.ops[b].start_ns)
+                    .expect("finite times")
+            });
+            for pair in op_idx.windows(2) {
+                let (pi, ni) = (pair[0], pair[1]);
+                let prev = &self.ops[pi];
+                let next = &self.ops[ni];
+                let gap = next.start_ns - prev.end_ns();
+                if gap > min_ns {
+                    let movable = next.qubits.len() == 1 && next.gate.is_unitary_gate();
+                    windows.push(IdleWindow {
+                        qubit: q,
+                        start_ns: prev.end_ns(),
+                        end_ns: next.start_ns,
+                        prev_op: pi,
+                        next_op: ni,
+                        next_op_movable: movable,
+                    });
+                }
+            }
+        }
+        windows.sort_by(|a, b| {
+            (a.qubit, a.start_ns)
+                .partial_cmp(&(b.qubit, b.start_ns))
+                .expect("finite times")
+        });
+        windows
+    }
+
+    /// Replaces the ops vector wholesale (used by mitigation passes), re-sorting
+    /// and recomputing the makespan.
+    pub fn with_ops(&self, ops: Vec<TimedOp>) -> ScheduledCircuit {
+        ScheduledCircuit::from_ops(self.num_qubits, ops)
+    }
+}
+
+impl fmt::Display for ScheduledCircuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "scheduled circuit: {} qubits, {} ops, {:.1} ns",
+            self.num_qubits,
+            self.ops.len(),
+            self.total_ns
+        )?;
+        for op in &self.ops {
+            writeln!(f, "  {op}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Schedules a concrete circuit under `durations`.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::UnboundParameter`] if the circuit still contains
+/// symbolic angles.
+pub fn schedule(
+    circuit: &QuantumCircuit,
+    durations: &DurationModel,
+    kind: ScheduleKind,
+) -> Result<ScheduledCircuit, CircuitError> {
+    if let Some(inst) = circuit
+        .instructions()
+        .iter()
+        .find(|i| i.gate.is_parameterized())
+    {
+        return Err(CircuitError::UnboundParameter {
+            param: inst.gate.param_index().expect("parameterized gate has index"),
+        });
+    }
+    match kind {
+        ScheduleKind::Asap => Ok(schedule_asap(circuit, durations)),
+        ScheduleKind::Alap => Ok(schedule_alap(circuit, durations)),
+    }
+}
+
+fn schedule_asap(circuit: &QuantumCircuit, durations: &DurationModel) -> ScheduledCircuit {
+    let n = circuit.num_qubits();
+    let mut ready = vec![0.0f64; n];
+    let mut ops = Vec::with_capacity(circuit.len());
+    for inst in circuit.instructions() {
+        let dur = durations.duration_of(&inst.gate);
+        let qubits: Vec<usize> = if inst.qubits.is_empty() {
+            (0..n).collect()
+        } else {
+            inst.qubits.clone()
+        };
+        let start = qubits.iter().map(|&q| ready[q]).fold(0.0, f64::max);
+        for &q in &qubits {
+            ready[q] = start + dur;
+        }
+        ops.push(TimedOp {
+            gate: inst.gate,
+            qubits: inst.qubits.clone(),
+            start_ns: start,
+            duration_ns: dur,
+        });
+    }
+    ScheduledCircuit::from_ops(n, ops)
+}
+
+fn schedule_alap(circuit: &QuantumCircuit, durations: &DurationModel) -> ScheduledCircuit {
+    // ALAP = ASAP on the reversed program, mirrored about the makespan.
+    let n = circuit.num_qubits();
+    let mut deadline = vec![0.0f64; n];
+    let mut rev_ops: Vec<TimedOp> = Vec::with_capacity(circuit.len());
+    for inst in circuit.instructions().iter().rev() {
+        let dur = durations.duration_of(&inst.gate);
+        let qubits: Vec<usize> = if inst.qubits.is_empty() {
+            (0..n).collect()
+        } else {
+            inst.qubits.clone()
+        };
+        let start = qubits.iter().map(|&q| deadline[q]).fold(0.0, f64::max);
+        for &q in &qubits {
+            deadline[q] = start + dur;
+        }
+        rev_ops.push(TimedOp {
+            gate: inst.gate,
+            qubits: inst.qubits.clone(),
+            start_ns: start,
+            duration_ns: dur,
+        });
+    }
+    let makespan = rev_ops.iter().map(|o| o.end_ns()).fold(0.0, f64::max);
+    for op in rev_ops.iter_mut() {
+        op.start_ns = makespan - op.end_ns();
+    }
+    // Restore program order so the stable sort in `from_ops` breaks
+    // equal-start ties (zero-duration RZ gates) in execution order.
+    rev_ops.reverse();
+    ScheduledCircuit::from_ops(n, rev_ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn durations() -> DurationModel {
+        DurationModel::ibm_default()
+    }
+
+    fn staircase() -> QuantumCircuit {
+        // q0: H --- CX(0,1) ............. M
+        // q1: ....... CX(0,1) CX(1,2) ... M
+        // q2: ................ CX(1,2) .. M
+        let mut qc = QuantumCircuit::new(3);
+        qc.h(0).unwrap();
+        qc.cx(0, 1).unwrap();
+        qc.cx(1, 2).unwrap();
+        qc.measure_all();
+        qc
+    }
+
+    #[test]
+    fn asap_schedules_dependencies_in_order() {
+        let s = schedule(&staircase(), &durations(), ScheduleKind::Asap).unwrap();
+        s.validate().unwrap();
+        let h = &s.ops()[0];
+        assert_eq!(h.gate, Gate::H);
+        assert_eq!(h.start_ns, 0.0);
+        // First CX starts after H ends.
+        let cx0 = s.ops().iter().find(|o| o.gate == Gate::Cx).unwrap();
+        assert!((cx0.start_ns - 35.56).abs() < 1e-9);
+    }
+
+    #[test]
+    fn alap_pushes_gates_late() {
+        // q1's H has slack: q0 runs a 5-gate chain before the CX.
+        let mut qc = QuantumCircuit::new(2);
+        qc.h(1).unwrap();
+        for _ in 0..5 {
+            qc.sx(0).unwrap();
+        }
+        qc.cx(0, 1).unwrap();
+        let asap = schedule(&qc, &durations(), ScheduleKind::Asap).unwrap();
+        let alap = schedule(&qc, &durations(), ScheduleKind::Alap).unwrap();
+        asap.validate().unwrap();
+        alap.validate().unwrap();
+        assert!((asap.total_ns() - alap.total_ns()).abs() < 1e-9);
+        let h1_asap = asap
+            .ops()
+            .iter()
+            .find(|o| o.gate == Gate::H && o.qubits == vec![1])
+            .unwrap();
+        let h1_alap = alap
+            .ops()
+            .iter()
+            .find(|o| o.gate == Gate::H && o.qubits == vec![1])
+            .unwrap();
+        assert_eq!(h1_asap.start_ns, 0.0);
+        // ALAP packs the H directly before the CX: start = 4 slots.
+        assert!(
+            (h1_alap.start_ns - 4.0 * 35.56).abs() < 1e-9,
+            "ALAP should delay the idle-side H, got {}",
+            h1_alap.start_ns
+        );
+    }
+
+    #[test]
+    fn alap_equals_asap_for_chain_circuits() {
+        // A fully serial circuit has no slack; schedules must agree.
+        let mut qc = QuantumCircuit::new(1);
+        qc.h(0).unwrap().x(0).unwrap().h(0).unwrap();
+        let asap = schedule(&qc, &durations(), ScheduleKind::Asap).unwrap();
+        let alap = schedule(&qc, &durations(), ScheduleKind::Alap).unwrap();
+        for (a, b) in asap.ops().iter().zip(alap.ops().iter()) {
+            assert!((a.start_ns - b.start_ns).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn idle_windows_found_between_ops() {
+        // q0 does H, then waits for q1's long chain before the final CX.
+        let mut qc = QuantumCircuit::new(2);
+        qc.h(0).unwrap();
+        qc.h(1).unwrap();
+        for _ in 0..5 {
+            qc.sx(1).unwrap();
+        }
+        qc.cx(0, 1).unwrap();
+        let s = schedule(&qc, &durations(), ScheduleKind::Asap).unwrap();
+        let windows = s.idle_windows(durations().single_qubit_ns());
+        assert_eq!(windows.len(), 1, "{windows:?}");
+        let w = &windows[0];
+        assert_eq!(w.qubit, 0);
+        assert!((w.duration_ns() - 5.0 * 35.56).abs() < 1e-6);
+        // The next op is the CX (2-qubit) so it is not movable.
+        assert!(!w.next_op_movable);
+    }
+
+    #[test]
+    fn idle_window_movable_flag() {
+        // Anchor q0 early with a CX, let q1 run a long chain, then X + CX on
+        // q0. Under ALAP the X packs against the final CX and the idle
+        // window precedes it — so the window's following op is movable.
+        let mut qc = QuantumCircuit::new(2);
+        qc.h(0).unwrap();
+        qc.cx(0, 1).unwrap();
+        for _ in 0..5 {
+            qc.sx(1).unwrap();
+        }
+        qc.x(0).unwrap();
+        qc.cx(0, 1).unwrap();
+        let s = schedule(&qc, &durations(), ScheduleKind::Alap).unwrap();
+        let windows = s.idle_windows(durations().single_qubit_ns());
+        let w0: Vec<_> = windows.iter().filter(|w| w.qubit == 0).collect();
+        assert_eq!(w0.len(), 1, "{windows:?}");
+        assert!(w0[0].next_op_movable, "X before CX should be movable");
+        // The window spans the q1 chain minus the X slot.
+        assert!((w0[0].duration_ns() - 4.0 * 35.56).abs() < 1e-6);
+    }
+
+    #[test]
+    fn windows_respect_min_duration() {
+        let mut qc = QuantumCircuit::new(2);
+        qc.h(0).unwrap();
+        qc.h(1).unwrap();
+        qc.sx(1).unwrap(); // 1-slot gap on q0
+        qc.cx(0, 1).unwrap();
+        let s = schedule(&qc, &durations(), ScheduleKind::Asap).unwrap();
+        assert!(s.idle_windows(2.0 * 35.56).is_empty());
+        assert_eq!(s.idle_windows(0.5 * 35.56).len(), 1);
+    }
+
+    #[test]
+    fn max_dd_repetitions() {
+        let w = IdleWindow {
+            qubit: 0,
+            start_ns: 0.0,
+            end_ns: 356.0,
+            prev_op: 0,
+            next_op: 1,
+            next_op_movable: false,
+        };
+        // XY4 = 4 pulses of 35.56 ns = 142.24 ns per repetition -> 2 fit.
+        assert_eq!(w.max_dd_repetitions(4, 35.56), 2);
+        // XX = 2 pulses -> 5 fit.
+        assert_eq!(w.max_dd_repetitions(2, 35.56), 5);
+        assert_eq!(w.max_dd_repetitions(0, 35.56), 0);
+    }
+
+    #[test]
+    fn barriers_synchronize_all_qubits() {
+        let mut qc = QuantumCircuit::new(2);
+        qc.h(0).unwrap();
+        qc.barrier_all();
+        qc.h(1).unwrap();
+        let s = schedule(&qc, &durations(), ScheduleKind::Asap).unwrap();
+        let h1 = s
+            .ops()
+            .iter()
+            .find(|o| o.gate == Gate::H && o.qubits == vec![1])
+            .unwrap();
+        assert!((h1.start_ns - 35.56).abs() < 1e-9, "barrier must delay q1's H");
+    }
+
+    #[test]
+    fn unbound_circuit_rejected() {
+        let mut qc = QuantumCircuit::new(1);
+        qc.ry_param(0, 0).unwrap();
+        let err = schedule(&qc, &durations(), ScheduleKind::Asap).unwrap_err();
+        assert!(matches!(err, CircuitError::UnboundParameter { .. }));
+    }
+
+    #[test]
+    fn validate_detects_overlap() {
+        let ops = vec![
+            TimedOp {
+                gate: Gate::X,
+                qubits: vec![0],
+                start_ns: 0.0,
+                duration_ns: 50.0,
+            },
+            TimedOp {
+                gate: Gate::Y,
+                qubits: vec![0],
+                start_ns: 25.0,
+                duration_ns: 50.0,
+            },
+        ];
+        let s = ScheduledCircuit::from_ops(1, ops);
+        assert!(matches!(
+            s.validate(),
+            Err(CircuitError::OverlappingOps { qubit: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn delay_occupies_timeline() {
+        let mut qc = QuantumCircuit::new(1);
+        qc.h(0).unwrap();
+        qc.delay(1000.0, 0).unwrap();
+        qc.x(0).unwrap();
+        let s = schedule(&qc, &durations(), ScheduleKind::Asap).unwrap();
+        let x = s.ops().iter().find(|o| o.gate == Gate::X).unwrap();
+        assert!((x.start_ns - (35.56 + 1000.0)).abs() < 1e-9);
+        assert!((s.total_ns() - (2.0 * 35.56 + 1000.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn alap_keeps_program_order_for_zero_duration_ties() {
+        // H, RZ(pi), H: the virtual RZ shares its start time with the second
+        // H; executing them out of order flips the final state.
+        let mut qc = QuantumCircuit::new(1);
+        qc.h(0).unwrap();
+        qc.rz(std::f64::consts::PI, 0).unwrap();
+        qc.h(0).unwrap();
+        let s = schedule(&qc, &durations(), ScheduleKind::Alap).unwrap();
+        let order: Vec<&str> = s.ops().iter().map(|o| o.gate.name()).collect();
+        assert_eq!(order, vec!["h", "rz", "h"], "{s}");
+    }
+
+    #[test]
+    fn rz_is_virtual() {
+        let mut qc = QuantumCircuit::new(1);
+        qc.rz(1.0, 0).unwrap();
+        qc.x(0).unwrap();
+        let s = schedule(&qc, &durations(), ScheduleKind::Asap).unwrap();
+        let x = s.ops().iter().find(|o| o.gate == Gate::X).unwrap();
+        assert_eq!(x.start_ns, 0.0, "virtual rz must not consume time");
+    }
+}

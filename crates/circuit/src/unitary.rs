@@ -1,0 +1,240 @@
+//! Full-circuit unitary synthesis for small registers.
+//!
+//! Used by tests and by the soundness analysis: composing every gate of a
+//! (concrete) circuit into a single `2^n x 2^n` unitary lets us verify that
+//! mitigation passes preserve circuit semantics (paper §III: inserted
+//! `XX = I` sequences must not change the logical circuit).
+
+use crate::circuit::QuantumCircuit;
+use crate::error::CircuitError;
+use crate::gate::Gate;
+use vaqem_mathkit::complex::Complex64;
+use vaqem_mathkit::matrix::CMatrix;
+
+/// Expands a 1-qubit unitary to the full register, acting on `q`.
+///
+/// Qubit 0 is the least significant bit of the basis index.
+pub fn embed_single(u: &CMatrix, q: usize, n: usize) -> CMatrix {
+    assert_eq!(u.rows(), 2, "expected a 2x2 matrix");
+    let dim = 1usize << n;
+    let mut out = CMatrix::zeros(dim, dim);
+    let bit = 1usize << q;
+    for col in 0..dim {
+        let cb = (col & bit != 0) as usize;
+        for rb in 0..2 {
+            let row = (col & !bit) | (rb << q);
+            let amp = u[(rb, cb)];
+            if amp != Complex64::ZERO {
+                out[(row, col)] += amp;
+            }
+        }
+    }
+    out
+}
+
+/// Expands a 2-qubit unitary to the full register.
+///
+/// The gate matrix follows [`Gate::unitary`] conventions: the first operand
+/// (`q_hi`) is the more significant bit of the 4-dim gate space.
+pub fn embed_two(u: &CMatrix, q_hi: usize, q_lo: usize, n: usize) -> CMatrix {
+    assert_eq!(u.rows(), 4, "expected a 4x4 matrix");
+    assert_ne!(q_hi, q_lo, "distinct qubits required");
+    let dim = 1usize << n;
+    let mut out = CMatrix::zeros(dim, dim);
+    let (bh, bl) = (1usize << q_hi, 1usize << q_lo);
+    for col in 0..dim {
+        let ch = (col & bh != 0) as usize;
+        let cl = (col & bl != 0) as usize;
+        let gate_col = (ch << 1) | cl;
+        for gate_row in 0..4 {
+            let amp = u[(gate_row, gate_col)];
+            if amp == Complex64::ZERO {
+                continue;
+            }
+            let rh = (gate_row >> 1) & 1;
+            let rl = gate_row & 1;
+            let row = (col & !(bh | bl)) | (rh << q_hi) | (rl << q_lo);
+            out[(row, col)] += amp;
+        }
+    }
+    out
+}
+
+/// Composes a concrete circuit into its full unitary, ignoring barriers and
+/// delays and rejecting measurements.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::UnboundParameter`] for symbolic circuits.
+///
+/// # Panics
+///
+/// Panics if the circuit contains measurements (not a unitary operation).
+pub fn circuit_unitary(circuit: &QuantumCircuit) -> Result<CMatrix, CircuitError> {
+    let n = circuit.num_qubits();
+    let mut u = CMatrix::identity(1 << n);
+    for inst in circuit.instructions() {
+        match inst.gate {
+            Gate::Barrier | Gate::Delay { .. } | Gate::I => continue,
+            Gate::Measure => panic!("cannot form the unitary of a measured circuit"),
+            g => {
+                let gu = g.unitary()?;
+                let full = match inst.qubits.len() {
+                    1 => embed_single(&gu, inst.qubits[0], n),
+                    2 => embed_two(&gu, inst.qubits[0], inst.qubits[1], n),
+                    k => panic!("unsupported gate arity {k}"),
+                };
+                u = &full * &u;
+            }
+        }
+    }
+    Ok(u)
+}
+
+/// Checks whether two unitaries are equal up to a global phase.
+pub fn equal_up_to_phase(a: &CMatrix, b: &CMatrix, tol: f64) -> bool {
+    if a.rows() != b.rows() || a.cols() != b.cols() {
+        return false;
+    }
+    // Find the largest-magnitude entry of `a` to anchor the phase.
+    let mut best = (0usize, 0usize);
+    let mut best_mag = 0.0;
+    for i in 0..a.rows() {
+        for j in 0..a.cols() {
+            let m = a[(i, j)].norm();
+            if m > best_mag {
+                best_mag = m;
+                best = (i, j);
+            }
+        }
+    }
+    if best_mag < tol {
+        return a.max_abs_diff(b) <= tol;
+    }
+    let phase = b[best] / a[best];
+    if (phase.norm() - 1.0).abs() > tol {
+        return false;
+    }
+    a.scale(phase).max_abs_diff(b) <= tol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vaqem_mathkit::c64;
+
+    #[test]
+    fn embed_single_acts_on_correct_qubit() {
+        let x = Gate::X.unitary().unwrap();
+        let n = 3;
+        let u = embed_single(&x, 1, n);
+        // |000> -> |010>
+        let mut v = vec![Complex64::ZERO; 8];
+        v[0] = Complex64::ONE;
+        let w = u.mul_vec(&v);
+        assert!(w[0b010].approx_eq(Complex64::ONE, 1e-12));
+    }
+
+    #[test]
+    fn embed_two_cx_conventions() {
+        let cx = Gate::Cx.unitary().unwrap();
+        // control=q2, target=q0 in a 3-qubit register.
+        let u = embed_two(&cx, 2, 0, 3);
+        // |100> (q2=1) -> |101>
+        let mut v = vec![Complex64::ZERO; 8];
+        v[0b100] = Complex64::ONE;
+        let w = u.mul_vec(&v);
+        assert!(w[0b101].approx_eq(Complex64::ONE, 1e-12), "{w:?}");
+        // |001> (control 0) unchanged.
+        let mut v = vec![Complex64::ZERO; 8];
+        v[0b001] = Complex64::ONE;
+        let w = u.mul_vec(&v);
+        assert!(w[0b001].approx_eq(Complex64::ONE, 1e-12));
+    }
+
+    #[test]
+    fn embedded_unitaries_stay_unitary() {
+        let h = Gate::H.unitary().unwrap();
+        assert!(embed_single(&h, 2, 4).is_unitary(1e-12));
+        let cx = Gate::Cx.unitary().unwrap();
+        assert!(embed_two(&cx, 0, 3, 4).is_unitary(1e-12));
+    }
+
+    #[test]
+    fn bell_circuit_unitary() {
+        let mut qc = QuantumCircuit::new(2);
+        qc.h(0).unwrap();
+        qc.cx(0, 1).unwrap();
+        let u = circuit_unitary(&qc).unwrap();
+        assert!(u.is_unitary(1e-12));
+        // |00> -> (|00> + |11>)/sqrt(2). Note qubit 0 is control; with qubit 0
+        // the LSB, |11> = index 3.
+        let v = u.mul_vec(&[Complex64::ONE, Complex64::ZERO, Complex64::ZERO, Complex64::ZERO]);
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        assert!(v[0].approx_eq(c64(s, 0.0), 1e-12));
+        assert!(v[3].approx_eq(c64(s, 0.0), 1e-12));
+    }
+
+    #[test]
+    fn inverse_circuit_gives_identity() {
+        let mut qc = QuantumCircuit::new(2);
+        qc.h(0).unwrap();
+        qc.ry(0.7, 1).unwrap();
+        qc.cx(0, 1).unwrap();
+        qc.rz(-0.3, 0).unwrap();
+        let mut full = qc.clone();
+        full.compose(&qc.inverse()).unwrap();
+        let u = circuit_unitary(&full).unwrap();
+        assert!(u.is_identity(1e-10));
+    }
+
+    #[test]
+    fn xx_insertion_preserves_semantics() {
+        // The DD primitive: inserting X X mid-circuit is a logical no-op.
+        let mut base = QuantumCircuit::new(1);
+        base.h(0).unwrap();
+        base.rz(0.4, 0).unwrap();
+        let mut with_dd = QuantumCircuit::new(1);
+        with_dd.h(0).unwrap();
+        with_dd.x(0).unwrap();
+        with_dd.x(0).unwrap();
+        with_dd.rz(0.4, 0).unwrap();
+        let u1 = circuit_unitary(&base).unwrap();
+        let u2 = circuit_unitary(&with_dd).unwrap();
+        assert!(equal_up_to_phase(&u1, &u2, 1e-10));
+    }
+
+    #[test]
+    fn xyxy_insertion_preserves_semantics_up_to_phase() {
+        // XYXY = -I: identity up to global phase (universal DD sequence).
+        let mut base = QuantumCircuit::new(1);
+        base.h(0).unwrap();
+        let mut with_dd = QuantumCircuit::new(1);
+        with_dd.h(0).unwrap();
+        for _ in 0..1 {
+            with_dd.x(0).unwrap();
+            with_dd.y(0).unwrap();
+            with_dd.x(0).unwrap();
+            with_dd.y(0).unwrap();
+        }
+        let u1 = circuit_unitary(&base).unwrap();
+        let u2 = circuit_unitary(&with_dd).unwrap();
+        assert!(equal_up_to_phase(&u1, &u2, 1e-10));
+    }
+
+    #[test]
+    fn equal_up_to_phase_detects_difference() {
+        let x = Gate::X.unitary().unwrap();
+        let z = Gate::Z.unitary().unwrap();
+        assert!(!equal_up_to_phase(&x, &z, 1e-10));
+    }
+
+    #[test]
+    #[should_panic(expected = "measured circuit")]
+    fn measured_circuit_panics() {
+        let mut qc = QuantumCircuit::new(1);
+        qc.h(0).unwrap();
+        qc.measure(0).unwrap();
+        let _ = circuit_unitary(&qc);
+    }
+}

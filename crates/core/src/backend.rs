@@ -1,0 +1,195 @@
+//! The quantum backend abstraction the tuning loop talks to.
+//!
+//! [`QuantumBackend`] bundles the pieces a real submission path involves:
+//! ALAP scheduling under the device duration table, application of an
+//! idle-time [`MitigationConfig`], execution on the trajectory "machine",
+//! and optional measurement-error mitigation of the returned counts — i.e.
+//! everything between "here is a bound circuit" and "here are your counts".
+
+use crate::error::VaqemError;
+use vaqem_circuit::circuit::QuantumCircuit;
+use vaqem_circuit::schedule::{schedule, DurationModel, ScheduleKind, ScheduledCircuit};
+use vaqem_device::noise::NoiseParameters;
+use vaqem_mathkit::rng::SeedStream;
+use vaqem_mitigation::combined::MitigationConfig;
+use vaqem_mitigation::mem::MeasurementMitigator;
+use vaqem_sim::counts::Counts;
+use vaqem_sim::machine::MachineExecutor;
+
+/// A noisy machine endpoint with a fixed duration table and seed stream.
+#[derive(Debug, Clone)]
+pub struct QuantumBackend {
+    executor: MachineExecutor,
+    durations: DurationModel,
+    mem: Option<MeasurementMitigator>,
+}
+
+impl QuantumBackend {
+    /// Creates a backend over `noise` with IBM-default durations.
+    pub fn new(noise: NoiseParameters, seeds: SeedStream) -> Self {
+        QuantumBackend {
+            executor: MachineExecutor::new(noise, seeds),
+            durations: DurationModel::ibm_default(),
+            mem: None,
+        }
+    }
+
+    /// Overrides the shot count per execution.
+    pub fn with_shots(mut self, shots: u64) -> Self {
+        self.executor = self.executor.with_shots(shots);
+        self
+    }
+
+    /// Shots per execution.
+    pub fn shots(&self) -> u64 {
+        self.executor.shots()
+    }
+
+    /// Gate duration table.
+    pub fn durations(&self) -> &DurationModel {
+        &self.durations
+    }
+
+    /// The raw trajectory executor.
+    pub fn executor(&self) -> &MachineExecutor {
+        &self.executor
+    }
+
+    /// Replaces the noise parameters (drift experiments).
+    pub fn set_noise(&mut self, noise: NoiseParameters) {
+        self.executor.set_noise(noise);
+    }
+
+    /// Calibrates and enables measurement-error mitigation (the paper's
+    /// baseline applies MEM orthogonally to everything).
+    pub fn calibrate_mem(&mut self) {
+        let n = self.executor.noise().num_qubits();
+        let executor = self.executor.clone();
+        let durations = self.durations.clone();
+        let mitigator = MeasurementMitigator::calibrate(n, |qc| {
+            let s = schedule(qc, &durations, ScheduleKind::Asap).expect("calibration circuit");
+            executor.run_job(&s, u64::MAX) // dedicated stream for calibration
+        });
+        self.mem = Some(mitigator);
+    }
+
+    /// Disables measurement-error mitigation (the "No-EM" comparison).
+    pub fn clear_mem(&mut self) {
+        self.mem = None;
+    }
+
+    /// Returns `true` when MEM is active.
+    pub fn mem_enabled(&self) -> bool {
+        self.mem.is_some()
+    }
+
+    /// Schedules a bound circuit ALAP (the compilation baseline).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for parameterized circuits.
+    pub fn schedule(&self, circuit: &QuantumCircuit) -> Result<ScheduledCircuit, VaqemError> {
+        Ok(schedule(circuit, &self.durations, ScheduleKind::Alap)?)
+    }
+
+    /// Runs a bound circuit with a mitigation configuration applied, MEM
+    /// post-processing included when calibrated.
+    ///
+    /// `job_index` decorrelates the noise streams of repeated runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for parameterized circuits.
+    pub fn run_with_mitigation(
+        &self,
+        circuit: &QuantumCircuit,
+        config: &MitigationConfig,
+        job_index: u64,
+    ) -> Result<Counts, VaqemError> {
+        let scheduled = self.schedule(circuit)?;
+        let pulse = self.durations.single_qubit_ns();
+        let mitigated = config.apply(&scheduled, pulse, pulse);
+        let raw = self.executor.run_job(&mitigated, job_index);
+        Ok(match &self.mem {
+            Some(m) if m.num_qubits() == raw.num_qubits() => m.mitigate_counts(&raw),
+            _ => raw,
+        })
+    }
+
+    /// Runs without idle-time mitigation (the scheduling baseline).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for parameterized circuits.
+    pub fn run(&self, circuit: &QuantumCircuit, job_index: u64) -> Result<Counts, VaqemError> {
+        self.run_with_mitigation(circuit, &MitigationConfig::baseline(), job_index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vaqem_mitigation::dd::DdSequence;
+
+    fn bell() -> QuantumCircuit {
+        let mut qc = QuantumCircuit::new(2);
+        qc.h(0).unwrap();
+        qc.cx(0, 1).unwrap();
+        qc.measure_all();
+        qc
+    }
+
+    #[test]
+    fn run_returns_full_shot_count() {
+        let backend =
+            QuantumBackend::new(NoiseParameters::uniform(2), SeedStream::new(1)).with_shots(512);
+        let counts = backend.run(&bell(), 0).unwrap();
+        assert_eq!(counts.total(), 512);
+        assert_eq!(counts.num_qubits(), 2);
+    }
+
+    #[test]
+    fn mem_calibration_changes_counts() {
+        let mut noise = NoiseParameters::noiseless(2);
+        noise.qubit_mut(0).readout_p01 = 0.1;
+        noise.qubit_mut(1).readout_p01 = 0.1;
+        let mut backend = QuantumBackend::new(noise, SeedStream::new(2)).with_shots(4096);
+        let raw = backend.run(&bell(), 0).unwrap();
+        backend.calibrate_mem();
+        assert!(backend.mem_enabled());
+        let mitigated = backend.run(&bell(), 0).unwrap();
+        // MEM pushes weight back onto 00/11.
+        let raw_good = raw.probability("00") + raw.probability("11");
+        let mit_good = mitigated.probability("00") + mitigated.probability("11");
+        assert!(mit_good > raw_good, "{mit_good} vs {raw_good}");
+        backend.clear_mem();
+        assert!(!backend.mem_enabled());
+    }
+
+    #[test]
+    fn mitigation_config_is_applied() {
+        // A circuit with an idle window: DD insertion must not break
+        // execution and must keep total shots.
+        let mut qc = QuantumCircuit::new(2);
+        qc.h(0).unwrap();
+        qc.cx(0, 1).unwrap();
+        for _ in 0..12 {
+            qc.sx(1).unwrap();
+        }
+        qc.cx(0, 1).unwrap();
+        qc.measure_all();
+        let backend =
+            QuantumBackend::new(NoiseParameters::uniform(2), SeedStream::new(3)).with_shots(256);
+        let cfg = MitigationConfig::dynamical_decoupling(DdSequence::Xy4, vec![1, 1, 1, 1]);
+        let counts = backend.run_with_mitigation(&qc, &cfg, 0).unwrap();
+        assert_eq!(counts.total(), 256);
+    }
+
+    #[test]
+    fn parameterized_circuit_rejected() {
+        let mut qc = QuantumCircuit::new(1);
+        qc.ry_param(0, 0).unwrap();
+        let backend = QuantumBackend::new(NoiseParameters::uniform(1), SeedStream::new(4));
+        assert!(backend.run(&qc, 0).is_err());
+    }
+}

@@ -1,0 +1,239 @@
+//! The paper's seven benchmark applications (§VII-A, Table I).
+//!
+//! Five TFIM instances on EfficientSU2 ansätze, the Li+-like Hamiltonian on
+//! a 6-qubit SU2, and H2 on UCCSD. Each benchmark names the IBM-like device
+//! the paper ran it on; circuits map onto the device's first `n` qubits
+//! (our machine simulator is all-to-all, so no routing is required — the
+//! substitution is documented in DESIGN.md).
+
+use crate::error::VaqemError;
+use crate::vqe::VqeProblem;
+use vaqem_ansatz::su2::{EfficientSu2, Entanglement};
+use vaqem_ansatz::uccsd::uccsd_h2;
+use vaqem_device::backend::DeviceModel;
+use vaqem_device::noise::NoiseParameters;
+use vaqem_pauli::models::{h2_sto3g, li_ion_like_truncated, tfim_paper};
+
+/// Identifier for each of the paper's benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BenchmarkId {
+    /// HW_TFIM_6q_f_2r.
+    Tfim6qF2r,
+    /// HW_TFIM_6q_c_2r.
+    Tfim6qC2r,
+    /// HW_TFIM_4q_c_6r.
+    Tfim4qC6r,
+    /// HW_TFIM_4q_f_6r.
+    Tfim4qF6r,
+    /// HW_TFIM_6q_c_4r (the deepest; forced onto noisy qubits, §VIII-A).
+    Tfim6qC4r,
+    /// HW_Li+.
+    LiIon,
+    /// UCCSD_H2.
+    UccsdH2,
+}
+
+impl BenchmarkId {
+    /// All seven, in the paper's Fig. 12 order.
+    pub const ALL: [BenchmarkId; 7] = [
+        BenchmarkId::Tfim6qF2r,
+        BenchmarkId::Tfim6qC2r,
+        BenchmarkId::Tfim4qC6r,
+        BenchmarkId::Tfim4qF6r,
+        BenchmarkId::Tfim6qC4r,
+        BenchmarkId::LiIon,
+        BenchmarkId::UccsdH2,
+    ];
+
+    /// The paper's benchmark label.
+    pub fn label(self) -> &'static str {
+        match self {
+            BenchmarkId::Tfim6qF2r => "HW_TFIM_6q_f_2r",
+            BenchmarkId::Tfim6qC2r => "HW_TFIM_6q_c_2r",
+            BenchmarkId::Tfim4qC6r => "HW_TFIM_4q_c_6r",
+            BenchmarkId::Tfim4qF6r => "HW_TFIM_4q_f_6r",
+            BenchmarkId::Tfim6qC4r => "HW_TFIM_6q_c_4r",
+            BenchmarkId::LiIon => "HW_Li+",
+            BenchmarkId::UccsdH2 => "UCCSD_H2",
+        }
+    }
+
+    /// The device the paper ran this benchmark on (§VII-A).
+    pub fn device(self) -> DeviceModel {
+        match self {
+            BenchmarkId::Tfim6qF2r => DeviceModel::ibmq_guadalupe(),
+            BenchmarkId::Tfim6qC2r => DeviceModel::ibmq_jakarta(),
+            BenchmarkId::Tfim4qC6r => DeviceModel::ibmq_casablanca(),
+            BenchmarkId::Tfim4qF6r => DeviceModel::ibmq_jakarta(),
+            BenchmarkId::Tfim6qC4r => DeviceModel::ibmq_casablanca(),
+            BenchmarkId::LiIon | BenchmarkId::UccsdH2 => DeviceModel::ibmq_montreal(),
+        }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(self) -> usize {
+        match self {
+            BenchmarkId::Tfim4qC6r | BenchmarkId::Tfim4qF6r | BenchmarkId::UccsdH2 => 4,
+            _ => 6,
+        }
+    }
+
+    /// Noise parameters for the circuit: the device subset on the first
+    /// `n` physical qubits.
+    pub fn circuit_noise(self) -> NoiseParameters {
+        let device = self.device();
+        let layout: Vec<usize> = (0..self.num_qubits()).collect();
+        device.noise().subset(&layout)
+    }
+
+    /// Builds the VQE problem.
+    ///
+    /// # Errors
+    ///
+    /// Propagates circuit-construction errors.
+    pub fn problem(self) -> Result<VqeProblem, VaqemError> {
+        let problem = match self {
+            BenchmarkId::Tfim6qF2r => VqeProblem::new(
+                self.label(),
+                tfim_paper(6),
+                EfficientSu2::new(6, 2, Entanglement::Full).circuit()?,
+            )?,
+            BenchmarkId::Tfim6qC2r => VqeProblem::new(
+                self.label(),
+                tfim_paper(6),
+                EfficientSu2::new(6, 2, Entanglement::Circular).circuit()?,
+            )?,
+            BenchmarkId::Tfim4qC6r => VqeProblem::new(
+                self.label(),
+                tfim_paper(4),
+                EfficientSu2::new(4, 6, Entanglement::Circular).circuit()?,
+            )?,
+            BenchmarkId::Tfim4qF6r => VqeProblem::new(
+                self.label(),
+                tfim_paper(4),
+                EfficientSu2::new(4, 6, Entanglement::Full).circuit()?,
+            )?,
+            BenchmarkId::Tfim6qC4r => VqeProblem::new(
+                self.label(),
+                tfim_paper(6),
+                EfficientSu2::new(6, 4, Entanglement::Circular).circuit()?,
+            )?,
+            BenchmarkId::LiIon => VqeProblem::new(
+                self.label(),
+                li_ion_like_truncated(),
+                EfficientSu2::new(6, 3, Entanglement::Full).circuit()?,
+            )?,
+            // The full 15-term operator: our coefficient set has no
+            // near-zero terms to drop (the paper's "4 truncated" terms are
+            // negligible in its own mapping), and dropping the exchange
+            // terms would blind the objective to correlation.
+            BenchmarkId::UccsdH2 => VqeProblem::new(self.label(), h2_sto3g(), uccsd_h2()?)?,
+        };
+        Ok(problem)
+    }
+}
+
+/// Table I row: measured characteristics of one benchmark under this
+/// reproduction's scheduler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchmarkCharacteristics {
+    /// Benchmark label.
+    pub label: &'static str,
+    /// CX depth of the (unbound) ansatz.
+    pub cx_depth: usize,
+    /// Total CX count.
+    pub cx_count: usize,
+    /// Idle windows targeted by mitigation (Table I "# Win").
+    pub windows: usize,
+    /// Measurement groups per objective evaluation.
+    pub measurement_groups: usize,
+    /// Scheduled makespan in nanoseconds (at zero angles).
+    pub makespan_ns: f64,
+}
+
+/// Computes the Table I characteristics for a benchmark.
+///
+/// # Errors
+///
+/// Propagates circuit errors.
+pub fn characteristics(id: BenchmarkId) -> Result<BenchmarkCharacteristics, VaqemError> {
+    use vaqem_circuit::schedule::{schedule, DurationModel, ScheduleKind};
+    let problem = id.problem()?;
+    let ansatz = problem.ansatz();
+    let bound = ansatz.bind(&vec![0.1; ansatz.num_params()])?;
+    let mut measured = bound.clone();
+    measured.measure_all();
+    let durations = DurationModel::ibm_default();
+    let scheduled = schedule(&measured, &durations, ScheduleKind::Alap)?;
+    let windows = scheduled.idle_windows(durations.single_qubit_ns()).len();
+    Ok(BenchmarkCharacteristics {
+        label: id.label(),
+        cx_depth: ansatz.cx_depth(),
+        cx_count: ansatz.cx_count(),
+        windows,
+        measurement_groups: problem.groups().len(),
+        makespan_ns: scheduled.total_ns(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_benchmarks_build() {
+        for id in BenchmarkId::ALL {
+            let p = id.problem().unwrap_or_else(|e| panic!("{}: {e}", id.label()));
+            assert_eq!(p.hamiltonian().num_qubits(), id.num_qubits());
+            assert_eq!(p.ansatz().num_qubits(), id.num_qubits());
+            assert!(p.exact_ground_energy() < 0.0, "{}", id.label());
+        }
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(BenchmarkId::Tfim6qC4r.label(), "HW_TFIM_6q_c_4r");
+        assert_eq!(BenchmarkId::LiIon.label(), "HW_Li+");
+        assert_eq!(BenchmarkId::UccsdH2.label(), "UCCSD_H2");
+    }
+
+    #[test]
+    fn devices_match_paper_assignment() {
+        // Chemistry apps ran through Qiskit Runtime on montreal (§VII-A).
+        assert_eq!(BenchmarkId::LiIon.device().name(), "ibmq_montreal");
+        assert_eq!(BenchmarkId::UccsdH2.device().name(), "ibmq_montreal");
+        assert_eq!(BenchmarkId::Tfim4qC6r.device().name(), "ibmq_casablanca");
+    }
+
+    #[test]
+    fn circuit_noise_covers_circuit() {
+        for id in BenchmarkId::ALL {
+            let noise = id.circuit_noise();
+            assert_eq!(noise.num_qubits(), id.num_qubits());
+        }
+    }
+
+    #[test]
+    fn characteristics_have_windows_and_depth() {
+        // Spot-check two benchmarks; deeper circuits have more windows, as
+        // the paper observes (§VIII-A).
+        let shallow = characteristics(BenchmarkId::Tfim6qC2r).unwrap();
+        let deep = characteristics(BenchmarkId::Tfim6qC4r).unwrap();
+        assert!(shallow.cx_depth > 0);
+        assert!(deep.cx_depth > shallow.cx_depth);
+        assert!(deep.windows > 0);
+        assert!(
+            deep.windows >= shallow.windows,
+            "deeper circuits give more windows: {deep:?} vs {shallow:?}"
+        );
+    }
+
+    #[test]
+    fn uccsd_h2_characteristics() {
+        let c = characteristics(BenchmarkId::UccsdH2).unwrap();
+        // Paper Table I: depth 61, windows 26. Shape check: tens of CX
+        // layers, nonzero windows.
+        assert!((30..=90).contains(&c.cx_depth), "{c:?}");
+        assert!(c.windows > 0, "{c:?}");
+    }
+}

@@ -1,0 +1,64 @@
+//! Error type for the VAQEM pipeline.
+
+use std::error::Error;
+use std::fmt;
+use vaqem_circuit::error::CircuitError;
+
+/// Errors raised by the VAQEM tuning pipeline.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum VaqemError {
+    /// An underlying circuit operation failed.
+    Circuit(CircuitError),
+    /// A benchmark or configuration was inconsistent.
+    Config {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl fmt::Display for VaqemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VaqemError::Circuit(e) => write!(f, "circuit error: {e}"),
+            VaqemError::Config { message } => write!(f, "configuration error: {message}"),
+        }
+    }
+}
+
+impl Error for VaqemError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            VaqemError::Circuit(e) => Some(e),
+            VaqemError::Config { .. } => None,
+        }
+    }
+}
+
+impl From<CircuitError> for VaqemError {
+    fn from(e: CircuitError) -> Self {
+        VaqemError::Circuit(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = VaqemError::from(CircuitError::UnboundParameter { param: 2 });
+        assert!(e.to_string().contains("unbound parameter 2"));
+        assert!(std::error::Error::source(&e).is_some());
+        let c = VaqemError::Config {
+            message: "bad".into(),
+        };
+        assert!(c.to_string().contains("bad"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<VaqemError>();
+    }
+}

@@ -1,0 +1,35 @@
+//! # vaqem
+//!
+//! The core of the VAQEM (HPCA 2022) reproduction: a variational approach
+//! to quantum error mitigation. VAQEM treats error-mitigation knobs — the
+//! number of dynamical-decoupling repetitions and the position of
+//! single-qubit gates inside idle windows — as variational parameters,
+//! tuned against the VQA objective on the (noisy) machine, per idle window
+//! (paper §VI).
+//!
+//! The crate provides the paper's feasible flow end to end:
+//!
+//! * [`vqe`] — the VQE problem and its ideal/machine objective evaluators,
+//! * [`backend`] — scheduling + mitigation + execution + MEM in one endpoint,
+//! * [`pipeline::tune_angles`] — SPSA angle tuning on the ideal simulator,
+//! * [`window_tuner`] — the independent per-window EM tuner (§VI-C),
+//! * [`pipeline`] — all §VII-B comparison strategies,
+//! * [`benchmarks`] — the seven Table I applications,
+//! * [`soundness`] — the §V variational-bound checks,
+//! * [`metrics`] — the Fig. 12/13 reporting metrics.
+
+pub mod backend;
+pub mod benchmarks;
+pub mod error;
+pub mod metrics;
+pub mod pipeline;
+pub mod soundness;
+pub mod vqe;
+pub mod window_tuner;
+
+pub use backend::QuantumBackend;
+pub use benchmarks::BenchmarkId;
+pub use error::VaqemError;
+pub use pipeline::{run_pipeline, BenchmarkRun, PipelineConfig, Strategy, StrategyResult};
+pub use vqe::VqeProblem;
+pub use window_tuner::{TunedMitigation, WindowTuner, WindowTunerConfig};

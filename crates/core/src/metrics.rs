@@ -1,0 +1,120 @@
+//! Evaluation metrics matching the paper's Figs. 12 and 13.
+//!
+//! * **Improvement relative to baseline** (Fig. 12): the ratio of measured
+//!   energies for a minimization problem with negative optimum — "VQE
+//!   Energy Rel. Baseline (Neg), higher is better". The paper notes small
+//!   absolute energies can magnify ratios; we guard the denominator by
+//!   clamping each energy's *fraction of optimal* below at a small floor.
+//! * **Fraction of simulated optimal** (Fig. 13): `E / E0` with `E0 < 0`,
+//!   clamped to `[0, 1]`.
+
+/// Floor on the fraction-of-optimal used in ratio denominators, preventing
+/// division blow-ups when a baseline lands near zero (paper §VIII-A's
+/// "relative improvements can seem magnified" — improvements are capped at
+/// `1/FRACTION_FLOOR` = 50x, comfortably above the paper's largest 13.8x).
+pub const FRACTION_FLOOR: f64 = 0.02;
+
+/// Fraction of optimal computed on the traceless part of the objective:
+/// identity terms contribute a constant that no mitigation can affect, so
+/// both energies are shifted by `identity_offset` before normalizing.
+/// With a zero offset this equals [`fraction_of_optimal`].
+///
+/// # Panics
+///
+/// Panics when the adjusted optimum is non-negative.
+pub fn fraction_of_optimal_adjusted(energy: f64, e0: f64, identity_offset: f64) -> f64 {
+    fraction_of_optimal(energy - identity_offset, e0 - identity_offset)
+}
+
+/// [`improvement_rel_baseline`] on the traceless part of the objective.
+///
+/// # Panics
+///
+/// Panics when the adjusted optimum is non-negative.
+pub fn improvement_rel_baseline_adjusted(
+    energy: f64,
+    baseline_energy: f64,
+    e0: f64,
+    identity_offset: f64,
+) -> f64 {
+    improvement_rel_baseline(
+        energy - identity_offset,
+        baseline_energy - identity_offset,
+        e0 - identity_offset,
+    )
+}
+
+/// Fraction of the simulated optimal achieved: `E / E0` for ground energy
+/// `E0 < 0`, clamped to `[0, 1]` (energies above zero score 0).
+///
+/// # Panics
+///
+/// Panics when `e0 >= 0` — the paper's benchmarks all have negative optima.
+pub fn fraction_of_optimal(energy: f64, e0: f64) -> f64 {
+    assert!(e0 < 0.0, "ground energy must be negative, got {e0}");
+    (energy / e0).clamp(0.0, 1.0)
+}
+
+/// Fig. 12 metric: improvement of `energy` over `baseline_energy`, both
+/// normalized by the optimal `e0`. Values above 1 mean the method found a
+/// lower (better) energy than the baseline.
+///
+/// # Panics
+///
+/// Panics when `e0 >= 0`.
+pub fn improvement_rel_baseline(energy: f64, baseline_energy: f64, e0: f64) -> f64 {
+    let f_m = fraction_of_optimal(energy, e0).max(FRACTION_FLOOR);
+    let f_b = fraction_of_optimal(baseline_energy, e0).max(FRACTION_FLOOR);
+    f_m / f_b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraction_of_optimal_basics() {
+        assert!((fraction_of_optimal(-5.0, -10.0) - 0.5).abs() < 1e-12);
+        assert!((fraction_of_optimal(-10.0, -10.0) - 1.0).abs() < 1e-12);
+        // Better than optimal is impossible physically; clamp at 1.
+        assert_eq!(fraction_of_optimal(-11.0, -10.0), 1.0);
+        // Positive measured energy scores zero.
+        assert_eq!(fraction_of_optimal(2.0, -10.0), 0.0);
+    }
+
+    #[test]
+    fn improvement_ratios() {
+        // Method reaches 50% of optimal, baseline 25%: 2x improvement.
+        assert!((improvement_rel_baseline(-5.0, -2.5, -10.0) - 2.0).abs() < 1e-12);
+        // Identical energies: 1x.
+        assert!((improvement_rel_baseline(-4.0, -4.0, -10.0) - 1.0).abs() < 1e-12);
+        // Method worse than baseline: below 1.
+        assert!(improvement_rel_baseline(-2.0, -4.0, -10.0) < 1.0);
+    }
+
+    #[test]
+    fn floor_guards_tiny_baselines() {
+        // Baseline at ~0 of optimal: ratio is bounded by 1/FRACTION_FLOOR.
+        let imp = improvement_rel_baseline(-10.0, 1e-9, -10.0);
+        assert!(imp <= 1.0 / FRACTION_FLOOR + 1e-9);
+        assert!(imp >= 1.0);
+    }
+
+    #[test]
+    fn offset_adjustment_removes_constant_shift() {
+        // H = -4 I + (traceless part with optimum -1): optimum -5.
+        // Method reaches -4.5, baseline -4.25: on raw energies both look
+        // like ~85-90% of optimal; on the traceless part they are 50% and
+        // 25% — a 2x improvement.
+        let imp = improvement_rel_baseline_adjusted(-4.5, -4.25, -5.0, -4.0);
+        assert!((imp - 2.0).abs() < 1e-9, "{imp}");
+        let f = fraction_of_optimal_adjusted(-4.5, -5.0, -4.0);
+        assert!((f - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn positive_optimum_rejected() {
+        let _ = fraction_of_optimal(-1.0, 1.0);
+    }
+}

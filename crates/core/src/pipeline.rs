@@ -1,0 +1,420 @@
+//! The end-to-end VAQEM pipeline (paper Fig. 11, feasible flow).
+//!
+//! Phase (a): tune ansatz angles with SPSA against the noise-free objective
+//! (the paper shows simulation-found minima transfer to the machine,
+//! Fig. 8). Phase (b): tune error mitigation per idle window on the
+//! machine, then evaluate every comparison strategy of §VII-B:
+//!
+//! * `No-EM` — ALAP scheduling, no DD, no MEM (worst case),
+//! * `Baseline/MEM` — ALAP + measurement error mitigation,
+//! * `DD (XX | XY4)` — one uniform DD round per window, MEM on,
+//! * `VAQEM: GS | XX | XY | GS+XY` — variationally tuned mitigation, MEM on.
+
+use crate::backend::QuantumBackend;
+use crate::error::VaqemError;
+use crate::metrics;
+use crate::vqe::VqeProblem;
+use crate::window_tuner::{TunedMitigation, WindowTuner, WindowTunerConfig};
+use vaqem_device::noise::NoiseParameters;
+use vaqem_mathkit::rng::SeedStream;
+use vaqem_mitigation::combined::MitigationConfig;
+use vaqem_mitigation::dd::{DdPass, DdSequence};
+use vaqem_optim::spsa::{self, SpsaConfig};
+
+/// The evaluation strategies of §VII-B.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// No mitigation at all.
+    NoEm,
+    /// Measurement error mitigation only (the baseline of Fig. 12).
+    MemBaseline,
+    /// One uniform round of XX DD per window (+ MEM).
+    DdXx,
+    /// One uniform round of XY4 DD per window (+ MEM).
+    DdXy,
+    /// VAQEM-tuned gate scheduling (+ MEM).
+    VaqemGs,
+    /// VAQEM-tuned XX repetition counts (+ MEM).
+    VaqemXx,
+    /// VAQEM-tuned XY4 repetition counts (+ MEM).
+    VaqemXy,
+    /// VAQEM-tuned GS then XY4 (+ MEM) — the headline configuration.
+    VaqemGsXy,
+}
+
+impl Strategy {
+    /// All strategies in Fig. 12 presentation order.
+    pub const ALL: [Strategy; 8] = [
+        Strategy::NoEm,
+        Strategy::MemBaseline,
+        Strategy::VaqemGs,
+        Strategy::DdXy,
+        Strategy::VaqemXy,
+        Strategy::DdXx,
+        Strategy::VaqemXx,
+        Strategy::VaqemGsXy,
+    ];
+
+    /// Display label matching the paper's legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            Strategy::NoEm => "No-EM",
+            Strategy::MemBaseline => "MEM (Base)",
+            Strategy::DdXx => "XX",
+            Strategy::DdXy => "XY",
+            Strategy::VaqemGs => "VAQEM: GS",
+            Strategy::VaqemXx => "VAQEM: XX",
+            Strategy::VaqemXy => "VAQEM: XY",
+            Strategy::VaqemGsXy => "VAQEM: GS+XY",
+        }
+    }
+
+    /// Returns `true` for strategies that require the per-window tuner.
+    pub fn is_vaqem(self) -> bool {
+        matches!(
+            self,
+            Strategy::VaqemGs | Strategy::VaqemXx | Strategy::VaqemXy | Strategy::VaqemGsXy
+        )
+    }
+}
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineConfig {
+    /// SPSA settings for angle tuning.
+    pub spsa: SpsaConfig,
+    /// Shots per machine execution.
+    pub shots: u64,
+    /// Per-window sweep resolution.
+    pub sweep_resolution: usize,
+    /// Cap on DD repetitions per window.
+    pub max_repetitions: usize,
+    /// Root seed stream.
+    pub seeds: SeedStream,
+    /// Number of repeated final evaluations averaged per strategy.
+    pub eval_repeats: usize,
+}
+
+impl PipelineConfig {
+    /// Paper-scale settings (expensive; the bench binaries use this).
+    pub fn paper_scale() -> Self {
+        PipelineConfig {
+            spsa: SpsaConfig::paper_default(),
+            shots: 2048,
+            sweep_resolution: 6,
+            max_repetitions: 24,
+            seeds: SeedStream::default(),
+            eval_repeats: 3,
+        }
+    }
+
+    /// Reduced settings for tests and quick runs.
+    pub fn quick() -> Self {
+        PipelineConfig {
+            spsa: SpsaConfig::paper_default().with_iterations(60),
+            shots: 256,
+            sweep_resolution: 3,
+            max_repetitions: 6,
+            seeds: SeedStream::new(2024),
+            eval_repeats: 1,
+        }
+    }
+}
+
+/// Result of evaluating one strategy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StrategyResult {
+    /// The strategy.
+    pub strategy: Strategy,
+    /// Mean measured energy over `eval_repeats` evaluations.
+    pub energy: f64,
+    /// Fraction of the simulated optimal (Fig. 13).
+    pub fraction_of_optimal: f64,
+    /// Improvement relative to the MEM baseline (Fig. 12).
+    pub rel_baseline: f64,
+    /// The mitigation configuration used.
+    pub config: MitigationConfig,
+    /// Machine evaluations spent tuning this strategy (0 for non-VAQEM).
+    pub tuning_evaluations: usize,
+}
+
+/// Complete result of one benchmark run through the pipeline.
+#[derive(Debug, Clone)]
+pub struct BenchmarkRun {
+    /// Benchmark label.
+    pub label: String,
+    /// Exact ground energy (simulated optimal).
+    pub exact_ground: f64,
+    /// Ideal (noise-free) energy at the tuned angles.
+    pub ideal_tuned_energy: f64,
+    /// Tuned angle parameters.
+    pub tuned_params: Vec<f64>,
+    /// SPSA convergence trace (Fig. 8 upper panel).
+    pub angle_trace: Vec<f64>,
+    /// Per-strategy outcomes.
+    pub results: Vec<StrategyResult>,
+    /// The GS+DD tuning detail for Fig. 14, when run.
+    pub combined_tuning: Option<TunedMitigation>,
+}
+
+impl BenchmarkRun {
+    /// The result for one strategy, if evaluated.
+    pub fn result(&self, strategy: Strategy) -> Option<&StrategyResult> {
+        self.results.iter().find(|r| r.strategy == strategy)
+    }
+}
+
+/// Phase (a): SPSA angle tuning against the ideal objective.
+///
+/// Returns `(best_params, trace)`.
+///
+/// # Errors
+///
+/// Propagates objective errors.
+pub fn tune_angles(
+    problem: &VqeProblem,
+    spsa_config: &SpsaConfig,
+    seeds: &SeedStream,
+) -> Result<(Vec<f64>, Vec<f64>), VaqemError> {
+    let mut rng = seeds.rng("angle-init");
+    use rand::Rng;
+    let initial: Vec<f64> = (0..problem.num_params())
+        .map(|_| rng.gen_range(-0.5..0.5))
+        .collect();
+    let result = spsa::minimize(
+        |params| problem.ideal_energy(params).expect("valid parameter vector"),
+        &initial,
+        spsa_config,
+        &seeds.substream("angle-spsa"),
+    );
+    Ok((result.best_params, result.trace))
+}
+
+/// Runs the full pipeline for one problem on one noise environment,
+/// evaluating `strategies`.
+///
+/// # Errors
+///
+/// Propagates tuning and evaluation errors.
+pub fn run_pipeline(
+    problem: &VqeProblem,
+    noise: &NoiseParameters,
+    config: &PipelineConfig,
+    strategies: &[Strategy],
+) -> Result<BenchmarkRun, VaqemError> {
+    // Phase (a): angle tuning on the ideal simulator.
+    let (params, angle_trace) = tune_angles(problem, &config.spsa, &config.seeds)?;
+    let ideal_tuned_energy = problem.ideal_energy(&params)?;
+    let exact_ground = problem.exact_ground_energy();
+    // Metrics are computed on the traceless part: identity terms are a
+    // constant no mitigation can touch (see metrics module docs).
+    let identity_offset = problem.hamiltonian().identity_offset();
+
+    // Machine backends: MEM-calibrated and raw.
+    let mut backend = QuantumBackend::new(noise.clone(), config.seeds.substream("machine"))
+        .with_shots(config.shots);
+    backend.calibrate_mem();
+    let mut backend_no_mem = backend.clone();
+    backend_no_mem.clear_mem();
+
+    // Shared tuned configurations (computed lazily, reused across
+    // strategies that need them).
+    let mut tuned_gs: Option<TunedMitigation> = None;
+    let mut tuned_xx: Option<TunedMitigation> = None;
+    let mut tuned_xy: Option<TunedMitigation> = None;
+    let mut tuned_combined: Option<TunedMitigation> = None;
+
+    let tuner_config = |seq: DdSequence| WindowTunerConfig {
+        sweep_resolution: config.sweep_resolution,
+        dd_sequence: seq,
+        max_repetitions: config.max_repetitions,
+    };
+
+    let mut results = Vec::with_capacity(strategies.len());
+    let mut baseline_energy: Option<f64> = None;
+
+    for &strategy in strategies {
+        let (be, cfg, tuning_evals): (&QuantumBackend, MitigationConfig, usize) = match strategy {
+            Strategy::NoEm => (&backend_no_mem, MitigationConfig::baseline(), 0),
+            Strategy::MemBaseline => (&backend, MitigationConfig::baseline(), 0),
+            Strategy::DdXx => (
+                &backend,
+                uniform_dd_config(problem, &backend, &params, DdSequence::Xx)?,
+                0,
+            ),
+            Strategy::DdXy => (
+                &backend,
+                uniform_dd_config(problem, &backend, &params, DdSequence::Xy4)?,
+                0,
+            ),
+            Strategy::VaqemGs => {
+                if tuned_gs.is_none() {
+                    let tuner = WindowTuner::new(problem, &backend, tuner_config(DdSequence::Xy4));
+                    tuned_gs = Some(tuner.tune_gs(&params)?);
+                }
+                let t = tuned_gs.as_ref().expect("just set");
+                (&backend, t.config.clone(), t.evaluations)
+            }
+            Strategy::VaqemXx => {
+                if tuned_xx.is_none() {
+                    let tuner = WindowTuner::new(problem, &backend, tuner_config(DdSequence::Xx));
+                    tuned_xx = Some(tuner.tune_dd(&params)?);
+                }
+                let t = tuned_xx.as_ref().expect("just set");
+                (&backend, t.config.clone(), t.evaluations)
+            }
+            Strategy::VaqemXy => {
+                if tuned_xy.is_none() {
+                    let tuner = WindowTuner::new(problem, &backend, tuner_config(DdSequence::Xy4));
+                    tuned_xy = Some(tuner.tune_dd(&params)?);
+                }
+                let t = tuned_xy.as_ref().expect("just set");
+                (&backend, t.config.clone(), t.evaluations)
+            }
+            Strategy::VaqemGsXy => {
+                if tuned_combined.is_none() {
+                    let tuner = WindowTuner::new(problem, &backend, tuner_config(DdSequence::Xy4));
+                    tuned_combined = Some(tuner.tune_combined(&params)?);
+                }
+                let t = tuned_combined.as_ref().expect("just set");
+                (&backend, t.config.clone(), t.evaluations)
+            }
+        };
+
+        // Final evaluation: average over repeats with fresh job indices.
+        let mut acc = 0.0;
+        for r in 0..config.eval_repeats.max(1) {
+            acc += problem.machine_energy(be, &params, &cfg, 500_000 + r as u64)?;
+        }
+        let energy = acc / config.eval_repeats.max(1) as f64;
+        if strategy == Strategy::MemBaseline {
+            baseline_energy = Some(energy);
+        }
+        results.push(StrategyResult {
+            strategy,
+            energy,
+            fraction_of_optimal: metrics::fraction_of_optimal_adjusted(
+                energy,
+                exact_ground,
+                identity_offset,
+            ),
+            rel_baseline: 1.0, // filled below once the baseline is known
+            config: cfg,
+            tuning_evaluations: tuning_evals,
+        });
+    }
+
+    // Fill Fig. 12 ratios.
+    if let Some(base) = baseline_energy {
+        for r in results.iter_mut() {
+            r.rel_baseline = metrics::improvement_rel_baseline_adjusted(
+                r.energy,
+                base,
+                exact_ground,
+                identity_offset,
+            );
+        }
+    }
+
+    Ok(BenchmarkRun {
+        label: problem.label().to_string(),
+        exact_ground,
+        ideal_tuned_energy,
+        tuned_params: params,
+        angle_trace,
+        results,
+        combined_tuning: tuned_combined,
+    })
+}
+
+/// The naive DD comparison: one repetition in every window (§VII-B: "a
+/// single round / sequence of DD within the idle windows").
+fn uniform_dd_config(
+    problem: &VqeProblem,
+    backend: &QuantumBackend,
+    params: &[f64],
+    sequence: DdSequence,
+) -> Result<MitigationConfig, VaqemError> {
+    let circuits = problem.bound_measurement_circuits(params)?;
+    let qc = circuits.into_iter().next().ok_or_else(|| VaqemError::Config {
+        message: "no measurement groups".into(),
+    })?;
+    let scheduled = backend.schedule(&qc)?;
+    let pulse = backend.durations().single_qubit_ns();
+    let n = DdPass::new(sequence, pulse, pulse).windows(&scheduled).len();
+    Ok(MitigationConfig::dynamical_decoupling(sequence, vec![1; n]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vaqem_ansatz::su2::{EfficientSu2, Entanglement};
+    use vaqem_pauli::models::tfim_paper;
+
+    fn tiny_problem() -> VqeProblem {
+        let ansatz = EfficientSu2::new(2, 1, Entanglement::Linear).circuit().unwrap();
+        VqeProblem::new("tiny", tfim_paper(2), ansatz).unwrap()
+    }
+
+    #[test]
+    fn angle_tuning_converges_toward_ground() {
+        let p = tiny_problem();
+        let cfg = SpsaConfig::paper_default().with_iterations(150);
+        let (params, trace) = tune_angles(&p, &cfg, &SeedStream::new(31)).unwrap();
+        let e = p.ideal_energy(&params).unwrap();
+        let e0 = p.exact_ground_energy();
+        assert!(e >= e0 - 1e-9, "variational bound");
+        // Within 15% of ground for a 2-qubit TFIM.
+        assert!(
+            (e - e0).abs() < 0.15 * e0.abs(),
+            "tuned {e} vs ground {e0}"
+        );
+        assert_eq!(trace.len(), 150);
+    }
+
+    #[test]
+    fn pipeline_produces_all_requested_strategies() {
+        let p = tiny_problem();
+        let noise = vaqem_device::noise::NoiseParameters::uniform(2);
+        let cfg = PipelineConfig::quick();
+        let strategies = [Strategy::NoEm, Strategy::MemBaseline, Strategy::DdXx];
+        let run = run_pipeline(&p, &noise, &cfg, &strategies).unwrap();
+        assert_eq!(run.results.len(), 3);
+        assert!(run.result(Strategy::MemBaseline).is_some());
+        assert!(run.result(Strategy::VaqemGsXy).is_none());
+        for r in &run.results {
+            assert!(r.energy.is_finite());
+            assert!((0.0..=1.0).contains(&r.fraction_of_optimal));
+        }
+    }
+
+    #[test]
+    fn vaqem_strategy_runs_and_is_sound() {
+        let p = tiny_problem();
+        let noise = vaqem_device::noise::NoiseParameters::uniform(2);
+        let cfg = PipelineConfig::quick();
+        let run = run_pipeline(
+            &p,
+            &noise,
+            &cfg,
+            &[Strategy::MemBaseline, Strategy::VaqemXx],
+        )
+        .unwrap();
+        let vaqem = run.result(Strategy::VaqemXx).unwrap();
+        // Soundness: measured energy never meaningfully below the optimum.
+        assert!(crate::soundness::measured_energy_is_sound(
+            vaqem.energy,
+            run.exact_ground,
+            0.5
+        ));
+        assert!(vaqem.rel_baseline > 0.0);
+    }
+
+    #[test]
+    fn strategy_labels_match_paper() {
+        assert_eq!(Strategy::VaqemGsXy.label(), "VAQEM: GS+XY");
+        assert_eq!(Strategy::MemBaseline.label(), "MEM (Base)");
+        assert!(Strategy::VaqemXy.is_vaqem());
+        assert!(!Strategy::DdXy.is_vaqem());
+    }
+}

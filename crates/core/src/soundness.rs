@@ -1,0 +1,141 @@
+//! Soundness of variational error-mitigation tuning (paper §V).
+//!
+//! The paper proves the tuned objective can never beat the true optimum:
+//!
+//! * **Property 1 (pure states)** — `<phi|H|phi> >= E0` for every state,
+//!   with equality only at the ground state (the variational principle).
+//! * **Property 2 (mixed states)** — `Tr[H rho] >= E0`: by the spectral
+//!   theorem a mixed state is a convex mixture of pure states, so tuning
+//!   non-unitary knobs cannot "cheat" below the bound either.
+//!
+//! These checks are used as assertions in the pipeline and exercised by
+//! property tests over random Hamiltonians, states, and noise channels.
+
+use vaqem_mathkit::complex::Complex64;
+use vaqem_mathkit::eigen;
+use vaqem_mathkit::matrix::CMatrix;
+
+/// Numerical slack for soundness comparisons.
+pub const SOUNDNESS_TOL: f64 = 1e-8;
+
+/// Property 1: checks `<phi|H|phi> >= E0 - tol` for a normalized state.
+///
+/// Returns the expectation value.
+///
+/// # Panics
+///
+/// Panics if dimensions mismatch or the bound is violated beyond
+/// [`SOUNDNESS_TOL`] — a violation indicates a broken Hamiltonian or
+/// simulator, never a legitimate tuning outcome.
+pub fn assert_pure_state_bound(h: &CMatrix, phi: &[Complex64], e0: f64) -> f64 {
+    assert_eq!(h.rows(), phi.len(), "dimension mismatch");
+    let norm = CMatrix::vec_norm(phi);
+    assert!((norm - 1.0).abs() < 1e-6, "state must be normalized");
+    let hv = h.mul_vec(phi);
+    let e = CMatrix::vec_inner(phi, &hv).re;
+    assert!(
+        e >= e0 - SOUNDNESS_TOL,
+        "pure-state variational bound violated: {e} < {e0}"
+    );
+    e
+}
+
+/// Property 2: checks `Tr[H rho] >= E0 - tol` for a density matrix.
+///
+/// Returns the mixed-state energy.
+///
+/// # Panics
+///
+/// Panics if `rho` is not trace-one/Hermitian, or on a bound violation.
+pub fn assert_mixed_state_bound(h: &CMatrix, rho: &CMatrix, e0: f64) -> f64 {
+    assert!(rho.is_hermitian(1e-7), "density matrix must be Hermitian");
+    assert!(rho.is_trace_one(1e-6), "density matrix must have unit trace");
+    let e = (rho * h).trace().re;
+    assert!(
+        e >= e0 - SOUNDNESS_TOL,
+        "mixed-state variational bound violated: {e} < {e0}"
+    );
+    e
+}
+
+/// Convenience: the exact ground energy of `h` (delegates to the
+/// eigensolver).
+pub fn ground_energy(h: &CMatrix) -> f64 {
+    eigen::ground_state_energy(h)
+}
+
+/// Checks that an energy *measured on the machine* respects the bound
+/// within statistical tolerance. Shot noise and readout error can push a
+/// count-estimated `<H>` slightly below `E0`; `statistical_tol` should be a
+/// few standard errors of the estimator.
+pub fn measured_energy_is_sound(measured: f64, e0: f64, statistical_tol: f64) -> bool {
+    measured >= e0 - statistical_tol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vaqem_mathkit::c64;
+    use vaqem_mathkit::matrix::gates2x2;
+
+    fn pauli_z_h() -> CMatrix {
+        gates2x2::pauli_z()
+    }
+
+    #[test]
+    fn pure_bound_holds_for_basis_states() {
+        let h = pauli_z_h();
+        let e0 = ground_energy(&h);
+        assert!((e0 + 1.0).abs() < 1e-10);
+        let zero = vec![Complex64::ONE, Complex64::ZERO];
+        let one = vec![Complex64::ZERO, Complex64::ONE];
+        assert!((assert_pure_state_bound(&h, &zero, e0) - 1.0).abs() < 1e-10);
+        assert!((assert_pure_state_bound(&h, &one, e0) + 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn pure_bound_equality_only_at_ground_state() {
+        let h = pauli_z_h();
+        let e0 = ground_energy(&h);
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        let plus = vec![c64(s, 0.0), c64(s, 0.0)];
+        let e = assert_pure_state_bound(&h, &plus, e0);
+        assert!(e > e0 + 0.5, "superposition strictly above ground: {e}");
+    }
+
+    #[test]
+    fn mixed_bound_for_maximally_mixed_state() {
+        let h = pauli_z_h();
+        let e0 = ground_energy(&h);
+        let rho = CMatrix::identity(2).scale(c64(0.5, 0.0));
+        let e = assert_mixed_state_bound(&h, &rho, e0);
+        assert!(e.abs() < 1e-12, "maximally mixed <Z> = 0: {e}");
+    }
+
+    #[test]
+    fn mixed_bound_equality_at_pure_ground_state() {
+        let h = pauli_z_h();
+        let e0 = ground_energy(&h);
+        let ground = vec![Complex64::ZERO, Complex64::ONE];
+        let rho = CMatrix::vec_outer(&ground, &ground);
+        let e = assert_mixed_state_bound(&h, &rho, e0);
+        assert!((e - e0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "variational bound violated")]
+    fn violation_is_caught() {
+        // Claim a fake (too-high) ground energy; a legitimate state then
+        // "violates" it, and the check must fire.
+        let h = pauli_z_h();
+        let one = vec![Complex64::ZERO, Complex64::ONE];
+        let _ = assert_pure_state_bound(&h, &one, 0.5);
+    }
+
+    #[test]
+    fn measured_energy_tolerance() {
+        assert!(measured_energy_is_sound(-0.99, -1.0, 0.05));
+        assert!(measured_energy_is_sound(-1.02, -1.0, 0.05));
+        assert!(!measured_energy_is_sound(-1.2, -1.0, 0.05));
+    }
+}

@@ -1,0 +1,429 @@
+//! The independent per-window error-mitigation tuner (paper §VI-C).
+//!
+//! The paper's feasible flow tunes each idle window *independently*: sweep
+//! the window's mitigation parameter (DD repetition count, or gate
+//! position) while all other windows stay at baseline, measure the VQA
+//! objective on the machine for every sweep point, keep the best value, and
+//! finally combine the per-window optima. Independence is justified because
+//! the techniques only add/move single-qubit gates, whose crosstalk is
+//! minimal (§VI-C). The tuner also implements the coordinated "GS+DD" mode
+//! of §VIII-A: gate positions are tuned first, then DD fills the re-derived
+//! windows.
+
+use crate::backend::QuantumBackend;
+use crate::error::VaqemError;
+use crate::vqe::VqeProblem;
+use vaqem_mitigation::combined::MitigationConfig;
+use vaqem_mitigation::dd::{DdPass, DdSequence};
+use vaqem_mitigation::scheduling::GsPass;
+use vaqem_optim::sweep::{integer_candidates, position_candidates, sweep_minimize};
+
+/// Configuration of the per-window tuner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowTunerConfig {
+    /// Sweep points per window (paper §VI-C: resolution is resource-bound).
+    pub sweep_resolution: usize,
+    /// DD sequence to insert.
+    pub dd_sequence: DdSequence,
+    /// Cap on repetitions per window, bounding tuning cost.
+    pub max_repetitions: usize,
+}
+
+impl Default for WindowTunerConfig {
+    fn default() -> Self {
+        WindowTunerConfig {
+            sweep_resolution: 6,
+            dd_sequence: DdSequence::Xy4,
+            max_repetitions: 24,
+        }
+    }
+}
+
+/// One window's tuning outcome — the data behind the paper's Fig. 14.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowChoice {
+    /// Window index in canonical order.
+    pub window: usize,
+    /// Qubit the window sits on.
+    pub qubit: usize,
+    /// Chosen value as a fraction of the window's maximum (DD: reps/max,
+    /// GS: the position fraction itself).
+    pub fraction_of_max: f64,
+    /// The chosen raw value (repetition count or position).
+    pub value: f64,
+    /// Objective at the chosen value.
+    pub objective: f64,
+}
+
+/// Result of a tuning run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TunedMitigation {
+    /// The combined best configuration.
+    pub config: MitigationConfig,
+    /// Gate-position choices (empty unless GS was tuned).
+    pub gs_choices: Vec<WindowChoice>,
+    /// DD repetition choices (empty unless DD was tuned).
+    pub dd_choices: Vec<WindowChoice>,
+    /// Machine objective evaluations spent.
+    pub evaluations: usize,
+}
+
+/// The VAQEM per-window tuner.
+#[derive(Debug)]
+pub struct WindowTuner<'a> {
+    problem: &'a VqeProblem,
+    backend: &'a QuantumBackend,
+    config: WindowTunerConfig,
+}
+
+impl<'a> WindowTuner<'a> {
+    /// Creates a tuner for a problem on a backend.
+    pub fn new(problem: &'a VqeProblem, backend: &'a QuantumBackend, config: WindowTunerConfig) -> Self {
+        WindowTuner {
+            problem,
+            backend,
+            config,
+        }
+    }
+
+    /// Canonical scheduled circuit used for window enumeration: the bound
+    /// ansatz with the first measurement group's suffix, under `base`.
+    fn canonical_schedule(
+        &self,
+        params: &[f64],
+        base: &MitigationConfig,
+    ) -> Result<vaqem_circuit::schedule::ScheduledCircuit, VaqemError> {
+        let circuits = self.problem.bound_measurement_circuits(params)?;
+        let qc = circuits.into_iter().next().ok_or_else(|| VaqemError::Config {
+            message: "hamiltonian has no measurement groups".into(),
+        })?;
+        let scheduled = self.backend.schedule(&qc)?;
+        let pulse = self.backend.durations().single_qubit_ns();
+        Ok(base.apply(&scheduled, pulse, pulse))
+    }
+
+    /// Averaged machine evaluation used by the acceptance guard.
+    fn guard_eval(
+        &self,
+        params: &[f64],
+        cfg: &MitigationConfig,
+        job_base: u64,
+    ) -> Result<f64, VaqemError> {
+        let a = self.problem.machine_energy(self.backend, params, cfg, job_base)?;
+        let b = self
+            .problem
+            .machine_energy(self.backend, params, cfg, job_base + 1)?;
+        Ok(0.5 * (a + b))
+    }
+
+    /// Acceptance guard (paper §IX-C: destructive interference is "weeded
+    /// out by the tuning logic"): keeps `tuned` only if it measures at
+    /// least as well as `base` on fresh evaluations.
+    fn accept_or_revert(
+        &self,
+        params: &[f64],
+        base: &MitigationConfig,
+        tuned: MitigationConfig,
+        job_base: u64,
+        evaluations: &mut usize,
+    ) -> Result<MitigationConfig, VaqemError> {
+        let e_tuned = self.guard_eval(params, &tuned, job_base)?;
+        let e_base = self.guard_eval(params, base, job_base + 2)?;
+        *evaluations += 4;
+        if e_tuned <= e_base {
+            Ok(tuned)
+        } else {
+            Ok(base.clone())
+        }
+    }
+
+    /// Tunes DD repetition counts per window (the paper's "VAQEM: XY/XX").
+    ///
+    /// # Errors
+    ///
+    /// Propagates objective-evaluation errors.
+    pub fn tune_dd(&self, params: &[f64]) -> Result<TunedMitigation, VaqemError> {
+        self.tune_dd_on_top(params, &MitigationConfig::baseline())
+    }
+
+    /// Tunes gate positions per movable window (the paper's "VAQEM: GS").
+    ///
+    /// # Errors
+    ///
+    /// Propagates objective-evaluation errors.
+    pub fn tune_gs(&self, params: &[f64]) -> Result<TunedMitigation, VaqemError> {
+        let pulse = self.backend.durations().single_qubit_ns();
+        let scheduled = self.canonical_schedule(params, &MitigationConfig::baseline())?;
+        let gs = GsPass::new(pulse);
+        let windows = gs.movable_windows(&scheduled);
+        let n = windows.len();
+        let mut positions = vec![1.0f64; n]; // ALAP baseline
+        let mut choices = Vec::with_capacity(n);
+        let mut evaluations = 0usize;
+        let candidates = position_candidates(self.config.sweep_resolution);
+        let mut job = 1u64;
+        for (i, w) in windows.iter().enumerate() {
+            let result = sweep_minimize(&candidates, |&pos| {
+                let mut trial = positions.clone();
+                trial[i] = pos;
+                let cfg = MitigationConfig::gate_scheduling(trial);
+                evaluations += 1;
+                job += 1;
+                self.problem
+                    .machine_energy(self.backend, params, &cfg, job)
+                    .expect("bound parameters evaluate")
+            });
+            positions[i] = result.best_candidate;
+            choices.push(WindowChoice {
+                window: i,
+                qubit: w.qubit,
+                fraction_of_max: result.best_candidate,
+                value: result.best_candidate,
+                objective: result.best_value,
+            });
+        }
+        let tuned = MitigationConfig::gate_scheduling(positions);
+        let config = self.accept_or_revert(
+            params,
+            &MitigationConfig::baseline(),
+            tuned,
+            2_000_000,
+            &mut evaluations,
+        )?;
+        Ok(TunedMitigation {
+            config,
+            gs_choices: choices,
+            dd_choices: Vec::new(),
+            evaluations,
+        })
+    }
+
+    /// Tunes GS first, then DD on the GS-adjusted schedule — the paper's
+    /// coordinated "VAQEM: GS+XY" mode.
+    ///
+    /// # Errors
+    ///
+    /// Propagates objective-evaluation errors.
+    pub fn tune_combined(&self, params: &[f64]) -> Result<TunedMitigation, VaqemError> {
+        let gs = self.tune_gs(params)?;
+        // DD is tuned on top of the (guarded) GS configuration, and the DD
+        // stage's own guard compares against that same configuration — so
+        // the composed result can only improve, stage by stage.
+        let dd = self.tune_dd_on_top(params, &gs.config)?;
+        Ok(TunedMitigation {
+            config: dd.config.clone(),
+            gs_choices: gs.gs_choices,
+            dd_choices: dd.dd_choices,
+            evaluations: gs.evaluations + dd.evaluations,
+        })
+    }
+
+    /// Extension (paper §IX-B): selects the best DD sequence *type* within
+    /// the variational framework. Each candidate sequence is fully
+    /// per-window tuned, then the guard-evaluated best is kept — "different
+    /// DD sequence types can be employed in conjunction" with tuning.
+    ///
+    /// # Errors
+    ///
+    /// Propagates objective-evaluation errors.
+    pub fn tune_dd_best_sequence(
+        &self,
+        params: &[f64],
+        candidates: &[DdSequence],
+    ) -> Result<(DdSequence, TunedMitigation), VaqemError> {
+        assert!(!candidates.is_empty(), "at least one sequence candidate");
+        let mut best: Option<(DdSequence, TunedMitigation, f64)> = None;
+        for (i, &seq) in candidates.iter().enumerate() {
+            let tuner = WindowTuner::new(
+                self.problem,
+                self.backend,
+                WindowTunerConfig {
+                    dd_sequence: seq,
+                    ..self.config.clone()
+                },
+            );
+            let mut tuned = tuner.tune_dd(params)?;
+            let score = self.guard_eval(params, &tuned.config, 4_000_000 + 10 * i as u64)?;
+            tuned.evaluations += 2;
+            match &best {
+                Some((_, _, s)) if *s <= score => {}
+                _ => best = Some((seq, tuned, score)),
+            }
+        }
+        let (seq, tuned, _) = best.expect("non-empty candidates");
+        Ok((seq, tuned))
+    }
+
+    fn tune_dd_on_top(
+        &self,
+        params: &[f64],
+        base: &MitigationConfig,
+    ) -> Result<TunedMitigation, VaqemError> {
+        let pulse = self.backend.durations().single_qubit_ns();
+        let scheduled = self.canonical_schedule(params, base)?;
+        let dd_pass = DdPass::new(self.config.dd_sequence, pulse, pulse);
+        let windows = dd_pass.windows(&scheduled);
+        let n = windows.len();
+        let mut reps = vec![0usize; n];
+        let mut choices = Vec::with_capacity(n);
+        let mut evaluations = 0usize;
+        let mut job = 1_000_000u64;
+        for (i, w) in windows.iter().enumerate() {
+            let max = self
+                .config
+                .dd_sequence
+                .max_repetitions(w, pulse)
+                .min(self.config.max_repetitions);
+            if max == 0 {
+                choices.push(WindowChoice {
+                    window: i,
+                    qubit: w.qubit,
+                    fraction_of_max: 0.0,
+                    value: 0.0,
+                    objective: f64::NAN,
+                });
+                continue;
+            }
+            let candidates = integer_candidates(max, self.config.sweep_resolution);
+            let result = sweep_minimize(&candidates, |&r| {
+                let mut trial = reps.clone();
+                trial[i] = r;
+                let mut cfg = base.clone();
+                cfg.dd_repetitions = trial;
+                cfg.dd_sequence = Some(self.config.dd_sequence);
+                evaluations += 1;
+                job += 1;
+                self.problem
+                    .machine_energy(self.backend, params, &cfg, job)
+                    .expect("bound parameters evaluate")
+            });
+            reps[i] = result.best_candidate;
+            choices.push(WindowChoice {
+                window: i,
+                qubit: w.qubit,
+                fraction_of_max: result.best_candidate as f64 / max as f64,
+                value: result.best_candidate as f64,
+                objective: result.best_value,
+            });
+        }
+        let mut tuned = base.clone();
+        tuned.dd_repetitions = reps;
+        tuned.dd_sequence = Some(self.config.dd_sequence);
+        let config = self.accept_or_revert(params, base, tuned, 3_000_000, &mut evaluations)?;
+        Ok(TunedMitigation {
+            config,
+            gs_choices: Vec::new(),
+            dd_choices: choices,
+            evaluations,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vaqem_ansatz::su2::{EfficientSu2, Entanglement};
+    use vaqem_device::noise::NoiseParameters;
+    use vaqem_mathkit::rng::SeedStream;
+    use vaqem_pauli::models::tfim_paper;
+
+    fn small_problem() -> VqeProblem {
+        // Linear entanglement staggers the CX chain, so the outer qubits
+        // idle while the chain progresses — guaranteeing idle windows.
+        let ansatz = EfficientSu2::new(3, 1, Entanglement::Linear).circuit().unwrap();
+        VqeProblem::new("tiny", tfim_paper(3), ansatz).unwrap()
+    }
+
+    fn small_backend() -> QuantumBackend {
+        QuantumBackend::new(NoiseParameters::uniform(3), SeedStream::new(21)).with_shots(128)
+    }
+
+    fn tiny_config() -> WindowTunerConfig {
+        WindowTunerConfig {
+            sweep_resolution: 3,
+            dd_sequence: DdSequence::Xx,
+            max_repetitions: 4,
+        }
+    }
+
+    #[test]
+    fn dd_tuning_produces_valid_config() {
+        let p = small_problem();
+        let b = small_backend();
+        let tuner = WindowTuner::new(&p, &b, tiny_config());
+        let params = vec![0.3; p.num_params()];
+        let tuned = tuner.tune_dd(&params).unwrap();
+        // Either the tuned DD config was accepted, or the guard reverted to
+        // the baseline (both are valid outcomes under shot noise).
+        if !tuned.config.is_baseline() {
+            assert_eq!(tuned.config.dd_sequence, Some(DdSequence::Xx));
+            assert_eq!(tuned.dd_choices.len(), tuned.config.dd_repetitions.len());
+        }
+        assert!(!tuned.dd_choices.is_empty(), "windows must have been swept");
+        // Tuned config evaluates without error.
+        let e = p
+            .machine_energy(&b, &params, &tuned.config, 9_999)
+            .unwrap();
+        assert!(e.is_finite());
+    }
+
+    #[test]
+    fn tuned_objective_not_worse_than_baseline_in_sweep() {
+        // Within the tuner's own evaluations, the chosen value is minimal by
+        // construction; verify the invariant on the recorded choices.
+        let p = small_problem();
+        let b = small_backend();
+        let tuner = WindowTuner::new(&p, &b, tiny_config());
+        let params = vec![0.3; p.num_params()];
+        let tuned = tuner.tune_dd(&params).unwrap();
+        for c in &tuned.dd_choices {
+            if c.objective.is_nan() {
+                continue;
+            }
+            assert!(c.fraction_of_max >= 0.0 && c.fraction_of_max <= 1.0);
+        }
+        assert!(tuned.evaluations > 0);
+    }
+
+    #[test]
+    fn gs_tuning_only_touches_movable_windows() {
+        let p = small_problem();
+        let b = small_backend();
+        let tuner = WindowTuner::new(&p, &b, tiny_config());
+        let params = vec![0.5; p.num_params()];
+        let tuned = tuner.tune_gs(&params).unwrap();
+        if !tuned.config.is_baseline() {
+            assert_eq!(tuned.gs_choices.len(), tuned.config.gate_positions.len());
+        }
+        for c in &tuned.gs_choices {
+            assert!((0.0..=1.0).contains(&c.value));
+        }
+    }
+
+    #[test]
+    fn sequence_selection_extension_picks_a_candidate() {
+        let p = small_problem();
+        let b = small_backend();
+        let tuner = WindowTuner::new(&p, &b, tiny_config());
+        let params = vec![0.3; p.num_params()];
+        let (seq, tuned) = tuner
+            .tune_dd_best_sequence(&params, &[DdSequence::Xx, DdSequence::Xy4])
+            .unwrap();
+        assert!(matches!(seq, DdSequence::Xx | DdSequence::Xy4));
+        assert!(tuned.evaluations > 0);
+        let e = p.machine_energy(&b, &params, &tuned.config, 8_888).unwrap();
+        assert!(e.is_finite());
+    }
+
+    #[test]
+    fn combined_tuning_composes_both() {
+        let p = small_problem();
+        let b = small_backend();
+        let tuner = WindowTuner::new(&p, &b, tiny_config());
+        let params = vec![0.4; p.num_params()];
+        let tuned = tuner.tune_combined(&params).unwrap();
+        assert!(tuned.evaluations > 0);
+        let e = p.machine_energy(&b, &params, &tuned.config, 7_777).unwrap();
+        assert!(e.is_finite());
+    }
+}

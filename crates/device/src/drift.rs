@@ -1,0 +1,199 @@
+//! Temporal variability: intra-cycle drift and recalibration jumps.
+//!
+//! The paper's Fig. 16 shows the measured objective for *fixed* VQA
+//! parameters wandering by 10-20% of the ideal value over 24 hours, with a
+//! distribution shift at machine recalibration. [`DriftModel`] reproduces
+//! that phenomenology:
+//!
+//! * within a calibration cycle, coherence times and detuning follow a slow
+//!   deterministic random walk (an Ornstein-Uhlenbeck-flavoured multiplier
+//!   sampled from a per-cycle stream), and
+//! * at each recalibration boundary the walk is re-anchored with a fresh
+//!   draw, producing the cluster-to-cluster jumps seen in the figure.
+
+use crate::backend::DeviceModel;
+use crate::noise::NoiseParameters;
+use rand::Rng;
+use vaqem_mathkit::rng::{sample_standard_normal, SeedStream};
+
+/// Deterministic temporal drift generator for a device.
+#[derive(Debug, Clone)]
+pub struct DriftModel {
+    seeds: SeedStream,
+    calibration_period_hours: f64,
+    /// Relative T1/T2 drift amplitude within a cycle.
+    coherence_amplitude: f64,
+    /// Relative detuning-sigma drift amplitude within a cycle.
+    detuning_amplitude: f64,
+    /// Relative jump size applied at recalibration.
+    recalibration_jump: f64,
+}
+
+impl DriftModel {
+    /// Creates a drift model with paper-scale defaults: 12-hour calibration
+    /// cycles, ±15% coherence wander, ±25% detuning wander, and a ±20%
+    /// recalibration jump.
+    pub fn new(seeds: SeedStream) -> Self {
+        DriftModel {
+            seeds,
+            calibration_period_hours: 12.0,
+            coherence_amplitude: 0.15,
+            detuning_amplitude: 0.25,
+            recalibration_jump: 0.20,
+        }
+    }
+
+    /// Overrides the calibration period.
+    pub fn with_calibration_period_hours(mut self, hours: f64) -> Self {
+        assert!(hours > 0.0, "calibration period must be positive");
+        self.calibration_period_hours = hours;
+        self
+    }
+
+    /// Overrides the drift amplitudes `(coherence, detuning, jump)`.
+    pub fn with_amplitudes(mut self, coherence: f64, detuning: f64, jump: f64) -> Self {
+        self.coherence_amplitude = coherence;
+        self.detuning_amplitude = detuning;
+        self.recalibration_jump = jump;
+        self
+    }
+
+    /// Calibration period in hours.
+    pub fn calibration_period_hours(&self) -> f64 {
+        self.calibration_period_hours
+    }
+
+    /// Index of the calibration cycle containing hour `t`.
+    pub fn cycle_index(&self, t_hours: f64) -> u64 {
+        (t_hours / self.calibration_period_hours).floor().max(0.0) as u64
+    }
+
+    /// Returns `true` when `t0` and `t1` fall in different calibration
+    /// cycles — the condition under which the paper observes distribution
+    /// shifts (Fig. 16's pink-to-grey transition).
+    pub fn crosses_recalibration(&self, t0_hours: f64, t1_hours: f64) -> bool {
+        self.cycle_index(t0_hours) != self.cycle_index(t1_hours)
+    }
+
+    /// Noise parameters for `device` as they would be at hour `t_hours`.
+    pub fn noise_at(&self, device: &DeviceModel, t_hours: f64) -> NoiseParameters {
+        let cycle = self.cycle_index(t_hours);
+        let phase = (t_hours / self.calibration_period_hours).fract();
+
+        // Per-cycle anchor: the recalibration jump.
+        let mut anchor_rng = self.seeds.rng_indexed("drift-anchor", cycle);
+        let coherence_anchor =
+            (self.recalibration_jump * sample_standard_normal(&mut anchor_rng)).exp();
+        let detuning_anchor =
+            (self.recalibration_jump * sample_standard_normal(&mut anchor_rng)).exp();
+
+        // Intra-cycle wander: a smooth pseudo-random walk over the cycle,
+        // built from a few Fourier components with per-cycle phases.
+        let mut wander_rng = self.seeds.rng_indexed("drift-wander", cycle);
+        let coherence_wander = smooth_wander(&mut wander_rng, phase, self.coherence_amplitude);
+        let detuning_wander = smooth_wander(&mut wander_rng, phase, self.detuning_amplitude);
+
+        let mut noise = device.noise().clone();
+        noise.scale_coherence(coherence_anchor * coherence_wander);
+        for q in 0..noise.num_qubits() {
+            let qn = noise.qubit_mut(q);
+            qn.quasi_static_sigma_rad_ns *= detuning_anchor * detuning_wander;
+            // Readout drifts with the same anchor but gentler.
+            qn.readout_p10 = (qn.readout_p10 * (2.0 - coherence_anchor).max(0.5)).min(0.3);
+        }
+        noise
+    }
+}
+
+/// A smooth multiplicative wander in `[e^{-3a}, e^{3a}]` roughly, built from
+/// three Fourier modes with random phases.
+fn smooth_wander<R: Rng + ?Sized>(rng: &mut R, phase: f64, amplitude: f64) -> f64 {
+    let mut x = 0.0;
+    for k in 1..=3 {
+        let p: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+        let a: f64 = rng.gen_range(0.3..1.0);
+        x += a * (std::f64::consts::TAU * k as f64 * phase + p).sin() / k as f64;
+    }
+    (amplitude * x).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> DriftModel {
+        DriftModel::new(SeedStream::new(99))
+    }
+
+    #[test]
+    fn drift_is_deterministic() {
+        let d = DeviceModel::ibmq_casablanca();
+        let m = model();
+        let a = m.noise_at(&d, 3.5);
+        let b = m.noise_at(&d, 3.5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn drift_changes_over_time() {
+        let d = DeviceModel::ibmq_casablanca();
+        let m = model();
+        let a = m.noise_at(&d, 1.0);
+        let b = m.noise_at(&d, 7.0);
+        assert_ne!(
+            a.qubit(0).t1_ns,
+            b.qubit(0).t1_ns,
+            "coherence should wander within a cycle"
+        );
+    }
+
+    #[test]
+    fn recalibration_boundaries() {
+        let m = model().with_calibration_period_hours(12.0);
+        assert_eq!(m.cycle_index(0.0), 0);
+        assert_eq!(m.cycle_index(11.9), 0);
+        assert_eq!(m.cycle_index(12.1), 1);
+        assert!(m.crosses_recalibration(11.0, 13.0));
+        assert!(!m.crosses_recalibration(1.0, 11.0));
+    }
+
+    #[test]
+    fn recalibration_jump_is_visible() {
+        let d = DeviceModel::ibmq_casablanca();
+        let m = model();
+        // Compare just before and after the cycle boundary: the anchors
+        // differ, so the change should exceed typical intra-cycle wander
+        // between adjacent samples.
+        let before = m.noise_at(&d, 11.99).qubit(0).t1_ns;
+        let after = m.noise_at(&d, 12.01).qubit(0).t1_ns;
+        let within_a = m.noise_at(&d, 5.00).qubit(0).t1_ns;
+        let within_b = m.noise_at(&d, 5.02).qubit(0).t1_ns;
+        let jump = (after / before - 1.0).abs();
+        let wander = (within_b / within_a - 1.0).abs();
+        assert!(jump > wander, "jump {jump} should exceed wander {wander}");
+    }
+
+    #[test]
+    fn drifted_noise_stays_physical() {
+        let d = DeviceModel::ibmq_casablanca();
+        let m = model();
+        for h in 0..48 {
+            let n = m.noise_at(&d, h as f64 * 0.5);
+            for q in 0..n.num_qubits() {
+                let qn = n.qubit(q);
+                assert!(qn.t1_ns > 0.0);
+                assert!(qn.t2_ns <= 2.0 * qn.t1_ns + 1e-6);
+                assert!(qn.readout_p10 <= 0.3);
+            }
+        }
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let m = model()
+            .with_calibration_period_hours(6.0)
+            .with_amplitudes(0.1, 0.2, 0.3);
+        assert_eq!(m.calibration_period_hours(), 6.0);
+        assert_eq!(m.cycle_index(7.0), 1);
+    }
+}

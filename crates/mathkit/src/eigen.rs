@@ -1,0 +1,349 @@
+//! Hermitian eigensolvers.
+//!
+//! The VAQEM pipeline needs exact ground-state energies of up-to-6-qubit
+//! Hamiltonians (64 x 64 Hermitian matrices) for the "% of simulated optimal"
+//! results (paper Fig. 13) and for the soundness property Tr[H rho] >= E0
+//! (paper Section V). This module implements:
+//!
+//! * a cyclic **Jacobi eigensolver** for real symmetric matrices, and
+//! * a complex Hermitian front-end via the standard real embedding
+//!   `H = A + iB  ->  [[A, -B], [B, A]]`, whose spectrum is that of `H`
+//!   with every eigenvalue doubled.
+//!
+//! Jacobi is quadratically convergent, unconditionally stable, and more than
+//! fast enough at the matrix sizes that appear in NISQ-scale VQE.
+//!
+//! # Examples
+//!
+//! ```
+//! use vaqem_mathkit::eigen::hermitian_eigenvalues;
+//! use vaqem_mathkit::matrix::gates2x2::pauli_z;
+//!
+//! let evals = hermitian_eigenvalues(&pauli_z());
+//! assert!((evals[0] + 1.0).abs() < 1e-10);
+//! assert!((evals[1] - 1.0).abs() < 1e-10);
+//! ```
+
+use crate::complex::Complex64;
+use crate::matrix::CMatrix;
+
+/// Maximum number of Jacobi sweeps before giving up.
+const MAX_SWEEPS: usize = 100;
+
+/// Result of a Hermitian eigendecomposition.
+#[derive(Debug, Clone)]
+pub struct EigenDecomposition {
+    /// Eigenvalues in ascending order.
+    pub values: Vec<f64>,
+    /// Eigenvectors as columns; `vectors[k]` corresponds to `values[k]`.
+    pub vectors: Vec<Vec<Complex64>>,
+}
+
+/// Computes all eigenvalues of a real symmetric matrix (row-major, `n x n`)
+/// using the cyclic Jacobi method. Returns eigenvalues in ascending order.
+///
+/// # Panics
+///
+/// Panics if `a.len() != n * n`.
+pub fn symmetric_eigenvalues(a: &[f64], n: usize) -> Vec<f64> {
+    let (vals, _) = jacobi_symmetric(a, n, false);
+    vals
+}
+
+/// Computes eigenvalues and eigenvectors of a real symmetric matrix.
+///
+/// Returns `(values, vectors)` where `vectors[k]` is the (real) eigenvector
+/// for `values[k]`, and values ascend.
+///
+/// # Panics
+///
+/// Panics if `a.len() != n * n`.
+pub fn symmetric_eigen(a: &[f64], n: usize) -> (Vec<f64>, Vec<Vec<f64>>) {
+    let (vals, vecs) = jacobi_symmetric(a, n, true);
+    (vals, vecs.expect("eigenvectors requested"))
+}
+
+fn jacobi_symmetric(a: &[f64], n: usize, want_vectors: bool) -> (Vec<f64>, Option<Vec<Vec<f64>>>) {
+    assert_eq!(a.len(), n * n, "matrix buffer length mismatch");
+    let mut m = a.to_vec();
+    let mut v = if want_vectors {
+        // Identity accumulator for the rotations.
+        let mut id = vec![0.0; n * n];
+        for i in 0..n {
+            id[i * n + i] = 1.0;
+        }
+        Some(id)
+    } else {
+        None
+    };
+
+    for _sweep in 0..MAX_SWEEPS {
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += m[i * n + j] * m[i * n + j];
+            }
+        }
+        if off.sqrt() < 1e-14 * (1.0 + frob(&m, n)) {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[p * n + q];
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let app = m[p * n + p];
+                let aqq = m[q * n + q];
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    1.0 / (theta - (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+
+                // Apply the rotation G(p, q, theta) on both sides: m = G^T m G.
+                for k in 0..n {
+                    let akp = m[k * n + p];
+                    let akq = m[k * n + q];
+                    m[k * n + p] = c * akp - s * akq;
+                    m[k * n + q] = s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = m[p * n + k];
+                    let aqk = m[q * n + k];
+                    m[p * n + k] = c * apk - s * aqk;
+                    m[q * n + k] = s * apk + c * aqk;
+                }
+                if let Some(vm) = v.as_mut() {
+                    for k in 0..n {
+                        let vkp = vm[k * n + p];
+                        let vkq = vm[k * n + q];
+                        vm[k * n + p] = c * vkp - s * vkq;
+                        vm[k * n + q] = s * vkp + c * vkq;
+                    }
+                }
+            }
+        }
+    }
+
+    let mut order: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| m[i * n + i]).collect();
+    order.sort_by(|&i, &j| diag[i].partial_cmp(&diag[j]).expect("non-NaN eigenvalues"));
+    let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
+    let vectors = v.map(|vm| {
+        order
+            .iter()
+            .map(|&col| (0..n).map(|row| vm[row * n + col]).collect())
+            .collect()
+    });
+    (values, vectors)
+}
+
+fn frob(m: &[f64], n: usize) -> f64 {
+    m.iter().take(n * n).map(|x| x * x).sum::<f64>().sqrt()
+}
+
+/// Computes all eigenvalues of a complex Hermitian matrix, ascending.
+///
+/// Uses the real-symmetric embedding, which doubles each eigenvalue; the
+/// duplicates are collapsed by taking every second entry of the sorted
+/// spectrum.
+///
+/// # Panics
+///
+/// Panics if `h` is not square or not Hermitian to `1e-9`.
+pub fn hermitian_eigenvalues(h: &CMatrix) -> Vec<f64> {
+    let n = check_hermitian(h);
+    let embedded = embed(h, n);
+    let all = symmetric_eigenvalues(&embedded, 2 * n);
+    // Each eigenvalue of H appears exactly twice in the embedding.
+    all.into_iter().step_by(2).collect()
+}
+
+/// Computes eigenvalues and eigenvectors of a complex Hermitian matrix.
+///
+/// # Panics
+///
+/// Panics if `h` is not square or not Hermitian to `1e-9`.
+pub fn hermitian_eigen(h: &CMatrix) -> EigenDecomposition {
+    let n = check_hermitian(h);
+    let embedded = embed(h, n);
+    let (vals, vecs) = symmetric_eigen(&embedded, 2 * n);
+    // Collapse doubled eigenvalues; reconstruct complex eigenvectors from the
+    // real embedding: [x; y] -> x + iy.
+    let mut values = Vec::with_capacity(n);
+    let mut vectors = Vec::with_capacity(n);
+    for k in (0..2 * n).step_by(2) {
+        values.push(vals[k]);
+        let rv = &vecs[k];
+        let mut cv: Vec<Complex64> = (0..n).map(|i| Complex64::new(rv[i], rv[n + i])).collect();
+        let norm = CMatrix::vec_norm(&cv);
+        if norm > 1e-300 {
+            for z in cv.iter_mut() {
+                *z = *z / norm;
+            }
+        }
+        vectors.push(cv);
+    }
+    EigenDecomposition { values, vectors }
+}
+
+/// Smallest eigenvalue of a Hermitian matrix — the exact ground-state energy
+/// when `h` lowers a VQE Hamiltonian.
+///
+/// # Panics
+///
+/// Panics if `h` is not square or not Hermitian to `1e-9`.
+pub fn ground_state_energy(h: &CMatrix) -> f64 {
+    hermitian_eigenvalues(h)[0]
+}
+
+fn check_hermitian(h: &CMatrix) -> usize {
+    assert!(h.is_square(), "eigendecomposition requires a square matrix");
+    assert!(
+        h.is_hermitian(1e-9),
+        "matrix must be Hermitian for a real spectrum"
+    );
+    h.rows()
+}
+
+fn embed(h: &CMatrix, n: usize) -> Vec<f64> {
+    // [[A, -B], [B, A]] for H = A + iB.
+    let mut out = vec![0.0; 4 * n * n];
+    let dim = 2 * n;
+    for i in 0..n {
+        for j in 0..n {
+            let z = h[(i, j)];
+            out[i * dim + j] = z.re;
+            out[i * dim + (j + n)] = -z.im;
+            out[(i + n) * dim + j] = z.im;
+            out[(i + n) * dim + (j + n)] = z.re;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c64;
+    use crate::matrix::gates2x2::{hadamard, pauli_x, pauli_y, pauli_z};
+
+    #[test]
+    fn symmetric_2x2_known_spectrum() {
+        // [[2, 1], [1, 2]] has eigenvalues 1 and 3.
+        let vals = symmetric_eigenvalues(&[2.0, 1.0, 1.0, 2.0], 2);
+        assert!((vals[0] - 1.0).abs() < 1e-10);
+        assert!((vals[1] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn symmetric_eigenvectors_satisfy_definition() {
+        let a = [4.0, 1.0, 0.5, 1.0, 3.0, -0.25, 0.5, -0.25, 1.0];
+        let (vals, vecs) = symmetric_eigen(&a, 3);
+        for (lam, v) in vals.iter().zip(vecs.iter()) {
+            for i in 0..3 {
+                let av: f64 = (0..3).map(|j| a[i * 3 + j] * v[j]).sum();
+                assert!(
+                    (av - lam * v[i]).abs() < 1e-8,
+                    "A v != lambda v: {} vs {}",
+                    av,
+                    lam * v[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pauli_spectra() {
+        for p in [pauli_x(), pauli_y(), pauli_z()] {
+            let vals = hermitian_eigenvalues(&p);
+            assert!((vals[0] + 1.0).abs() < 1e-10, "{vals:?}");
+            assert!((vals[1] - 1.0).abs() < 1e-10, "{vals:?}");
+        }
+    }
+
+    #[test]
+    fn ground_state_of_shifted_z() {
+        // H = Z + 2I has spectrum {1, 3}.
+        let h = &pauli_z() + &CMatrix::identity(2).scale(c64(2.0, 0.0));
+        assert!((ground_state_energy(&h) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn hermitian_eigenvectors_satisfy_definition() {
+        // A genuinely complex Hermitian matrix.
+        let h = CMatrix::from_rows(&[
+            &[c64(1.0, 0.0), c64(0.5, 0.25), c64(0.0, -0.3)],
+            &[c64(0.5, -0.25), c64(-0.5, 0.0), c64(0.2, 0.1)],
+            &[c64(0.0, 0.3), c64(0.2, -0.1), c64(2.0, 0.0)],
+        ]);
+        let dec = hermitian_eigen(&h);
+        for (lam, v) in dec.values.iter().zip(dec.vectors.iter()) {
+            let hv = h.mul_vec(v);
+            for i in 0..3 {
+                let expect = v[i].scale(*lam);
+                assert!(
+                    (hv[i] - expect).norm() < 1e-7,
+                    "H v != lambda v at {i}: {:?} vs {:?}",
+                    hv[i],
+                    expect
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvalues_ascend() {
+        let h = CMatrix::from_rows(&[
+            &[c64(3.0, 0.0), c64(0.0, 1.0)],
+            &[c64(0.0, -1.0), c64(-2.0, 0.0)],
+        ]);
+        let vals = hermitian_eigenvalues(&h);
+        assert!(vals.windows(2).all(|w| w[0] <= w[1] + 1e-12));
+    }
+
+    #[test]
+    fn trace_equals_eigenvalue_sum() {
+        let h = CMatrix::from_rows(&[
+            &[c64(1.5, 0.0), c64(0.3, 0.7), c64(0.0, 0.0), c64(-0.2, 0.1)],
+            &[c64(0.3, -0.7), c64(0.5, 0.0), c64(1.0, 0.0), c64(0.0, 0.0)],
+            &[c64(0.0, 0.0), c64(1.0, 0.0), c64(-1.0, 0.0), c64(0.4, -0.4)],
+            &[c64(-0.2, -0.1), c64(0.0, 0.0), c64(0.4, 0.4), c64(0.25, 0.0)],
+        ]);
+        let vals = hermitian_eigenvalues(&h);
+        let sum: f64 = vals.iter().sum();
+        assert!((sum - h.trace().re).abs() < 1e-8);
+    }
+
+    #[test]
+    fn hadamard_spectrum_is_plus_minus_one() {
+        let vals = hermitian_eigenvalues(&hadamard());
+        assert!((vals[0] + 1.0).abs() < 1e-10);
+        assert!((vals[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn large_diagonal_matrix() {
+        let n = 64;
+        let diag: Vec<Complex64> = (0..n).map(|i| c64(i as f64 - 31.5, 0.0)).collect();
+        let h = CMatrix::from_diagonal(&diag);
+        let vals = hermitian_eigenvalues(&h);
+        assert_eq!(vals.len(), n);
+        assert!((vals[0] + 31.5).abs() < 1e-9);
+        assert!((vals[n - 1] - 31.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "Hermitian")]
+    fn non_hermitian_panics() {
+        let m = CMatrix::from_rows(&[
+            &[c64(0.0, 0.0), c64(1.0, 0.0)],
+            &[c64(0.0, 0.0), c64(0.0, 0.0)],
+        ]);
+        let _ = hermitian_eigenvalues(&m);
+    }
+}

@@ -1,0 +1,147 @@
+//! Small dense real linear algebra: Gauss-Jordan inversion and solves.
+//!
+//! Used by measurement-error mitigation (inverting readout assignment
+//! matrices) and by the runtime cost model's least-squares fits. Matrices
+//! are row-major `Vec<f64>` of size `n*n` — sized for `2^n`-dimensional
+//! readout calibration at NISQ widths.
+
+/// Inverts a row-major `n x n` matrix via Gauss-Jordan with partial
+/// pivoting. Returns `None` when the matrix is singular to working
+/// precision.
+///
+/// # Panics
+///
+/// Panics if `a.len() != n * n`.
+pub fn invert_real(a: &[f64], n: usize) -> Option<Vec<f64>> {
+    assert_eq!(a.len(), n * n, "matrix buffer length mismatch");
+    let mut m = a.to_vec();
+    let mut inv = vec![0.0; n * n];
+    for i in 0..n {
+        inv[i * n + i] = 1.0;
+    }
+    for col in 0..n {
+        // Partial pivot.
+        let mut pivot = col;
+        let mut best = m[col * n + col].abs();
+        for row in (col + 1)..n {
+            let v = m[row * n + col].abs();
+            if v > best {
+                best = v;
+                pivot = row;
+            }
+        }
+        if best < 1e-12 {
+            return None;
+        }
+        if pivot != col {
+            for j in 0..n {
+                m.swap(col * n + j, pivot * n + j);
+                inv.swap(col * n + j, pivot * n + j);
+            }
+        }
+        let d = m[col * n + col];
+        for j in 0..n {
+            m[col * n + j] /= d;
+            inv[col * n + j] /= d;
+        }
+        for row in 0..n {
+            if row == col {
+                continue;
+            }
+            let f = m[row * n + col];
+            if f == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                m[row * n + j] -= f * m[col * n + j];
+                inv[row * n + j] -= f * inv[col * n + j];
+            }
+        }
+    }
+    Some(inv)
+}
+
+/// Solves `A x = b` for square `A`. Returns `None` when singular.
+///
+/// # Panics
+///
+/// Panics on dimension mismatch.
+pub fn solve_real(a: &[f64], b: &[f64], n: usize) -> Option<Vec<f64>> {
+    assert_eq!(b.len(), n, "rhs length mismatch");
+    let inv = invert_real(a, n)?;
+    Some(mat_vec(&inv, b, n))
+}
+
+/// Row-major matrix-vector product.
+///
+/// # Panics
+///
+/// Panics on dimension mismatch.
+pub fn mat_vec(a: &[f64], x: &[f64], n: usize) -> Vec<f64> {
+    assert_eq!(a.len(), n * x.len(), "dimension mismatch");
+    let cols = x.len();
+    (0..n)
+        .map(|i| (0..cols).map(|j| a[i * cols + j] * x[j]).sum())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_inverts_to_itself() {
+        let i3 = vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0];
+        assert_eq!(invert_real(&i3, 3).unwrap(), i3);
+    }
+
+    #[test]
+    fn known_2x2_inverse() {
+        // [[4, 7], [2, 6]]^-1 = [[0.6, -0.7], [-0.2, 0.4]]
+        let inv = invert_real(&[4.0, 7.0, 2.0, 6.0], 2).unwrap();
+        let expect = [0.6, -0.7, -0.2, 0.4];
+        for (a, b) in inv.iter().zip(expect.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn inverse_times_original_is_identity() {
+        let a = vec![2.0, 1.0, 0.5, -1.0, 3.0, 2.0, 0.0, 1.0, -2.0];
+        let inv = invert_real(&a, 3).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                let v: f64 = (0..3).map(|k| inv[i * 3 + k] * a[k * 3 + j]).sum();
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((v - expect).abs() < 1e-10, "({i},{j}) = {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn singular_matrix_returns_none() {
+        let a = vec![1.0, 2.0, 2.0, 4.0];
+        assert!(invert_real(&a, 2).is_none());
+    }
+
+    #[test]
+    fn solve_known_system() {
+        // x + y = 3, x - y = 1 -> x = 2, y = 1.
+        let x = solve_real(&[1.0, 1.0, 1.0, -1.0], &[3.0, 1.0], 2).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn readout_style_stochastic_matrix_inverts() {
+        // A typical assignment matrix is diagonally dominant and invertible.
+        let a = vec![0.98, 0.03, 0.02, 0.97];
+        let inv = invert_real(&a, 2).unwrap();
+        // Applying inverse to the "measured" distribution recovers truth.
+        let truth = [0.7, 0.3];
+        let measured = mat_vec(&a, &truth, 2);
+        let recovered = mat_vec(&inv, &measured, 2);
+        assert!((recovered[0] - 0.7).abs() < 1e-12);
+        assert!((recovered[1] - 0.3).abs() < 1e-12);
+    }
+}

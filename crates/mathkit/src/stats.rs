@@ -1,0 +1,321 @@
+//! Statistics used by the evaluation harness.
+//!
+//! The paper reports results as **Hellinger fidelity** between measured and
+//! ideal count distributions (Figs. 5, 6, 9), **geometric means** of relative
+//! improvements (Fig. 12), and summary statistics over drifting objective
+//! values (Fig. 16). This module implements all of those plus small helpers
+//! (linear spacing, summary accumulators) shared by the bench binaries.
+
+use std::collections::HashMap;
+
+/// Hellinger distance between two discrete probability distributions given as
+/// maps from outcome label to probability.
+///
+/// `H(p, q) = sqrt(1 - sum_i sqrt(p_i q_i))`, in `[0, 1]`.
+///
+/// Outcomes missing from one distribution are treated as probability zero.
+pub fn hellinger_distance(p: &HashMap<String, f64>, q: &HashMap<String, f64>) -> f64 {
+    let bc = bhattacharyya(p, q);
+    (1.0 - bc.min(1.0)).max(0.0).sqrt()
+}
+
+/// Hellinger fidelity `(1 - H^2)^2 = BC^2`, matching
+/// `qiskit.quantum_info.hellinger_fidelity` and the metric used in the paper's
+/// micro-benchmarks (Fig. 6).
+pub fn hellinger_fidelity(p: &HashMap<String, f64>, q: &HashMap<String, f64>) -> f64 {
+    let bc = bhattacharyya(p, q).min(1.0);
+    bc * bc
+}
+
+/// Bhattacharyya coefficient `sum_i sqrt(p_i q_i)`.
+pub fn bhattacharyya(p: &HashMap<String, f64>, q: &HashMap<String, f64>) -> f64 {
+    let mut bc = 0.0;
+    for (k, &pv) in p {
+        if let Some(&qv) = q.get(k) {
+            if pv > 0.0 && qv > 0.0 {
+                bc += (pv * qv).sqrt();
+            }
+        }
+    }
+    bc
+}
+
+/// Normalizes integer counts into a probability distribution.
+///
+/// Returns an empty map when the total count is zero.
+pub fn normalize_counts(counts: &HashMap<String, u64>) -> HashMap<String, f64> {
+    let total: u64 = counts.values().sum();
+    if total == 0 {
+        return HashMap::new();
+    }
+    counts
+        .iter()
+        .map(|(k, &v)| (k.clone(), v as f64 / total as f64))
+        .collect()
+}
+
+/// Geometric mean of strictly positive values, the aggregation the paper uses
+/// for its headline "3.02x over baseline" claim (Fig. 12, last column).
+///
+/// # Panics
+///
+/// Panics if `values` is empty or contains non-positive entries.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geometric mean of empty slice");
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "geometric mean requires positive values, got {v}");
+            v.ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Arithmetic mean. Returns 0 for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Population standard deviation. Returns 0 for slices shorter than 2.
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    (values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64).sqrt()
+}
+
+/// Minimum of a slice; `None` when empty.
+pub fn min(values: &[f64]) -> Option<f64> {
+    values.iter().copied().reduce(f64::min)
+}
+
+/// Maximum of a slice; `None` when empty.
+pub fn max(values: &[f64]) -> Option<f64> {
+    values.iter().copied().reduce(f64::max)
+}
+
+/// `n` evenly spaced points from `start` to `end` inclusive.
+///
+/// # Panics
+///
+/// Panics when `n < 2`.
+pub fn linspace(start: f64, end: f64, n: usize) -> Vec<f64> {
+    assert!(n >= 2, "linspace needs at least two points");
+    let step = (end - start) / (n - 1) as f64;
+    (0..n).map(|i| start + step * i as f64).collect()
+}
+
+/// Online accumulator for mean/variance/min/max (Welford's algorithm).
+///
+/// # Examples
+///
+/// ```
+/// use vaqem_mathkit::stats::Summary;
+/// let mut s = Summary::new();
+/// for v in [1.0, 2.0, 3.0] { s.add(v); }
+/// assert_eq!(s.count(), 3);
+/// assert!((s.mean() - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds an observation.
+    pub fn add(&mut self, v: f64) {
+        self.count += 1;
+        let delta = v - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (v - self.mean);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Running mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (0 when fewer than 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Range `max - min` (0 when empty).
+    pub fn range(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max - self.min
+        }
+    }
+}
+
+impl Extend<f64> for Summary {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for v in iter {
+            self.add(v);
+        }
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = Summary::new();
+        s.extend(iter);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dist(pairs: &[(&str, f64)]) -> HashMap<String, f64> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn hellinger_identical_distributions() {
+        let p = dist(&[("00", 0.5), ("11", 0.5)]);
+        assert!((hellinger_fidelity(&p, &p) - 1.0).abs() < 1e-12);
+        assert!(hellinger_distance(&p, &p) < 1e-12);
+    }
+
+    #[test]
+    fn hellinger_disjoint_distributions() {
+        let p = dist(&[("00", 1.0)]);
+        let q = dist(&[("11", 1.0)]);
+        assert!(hellinger_fidelity(&p, &q) < 1e-12);
+        assert!((hellinger_distance(&p, &q) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hellinger_known_value() {
+        // p = (1, 0), q = (0.5, 0.5): BC = sqrt(0.5), fidelity = 0.5.
+        let p = dist(&[("0", 1.0)]);
+        let q = dist(&[("0", 0.5), ("1", 0.5)]);
+        assert!((hellinger_fidelity(&p, &q) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fidelity_is_symmetric_and_bounded() {
+        let p = dist(&[("a", 0.2), ("b", 0.3), ("c", 0.5)]);
+        let q = dist(&[("a", 0.4), ("b", 0.4), ("c", 0.2)]);
+        let f1 = hellinger_fidelity(&p, &q);
+        let f2 = hellinger_fidelity(&q, &p);
+        assert!((f1 - f2).abs() < 1e-12);
+        assert!((0.0..=1.0).contains(&f1));
+    }
+
+    #[test]
+    fn normalize_counts_sums_to_one() {
+        let counts: HashMap<String, u64> =
+            [("00".to_string(), 750u64), ("11".to_string(), 250u64)].into();
+        let p = normalize_counts(&counts);
+        assert!((p["00"] - 0.75).abs() < 1e-12);
+        let total: f64 = p.values().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_empty_counts() {
+        let counts: HashMap<String, u64> = HashMap::new();
+        assert!(normalize_counts(&counts).is_empty());
+    }
+
+    #[test]
+    fn geometric_mean_matches_paper_style_aggregation() {
+        // geomean(1, 4) = 2
+        assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        // geomean of identical values is the value
+        assert!((geometric_mean(&[3.02, 3.02, 3.02]) - 3.02).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geometric_mean_rejects_nonpositive() {
+        let _ = geometric_mean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn mean_and_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linspace_endpoints_and_count() {
+        let xs = linspace(0.0, 1.0, 5);
+        assert_eq!(xs.len(), 5);
+        assert!((xs[0]).abs() < 1e-12);
+        assert!((xs[4] - 1.0).abs() < 1e-12);
+        assert!((xs[2] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_accumulator() {
+        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert_eq!(s.range(), 7.0);
+    }
+
+    #[test]
+    fn summary_empty_is_safe() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.range(), 0.0);
+    }
+}

@@ -1,0 +1,29 @@
+//! # vaqem-mitigation
+//!
+//! Error-mitigation passes for the VAQEM (HPCA 2022) reproduction — the
+//! techniques whose configurations the paper tunes variationally:
+//!
+//! * [`dd`] — dynamical-decoupling insertion (XX / YY / XY4 / XY8) with a
+//!   per-idle-window repetition count, periodically spaced;
+//! * [`scheduling`] — single-qubit gate repositioning within idle windows
+//!   (ALAP ... ASAP position fraction);
+//! * [`mem`] — tensored measurement-error mitigation, applied orthogonally
+//!   as in the paper's baseline;
+//! * [`combined`] — the composed GS + DD configuration object;
+//! * [`zne`] — digital zero-noise extrapolation (an orthogonal technique
+//!   the paper lists as a future VAQEM integration target, §II-C/§IX-C).
+//!
+//! All passes operate on [`vaqem_circuit::schedule::ScheduledCircuit`] and
+//! preserve circuit semantics by construction (inserted sequences compose
+//! to the identity; moved gates keep their dependency order).
+
+pub mod combined;
+pub mod dd;
+pub mod mem;
+pub mod scheduling;
+pub mod zne;
+
+pub use combined::MitigationConfig;
+pub use dd::{DdPass, DdSequence, DdSpacing};
+pub use mem::MeasurementMitigator;
+pub use scheduling::GsPass;

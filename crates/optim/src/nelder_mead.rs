@@ -1,0 +1,198 @@
+//! Nelder-Mead simplex minimization.
+//!
+//! The paper notes Qiskit Runtime only allowed SPSA (§VI-A) and lists
+//! richer classical tuners as an advantage of the "ideal flow" (Fig. 11).
+//! This implementation provides that comparison point for the ablation
+//! benches: a deterministic derivative-free simplex method.
+
+/// Configuration for Nelder-Mead.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NelderMeadConfig {
+    /// Maximum objective evaluations.
+    pub max_evaluations: usize,
+    /// Absolute simplex-size convergence threshold.
+    pub tolerance: f64,
+    /// Initial simplex step per coordinate.
+    pub initial_step: f64,
+}
+
+impl Default for NelderMeadConfig {
+    fn default() -> Self {
+        NelderMeadConfig {
+            max_evaluations: 2000,
+            tolerance: 1e-8,
+            initial_step: 0.5,
+        }
+    }
+}
+
+/// Result of a Nelder-Mead minimization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NelderMeadResult {
+    /// Best parameters found.
+    pub best_params: Vec<f64>,
+    /// Objective at the best vertex.
+    pub best_value: f64,
+    /// Objective evaluations spent.
+    pub evaluations: usize,
+    /// Best-so-far value after each accepted step.
+    pub trace: Vec<f64>,
+}
+
+/// Minimizes `objective` from `initial` using the Nelder-Mead simplex.
+pub fn minimize<F>(mut objective: F, initial: &[f64], config: &NelderMeadConfig) -> NelderMeadResult
+where
+    F: FnMut(&[f64]) -> f64,
+{
+    let n = initial.len();
+    assert!(n >= 1, "at least one parameter required");
+    let (alpha, gamma, rho, sigma) = (1.0, 2.0, 0.5, 0.5);
+
+    let mut evaluations = 0usize;
+    let mut eval = |x: &[f64], evaluations: &mut usize| {
+        *evaluations += 1;
+        objective(x)
+    };
+
+    // Initial simplex: initial point plus one step along each axis.
+    let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(n + 1);
+    let f0 = eval(initial, &mut evaluations);
+    simplex.push((initial.to_vec(), f0));
+    for i in 0..n {
+        let mut v = initial.to_vec();
+        v[i] += config.initial_step;
+        let f = eval(&v, &mut evaluations);
+        simplex.push((v, f));
+    }
+
+    let mut trace = Vec::new();
+    while evaluations < config.max_evaluations {
+        simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite objective"));
+        trace.push(simplex[0].1);
+
+        // Convergence: simplex collapsed in objective spread.
+        let spread = simplex[n].1 - simplex[0].1;
+        if spread.abs() < config.tolerance {
+            break;
+        }
+
+        // Centroid of all but the worst.
+        let mut centroid = vec![0.0; n];
+        for (v, _) in simplex.iter().take(n) {
+            for (c, x) in centroid.iter_mut().zip(v.iter()) {
+                *c += x / n as f64;
+            }
+        }
+        let worst = simplex[n].clone();
+        let reflected: Vec<f64> = centroid
+            .iter()
+            .zip(worst.0.iter())
+            .map(|(c, w)| c + alpha * (c - w))
+            .collect();
+        let fr = eval(&reflected, &mut evaluations);
+
+        if fr < simplex[0].1 {
+            // Try expansion.
+            let expanded: Vec<f64> = centroid
+                .iter()
+                .zip(reflected.iter())
+                .map(|(c, r)| c + gamma * (r - c))
+                .collect();
+            let fe = eval(&expanded, &mut evaluations);
+            simplex[n] = if fe < fr { (expanded, fe) } else { (reflected, fr) };
+        } else if fr < simplex[n - 1].1 {
+            simplex[n] = (reflected, fr);
+        } else {
+            // Contraction.
+            let contracted: Vec<f64> = centroid
+                .iter()
+                .zip(worst.0.iter())
+                .map(|(c, w)| c + rho * (w - c))
+                .collect();
+            let fc = eval(&contracted, &mut evaluations);
+            if fc < worst.1 {
+                simplex[n] = (contracted, fc);
+            } else {
+                // Shrink toward the best vertex.
+                let best = simplex[0].0.clone();
+                for entry in simplex.iter_mut().skip(1) {
+                    let v: Vec<f64> = best
+                        .iter()
+                        .zip(entry.0.iter())
+                        .map(|(b, x)| b + sigma * (x - b))
+                        .collect();
+                    let f = eval(&v, &mut evaluations);
+                    *entry = (v, f);
+                }
+            }
+        }
+    }
+    simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite objective"));
+    NelderMeadResult {
+        best_params: simplex[0].0.clone(),
+        best_value: simplex[0].1,
+        evaluations,
+        trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_quadratic_exactly() {
+        let r = minimize(
+            |x| (x[0] - 1.0).powi(2) + (x[1] + 2.0).powi(2),
+            &[0.0, 0.0],
+            &NelderMeadConfig::default(),
+        );
+        assert!((r.best_params[0] - 1.0).abs() < 1e-3, "{:?}", r.best_params);
+        assert!((r.best_params[1] + 2.0).abs() < 1e-3, "{:?}", r.best_params);
+        assert!(r.best_value < 1e-6);
+    }
+
+    #[test]
+    fn minimizes_rosenbrock() {
+        let rosen = |x: &[f64]| {
+            (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2)
+        };
+        let cfg = NelderMeadConfig {
+            max_evaluations: 5000,
+            ..Default::default()
+        };
+        let r = minimize(rosen, &[-1.2, 1.0], &cfg);
+        assert!(r.best_value < 1e-4, "best {}", r.best_value);
+    }
+
+    #[test]
+    fn respects_evaluation_budget() {
+        let cfg = NelderMeadConfig {
+            max_evaluations: 57,
+            tolerance: 0.0,
+            ..Default::default()
+        };
+        let r = minimize(|x| x[0] * x[0], &[5.0], &cfg);
+        // Budget may be exceeded only by the ops in flight during the last
+        // iteration (at most n + 2 extra evals).
+        assert!(r.evaluations <= 57 + 3, "{}", r.evaluations);
+    }
+
+    #[test]
+    fn trace_is_monotone_nonincreasing() {
+        let r = minimize(
+            |x| x.iter().map(|v| v * v).sum(),
+            &[2.0, -3.0, 1.0],
+            &NelderMeadConfig::default(),
+        );
+        for w in r.trace.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_dimension() {
+        let r = minimize(|x| (x[0] - 4.0).powi(2), &[0.0], &NelderMeadConfig::default());
+        assert!((r.best_params[0] - 4.0).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,195 @@
+//! Simultaneous Perturbation Stochastic Approximation (SPSA).
+//!
+//! The only tuner Qiskit Runtime allowed when the paper was written
+//! (§VI-A), and the one used for all its angle-tuning runs. SPSA estimates
+//! the gradient from exactly two objective evaluations per iteration using
+//! a random simultaneous perturbation, which makes it robust to the shot
+//! noise of quantum objectives.
+
+use rand::Rng;
+use vaqem_mathkit::rng::SeedStream;
+
+/// Gain-schedule configuration (Spall's standard form).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpsaConfig {
+    /// Numerator of the step-size schedule `a_k = a / (A + k + 1)^alpha`.
+    pub a: f64,
+    /// Stability constant `A`.
+    pub big_a: f64,
+    /// Step-size decay exponent (0.602 per Spall).
+    pub alpha: f64,
+    /// Numerator of the perturbation schedule `c_k = c / (k + 1)^gamma`.
+    pub c: f64,
+    /// Perturbation decay exponent (0.101 per Spall).
+    pub gamma: f64,
+    /// Number of iterations.
+    pub iterations: usize,
+}
+
+impl SpsaConfig {
+    /// Paper-scale defaults: 400 iterations (Fig. 8), Spall exponents, and
+    /// gains sized for radian-valued angle parameters.
+    pub fn paper_default() -> Self {
+        SpsaConfig {
+            a: 0.3,
+            big_a: 40.0,
+            alpha: 0.602,
+            c: 0.15,
+            gamma: 0.101,
+            iterations: 400,
+        }
+    }
+
+    /// Overrides the iteration count.
+    pub fn with_iterations(mut self, iterations: usize) -> Self {
+        self.iterations = iterations;
+        self
+    }
+}
+
+impl Default for SpsaConfig {
+    fn default() -> Self {
+        SpsaConfig::paper_default()
+    }
+}
+
+/// Result of an SPSA minimization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpsaResult {
+    /// Best parameters found.
+    pub best_params: Vec<f64>,
+    /// Objective at `best_params` (as evaluated; includes noise).
+    pub best_value: f64,
+    /// Objective value at the *current iterate* after each iteration — the
+    /// convergence trace plotted in the paper's Fig. 8.
+    pub trace: Vec<f64>,
+    /// The iterate after each iteration (parallel to `trace`); lets callers
+    /// replay the tuning trajectory on a different objective, as the
+    /// paper's Fig. 8 does with the real machine.
+    pub param_trace: Vec<Vec<f64>>,
+    /// Total objective evaluations spent.
+    pub evaluations: usize,
+}
+
+/// Minimizes `objective` starting from `initial` with SPSA.
+///
+/// `objective` may be stochastic (shot noise); SPSA only needs it to be an
+/// unbiased estimate. Deterministic given `seeds`.
+pub fn minimize<F>(
+    mut objective: F,
+    initial: &[f64],
+    config: &SpsaConfig,
+    seeds: &SeedStream,
+) -> SpsaResult
+where
+    F: FnMut(&[f64]) -> f64,
+{
+    let mut rng = seeds.rng("spsa");
+    let dim = initial.len();
+    let mut theta = initial.to_vec();
+    let mut trace = Vec::with_capacity(config.iterations);
+    let mut param_trace = Vec::with_capacity(config.iterations);
+    let mut evaluations = 0usize;
+    let mut best_params = theta.clone();
+    let mut best_value = f64::INFINITY;
+
+    for k in 0..config.iterations {
+        let ak = config.a / (config.big_a + k as f64 + 1.0).powf(config.alpha);
+        let ck = config.c / (k as f64 + 1.0).powf(config.gamma);
+        // Rademacher perturbation.
+        let delta: Vec<f64> = (0..dim)
+            .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
+            .collect();
+        let plus: Vec<f64> = theta.iter().zip(&delta).map(|(t, d)| t + ck * d).collect();
+        let minus: Vec<f64> = theta.iter().zip(&delta).map(|(t, d)| t - ck * d).collect();
+        let y_plus = objective(&plus);
+        let y_minus = objective(&minus);
+        evaluations += 2;
+        let g_scale = (y_plus - y_minus) / (2.0 * ck);
+        for (t, d) in theta.iter_mut().zip(&delta) {
+            *t -= ak * g_scale / d;
+        }
+        // Track the iterate's objective (one extra evaluation, as the
+        // paper's Runtime traces do).
+        let y = objective(&theta);
+        evaluations += 1;
+        trace.push(y);
+        param_trace.push(theta.clone());
+        if y < best_value {
+            best_value = y;
+            best_params = theta.clone();
+        }
+    }
+
+    SpsaResult {
+        best_params,
+        best_value,
+        trace,
+        param_trace,
+        evaluations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic(x: &[f64]) -> f64 {
+        x.iter().enumerate().map(|(i, v)| (i as f64 + 1.0) * v * v).sum()
+    }
+
+    #[test]
+    fn converges_on_smooth_quadratic() {
+        let config = SpsaConfig::paper_default().with_iterations(300);
+        let seeds = SeedStream::new(1);
+        let r = minimize(quadratic, &[1.0, -1.5, 0.7], &config, &seeds);
+        assert!(r.best_value < 0.05, "best {}", r.best_value);
+        assert_eq!(r.trace.len(), 300);
+        assert_eq!(r.param_trace.len(), 300);
+        assert_eq!(r.evaluations, 900);
+    }
+
+    #[test]
+    fn converges_under_observation_noise() {
+        let seeds = SeedStream::new(2);
+        let mut noise_rng = seeds.rng("objective-noise");
+        let noisy = |x: &[f64]| quadratic(x) + 0.02 * (noise_rng.gen::<f64>() - 0.5);
+        let config = SpsaConfig::paper_default().with_iterations(400);
+        let r = minimize(noisy, &[2.0, -2.0], &config, &seeds);
+        assert!(r.best_value < 0.1, "best {}", r.best_value);
+    }
+
+    #[test]
+    fn trace_trends_downward() {
+        let config = SpsaConfig::paper_default().with_iterations(200);
+        let seeds = SeedStream::new(3);
+        let r = minimize(quadratic, &[3.0, 3.0, 3.0, 3.0], &config, &seeds);
+        let early: f64 = r.trace[..20].iter().sum::<f64>() / 20.0;
+        let late: f64 = r.trace[r.trace.len() - 20..].iter().sum::<f64>() / 20.0;
+        assert!(late < early / 4.0, "early {early} late {late}");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let config = SpsaConfig::paper_default().with_iterations(50);
+        let a = minimize(quadratic, &[1.0, 1.0], &config, &SeedStream::new(5));
+        let b = minimize(quadratic, &[1.0, 1.0], &config, &SeedStream::new(5));
+        assert_eq!(a.best_params, b.best_params);
+        assert_eq!(a.trace, b.trace);
+    }
+
+    #[test]
+    fn different_seeds_take_different_paths() {
+        let config = SpsaConfig::paper_default().with_iterations(50);
+        let a = minimize(quadratic, &[1.0, 1.0], &config, &SeedStream::new(5));
+        let b = minimize(quadratic, &[1.0, 1.0], &config, &SeedStream::new(6));
+        assert_ne!(a.trace, b.trace);
+    }
+
+    #[test]
+    fn handles_single_parameter() {
+        let config = SpsaConfig::paper_default().with_iterations(150);
+        let r = minimize(|x| (x[0] - 2.0).powi(2), &[0.0], &config, &SeedStream::new(7));
+        assert!((r.best_params[0] - 2.0).abs() < 0.2, "{:?}", r.best_params);
+    }
+}

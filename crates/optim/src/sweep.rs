@@ -1,0 +1,140 @@
+//! One-dimensional sweep tuners — the paper's per-window EM search.
+//!
+//! Section VI-C: "The number of DD sequences inserted is swept from none to
+//! maximum ... and the objective function is measured for the tuned ansatz.
+//! The tuning with the lowest objective function value is selected." The
+//! sweep resolution is a resource knob (§VI-C notes it is constrained by
+//! the execution framework), exposed here for the resolution ablation.
+
+/// Result of a sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepResult<T> {
+    /// The winning candidate.
+    pub best_candidate: T,
+    /// Objective at the winner.
+    pub best_value: f64,
+    /// `(candidate, objective)` for every point evaluated, in sweep order.
+    pub evaluations: Vec<(T, f64)>,
+}
+
+/// Evaluates every candidate and returns the minimizer.
+///
+/// Ties resolve to the earliest candidate, which makes the baseline win
+/// ties against equally-scoring alternatives when listed first.
+///
+/// # Panics
+///
+/// Panics when `candidates` is empty.
+pub fn sweep_minimize<T, F>(candidates: &[T], mut objective: F) -> SweepResult<T>
+where
+    T: Clone,
+    F: FnMut(&T) -> f64,
+{
+    assert!(!candidates.is_empty(), "sweep needs at least one candidate");
+    let mut evaluations = Vec::with_capacity(candidates.len());
+    let mut best_idx = 0usize;
+    let mut best_value = f64::INFINITY;
+    for (i, c) in candidates.iter().enumerate() {
+        let v = objective(c);
+        if v < best_value {
+            best_value = v;
+            best_idx = i;
+        }
+        evaluations.push((c.clone(), v));
+    }
+    SweepResult {
+        best_candidate: candidates[best_idx].clone(),
+        best_value,
+        evaluations,
+    }
+}
+
+/// Integer candidates `0..=max` subsampled to at most `resolution + 1`
+/// points — the DD repetition sweep. Always keeps `0` (the baseline), `1`
+/// (the naive single-round DD the paper compares against), and `max`, so
+/// the variational search space contains every static policy.
+pub fn integer_candidates(max: usize, resolution: usize) -> Vec<usize> {
+    assert!(resolution >= 2, "resolution must be at least 2");
+    if max + 1 <= resolution {
+        return (0..=max).collect();
+    }
+    let mut out: Vec<usize> = (0..resolution)
+        .map(|i| (i as f64 * max as f64 / (resolution - 1) as f64).round() as usize)
+        .collect();
+    if max >= 1 && !out.contains(&1) {
+        out.insert(1, 1);
+    }
+    out.dedup();
+    out
+}
+
+/// Fractional candidates in `[0, 1]` with `resolution` points — the gate
+/// position sweep (1.0 = ALAP baseline listed last so the baseline only
+/// wins outright ties at the front).
+pub fn position_candidates(resolution: usize) -> Vec<f64> {
+    assert!(resolution >= 2, "resolution must be at least 2");
+    (0..resolution)
+        .map(|i| i as f64 / (resolution - 1) as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_minimum_of_discrete_objective() {
+        let r = sweep_minimize(&[0usize, 1, 2, 3, 4], |&k| (k as f64 - 2.6).powi(2));
+        assert_eq!(r.best_candidate, 3);
+        assert_eq!(r.evaluations.len(), 5);
+    }
+
+    #[test]
+    fn ties_resolve_to_first() {
+        let r = sweep_minimize(&[0, 1, 2], |&k| if k == 0 || k == 2 { 1.0 } else { 5.0 });
+        assert_eq!(r.best_candidate, 0);
+    }
+
+    #[test]
+    fn integer_candidates_cover_range() {
+        assert_eq!(integer_candidates(3, 8), vec![0, 1, 2, 3]);
+        let c = integer_candidates(100, 5);
+        assert_eq!(c.first(), Some(&0));
+        assert_eq!(c.last(), Some(&100));
+        assert_eq!(c.len(), 6);
+    }
+
+    #[test]
+    fn integer_candidates_always_include_naive_dd_point() {
+        for max in [2usize, 5, 10, 50, 200] {
+            for res in [2usize, 3, 5, 8] {
+                let c = integer_candidates(max, res);
+                assert!(c.contains(&0), "max {max} res {res}: {c:?}");
+                assert!(c.contains(&1), "max {max} res {res}: {c:?}");
+                assert!(c.contains(&max), "max {max} res {res}: {c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn position_candidates_include_alap() {
+        let c = position_candidates(5);
+        assert_eq!(c, vec![0.0, 0.25, 0.5, 0.75, 1.0]);
+    }
+
+    #[test]
+    fn sweep_tracks_all_evaluations() {
+        let r = sweep_minimize(&position_candidates(11), |&x| (x - 0.5).abs());
+        assert!((r.best_candidate - 0.5).abs() < 1e-12);
+        assert_eq!(r.evaluations.len(), 11);
+        // The trace must be usable for Fig. 6-style plots.
+        let xs: Vec<f64> = r.evaluations.iter().map(|(x, _)| *x).collect();
+        assert!(xs.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one candidate")]
+    fn empty_sweep_panics() {
+        let _: SweepResult<usize> = sweep_minimize(&[], |_| 0.0);
+    }
+}

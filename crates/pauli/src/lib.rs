@@ -1,0 +1,29 @@
+//! # vaqem-pauli
+//!
+//! Pauli operators, Hamiltonians, and objective estimation for the VAQEM
+//! (HPCA 2022) reproduction: Pauli strings with Qiskit label conventions,
+//! weighted Pauli sums with dense lowering and exact diagonalization,
+//! tensor-product-basis measurement grouping, count-based energy
+//! estimation, and the paper's three benchmark Hamiltonians (TFIM ring,
+//! H2/STO-3G, and a documented Li+-like synthetic operator).
+//!
+//! # Examples
+//!
+//! ```
+//! use vaqem_pauli::models::tfim_paper;
+//!
+//! let h = tfim_paper(4);
+//! let e0 = h.ground_state_energy();
+//! // Exact free-fermion value: -4(cos(pi/8) + cos(3pi/8)).
+//! let exact = -4.0 * ((std::f64::consts::PI / 8.0).cos()
+//!     + (3.0 * std::f64::consts::PI / 8.0).cos());
+//! assert!((e0 - exact).abs() < 1e-6);
+//! ```
+
+pub mod expectation;
+pub mod hamiltonian;
+pub mod models;
+pub mod pauli;
+
+pub use hamiltonian::{MeasurementGroup, PauliSum, PauliTerm};
+pub use pauli::{PauliOp, PauliString};

@@ -1,0 +1,249 @@
+//! The paper's benchmark Hamiltonians (§VII-A).
+//!
+//! * [`tfim_ring`] — the 1-D transverse-field Ising model with periodic
+//!   boundary, exactly the operator in the paper's Fig. 2
+//!   (`H = sum X_i + sum Z_i Z_{i+1}` including the wrap-around term).
+//! * [`h2_sto3g`] — the 4-qubit Jordan-Wigner H2/STO-3G Hamiltonian at the
+//!   equilibrium bond length (15 terms; the paper truncates 4 negligible
+//!   ones — use [`PauliSum::truncate`] with `1e-8` to match).
+//! * [`li_ion_like`] — a documented synthetic stand-in for the paper's Li+
+//!   Hamiltonian (55 terms before truncation, ~25 truncated). The real
+//!   operator needs a chemistry package the paper does not describe in
+//!   detail; this generator reproduces its *structural* properties —
+//!   6 qubits, dominant diagonal Z/ZZ terms, weaker XX/YY exchange terms,
+//!   wide dynamic range of coefficients — which is all the VAQEM mechanism
+//!   depends on (see DESIGN.md, substitution table).
+
+use crate::hamiltonian::PauliSum;
+use crate::pauli::{PauliOp, PauliString};
+
+/// Transverse-field Ising model on a ring: `sum_i h X_i + sum_i J Z_i Z_{i+1 mod n}`.
+///
+/// With `J = h = 1` this is the operator of the paper's Fig. 2. The model is
+/// exactly solvable, which the paper exploits for its optimal baselines.
+///
+/// # Panics
+///
+/// Panics for `n < 2`.
+pub fn tfim_ring(n: usize, j: f64, h: f64) -> PauliSum {
+    assert!(n >= 2, "TFIM needs at least 2 sites");
+    let mut sum = PauliSum::new(n);
+    for q in 0..n {
+        sum.add(h, PauliString::single(n, q, PauliOp::X));
+    }
+    for q in 0..n {
+        let next = (q + 1) % n;
+        sum.add(j, PauliString::pair(n, q, PauliOp::Z, next, PauliOp::Z));
+    }
+    sum
+}
+
+/// The paper's TFIM instance: unit couplings (Fig. 2).
+pub fn tfim_paper(n: usize) -> PauliSum {
+    tfim_ring(n, 1.0, 1.0)
+}
+
+/// H2 in the STO-3G basis, Jordan-Wigner mapped to 4 qubits, at the
+/// R = 0.7414 Å equilibrium geometry. Coefficients in Hartree (electronic
+/// part; no nuclear repulsion), following the standard decomposition used
+/// by Qiskit/OpenFermion tutorials.
+///
+/// 15 terms total, matching Table/§VII-A ("15 Hamiltonian terms, 4 of which
+/// were truncated with very negligible coefficients" — the 4 double-
+/// excitation terms are the smallest here).
+pub fn h2_sto3g() -> PauliSum {
+    // Coefficients per the Seeley-Richard-Love JW decomposition (qubits 0
+    // and 1 are the occupied spin orbitals of the Hartree-Fock state).
+    let mut h = PauliSum::new(4);
+    h.add_label(-0.81261, "IIII");
+    h.add_label(0.171201, "IIIZ"); // Z0
+    h.add_label(0.171201, "IIZI"); // Z1
+    h.add_label(-0.2227965, "IZII"); // Z2
+    h.add_label(-0.2227965, "ZIII"); // Z3
+    h.add_label(0.16862325, "IIZZ"); // Z1 Z0
+    h.add_label(0.12054625, "IZIZ"); // Z2 Z0
+    h.add_label(0.165868, "IZZI"); // Z2 Z1
+    h.add_label(0.165868, "ZIIZ"); // Z3 Z0
+    h.add_label(0.12054625, "ZIZI"); // Z3 Z1
+    h.add_label(0.17434925, "ZZII"); // Z3 Z2
+    h.add_label(-0.04532175, "XXYY"); // X3 X2 Y1 Y0
+    h.add_label(0.04532175, "XYYX"); // X3 Y2 Y1 X0
+    h.add_label(0.04532175, "YXXY"); // Y3 X2 X1 Y0
+    h.add_label(-0.04532175, "YYXX"); // Y3 Y2 X1 X0
+    h
+}
+
+/// A synthetic 6-qubit "Li+-like" molecular Hamiltonian.
+///
+/// Deterministically generated with the documented structure of a
+/// parity-mapped small-molecule operator: one identity shift, per-qubit Z
+/// terms with ~1 Ha spread, all-pairs ZZ couplings with decaying strength,
+/// and nearest/next-nearest XX+YY exchange terms with small coefficients.
+/// 55 terms before truncation; `truncate(0.01)` removes roughly the 25
+/// weakest, matching the paper's description.
+pub fn li_ion_like() -> PauliSum {
+    let n = 6;
+    let mut h = PauliSum::new(n);
+    // Identity shift (electronic constant).
+    h.add_label(-4.2093, "IIIIII");
+    // Single-qubit Z terms: orbital occupation energies, decaying with index.
+    let z_coeffs = [0.9137, 0.6242, 0.3971, 0.2518, 0.0882, 0.0315];
+    for (q, &c) in z_coeffs.iter().enumerate() {
+        let sign = if q % 2 == 0 { 1.0 } else { -1.0 };
+        h.add(sign * c, PauliString::single(n, q, PauliOp::Z));
+    }
+    // All-pairs ZZ (Coulomb/exchange), strength decays with distance and
+    // orbital index.
+    for a in 0..n {
+        for b in (a + 1)..n {
+            let c = 0.1720 / ((1 + b - a) as f64) / (1.0 + 0.35 * a as f64);
+            h.add(c, PauliString::pair(n, a, PauliOp::Z, b, PauliOp::Z));
+        }
+    }
+    // Nearest and next-nearest XX and YY exchange.
+    for a in 0..n {
+        for d in 1..=2usize {
+            let b = a + d;
+            if b >= n {
+                continue;
+            }
+            let c = if d == 1 { 0.0452 } else { 0.0124 } / (1.0 + 0.3 * a as f64);
+            h.add(c, PauliString::pair(n, a, PauliOp::X, b, PauliOp::X));
+            h.add(c, PauliString::pair(n, a, PauliOp::Y, b, PauliOp::Y));
+        }
+    }
+    // Weak transverse single-qubit terms (truncation fodder).
+    for q in 0..n {
+        h.add(0.0035 / (1.0 + 0.2 * q as f64), PauliString::single(n, q, PauliOp::X));
+    }
+    // One weak 4-local string, as parity-mapped operators produce.
+    {
+        let mut ops = vec![PauliOp::I; n];
+        for item in ops.iter_mut().take(4) {
+            *item = PauliOp::Z;
+        }
+        h.add(0.0021, PauliString::from_ops(ops));
+    }
+    // Weak 3-local tails (truncation fodder, as in real mapped operators).
+    for a in 0..(n - 2) {
+        let mut ops = vec![PauliOp::I; n];
+        ops[a] = PauliOp::Z;
+        ops[a + 1] = PauliOp::Z;
+        ops[a + 2] = PauliOp::Z;
+        h.add(0.006 / (1.0 + a as f64), PauliString::from_ops(ops));
+        let mut ops = vec![PauliOp::I; n];
+        ops[a] = PauliOp::X;
+        ops[a + 1] = PauliOp::Z;
+        ops[a + 2] = PauliOp::X;
+        h.add(0.004 / (1.0 + a as f64), PauliString::from_ops(ops));
+    }
+    h
+}
+
+/// The Li+-like Hamiltonian truncated the way the paper describes (about 25
+/// of 55 terms dropped as negligible).
+pub fn li_ion_like_truncated() -> PauliSum {
+    let mut h = li_ion_like();
+    h.truncate(0.012);
+    h
+}
+
+/// The H2 Hamiltonian with the paper's truncation applied (4 smallest terms
+/// dropped).
+pub fn h2_sto3g_truncated() -> PauliSum {
+    let mut h = h2_sto3g();
+    h.truncate(0.046);
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tfim_structure_matches_fig2() {
+        let h = tfim_paper(6);
+        // 6 X terms + 6 ZZ terms (ring).
+        assert_eq!(h.len(), 12);
+        let labels: Vec<String> = h.terms().iter().map(|t| t.pauli.label()).collect();
+        assert!(labels.contains(&"IIIIIX".to_string()));
+        assert!(labels.contains(&"XIIIII".to_string()));
+        assert!(labels.contains(&"IIIIZZ".to_string()));
+        // The wrap-around term from Fig. 2: ZIIIIZ.
+        assert!(labels.contains(&"ZIIIIZ".to_string()));
+    }
+
+    #[test]
+    fn tfim_ground_energy_matches_exact_solution() {
+        // Free-fermion solution: E0 = -sum_k Lambda_k with
+        // Lambda_k = 4|cos(k/2)| at g = 1; for n = 4 the momenta are
+        // k = ±pi/4, ±3pi/4, giving E0 = -4(cos(pi/8) + cos(3pi/8)).
+        let h = tfim_paper(4);
+        let e0 = h.ground_state_energy();
+        let exact = -4.0 * ((std::f64::consts::PI / 8.0).cos() + (3.0 * std::f64::consts::PI / 8.0).cos());
+        assert!((e0 - exact).abs() < 1e-6, "{e0} vs {exact}");
+    }
+
+    #[test]
+    fn tfim_6q_ground_energy_is_negative_and_extensive() {
+        let e0 = tfim_paper(6).ground_state_energy();
+        // Exact value for n=6, J=h=1 is about -7.7274 (free fermion sum).
+        assert!(e0 < -7.0 && e0 > -8.5, "{e0}");
+    }
+
+    #[test]
+    fn h2_has_15_terms_and_sane_ground_energy() {
+        let h = h2_sto3g();
+        assert_eq!(h.len(), 15);
+        let e0 = h.ground_state_energy();
+        // Electronic ground energy of H2/STO-3G at equilibrium ~ -1.85 Ha
+        // (becomes ~ -1.14 Ha after +0.71 Ha nuclear repulsion).
+        assert!((e0 + 1.85).abs() < 0.05, "{e0}");
+    }
+
+    #[test]
+    fn h2_truncation_drops_four_terms() {
+        let full = h2_sto3g();
+        let trunc = h2_sto3g_truncated();
+        assert_eq!(full.len() - trunc.len(), 4);
+        // Truncation barely moves the ground energy.
+        let d = (full.ground_state_energy() - trunc.ground_state_energy()).abs();
+        assert!(d < 0.08, "{d}");
+    }
+
+    #[test]
+    fn li_like_term_count_matches_paper_structure() {
+        let h = li_ion_like();
+        assert_eq!(h.num_qubits(), 6);
+        assert_eq!(h.len(), 55, "55 terms before truncation");
+        let t = li_ion_like_truncated();
+        let dropped = h.len() - t.len();
+        assert!(
+            (20..=30).contains(&dropped),
+            "around 25 truncated, got {dropped}"
+        );
+    }
+
+    #[test]
+    fn li_like_is_hermitian_with_negative_ground_energy() {
+        let h = li_ion_like_truncated();
+        assert!(h.to_matrix().is_hermitian(1e-9));
+        let e0 = h.ground_state_energy();
+        assert!(e0 < -4.0, "molecule-like operators sit well below zero: {e0}");
+    }
+
+    #[test]
+    fn truncated_li_preserves_spectrum_roughly() {
+        let full = li_ion_like().ground_state_energy();
+        let trunc = li_ion_like_truncated().ground_state_energy();
+        assert!((full - trunc).abs() < 0.1, "{full} vs {trunc}");
+    }
+
+    #[test]
+    fn measurement_group_counts_are_modest() {
+        // Grouping keeps the number of distinct measurement circuits small.
+        assert!(tfim_paper(6).measurement_groups().len() <= 2);
+        assert!(h2_sto3g().measurement_groups().len() <= 6);
+        assert!(li_ion_like_truncated().measurement_groups().len() <= 8);
+    }
+}

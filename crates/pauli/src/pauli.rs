@@ -1,0 +1,276 @@
+//! Pauli strings.
+//!
+//! A [`PauliString`] is a tensor product of single-qubit Pauli operators.
+//! Labels follow the Qiskit convention: the **left-most** character acts on
+//! the **highest-index** qubit, so `"XZ"` means `X` on qubit 1 and `Z` on
+//! qubit 0 — matching the Hamiltonian notation in the paper's Fig. 2.
+
+use std::fmt;
+use std::str::FromStr;
+use vaqem_mathkit::matrix::{gates2x2, CMatrix};
+
+/// One single-qubit Pauli operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PauliOp {
+    /// Identity.
+    #[default]
+    I,
+    /// Pauli X.
+    X,
+    /// Pauli Y.
+    Y,
+    /// Pauli Z.
+    Z,
+}
+
+impl PauliOp {
+    /// 2x2 matrix of the operator.
+    pub fn matrix(self) -> CMatrix {
+        match self {
+            PauliOp::I => CMatrix::identity(2),
+            PauliOp::X => gates2x2::pauli_x(),
+            PauliOp::Y => gates2x2::pauli_y(),
+            PauliOp::Z => gates2x2::pauli_z(),
+        }
+    }
+
+    /// Label character.
+    pub fn label(self) -> char {
+        match self {
+            PauliOp::I => 'I',
+            PauliOp::X => 'X',
+            PauliOp::Y => 'Y',
+            PauliOp::Z => 'Z',
+        }
+    }
+}
+
+/// Error from parsing a Pauli label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePauliError {
+    /// The offending character.
+    pub ch: char,
+}
+
+impl fmt::Display for ParsePauliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid pauli character {:?}", self.ch)
+    }
+}
+
+impl std::error::Error for ParsePauliError {}
+
+/// A tensor product of Pauli operators over `n` qubits.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PauliString {
+    /// `ops[q]` acts on qubit `q` (index 0 = LSB = right-most label char).
+    ops: Vec<PauliOp>,
+}
+
+impl PauliString {
+    /// The identity string on `n` qubits.
+    pub fn identity(n: usize) -> Self {
+        PauliString {
+            ops: vec![PauliOp::I; n],
+        }
+    }
+
+    /// Builds from per-qubit operators (`ops[0]` = qubit 0).
+    pub fn from_ops(ops: Vec<PauliOp>) -> Self {
+        PauliString { ops }
+    }
+
+    /// Builds a weight-1 string: `op` on qubit `q`, identity elsewhere.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q >= n`.
+    pub fn single(n: usize, q: usize, op: PauliOp) -> Self {
+        assert!(q < n, "qubit out of range");
+        let mut ops = vec![PauliOp::I; n];
+        ops[q] = op;
+        PauliString { ops }
+    }
+
+    /// Builds a weight-2 string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range or they collide.
+    pub fn pair(n: usize, qa: usize, a: PauliOp, qb: usize, b: PauliOp) -> Self {
+        assert!(qa < n && qb < n, "qubit out of range");
+        assert_ne!(qa, qb, "distinct qubits required");
+        let mut ops = vec![PauliOp::I; n];
+        ops[qa] = a;
+        ops[qb] = b;
+        PauliString { ops }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Operator on qubit `q`.
+    pub fn op(&self, q: usize) -> PauliOp {
+        self.ops[q]
+    }
+
+    /// Per-qubit operators, LSB first.
+    pub fn ops(&self) -> &[PauliOp] {
+        &self.ops
+    }
+
+    /// Number of non-identity factors.
+    pub fn weight(&self) -> usize {
+        self.ops.iter().filter(|&&p| p != PauliOp::I).count()
+    }
+
+    /// Returns `true` when every factor is the identity.
+    pub fn is_identity(&self) -> bool {
+        self.weight() == 0
+    }
+
+    /// Qubits with non-identity factors.
+    pub fn support(&self) -> Vec<usize> {
+        self.ops
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| p != PauliOp::I)
+            .map(|(q, _)| q)
+            .collect()
+    }
+
+    /// Bitmask of the support (bit `q` set when qubit `q` is non-identity).
+    pub fn support_mask(&self) -> usize {
+        self.support().iter().fold(0, |m, &q| m | (1 << q))
+    }
+
+    /// Qubit-wise compatibility: at every qubit the two strings agree or at
+    /// least one is identity. Compatible strings can be measured with a
+    /// single per-qubit basis choice (tensor-product-basis grouping).
+    pub fn qubit_wise_compatible(&self, other: &PauliString) -> bool {
+        self.ops.len() == other.ops.len()
+            && self.ops.iter().zip(other.ops.iter()).all(|(&a, &b)| {
+                a == PauliOp::I || b == PauliOp::I || a == b
+            })
+    }
+
+    /// Dense `2^n x 2^n` matrix (left factor = highest qubit).
+    pub fn to_matrix(&self) -> CMatrix {
+        let mut m = CMatrix::identity(1);
+        for q in (0..self.ops.len()).rev() {
+            m = m.kron(&self.ops[q].matrix());
+        }
+        m
+    }
+
+    /// Label string, left-most char = highest qubit.
+    pub fn label(&self) -> String {
+        self.ops.iter().rev().map(|p| p.label()).collect()
+    }
+}
+
+impl FromStr for PauliString {
+    type Err = ParsePauliError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut ops = Vec::with_capacity(s.len());
+        for ch in s.chars().rev() {
+            ops.push(match ch {
+                'I' | 'i' => PauliOp::I,
+                'X' | 'x' => PauliOp::X,
+                'Y' | 'y' => PauliOp::Y,
+                'Z' | 'z' => PauliOp::Z,
+                other => return Err(ParsePauliError { ch: other }),
+            });
+        }
+        Ok(PauliString { ops })
+    }
+}
+
+impl fmt::Display for PauliString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vaqem_mathkit::complex::Complex64;
+
+    #[test]
+    fn label_round_trip() {
+        for label in ["XIZZ", "IIII", "YXZI"] {
+            let p: PauliString = label.parse().unwrap();
+            assert_eq!(p.label(), label);
+            assert_eq!(p.num_qubits(), 4);
+        }
+    }
+
+    #[test]
+    fn label_convention_leftmost_is_high_qubit() {
+        let p: PauliString = "XZ".parse().unwrap();
+        assert_eq!(p.op(0), PauliOp::Z);
+        assert_eq!(p.op(1), PauliOp::X);
+    }
+
+    #[test]
+    fn invalid_label_rejected() {
+        let err = "XA".parse::<PauliString>().unwrap_err();
+        assert_eq!(err.ch, 'A');
+    }
+
+    #[test]
+    fn weight_and_support() {
+        let p: PauliString = "XIZI".parse().unwrap();
+        assert_eq!(p.weight(), 2);
+        assert_eq!(p.support(), vec![1, 3]);
+        assert_eq!(p.support_mask(), 0b1010);
+        assert!(!p.is_identity());
+        assert!(PauliString::identity(3).is_identity());
+    }
+
+    #[test]
+    fn qubit_wise_compatibility() {
+        let zz: PauliString = "ZZ".parse().unwrap();
+        let zi: PauliString = "ZI".parse().unwrap();
+        let xx: PauliString = "XX".parse().unwrap();
+        let xi: PauliString = "XI".parse().unwrap();
+        assert!(zz.qubit_wise_compatible(&zi));
+        assert!(xx.qubit_wise_compatible(&xi));
+        assert!(!zz.qubit_wise_compatible(&xx));
+        assert!(!zi.qubit_wise_compatible(&xi));
+        assert!(zi.qubit_wise_compatible(&PauliString::identity(2)));
+    }
+
+    #[test]
+    fn to_matrix_matches_kron_convention() {
+        // "XZ" = X (q1) ⊗ Z (q0): |00> -> |10>.
+        let p: PauliString = "XZ".parse().unwrap();
+        let m = p.to_matrix();
+        let v = m.mul_vec(&[Complex64::ONE, Complex64::ZERO, Complex64::ZERO, Complex64::ZERO]);
+        assert!(v[2].approx_eq(Complex64::ONE, 1e-12));
+        // |01> (q0=1) -> -|11>.
+        let v = m.mul_vec(&[Complex64::ZERO, Complex64::ONE, Complex64::ZERO, Complex64::ZERO]);
+        assert!(v[3].approx_eq(-Complex64::ONE, 1e-12));
+    }
+
+    #[test]
+    fn matrices_are_hermitian_and_unitary() {
+        for label in ["XYZ", "ZIZ", "YYI"] {
+            let m: CMatrix = label.parse::<PauliString>().unwrap().to_matrix();
+            assert!(m.is_hermitian(1e-12));
+            assert!(m.is_unitary(1e-12));
+        }
+    }
+
+    #[test]
+    fn constructors() {
+        let s = PauliString::single(3, 1, PauliOp::Y);
+        assert_eq!(s.label(), "IYI");
+        let p = PauliString::pair(4, 0, PauliOp::Z, 3, PauliOp::Z);
+        assert_eq!(p.label(), "ZIIZ");
+    }
+}

@@ -1,0 +1,10 @@
+//! # vaqem-runtime
+//!
+//! A quantum-cloud execution-cost model standing in for the paper's Qiskit
+//! Runtime measurements (§VI-A, §VIII-D, Fig. 15): per-job latency for
+//! Runtime vs. the classic client loop, session caps, log-normal queue
+//! waits, and the four-way wall-clock breakdown the paper plots.
+
+pub mod cost;
+
+pub use cost::{AngleTuningMode, CostModel, ExecutionTimeBreakdown, WorkloadProfile};

@@ -1,0 +1,265 @@
+//! Quantum noise channels as Kraus operator sets.
+//!
+//! Used by the density-matrix simulator (the calibration-style "noisy
+//! simulation" of the paper's Fig. 9) and validated by CPTP property tests.
+//! The channels cover what an IBM calibration captures: amplitude damping
+//! (T1), phase damping (pure dephasing from T2), depolarizing gate error,
+//! and classical readout assignment error.
+
+use vaqem_mathkit::complex::{c64, Complex64};
+use vaqem_mathkit::matrix::{gates2x2, CMatrix};
+
+/// A single-qubit channel: a list of 2x2 Kraus operators.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KrausChannel {
+    ops: Vec<CMatrix>,
+}
+
+impl KrausChannel {
+    /// Builds a channel from Kraus operators.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any operator is not 2x2 or the set is empty.
+    pub fn new(ops: Vec<CMatrix>) -> Self {
+        assert!(!ops.is_empty(), "channel needs at least one Kraus operator");
+        for k in &ops {
+            assert_eq!(k.rows(), 2, "single-qubit Kraus operators must be 2x2");
+            assert_eq!(k.cols(), 2, "single-qubit Kraus operators must be 2x2");
+        }
+        KrausChannel { ops }
+    }
+
+    /// The identity channel.
+    pub fn identity() -> Self {
+        KrausChannel::new(vec![CMatrix::identity(2)])
+    }
+
+    /// Amplitude damping with decay probability `gamma = 1 - e^{-t/T1}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= gamma <= 1`.
+    pub fn amplitude_damping(gamma: f64) -> Self {
+        assert!((0.0..=1.0).contains(&gamma), "gamma must be a probability");
+        let k0 = CMatrix::from_rows(&[
+            &[Complex64::ONE, Complex64::ZERO],
+            &[Complex64::ZERO, c64((1.0 - gamma).sqrt(), 0.0)],
+        ]);
+        let k1 = CMatrix::from_rows(&[
+            &[Complex64::ZERO, c64(gamma.sqrt(), 0.0)],
+            &[Complex64::ZERO, Complex64::ZERO],
+        ]);
+        KrausChannel::new(vec![k0, k1])
+    }
+
+    /// Phase damping with dephasing probability `lambda = 1 - e^{-t/Tphi}`,
+    /// expressed as a phase-flip channel with `p = (1 - sqrt(1-lambda))/2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= lambda <= 1`.
+    pub fn phase_damping(lambda: f64) -> Self {
+        assert!((0.0..=1.0).contains(&lambda), "lambda must be a probability");
+        let p = 0.5 * (1.0 - (1.0 - lambda).sqrt());
+        Self::phase_flip(p)
+    }
+
+    /// Phase-flip channel: `Z` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= p <= 1`.
+    pub fn phase_flip(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "p must be a probability");
+        let k0 = CMatrix::identity(2).scale(c64((1.0 - p).sqrt(), 0.0));
+        let k1 = gates2x2::pauli_z().scale(c64(p.sqrt(), 0.0));
+        KrausChannel::new(vec![k0, k1])
+    }
+
+    /// Single-qubit depolarizing channel with error probability `p`:
+    /// with probability `p` the state is replaced by one of X, Y, Z applied
+    /// uniformly.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= p <= 1`.
+    pub fn depolarizing(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "p must be a probability");
+        let k0 = CMatrix::identity(2).scale(c64((1.0 - p).sqrt(), 0.0));
+        let kp = (p / 3.0).sqrt();
+        KrausChannel::new(vec![
+            k0,
+            gates2x2::pauli_x().scale(c64(kp, 0.0)),
+            gates2x2::pauli_y().scale(c64(kp, 0.0)),
+            gates2x2::pauli_z().scale(c64(kp, 0.0)),
+        ])
+    }
+
+    /// The Kraus operators.
+    pub fn ops(&self) -> &[CMatrix] {
+        &self.ops
+    }
+
+    /// Checks the completeness relation `sum K† K = I` within `tol`.
+    pub fn is_trace_preserving(&self, tol: f64) -> bool {
+        let mut acc = CMatrix::zeros(2, 2);
+        for k in &self.ops {
+            acc = &acc + &(&k.adjoint() * k);
+        }
+        acc.is_identity(tol)
+    }
+
+    /// Composes two channels: `other` after `self`.
+    pub fn then(&self, other: &KrausChannel) -> KrausChannel {
+        let mut ops = Vec::with_capacity(self.ops.len() * other.ops.len());
+        for b in &other.ops {
+            for a in &self.ops {
+                ops.push(b * a);
+            }
+        }
+        KrausChannel::new(ops)
+    }
+}
+
+/// Classical readout-assignment error for one qubit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReadoutError {
+    /// P(read 1 | state 0).
+    pub p01: f64,
+    /// P(read 0 | state 1).
+    pub p10: f64,
+}
+
+impl ReadoutError {
+    /// Creates a readout error.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both probabilities are in `[0, 1]`.
+    pub fn new(p01: f64, p10: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p01), "p01 must be a probability");
+        assert!((0.0..=1.0).contains(&p10), "p10 must be a probability");
+        ReadoutError { p01, p10 }
+    }
+
+    /// The 2x2 column-stochastic assignment matrix `A[m][t]` = P(measure m |
+    /// true t).
+    pub fn assignment_matrix(&self) -> [[f64; 2]; 2] {
+        [[1.0 - self.p01, self.p10], [self.p01, 1.0 - self.p10]]
+    }
+
+    /// Flips a measured bit according to the assignment probabilities.
+    pub fn apply<R: rand::Rng + ?Sized>(&self, true_bit: bool, rng: &mut R) -> bool {
+        let r: f64 = rng.gen();
+        if true_bit {
+            if r < self.p10 {
+                false
+            } else {
+                true
+            }
+        } else if r < self.p01 {
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_channels_are_trace_preserving() {
+        for gamma in [0.0, 0.1, 0.5, 1.0] {
+            assert!(KrausChannel::amplitude_damping(gamma).is_trace_preserving(1e-12));
+            assert!(KrausChannel::phase_damping(gamma).is_trace_preserving(1e-12));
+        }
+        for p in [0.0, 0.01, 0.25, 0.75, 1.0] {
+            assert!(KrausChannel::depolarizing(p).is_trace_preserving(1e-12));
+            assert!(KrausChannel::phase_flip(p).is_trace_preserving(1e-12));
+        }
+    }
+
+    #[test]
+    fn amplitude_damping_decays_excited_state() {
+        // rho = |1><1| under damping: population -> 1 - gamma.
+        let gamma = 0.3;
+        let ch = KrausChannel::amplitude_damping(gamma);
+        let rho = CMatrix::from_diagonal(&[Complex64::ZERO, Complex64::ONE]);
+        let mut out = CMatrix::zeros(2, 2);
+        for k in ch.ops() {
+            out = &out + &(&(k * &rho) * &k.adjoint());
+        }
+        assert!((out[(1, 1)].re - (1.0 - gamma)).abs() < 1e-12);
+        assert!((out[(0, 0)].re - gamma).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phase_damping_kills_coherence_not_population() {
+        let lambda = 0.5;
+        let ch = KrausChannel::phase_damping(lambda);
+        // rho = |+><+|.
+        let h = 0.5;
+        let rho = CMatrix::from_rows(&[
+            &[c64(h, 0.0), c64(h, 0.0)],
+            &[c64(h, 0.0), c64(h, 0.0)],
+        ]);
+        let mut out = CMatrix::zeros(2, 2);
+        for k in ch.ops() {
+            out = &out + &(&(k * &rho) * &k.adjoint());
+        }
+        // Populations untouched; off-diagonal shrinks by sqrt(1-lambda).
+        assert!((out[(0, 0)].re - 0.5).abs() < 1e-12);
+        assert!((out[(1, 1)].re - 0.5).abs() < 1e-12);
+        assert!((out[(0, 1)].re - 0.5 * (1.0 - lambda).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn depolarizing_shrinks_bloch_vector() {
+        let p = 0.3;
+        let ch = KrausChannel::depolarizing(p);
+        let rho = CMatrix::from_diagonal(&[Complex64::ONE, Complex64::ZERO]); // |0><0|
+        let mut out = CMatrix::zeros(2, 2);
+        for k in ch.ops() {
+            out = &out + &(&(k * &rho) * &k.adjoint());
+        }
+        // <Z> shrinks by factor (1 - 4p/3).
+        let z_exp = out[(0, 0)].re - out[(1, 1)].re;
+        assert!((z_exp - (1.0 - 4.0 * p / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn channel_composition_is_cptp() {
+        let a = KrausChannel::amplitude_damping(0.1);
+        let b = KrausChannel::depolarizing(0.05);
+        assert!(a.then(&b).is_trace_preserving(1e-12));
+    }
+
+    #[test]
+    fn readout_assignment_matrix_is_stochastic() {
+        let r = ReadoutError::new(0.02, 0.05);
+        let m = r.assignment_matrix();
+        assert!((m[0][0] + m[1][0] - 1.0).abs() < 1e-12);
+        assert!((m[0][1] + m[1][1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn readout_flip_rates() {
+        let r = ReadoutError::new(0.1, 0.2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let n = 20_000;
+        let flips0 = (0..n).filter(|_| r.apply(false, &mut rng)).count();
+        let flips1 = (0..n).filter(|_| !r.apply(true, &mut rng)).count();
+        assert!((flips0 as f64 / n as f64 - 0.1).abs() < 0.01);
+        assert!((flips1 as f64 / n as f64 - 0.2).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_gamma_panics() {
+        let _ = KrausChannel::amplitude_damping(1.5);
+    }
+}

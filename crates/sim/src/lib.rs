@@ -1,0 +1,27 @@
+//! # vaqem-sim
+//!
+//! Quantum simulators for the VAQEM (HPCA 2022) reproduction, covering all
+//! three execution substrates the paper uses:
+//!
+//! * [`statevector`] — ideal simulation (the angle-tuning substrate of the
+//!   feasible flow, Fig. 11),
+//! * [`density`] — a Markovian density-matrix engine standing in for a
+//!   calibration-derived noisy simulator (the "Noisy Simulation" of Fig. 9),
+//! * [`machine`] — a quantum-trajectory executor with quasi-static
+//!   dephasing, telegraph noise, ZZ crosstalk, T1/T2 jumps, gate error and
+//!   readout error, standing in for the real IBM backend.
+//!
+//! The deliberate asymmetry between [`density`] and [`machine`] (the former
+//! misses correlated noise) reproduces the paper's core observation that
+//! error-mitigation tuning must happen on the machine.
+
+pub mod channels;
+pub mod counts;
+pub mod density;
+pub mod machine;
+pub mod statevector;
+
+pub use counts::Counts;
+pub use density::DensityMatrix;
+pub use machine::MachineExecutor;
+pub use statevector::StateVector;

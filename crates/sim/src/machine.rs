@@ -1,0 +1,562 @@
+//! The noisy "machine": a quantum-trajectory executor.
+//!
+//! This engine plays the role of the real IBM backend in the paper. Each
+//! shot is a Monte-Carlo wave-function trajectory evolved along the
+//! scheduled timeline:
+//!
+//! * **Quasi-static detuning** — every trajectory samples a per-qubit
+//!   angular detuning from `N(0, sigma)`. The qubit accumulates phase
+//!   `delta * t` during idle time. Because the detuning is constant within a
+//!   trajectory, an X (or Y) pulse placed mid-window *refocuses* the phase —
+//!   this is exactly the physics that makes Hahn echo (Fig. 4), gate
+//!   scheduling (Fig. 6) and DD (Fig. 5) work on hardware, and that a
+//!   Markovian calibration model misses (Fig. 9).
+//! * **Telegraph noise** — the detuning sign flips at a Poisson rate within
+//!   the trajectory, so refocusing degrades over long free-evolution
+//!   stretches. Shorter DD periods track the noise better, while each pulse
+//!   adds gate error: the resulting trade-off produces the interior optima
+//!   of Fig. 5.
+//! * **Markovian decoherence** — amplitude damping (T1) and pure dephasing
+//!   (from T2) as stochastic jumps (MCWF); depolarizing gate errors as
+//!   sampled Pauli insertions; classical readout flips.
+//! * **ZZ crosstalk** — always-on `exp(-i zeta t ZZ/2)` between coupled
+//!   pairs, which DD also decouples.
+
+use crate::counts::Counts;
+use crate::statevector::StateVector;
+use rand::rngs::StdRng;
+use rand::Rng;
+use vaqem_circuit::gate::Gate;
+use vaqem_circuit::schedule::ScheduledCircuit;
+use vaqem_device::noise::NoiseParameters;
+use vaqem_mathkit::rng::{sample_standard_normal, SeedStream};
+
+/// Default number of shots per execution, matching common IBM submissions.
+pub const DEFAULT_SHOTS: u64 = 2048;
+
+/// A noisy trajectory-based executor standing in for a quantum backend.
+#[derive(Debug, Clone)]
+pub struct MachineExecutor {
+    noise: NoiseParameters,
+    seeds: SeedStream,
+    shots: u64,
+}
+
+impl MachineExecutor {
+    /// Creates an executor with [`DEFAULT_SHOTS`] shots.
+    pub fn new(noise: NoiseParameters, seeds: SeedStream) -> Self {
+        MachineExecutor {
+            noise,
+            seeds,
+            shots: DEFAULT_SHOTS,
+        }
+    }
+
+    /// Overrides the shot count.
+    pub fn with_shots(mut self, shots: u64) -> Self {
+        assert!(shots > 0, "shot count must be positive");
+        self.shots = shots;
+        self
+    }
+
+    /// Shots per [`Self::run`].
+    pub fn shots(&self) -> u64 {
+        self.shots
+    }
+
+    /// Noise parameters in use.
+    pub fn noise(&self) -> &NoiseParameters {
+        &self.noise
+    }
+
+    /// Replaces the noise parameters (e.g. after drift).
+    pub fn set_noise(&mut self, noise: NoiseParameters) {
+        self.noise = noise;
+    }
+
+    /// Executes a scheduled circuit, returning a histogram over all qubits.
+    ///
+    /// Deterministic: the same executor (seed stream) and circuit produce
+    /// identical counts. Different `job_index` values decorrelate repeated
+    /// runs of the same circuit (used by the drift experiment).
+    pub fn run(&self, scheduled: &ScheduledCircuit) -> Counts {
+        self.run_job(scheduled, 0)
+    }
+
+    /// Executes with an explicit job index for stream decorrelation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scheduled` references qubits beyond the noise description.
+    pub fn run_job(&self, scheduled: &ScheduledCircuit, job_index: u64) -> Counts {
+        let n = scheduled.num_qubits();
+        assert!(
+            self.noise.num_qubits() >= n,
+            "noise parameters must cover the register"
+        );
+        let mut counts = Counts::new(n);
+        for shot in 0..self.shots {
+            let mut rng = self
+                .seeds
+                .rng_indexed("machine-trajectory", job_index.wrapping_mul(1_000_003) ^ shot);
+            let outcome = self.run_trajectory(scheduled, &mut rng);
+            counts.record_index(outcome);
+        }
+        counts
+    }
+
+    /// Runs one trajectory and returns the measured basis index (with
+    /// readout error applied).
+    fn run_trajectory(&self, scheduled: &ScheduledCircuit, rng: &mut StdRng) -> usize {
+        let n = scheduled.num_qubits();
+        let mut sv = StateVector::zero_state(n);
+
+        // Per-trajectory quasi-static environment.
+        let mut detuning = vec![0.0f64; n];
+        let mut telegraph_sign = vec![1.0f64; n];
+        for q in 0..n {
+            let qn = self.noise.qubit(q);
+            detuning[q] = qn.quasi_static_sigma_rad_ns * sample_standard_normal(rng);
+            if rng.gen::<bool>() {
+                telegraph_sign[q] = -1.0;
+            }
+        }
+        let zz: Vec<((usize, usize), f64)> = self
+            .noise
+            .zz_couplings()
+            .filter(|((a, b), _)| *a < n && *b < n)
+            .collect();
+
+        let mut now = 0.0f64;
+        let mut started = vec![false; n]; // decoherence begins at first op
+        for op in scheduled.ops() {
+            if matches!(op.gate, Gate::Barrier) {
+                continue;
+            }
+            let dt = op.start_ns - now;
+            if dt > 1e-9 {
+                self.free_evolution(
+                    &mut sv,
+                    dt,
+                    &detuning,
+                    &mut telegraph_sign,
+                    &started,
+                    &zz,
+                    rng,
+                );
+                now = op.start_ns;
+            }
+            match op.gate {
+                Gate::Measure | Gate::Delay { .. } | Gate::I => {}
+                ref g => {
+                    sv.apply_gate(g, &op.qubits)
+                        .expect("scheduled circuits are concrete");
+                    self.apply_gate_error(&mut sv, &op.qubits, rng);
+                }
+            }
+            for &q in &op.qubits {
+                started[q] = true;
+            }
+        }
+        // Trailing free evolution up to the makespan (e.g. during final
+        // delays before measurement).
+        let tail = scheduled.total_ns() - now;
+        if tail > 1e-9 {
+            self.free_evolution(
+                &mut sv,
+                tail,
+                &detuning,
+                &mut telegraph_sign,
+                &started,
+                &zz,
+                rng,
+            );
+        }
+
+        // Sample the outcome and apply readout flips.
+        let mut index = sv.sample_index(rng);
+        for q in 0..n {
+            let qn = self.noise.qubit(q);
+            let bit = 1usize << q;
+            let is_one = index & bit != 0;
+            let flip_p = if is_one { qn.readout_p10 } else { qn.readout_p01 };
+            if rng.gen::<f64>() < flip_p {
+                index ^= bit;
+            }
+        }
+        index
+    }
+
+    /// Applies `dt` nanoseconds of free evolution: quasi-static phase with
+    /// telegraph switching, T1/T2 stochastic jumps, and ZZ coupling.
+    #[allow(clippy::too_many_arguments)]
+    fn free_evolution(
+        &self,
+        sv: &mut StateVector,
+        dt: f64,
+        detuning: &[f64],
+        telegraph_sign: &mut [f64],
+        started: &[bool],
+        zz: &[((usize, usize), f64)],
+        rng: &mut StdRng,
+    ) {
+        let n = sv.num_qubits();
+        for q in 0..n {
+            if !started[q] {
+                continue;
+            }
+            let qn = self.noise.qubit(q);
+
+            // Quasi-static phase with telegraph switching: integrate the
+            // signed detuning over dt, flipping the sign at Poisson times.
+            if detuning[q] != 0.0 {
+                let mut remaining = dt;
+                let mut signed_time = 0.0;
+                if qn.telegraph_rate_per_ns > 0.0 {
+                    loop {
+                        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                        let next_flip = -u.ln() / qn.telegraph_rate_per_ns;
+                        if next_flip >= remaining {
+                            signed_time += telegraph_sign[q] * remaining;
+                            break;
+                        }
+                        signed_time += telegraph_sign[q] * next_flip;
+                        telegraph_sign[q] = -telegraph_sign[q];
+                        remaining -= next_flip;
+                    }
+                } else {
+                    signed_time = telegraph_sign[q] * dt;
+                }
+                sv.apply_phase_if_one(detuning[q] * signed_time, q);
+            }
+
+            // Amplitude damping as an MCWF jump/no-jump step.
+            if qn.t1_ns.is_finite() {
+                let gamma = 1.0 - (-dt / qn.t1_ns).exp();
+                apply_amplitude_damping_mcwf(sv, q, gamma, rng);
+            }
+
+            // Pure dephasing as a stochastic Z flip.
+            let rate = qn.pure_dephasing_rate();
+            if rate > 0.0 {
+                let p = 0.5 * (1.0 - (-dt * rate).exp());
+                if rng.gen::<f64>() < p {
+                    sv.apply_phase_if_one(std::f64::consts::PI, q);
+                }
+            }
+        }
+        // Always-on ZZ between started pairs.
+        for &((a, b), zeta) in zz {
+            if started[a] && started[b] {
+                sv.apply_zz(zeta * dt, a, b);
+            }
+        }
+    }
+
+    /// Depolarizing gate error: sampled Pauli insertion after the gate.
+    fn apply_gate_error(&self, sv: &mut StateVector, qubits: &[usize], rng: &mut StdRng) {
+        match qubits.len() {
+            1 => {
+                let p = self.noise.qubit(qubits[0]).gate_error_1q;
+                if p > 0.0 && rng.gen::<f64>() < p {
+                    apply_random_pauli(sv, qubits[0], rng);
+                }
+            }
+            2 => {
+                let p = self.noise.cx_error(qubits[0], qubits[1]);
+                if p > 0.0 && rng.gen::<f64>() < p {
+                    // Uniform non-identity two-qubit Pauli.
+                    loop {
+                        let (a, b) = (rng.gen_range(0..4u8), rng.gen_range(0..4u8));
+                        if a == 0 && b == 0 {
+                            continue;
+                        }
+                        if a != 0 {
+                            apply_pauli_index(sv, qubits[0], a);
+                        }
+                        if b != 0 {
+                            apply_pauli_index(sv, qubits[1], b);
+                        }
+                        break;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn apply_random_pauli(sv: &mut StateVector, q: usize, rng: &mut StdRng) {
+    apply_pauli_index(sv, q, rng.gen_range(1..4u8));
+}
+
+fn apply_pauli_index(sv: &mut StateVector, q: usize, which: u8) {
+    let g = match which {
+        1 => Gate::X,
+        2 => Gate::Y,
+        _ => Gate::Z,
+    };
+    sv.apply_gate(&g, &[q]).expect("paulis are concrete");
+}
+
+/// MCWF amplitude damping: with probability `gamma * P(|1>)` apply the jump
+/// operator (decay to |0>); otherwise apply the no-jump operator
+/// `diag(1, sqrt(1-gamma))` and renormalize.
+fn apply_amplitude_damping_mcwf(sv: &mut StateVector, q: usize, gamma: f64, rng: &mut StdRng) {
+    if gamma <= 0.0 {
+        return;
+    }
+    let bit = 1usize << q;
+    let p1: f64 = sv
+        .amplitudes()
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i & bit != 0)
+        .map(|(_, a)| a.norm_sqr())
+        .sum();
+    let p_jump = gamma * p1;
+    // Copy amplitudes out, transform, and write back through a fresh vector
+    // (the statevector API has no raw mutable amplitude access by design).
+    let mut amps = sv.amplitudes().to_vec();
+    if rng.gen::<f64>() < p_jump {
+        // Jump: |...1...> -> |...0...>.
+        let mut next = vec![vaqem_mathkit::Complex64::ZERO; amps.len()];
+        for (i, a) in amps.iter().enumerate() {
+            if i & bit != 0 {
+                next[i & !bit] = *a;
+            }
+        }
+        amps = next;
+    } else {
+        // No jump: damp the |1> branch.
+        let damp = (1.0 - gamma).sqrt();
+        for (i, a) in amps.iter_mut().enumerate() {
+            if i & bit != 0 {
+                *a = *a * damp;
+            }
+        }
+    }
+    let mut next = StateVector::from_amplitudes(amps);
+    next.normalize();
+    *sv = next;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vaqem_circuit::circuit::QuantumCircuit;
+    use vaqem_circuit::schedule::{schedule, DurationModel, ScheduleKind};
+    use vaqem_device::noise::QubitNoise;
+
+    fn sched(qc: &QuantumCircuit) -> ScheduledCircuit {
+        schedule(qc, &DurationModel::ibm_default(), ScheduleKind::Asap).unwrap()
+    }
+
+    fn dephasing_only(sigma: f64, telegraph: f64) -> NoiseParameters {
+        NoiseParameters::from_qubits(vec![QubitNoise {
+            t1_ns: f64::INFINITY,
+            t2_ns: f64::INFINITY,
+            quasi_static_sigma_rad_ns: sigma,
+            telegraph_rate_per_ns: telegraph,
+            readout_p01: 0.0,
+            readout_p10: 0.0,
+            gate_error_1q: 0.0,
+        }])
+    }
+
+    #[test]
+    fn noiseless_machine_matches_ideal() {
+        let mut qc = QuantumCircuit::new(2);
+        qc.h(0).unwrap();
+        qc.cx(0, 1).unwrap();
+        qc.measure_all();
+        let exec = MachineExecutor::new(NoiseParameters::noiseless(2), SeedStream::new(1))
+            .with_shots(4000);
+        let counts = exec.run(&sched(&qc));
+        assert_eq!(counts.total(), 4000);
+        let p00 = counts.probability("00");
+        let p11 = counts.probability("11");
+        assert!((p00 - 0.5).abs() < 0.05, "p00 {p00}");
+        assert!((p11 - 0.5).abs() < 0.05, "p11 {p11}");
+        assert_eq!(counts.get("01") + counts.get("10"), 0);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let mut qc = QuantumCircuit::new(1);
+        qc.h(0).unwrap();
+        qc.measure(0).unwrap();
+        let exec =
+            MachineExecutor::new(NoiseParameters::uniform(1), SeedStream::new(5)).with_shots(256);
+        let a = exec.run(&sched(&qc));
+        let b = exec.run(&sched(&qc));
+        assert_eq!(a, b);
+        let c = exec.run_job(&sched(&qc), 1);
+        assert_ne!(a, c, "different job indices should decorrelate");
+    }
+
+    #[test]
+    fn quasi_static_dephasing_randomizes_plus_state() {
+        // |+> idling long against sigma: X-basis measurement decays to 50/50.
+        let sigma = 9.0e-5;
+        let idle = 30_000.0; // sigma * t ~ 2.7 rad
+        let mut qc = QuantumCircuit::new(1);
+        qc.h(0).unwrap();
+        qc.delay(idle, 0).unwrap();
+        qc.h(0).unwrap();
+        qc.measure(0).unwrap();
+        let exec = MachineExecutor::new(dephasing_only(sigma, 0.0), SeedStream::new(2))
+            .with_shots(2000);
+        let counts = exec.run(&sched(&qc));
+        let p1 = counts.probability("1");
+        assert!(p1 > 0.3, "long idle should dephase: p1 = {p1}");
+    }
+
+    #[test]
+    fn hahn_echo_refocuses_quasi_static_noise() {
+        // The paper's Fig. 4/6 physics: a centered X pulse recovers the
+        // state; the same X at the window edge does not.
+        let sigma = 9.0e-5;
+        let idle = 28_440.0; // the paper's 28.44 us window
+        let exec = MachineExecutor::new(dephasing_only(sigma, 0.0), SeedStream::new(3))
+            .with_shots(1500);
+
+        // Centered echo: H, delay T/2, X, delay T/2, H -> expect |1>.
+        let mut echo = QuantumCircuit::new(1);
+        echo.h(0).unwrap();
+        echo.delay(idle / 2.0, 0).unwrap();
+        echo.x(0).unwrap();
+        echo.delay(idle / 2.0, 0).unwrap();
+        echo.h(0).unwrap();
+        echo.measure(0).unwrap();
+
+        // Edge echo (ALAP-style): H, delay T, X, H.
+        let mut edge = QuantumCircuit::new(1);
+        edge.h(0).unwrap();
+        edge.delay(idle, 0).unwrap();
+        edge.x(0).unwrap();
+        edge.h(0).unwrap();
+        edge.measure(0).unwrap();
+
+        // X|+> = |+>, so the ideal outcome of both circuits is |0>.
+        let p_echo = exec.run(&sched(&echo)).probability("0");
+        let p_edge = exec.run(&sched(&edge)).probability("0");
+        assert!(
+            p_echo > 0.93,
+            "centered echo should refocus almost perfectly: {p_echo}"
+        );
+        assert!(
+            p_edge < p_echo - 0.2,
+            "edge-positioned X should not refocus: edge {p_edge} vs echo {p_echo}"
+        );
+    }
+
+    #[test]
+    fn telegraph_noise_limits_single_echo() {
+        let sigma = 9.0e-5;
+        let idle = 28_440.0;
+        let seeds = SeedStream::new(4);
+        let mut echo = QuantumCircuit::new(1);
+        echo.h(0).unwrap();
+        echo.delay(idle / 2.0, 0).unwrap();
+        echo.x(0).unwrap();
+        echo.delay(idle / 2.0, 0).unwrap();
+        echo.h(0).unwrap();
+        echo.measure(0).unwrap();
+        let s = sched(&echo);
+        let quiet = MachineExecutor::new(dephasing_only(sigma, 0.0), seeds).with_shots(1500);
+        let noisy = MachineExecutor::new(dephasing_only(sigma, 5.0e-5), seeds).with_shots(1500);
+        let p_quiet = quiet.run(&s).probability("0");
+        let p_noisy = noisy.run(&s).probability("0");
+        assert!(
+            p_noisy < p_quiet - 0.05,
+            "telegraph switching should degrade a single echo: {p_noisy} vs {p_quiet}"
+        );
+    }
+
+    #[test]
+    fn t1_decay_on_machine() {
+        let t1 = 50_000.0;
+        let noise = NoiseParameters::from_qubits(vec![QubitNoise {
+            t1_ns: t1,
+            t2_ns: 2.0 * t1,
+            quasi_static_sigma_rad_ns: 0.0,
+            telegraph_rate_per_ns: 0.0,
+            readout_p01: 0.0,
+            readout_p10: 0.0,
+            gate_error_1q: 0.0,
+        }]);
+        let mut qc = QuantumCircuit::new(1);
+        qc.x(0).unwrap();
+        qc.delay(t1, 0).unwrap(); // one T1
+        qc.id(0).unwrap();
+        qc.measure(0).unwrap();
+        let exec = MachineExecutor::new(noise, SeedStream::new(6)).with_shots(3000);
+        let p1 = exec.run(&sched(&qc)).probability("1");
+        let expect = (-1.0f64).exp();
+        assert!((p1 - expect).abs() < 0.05, "p1 {p1} vs {expect}");
+    }
+
+    #[test]
+    fn readout_error_applies() {
+        let mut noise = NoiseParameters::noiseless(1);
+        noise.qubit_mut(0).readout_p01 = 0.15;
+        let mut qc = QuantumCircuit::new(1);
+        qc.id(0).unwrap();
+        qc.measure(0).unwrap();
+        let exec = MachineExecutor::new(noise, SeedStream::new(7)).with_shots(4000);
+        let p1 = exec.run(&sched(&qc)).probability("1");
+        assert!((p1 - 0.15).abs() < 0.03, "p1 {p1}");
+    }
+
+    #[test]
+    fn gate_error_scales_with_gate_count() {
+        let mut noise = NoiseParameters::noiseless(1);
+        noise.qubit_mut(0).gate_error_1q = 0.02;
+        let seeds = SeedStream::new(8);
+        let run_len = |k: usize| {
+            let mut qc = QuantumCircuit::new(1);
+            for _ in 0..k {
+                qc.x(0).unwrap();
+                qc.x(0).unwrap();
+            }
+            qc.measure(0).unwrap();
+            let exec = MachineExecutor::new(noise.clone(), seeds).with_shots(3000);
+            exec.run(&sched(&qc)).probability("0")
+        };
+        let p_short = run_len(2);
+        let p_long = run_len(40);
+        assert!(
+            p_long < p_short - 0.1,
+            "more gates, more error: {p_long} vs {p_short}"
+        );
+    }
+
+    #[test]
+    fn zz_coupling_entangles_idle_neighbors() {
+        // |+>|1| idling under ZZ picks up conditional phase; measuring the
+        // first qubit in X basis drifts from deterministic.
+        let mut noise = NoiseParameters::noiseless(2);
+        noise.set_zz(0, 1, 2.5e-4);
+        let mut qc = QuantumCircuit::new(2);
+        qc.h(0).unwrap();
+        qc.x(1).unwrap();
+        qc.delay(10_000.0, 0).unwrap();
+        qc.delay(10_000.0, 1).unwrap();
+        qc.id(0).unwrap();
+        qc.id(1).unwrap();
+        qc.h(0).unwrap();
+        qc.measure_all();
+        let exec = MachineExecutor::new(noise, SeedStream::new(9)).with_shots(2000);
+        let counts = exec.run(&sched(&qc));
+        // Without ZZ, qubit 0 would read 0 with certainty. zeta*t = 2.5 rad
+        // rotates it far away.
+        let p_q0_one: f64 = counts
+            .iter()
+            .filter(|(bits, _)| bits.ends_with('1'))
+            .map(|(_, n)| n as f64)
+            .sum::<f64>()
+            / counts.total() as f64;
+        assert!(p_q0_one > 0.2, "ZZ should rotate the idle qubit: {p_q0_one}");
+    }
+}

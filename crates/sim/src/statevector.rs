@@ -1,0 +1,403 @@
+//! Ideal statevector simulation.
+//!
+//! [`StateVector`] is the noise-free engine used for (a) the angle-tuning
+//! phase of the feasible VAQEM flow (paper Fig. 11: "Noise-free Computation
+//! Model"), (b) exact reference distributions for Hellinger fidelity, and
+//! (c) exact expectation values `<psi|H|psi>`.
+//!
+//! Qubit 0 is the least significant bit of the amplitude index.
+
+use crate::counts::Counts;
+use rand::Rng;
+use vaqem_circuit::circuit::QuantumCircuit;
+use vaqem_circuit::error::CircuitError;
+use vaqem_circuit::gate::Gate;
+use vaqem_mathkit::complex::Complex64;
+use vaqem_mathkit::matrix::CMatrix;
+
+/// A pure quantum state over `n` qubits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateVector {
+    num_qubits: usize,
+    amps: Vec<Complex64>,
+}
+
+impl StateVector {
+    /// Creates `|0...0>`.
+    pub fn zero_state(num_qubits: usize) -> Self {
+        let mut amps = vec![Complex64::ZERO; 1 << num_qubits];
+        amps[0] = Complex64::ONE;
+        StateVector { num_qubits, amps }
+    }
+
+    /// Creates a state from raw amplitudes (normalized by the caller).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is not a power of two.
+    pub fn from_amplitudes(amps: Vec<Complex64>) -> Self {
+        let n = amps.len();
+        assert!(n.is_power_of_two(), "amplitude count must be a power of two");
+        StateVector {
+            num_qubits: n.trailing_zeros() as usize,
+            amps,
+        }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Amplitude slice (index 0 = `|0...0>`).
+    pub fn amplitudes(&self) -> &[Complex64] {
+        &self.amps
+    }
+
+    /// Two-norm of the state.
+    pub fn norm(&self) -> f64 {
+        CMatrix::vec_norm(&self.amps)
+    }
+
+    /// Renormalizes in place (no-op on the zero vector).
+    pub fn normalize(&mut self) {
+        let n = self.norm();
+        if n > 1e-300 {
+            for a in self.amps.iter_mut() {
+                *a = *a / n;
+            }
+        }
+    }
+
+    /// Applies a 2x2 unitary to qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range or `u` is not 2x2.
+    pub fn apply_single(&mut self, u: &CMatrix, q: usize) {
+        assert!(q < self.num_qubits, "qubit out of range");
+        assert_eq!(u.rows(), 2, "expected 2x2");
+        let bit = 1usize << q;
+        let (u00, u01, u10, u11) = (u[(0, 0)], u[(0, 1)], u[(1, 0)], u[(1, 1)]);
+        for base in 0..self.amps.len() {
+            if base & bit != 0 {
+                continue;
+            }
+            let i0 = base;
+            let i1 = base | bit;
+            let a0 = self.amps[i0];
+            let a1 = self.amps[i1];
+            self.amps[i0] = u00 * a0 + u01 * a1;
+            self.amps[i1] = u10 * a0 + u11 * a1;
+        }
+    }
+
+    /// Applies a 4x4 unitary to `(q_hi, q_lo)` where `q_hi` indexes the more
+    /// significant bit of the gate space (first operand of [`Gate::Cx`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range or equal qubits, or a non-4x4 matrix.
+    pub fn apply_two(&mut self, u: &CMatrix, q_hi: usize, q_lo: usize) {
+        assert!(q_hi < self.num_qubits && q_lo < self.num_qubits, "qubit out of range");
+        assert_ne!(q_hi, q_lo, "distinct qubits required");
+        assert_eq!(u.rows(), 4, "expected 4x4");
+        let (bh, bl) = (1usize << q_hi, 1usize << q_lo);
+        for base in 0..self.amps.len() {
+            if base & bh != 0 || base & bl != 0 {
+                continue;
+            }
+            let idx = [base, base | bl, base | bh, base | bh | bl];
+            let a: Vec<Complex64> = idx.iter().map(|&i| self.amps[i]).collect();
+            for (r, &i) in idx.iter().enumerate() {
+                let mut acc = Complex64::ZERO;
+                for c in 0..4 {
+                    acc += u[(r, c)] * a[c];
+                }
+                self.amps[i] = acc;
+            }
+        }
+    }
+
+    /// Applies a phase `e^{i theta}` to every basis state where qubit `q` is 1
+    /// (fast diagonal path used by the noisy executor's detuning model).
+    pub fn apply_phase_if_one(&mut self, theta: f64, q: usize) {
+        let bit = 1usize << q;
+        let phase = Complex64::cis(theta);
+        for (i, a) in self.amps.iter_mut().enumerate() {
+            if i & bit != 0 {
+                *a = *a * phase;
+            }
+        }
+    }
+
+    /// Applies `exp(-i theta Z_a Z_b / 2)` (always-on ZZ coupling step).
+    pub fn apply_zz(&mut self, theta: f64, a: usize, b: usize) {
+        let (ba, bb) = (1usize << a, 1usize << b);
+        let plus = Complex64::cis(-theta / 2.0);
+        let minus = Complex64::cis(theta / 2.0);
+        for (i, amp) in self.amps.iter_mut().enumerate() {
+            let parity = ((i & ba != 0) as u8) ^ ((i & bb != 0) as u8);
+            *amp = *amp * if parity == 0 { plus } else { minus };
+        }
+    }
+
+    /// Applies a concrete gate instruction.
+    ///
+    /// Delays, barriers and identities are no-ops at this level; measurement
+    /// is rejected (use sampling instead).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnboundParameter`] for symbolic gates.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `Measure` (projective collapse is handled by sampling).
+    pub fn apply_gate(&mut self, gate: &Gate, qubits: &[usize]) -> Result<(), CircuitError> {
+        match gate {
+            Gate::Barrier | Gate::Delay { .. } | Gate::I => Ok(()),
+            Gate::Measure => panic!("apply_gate cannot measure; sample the state instead"),
+            g => {
+                let u = g.unitary()?;
+                match qubits.len() {
+                    1 => self.apply_single(&u, qubits[0]),
+                    2 => self.apply_two(&u, qubits[0], qubits[1]),
+                    k => panic!("unsupported arity {k}"),
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Runs a full concrete circuit from `|0...0>`.
+    ///
+    /// Measurements are ignored (the state before measurement is returned);
+    /// use [`Self::sample_counts`] for shot results.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnboundParameter`] for symbolic circuits.
+    pub fn run(circuit: &QuantumCircuit) -> Result<StateVector, CircuitError> {
+        let mut sv = StateVector::zero_state(circuit.num_qubits());
+        for inst in circuit.instructions() {
+            if matches!(inst.gate, Gate::Measure) {
+                continue;
+            }
+            sv.apply_gate(&inst.gate, &inst.qubits)?;
+        }
+        Ok(sv)
+    }
+
+    /// Born-rule probabilities for every basis state.
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.amps.iter().map(|a| a.norm_sqr()).collect()
+    }
+
+    /// Samples one basis-state index.
+    pub fn sample_index<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let r: f64 = rng.gen();
+        let mut acc = 0.0;
+        for (i, a) in self.amps.iter().enumerate() {
+            acc += a.norm_sqr();
+            if r < acc {
+                return i;
+            }
+        }
+        self.amps.len() - 1
+    }
+
+    /// Samples a histogram of `shots` measurements of all qubits.
+    pub fn sample_counts<R: Rng + ?Sized>(&self, rng: &mut R, shots: u64) -> Counts {
+        let mut counts = Counts::new(self.num_qubits);
+        for _ in 0..shots {
+            counts.record_index(self.sample_index(rng));
+        }
+        counts
+    }
+
+    /// Exact counts: probabilities scaled to `shots` and rounded (useful as
+    /// an ideal reference distribution without sampling noise).
+    pub fn exact_counts(&self, shots: u64) -> Counts {
+        let mut counts = Counts::new(self.num_qubits);
+        for (i, a) in self.amps.iter().enumerate() {
+            let c = (a.norm_sqr() * shots as f64).round() as u64;
+            if c > 0 {
+                counts.record_index_n(i, c);
+            }
+        }
+        counts
+    }
+
+    /// Exact expectation `<psi|M|psi>` of a dense Hermitian observable.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn expectation(&self, observable: &CMatrix) -> f64 {
+        assert_eq!(observable.rows(), self.amps.len(), "dimension mismatch");
+        let mv = observable.mul_vec(&self.amps);
+        CMatrix::vec_inner(&self.amps, &mv).re
+    }
+
+    /// Fidelity `|<self|other>|^2` with another pure state.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn fidelity(&self, other: &StateVector) -> f64 {
+        assert_eq!(self.num_qubits, other.num_qubits, "width mismatch");
+        CMatrix::vec_inner(&self.amps, &other.amps).norm_sqr()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use std::f64::consts::FRAC_1_SQRT_2;
+    use vaqem_mathkit::c64;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn zero_state_is_normalized() {
+        let sv = StateVector::zero_state(3);
+        assert_eq!(sv.amplitudes().len(), 8);
+        assert!((sv.norm() - 1.0).abs() < 1e-12);
+        assert!(sv.amplitudes()[0].approx_eq(Complex64::ONE, 1e-12));
+    }
+
+    #[test]
+    fn bell_state_via_run() {
+        let mut qc = QuantumCircuit::new(2);
+        qc.h(0).unwrap();
+        qc.cx(0, 1).unwrap();
+        let sv = StateVector::run(&qc).unwrap();
+        let a = sv.amplitudes();
+        assert!(a[0].approx_eq(c64(FRAC_1_SQRT_2, 0.0), 1e-12));
+        assert!(a[3].approx_eq(c64(FRAC_1_SQRT_2, 0.0), 1e-12));
+        assert!(a[1].norm() < 1e-12 && a[2].norm() < 1e-12);
+    }
+
+    #[test]
+    fn ghz_probabilities() {
+        let mut qc = QuantumCircuit::new(3);
+        qc.h(0).unwrap();
+        qc.cx(0, 1).unwrap();
+        qc.cx(1, 2).unwrap();
+        let sv = StateVector::run(&qc).unwrap();
+        let p = sv.probabilities();
+        assert!((p[0] - 0.5).abs() < 1e-12);
+        assert!((p[7] - 0.5).abs() < 1e-12);
+        assert!((sv.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn apply_two_respects_control_order() {
+        // CX with control q1, target q0: |q1=1, q0=0> = index 2 -> index 3.
+        let mut sv = StateVector::zero_state(2);
+        sv.apply_single(&Gate::X.unitary().unwrap(), 1);
+        sv.apply_two(&Gate::Cx.unitary().unwrap(), 1, 0);
+        assert!(sv.amplitudes()[3].approx_eq(Complex64::ONE, 1e-12));
+    }
+
+    #[test]
+    fn phase_if_one_only_touches_one_branch() {
+        let mut sv = StateVector::zero_state(1);
+        sv.apply_single(&Gate::H.unitary().unwrap(), 0);
+        sv.apply_phase_if_one(std::f64::consts::PI, 0);
+        // H then Z = |->; applying H again gives |1>.
+        sv.apply_single(&Gate::H.unitary().unwrap(), 0);
+        assert!(sv.probabilities()[1] > 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn zz_phase_parity() {
+        // |11> picks up e^{-i theta/2}; |01> picks up e^{+i theta/2}.
+        let theta = 0.8;
+        let mut sv = StateVector::from_amplitudes(vec![
+            Complex64::ZERO,
+            Complex64::ONE,
+            Complex64::ZERO,
+            Complex64::ZERO,
+        ]);
+        sv.apply_zz(theta, 0, 1);
+        assert!(sv.amplitudes()[1].approx_eq(Complex64::cis(theta / 2.0), 1e-12));
+        let mut sv = StateVector::from_amplitudes(vec![
+            Complex64::ZERO,
+            Complex64::ZERO,
+            Complex64::ZERO,
+            Complex64::ONE,
+        ]);
+        sv.apply_zz(theta, 0, 1);
+        assert!(sv.amplitudes()[3].approx_eq(Complex64::cis(-theta / 2.0), 1e-12));
+    }
+
+    #[test]
+    fn sampling_matches_probabilities() {
+        let mut qc = QuantumCircuit::new(1);
+        qc.h(0).unwrap();
+        let sv = StateVector::run(&qc).unwrap();
+        let counts = sv.sample_counts(&mut rng(), 10_000);
+        let p1 = counts.probability("1");
+        assert!((p1 - 0.5).abs() < 0.03, "p1 = {p1}");
+    }
+
+    #[test]
+    fn exact_counts_have_no_sampling_noise() {
+        let mut qc = QuantumCircuit::new(1);
+        qc.h(0).unwrap();
+        let sv = StateVector::run(&qc).unwrap();
+        let counts = sv.exact_counts(1000);
+        assert_eq!(counts.get("0"), 500);
+        assert_eq!(counts.get("1"), 500);
+    }
+
+    #[test]
+    fn expectation_of_z() {
+        let z = Gate::Z.unitary().unwrap();
+        let sv = StateVector::zero_state(1);
+        assert!((sv.expectation(&z) - 1.0).abs() < 1e-12);
+        let mut sv1 = StateVector::zero_state(1);
+        sv1.apply_single(&Gate::X.unitary().unwrap(), 0);
+        assert!((sv1.expectation(&z) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fidelity_bounds() {
+        let a = StateVector::zero_state(2);
+        let mut qc = QuantumCircuit::new(2);
+        qc.h(0).unwrap();
+        let b = StateVector::run(&qc).unwrap();
+        assert!((a.fidelity(&a) - 1.0).abs() < 1e-12);
+        assert!((a.fidelity(&b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unitarity_preserves_norm_over_long_circuits() {
+        let mut qc = QuantumCircuit::new(4);
+        for i in 0..4 {
+            qc.h(i).unwrap();
+        }
+        for layer in 0..10 {
+            for i in 0..4 {
+                qc.ry(0.1 * (layer * 4 + i) as f64, i).unwrap();
+            }
+            for i in 0..3 {
+                qc.cx(i, i + 1).unwrap();
+            }
+        }
+        let sv = StateVector::run(&qc).unwrap();
+        assert!((sv.norm() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample the state")]
+    fn measure_gate_rejected() {
+        let mut sv = StateVector::zero_state(1);
+        let _ = sv.apply_gate(&Gate::Measure, &[0]);
+    }
+}

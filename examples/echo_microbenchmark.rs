@@ -1,0 +1,55 @@
+//! The Hahn-echo micro-benchmark of the paper's Fig. 6, as an API tour of
+//! the circuit, scheduling, and simulation layers.
+//!
+//! Builds the H + idle-window + X + H circuit, sweeps the X position, and
+//! shows why a calibration-style Markovian simulation cannot see the effect
+//! (the paper's Fig. 9 argument) while the trajectory machine can.
+//!
+//! ```sh
+//! cargo run --release --example echo_microbenchmark
+//! ```
+
+use vaqem_suite::ansatz::micro::hahn_echo_circuit;
+use vaqem_suite::circuit::schedule::{schedule, DurationModel, ScheduleKind};
+use vaqem_suite::device::backend::DeviceModel;
+use vaqem_suite::mathkit::rng::SeedStream;
+use vaqem_suite::sim::density::run_markovian;
+use vaqem_suite::sim::machine::MachineExecutor;
+use vaqem_suite::sim::statevector::StateVector;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let window_slots = 500;
+    let shots = 2048;
+    let noise = DeviceModel::ibmq_casablanca().noise().subset(&[0]);
+    let machine = MachineExecutor::new(noise.clone(), SeedStream::new(66)).with_shots(shots);
+    let durations = DurationModel::ibm_default();
+
+    println!("position   ideal-P(0)   machine-fidelity   markovian-sim-fidelity");
+    for &pos in &[0.0, 0.25, 0.5, 0.75, 1.0] {
+        let qc = hahn_echo_circuit(window_slots, pos)?;
+        let scheduled = schedule(&qc, &durations, ScheduleKind::Alap)?;
+
+        // Ideal outcome: deterministic |0>.
+        let ideal_sv = StateVector::run(&qc)?;
+        let ideal = ideal_sv.exact_counts(shots);
+
+        // The "machine" (trajectory engine, correlated noise).
+        let measured = machine.run_job(&scheduled, (pos * 100.0) as u64);
+        let f_machine = measured.hellinger_fidelity(&ideal);
+
+        // A calibration-style Markovian simulation: echo-blind.
+        let markovian = noise.markovian_only();
+        let dm = run_markovian(&scheduled, &markovian);
+        let f_sim = dm
+            .counts_with_readout(&markovian, shots)
+            .hellinger_fidelity(&ideal);
+
+        println!(
+            "{pos:>8.2}   {:>10.4}   {f_machine:>16.4}   {f_sim:>22.4}",
+            ideal_sv.probabilities()[0]
+        );
+    }
+    println!("\nThe machine column peaks at the centred echo; the Markovian column is");
+    println!("position-independent — mitigation must be tuned on the machine (Fig. 9).");
+    Ok(())
+}

@@ -1,0 +1,17 @@
+//! # vaqem-suite
+//!
+//! Umbrella crate for the VAQEM (HPCA 2022) reproduction. Re-exports every
+//! subsystem crate so the examples and cross-crate integration tests can use
+//! a single dependency. See `README.md` for the repository layout and
+//! `DESIGN.md` for the per-experiment index.
+
+pub use vaqem;
+pub use vaqem_ansatz as ansatz;
+pub use vaqem_circuit as circuit;
+pub use vaqem_device as device;
+pub use vaqem_mathkit as mathkit;
+pub use vaqem_mitigation as mitigation;
+pub use vaqem_optim as optim;
+pub use vaqem_pauli as pauli;
+pub use vaqem_runtime as runtime;
+pub use vaqem_sim as sim;

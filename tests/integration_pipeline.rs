@@ -1,0 +1,158 @@
+//! End-to-end integration tests across all workspace crates: the full
+//! VAQEM feasible flow on small problems, checking determinism, soundness,
+//! and the qualitative claims of the paper.
+
+use vaqem_suite::ansatz::su2::{EfficientSu2, Entanglement};
+use vaqem_suite::device::backend::DeviceModel;
+use vaqem_suite::mathkit::rng::SeedStream;
+use vaqem_suite::mitigation::combined::MitigationConfig;
+use vaqem_suite::mitigation::dd::DdSequence;
+use vaqem_suite::optim::spsa::SpsaConfig;
+use vaqem_suite::pauli::models::tfim_paper;
+use vaqem_suite::vaqem::backend::QuantumBackend;
+use vaqem_suite::vaqem::pipeline::{run_pipeline, tune_angles, PipelineConfig, Strategy};
+use vaqem_suite::vaqem::soundness::measured_energy_is_sound;
+use vaqem_suite::vaqem::vqe::VqeProblem;
+use vaqem_suite::vaqem::window_tuner::{WindowTuner, WindowTunerConfig};
+
+fn small_problem() -> VqeProblem {
+    let ansatz = EfficientSu2::new(3, 1, Entanglement::Linear)
+        .circuit()
+        .expect("ansatz builds");
+    VqeProblem::new("itest_tfim3", tfim_paper(3), ansatz).expect("problem builds")
+}
+
+fn quick_config(seed: u64) -> PipelineConfig {
+    PipelineConfig {
+        spsa: SpsaConfig::paper_default().with_iterations(50),
+        shots: 192,
+        sweep_resolution: 3,
+        max_repetitions: 4,
+        seeds: SeedStream::new(seed),
+        eval_repeats: 1,
+    }
+}
+
+#[test]
+fn full_pipeline_small_tfim() {
+    let problem = small_problem();
+    let noise = DeviceModel::ibmq_casablanca().noise().subset(&[0, 1, 2]);
+    let strategies = [
+        Strategy::NoEm,
+        Strategy::MemBaseline,
+        Strategy::DdXy,
+        Strategy::VaqemXy,
+        Strategy::VaqemGsXy,
+    ];
+    let run = run_pipeline(&problem, &noise, &quick_config(5), &strategies).expect("pipeline");
+    assert_eq!(run.results.len(), strategies.len());
+    for r in &run.results {
+        assert!(r.energy.is_finite(), "{:?}", r.strategy);
+        // Soundness (paper §V) within generous shot-noise tolerance.
+        assert!(
+            measured_energy_is_sound(r.energy, run.exact_ground, 0.6),
+            "{:?}: {} vs {}",
+            r.strategy,
+            r.energy,
+            run.exact_ground
+        );
+        assert!((0.0..=1.0).contains(&r.fraction_of_optimal));
+    }
+    // The angle-tuning phase must have made progress toward the ground state.
+    let first = run.angle_trace.first().copied().unwrap();
+    let last = run.angle_trace.last().copied().unwrap();
+    assert!(last < first, "angle tuning did not descend: {first} -> {last}");
+    // MEM must beat No-EM (readout errors are significant on this device).
+    let no_em = run.result(Strategy::NoEm).unwrap().fraction_of_optimal;
+    let mem = run.result(Strategy::MemBaseline).unwrap().fraction_of_optimal;
+    assert!(
+        mem >= no_em - 0.05,
+        "MEM should not be much worse than No-EM: {mem} vs {no_em}"
+    );
+}
+
+#[test]
+fn pipeline_is_deterministic() {
+    let problem = small_problem();
+    let noise = DeviceModel::ibmq_jakarta().noise().subset(&[0, 1, 2]);
+    let strategies = [Strategy::MemBaseline, Strategy::VaqemXx];
+    let a = run_pipeline(&problem, &noise, &quick_config(9), &strategies).expect("run a");
+    let b = run_pipeline(&problem, &noise, &quick_config(9), &strategies).expect("run b");
+    for (ra, rb) in a.results.iter().zip(b.results.iter()) {
+        assert_eq!(ra.energy, rb.energy, "{:?}", ra.strategy);
+        assert_eq!(ra.config, rb.config);
+    }
+    assert_eq!(a.tuned_params, b.tuned_params);
+}
+
+#[test]
+fn vaqem_tuned_config_not_much_worse_than_baseline() {
+    // The per-window tuner explicitly includes the baseline (0 repetitions)
+    // in every sweep, so up to re-evaluation shot noise the tuned
+    // configuration can only improve the objective.
+    let problem = small_problem();
+    let seeds = SeedStream::new(77);
+    let (params, _) = tune_angles(
+        &problem,
+        &SpsaConfig::paper_default().with_iterations(60),
+        &seeds,
+    )
+    .expect("angles");
+    let noise = DeviceModel::ibmq_casablanca().noise().subset(&[0, 1, 2]);
+    let mut backend = QuantumBackend::new(noise, seeds.substream("m")).with_shots(512);
+    backend.calibrate_mem();
+    let baseline = problem
+        .machine_energy(&backend, &params, &MitigationConfig::baseline(), 42)
+        .expect("baseline eval");
+    let tuner = WindowTuner::new(
+        &problem,
+        &backend,
+        WindowTunerConfig {
+            sweep_resolution: 4,
+            dd_sequence: DdSequence::Xy4,
+            max_repetitions: 6,
+        },
+    );
+    let tuned = tuner.tune_dd(&params).expect("tuning");
+    let mitigated = problem
+        .machine_energy(&backend, &params, &tuned.config, 43)
+        .expect("tuned eval");
+    // Minimization objective: tuned should not be meaningfully above
+    // baseline (tolerance = a few standard errors at 512 shots).
+    assert!(
+        mitigated <= baseline + 0.35,
+        "tuned {mitigated} much worse than baseline {baseline}"
+    );
+}
+
+#[test]
+fn angle_tuning_transfers_to_machine() {
+    // Paper Fig. 8: parameters tuned in ideal simulation also give a good
+    // (low) objective on the noisy machine relative to random parameters.
+    let problem = small_problem();
+    let seeds = SeedStream::new(88);
+    let (tuned_params, _) = tune_angles(
+        &problem,
+        &SpsaConfig::paper_default().with_iterations(120),
+        &seeds,
+    )
+    .expect("angles");
+    let noise = DeviceModel::ibmq_casablanca().noise().subset(&[0, 1, 2]);
+    let mut backend = QuantumBackend::new(noise, seeds.substream("m")).with_shots(1024);
+    backend.calibrate_mem();
+    let e_tuned = problem
+        .machine_energy(&backend, &tuned_params, &MitigationConfig::baseline(), 1)
+        .expect("eval");
+    let e_zero = problem
+        .machine_energy(
+            &backend,
+            &vec![0.0; problem.num_params()],
+            &MitigationConfig::baseline(),
+            2,
+        )
+        .expect("eval");
+    assert!(
+        e_tuned < e_zero,
+        "simulation-tuned params should beat untuned on the machine: {e_tuned} vs {e_zero}"
+    );
+}
