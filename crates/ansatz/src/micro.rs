@@ -32,8 +32,14 @@ pub const SLOT_NS: f64 = 35.56;
 /// # Panics
 ///
 /// Panics if `position` is outside `[0, 1]` or `window_slots == 0`.
-pub fn hahn_echo_circuit(window_slots: usize, position: f64) -> Result<QuantumCircuit, CircuitError> {
-    assert!((0.0..=1.0).contains(&position), "position must be in [0, 1]");
+pub fn hahn_echo_circuit(
+    window_slots: usize,
+    position: f64,
+) -> Result<QuantumCircuit, CircuitError> {
+    assert!(
+        (0.0..=1.0).contains(&position),
+        "position must be in [0, 1]"
+    );
     assert!(window_slots > 0, "window must be non-empty");
     let total_ns = window_slots as f64 * SLOT_NS;
     let before_ns = (total_ns - SLOT_NS).max(0.0) * position;

@@ -108,17 +108,18 @@ impl EfficientSu2 {
         let n = self.num_qubits;
         let mut qc = QuantumCircuit::new(n);
         let mut param = 0usize;
-        let rotation_layer = |qc: &mut QuantumCircuit, param: &mut usize| -> Result<(), CircuitError> {
-            for q in 0..n {
-                qc.ry_param(*param, q)?;
-                *param += 1;
-            }
-            for q in 0..n {
-                qc.rz_param(*param, q)?;
-                *param += 1;
-            }
-            Ok(())
-        };
+        let rotation_layer =
+            |qc: &mut QuantumCircuit, param: &mut usize| -> Result<(), CircuitError> {
+                for q in 0..n {
+                    qc.ry_param(*param, q)?;
+                    *param += 1;
+                }
+                for q in 0..n {
+                    qc.rz_param(*param, q)?;
+                    *param += 1;
+                }
+                Ok(())
+            };
         for _ in 0..self.reps {
             rotation_layer(&mut qc, &mut param)?;
             for (a, b) in self.entanglement.pairs(n) {
@@ -169,9 +170,13 @@ mod tests {
 
     #[test]
     fn cx_count_matches_pattern() {
-        let full = EfficientSu2::new(4, 6, Entanglement::Full).circuit().unwrap();
+        let full = EfficientSu2::new(4, 6, Entanglement::Full)
+            .circuit()
+            .unwrap();
         assert_eq!(full.cx_count(), 6 * 6);
-        let circ = EfficientSu2::new(6, 4, Entanglement::Circular).circuit().unwrap();
+        let circ = EfficientSu2::new(6, 4, Entanglement::Circular)
+            .circuit()
+            .unwrap();
         assert_eq!(circ.cx_count(), 4 * 6);
     }
 
@@ -198,7 +203,13 @@ mod tests {
 
     #[test]
     fn labels_match_paper_naming() {
-        assert_eq!(EfficientSu2::new(6, 4, Entanglement::Circular).label(), "6q_c_4r");
-        assert_eq!(EfficientSu2::new(4, 6, Entanglement::Full).label(), "4q_f_6r");
+        assert_eq!(
+            EfficientSu2::new(6, 4, Entanglement::Circular).label(),
+            "6q_c_4r"
+        );
+        assert_eq!(
+            EfficientSu2::new(4, 6, Entanglement::Full).label(),
+            "4q_f_6r"
+        );
     }
 }

@@ -34,7 +34,10 @@ pub fn append_pauli_rotation(
     sign: f64,
 ) -> Result<(), CircuitError> {
     let support = p.support();
-    assert!(!support.is_empty(), "cannot exponentiate the identity string");
+    assert!(
+        !support.is_empty(),
+        "cannot exponentiate the identity string"
+    );
     // Basis change into Z for every support qubit.
     for &q in &support {
         match p.op(q) {
@@ -160,7 +163,11 @@ mod tests {
         let dec = vaqem_mathkit::eigen::hermitian_eigen(&h.to_matrix());
         let g = &dec.vectors[0];
         assert!(g[3].norm_sqr() > 0.95, "HF weight {}", g[3].norm_sqr());
-        assert!(g[12].norm_sqr() > 1e-4, "doubles weight {}", g[12].norm_sqr());
+        assert!(
+            g[12].norm_sqr() > 1e-4,
+            "doubles weight {}",
+            g[12].norm_sqr()
+        );
     }
 
     #[test]
@@ -195,8 +202,14 @@ mod tests {
             best = best.min(e);
             assert!(e >= e0 - 1e-9, "variational bound violated: {e} < {e0}");
         }
-        assert!(best < e_hf - 1e-4, "doubles must improve on HF: {best} vs {e_hf}");
-        assert!(best - e0 < 5e-3, "UCCSD should nearly reach exact: {best} vs {e0}");
+        assert!(
+            best < e_hf - 1e-4,
+            "doubles must improve on HF: {best} vs {e_hf}"
+        );
+        assert!(
+            best - e0 < 5e-3,
+            "UCCSD should nearly reach exact: {best} vs {e0}"
+        );
     }
 
     #[test]

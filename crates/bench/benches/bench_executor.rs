@@ -1,0 +1,62 @@
+//! Criterion benches for the Executor layer: a tuner-style sweep batch
+//! dispatched through `run_batch` (parallel) vs. the same jobs run
+//! sequentially — the speedup the batched tuning loop banks on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId as CriterionId, Criterion};
+use vaqem::executor::{Executor, Job};
+use vaqem::vqe::VqeProblem;
+use vaqem::QuantumBackend;
+use vaqem_ansatz::su2::{EfficientSu2, Entanglement};
+use vaqem_device::noise::NoiseParameters;
+use vaqem_mathkit::rng::SeedStream;
+use vaqem_mitigation::combined::MitigationConfig;
+use vaqem_mitigation::dd::DdSequence;
+use vaqem_pauli::models::tfim_paper;
+use vaqem_sim::machine::MachineExecutor;
+
+/// A tuner-shaped batch: one job per (sweep candidate, measurement group),
+/// exactly what one window's sweep dispatches.
+fn sweep_jobs(shots: u64) -> (MachineExecutor, Vec<Job>) {
+    let ansatz = EfficientSu2::new(4, 1, Entanglement::Linear)
+        .circuit()
+        .expect("ansatz");
+    let problem = VqeProblem::new("bench", tfim_paper(4), ansatz).expect("problem");
+    let backend =
+        QuantumBackend::new(NoiseParameters::uniform(4), SeedStream::new(99)).with_shots(shots);
+    let params = vec![0.3; problem.num_params()];
+    let cache = problem
+        .schedule_groups(&backend, &params)
+        .expect("schedules");
+    let mut jobs = Vec::new();
+    for (c, reps) in [0usize, 1, 2, 4, 6, 8].into_iter().enumerate() {
+        let cfg = MitigationConfig::dynamical_decoupling(DdSequence::Xy4, vec![reps; 16]);
+        jobs.extend(problem.energy_jobs(&backend, &cache, &cfg, 1_000 + c as u64));
+    }
+    (backend.executor().clone(), jobs)
+}
+
+fn bench_sweep_batched_vs_sequential(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tuner_sweep_128_shots");
+    group.sample_size(10);
+    let (executor, jobs) = sweep_jobs(128);
+    group.bench_with_input(
+        CriterionId::from_parameter("sequential"),
+        &jobs,
+        |b, jobs| {
+            b.iter(|| {
+                jobs.iter()
+                    .map(|j| Executor::run(&executor, &j.scheduled, j.shots, j.seed))
+                    .collect::<Vec<_>>()
+            })
+        },
+    );
+    group.bench_with_input(
+        CriterionId::from_parameter("run_batch"),
+        &jobs,
+        |b, jobs| b.iter(|| executor.run_batch(jobs)),
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep_batched_vs_sequential);
+criterion_main!(benches);

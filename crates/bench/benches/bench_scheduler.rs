@@ -6,7 +6,11 @@ use vaqem_circuit::schedule::{schedule, DurationModel, ScheduleKind};
 
 fn bench_alap_scheduling(c: &mut Criterion) {
     let mut group = c.benchmark_group("alap_schedule");
-    for id in [BenchmarkId::Tfim6qC2r, BenchmarkId::Tfim6qC4r, BenchmarkId::UccsdH2] {
+    for id in [
+        BenchmarkId::Tfim6qC2r,
+        BenchmarkId::Tfim6qC4r,
+        BenchmarkId::UccsdH2,
+    ] {
         let problem = id.problem().expect("benchmark builds");
         let ansatz = problem.ansatz();
         let mut bound = ansatz

@@ -57,5 +57,10 @@ fn bench_machine_trajectories(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_statevector, bench_density, bench_machine_trajectories);
+criterion_group!(
+    benches,
+    bench_statevector,
+    bench_density,
+    bench_machine_trajectories
+);
 criterion_main!(benches);

@@ -30,7 +30,7 @@ fn bench_nelder_mead(c: &mut Criterion) {
         b.iter(|| {
             nelder_mead::minimize(
                 |x| x.iter().map(|v| (v - 0.5) * (v - 0.5)).sum::<f64>(),
-                &vec![0.0; 8],
+                &[0.0; 8],
                 &config,
             )
         })
@@ -49,9 +49,7 @@ fn bench_exact_diagonalization(c: &mut Criterion) {
     let mut group = c.benchmark_group("exact_ground_energy");
     group.sample_size(10);
     let h6 = vaqem_pauli::models::tfim_paper(6).to_matrix();
-    group.bench_function("tfim_6q_64x64", |b| {
-        b.iter(|| hermitian_eigenvalues(&h6))
-    });
+    group.bench_function("tfim_6q_64x64", |b| b.iter(|| hermitian_eigenvalues(&h6)));
     group.finish();
 }
 

@@ -35,7 +35,9 @@ fn main() {
         let packed = DdPass::new(DdSequence::Xy4, SLOT_NS, SLOT_NS)
             .with_spacing(DdSpacing::FrontPacked)
             .apply_uniform(&scheduled, reps);
-        let f_p = executor.run_job(&periodic, reps as u64).hellinger_fidelity(&ideal);
+        let f_p = executor
+            .run_job(&periodic, reps as u64)
+            .hellinger_fidelity(&ideal);
         let f_f = executor
             .run_job(&packed, 100 + reps as u64)
             .hellinger_fidelity(&ideal);

@@ -36,6 +36,7 @@ fn main() {
             sweep_resolution: if quick { 3 } else { 5 },
             dd_sequence: DdSequence::Xy4,
             max_repetitions: 12,
+            ..WindowTunerConfig::default()
         },
     );
     let independent = tuner.tune_dd(&params).expect("independent tuning");
@@ -76,7 +77,10 @@ fn main() {
         .machine_energy(&backend, &params, &joint_cfg, 777_002)
         .expect("evaluation");
 
-    println!("=== Ablation: independent vs joint window tuning ({}) ===\n", problem.label());
+    println!(
+        "=== Ablation: independent vs joint window tuning ({}) ===\n",
+        problem.label()
+    );
     println!("windows: {n_windows}, evaluation budget: {budget}");
     println!("{:<24} {:>12} {:>12}", "method", "<H>", "evals");
     println!(
@@ -86,6 +90,10 @@ fn main() {
     println!("{:<24} {:>12.4} {:>12}", "joint SPSA", e_joint, eval_count);
     println!(
         "\nindependent {} joint at equal budget (lower <H> is better)",
-        if e_independent <= e_joint { "beats/matches" } else { "loses to" }
+        if e_independent <= e_joint {
+            "beats/matches"
+        } else {
+            "loses to"
+        }
     );
 }

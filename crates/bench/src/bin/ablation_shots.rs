@@ -28,7 +28,11 @@ fn main() {
         "tune-shots", "tuned <H> (hi-shot)", "relative to best"
     );
 
-    let shot_counts: &[u64] = if quick { &[32, 128] } else { &[32, 128, 512, 2048] };
+    let shot_counts: &[u64] = if quick {
+        &[32, 128]
+    } else {
+        &[32, 128, 512, 2048]
+    };
     let mut rows = Vec::new();
     for &shots in shot_counts {
         let mut backend =
@@ -41,6 +45,7 @@ fn main() {
                 sweep_resolution: if quick { 3 } else { 5 },
                 dd_sequence: DdSequence::Xy4,
                 max_repetitions: 12,
+                ..WindowTunerConfig::default()
             },
         );
         let tuned = tuner.tune_dd(&params).expect("tuning runs");
@@ -55,7 +60,10 @@ fn main() {
     }
     let best = rows.iter().map(|(_, e)| *e).fold(f64::INFINITY, f64::min);
     for (shots, e) in rows {
-        println!("{shots:>12}  {e:>16.4}  {:>17.1}%", 100.0 * (e - best) / best.abs());
+        println!(
+            "{shots:>12}  {e:>16.4}  {:>17.1}%",
+            100.0 * (e - best) / best.abs()
+        );
     }
     println!("\n(selection quality saturates once shot noise drops below the per-window");
     println!(" objective differences — supporting modest tuning shot counts)");

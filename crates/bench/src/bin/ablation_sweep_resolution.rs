@@ -26,7 +26,10 @@ fn main() {
     backend.calibrate_mem();
 
     println!("=== Ablation: sweep resolution ({}) ===\n", problem.label());
-    println!("{:>11}  {:>14}  {:>12}", "resolution", "tuned <H>", "evaluations");
+    println!(
+        "{:>11}  {:>14}  {:>12}",
+        "resolution", "tuned <H>", "evaluations"
+    );
     let resolutions: &[usize] = if quick { &[2, 3, 5] } else { &[2, 3, 5, 8, 12] };
     for &res in resolutions {
         let tuner = WindowTuner::new(
@@ -36,6 +39,7 @@ fn main() {
                 sweep_resolution: res,
                 dd_sequence: DdSequence::Xy4,
                 max_repetitions: 12,
+                ..WindowTunerConfig::default()
             },
         );
         let tuned = tuner.tune_dd(&params).expect("tuning runs");

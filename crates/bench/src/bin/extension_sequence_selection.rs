@@ -37,9 +37,15 @@ fn main() {
             sweep_resolution: if quick { 3 } else { 5 },
             dd_sequence: DdSequence::Xy4,
             max_repetitions: 12,
+            ..WindowTunerConfig::default()
         },
     );
-    let candidates = [DdSequence::Xx, DdSequence::Yy, DdSequence::Xy4, DdSequence::Xy8];
+    let candidates = [
+        DdSequence::Xx,
+        DdSequence::Yy,
+        DdSequence::Xy4,
+        DdSequence::Xy8,
+    ];
     let (best_seq, tuned) = tuner
         .tune_dd_best_sequence(&params, &candidates)
         .expect("sequence selection");
@@ -47,7 +53,10 @@ fn main() {
         .machine_energy(&backend, &params, &tuned.config, 999)
         .expect("final eval");
 
-    println!("=== Extension: variational DD sequence selection ({}) ===\n", problem.label());
+    println!(
+        "=== Extension: variational DD sequence selection ({}) ===\n",
+        problem.label()
+    );
     println!("candidates: XX, YY, XY4, XY8");
     println!("selected sequence: {}", best_seq.name());
     println!("baseline <H>: {baseline:.4}");

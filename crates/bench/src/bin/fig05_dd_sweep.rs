@@ -46,19 +46,26 @@ fn main() {
         .max()
         .unwrap_or(0);
 
-    let reference = executor
-        .run_job(&scheduled, 0)
-        .hellinger_fidelity(&ideal);
+    let reference = executor.run_job(&scheduled, 0).hellinger_fidelity(&ideal);
     println!("=== Fig. 5: fidelity vs number of XY4 DD sequences ===");
-    println!("window: {window_slots} slots ({:.2} us), max repetitions {max}", window_slots as f64 * SLOT_NS / 1000.0);
+    println!(
+        "window: {window_slots} slots ({:.2} us), max repetitions {max}",
+        window_slots as f64 * SLOT_NS / 1000.0
+    );
     println!("no-DD reference fidelity (red line): {reference:.4}\n");
     println!("{:>6}  {:>10}  {:>8}", "reps", "fidelity", "region");
 
     let mut best = (0usize, reference);
     for reps in 0..=max {
         let mitigated = pass.apply_uniform(&scheduled, reps);
-        let fidelity = executor.run_job(&mitigated, 1 + reps as u64).hellinger_fidelity(&ideal);
-        let region = if fidelity >= reference { "blue" } else { "yellow" };
+        let fidelity = executor
+            .run_job(&mitigated, 1 + reps as u64)
+            .hellinger_fidelity(&ideal);
+        let region = if fidelity >= reference {
+            "blue"
+        } else {
+            "yellow"
+        };
         println!("{reps:>6}  {fidelity:>10.4}  {region:>8}");
         if fidelity > best.1 {
             best = (reps, fidelity);

@@ -6,7 +6,7 @@
 //! (position 1.0) and ASAP (position 0.0) are both markedly worse.
 
 use vaqem_ansatz::micro::{hahn_echo_fig6, FIG6_WINDOW_SLOTS, SLOT_NS};
-use vaqem_bench::{fidelity_vs_ideal, casablanca_1q};
+use vaqem_bench::{casablanca_1q, fidelity_vs_ideal};
 use vaqem_mathkit::rng::SeedStream;
 use vaqem_mathkit::stats::linspace;
 use vaqem_sim::machine::MachineExecutor;
@@ -21,7 +21,10 @@ fn main() {
         "window: {FIG6_WINDOW_SLOTS} ID slots of {SLOT_NS} ns = {:.2} us\n",
         FIG6_WINDOW_SLOTS as f64 * SLOT_NS / 1000.0
     );
-    println!("{:>10}  {:>12}  {:>10}", "position", "delay-slots", "fidelity");
+    println!(
+        "{:>10}  {:>12}  {:>10}",
+        "position", "delay-slots", "fidelity"
+    );
 
     let mut best = (0.0f64, 0.0f64);
     let mut series = Vec::new();

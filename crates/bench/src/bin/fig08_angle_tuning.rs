@@ -33,8 +33,14 @@ fn main() {
         &seeds.substream("spsa"),
     );
 
-    println!("=== Fig. 8: angle tuning, ideal simulation vs machine ({}) ===", problem.label());
-    println!("exact ground energy: {:.4}\n", problem.exact_ground_energy());
+    println!(
+        "=== Fig. 8: angle tuning, ideal simulation vs machine ({}) ===",
+        problem.label()
+    );
+    println!(
+        "exact ground energy: {:.4}\n",
+        problem.exact_ground_energy()
+    );
 
     println!("--- ideal simulation trace ---");
     println!("{:>10}  {:>12}", "iteration", "objective");
@@ -44,8 +50,8 @@ fn main() {
     }
 
     // Replay a subsample of the trajectory on the noisy machine.
-    let backend = QuantumBackend::new(id.circuit_noise(), seeds.substream("machine"))
-        .with_shots(shots);
+    let backend =
+        QuantumBackend::new(id.circuit_noise(), seeds.substream("machine")).with_shots(shots);
     println!("\n--- machine replay ({} points) ---", machine_samples);
     println!("{:>10}  {:>12}", "iteration", "objective");
     let step = (result.param_trace.len() / machine_samples).max(1);

@@ -40,7 +40,9 @@ fn main() {
         let sim_counts = dm.counts_with_readout(&markovian, shots);
         let f_sim = sim_counts.hellinger_fidelity(&ideal);
 
-        let f_machine = machine.run_job(&scheduled, i as u64).hellinger_fidelity(&ideal);
+        let f_machine = machine
+            .run_job(&scheduled, i as u64)
+            .hellinger_fidelity(&ideal);
         println!("{pos:>10.3}  {f_sim:>12.4}  {f_machine:>12.4}");
         sim_series.push(f_sim);
         machine_series.push(f_machine);
@@ -57,7 +59,11 @@ fn main() {
             .map(|(i, _)| i)
             .unwrap_or(0)
     };
-    println!("\nfidelity range:  sim {:.4}  machine {:.4}", range(&sim_series), range(&machine_series));
+    println!(
+        "\nfidelity range:  sim {:.4}  machine {:.4}",
+        range(&sim_series),
+        range(&machine_series)
+    );
     println!(
         "preferred position index:  sim {}  machine {}  (of {points})",
         argmax(&sim_series),

@@ -42,12 +42,19 @@ fn main() {
             .find(|(s, _)| *s == Strategy::VaqemGsXy)
             .map(|(_, f)| *f)
             .unwrap_or(0.0);
-        if fractions.iter().any(|(s, f)| *s != Strategy::VaqemGsXy && *f > combined + 1e-9) {
+        if fractions
+            .iter()
+            .any(|(s, f)| *s != Strategy::VaqemGsXy && *f > combined + 1e-9)
+        {
             best_always_combined = false;
         }
     }
     println!(
         "\nGS+XY best on every benchmark: {}",
-        if best_always_combined { "yes (matches paper)" } else { "no (noise-run variance)" }
+        if best_always_combined {
+            "yes (matches paper)"
+        } else {
+            "no (noise-run variance)"
+        }
     );
 }

@@ -34,18 +34,25 @@ fn main() {
             sweep_resolution: if quick { 3 } else { 5 },
             dd_sequence: DdSequence::Xy4,
             max_repetitions: 12,
+            ..WindowTunerConfig::default()
         },
     );
     let tuned = tuner.tune_combined(&params).expect("combined tuning");
 
-    println!("=== Fig. 14: per-window configurations for {} ===\n", problem.label());
+    println!(
+        "=== Fig. 14: per-window configurations for {} ===\n",
+        problem.label()
+    );
     println!("--- gate positions (fraction of window; 1.0 = ALAP baseline) ---");
     println!("{:>8} {:>6} {:>10}", "window", "qubit", "position");
     for c in &tuned.gs_choices {
         println!("{:>8} {:>6} {:>10.2}", c.window, c.qubit, c.value);
     }
     println!("\n--- DD repetitions (fraction of window maximum) ---");
-    println!("{:>8} {:>6} {:>10} {:>10}", "window", "qubit", "reps", "fraction");
+    println!(
+        "{:>8} {:>6} {:>10} {:>10}",
+        "window", "qubit", "reps", "fraction"
+    );
     for c in &tuned.dd_choices {
         println!(
             "{:>8} {:>6} {:>10.0} {:>10.2}",
@@ -61,7 +68,15 @@ fn main() {
         .map(|c| c.fraction_of_max)
         .collect();
     println!("\nspread across windows (paper: choices vary widely):");
-    println!("  gate position  mean {:.2}  std {:.2}", mean(&gs), std_dev(&gs));
-    println!("  dd fraction    mean {:.2}  std {:.2}", mean(&dd), std_dev(&dd));
+    println!(
+        "  gate position  mean {:.2}  std {:.2}",
+        mean(&gs),
+        std_dev(&gs)
+    );
+    println!(
+        "  dd fraction    mean {:.2}  std {:.2}",
+        mean(&dd),
+        std_dev(&dd)
+    );
     println!("  tuning evaluations spent: {}", tuned.evaluations);
 }

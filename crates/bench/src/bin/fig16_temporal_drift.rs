@@ -35,7 +35,10 @@ fn main() {
     let per_epoch = if quick { 12 } else { 50 }; // repeated configs per cluster
     let shots = if quick { 128 } else { 512 };
 
-    println!("=== Fig. 16: VQE objective drift over 24 h ({}) ===", problem.label());
+    println!(
+        "=== Fig. 16: VQE objective drift over 24 h ({}) ===",
+        problem.label()
+    );
     println!("ideal objective at fixed parameters: {ideal:.4}");
     println!(
         "calibration period: {} h (recalibration between epochs crossing a boundary)\n",
@@ -51,8 +54,7 @@ fn main() {
     for epoch in 0..epochs {
         let hour = epoch as f64 * 24.0 / epochs as f64;
         let noise = drift.noise_at(&device, hour).subset(&layout);
-        let backend =
-            QuantumBackend::new(noise, seeds.substream("machine")).with_shots(shots);
+        let backend = QuantumBackend::new(noise, seeds.substream("machine")).with_shots(shots);
         let mut summary = Summary::new();
         for k in 0..per_epoch {
             let e = problem

@@ -23,7 +23,9 @@ use vaqem_sim::statevector::StateVector;
 
 /// Returns `true` when `VAQEM_QUICK=1` is set.
 pub fn quick_mode() -> bool {
-    std::env::var("VAQEM_QUICK").map(|v| v == "1").unwrap_or(false)
+    std::env::var("VAQEM_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// The pipeline configuration the fig12/fig13 binaries use: paper-shaped,
@@ -81,7 +83,9 @@ pub fn fidelity_vs_ideal(qc: &QuantumCircuit, executor: &MachineExecutor, job: u
 
 /// Ideal (noise- and sampling-free) reference counts for a circuit.
 pub fn ideal_counts(qc: &QuantumCircuit, shots: u64) -> Counts {
-    StateVector::run(qc).expect("bound circuit").exact_counts(shots)
+    StateVector::run(qc)
+        .expect("bound circuit")
+        .exact_counts(shots)
 }
 
 /// Prints a two-column series as an aligned table with a title.

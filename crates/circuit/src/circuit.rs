@@ -131,7 +131,8 @@ impl QuantumCircuit {
         if let Some(k) = gate.param_index() {
             self.num_params = self.num_params.max(k + 1);
         }
-        self.instructions.push(Instruction::new(gate, qubits.to_vec())?);
+        self.instructions
+            .push(Instruction::new(gate, qubits.to_vec())?);
         Ok(self)
     }
 
@@ -356,7 +357,10 @@ impl QuantumCircuit {
 
     /// Counts instructions whose gate name matches `name`.
     pub fn count_gate(&self, name: &str) -> usize {
-        self.instructions.iter().filter(|i| i.gate.name() == name).count()
+        self.instructions
+            .iter()
+            .filter(|i| i.gate.name() == name)
+            .count()
     }
 
     /// Total number of CX gates.
@@ -367,7 +371,11 @@ impl QuantumCircuit {
 
 impl fmt::Display for QuantumCircuit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "circuit({} qubits, {} params)", self.num_qubits, self.num_params)?;
+        writeln!(
+            f,
+            "circuit({} qubits, {} params)",
+            self.num_qubits, self.num_params
+        )?;
         for inst in &self.instructions {
             writeln!(f, "  {inst}")?;
         }
@@ -399,7 +407,13 @@ mod tests {
     fn out_of_range_qubit_rejected() {
         let mut qc = QuantumCircuit::new(2);
         let err = qc.h(2).unwrap_err();
-        assert_eq!(err, CircuitError::QubitOutOfRange { qubit: 2, num_qubits: 2 });
+        assert_eq!(
+            err,
+            CircuitError::QubitOutOfRange {
+                qubit: 2,
+                num_qubits: 2
+            }
+        );
     }
 
     #[test]
@@ -471,7 +485,13 @@ mod tests {
         let mut qc = QuantumCircuit::new(1);
         qc.ry_param(0, 0).unwrap();
         let err = qc.bind(&[]).unwrap_err();
-        assert_eq!(err, CircuitError::ParameterCountMismatch { expected: 1, actual: 0 });
+        assert_eq!(
+            err,
+            CircuitError::ParameterCountMismatch {
+                expected: 1,
+                actual: 0
+            }
+        );
     }
 
     #[test]
@@ -509,7 +529,12 @@ mod tests {
     #[test]
     fn rotations_with_fixed_angles() {
         let mut qc = QuantumCircuit::new(1);
-        qc.rx(PI, 0).unwrap().ry(PI / 2.0, 0).unwrap().rz(-PI, 0).unwrap();
+        qc.rx(PI, 0)
+            .unwrap()
+            .ry(PI / 2.0, 0)
+            .unwrap()
+            .rz(-PI, 0)
+            .unwrap();
         assert_eq!(qc.len(), 3);
         assert!(!qc.is_parameterized());
     }

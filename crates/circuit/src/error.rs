@@ -54,12 +54,19 @@ impl fmt::Display for CircuitError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CircuitError::QubitOutOfRange { qubit, num_qubits } => {
-                write!(f, "qubit {qubit} out of range for {num_qubits}-qubit circuit")
+                write!(
+                    f,
+                    "qubit {qubit} out of range for {num_qubits}-qubit circuit"
+                )
             }
             CircuitError::DuplicateQubits { qubit } => {
                 write!(f, "duplicate qubit operand {qubit}")
             }
-            CircuitError::ArityMismatch { gate, expected, actual } => {
+            CircuitError::ArityMismatch {
+                gate,
+                expected,
+                actual,
+            } => {
                 write!(f, "gate {gate} expects {expected} qubits, got {actual}")
             }
             CircuitError::UnboundParameter { param } => {
@@ -69,7 +76,10 @@ impl fmt::Display for CircuitError {
                 write!(f, "expected {expected} parameter values, got {actual}")
             }
             CircuitError::OverlappingOps { qubit, at_ns } => {
-                write!(f, "scheduled operations overlap on qubit {qubit} at {at_ns} ns")
+                write!(
+                    f,
+                    "scheduled operations overlap on qubit {qubit} at {at_ns} ns"
+                )
             }
         }
     }
@@ -83,9 +93,15 @@ mod tests {
 
     #[test]
     fn display_messages_are_lowercase_and_informative() {
-        let e = CircuitError::QubitOutOfRange { qubit: 9, num_qubits: 4 };
+        let e = CircuitError::QubitOutOfRange {
+            qubit: 9,
+            num_qubits: 4,
+        };
         assert_eq!(e.to_string(), "qubit 9 out of range for 4-qubit circuit");
-        let e = CircuitError::ParameterCountMismatch { expected: 3, actual: 1 };
+        let e = CircuitError::ParameterCountMismatch {
+            expected: 3,
+            actual: 1,
+        };
         assert!(e.to_string().contains("expected 3"));
     }
 

@@ -373,7 +373,12 @@ mod tests {
     fn cx_maps_basis_states_correctly() {
         let cx = Gate::Cx.unitary().unwrap();
         // |10> (control=1, target=0) -> |11>
-        let v = vec![Complex64::ZERO, Complex64::ZERO, Complex64::ONE, Complex64::ZERO];
+        let v = vec![
+            Complex64::ZERO,
+            Complex64::ZERO,
+            Complex64::ONE,
+            Complex64::ZERO,
+        ];
         let w = cx.mul_vec(&v);
         assert!(w[3].approx_eq(Complex64::ONE, 1e-12));
     }

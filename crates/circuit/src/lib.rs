@@ -36,6 +36,4 @@ pub mod unitary;
 pub use circuit::{Instruction, QuantumCircuit};
 pub use error::CircuitError;
 pub use gate::{Angle, Gate};
-pub use schedule::{
-    schedule, DurationModel, IdleWindow, ScheduleKind, ScheduledCircuit, TimedOp,
-};
+pub use schedule::{schedule, DurationModel, IdleWindow, ScheduleKind, ScheduledCircuit, TimedOp};

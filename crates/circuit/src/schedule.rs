@@ -313,7 +313,10 @@ pub fn schedule(
         .find(|i| i.gate.is_parameterized())
     {
         return Err(CircuitError::UnboundParameter {
-            param: inst.gate.param_index().expect("parameterized gate has index"),
+            param: inst
+                .gate
+                .param_index()
+                .expect("parameterized gate has index"),
         });
     }
     match kind {
@@ -540,7 +543,10 @@ mod tests {
             .iter()
             .find(|o| o.gate == Gate::H && o.qubits == vec![1])
             .unwrap();
-        assert!((h1.start_ns - 35.56).abs() < 1e-9, "barrier must delay q1's H");
+        assert!(
+            (h1.start_ns - 35.56).abs() < 1e-9,
+            "barrier must delay q1's H"
+        );
     }
 
     #[test]

@@ -169,7 +169,12 @@ mod tests {
         assert!(u.is_unitary(1e-12));
         // |00> -> (|00> + |11>)/sqrt(2). Note qubit 0 is control; with qubit 0
         // the LSB, |11> = index 3.
-        let v = u.mul_vec(&[Complex64::ONE, Complex64::ZERO, Complex64::ZERO, Complex64::ZERO]);
+        let v = u.mul_vec(&[
+            Complex64::ONE,
+            Complex64::ZERO,
+            Complex64::ZERO,
+            Complex64::ZERO,
+        ]);
         let s = std::f64::consts::FRAC_1_SQRT_2;
         assert!(v[0].approx_eq(c64(s, 0.0), 1e-12));
         assert!(v[3].approx_eq(c64(s, 0.0), 1e-12));

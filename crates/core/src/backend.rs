@@ -2,11 +2,20 @@
 //!
 //! [`QuantumBackend`] bundles the pieces a real submission path involves:
 //! ALAP scheduling under the device duration table, application of an
-//! idle-time [`MitigationConfig`], execution on the trajectory "machine",
+//! idle-time [`MitigationConfig`], execution on an [`Executor`] substrate,
 //! and optional measurement-error mitigation of the returned counts — i.e.
 //! everything between "here is a bound circuit" and "here are your counts".
+//!
+//! The backend is generic over its [`Executor`]: the default is the
+//! trajectory [`MachineExecutor`] (the "real machine"), but the ideal
+//! [`vaqem_sim::exec::StateVectorSampler`] and the Markovian
+//! [`vaqem_sim::exec::DensityExecutor`] plug in behind the same API, so
+//! heterogeneous backends coexist in one pipeline. All multi-circuit work
+//! flows through [`QuantumBackend::run_jobs`], which dispatches the batch
+//! in parallel and post-processes MEM per job.
 
 use crate::error::VaqemError;
+use crate::executor::{Executor, Job};
 use vaqem_circuit::circuit::QuantumCircuit;
 use vaqem_circuit::schedule::{schedule, DurationModel, ScheduleKind, ScheduledCircuit};
 use vaqem_device::noise::NoiseParameters;
@@ -14,35 +23,52 @@ use vaqem_mathkit::rng::SeedStream;
 use vaqem_mitigation::combined::MitigationConfig;
 use vaqem_mitigation::mem::MeasurementMitigator;
 use vaqem_sim::counts::Counts;
-use vaqem_sim::machine::MachineExecutor;
+use vaqem_sim::machine::{MachineExecutor, DEFAULT_SHOTS};
 
 /// A noisy machine endpoint with a fixed duration table and seed stream.
 #[derive(Debug, Clone)]
-pub struct QuantumBackend {
-    executor: MachineExecutor,
+pub struct QuantumBackend<E: Executor = MachineExecutor> {
+    executor: E,
     durations: DurationModel,
     mem: Option<MeasurementMitigator>,
+    shots: u64,
 }
 
-impl QuantumBackend {
-    /// Creates a backend over `noise` with IBM-default durations.
+impl QuantumBackend<MachineExecutor> {
+    /// Creates a trajectory-machine backend over `noise` with IBM-default
+    /// durations.
     pub fn new(noise: NoiseParameters, seeds: SeedStream) -> Self {
+        QuantumBackend::from_executor(MachineExecutor::new(noise, seeds))
+    }
+
+    /// Replaces the noise parameters (drift experiments).
+    pub fn set_noise(&mut self, noise: NoiseParameters) {
+        self.executor.set_noise(noise);
+    }
+}
+
+impl<E: Executor> QuantumBackend<E> {
+    /// Creates a backend over an arbitrary execution substrate with
+    /// IBM-default durations and [`DEFAULT_SHOTS`].
+    pub fn from_executor(executor: E) -> Self {
         QuantumBackend {
-            executor: MachineExecutor::new(noise, seeds),
+            executor,
             durations: DurationModel::ibm_default(),
             mem: None,
+            shots: DEFAULT_SHOTS,
         }
     }
 
     /// Overrides the shot count per execution.
     pub fn with_shots(mut self, shots: u64) -> Self {
-        self.executor = self.executor.with_shots(shots);
+        assert!(shots > 0, "shot count must be positive");
+        self.shots = shots;
         self
     }
 
     /// Shots per execution.
     pub fn shots(&self) -> u64 {
-        self.executor.shots()
+        self.shots
     }
 
     /// Gate duration table.
@@ -50,25 +76,21 @@ impl QuantumBackend {
         &self.durations
     }
 
-    /// The raw trajectory executor.
-    pub fn executor(&self) -> &MachineExecutor {
+    /// The raw execution substrate.
+    pub fn executor(&self) -> &E {
         &self.executor
-    }
-
-    /// Replaces the noise parameters (drift experiments).
-    pub fn set_noise(&mut self, noise: NoiseParameters) {
-        self.executor.set_noise(noise);
     }
 
     /// Calibrates and enables measurement-error mitigation (the paper's
     /// baseline applies MEM orthogonally to everything).
     pub fn calibrate_mem(&mut self) {
-        let n = self.executor.noise().num_qubits();
-        let executor = self.executor.clone();
+        let n = self.executor.num_qubits();
+        let executor = &self.executor;
         let durations = self.durations.clone();
+        let shots = self.shots;
         let mitigator = MeasurementMitigator::calibrate(n, |qc| {
             let s = schedule(qc, &durations, ScheduleKind::Asap).expect("calibration circuit");
-            executor.run_job(&s, u64::MAX) // dedicated stream for calibration
+            executor.run(&s, shots, u64::MAX) // dedicated stream for calibration
         });
         self.mem = Some(mitigator);
     }
@@ -92,6 +114,43 @@ impl QuantumBackend {
         Ok(schedule(circuit, &self.durations, ScheduleKind::Alap)?)
     }
 
+    /// Builds one executable [`Job`] from an already-scheduled base
+    /// circuit: applies `config` and stamps the backend's shot budget.
+    ///
+    /// This is the batching primitive: callers schedule the base circuit
+    /// once (see `VqeProblem::schedule_groups`) and stamp out one cheap job
+    /// per sweep point instead of re-scheduling per evaluation.
+    pub fn prepare_job(
+        &self,
+        base: &ScheduledCircuit,
+        config: &MitigationConfig,
+        job_index: u64,
+    ) -> Job {
+        Job {
+            scheduled: config.apply_under(base, &self.durations),
+            shots: self.shots,
+            seed: job_index,
+        }
+    }
+
+    /// Runs a batch of jobs in parallel through the executor, applying MEM
+    /// post-processing per job when calibrated. Results are in job order
+    /// and bit-identical to running the jobs one at a time.
+    pub fn run_jobs(&self, jobs: &[Job]) -> Vec<Counts> {
+        self.executor
+            .run_batch(jobs)
+            .into_iter()
+            .map(|raw| self.postprocess(raw))
+            .collect()
+    }
+
+    fn postprocess(&self, raw: Counts) -> Counts {
+        match &self.mem {
+            Some(m) if m.num_qubits() == raw.num_qubits() => m.mitigate_counts(&raw),
+            _ => raw,
+        }
+    }
+
     /// Runs a bound circuit with a mitigation configuration applied, MEM
     /// post-processing included when calibrated.
     ///
@@ -107,13 +166,9 @@ impl QuantumBackend {
         job_index: u64,
     ) -> Result<Counts, VaqemError> {
         let scheduled = self.schedule(circuit)?;
-        let pulse = self.durations.single_qubit_ns();
-        let mitigated = config.apply(&scheduled, pulse, pulse);
-        let raw = self.executor.run_job(&mitigated, job_index);
-        Ok(match &self.mem {
-            Some(m) if m.num_qubits() == raw.num_qubits() => m.mitigate_counts(&raw),
-            _ => raw,
-        })
+        let job = self.prepare_job(&scheduled, config, job_index);
+        let raw = self.executor.run(&job.scheduled, job.shots, job.seed);
+        Ok(self.postprocess(raw))
     }
 
     /// Runs without idle-time mitigation (the scheduling baseline).
@@ -130,6 +185,7 @@ impl QuantumBackend {
 mod tests {
     use super::*;
     use vaqem_mitigation::dd::DdSequence;
+    use vaqem_sim::exec::{DensityExecutor, StateVectorSampler};
 
     fn bell() -> QuantumCircuit {
         let mut qc = QuantumCircuit::new(2);
@@ -191,5 +247,52 @@ mod tests {
         qc.ry_param(0, 0).unwrap();
         let backend = QuantumBackend::new(NoiseParameters::uniform(1), SeedStream::new(4));
         assert!(backend.run(&qc, 0).is_err());
+    }
+
+    #[test]
+    fn generic_backends_share_the_api() {
+        // The same bound circuit runs on all three substrates behind the
+        // same backend type.
+        let qc = bell();
+        let ideal = QuantumBackend::from_executor(StateVectorSampler::new(2, SeedStream::new(5)))
+            .with_shots(1024);
+        let density = QuantumBackend::from_executor(DensityExecutor::new(
+            NoiseParameters::uniform(2),
+            SeedStream::new(5),
+        ))
+        .with_shots(1024);
+        let machine =
+            QuantumBackend::new(NoiseParameters::uniform(2), SeedStream::new(5)).with_shots(1024);
+        for counts in [
+            ideal.run(&qc, 0).unwrap(),
+            density.run(&qc, 0).unwrap(),
+            machine.run(&qc, 0).unwrap(),
+        ] {
+            assert_eq!(counts.total(), 1024);
+        }
+        // The ideal substrate produces no odd-parity Bell outcomes.
+        let i = ideal.run(&qc, 1).unwrap();
+        assert_eq!(i.get("01") + i.get("10"), 0);
+    }
+
+    #[test]
+    fn run_jobs_applies_mem_per_job() {
+        let mut noise = NoiseParameters::noiseless(2);
+        noise.qubit_mut(0).readout_p01 = 0.08;
+        noise.qubit_mut(1).readout_p01 = 0.08;
+        let mut backend = QuantumBackend::new(noise, SeedStream::new(6)).with_shots(2048);
+        backend.calibrate_mem();
+        let scheduled = backend.schedule(&bell()).unwrap();
+        let jobs: Vec<Job> = (0..4)
+            .map(|seed| backend.prepare_job(&scheduled, &MitigationConfig::baseline(), seed))
+            .collect();
+        let batched = backend.run_jobs(&jobs);
+        assert_eq!(batched.len(), 4);
+        for (job, counts) in jobs.iter().zip(&batched) {
+            let single = backend
+                .run_with_mitigation(&bell(), &MitigationConfig::baseline(), job.seed)
+                .unwrap();
+            assert_eq!(counts, &single, "batch vs single for seed {}", job.seed);
+        }
     }
 }

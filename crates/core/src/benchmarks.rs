@@ -183,7 +183,9 @@ mod tests {
     #[test]
     fn all_benchmarks_build() {
         for id in BenchmarkId::ALL {
-            let p = id.problem().unwrap_or_else(|e| panic!("{}: {e}", id.label()));
+            let p = id
+                .problem()
+                .unwrap_or_else(|e| panic!("{}: {e}", id.label()));
             assert_eq!(p.hamiltonian().num_qubits(), id.num_qubits());
             assert_eq!(p.ansatz().num_qubits(), id.num_qubits());
             assert!(p.exact_ground_energy() < 0.0, "{}", id.label());

@@ -1,0 +1,195 @@
+//! The execution abstraction: one trait, three substrates, batched dispatch.
+//!
+//! Every machine interaction in the feasible flow — tuner sweep points,
+//! guard evaluations, final strategy comparisons — reduces to "run this
+//! scheduled circuit for `shots` shots under seed `seed`". [`Executor`]
+//! names exactly that operation, and [`Executor::run_batch`] dispatches a
+//! slice of independent [`Job`]s across all cores (rayon-style parallel
+//! map), which is where the wall-clock of the tuning loop goes from
+//! per-circuit serial to hardware-saturating.
+//!
+//! Determinism is load-bearing: each job's randomness is derived from a
+//! [`vaqem_mathkit::rng::SeedStream`] and the job's own seed, never from
+//! execution order or thread identity. `run_batch` therefore returns
+//! bit-identical counts to running the same jobs sequentially — the
+//! executor-parity integration tests pin this for all three
+//! implementations.
+//!
+//! Three substrates implement the trait:
+//!
+//! * [`MachineExecutor`] — the quantum-trajectory "real machine",
+//! * [`StateVectorSampler`] — ideal noise-free sampling,
+//! * [`DensityExecutor`] — the Markovian calibration-style simulator
+//!   (Fig. 9's "noisy simulation").
+
+use rayon::prelude::*;
+use vaqem_circuit::schedule::ScheduledCircuit;
+use vaqem_sim::counts::Counts;
+use vaqem_sim::exec::{DensityExecutor, StateVectorSampler};
+use vaqem_sim::machine::MachineExecutor;
+
+/// One unit of executable work: a concrete, fully scheduled circuit (all
+/// mitigation passes already applied), a shot budget, and the seed that
+/// decorrelates this job's noise streams from every other job's.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// The circuit to execute, with mitigation applied.
+    pub scheduled: ScheduledCircuit,
+    /// Shots for this job.
+    pub shots: u64,
+    /// Per-job seed (the `job_index` of the sequential API).
+    pub seed: u64,
+}
+
+/// An execution substrate: scheduled circuits in, histograms out.
+///
+/// Implementations must be `Send + Sync`: [`Self::run_batch`] fans jobs
+/// out across threads, sharing the executor immutably.
+pub trait Executor: Send + Sync {
+    /// Short human-readable substrate name (for reports and benches).
+    fn substrate(&self) -> &'static str;
+
+    /// Width of the register this executor models.
+    fn num_qubits(&self) -> usize;
+
+    /// Runs one job.
+    ///
+    /// Must be a pure function of `(self, scheduled, shots, seed)` — in
+    /// particular independent of any other job executed before or after —
+    /// so that batching cannot change results.
+    fn run(&self, scheduled: &ScheduledCircuit, shots: u64, seed: u64) -> Counts;
+
+    /// Runs a slice of independent jobs, in parallel, returning counts in
+    /// job order. Bit-identical to calling [`Self::run`] per job.
+    fn run_batch(&self, jobs: &[Job]) -> Vec<Counts> {
+        jobs.par_iter()
+            .map(|job| self.run(&job.scheduled, job.shots, job.seed))
+            .collect()
+    }
+}
+
+impl Executor for MachineExecutor {
+    fn substrate(&self) -> &'static str {
+        "trajectory-machine"
+    }
+
+    fn num_qubits(&self) -> usize {
+        self.noise().num_qubits()
+    }
+
+    fn run(&self, scheduled: &ScheduledCircuit, shots: u64, seed: u64) -> Counts {
+        self.run_job_with_shots(scheduled, shots, seed)
+    }
+}
+
+impl Executor for StateVectorSampler {
+    fn substrate(&self) -> &'static str {
+        "statevector-ideal"
+    }
+
+    fn num_qubits(&self) -> usize {
+        self.num_qubits()
+    }
+
+    fn run(&self, scheduled: &ScheduledCircuit, shots: u64, seed: u64) -> Counts {
+        self.run_job_with_shots(scheduled, shots, seed)
+    }
+}
+
+impl Executor for DensityExecutor {
+    fn substrate(&self) -> &'static str {
+        "density-markovian"
+    }
+
+    fn num_qubits(&self) -> usize {
+        self.num_qubits()
+    }
+
+    fn run(&self, scheduled: &ScheduledCircuit, shots: u64, seed: u64) -> Counts {
+        self.run_job_with_shots(scheduled, shots, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vaqem_circuit::circuit::QuantumCircuit;
+    use vaqem_circuit::schedule::{schedule, DurationModel, ScheduleKind};
+    use vaqem_device::noise::NoiseParameters;
+    use vaqem_mathkit::rng::SeedStream;
+
+    fn scheduled(n: usize, depth: usize) -> ScheduledCircuit {
+        let mut qc = QuantumCircuit::new(n);
+        for layer in 0..depth {
+            for q in 0..n {
+                qc.ry(0.17 * (layer + q + 1) as f64, q).unwrap();
+            }
+            for q in 0..n.saturating_sub(1) {
+                qc.cx(q, q + 1).unwrap();
+            }
+        }
+        qc.measure_all();
+        schedule(&qc, &DurationModel::ibm_default(), ScheduleKind::Alap).unwrap()
+    }
+
+    fn jobs(n: usize) -> Vec<Job> {
+        (0..n as u64)
+            .map(|seed| Job {
+                scheduled: scheduled(2, 2),
+                shots: 128,
+                seed,
+            })
+            .collect()
+    }
+
+    fn parity<E: Executor>(executor: &E) {
+        let jobs = jobs(9);
+        let batched = executor.run_batch(&jobs);
+        for (job, counts) in jobs.iter().zip(&batched) {
+            let sequential = executor.run(&job.scheduled, job.shots, job.seed);
+            assert_eq!(counts, &sequential, "{} diverged", executor.substrate());
+            assert_eq!(counts.total(), job.shots);
+        }
+    }
+
+    #[test]
+    fn machine_batch_matches_sequential() {
+        parity(&MachineExecutor::new(
+            NoiseParameters::uniform(2),
+            SeedStream::new(11),
+        ));
+    }
+
+    #[test]
+    fn statevector_batch_matches_sequential() {
+        parity(&StateVectorSampler::new(2, SeedStream::new(12)));
+    }
+
+    #[test]
+    fn density_batch_matches_sequential() {
+        parity(&DensityExecutor::new(
+            NoiseParameters::uniform(2),
+            SeedStream::new(13),
+        ));
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let exec = StateVectorSampler::new(1, SeedStream::new(1));
+        assert!(exec.run_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn substrate_names_are_distinct() {
+        let m = MachineExecutor::new(NoiseParameters::uniform(1), SeedStream::new(1));
+        let s = StateVectorSampler::new(1, SeedStream::new(1));
+        let d = DensityExecutor::new(NoiseParameters::uniform(1), SeedStream::new(1));
+        let names = [
+            Executor::substrate(&m),
+            Executor::substrate(&s),
+            Executor::substrate(&d),
+        ];
+        assert_eq!(names.len(), 3);
+        assert!(names.windows(2).all(|w| w[0] != w[1]));
+    }
+}

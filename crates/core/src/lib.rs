@@ -10,7 +10,11 @@
 //! The crate provides the paper's feasible flow end to end:
 //!
 //! * [`vqe`] — the VQE problem and its ideal/machine objective evaluators,
-//! * [`backend`] — scheduling + mitigation + execution + MEM in one endpoint,
+//! * [`executor`] — the execution trait: one API over the trajectory
+//!   machine, the ideal sampler, and the density simulator, with batched
+//!   parallel dispatch,
+//! * [`backend`] — scheduling + mitigation + execution + MEM in one
+//!   endpoint, generic over the executor,
 //! * [`pipeline::tune_angles`] — SPSA angle tuning on the ideal simulator,
 //! * [`window_tuner`] — the independent per-window EM tuner (§VI-C),
 //! * [`pipeline`] — all §VII-B comparison strategies,
@@ -21,6 +25,7 @@
 pub mod backend;
 pub mod benchmarks;
 pub mod error;
+pub mod executor;
 pub mod metrics;
 pub mod pipeline;
 pub mod soundness;
@@ -30,6 +35,7 @@ pub mod window_tuner;
 pub use backend::QuantumBackend;
 pub use benchmarks::BenchmarkId;
 pub use error::VaqemError;
+pub use executor::{Executor, Job};
 pub use pipeline::{run_pipeline, BenchmarkRun, PipelineConfig, Strategy, StrategyResult};
-pub use vqe::VqeProblem;
+pub use vqe::{GroupSchedules, VqeProblem};
 pub use window_tuner::{TunedMitigation, WindowTuner, WindowTunerConfig};

@@ -12,8 +12,9 @@
 
 use crate::backend::QuantumBackend;
 use crate::error::VaqemError;
+use crate::executor::Executor;
 use crate::metrics;
-use crate::vqe::VqeProblem;
+use crate::vqe::{GroupSchedules, VqeProblem};
 use crate::window_tuner::{TunedMitigation, WindowTuner, WindowTunerConfig};
 use vaqem_device::noise::NoiseParameters;
 use vaqem_mathkit::rng::SeedStream;
@@ -182,7 +183,11 @@ pub fn tune_angles(
         .map(|_| rng.gen_range(-0.5..0.5))
         .collect();
     let result = spsa::minimize(
-        |params| problem.ideal_energy(params).expect("valid parameter vector"),
+        |params| {
+            problem
+                .ideal_energy(params)
+                .expect("valid parameter vector")
+        },
         &initial,
         spsa_config,
         &seeds.substream("angle-spsa"),
@@ -228,32 +233,30 @@ pub fn run_pipeline(
         sweep_resolution: config.sweep_resolution,
         dd_sequence: seq,
         max_repetitions: config.max_repetitions,
+        ..WindowTunerConfig::default()
     };
 
-    let mut results = Vec::with_capacity(strategies.len());
-    let mut baseline_energy: Option<f64> = None;
+    // The strategy comparison shares one parameter vector, so the base
+    // measurement-group schedules are computed once and reused by every
+    // final evaluation (the per-strategy tuners hold their own caches).
+    let cache = problem.schedule_groups(&backend, &params)?;
 
+    // Phase (b) part 1: resolve each strategy to a mitigation config
+    // (running the per-window tuner where required).
+    let mut resolved: Vec<(Strategy, MitigationConfig, usize)> =
+        Vec::with_capacity(strategies.len());
     for &strategy in strategies {
-        let (be, cfg, tuning_evals): (&QuantumBackend, MitigationConfig, usize) = match strategy {
-            Strategy::NoEm => (&backend_no_mem, MitigationConfig::baseline(), 0),
-            Strategy::MemBaseline => (&backend, MitigationConfig::baseline(), 0),
-            Strategy::DdXx => (
-                &backend,
-                uniform_dd_config(problem, &backend, &params, DdSequence::Xx)?,
-                0,
-            ),
-            Strategy::DdXy => (
-                &backend,
-                uniform_dd_config(problem, &backend, &params, DdSequence::Xy4)?,
-                0,
-            ),
+        let (cfg, tuning_evals): (MitigationConfig, usize) = match strategy {
+            Strategy::NoEm | Strategy::MemBaseline => (MitigationConfig::baseline(), 0),
+            Strategy::DdXx => (uniform_dd_config(&backend, &cache, DdSequence::Xx)?, 0),
+            Strategy::DdXy => (uniform_dd_config(&backend, &cache, DdSequence::Xy4)?, 0),
             Strategy::VaqemGs => {
                 if tuned_gs.is_none() {
                     let tuner = WindowTuner::new(problem, &backend, tuner_config(DdSequence::Xy4));
                     tuned_gs = Some(tuner.tune_gs(&params)?);
                 }
                 let t = tuned_gs.as_ref().expect("just set");
-                (&backend, t.config.clone(), t.evaluations)
+                (t.config.clone(), t.evaluations)
             }
             Strategy::VaqemXx => {
                 if tuned_xx.is_none() {
@@ -261,7 +264,7 @@ pub fn run_pipeline(
                     tuned_xx = Some(tuner.tune_dd(&params)?);
                 }
                 let t = tuned_xx.as_ref().expect("just set");
-                (&backend, t.config.clone(), t.evaluations)
+                (t.config.clone(), t.evaluations)
             }
             Strategy::VaqemXy => {
                 if tuned_xy.is_none() {
@@ -269,7 +272,7 @@ pub fn run_pipeline(
                     tuned_xy = Some(tuner.tune_dd(&params)?);
                 }
                 let t = tuned_xy.as_ref().expect("just set");
-                (&backend, t.config.clone(), t.evaluations)
+                (t.config.clone(), t.evaluations)
             }
             Strategy::VaqemGsXy => {
                 if tuned_combined.is_none() {
@@ -277,16 +280,29 @@ pub fn run_pipeline(
                     tuned_combined = Some(tuner.tune_combined(&params)?);
                 }
                 let t = tuned_combined.as_ref().expect("just set");
-                (&backend, t.config.clone(), t.evaluations)
+                (t.config.clone(), t.evaluations)
             }
         };
+        resolved.push((strategy, cfg, tuning_evals));
+    }
 
-        // Final evaluation: average over repeats with fresh job indices.
-        let mut acc = 0.0;
-        for r in 0..config.eval_repeats.max(1) {
-            acc += problem.machine_energy(be, &params, &cfg, 500_000 + r as u64)?;
-        }
-        let energy = acc / config.eval_repeats.max(1) as f64;
+    // Phase (b) part 2: all final evaluations — every strategy times every
+    // repeat — go out as one batch per backend (MEM on vs. off), through
+    // Executor::run_batch. Job indices match the historical sequential
+    // path: repeat r of any strategy evaluates at job 500_000 + r.
+    let repeats = config.eval_repeats.max(1);
+    let energies = evaluate_resolved(
+        problem,
+        &backend,
+        &backend_no_mem,
+        &cache,
+        &resolved,
+        repeats,
+    );
+
+    let mut results = Vec::with_capacity(strategies.len());
+    let mut baseline_energy: Option<f64> = None;
+    for ((strategy, cfg, tuning_evals), energy) in resolved.into_iter().zip(energies) {
         if strategy == Strategy::MemBaseline {
             baseline_energy = Some(energy);
         }
@@ -327,21 +343,58 @@ pub fn run_pipeline(
     })
 }
 
+/// Evaluates every resolved `(strategy, config)` with `repeats` averaged
+/// repetitions, batching all jobs for each backend into a single
+/// `run_batch` dispatch. Returns one mean energy per strategy, in order.
+fn evaluate_resolved<E: Executor>(
+    problem: &VqeProblem,
+    backend: &QuantumBackend<E>,
+    backend_no_mem: &QuantumBackend<E>,
+    cache: &GroupSchedules,
+    resolved: &[(Strategy, MitigationConfig, usize)],
+    repeats: usize,
+) -> Vec<f64> {
+    // Partition evaluations by backend while remembering their slot.
+    let mut with_mem: Vec<(usize, (MitigationConfig, u64))> = Vec::new();
+    let mut without_mem: Vec<(usize, (MitigationConfig, u64))> = Vec::new();
+    for (slot, (strategy, cfg, _)) in resolved.iter().enumerate() {
+        let bucket = if *strategy == Strategy::NoEm {
+            &mut without_mem
+        } else {
+            &mut with_mem
+        };
+        for r in 0..repeats {
+            bucket.push((slot, (cfg.clone(), 500_000 + r as u64)));
+        }
+    }
+    let mut sums = vec![0.0f64; resolved.len()];
+    for (be, bucket) in [(backend, with_mem), (backend_no_mem, without_mem)] {
+        let evals: Vec<(MitigationConfig, u64)> = bucket.iter().map(|(_, e)| e.clone()).collect();
+        for ((slot, _), energy) in bucket
+            .iter()
+            .zip(problem.machine_energy_batch(be, cache, &evals))
+        {
+            sums[*slot] += energy;
+        }
+    }
+    sums.into_iter().map(|s| s / repeats as f64).collect()
+}
+
 /// The naive DD comparison: one repetition in every window (§VII-B: "a
 /// single round / sequence of DD within the idle windows").
-fn uniform_dd_config(
-    problem: &VqeProblem,
-    backend: &QuantumBackend,
-    params: &[f64],
+fn uniform_dd_config<E: Executor>(
+    backend: &QuantumBackend<E>,
+    cache: &GroupSchedules,
     sequence: DdSequence,
 ) -> Result<MitigationConfig, VaqemError> {
-    let circuits = problem.bound_measurement_circuits(params)?;
-    let qc = circuits.into_iter().next().ok_or_else(|| VaqemError::Config {
-        message: "no measurement groups".into(),
-    })?;
-    let scheduled = backend.schedule(&qc)?;
+    let scheduled = cache
+        .schedules()
+        .first()
+        .ok_or_else(|| VaqemError::Config {
+            message: "no measurement groups".into(),
+        })?;
     let pulse = backend.durations().single_qubit_ns();
-    let n = DdPass::new(sequence, pulse, pulse).windows(&scheduled).len();
+    let n = DdPass::new(sequence, pulse, pulse).windows(scheduled).len();
     Ok(MitigationConfig::dynamical_decoupling(sequence, vec![1; n]))
 }
 
@@ -352,7 +405,9 @@ mod tests {
     use vaqem_pauli::models::tfim_paper;
 
     fn tiny_problem() -> VqeProblem {
-        let ansatz = EfficientSu2::new(2, 1, Entanglement::Linear).circuit().unwrap();
+        let ansatz = EfficientSu2::new(2, 1, Entanglement::Linear)
+            .circuit()
+            .unwrap();
         VqeProblem::new("tiny", tfim_paper(2), ansatz).unwrap()
     }
 
@@ -365,10 +420,7 @@ mod tests {
         let e0 = p.exact_ground_energy();
         assert!(e >= e0 - 1e-9, "variational bound");
         // Within 15% of ground for a 2-qubit TFIM.
-        assert!(
-            (e - e0).abs() < 0.15 * e0.abs(),
-            "tuned {e} vs ground {e0}"
-        );
+        assert!((e - e0).abs() < 0.15 * e0.abs(), "tuned {e} vs ground {e0}");
         assert_eq!(trace.len(), 150);
     }
 

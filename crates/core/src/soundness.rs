@@ -49,7 +49,10 @@ pub fn assert_pure_state_bound(h: &CMatrix, phi: &[Complex64], e0: f64) -> f64 {
 /// Panics if `rho` is not trace-one/Hermitian, or on a bound violation.
 pub fn assert_mixed_state_bound(h: &CMatrix, rho: &CMatrix, e0: f64) -> f64 {
     assert!(rho.is_hermitian(1e-7), "density matrix must be Hermitian");
-    assert!(rho.is_trace_one(1e-6), "density matrix must have unit trace");
+    assert!(
+        rho.is_trace_one(1e-6),
+        "density matrix must have unit trace"
+    );
     let e = (rho * h).trace().re;
     assert!(
         e >= e0 - SOUNDNESS_TOL,

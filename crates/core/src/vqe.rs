@@ -9,12 +9,44 @@
 
 use crate::backend::QuantumBackend;
 use crate::error::VaqemError;
+use crate::executor::{Executor, Job};
 use vaqem_circuit::circuit::QuantumCircuit;
+use vaqem_circuit::schedule::ScheduledCircuit;
 use vaqem_mathkit::matrix::CMatrix;
 use vaqem_mitigation::combined::MitigationConfig;
 use vaqem_pauli::expectation::{energy_from_counts, measurement_circuit};
 use vaqem_pauli::hamiltonian::{MeasurementGroup, PauliSum};
+use vaqem_sim::counts::Counts;
 use vaqem_sim::statevector::StateVector;
+
+/// ALAP-scheduled measurement-group circuits for one parameter vector —
+/// the schedule cache of the batched execution path.
+///
+/// Scheduling the bound ansatz is pure overhead when repeated per sweep
+/// point: the base schedule depends only on the parameters, not on the
+/// mitigation configuration (configs are applied per [`Job`] on top).
+/// Callers build this once per window/stage and stamp out jobs from it.
+#[derive(Debug, Clone)]
+pub struct GroupSchedules {
+    schedules: Vec<ScheduledCircuit>,
+}
+
+impl GroupSchedules {
+    /// The cached per-group base schedules, in measurement-group order.
+    pub fn schedules(&self) -> &[ScheduledCircuit] {
+        &self.schedules
+    }
+
+    /// Number of measurement groups.
+    pub fn len(&self) -> usize {
+        self.schedules.len()
+    }
+
+    /// Returns `true` when the Hamiltonian has no measurement groups.
+    pub fn is_empty(&self) -> bool {
+        self.schedules.is_empty()
+    }
+}
 
 /// A VQE instance: Hamiltonian + ansatz + label.
 #[derive(Debug, Clone)]
@@ -103,6 +135,93 @@ impl VqeProblem {
         Ok(sv.expectation(&self.dense))
     }
 
+    /// Derives the per-group job index from an evaluation's `job_index` —
+    /// the same derivation the sequential path has always used, so batched
+    /// and sequential evaluations consume identical noise streams.
+    fn group_job_index(job_index: u64, group: usize) -> u64 {
+        job_index.wrapping_mul(131).wrapping_add(group as u64)
+    }
+
+    /// Schedules every measurement-group circuit for `params` once (ALAP,
+    /// under the backend's duration table) — the base the batched paths
+    /// stamp mitigation configs onto.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `params` has the wrong length.
+    pub fn schedule_groups<E: Executor>(
+        &self,
+        backend: &QuantumBackend<E>,
+        params: &[f64],
+    ) -> Result<GroupSchedules, VaqemError> {
+        let bound = self.ansatz.bind(params)?;
+        let schedules = self
+            .groups
+            .iter()
+            .map(|g| {
+                let qc = measurement_circuit(&bound, g)?;
+                backend.schedule(&qc)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(GroupSchedules { schedules })
+    }
+
+    /// Stamps out one [`Job`] per measurement group for a single objective
+    /// evaluation of `config` at `job_index`.
+    pub fn energy_jobs<E: Executor>(
+        &self,
+        backend: &QuantumBackend<E>,
+        cache: &GroupSchedules,
+        config: &MitigationConfig,
+        job_index: u64,
+    ) -> Vec<Job> {
+        cache
+            .schedules
+            .iter()
+            .enumerate()
+            .map(|(gi, base)| {
+                backend.prepare_job(base, config, Self::group_job_index(job_index, gi))
+            })
+            .collect()
+    }
+
+    /// Folds one evaluation's per-group counts into `<H>`.
+    pub fn energy_from_group_counts(&self, counts: &[Counts]) -> f64 {
+        energy_from_counts(&self.hamiltonian, &self.groups, counts)
+    }
+
+    /// Batched machine objective: evaluates every `(config, job_index)`
+    /// pair in `evals` through a **single** [`QuantumBackend::run_jobs`]
+    /// batch, returning one energy per pair, in order.
+    ///
+    /// Seed-deterministic and bit-identical to calling
+    /// [`Self::machine_energy`] per pair: each job's seed derivation is
+    /// shared with the sequential path.
+    pub fn machine_energy_batch<E: Executor>(
+        &self,
+        backend: &QuantumBackend<E>,
+        cache: &GroupSchedules,
+        evals: &[(MitigationConfig, u64)],
+    ) -> Vec<f64> {
+        if self.groups.is_empty() {
+            // Nothing to execute: `<H>` is the identity offset (matches the
+            // sequential path, which folded zero counts the same way).
+            return evals
+                .iter()
+                .map(|_| self.energy_from_group_counts(&[]))
+                .collect();
+        }
+        let jobs: Vec<Job> = evals
+            .iter()
+            .flat_map(|(config, job_index)| self.energy_jobs(backend, cache, config, *job_index))
+            .collect();
+        let counts = backend.run_jobs(&jobs);
+        counts
+            .chunks(self.groups.len())
+            .map(|per_group| self.energy_from_group_counts(per_group))
+            .collect()
+    }
+
     /// Machine objective: `<H>` estimated from noisy counts, one execution
     /// per measurement group, with `config` applied to each group circuit.
     ///
@@ -112,23 +231,16 @@ impl VqeProblem {
     /// # Errors
     ///
     /// Returns an error when `params` has the wrong length.
-    pub fn machine_energy(
+    pub fn machine_energy<E: Executor>(
         &self,
-        backend: &QuantumBackend,
+        backend: &QuantumBackend<E>,
         params: &[f64],
         config: &MitigationConfig,
         job_index: u64,
     ) -> Result<f64, VaqemError> {
-        let bound = self.ansatz.bind(params)?;
-        let mut counts = Vec::with_capacity(self.groups.len());
-        for (gi, g) in self.groups.iter().enumerate() {
-            let qc = measurement_circuit(&bound, g)?;
-            let job = job_index
-                .wrapping_mul(131)
-                .wrapping_add(gi as u64);
-            counts.push(backend.run_with_mitigation(&qc, config, job)?);
-        }
-        Ok(energy_from_counts(&self.hamiltonian, &self.groups, &counts))
+        let cache = self.schedule_groups(backend, params)?;
+        let energies = self.machine_energy_batch(backend, &cache, &[(config.clone(), job_index)]);
+        Ok(energies[0])
     }
 
     /// The bound ansatz with each group's measurement suffix — used by the
@@ -158,13 +270,17 @@ mod tests {
     use vaqem_pauli::models::tfim_paper;
 
     fn tfim_problem(n: usize) -> VqeProblem {
-        let ansatz = EfficientSu2::new(n, 1, Entanglement::Circular).circuit().unwrap();
+        let ansatz = EfficientSu2::new(n, 1, Entanglement::Circular)
+            .circuit()
+            .unwrap();
         VqeProblem::new("test", tfim_paper(n), ansatz).unwrap()
     }
 
     #[test]
     fn width_mismatch_rejected() {
-        let ansatz = EfficientSu2::new(3, 1, Entanglement::Linear).circuit().unwrap();
+        let ansatz = EfficientSu2::new(3, 1, Entanglement::Linear)
+            .circuit()
+            .unwrap();
         let err = VqeProblem::new("bad", tfim_paper(4), ansatz).unwrap_err();
         assert!(matches!(err, VaqemError::Config { .. }));
     }
@@ -191,14 +307,17 @@ mod tests {
     #[test]
     fn machine_energy_close_to_ideal_when_noiseless() {
         let p = tfim_problem(2);
-        let backend = QuantumBackend::new(NoiseParameters::noiseless(2), SeedStream::new(5))
-            .with_shots(8192);
+        let backend =
+            QuantumBackend::new(NoiseParameters::noiseless(2), SeedStream::new(5)).with_shots(8192);
         let params: Vec<f64> = (0..p.num_params()).map(|i| 0.2 * i as f64).collect();
         let ideal = p.ideal_energy(&params).unwrap();
         let machine = p
             .machine_energy(&backend, &params, &MitigationConfig::baseline(), 0)
             .unwrap();
-        assert!((ideal - machine).abs() < 0.1, "ideal {ideal} machine {machine}");
+        assert!(
+            (ideal - machine).abs() < 0.1,
+            "ideal {ideal} machine {machine}"
+        );
     }
 
     #[test]
@@ -218,6 +337,40 @@ mod tests {
         // case must respect the ground bound within shot noise.
         assert!(machine >= p.exact_ground_energy() - 0.3, "{machine}");
         let _ = ideal;
+    }
+
+    #[test]
+    fn identity_only_hamiltonian_needs_no_execution() {
+        // A Hamiltonian with no measurable terms has zero measurement
+        // groups; the objective is the constant identity offset and the
+        // batched path must not panic (regression: it used to index an
+        // empty energy vector).
+        use vaqem_pauli::hamiltonian::PauliSum;
+        let mut h = PauliSum::new(2);
+        h.add_label(1.5, "II");
+        let ansatz = EfficientSu2::new(2, 1, Entanglement::Linear)
+            .circuit()
+            .unwrap();
+        let p = VqeProblem::new("identity", h, ansatz).unwrap();
+        assert!(p.groups().is_empty());
+        let backend =
+            QuantumBackend::new(NoiseParameters::uniform(2), SeedStream::new(8)).with_shots(64);
+        let params = vec![0.0; p.num_params()];
+        let e = p
+            .machine_energy(&backend, &params, &MitigationConfig::baseline(), 0)
+            .unwrap();
+        assert!((e - 1.5).abs() < 1e-12, "{e}");
+        let cache = p.schedule_groups(&backend, &params).unwrap();
+        let batch = p.machine_energy_batch(
+            &backend,
+            &cache,
+            &[
+                (MitigationConfig::baseline(), 0),
+                (MitigationConfig::baseline(), 1),
+            ],
+        );
+        assert_eq!(batch.len(), 2);
+        assert!(batch.iter().all(|e| (e - 1.5).abs() < 1e-12));
     }
 
     #[test]

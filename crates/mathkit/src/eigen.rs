@@ -312,7 +312,12 @@ mod tests {
             &[c64(1.5, 0.0), c64(0.3, 0.7), c64(0.0, 0.0), c64(-0.2, 0.1)],
             &[c64(0.3, -0.7), c64(0.5, 0.0), c64(1.0, 0.0), c64(0.0, 0.0)],
             &[c64(0.0, 0.0), c64(1.0, 0.0), c64(-1.0, 0.0), c64(0.4, -0.4)],
-            &[c64(-0.2, -0.1), c64(0.0, 0.0), c64(0.4, 0.4), c64(0.25, 0.0)],
+            &[
+                c64(-0.2, -0.1),
+                c64(0.0, 0.0),
+                c64(0.4, 0.4),
+                c64(0.25, 0.0),
+            ],
         ]);
         let vals = hermitian_eigenvalues(&h);
         let sum: f64 = vals.iter().sum();

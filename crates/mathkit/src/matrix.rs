@@ -195,13 +195,13 @@ impl CMatrix {
     pub fn mul_vec(&self, v: &[Complex64]) -> Vec<Complex64> {
         assert_eq!(v.len(), self.cols, "vector length mismatch");
         let mut out = vec![Complex64::ZERO; self.rows];
-        for i in 0..self.rows {
+        for (i, slot) in out.iter_mut().enumerate() {
             let row = &self.data[i * self.cols..(i + 1) * self.cols];
             let mut acc = Complex64::ZERO;
             for (a, b) in row.iter().zip(v.iter()) {
                 acc += *a * *b;
             }
-            out[i] = acc;
+            *slot = acc;
         }
         out
     }
@@ -254,7 +254,9 @@ impl CMatrix {
 
     /// Extracts the diagonal.
     pub fn diagonal(&self) -> Vec<Complex64> {
-        (0..self.rows.min(self.cols)).map(|i| self[(i, i)]).collect()
+        (0..self.rows.min(self.cols))
+            .map(|i| self[(i, i)])
+            .collect()
     }
 
     /// Two-norm of a state vector, provided as a free helper because state
@@ -380,17 +382,26 @@ pub mod gates2x2 {
 
     /// Pauli X.
     pub fn pauli_x() -> CMatrix {
-        CMatrix::from_rows(&[&[c64(0.0, 0.0), c64(1.0, 0.0)], &[c64(1.0, 0.0), c64(0.0, 0.0)]])
+        CMatrix::from_rows(&[
+            &[c64(0.0, 0.0), c64(1.0, 0.0)],
+            &[c64(1.0, 0.0), c64(0.0, 0.0)],
+        ])
     }
 
     /// Pauli Y.
     pub fn pauli_y() -> CMatrix {
-        CMatrix::from_rows(&[&[c64(0.0, 0.0), c64(0.0, -1.0)], &[c64(0.0, 1.0), c64(0.0, 0.0)]])
+        CMatrix::from_rows(&[
+            &[c64(0.0, 0.0), c64(0.0, -1.0)],
+            &[c64(0.0, 1.0), c64(0.0, 0.0)],
+        ])
     }
 
     /// Pauli Z.
     pub fn pauli_z() -> CMatrix {
-        CMatrix::from_rows(&[&[c64(1.0, 0.0), c64(0.0, 0.0)], &[c64(0.0, 0.0), c64(-1.0, 0.0)]])
+        CMatrix::from_rows(&[
+            &[c64(1.0, 0.0), c64(0.0, 0.0)],
+            &[c64(0.0, 0.0), c64(-1.0, 0.0)],
+        ])
     }
 
     /// Hadamard.
@@ -492,7 +503,12 @@ mod tests {
         assert_eq!(xi.rows(), 4);
         assert_eq!(xi.cols(), 4);
         // X ⊗ I flips the high bit: |00> -> |10>
-        let v = vec![Complex64::ONE, Complex64::ZERO, Complex64::ZERO, Complex64::ZERO];
+        let v = vec![
+            Complex64::ONE,
+            Complex64::ZERO,
+            Complex64::ZERO,
+            Complex64::ZERO,
+        ];
         let w = xi.mul_vec(&v);
         assert!(w[2].approx_eq(Complex64::ONE, 1e-12));
     }

@@ -8,7 +8,7 @@
 
 use crate::dd::{DdPass, DdSequence};
 use crate::scheduling::GsPass;
-use vaqem_circuit::schedule::ScheduledCircuit;
+use vaqem_circuit::schedule::{DurationModel, ScheduledCircuit};
 
 /// A complete idle-time mitigation configuration for one circuit.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -71,6 +71,19 @@ impl MitigationConfig {
         }
         current
     }
+
+    /// Applies the configuration under a device duration table: the
+    /// single-qubit slot doubles as pulse length and window-detection
+    /// threshold, which is how every execution path in the workspace
+    /// parameterizes [`Self::apply`].
+    pub fn apply_under(
+        &self,
+        scheduled: &ScheduledCircuit,
+        durations: &DurationModel,
+    ) -> ScheduledCircuit {
+        let pulse = durations.single_qubit_ns();
+        self.apply(scheduled, pulse, pulse)
+    }
 }
 
 #[cfg(test)]
@@ -111,7 +124,10 @@ mod tests {
         };
         let out = cfg.apply(&s, SLOT, SLOT);
         out.validate().unwrap();
-        assert!(out.ops().len() > s.ops().len(), "DD pulses must be inserted");
+        assert!(
+            out.ops().len() > s.ops().len(),
+            "DD pulses must be inserted"
+        );
     }
 
     #[test]

@@ -194,13 +194,23 @@ impl DdPass {
         for (i, w) in windows.iter().enumerate() {
             let want = repetitions.get(i).copied().unwrap_or(0);
             let reps = want.min(self.sequence.max_repetitions(w, self.pulse_ns));
-            ops.extend(dd_pulse_ops(w, self.sequence, reps, self.pulse_ns, self.spacing));
+            ops.extend(dd_pulse_ops(
+                w,
+                self.sequence,
+                reps,
+                self.pulse_ns,
+                self.spacing,
+            ));
         }
         scheduled.with_ops(ops)
     }
 
     /// Applies the same repetition count to every window.
-    pub fn apply_uniform(&self, scheduled: &ScheduledCircuit, repetitions: usize) -> ScheduledCircuit {
+    pub fn apply_uniform(
+        &self,
+        scheduled: &ScheduledCircuit,
+        repetitions: usize,
+    ) -> ScheduledCircuit {
         let n = self.windows(scheduled).len();
         self.apply(scheduled, &vec![repetitions; n])
     }
@@ -237,7 +247,12 @@ mod tests {
     #[test]
     fn sequences_compose_to_identity_up_to_phase() {
         use vaqem_circuit::unitary::{circuit_unitary, equal_up_to_phase};
-        for seq in [DdSequence::Xx, DdSequence::Yy, DdSequence::Xy4, DdSequence::Xy8] {
+        for seq in [
+            DdSequence::Xx,
+            DdSequence::Yy,
+            DdSequence::Xy4,
+            DdSequence::Xy8,
+        ] {
             let mut qc = QuantumCircuit::new(1);
             for g in seq.pulses() {
                 qc.push(*g, &[0]).unwrap();
@@ -260,7 +275,10 @@ mod tests {
         assert_eq!(windows.len(), 1);
         let w = &windows[0];
         let max = DdSequence::Xy4.max_repetitions(w, SLOT);
-        assert!(max >= 4, "20-slot window should fit several XY4 reps: {max}");
+        assert!(
+            max >= 4,
+            "20-slot window should fit several XY4 reps: {max}"
+        );
         let ops = dd_pulse_ops(w, DdSequence::Xy4, max, SLOT, DdSpacing::Periodic);
         assert_eq!(ops.len(), max * 4);
         for op in &ops {
@@ -280,7 +298,8 @@ mod tests {
         let pass = DdPass::new(DdSequence::Xx, SLOT, SLOT);
         for reps in 0..=6 {
             let out = pass.apply_uniform(&s, reps);
-            out.validate().unwrap_or_else(|e| panic!("reps {reps}: {e}"));
+            out.validate()
+                .unwrap_or_else(|e| panic!("reps {reps}: {e}"));
             let extra = out.ops().len() - s.ops().len();
             let max = pass.windows(&s)[0].max_dd_repetitions(2, SLOT);
             assert_eq!(extra, 2 * reps.min(max));

@@ -111,9 +111,9 @@ impl MeasurementMitigator {
                     continue;
                 }
                 let measured = ((i & bit) != 0) as usize;
-                for true_bit in 0..2 {
+                for (true_bit, inv_row) in inv.iter().enumerate() {
                     let j = (i & !bit) | (true_bit << q);
-                    next[j] += inv[true_bit][measured] * pi;
+                    next[j] += inv_row[measured] * pi;
                 }
             }
             p = next;
@@ -194,7 +194,10 @@ mod tests {
         c.record_index_n(0, 900);
         c.record_index_n(1, 100);
         let out = m.mitigate(&c);
-        assert!((out.get("0").copied().unwrap_or(0.0) - 1.0).abs() < 1e-9, "{out:?}");
+        assert!(
+            (out.get("0").copied().unwrap_or(0.0) - 1.0).abs() < 1e-9,
+            "{out:?}"
+        );
     }
 
     #[test]
@@ -207,7 +210,10 @@ mod tests {
         c.record_index_n(0b10, 160);
         c.record_index_n(0b00, 40);
         let out = m.mitigate(&c);
-        assert!((out.get("11").copied().unwrap_or(0.0) - 1.0).abs() < 1e-9, "{out:?}");
+        assert!(
+            (out.get("11").copied().unwrap_or(0.0) - 1.0).abs() < 1e-9,
+            "{out:?}"
+        );
     }
 
     #[test]

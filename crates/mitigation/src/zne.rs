@@ -65,9 +65,12 @@ pub fn scale_factor(folds: usize) -> f64 {
 /// Panics with fewer than 2 samples, duplicate scales, or when
 /// `order + 1 > samples.len()`.
 pub fn extrapolate(samples: &[(f64, f64)], order: usize) -> f64 {
-    assert!(samples.len() >= 2, "extrapolation needs at least two samples");
     assert!(
-        order + 1 <= samples.len(),
+        samples.len() >= 2,
+        "extrapolation needs at least two samples"
+    );
+    assert!(
+        order < samples.len(),
         "order {order} needs {} samples",
         order + 1
     );

@@ -99,7 +99,11 @@ where
                 .map(|(c, r)| c + gamma * (r - c))
                 .collect();
             let fe = eval(&expanded, &mut evaluations);
-            simplex[n] = if fe < fr { (expanded, fe) } else { (reflected, fr) };
+            simplex[n] = if fe < fr {
+                (expanded, fe)
+            } else {
+                (reflected, fr)
+            };
         } else if fr < simplex[n - 1].1 {
             simplex[n] = (reflected, fr);
         } else {
@@ -154,9 +158,7 @@ mod tests {
 
     #[test]
     fn minimizes_rosenbrock() {
-        let rosen = |x: &[f64]| {
-            (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2)
-        };
+        let rosen = |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
         let cfg = NelderMeadConfig {
             max_evaluations: 5000,
             ..Default::default()
@@ -192,7 +194,11 @@ mod tests {
 
     #[test]
     fn single_dimension() {
-        let r = minimize(|x| (x[0] - 4.0).powi(2), &[0.0], &NelderMeadConfig::default());
+        let r = minimize(
+            |x| (x[0] - 4.0).powi(2),
+            &[0.0],
+            &NelderMeadConfig::default(),
+        );
         assert!((r.best_params[0] - 4.0).abs() < 1e-4);
     }
 }

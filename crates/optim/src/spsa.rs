@@ -135,7 +135,10 @@ mod tests {
     use super::*;
 
     fn quadratic(x: &[f64]) -> f64 {
-        x.iter().enumerate().map(|(i, v)| (i as f64 + 1.0) * v * v).sum()
+        x.iter()
+            .enumerate()
+            .map(|(i, v)| (i as f64 + 1.0) * v * v)
+            .sum()
     }
 
     #[test]
@@ -189,7 +192,12 @@ mod tests {
     #[test]
     fn handles_single_parameter() {
         let config = SpsaConfig::paper_default().with_iterations(150);
-        let r = minimize(|x| (x[0] - 2.0).powi(2), &[0.0], &config, &SeedStream::new(7));
+        let r = minimize(
+            |x| (x[0] - 2.0).powi(2),
+            &[0.0],
+            &config,
+            &SeedStream::new(7),
+        );
         assert!((r.best_params[0] - 2.0).abs() < 0.2, "{:?}", r.best_params);
     }
 }

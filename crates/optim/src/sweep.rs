@@ -55,7 +55,7 @@ where
 /// the variational search space contains every static policy.
 pub fn integer_candidates(max: usize, resolution: usize) -> Vec<usize> {
     assert!(resolution >= 2, "resolution must be at least 2");
-    if max + 1 <= resolution {
+    if max < resolution {
         return (0..=max).collect();
     }
     let mut out: Vec<usize> = (0..resolution)

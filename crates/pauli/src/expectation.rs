@@ -72,7 +72,11 @@ pub fn energy_from_counts(
     groups: &[MeasurementGroup],
     counts: &[Counts],
 ) -> f64 {
-    assert_eq!(groups.len(), counts.len(), "one histogram per group required");
+    assert_eq!(
+        groups.len(),
+        counts.len(),
+        "one histogram per group required"
+    );
     let mut energy = hamiltonian.identity_offset();
     for (group, c) in groups.iter().zip(counts.iter()) {
         for &idx in group.member_indices() {
@@ -141,7 +145,9 @@ mod tests {
     fn zero_state_z_expectations() {
         // On |00>: <ZI> = <IZ> = <ZZ> = 1.
         let mut h = PauliSum::new(2);
-        h.add_label(0.5, "ZI").add_label(0.25, "IZ").add_label(0.25, "ZZ");
+        h.add_label(0.5, "ZI")
+            .add_label(0.25, "IZ")
+            .add_label(0.25, "ZZ");
         let ansatz = QuantumCircuit::new(2);
         let e = estimate_energy(&h, &ansatz, exact_executor(4096)).unwrap();
         assert!((e - 1.0).abs() < 1e-9, "{e}");
@@ -162,7 +168,9 @@ mod tests {
     fn bell_state_zz_and_xx() {
         // On (|00>+|11>)/sqrt2: <ZZ> = <XX> = 1, <ZI> = 0.
         let mut h = PauliSum::new(2);
-        h.add_label(1.0, "ZZ").add_label(1.0, "XX").add_label(5.0, "ZI");
+        h.add_label(1.0, "ZZ")
+            .add_label(1.0, "XX")
+            .add_label(5.0, "ZI");
         let mut ansatz = QuantumCircuit::new(2);
         ansatz.h(0).unwrap();
         ansatz.cx(0, 1).unwrap();
@@ -220,7 +228,9 @@ mod tests {
         ansatz.ry(-1.1, 1).unwrap();
         ansatz.cx(0, 1).unwrap();
         ansatz.rz(0.4, 1).unwrap();
-        let exact = StateVector::run(&ansatz).unwrap().expectation(&h.to_matrix());
+        let exact = StateVector::run(&ansatz)
+            .unwrap()
+            .expectation(&h.to_matrix());
         let est = estimate_energy(&h, &ansatz, exact_executor(1 << 18)).unwrap();
         assert!((exact - est).abs() < 0.01, "exact {exact} vs est {est}");
     }

@@ -264,7 +264,10 @@ mod tests {
         let spec = zz_x_sum().spectrum();
         assert!(spec.windows(2).all(|w| w[0] <= w[1] + 1e-12));
         let sum: f64 = spec.iter().sum();
-        assert!(sum.abs() < 1e-8, "pauli sums without identity are traceless");
+        assert!(
+            sum.abs() < 1e-8,
+            "pauli sums without identity are traceless"
+        );
     }
 
     #[test]
@@ -288,7 +291,9 @@ mod tests {
     fn grouping_merges_compatible_terms() {
         // ZI, IZ, ZZ all share the all-Z basis.
         let mut h = PauliSum::new(2);
-        h.add_label(1.0, "ZI").add_label(1.0, "IZ").add_label(1.0, "ZZ");
+        h.add_label(1.0, "ZI")
+            .add_label(1.0, "IZ")
+            .add_label(1.0, "ZZ");
         let groups = h.measurement_groups();
         assert_eq!(groups.len(), 1);
         assert_eq!(groups[0].member_indices().len(), 3);

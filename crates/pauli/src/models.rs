@@ -114,7 +114,10 @@ pub fn li_ion_like() -> PauliSum {
     }
     // Weak transverse single-qubit terms (truncation fodder).
     for q in 0..n {
-        h.add(0.0035 / (1.0 + 0.2 * q as f64), PauliString::single(n, q, PauliOp::X));
+        h.add(
+            0.0035 / (1.0 + 0.2 * q as f64),
+            PauliString::single(n, q, PauliOp::X),
+        );
     }
     // One weak 4-local string, as parity-mapped operators produce.
     {
@@ -180,7 +183,8 @@ mod tests {
         // k = ±pi/4, ±3pi/4, giving E0 = -4(cos(pi/8) + cos(3pi/8)).
         let h = tfim_paper(4);
         let e0 = h.ground_state_energy();
-        let exact = -4.0 * ((std::f64::consts::PI / 8.0).cos() + (3.0 * std::f64::consts::PI / 8.0).cos());
+        let exact =
+            -4.0 * ((std::f64::consts::PI / 8.0).cos() + (3.0 * std::f64::consts::PI / 8.0).cos());
         assert!((e0 - exact).abs() < 1e-6, "{e0} vs {exact}");
     }
 
@@ -229,7 +233,10 @@ mod tests {
         let h = li_ion_like_truncated();
         assert!(h.to_matrix().is_hermitian(1e-9));
         let e0 = h.ground_state_energy();
-        assert!(e0 < -4.0, "molecule-like operators sit well below zero: {e0}");
+        assert!(
+            e0 < -4.0,
+            "molecule-like operators sit well below zero: {e0}"
+        );
     }
 
     #[test]

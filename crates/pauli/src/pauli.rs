@@ -151,9 +151,11 @@ impl PauliString {
     /// single per-qubit basis choice (tensor-product-basis grouping).
     pub fn qubit_wise_compatible(&self, other: &PauliString) -> bool {
         self.ops.len() == other.ops.len()
-            && self.ops.iter().zip(other.ops.iter()).all(|(&a, &b)| {
-                a == PauliOp::I || b == PauliOp::I || a == b
-            })
+            && self
+                .ops
+                .iter()
+                .zip(other.ops.iter())
+                .all(|(&a, &b)| a == PauliOp::I || b == PauliOp::I || a == b)
     }
 
     /// Dense `2^n x 2^n` matrix (left factor = highest qubit).
@@ -250,10 +252,20 @@ mod tests {
         // "XZ" = X (q1) ⊗ Z (q0): |00> -> |10>.
         let p: PauliString = "XZ".parse().unwrap();
         let m = p.to_matrix();
-        let v = m.mul_vec(&[Complex64::ONE, Complex64::ZERO, Complex64::ZERO, Complex64::ZERO]);
+        let v = m.mul_vec(&[
+            Complex64::ONE,
+            Complex64::ZERO,
+            Complex64::ZERO,
+            Complex64::ZERO,
+        ]);
         assert!(v[2].approx_eq(Complex64::ONE, 1e-12));
         // |01> (q0=1) -> -|11>.
-        let v = m.mul_vec(&[Complex64::ZERO, Complex64::ONE, Complex64::ZERO, Complex64::ZERO]);
+        let v = m.mul_vec(&[
+            Complex64::ZERO,
+            Complex64::ONE,
+            Complex64::ZERO,
+            Complex64::ZERO,
+        ]);
         assert!(v[3].approx_eq(-Complex64::ONE, 1e-12));
     }
 

@@ -7,4 +7,6 @@
 
 pub mod cost;
 
-pub use cost::{AngleTuningMode, CostModel, ExecutionTimeBreakdown, WorkloadProfile};
+pub use cost::{
+    AngleTuningMode, BatchDispatch, CostModel, ExecutionTimeBreakdown, WorkloadProfile,
+};

@@ -60,7 +60,10 @@ impl KrausChannel {
     ///
     /// Panics unless `0 <= lambda <= 1`.
     pub fn phase_damping(lambda: f64) -> Self {
-        assert!((0.0..=1.0).contains(&lambda), "lambda must be a probability");
+        assert!(
+            (0.0..=1.0).contains(&lambda),
+            "lambda must be a probability"
+        );
         let p = 0.5 * (1.0 - (1.0 - lambda).sqrt());
         Self::phase_flip(p)
     }
@@ -153,15 +156,9 @@ impl ReadoutError {
     pub fn apply<R: rand::Rng + ?Sized>(&self, true_bit: bool, rng: &mut R) -> bool {
         let r: f64 = rng.gen();
         if true_bit {
-            if r < self.p10 {
-                false
-            } else {
-                true
-            }
-        } else if r < self.p01 {
-            true
+            r >= self.p10
         } else {
-            false
+            r < self.p01
         }
     }
 }
@@ -203,10 +200,7 @@ mod tests {
         let ch = KrausChannel::phase_damping(lambda);
         // rho = |+><+|.
         let h = 0.5;
-        let rho = CMatrix::from_rows(&[
-            &[c64(h, 0.0), c64(h, 0.0)],
-            &[c64(h, 0.0), c64(h, 0.0)],
-        ]);
+        let rho = CMatrix::from_rows(&[&[c64(h, 0.0), c64(h, 0.0)], &[c64(h, 0.0), c64(h, 0.0)]]);
         let mut out = CMatrix::zeros(2, 2);
         for k in ch.ops() {
             out = &out + &(&(k * &rho) * &k.adjoint());

@@ -41,7 +41,11 @@ impl Counts {
     ///
     /// Panics if the bitstring length disagrees with `num_qubits`.
     pub fn record(&mut self, bitstring: &str) {
-        assert_eq!(bitstring.len(), self.num_qubits, "bitstring length mismatch");
+        assert_eq!(
+            bitstring.len(),
+            self.num_qubits,
+            "bitstring length mismatch"
+        );
         *self.map.entry(bitstring.to_string()).or_insert(0) += 1;
     }
 

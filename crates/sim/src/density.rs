@@ -111,8 +111,8 @@ impl DensityMatrix {
                 if i == 0 && j == 0 {
                     continue;
                 }
-                let full = &embed_single(pa, a, self.num_qubits)
-                    * &embed_single(pb, b, self.num_qubits);
+                let full =
+                    &embed_single(pa, a, self.num_qubits) * &embed_single(pb, b, self.num_qubits);
                 sum = &sum + &self.rho.conjugate_by(&full);
             }
         }
@@ -135,10 +135,9 @@ impl DensityMatrix {
         (&self.rho * observable).trace().re
     }
 
-    /// Exact counts under per-qubit readout error: the true distribution is
-    /// pushed through each qubit's assignment matrix, then scaled to
-    /// `shots`.
-    pub fn counts_with_readout(&self, noise: &NoiseParameters, shots: u64) -> Counts {
+    /// Basis-state probabilities after pushing the true distribution
+    /// through each qubit's readout assignment matrix.
+    pub fn readout_probabilities(&self, noise: &NoiseParameters) -> Vec<f64> {
         let dim = 1 << self.num_qubits;
         let mut p = self.probabilities();
         // Apply each qubit's assignment matrix as a stochastic map over the
@@ -161,12 +160,47 @@ impl DensityMatrix {
             }
             p = next;
         }
+        p
+    }
+
+    /// Exact counts under per-qubit readout error: the true distribution is
+    /// pushed through each qubit's assignment matrix, then scaled to
+    /// `shots`.
+    pub fn counts_with_readout(&self, noise: &NoiseParameters, shots: u64) -> Counts {
+        let p = self.readout_probabilities(noise);
         let mut counts = Counts::new(self.num_qubits);
         for (i, &pi) in p.iter().enumerate() {
             let c = (pi * shots as f64).round() as u64;
             if c > 0 {
                 counts.record_index_n(i, c);
             }
+        }
+        counts
+    }
+
+    /// Shot-sampled counts under per-qubit readout error, for callers that
+    /// want the finite-shot statistics of a real submission rather than the
+    /// rounded exact distribution.
+    pub fn sample_counts_with_readout<R: rand::Rng + ?Sized>(
+        &self,
+        noise: &NoiseParameters,
+        shots: u64,
+        rng: &mut R,
+    ) -> Counts {
+        let p = self.readout_probabilities(noise);
+        let mut counts = Counts::new(self.num_qubits);
+        for _ in 0..shots {
+            let r: f64 = rng.gen();
+            let mut acc = 0.0;
+            let mut picked = p.len() - 1;
+            for (i, &pi) in p.iter().enumerate() {
+                acc += pi;
+                if r < acc {
+                    picked = i;
+                    break;
+                }
+            }
+            counts.record_index(picked);
         }
         counts
     }
@@ -185,14 +219,16 @@ impl DensityMatrix {
 /// Panics if the circuit references qubits beyond `noise`.
 pub fn run_markovian(scheduled: &ScheduledCircuit, noise: &NoiseParameters) -> DensityMatrix {
     let n = scheduled.num_qubits();
-    assert!(noise.num_qubits() >= n, "noise parameters must cover the register");
+    assert!(
+        noise.num_qubits() >= n,
+        "noise parameters must cover the register"
+    );
     let mut dm = DensityMatrix::zero_state(n);
     // Track per-qubit last-activity end time; decoherence accrues on the gap.
     let mut last_end = vec![0.0f64; n];
     for op in scheduled.ops() {
-        match op.gate {
-            Gate::Barrier => continue,
-            _ => {}
+        if op.gate == Gate::Barrier {
+            continue;
         }
         // Idle decoherence on each operand qubit since its last activity.
         for &q in &op.qubits {
@@ -344,7 +380,10 @@ mod tests {
         // Fully dephased |+> returns to maximal mixture after the final H:
         // P(1) approaches 0.5 from below.
         let p1 = dm.probabilities()[1];
-        assert!(p1 > 0.4, "dephasing should randomize the X-basis: p1 = {p1}");
+        assert!(
+            p1 > 0.4,
+            "dephasing should randomize the X-basis: p1 = {p1}"
+        );
         assert!((dm.trace() - 1.0).abs() < 1e-9);
     }
 

@@ -1,0 +1,150 @@
+//! Execution endpoints for the non-trajectory engines.
+//!
+//! The trajectory [`crate::machine::MachineExecutor`] has always been an
+//! execution endpoint (scheduled circuit in, counts out). This module gives
+//! the other two engines the same shape so the core crate's `Executor`
+//! trait can treat all three substrates uniformly:
+//!
+//! * [`StateVectorSampler`] — ideal, noise-free sampling (the angle-tuning
+//!   substrate of the feasible flow, Fig. 11);
+//! * [`DensityExecutor`] — the Markovian calibration-style simulator of the
+//!   paper's Fig. 9 comparison, with seeded finite-shot readout sampling.
+//!
+//! Both derive per-job randomness from a [`SeedStream`] exactly like the
+//! machine does: the stream depends only on (root seed, label, job seed),
+//! so batched and sequential execution are bit-identical.
+
+use crate::counts::Counts;
+use crate::density::run_markovian;
+use crate::statevector::StateVector;
+use vaqem_circuit::schedule::ScheduledCircuit;
+use vaqem_device::noise::NoiseParameters;
+use vaqem_mathkit::rng::SeedStream;
+
+/// Ideal sampler: runs the circuit noise-free and samples shot outcomes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateVectorSampler {
+    num_qubits: usize,
+    seeds: SeedStream,
+}
+
+impl StateVectorSampler {
+    /// Creates a sampler for registers of up to `num_qubits` qubits.
+    pub fn new(num_qubits: usize, seeds: SeedStream) -> Self {
+        StateVectorSampler { num_qubits, seeds }
+    }
+
+    /// Modelled register width.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Executes a scheduled circuit: ideal evolution, Born-rule sampling.
+    ///
+    /// # Panics
+    ///
+    /// Panics on symbolic circuits (scheduled circuits are concrete) or if
+    /// the circuit is wider than the modelled register.
+    pub fn run_job_with_shots(
+        &self,
+        scheduled: &ScheduledCircuit,
+        shots: u64,
+        job_index: u64,
+    ) -> Counts {
+        assert!(
+            scheduled.num_qubits() <= self.num_qubits,
+            "circuit wider than the modelled register"
+        );
+        let sv = StateVector::run_scheduled(scheduled).expect("scheduled circuits are concrete");
+        let mut rng = self.seeds.rng_indexed("statevector-sample", job_index);
+        sv.sample_counts(&mut rng, shots)
+    }
+}
+
+/// Markovian density-matrix endpoint: exact mixed-state evolution under the
+/// calibration (Markovian-only) part of the noise model, then seeded
+/// readout sampling.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DensityExecutor {
+    noise: NoiseParameters,
+    seeds: SeedStream,
+}
+
+impl DensityExecutor {
+    /// Creates an endpoint over `noise` (its correlated terms are ignored
+    /// by construction of the density engine).
+    pub fn new(noise: NoiseParameters, seeds: SeedStream) -> Self {
+        DensityExecutor { noise, seeds }
+    }
+
+    /// Noise parameters in use.
+    pub fn noise(&self) -> &NoiseParameters {
+        &self.noise
+    }
+
+    /// Modelled register width.
+    pub fn num_qubits(&self) -> usize {
+        self.noise.num_qubits()
+    }
+
+    /// Executes a scheduled circuit: Markovian evolution, readout-error
+    /// shot sampling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit is wider than the noise description.
+    pub fn run_job_with_shots(
+        &self,
+        scheduled: &ScheduledCircuit,
+        shots: u64,
+        job_index: u64,
+    ) -> Counts {
+        let dm = run_markovian(scheduled, &self.noise);
+        let mut rng = self.seeds.rng_indexed("density-sample", job_index);
+        dm.sample_counts_with_readout(&self.noise, shots, &mut rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vaqem_circuit::circuit::QuantumCircuit;
+    use vaqem_circuit::schedule::{schedule, DurationModel, ScheduleKind};
+
+    fn bell_scheduled() -> ScheduledCircuit {
+        let mut qc = QuantumCircuit::new(2);
+        qc.h(0).unwrap();
+        qc.cx(0, 1).unwrap();
+        qc.measure_all();
+        schedule(&qc, &DurationModel::ibm_default(), ScheduleKind::Alap).unwrap()
+    }
+
+    #[test]
+    fn statevector_sampler_is_deterministic_and_ideal() {
+        let s = bell_scheduled();
+        let sampler = StateVectorSampler::new(2, SeedStream::new(3));
+        let a = sampler.run_job_with_shots(&s, 2000, 7);
+        let b = sampler.run_job_with_shots(&s, 2000, 7);
+        assert_eq!(a, b);
+        let c = sampler.run_job_with_shots(&s, 2000, 8);
+        assert_ne!(a, c, "job indices decorrelate");
+        assert_eq!(a.total(), 2000);
+        // Ideal Bell statistics: no 01/10 outcomes at all.
+        assert_eq!(a.get("01") + a.get("10"), 0);
+        assert!((a.probability("00") - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn density_executor_mixes_by_readout_error() {
+        let mut noise = NoiseParameters::noiseless(2);
+        noise.qubit_mut(0).readout_p01 = 0.2;
+        let exec = DensityExecutor::new(noise, SeedStream::new(4));
+        let s = bell_scheduled();
+        let counts = exec.run_job_with_shots(&s, 4000, 0);
+        assert_eq!(counts.total(), 4000);
+        // Readout flips on qubit 0 create 01/10 weight.
+        assert!(counts.get("01") + counts.get("10") > 0);
+        let again = exec.run_job_with_shots(&s, 4000, 0);
+        assert_eq!(counts, again);
+    }
+}

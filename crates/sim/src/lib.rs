@@ -14,14 +14,21 @@
 //! The deliberate asymmetry between [`density`] and [`machine`] (the former
 //! misses correlated noise) reproduces the paper's core observation that
 //! error-mitigation tuning must happen on the machine.
+//!
+//! [`exec`] wraps the statevector and density engines as execution
+//! endpoints (scheduled circuit + shots + seed → counts) with the same
+//! shape as [`machine`], so the core crate's `Executor` trait can drive
+//! all three substrates interchangeably.
 
 pub mod channels;
 pub mod counts;
 pub mod density;
+pub mod exec;
 pub mod machine;
 pub mod statevector;
 
 pub use counts::Counts;
 pub use density::DensityMatrix;
+pub use exec::{DensityExecutor, StateVectorSampler};
 pub use machine::MachineExecutor;
 pub use statevector::StateVector;

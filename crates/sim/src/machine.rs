@@ -89,16 +89,36 @@ impl MachineExecutor {
     ///
     /// Panics if `scheduled` references qubits beyond the noise description.
     pub fn run_job(&self, scheduled: &ScheduledCircuit, job_index: u64) -> Counts {
+        self.run_job_with_shots(scheduled, self.shots, job_index)
+    }
+
+    /// Executes with explicit shot count and job index.
+    ///
+    /// The per-shot noise streams depend only on the seed stream, the job
+    /// index, and the shot index — never on the configured default shot
+    /// count — so a batched caller supplying shots explicitly reproduces
+    /// the sequential path bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scheduled` references qubits beyond the noise description.
+    pub fn run_job_with_shots(
+        &self,
+        scheduled: &ScheduledCircuit,
+        shots: u64,
+        job_index: u64,
+    ) -> Counts {
         let n = scheduled.num_qubits();
         assert!(
             self.noise.num_qubits() >= n,
             "noise parameters must cover the register"
         );
         let mut counts = Counts::new(n);
-        for shot in 0..self.shots {
-            let mut rng = self
-                .seeds
-                .rng_indexed("machine-trajectory", job_index.wrapping_mul(1_000_003) ^ shot);
+        for shot in 0..shots {
+            let mut rng = self.seeds.rng_indexed(
+                "machine-trajectory",
+                job_index.wrapping_mul(1_000_003) ^ shot,
+            );
             let outcome = self.run_trajectory(scheduled, &mut rng);
             counts.record_index(outcome);
         }
@@ -179,7 +199,11 @@ impl MachineExecutor {
             let qn = self.noise.qubit(q);
             let bit = 1usize << q;
             let is_one = index & bit != 0;
-            let flip_p = if is_one { qn.readout_p10 } else { qn.readout_p01 };
+            let flip_p = if is_one {
+                qn.readout_p10
+            } else {
+                qn.readout_p01
+            };
             if rng.gen::<f64>() < flip_p {
                 index ^= bit;
             }
@@ -332,7 +356,7 @@ fn apply_amplitude_damping_mcwf(sv: &mut StateVector, q: usize, gamma: f64, rng:
         let damp = (1.0 - gamma).sqrt();
         for (i, a) in amps.iter_mut().enumerate() {
             if i & bit != 0 {
-                *a = *a * damp;
+                *a *= damp;
             }
         }
     }
@@ -383,11 +407,14 @@ mod tests {
 
     #[test]
     fn runs_are_deterministic() {
-        let mut qc = QuantumCircuit::new(1);
+        // Two qubits / four outcomes: enough histogram resolution that two
+        // decorrelated jobs colliding on every bin is vanishingly unlikely.
+        let mut qc = QuantumCircuit::new(2);
         qc.h(0).unwrap();
-        qc.measure(0).unwrap();
+        qc.h(1).unwrap();
+        qc.measure_all();
         let exec =
-            MachineExecutor::new(NoiseParameters::uniform(1), SeedStream::new(5)).with_shots(256);
+            MachineExecutor::new(NoiseParameters::uniform(2), SeedStream::new(5)).with_shots(256);
         let a = exec.run(&sched(&qc));
         let b = exec.run(&sched(&qc));
         assert_eq!(a, b);
@@ -405,8 +432,8 @@ mod tests {
         qc.delay(idle, 0).unwrap();
         qc.h(0).unwrap();
         qc.measure(0).unwrap();
-        let exec = MachineExecutor::new(dephasing_only(sigma, 0.0), SeedStream::new(2))
-            .with_shots(2000);
+        let exec =
+            MachineExecutor::new(dephasing_only(sigma, 0.0), SeedStream::new(2)).with_shots(2000);
         let counts = exec.run(&sched(&qc));
         let p1 = counts.probability("1");
         assert!(p1 > 0.3, "long idle should dephase: p1 = {p1}");
@@ -418,8 +445,8 @@ mod tests {
         // state; the same X at the window edge does not.
         let sigma = 9.0e-5;
         let idle = 28_440.0; // the paper's 28.44 us window
-        let exec = MachineExecutor::new(dephasing_only(sigma, 0.0), SeedStream::new(3))
-            .with_shots(1500);
+        let exec =
+            MachineExecutor::new(dephasing_only(sigma, 0.0), SeedStream::new(3)).with_shots(1500);
 
         // Centered echo: H, delay T/2, X, delay T/2, H -> expect |1>.
         let mut echo = QuantumCircuit::new(1);
@@ -557,6 +584,9 @@ mod tests {
             .map(|(_, n)| n as f64)
             .sum::<f64>()
             / counts.total() as f64;
-        assert!(p_q0_one > 0.2, "ZZ should rotate the idle qubit: {p_q0_one}");
+        assert!(
+            p_q0_one > 0.2,
+            "ZZ should rotate the idle qubit: {p_q0_one}"
+        );
     }
 }

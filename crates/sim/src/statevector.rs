@@ -37,7 +37,10 @@ impl StateVector {
     /// Panics if the length is not a power of two.
     pub fn from_amplitudes(amps: Vec<Complex64>) -> Self {
         let n = amps.len();
-        assert!(n.is_power_of_two(), "amplitude count must be a power of two");
+        assert!(
+            n.is_power_of_two(),
+            "amplitude count must be a power of two"
+        );
         StateVector {
             num_qubits: n.trailing_zeros() as usize,
             amps,
@@ -99,7 +102,10 @@ impl StateVector {
     ///
     /// Panics on out-of-range or equal qubits, or a non-4x4 matrix.
     pub fn apply_two(&mut self, u: &CMatrix, q_hi: usize, q_lo: usize) {
-        assert!(q_hi < self.num_qubits && q_lo < self.num_qubits, "qubit out of range");
+        assert!(
+            q_hi < self.num_qubits && q_lo < self.num_qubits,
+            "qubit out of range"
+        );
         assert_ne!(q_hi, q_lo, "distinct qubits required");
         assert_eq!(u.rows(), 4, "expected 4x4");
         let (bh, bl) = (1usize << q_hi, 1usize << q_lo);
@@ -126,7 +132,7 @@ impl StateVector {
         let phase = Complex64::cis(theta);
         for (i, a) in self.amps.iter_mut().enumerate() {
             if i & bit != 0 {
-                *a = *a * phase;
+                *a *= phase;
             }
         }
     }
@@ -138,7 +144,7 @@ impl StateVector {
         let minus = Complex64::cis(theta / 2.0);
         for (i, amp) in self.amps.iter_mut().enumerate() {
             let parity = ((i & ba != 0) as u8) ^ ((i & bb != 0) as u8);
-            *amp = *amp * if parity == 0 { plus } else { minus };
+            *amp *= if parity == 0 { plus } else { minus };
         }
     }
 
@@ -185,6 +191,28 @@ impl StateVector {
                 continue;
             }
             sv.apply_gate(&inst.gate, &inst.qubits)?;
+        }
+        Ok(sv)
+    }
+
+    /// Runs a scheduled circuit from `|0...0>`, ignoring timing (the ideal
+    /// engine has no decoherence, so gate start times are irrelevant).
+    ///
+    /// Measurements, delays, barriers and identities are skipped, exactly
+    /// as in [`Self::run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnboundParameter`] for symbolic circuits.
+    pub fn run_scheduled(
+        scheduled: &vaqem_circuit::schedule::ScheduledCircuit,
+    ) -> Result<StateVector, CircuitError> {
+        let mut sv = StateVector::zero_state(scheduled.num_qubits());
+        for op in scheduled.ops() {
+            match op.gate {
+                Gate::Measure | Gate::Barrier | Gate::Delay { .. } | Gate::I => {}
+                ref g => sv.apply_gate(g, &op.qubits)?,
+            }
         }
         Ok(sv)
     }

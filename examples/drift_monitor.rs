@@ -26,8 +26,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let seeds = SeedStream::new(24);
     let drift = DriftModel::new(seeds.substream("drift"));
 
-    println!("monitoring a fixed configuration across 24 h on {}", device.name());
-    println!("{:>6} {:>10} {:>12} {:>8}", "hour", "T1(q0) us", "objective", "recal?");
+    println!(
+        "monitoring a fixed configuration across 24 h on {}",
+        device.name()
+    );
+    println!(
+        "{:>6} {:>10} {:>12} {:>8}",
+        "hour", "T1(q0) us", "objective", "recal?"
+    );
     let mut prev_hour = 0.0;
     for step in 0..9 {
         let hour = step as f64 * 3.0;

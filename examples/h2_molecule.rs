@@ -24,7 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         problem.hamiltonian().len(),
         problem.groups().len()
     );
-    println!("exact ground energy: {:.5} Ha (electronic)", problem.exact_ground_energy());
+    println!(
+        "exact ground energy: {:.5} Ha (electronic)",
+        problem.exact_ground_energy()
+    );
 
     let config = PipelineConfig {
         spsa: SpsaConfig::paper_default().with_iterations(120),
@@ -42,8 +45,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
     let run = run_pipeline(&problem, &id.circuit_noise(), &config, &strategies)?;
 
-    println!("\nideal energy at tuned angles: {:.5} Ha", run.ideal_tuned_energy);
-    println!("\n{:<16} {:>12} {:>14} {:>14}", "strategy", "energy", "% of optimal", "vs baseline");
+    println!(
+        "\nideal energy at tuned angles: {:.5} Ha",
+        run.ideal_tuned_energy
+    );
+    println!(
+        "\n{:<16} {:>12} {:>14} {:>14}",
+        "strategy", "energy", "% of optimal", "vs baseline"
+    );
     for r in &run.results {
         println!(
             "{:<16} {:>12.5} {:>13.1}% {:>13.2}x",

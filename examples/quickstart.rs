@@ -26,7 +26,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let hamiltonian = tfim_paper(4);
     let ansatz = EfficientSu2::new(4, 2, Entanglement::Circular).circuit()?;
     let problem = VqeProblem::new("quickstart_tfim_4q", hamiltonian, ansatz)?;
-    println!("problem: {} ({} parameters)", problem.label(), problem.num_params());
+    println!(
+        "problem: {} ({} parameters)",
+        problem.label(),
+        problem.num_params()
+    );
     println!("exact ground energy: {:.4}", problem.exact_ground_energy());
 
     // 2. Phase (a): tune the gate angles on the ideal simulator (SPSA).
@@ -59,6 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             sweep_resolution: 4,
             dd_sequence: DdSequence::Xy4,
             max_repetitions: 10,
+            ..WindowTunerConfig::default()
         },
     );
     let tuned = tuner.tune_dd(&params)?;

@@ -4,6 +4,10 @@
 //! subsystem crate so the examples and cross-crate integration tests can use
 //! a single dependency. See `README.md` for the repository layout and
 //! `DESIGN.md` for the per-experiment index.
+//!
+//! The core crate is the `vaqem-core` package, whose library target is
+//! named `vaqem` — that is the name the workspace imports it under, both
+//! here and in the figure binaries.
 
 pub use vaqem;
 pub use vaqem_ansatz as ansatz;

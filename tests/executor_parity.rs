@@ -1,0 +1,151 @@
+//! Executor parity: with a fixed `SeedStream`, `run_batch` over N jobs is
+//! bit-identical to N sequential `run` calls, for all three `Executor`
+//! implementations — and the batched objective paths built on top of it
+//! (tuner sweeps, pipeline strategy evaluations) are therefore
+//! seed-deterministic end to end.
+
+use vaqem_suite::ansatz::su2::{EfficientSu2, Entanglement};
+use vaqem_suite::circuit::circuit::QuantumCircuit;
+use vaqem_suite::circuit::schedule::{schedule, DurationModel, ScheduleKind, ScheduledCircuit};
+use vaqem_suite::device::noise::NoiseParameters;
+use vaqem_suite::mathkit::rng::SeedStream;
+use vaqem_suite::mitigation::combined::MitigationConfig;
+use vaqem_suite::mitigation::dd::DdSequence;
+use vaqem_suite::pauli::models::tfim_paper;
+use vaqem_suite::sim::exec::{DensityExecutor, StateVectorSampler};
+use vaqem_suite::sim::machine::MachineExecutor;
+use vaqem_suite::vaqem::backend::QuantumBackend;
+use vaqem_suite::vaqem::executor::{Executor, Job};
+use vaqem_suite::vaqem::vqe::VqeProblem;
+
+/// A family of distinct concrete circuits exercising idle windows.
+fn job_circuits(n: usize) -> Vec<ScheduledCircuit> {
+    let durations = DurationModel::ibm_default();
+    (0..n)
+        .map(|k| {
+            let mut qc = QuantumCircuit::new(2);
+            qc.h(0).unwrap();
+            qc.cx(0, 1).unwrap();
+            for _ in 0..(k % 5) {
+                qc.sx(1).unwrap();
+            }
+            qc.ry(0.1 + 0.2 * k as f64, 0).unwrap();
+            qc.cx(0, 1).unwrap();
+            qc.measure_all();
+            schedule(&qc, &durations, ScheduleKind::Alap).unwrap()
+        })
+        .collect()
+}
+
+fn assert_parity<E: Executor>(executor: &E, label: &str) {
+    let jobs: Vec<Job> = job_circuits(12)
+        .into_iter()
+        .enumerate()
+        .map(|(i, scheduled)| Job {
+            scheduled,
+            shots: 96 + 8 * i as u64,
+            seed: 1000 + i as u64,
+        })
+        .collect();
+    let batched = executor.run_batch(&jobs);
+    assert_eq!(batched.len(), jobs.len());
+    for (job, counts) in jobs.iter().zip(&batched) {
+        let sequential = executor.run(&job.scheduled, job.shots, job.seed);
+        assert_eq!(
+            counts, &sequential,
+            "{label}: batched counts diverged from sequential at seed {}",
+            job.seed
+        );
+        assert_eq!(counts.total(), job.shots, "{label}: shot total");
+    }
+    // A second batched dispatch replays exactly (no hidden shared state).
+    let again = executor.run_batch(&jobs);
+    assert_eq!(batched, again, "{label}: run_batch must replay exactly");
+}
+
+#[test]
+fn machine_executor_batch_parity() {
+    let seeds = SeedStream::new(71);
+    assert_parity(
+        &MachineExecutor::new(NoiseParameters::uniform(2), seeds),
+        "trajectory-machine",
+    );
+}
+
+#[test]
+fn statevector_sampler_batch_parity() {
+    let seeds = SeedStream::new(72);
+    assert_parity(&StateVectorSampler::new(2, seeds), "statevector-ideal");
+}
+
+#[test]
+fn density_executor_batch_parity() {
+    let seeds = SeedStream::new(73);
+    assert_parity(
+        &DensityExecutor::new(NoiseParameters::uniform(2), seeds),
+        "density-markovian",
+    );
+}
+
+#[test]
+fn batched_energy_matches_sequential_energy() {
+    // The full objective path: machine_energy_batch over many
+    // (config, job) pairs equals per-pair machine_energy, bit for bit.
+    let ansatz = EfficientSu2::new(3, 1, Entanglement::Linear)
+        .circuit()
+        .unwrap();
+    let problem = VqeProblem::new("parity", tfim_paper(3), ansatz).unwrap();
+    let mut backend =
+        QuantumBackend::new(NoiseParameters::uniform(3), SeedStream::new(74)).with_shots(128);
+    backend.calibrate_mem();
+    let params = vec![0.3; problem.num_params()];
+    let cache = problem.schedule_groups(&backend, &params).unwrap();
+
+    let evals: Vec<(MitigationConfig, u64)> = vec![
+        (MitigationConfig::baseline(), 10),
+        (
+            MitigationConfig::dynamical_decoupling(DdSequence::Xx, vec![1; 8]),
+            11,
+        ),
+        (MitigationConfig::gate_scheduling(vec![0.5]), 12),
+        (MitigationConfig::baseline(), 13),
+    ];
+    let batched = problem.machine_energy_batch(&backend, &cache, &evals);
+    for ((cfg, job), batched_energy) in evals.iter().zip(&batched) {
+        let sequential = problem
+            .machine_energy(&backend, &params, cfg, *job)
+            .unwrap();
+        assert_eq!(
+            *batched_energy, sequential,
+            "objective diverged for job {job}"
+        );
+    }
+}
+
+#[test]
+fn tuner_is_deterministic_across_runs() {
+    // The batched tuner must pick identical configurations on replay —
+    // thread scheduling cannot leak into results.
+    let ansatz = EfficientSu2::new(3, 1, Entanglement::Linear)
+        .circuit()
+        .unwrap();
+    let problem = VqeProblem::new("parity", tfim_paper(3), ansatz).unwrap();
+    let backend =
+        QuantumBackend::new(NoiseParameters::uniform(3), SeedStream::new(75)).with_shots(96);
+    let params = vec![0.4; problem.num_params()];
+    let tuner = vaqem_suite::vaqem::window_tuner::WindowTuner::new(
+        &problem,
+        &backend,
+        vaqem_suite::vaqem::window_tuner::WindowTunerConfig {
+            sweep_resolution: 3,
+            dd_sequence: DdSequence::Xx,
+            max_repetitions: 4,
+            guard_repeats: 2,
+        },
+    );
+    let a = tuner.tune_dd(&params).unwrap();
+    let b = tuner.tune_dd(&params).unwrap();
+    assert_eq!(a.config, b.config);
+    assert_eq!(a.dd_choices, b.dd_choices);
+    assert_eq!(a.evaluations, b.evaluations);
+}

@@ -63,10 +63,7 @@ fn arb_circuit(n: usize, max_len: usize) -> impl Strategy<Value = QuantumCircuit
 
 /// Strategy: a random Hermitian Pauli sum on `n` qubits.
 fn arb_pauli_sum(n: usize) -> impl Strategy<Value = PauliSum> {
-    let term = (
-        proptest::collection::vec(0u8..4, n),
-        -2.0f64..2.0,
-    );
+    let term = (proptest::collection::vec(0u8..4, n), -2.0f64..2.0);
     proptest::collection::vec(term, 1..8).prop_map(move |terms| {
         let mut h = PauliSum::new(n);
         for (ops, c) in terms {

@@ -1,0 +1,261 @@
+//! Offline drop-in subset of the `criterion` crate.
+//!
+//! The build environment has no network access, so this vendored crate
+//! provides the benchmarking API surface the workspace's `benches/` use:
+//! [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`],
+//! and the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple — a warm-up pass, then timed batches
+//! until the measurement budget is spent, reporting the per-iteration mean
+//! and min — adequate for the relative comparisons (batched vs. sequential,
+//! engine vs. engine) the workspace tracks. Bench targets must set
+//! `harness = false`, exactly as with upstream criterion.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard black box (upstream `criterion::black_box`).
+pub use std::hint::black_box;
+
+/// Identifier for one benchmark case within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function label and a parameter.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Creates an id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    warmup: Duration,
+    budget: Duration,
+    /// `(total_time, iterations, best_per_iter)` of the measured run.
+    result: Option<(Duration, u64, Duration)>,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly: first a warm-up, then timed batches until
+    /// the measurement budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up while estimating the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        loop {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_start.elapsed() >= self.warmup {
+                break;
+            }
+        }
+        let est = warm_start.elapsed() / warm_iters.max(1) as u32;
+        // Batch size targeting ~20 batches within the budget.
+        let batch = ((self.budget.as_nanos() / 20).saturating_div(est.as_nanos().max(1)))
+            .clamp(1, 1_000_000) as u64;
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        let mut best = Duration::MAX;
+        while total < self.budget {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let dt = t0.elapsed();
+            best = best.min(dt / batch as u32);
+            total += dt;
+            iters += batch;
+        }
+        self.result = Some((total, iters, best));
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn run_one(full_label: &str, warmup: Duration, budget: Duration, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        warmup,
+        budget,
+        result: None,
+    };
+    f(&mut b);
+    match b.result {
+        Some((total, iters, best)) => {
+            let mean = Duration::from_nanos((total.as_nanos() / iters.max(1) as u128) as u64);
+            println!(
+                "bench: {full_label:<48} {:>12}/iter (min {:>12}, {iters} iters)",
+                fmt_duration(mean),
+                fmt_duration(best),
+            );
+        }
+        None => println!("bench: {full_label:<48} (no measurement — iter() never called)"),
+    }
+}
+
+/// A named collection of related benchmark cases.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Lowers the sample count (accepted for upstream compatibility; the
+    /// shim's time budget already bounds the run).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Overrides the measurement budget for this group.
+    pub fn measurement_time(&mut self, budget: Duration) -> &mut Self {
+        self.criterion.budget = budget;
+        self
+    }
+
+    /// Benchmarks `routine` under `id`.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        routine: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_one(
+            &label,
+            self.criterion.warmup,
+            self.criterion.budget,
+            routine,
+        );
+        self
+    }
+
+    /// Benchmarks `routine` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        routine: F,
+    ) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.criterion.warmup, self.criterion.budget, |b| {
+            routine(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; the shim prints
+    /// eagerly, so this is a marker).
+    pub fn finish(self) {}
+}
+
+/// Benchmark driver (upstream `criterion::Criterion` subset).
+pub struct Criterion {
+    warmup: Duration,
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warmup: Duration::from_millis(300),
+            budget: Duration::from_millis(1500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Benchmarks a standalone function.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(
+        &mut self,
+        label: &str,
+        routine: F,
+    ) -> &mut Self {
+        run_one(label, self.warmup, self.budget, routine);
+        self
+    }
+
+    /// Opens a named group of related cases.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+}
+
+/// Declares a group-runner function calling each benchmark fn in turn.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($bench_fn:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $bench_fn(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion {
+            warmup: Duration::from_millis(5),
+            budget: Duration::from_millis(20),
+        };
+        c.bench_function("spin", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let mut g = c.benchmark_group("group");
+        g.sample_size(10);
+        g.bench_with_input(BenchmarkId::from_parameter(4), &4u64, |b, &n| {
+            b.iter(|| (0..n).product::<u64>())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

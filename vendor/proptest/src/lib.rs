@@ -1,0 +1,369 @@
+//! Offline drop-in subset of the `proptest` crate.
+//!
+//! The build environment has no network access, so this vendored crate
+//! implements the property-testing surface the workspace's
+//! `tests/prop_invariants.rs` uses: [`Strategy`] with `prop_map`,
+//! range/tuple strategies, [`collection::vec`], [`prop_oneof!`], and the
+//! [`proptest!`]/[`prop_assert!`]/[`prop_assert_eq!`] macros.
+//!
+//! Unlike upstream, there is no shrinking: a failing case panics with its
+//! case index and root seed, which replay deterministically (cases are
+//! derived from a fixed seed, overridable via `PROPTEST_RNG_SEED`).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::Range;
+use std::rc::Rc;
+
+/// Runner configuration (upstream `ProptestConfig` subset).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed property case (upstream `TestCaseError` stand-in).
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    /// Human-readable failure description.
+    pub message: String,
+}
+
+/// Result alias the `proptest!` body closure returns.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// A generator of values of one type (upstream `Strategy`, without
+/// shrinking).
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { base: self, f }
+    }
+
+    /// Type-erases the strategy (needed by [`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        let this = self;
+        BoxedStrategy(Rc::new(move |rng| this.generate(rng)))
+    }
+}
+
+/// A type-erased strategy.
+#[derive(Clone)]
+pub struct BoxedStrategy<V>(Rc<dyn Fn(&mut StdRng) -> V>);
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut StdRng) -> V {
+        (self.0)(rng)
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+/// A uniform choice between boxed alternatives (what [`prop_oneof!`]
+/// builds).
+pub struct Union<V> {
+    alternatives: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// Creates a union; panics on an empty alternative list.
+    pub fn new(alternatives: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!alternatives.is_empty(), "prop_oneof! needs alternatives");
+        Union { alternatives }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut StdRng) -> V {
+        let i = rng.gen_range(0..self.alternatives.len());
+        self.alternatives[i].generate(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+}
+
+/// Constant values as strategies (upstream `Just`).
+#[derive(Debug, Clone)]
+pub struct Just<V: Clone>(pub V);
+
+impl<V: Clone> Strategy for Just<V> {
+    type Value = V;
+    fn generate(&self, _rng: &mut StdRng) -> V {
+        self.0.clone()
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (upstream `proptest::collection` subset).
+
+    use super::{Range, StdRng, Strategy};
+    use rand::Rng;
+
+    /// Acceptable vector-length specifications (upstream `SizeRange`): an
+    /// exact length or a half-open range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange(pub Range<usize>);
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange(n..n + 1)
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange(r)
+        }
+    }
+
+    /// A strategy for `Vec`s with element strategy `element` and a length
+    /// drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Generates vectors of `element` values with lengths in `len`.
+    pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        let len = len.into().0;
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Root seed for case derivation: fixed for reproducibility, overridable
+/// via `PROPTEST_RNG_SEED` for exploration.
+pub fn root_seed() -> u64 {
+    std::env::var("PROPTEST_RNG_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x5052_4f50_5445_5354) // "PROPTEST"
+}
+
+/// Builds the RNG for one case of one property.
+pub fn case_rng(property: &str, case: u32) -> StdRng {
+    let mut h = root_seed();
+    for b in property.bytes() {
+        h = h.rotate_left(7) ^ (b as u64) ^ h.wrapping_mul(0x100_0000_01b3);
+    }
+    StdRng::seed_from_u64(
+        h.wrapping_add(case as u64)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15),
+    )
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+    pub use crate::collection;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_oneof, proptest, Just, ProptestConfig, Strategy,
+        TestCaseError, TestCaseResult,
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($alt:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($alt)),+])
+    };
+}
+
+/// Asserts inside a `proptest!` body, failing the case rather than
+/// panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "{}", concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError {
+                message: format!($($fmt)*),
+            });
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+}
+
+/// Declares property tests: each `#[test]` fn draws its arguments from the
+/// given strategies for every case.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                for case in 0..config.cases {
+                    let mut rng = $crate::case_rng(stringify!($name), case);
+                    $(let $arg = $crate::Strategy::generate(&($strategy), &mut rng);)*
+                    let outcome: $crate::TestCaseResult = (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                    if let Err(e) = outcome {
+                        panic!(
+                            "property {} failed at case {case}/{} (root seed {}): {}",
+                            stringify!($name),
+                            config.cases,
+                            $crate::root_seed(),
+                            e.message
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($rest)*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 0usize..10, y in -1.0f64..1.0) {
+            prop_assert!(x < 10);
+            prop_assert!((-1.0..1.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(v in collection::vec(0u8..4, 1..9)) {
+            prop_assert!(!v.is_empty() && v.len() < 9);
+            for b in v {
+                prop_assert!(b < 4);
+            }
+        }
+
+        #[test]
+        fn oneof_and_map_compose(
+            t in prop_oneof![
+                (0usize..3).prop_map(|q| (q, 0.0f64)),
+                ((0usize..3), (0.0f64..1.0)).prop_map(|(q, f)| (q, f)),
+            ]
+        ) {
+            prop_assert!(t.0 < 3);
+            prop_assert!((0.0..1.0).contains(&t.1));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::Strategy;
+        let s = 0u64..1000;
+        let a: Vec<u64> = (0..8)
+            .map(|c| s.generate(&mut crate::case_rng("p", c)))
+            .collect();
+        let b: Vec<u64> = (0..8)
+            .map(|c| s.generate(&mut crate::case_rng("p", c)))
+            .collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,217 @@
+//! Offline drop-in subset of the `rayon` crate.
+//!
+//! The build environment has no network access, so this vendored crate
+//! implements the fragment of rayon's indexed parallel-iterator API the
+//! workspace uses — `slice.par_iter().map(f).collect::<Vec<_>>()` plus
+//! [`join`] — on plain `std::thread::scope` workers pulling indices from a
+//! shared atomic counter. Results are returned in input order, so the
+//! parallel path is observably identical to the sequential one (a property
+//! the executor-parity tests rely on).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Number of worker threads a parallel call will use for `len` items.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon::join worker panicked"))
+    })
+}
+
+/// An indexed, length-known parallel computation: item `i` is produced by
+/// `run(i)`. Composition (`map`) wraps the task; execution distributes the
+/// index space over threads.
+pub trait IndexedTask: Sync {
+    /// The per-index output.
+    type Output: Send;
+    /// Number of items.
+    fn len(&self) -> usize;
+    /// Returns `true` when there are no items.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Computes item `index`.
+    fn run(&self, index: usize) -> Self::Output;
+}
+
+/// Drives an [`IndexedTask`] over a scoped thread pool, preserving input
+/// order in the output.
+fn drive<T: IndexedTask>(task: &T) -> Vec<T::Output> {
+    let n = task.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = current_num_threads().min(n);
+    if workers <= 1 {
+        return (0..n).map(|i| task.run(i)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    type Bucket<O> = Mutex<Vec<(usize, O)>>;
+    let buckets: Vec<Bucket<T::Output>> = (0..workers).map(|_| Mutex::new(Vec::new())).collect();
+    std::thread::scope(|s| {
+        let cursor = &cursor;
+        for bucket in &buckets {
+            s.spawn(move || {
+                let mut local = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    local.push((i, task.run(i)));
+                }
+                *bucket.lock().expect("worker bucket poisoned") = local;
+            });
+        }
+    });
+    let mut indexed: Vec<(usize, T::Output)> = buckets
+        .into_iter()
+        .flat_map(|b| b.into_inner().expect("worker bucket poisoned"))
+        .collect();
+    indexed.sort_by_key(|(i, _)| *i);
+    indexed.into_iter().map(|(_, v)| v).collect()
+}
+
+/// A parallel iterator (upstream `rayon::iter::ParallelIterator` subset;
+/// everything here is indexed).
+pub trait ParallelIterator: IndexedTask + Sized {
+    /// Maps each item through `f`.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Output) -> R + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Executes the pipeline in parallel and collects in input order.
+    fn collect<C: FromIterator<Self::Output>>(self) -> C {
+        drive(&self).into_iter().collect()
+    }
+
+    /// Executes the pipeline and folds the outputs sequentially.
+    fn fold_seq<Acc, F: FnMut(Acc, Self::Output) -> Acc>(self, init: Acc, f: F) -> Acc {
+        drive(&self).into_iter().fold(init, f)
+    }
+}
+
+impl<T: IndexedTask + Sized> ParallelIterator for T {}
+
+/// Borrowing conversion into a parallel iterator (upstream
+/// `IntoParallelRefIterator`).
+pub trait IntoParallelRefIterator<'a> {
+    /// The produced item type.
+    type Item: Send + 'a;
+    /// The iterator type.
+    type Iter: ParallelIterator<Output = Self::Item>;
+    /// Creates a parallel iterator over `&self`.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+/// Parallel iterator over a slice.
+pub struct SliceIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> IndexedTask for SliceIter<'a, T> {
+    type Output = &'a T;
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+    fn run(&self, index: usize) -> &'a T {
+        &self.slice[index]
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = SliceIter<'a, T>;
+    fn par_iter(&'a self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = SliceIter<'a, T>;
+    fn par_iter(&'a self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+/// The result of [`ParallelIterator::map`].
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, R, F> IndexedTask for Map<I, F>
+where
+    I: IndexedTask,
+    R: Send,
+    F: Fn(I::Output) -> R + Sync,
+{
+    type Output = R;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn run(&self, index: usize) -> R {
+        (self.f)(self.base.run(index))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let ys: Vec<u64> = xs.par_iter().map(|&x| x * x).collect();
+        assert_eq!(ys.len(), 1000);
+        for (i, y) in ys.iter().enumerate() {
+            assert_eq!(*y, (i * i) as u64);
+        }
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let xs: Vec<u64> = Vec::new();
+        let ys: Vec<u64> = xs.par_iter().map(|&x| x).collect();
+        assert!(ys.is_empty());
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let xs: Vec<u64> = (0..257).collect();
+        let par: Vec<u64> = xs.par_iter().map(|&x| x.wrapping_mul(2654435761)).collect();
+        let seq: Vec<u64> = xs.iter().map(|&x| x.wrapping_mul(2654435761)).collect();
+        assert_eq!(par, seq);
+    }
+}
