@@ -172,7 +172,7 @@ impl Gate {
     }
 
     /// The inverse gate (for reversibility-based tests and tuning circuits
-    /// in the style of the gate-scheduling prior work [42]).
+    /// in the style of the gate-scheduling prior work \[42\]).
     ///
     /// # Panics
     ///

@@ -21,6 +21,29 @@
 //! * [`StateVectorSampler`] — ideal noise-free sampling,
 //! * [`DensityExecutor`] — the Markovian calibration-style simulator
 //!   (Fig. 9's "noisy simulation").
+//!
+//! ```
+//! use vaqem::executor::{Executor, Job};
+//! use vaqem_circuit::circuit::QuantumCircuit;
+//! use vaqem_circuit::schedule::{schedule, DurationModel, ScheduleKind};
+//! use vaqem_mathkit::rng::SeedStream;
+//! use vaqem_sim::exec::StateVectorSampler;
+//!
+//! let mut qc = QuantumCircuit::new(1);
+//! qc.h(0).unwrap();
+//! qc.measure_all();
+//! let s = schedule(&qc, &DurationModel::ibm_default(), ScheduleKind::Alap).unwrap();
+//!
+//! let exec = StateVectorSampler::new(1, SeedStream::new(7));
+//! let jobs: Vec<Job> = (0..4)
+//!     .map(|seed| Job { scheduled: s.clone(), shots: 64, seed })
+//!     .collect();
+//! let batched = exec.run_batch(&jobs);
+//!
+//! // Batched dispatch is bit-identical to running each job alone.
+//! assert_eq!(batched[2], exec.run(&s, 64, 2));
+//! assert_eq!(batched.len(), 4);
+//! ```
 
 use rayon::prelude::*;
 use vaqem_circuit::schedule::ScheduledCircuit;

@@ -16,7 +16,9 @@
 //! * [`backend`] — scheduling + mitigation + execution + MEM in one
 //!   endpoint, generic over the executor,
 //! * [`pipeline::tune_angles`] — SPSA angle tuning on the ideal simulator,
-//! * [`window_tuner`] — the independent per-window EM tuner (§VI-C),
+//! * [`window_tuner`] — the independent per-window EM tuner (§VI-C), plus
+//!   the fleet-scale warm-start path: canonical window fingerprints and
+//!   the shared `(device, epoch, fingerprint)` config store,
 //! * [`pipeline`] — all §VII-B comparison strategies,
 //! * [`benchmarks`] — the seven Table I applications,
 //! * [`soundness`] — the §V variational-bound checks,
@@ -36,6 +38,13 @@ pub use backend::QuantumBackend;
 pub use benchmarks::BenchmarkId;
 pub use error::VaqemError;
 pub use executor::{Executor, Job};
-pub use pipeline::{run_pipeline, BenchmarkRun, PipelineConfig, Strategy, StrategyResult};
+pub use pipeline::{
+    run_pipeline, run_pipeline_with_cache, BenchmarkRun, CacheUsage, PipelineConfig, Strategy,
+    StrategyResult,
+};
 pub use vqe::{GroupSchedules, VqeProblem};
-pub use window_tuner::{TunedMitigation, WindowTuner, WindowTunerConfig};
+pub use window_tuner::{
+    window_fingerprint, CachedChoice, FleetCacheSession, MitigationConfigStore, NoiseClass,
+    TunedMitigation, TuningMode, WarmStats, WarmTuneReport, WindowFingerprint, WindowTuner,
+    WindowTunerConfig,
+};

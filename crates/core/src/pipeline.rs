@@ -15,7 +15,9 @@ use crate::error::VaqemError;
 use crate::executor::Executor;
 use crate::metrics;
 use crate::vqe::{GroupSchedules, VqeProblem};
-use crate::window_tuner::{TunedMitigation, WindowTuner, WindowTunerConfig};
+use crate::window_tuner::{
+    FleetCacheSession, TunedMitigation, WarmStats, WindowTuner, WindowTunerConfig,
+};
 use vaqem_device::noise::NoiseParameters;
 use vaqem_mathkit::rng::SeedStream;
 use vaqem_mitigation::combined::MitigationConfig;
@@ -156,6 +158,33 @@ pub struct BenchmarkRun {
     pub results: Vec<StrategyResult>,
     /// The GS+DD tuning detail for Fig. 14, when run.
     pub combined_tuning: Option<TunedMitigation>,
+    /// Aggregate fleet-cache counters over every tuner run of this
+    /// pipeline invocation (`None` when no cache session was supplied).
+    pub cache_usage: Option<CacheUsage>,
+}
+
+/// Aggregate fleet-cache interaction counters of one pipeline run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheUsage {
+    /// Windows warm-started from the store across all tuner stages.
+    pub hits: usize,
+    /// Windows swept in full across all tuner stages.
+    pub misses: usize,
+    /// Tuner *invocations* in which at least one stage's acceptance guard
+    /// rejected the assembled config (a GS+DD run whose stages both
+    /// reject still counts once — per-stage verdicts are merged in
+    /// [`WarmStats::guard_rejected`]).
+    pub guard_rejections: usize,
+}
+
+impl CacheUsage {
+    fn absorb(&mut self, stats: WarmStats) {
+        self.hits += stats.hits;
+        self.misses += stats.misses;
+        if stats.guard_rejected {
+            self.guard_rejections += 1;
+        }
+    }
 }
 
 impl BenchmarkRun {
@@ -207,6 +236,25 @@ pub fn run_pipeline(
     config: &PipelineConfig,
     strategies: &[Strategy],
 ) -> Result<BenchmarkRun, VaqemError> {
+    run_pipeline_with_cache(problem, noise, config, strategies, None)
+}
+
+/// [`run_pipeline`] with an optional fleet-cache session: when `session`
+/// is supplied, every VAQEM tuner stage warm-starts from the shared
+/// config store (fingerprint hits skip their window's sweep; the §IX-C
+/// acceptance guard still gates every assembled configuration) and the
+/// run's [`CacheUsage`] is reported on the returned [`BenchmarkRun`].
+///
+/// # Errors
+///
+/// Propagates tuning and evaluation errors.
+pub fn run_pipeline_with_cache(
+    problem: &VqeProblem,
+    noise: &NoiseParameters,
+    config: &PipelineConfig,
+    strategies: &[Strategy],
+    mut session: Option<&mut FleetCacheSession<'_>>,
+) -> Result<BenchmarkRun, VaqemError> {
     // Phase (a): angle tuning on the ideal simulator.
     let (params, angle_trace) = tune_angles(problem, &config.spsa, &config.seeds)?;
     let ideal_tuned_energy = problem.ideal_energy(&params)?;
@@ -242,7 +290,9 @@ pub fn run_pipeline(
     let cache = problem.schedule_groups(&backend, &params)?;
 
     // Phase (b) part 1: resolve each strategy to a mitigation config
-    // (running the per-window tuner where required).
+    // (running the per-window tuner where required, warm-started against
+    // the fleet cache when a session was supplied).
+    let mut usage = session.as_ref().map(|_| CacheUsage::default());
     let mut resolved: Vec<(Strategy, MitigationConfig, usize)> =
         Vec::with_capacity(strategies.len());
     for &strategy in strategies {
@@ -253,7 +303,17 @@ pub fn run_pipeline(
             Strategy::VaqemGs => {
                 if tuned_gs.is_none() {
                     let tuner = WindowTuner::new(problem, &backend, tuner_config(DdSequence::Xy4));
-                    tuned_gs = Some(tuner.tune_gs(&params)?);
+                    tuned_gs = Some(match session.as_deref_mut() {
+                        Some(s) => {
+                            let report = tuner.tune_gs_warm(&params, s)?;
+                            usage
+                                .as_mut()
+                                .expect("usage set with session")
+                                .absorb(report.stats);
+                            report.tuned
+                        }
+                        None => tuner.tune_gs(&params)?,
+                    });
                 }
                 let t = tuned_gs.as_ref().expect("just set");
                 (t.config.clone(), t.evaluations)
@@ -261,7 +321,17 @@ pub fn run_pipeline(
             Strategy::VaqemXx => {
                 if tuned_xx.is_none() {
                     let tuner = WindowTuner::new(problem, &backend, tuner_config(DdSequence::Xx));
-                    tuned_xx = Some(tuner.tune_dd(&params)?);
+                    tuned_xx = Some(match session.as_deref_mut() {
+                        Some(s) => {
+                            let report = tuner.tune_dd_warm(&params, s)?;
+                            usage
+                                .as_mut()
+                                .expect("usage set with session")
+                                .absorb(report.stats);
+                            report.tuned
+                        }
+                        None => tuner.tune_dd(&params)?,
+                    });
                 }
                 let t = tuned_xx.as_ref().expect("just set");
                 (t.config.clone(), t.evaluations)
@@ -269,7 +339,17 @@ pub fn run_pipeline(
             Strategy::VaqemXy => {
                 if tuned_xy.is_none() {
                     let tuner = WindowTuner::new(problem, &backend, tuner_config(DdSequence::Xy4));
-                    tuned_xy = Some(tuner.tune_dd(&params)?);
+                    tuned_xy = Some(match session.as_deref_mut() {
+                        Some(s) => {
+                            let report = tuner.tune_dd_warm(&params, s)?;
+                            usage
+                                .as_mut()
+                                .expect("usage set with session")
+                                .absorb(report.stats);
+                            report.tuned
+                        }
+                        None => tuner.tune_dd(&params)?,
+                    });
                 }
                 let t = tuned_xy.as_ref().expect("just set");
                 (t.config.clone(), t.evaluations)
@@ -277,7 +357,17 @@ pub fn run_pipeline(
             Strategy::VaqemGsXy => {
                 if tuned_combined.is_none() {
                     let tuner = WindowTuner::new(problem, &backend, tuner_config(DdSequence::Xy4));
-                    tuned_combined = Some(tuner.tune_combined(&params)?);
+                    tuned_combined = Some(match session.as_deref_mut() {
+                        Some(s) => {
+                            let report = tuner.tune_combined_warm(&params, s)?;
+                            usage
+                                .as_mut()
+                                .expect("usage set with session")
+                                .absorb(report.stats);
+                            report.tuned
+                        }
+                        None => tuner.tune_combined(&params)?,
+                    });
                 }
                 let t = tuned_combined.as_ref().expect("just set");
                 (t.config.clone(), t.evaluations)
@@ -340,6 +430,7 @@ pub fn run_pipeline(
         angle_trace,
         results,
         combined_tuning: tuned_combined,
+        cache_usage: usage,
     })
 }
 

@@ -19,15 +19,39 @@
 //! indices are allocated exactly as the sequential tuner always did, so
 //! the batched tuner is seed-deterministic and chooses identical
 //! configurations.
+//!
+//! # Fleet-scale warm starts
+//!
+//! The paper's transfer result (Fig. 8, §IX) shows tuned choices carry
+//! across runs, so re-sweeping every window of every client from scratch
+//! wastes the dominant machine-time cost of the flow (Fig. 15). The
+//! warm-start path amortizes it: each window is summarized by a canonical
+//! [`WindowFingerprint`] (idle-duration bucket, qubit noise class,
+//! neighbor-activity signature), and a shared
+//! [`MitigationConfigStore`] — keyed by `(device, calibration epoch,
+//! fingerprint)` — carries tuned per-window choices between clients.
+//! [`WindowTuner::tune_dd_warm`] / [`WindowTuner::tune_gs_warm`] adopt the
+//! cached choice for every fingerprint hit (skipping that window's sweep
+//! entirely) and sweep only the misses. The §IX-C acceptance guard stays
+//! the correctness gate: it always runs on the assembled configuration,
+//! choices enter the store only when the guard accepts, and a guard
+//! rejection of a cache-seeded configuration evicts the offending entries
+//! (stale-within-epoch drift). Fingerprints are pure functions of the
+//! schedule and the calibration snapshot — never of job indices, sweep
+//! labels, or execution order — so warm replays are seed-deterministic.
 
 use crate::backend::QuantumBackend;
 use crate::error::VaqemError;
 use crate::executor::Executor;
 use crate::vqe::{GroupSchedules, VqeProblem};
+use vaqem_circuit::gate::Gate;
+use vaqem_circuit::schedule::{IdleWindow, ScheduledCircuit};
+use vaqem_device::noise::{NoiseParameters, QubitNoise};
 use vaqem_mitigation::combined::MitigationConfig;
 use vaqem_mitigation::dd::{DdPass, DdSequence};
 use vaqem_mitigation::scheduling::GsPass;
 use vaqem_optim::sweep::{integer_candidates, position_candidates, sweep_minimize};
+use vaqem_runtime::cache::ConfigStore;
 use vaqem_sim::machine::MachineExecutor;
 
 /// Configuration of the per-window tuner.
@@ -87,6 +111,242 @@ pub struct TunedMitigation {
     pub evaluations: usize,
 }
 
+/// Which tuning family a cached per-window choice belongs to. Part of the
+/// fingerprint: a DD repetition count must never warm-start a gate
+/// position (and XX counts must not seed XY4 windows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TuningMode {
+    /// DD repetition tuning with a specific sequence type.
+    Dd(DdSequence),
+    /// Gate-position tuning.
+    Gs,
+}
+
+/// Half-octave equivalence class of one qubit's calibration data.
+///
+/// Two qubits in the same class are "the same qubit" as far as tuned
+/// mitigation transfer is concerned: their coherence, quasi-static
+/// detuning, telegraph rate, and readout asymmetry agree to within half a
+/// factor of two. Classes are quantized log2 buckets, so they are stable
+/// under the small intra-epoch wander of `vaqem_device::drift` but split
+/// at genuine recalibration jumps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NoiseClass {
+    /// T1 bucket (half-octaves of nanoseconds).
+    pub t1: i16,
+    /// T2 bucket.
+    pub t2: i16,
+    /// Quasi-static detuning sigma bucket.
+    pub detuning: i16,
+    /// Telegraph switching-rate bucket.
+    pub telegraph: i16,
+    /// Readout asymmetry bucket (`p01 + p10`).
+    pub readout: i16,
+}
+
+/// Half-octave log2 bucket; non-positive values collapse to a sentinel
+/// (noiseless channels all land in one class).
+fn log2_class(x: f64) -> i16 {
+    if x <= 0.0 {
+        i16::MIN
+    } else {
+        (x.log2() * 2.0).round() as i16
+    }
+}
+
+/// Classifies one qubit's calibration data into its [`NoiseClass`].
+pub fn classify_qubit_noise(q: &QubitNoise) -> NoiseClass {
+    NoiseClass {
+        t1: log2_class(q.t1_ns),
+        t2: log2_class(q.t2_ns),
+        detuning: log2_class(q.quasi_static_sigma_rad_ns),
+        telegraph: log2_class(q.telegraph_rate_per_ns),
+        readout: log2_class(q.readout_p01 + q.readout_p10),
+    }
+}
+
+/// Canonical fingerprint of one idle window — the fleet cache key
+/// component computed from the schedule and the calibration snapshot.
+///
+/// Everything in here is a pure function of `(scheduled circuit,
+/// calibration noise, tuner configuration)`: job indices, sweep-point
+/// labels, and batched-vs-sequential execution cannot influence it, which
+/// is what makes cached choices replayable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WindowFingerprint {
+    /// Tuning family (and DD sequence type) the cached choice applies to.
+    pub mode: TuningMode,
+    /// Idle duration bucket: window length in single-qubit slots.
+    pub duration_slots: u32,
+    /// The window's physical qubit. Tuned optima are qubit-dependent
+    /// (paper Fig. 14), and anchoring the fingerprint to the qubit makes
+    /// `(qubit, ordinal)` unique within a circuit — so a warm replay can
+    /// never mix up two same-shaped windows. Transfer therefore happens
+    /// across circuits, clients, and time, not across qubits.
+    pub qubit: u16,
+    /// Ordinal of this window on its qubit's timeline (0 = earliest).
+    /// Early and late windows see different crosstalk environments even
+    /// when equally long.
+    pub ordinal: u32,
+    /// Calibration class of the window's qubit.
+    pub noise_class: NoiseClass,
+    /// Number of *other* qubits with gates overlapping the window.
+    pub neighbors_active: u8,
+    /// Of those, the number ZZ-coupled to the window's qubit.
+    pub coupled_active: u8,
+    /// Sweep resolution the choice was tuned at.
+    pub sweep_resolution: u8,
+    /// Repetition cap the choice was tuned under.
+    pub max_repetitions: u8,
+}
+
+/// Active-neighbor signature of `window`: `(qubits with overlapping ops,
+/// of which ZZ-coupled to the window's qubit)`.
+fn neighbor_activity(
+    window: &IdleWindow,
+    scheduled: &ScheduledCircuit,
+    noise: &NoiseParameters,
+) -> (u8, u8) {
+    let mut active: Vec<usize> = Vec::new();
+    for op in scheduled.ops() {
+        if matches!(op.gate, Gate::Barrier) {
+            continue;
+        }
+        if op.start_ns < window.end_ns && op.end_ns() > window.start_ns {
+            for &q in &op.qubits {
+                if q != window.qubit && !active.contains(&q) {
+                    active.push(q);
+                }
+            }
+        }
+    }
+    let coupled = active
+        .iter()
+        .filter(|&&q| {
+            noise
+                .zz_couplings()
+                .any(|((a, b), _)| (a == window.qubit && b == q) || (b == window.qubit && a == q))
+        })
+        .count();
+    (active.len().min(255) as u8, coupled.min(255) as u8)
+}
+
+/// Computes the canonical fingerprint of one idle window.
+///
+/// `ordinal` is the window's index among its qubit's windows (callers
+/// enumerate windows in the tuner's canonical `(qubit, start)` order);
+/// `calibration` is the epoch's calibration snapshot — *not* the
+/// instantaneous drifted noise — so fingerprints stay stable within a
+/// calibration epoch.
+pub fn window_fingerprint(
+    mode: TuningMode,
+    window: &IdleWindow,
+    ordinal: usize,
+    scheduled: &ScheduledCircuit,
+    calibration: &NoiseParameters,
+    pulse_ns: f64,
+    config: &WindowTunerConfig,
+) -> WindowFingerprint {
+    let (neighbors_active, coupled_active) = neighbor_activity(window, scheduled, calibration);
+    WindowFingerprint {
+        mode,
+        duration_slots: (window.duration_ns() / pulse_ns).round().max(0.0) as u32,
+        qubit: window.qubit.min(u16::MAX as usize) as u16,
+        ordinal: ordinal.min(u32::MAX as usize) as u32,
+        noise_class: classify_qubit_noise(calibration.qubit(window.qubit)),
+        neighbors_active,
+        coupled_active,
+        sweep_resolution: config.sweep_resolution.min(255) as u8,
+        max_repetitions: config.max_repetitions.min(255) as u8,
+    }
+}
+
+/// One guard-validated per-window choice, as stored in the fleet cache.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CachedChoice {
+    /// Chosen value as a fraction of the window's maximum (DD) or the
+    /// position fraction itself (GS).
+    pub fraction_of_max: f64,
+    /// The chosen raw value (repetition count or position).
+    pub value: f64,
+    /// Objective measured at the choice when it was tuned.
+    pub objective: f64,
+}
+
+/// The concrete fleet store: window fingerprints to guard-validated
+/// choices, keyed by `(device, calibration epoch, fingerprint)` with LRU
+/// eviction and hit/miss metrics (see `vaqem_runtime::cache`).
+pub type MitigationConfigStore = ConfigStore<WindowFingerprint, CachedChoice>;
+
+/// One client's view of the shared fleet cache during a tuning run: the
+/// store, the device identity, the calibration epoch, and the epoch's
+/// calibration snapshot used to classify qubits.
+#[derive(Debug)]
+pub struct FleetCacheSession<'a> {
+    /// The shared config store.
+    pub store: &'a mut MitigationConfigStore,
+    /// Device the client is tuning on (cache key component).
+    pub device: &'a str,
+    /// Calibration epoch (cache key component; see
+    /// `vaqem_device::drift::DriftModel::epoch_at`).
+    pub epoch: u64,
+    /// The epoch's calibration snapshot, used for noise classification.
+    pub calibration: &'a NoiseParameters,
+}
+
+/// Applies a stage's guard verdict to the store: accepted runs publish
+/// their freshly swept choices; rejected runs evict the cached entries
+/// that seeded them (stale within their epoch).
+fn reconcile_store(
+    s: &mut FleetCacheSession<'_>,
+    accepted: bool,
+    pending: Vec<(WindowFingerprint, CachedChoice)>,
+    seeded: &[WindowFingerprint],
+) {
+    if accepted {
+        for (fp, choice) in pending {
+            s.store.insert(s.device, s.epoch, fp, choice);
+        }
+    } else {
+        for fp in seeded {
+            s.store.remove(s.device, s.epoch, fp);
+        }
+    }
+}
+
+/// Cache interaction counters of one warm-started tuning stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WarmStats {
+    /// Windows whose sweep was skipped in favour of a cached choice.
+    pub hits: usize,
+    /// Windows swept in full (and offered to the store on acceptance).
+    pub misses: usize,
+    /// Whether the acceptance guard rejected the assembled configuration
+    /// (the tuner then reverts to the base config and evicts the cache
+    /// entries that seeded it). For multi-stage runs
+    /// ([`WindowTuner::tune_combined_warm`]) this is `true` when *any*
+    /// stage's guard rejected.
+    pub guard_rejected: bool,
+}
+
+impl WarmStats {
+    fn absorb(&mut self, other: WarmStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.guard_rejected |= other.guard_rejected;
+    }
+}
+
+/// Result of a warm-started tuning run: the tuned mitigation plus the
+/// cache interaction counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WarmTuneReport {
+    /// The tuning outcome (guard-validated, like the cold path's).
+    pub tuned: TunedMitigation,
+    /// Hit/miss/guard counters for this run.
+    pub stats: WarmStats,
+}
+
 /// The VAQEM per-window tuner.
 #[derive(Debug)]
 pub struct WindowTuner<'a, E: Executor = MachineExecutor> {
@@ -141,6 +401,7 @@ impl<'a, E: Executor> WindowTuner<'a, E> {
     /// out by the tuning logic"): keeps `tuned` only if it measures at
     /// least as well as `base` on fresh evaluations. Both sides'
     /// `guard_repeats` evaluations are dispatched as a single batch.
+    /// Returns the surviving config and whether `tuned` was accepted.
     fn accept_or_revert(
         &self,
         cache: &GroupSchedules,
@@ -148,7 +409,7 @@ impl<'a, E: Executor> WindowTuner<'a, E> {
         tuned: MitigationConfig,
         job_base: u64,
         evaluations: &mut usize,
-    ) -> MitigationConfig {
+    ) -> (MitigationConfig, bool) {
         let r = self.config.guard_repeats.max(1) as u64;
         let evals: Vec<(MitigationConfig, u64)> = (0..r)
             .map(|k| (tuned.clone(), job_base + k))
@@ -161,9 +422,9 @@ impl<'a, E: Executor> WindowTuner<'a, E> {
         let e_tuned = energies[..r as usize].iter().sum::<f64>() / r as f64;
         let e_base = energies[r as usize..].iter().sum::<f64>() / r as f64;
         if e_tuned <= e_base {
-            tuned
+            (tuned, true)
         } else {
-            base.clone()
+            (base.clone(), false)
         }
     }
 
@@ -188,6 +449,19 @@ impl<'a, E: Executor> WindowTuner<'a, E> {
     }
 
     fn tune_gs_cached(&self, cache: &GroupSchedules) -> Result<TunedMitigation, VaqemError> {
+        Ok(self.tune_gs_impl(cache, None)?.0)
+    }
+
+    /// GS tuning with an optional fleet-cache session. With a session,
+    /// windows whose fingerprint hits adopt the cached position without
+    /// sweeping; misses sweep in full. The acceptance guard always runs;
+    /// swept choices enter the store only on acceptance, and a rejection
+    /// evicts the entries that seeded the run.
+    fn tune_gs_impl(
+        &self,
+        cache: &GroupSchedules,
+        mut session: Option<&mut FleetCacheSession<'_>>,
+    ) -> Result<(TunedMitigation, WarmStats), VaqemError> {
         let pulse = self.backend.durations().single_qubit_ns();
         let scheduled = self.canonical_schedule(cache, &MitigationConfig::baseline())?;
         let gs = GsPass::new(pulse);
@@ -196,9 +470,40 @@ impl<'a, E: Executor> WindowTuner<'a, E> {
         let mut positions = vec![1.0f64; n]; // ALAP baseline
         let mut choices = Vec::with_capacity(n);
         let mut evaluations = 0usize;
+        let mut stats = WarmStats::default();
+        let mut pending: Vec<(WindowFingerprint, CachedChoice)> = Vec::new();
+        let mut seeded: Vec<WindowFingerprint> = Vec::new();
         let candidates = position_candidates(self.config.sweep_resolution);
         let mut job = 1u64;
         for (i, w) in windows.iter().enumerate() {
+            let fingerprint = session.as_deref_mut().map(|s| {
+                let ordinal = windows[..i].iter().filter(|v| v.qubit == w.qubit).count();
+                window_fingerprint(
+                    TuningMode::Gs,
+                    w,
+                    ordinal,
+                    &scheduled,
+                    s.calibration,
+                    pulse,
+                    &self.config,
+                )
+            });
+            if let (Some(fp), Some(s)) = (fingerprint, session.as_deref_mut()) {
+                if let Some(&cached) = s.store.get(s.device, s.epoch, &fp) {
+                    positions[i] = cached.value.clamp(0.0, 1.0);
+                    choices.push(WindowChoice {
+                        window: i,
+                        qubit: w.qubit,
+                        fraction_of_max: positions[i],
+                        value: positions[i],
+                        objective: cached.objective,
+                    });
+                    stats.hits += 1;
+                    seeded.push(fp);
+                    continue;
+                }
+                stats.misses += 1;
+            }
             // The window's whole sweep goes out as one parallel batch.
             let evals: Vec<(MitigationConfig, u64)> = candidates
                 .iter()
@@ -218,6 +523,16 @@ impl<'a, E: Executor> WindowTuner<'a, E> {
                 *next_energy.next().expect("one energy per candidate")
             });
             positions[i] = result.best_candidate;
+            if let Some(fp) = fingerprint {
+                pending.push((
+                    fp,
+                    CachedChoice {
+                        fraction_of_max: result.best_candidate,
+                        value: result.best_candidate,
+                        objective: result.best_value,
+                    },
+                ));
+            }
             choices.push(WindowChoice {
                 window: i,
                 qubit: w.qubit,
@@ -227,19 +542,26 @@ impl<'a, E: Executor> WindowTuner<'a, E> {
             });
         }
         let tuned = MitigationConfig::gate_scheduling(positions);
-        let config = self.accept_or_revert(
+        let (config, accepted) = self.accept_or_revert(
             cache,
             &MitigationConfig::baseline(),
             tuned,
             2_000_000,
             &mut evaluations,
         );
-        Ok(TunedMitigation {
-            config,
-            gs_choices: choices,
-            dd_choices: Vec::new(),
-            evaluations,
-        })
+        stats.guard_rejected = !accepted;
+        if let Some(s) = session {
+            reconcile_store(s, accepted, pending, &seeded);
+        }
+        Ok((
+            TunedMitigation {
+                config,
+                gs_choices: choices,
+                dd_choices: Vec::new(),
+                evaluations,
+            },
+            stats,
+        ))
     }
 
     /// Tunes GS first, then DD on the GS-adjusted schedule — the paper's
@@ -309,6 +631,17 @@ impl<'a, E: Executor> WindowTuner<'a, E> {
         cache: &GroupSchedules,
         base: &MitigationConfig,
     ) -> Result<TunedMitigation, VaqemError> {
+        Ok(self.tune_dd_on_top_impl(cache, base, None)?.0)
+    }
+
+    /// DD tuning with an optional fleet-cache session — see
+    /// [`Self::tune_gs_impl`] for the warm-start contract.
+    fn tune_dd_on_top_impl(
+        &self,
+        cache: &GroupSchedules,
+        base: &MitigationConfig,
+        mut session: Option<&mut FleetCacheSession<'_>>,
+    ) -> Result<(TunedMitigation, WarmStats), VaqemError> {
         let pulse = self.backend.durations().single_qubit_ns();
         let scheduled = self.canonical_schedule(cache, base)?;
         let dd_pass = DdPass::new(self.config.dd_sequence, pulse, pulse);
@@ -317,6 +650,9 @@ impl<'a, E: Executor> WindowTuner<'a, E> {
         let mut reps = vec![0usize; n];
         let mut choices = Vec::with_capacity(n);
         let mut evaluations = 0usize;
+        let mut stats = WarmStats::default();
+        let mut pending: Vec<(WindowFingerprint, CachedChoice)> = Vec::new();
+        let mut seeded: Vec<WindowFingerprint> = Vec::new();
         let mut job = 1_000_000u64;
         for (i, w) in windows.iter().enumerate() {
             let max = self
@@ -333,6 +669,42 @@ impl<'a, E: Executor> WindowTuner<'a, E> {
                     objective: f64::NAN,
                 });
                 continue;
+            }
+            let fingerprint = session.as_deref_mut().map(|s| {
+                let ordinal = windows[..i].iter().filter(|v| v.qubit == w.qubit).count();
+                window_fingerprint(
+                    TuningMode::Dd(self.config.dd_sequence),
+                    w,
+                    ordinal,
+                    &scheduled,
+                    s.calibration,
+                    pulse,
+                    &self.config,
+                )
+            });
+            if let (Some(fp), Some(s)) = (fingerprint, session.as_deref_mut()) {
+                if let Some(&cached) = s.store.get(s.device, s.epoch, &fp) {
+                    // An identical window replays the exact repetition
+                    // count; a same-class window with a different cap
+                    // rescales by the cached fraction.
+                    let replay = cached.value.round().max(0.0) as usize;
+                    reps[i] = if replay <= max {
+                        replay
+                    } else {
+                        ((cached.fraction_of_max * max as f64).round() as usize).min(max)
+                    };
+                    choices.push(WindowChoice {
+                        window: i,
+                        qubit: w.qubit,
+                        fraction_of_max: reps[i] as f64 / max as f64,
+                        value: reps[i] as f64,
+                        objective: cached.objective,
+                    });
+                    stats.hits += 1;
+                    seeded.push(fp);
+                    continue;
+                }
+                stats.misses += 1;
             }
             let candidates = integer_candidates(max, self.config.sweep_resolution);
             // The window's whole sweep goes out as one parallel batch.
@@ -357,6 +729,16 @@ impl<'a, E: Executor> WindowTuner<'a, E> {
                 *next_energy.next().expect("one energy per candidate")
             });
             reps[i] = result.best_candidate;
+            if let Some(fp) = fingerprint {
+                pending.push((
+                    fp,
+                    CachedChoice {
+                        fraction_of_max: result.best_candidate as f64 / max as f64,
+                        value: result.best_candidate as f64,
+                        objective: result.best_value,
+                    },
+                ));
+            }
             choices.push(WindowChoice {
                 window: i,
                 qubit: w.qubit,
@@ -368,12 +750,89 @@ impl<'a, E: Executor> WindowTuner<'a, E> {
         let mut tuned = base.clone();
         tuned.dd_repetitions = reps;
         tuned.dd_sequence = Some(self.config.dd_sequence);
-        let config = self.accept_or_revert(cache, base, tuned, 3_000_000, &mut evaluations);
-        Ok(TunedMitigation {
-            config,
-            gs_choices: Vec::new(),
-            dd_choices: choices,
-            evaluations,
+        let (config, accepted) =
+            self.accept_or_revert(cache, base, tuned, 3_000_000, &mut evaluations);
+        stats.guard_rejected = !accepted;
+        if let Some(s) = session {
+            reconcile_store(s, accepted, pending, &seeded);
+        }
+        Ok((
+            TunedMitigation {
+                config,
+                gs_choices: Vec::new(),
+                dd_choices: choices,
+                evaluations,
+            },
+            stats,
+        ))
+    }
+
+    /// Warm-started DD tuning against the fleet cache: fingerprint hits
+    /// adopt the cached repetition count without sweeping, misses sweep in
+    /// full, and the §IX-C acceptance guard gates the assembled
+    /// configuration exactly as in [`Self::tune_dd`]. Guard-accepted swept
+    /// choices are published to the store; a rejection evicts the entries
+    /// that seeded the run.
+    ///
+    /// With every window hitting entries recorded by a cold run under the
+    /// same root seed, the warm result is identical to the cold result —
+    /// the guard evaluations consume the same job indices — while spending
+    /// only the guard's evaluations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates objective-evaluation errors.
+    pub fn tune_dd_warm(
+        &self,
+        params: &[f64],
+        session: &mut FleetCacheSession<'_>,
+    ) -> Result<WarmTuneReport, VaqemError> {
+        let cache = self.problem.schedule_groups(self.backend, params)?;
+        let (tuned, stats) =
+            self.tune_dd_on_top_impl(&cache, &MitigationConfig::baseline(), Some(session))?;
+        Ok(WarmTuneReport { tuned, stats })
+    }
+
+    /// Warm-started GS tuning — the gate-position counterpart of
+    /// [`Self::tune_dd_warm`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates objective-evaluation errors.
+    pub fn tune_gs_warm(
+        &self,
+        params: &[f64],
+        session: &mut FleetCacheSession<'_>,
+    ) -> Result<WarmTuneReport, VaqemError> {
+        let cache = self.problem.schedule_groups(self.backend, params)?;
+        let (tuned, stats) = self.tune_gs_impl(&cache, Some(session))?;
+        Ok(WarmTuneReport { tuned, stats })
+    }
+
+    /// Warm-started GS-then-DD tuning — the coordinated "VAQEM: GS+XY"
+    /// mode of [`Self::tune_combined`] against the fleet cache. Both
+    /// stages share the session; stats are summed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates objective-evaluation errors.
+    pub fn tune_combined_warm(
+        &self,
+        params: &[f64],
+        session: &mut FleetCacheSession<'_>,
+    ) -> Result<WarmTuneReport, VaqemError> {
+        let cache = self.problem.schedule_groups(self.backend, params)?;
+        let (gs, mut stats) = self.tune_gs_impl(&cache, Some(session))?;
+        let (dd, dd_stats) = self.tune_dd_on_top_impl(&cache, &gs.config, Some(session))?;
+        stats.absorb(dd_stats);
+        Ok(WarmTuneReport {
+            tuned: TunedMitigation {
+                config: dd.config.clone(),
+                gs_choices: gs.gs_choices,
+                dd_choices: dd.dd_choices,
+                evaluations: gs.evaluations + dd.evaluations,
+            },
+            stats,
         })
     }
 }
@@ -485,6 +944,173 @@ mod tests {
         assert!(tuned.evaluations > 0);
         let e = p.machine_energy(&b, &params, &tuned.config, 7_777).unwrap();
         assert!(e.is_finite());
+    }
+
+    #[test]
+    fn noise_classes_are_stable_buckets() {
+        let q = vaqem_device::noise::QubitNoise::default();
+        let a = classify_qubit_noise(&q);
+        let b = classify_qubit_noise(&q);
+        assert_eq!(a, b);
+        // Small wander stays in class; a 4x coherence jump must not.
+        let mut wobble = q;
+        wobble.t1_ns *= 1.05;
+        assert_eq!(classify_qubit_noise(&wobble).t1, a.t1);
+        let mut jumped = q;
+        jumped.t1_ns *= 4.0;
+        assert_ne!(classify_qubit_noise(&jumped).t1, a.t1);
+        // Noiseless channels collapse to the sentinel class.
+        let mut silent = q;
+        silent.telegraph_rate_per_ns = 0.0;
+        assert_eq!(classify_qubit_noise(&silent).telegraph, i16::MIN);
+    }
+
+    #[test]
+    fn warm_start_replays_cold_choices_and_skips_sweeps() {
+        let p = small_problem();
+        let params = vec![0.3; p.num_params()];
+        let calibration = NoiseParameters::uniform(3);
+
+        // Deterministically scan backend seeds for one where the cold
+        // run's guard *accepts* (so choices get published); on every
+        // attempt the cold warm-path run must equal the plain path.
+        let mut pinned = None;
+        for seed in 21..36 {
+            let b = QuantumBackend::new(NoiseParameters::uniform(3), SeedStream::new(seed))
+                .with_shots(128);
+            let tuner = WindowTuner::new(&p, &b, tiny_config());
+            let mut store = MitigationConfigStore::new(256);
+            let plain = tuner.tune_dd(&params).unwrap();
+            let cold = {
+                let mut session = FleetCacheSession {
+                    store: &mut store,
+                    device: "dev-test",
+                    epoch: 0,
+                    calibration: &calibration,
+                };
+                tuner.tune_dd_warm(&params, &mut session).unwrap()
+            };
+            assert_eq!(cold.tuned, plain, "cold warm-path run == plain run");
+            assert_eq!(cold.stats.hits, 0);
+            assert!(cold.stats.misses > 0);
+            if !cold.stats.guard_rejected {
+                pinned = Some((seed, store, cold));
+                break;
+            }
+        }
+        let (seed, mut store, cold) = pinned.expect("some seed's cold guard accepts");
+
+        // Round 2: warm. Every window hits, the assembled config is
+        // identical, and only the guard's evaluations are spent.
+        let b =
+            QuantumBackend::new(NoiseParameters::uniform(3), SeedStream::new(seed)).with_shots(128);
+        let tuner = WindowTuner::new(&p, &b, tiny_config());
+        let warm = {
+            let mut session = FleetCacheSession {
+                store: &mut store,
+                device: "dev-test",
+                epoch: 0,
+                calibration: &calibration,
+            };
+            tuner.tune_dd_warm(&params, &mut session).unwrap()
+        };
+        assert_eq!(warm.stats.hits, cold.stats.misses, "all windows hit");
+        assert_eq!(warm.stats.misses, 0);
+        assert!(!warm.stats.guard_rejected, "replayed config re-accepts");
+        assert_eq!(
+            warm.tuned.config, cold.tuned.config,
+            "guard-accepted warm result equals the cold-tuned result"
+        );
+        assert!(
+            warm.tuned.evaluations < cold.tuned.evaluations,
+            "warm {} must be cheaper than cold {}",
+            warm.tuned.evaluations,
+            cold.tuned.evaluations
+        );
+
+        // A different device or epoch misses naturally.
+        let mut session = FleetCacheSession {
+            store: &mut store,
+            device: "dev-test",
+            epoch: 1,
+            calibration: &calibration,
+        };
+        let next_epoch = tuner.tune_dd_warm(&params, &mut session).unwrap();
+        assert_eq!(next_epoch.stats.hits, 0, "new epoch must re-tune");
+    }
+
+    #[test]
+    fn gs_warm_start_replays_positions() {
+        let p = small_problem();
+        let b = small_backend();
+        let tuner = WindowTuner::new(&p, &b, tiny_config());
+        let params = vec![0.5; p.num_params()];
+        let calibration = NoiseParameters::uniform(3);
+        let mut store = MitigationConfigStore::new(256);
+        let run = |store: &mut MitigationConfigStore| {
+            let mut session = FleetCacheSession {
+                store,
+                device: "dev-test",
+                epoch: 0,
+                calibration: &calibration,
+            };
+            tuner.tune_gs_warm(&params, &mut session).unwrap()
+        };
+        let cold = run(&mut store);
+        let warm = run(&mut store);
+        assert_eq!(cold.tuned, tuner.tune_gs(&params).unwrap());
+        if !cold.stats.guard_rejected {
+            assert_eq!(warm.stats.misses, 0);
+            assert_eq!(warm.tuned.config, cold.tuned.config);
+        }
+        assert!(warm.tuned.evaluations <= cold.tuned.evaluations);
+    }
+
+    #[test]
+    fn fingerprints_distinguish_modes_and_durations() {
+        let p = small_problem();
+        let b = small_backend();
+        let cfg = tiny_config();
+        let params = vec![0.3; p.num_params()];
+        let cache = p.schedule_groups(&b, &params).unwrap();
+        let scheduled = MitigationConfig::baseline()
+            .apply_under(cache.schedules().first().unwrap(), b.durations());
+        let pulse = b.durations().single_qubit_ns();
+        let windows = scheduled.idle_windows(pulse);
+        assert!(!windows.is_empty());
+        let noise = NoiseParameters::uniform(3);
+        let w = &windows[0];
+        let dd = window_fingerprint(
+            TuningMode::Dd(DdSequence::Xx),
+            w,
+            0,
+            &scheduled,
+            &noise,
+            pulse,
+            &cfg,
+        );
+        let gs = window_fingerprint(TuningMode::Gs, w, 0, &scheduled, &noise, pulse, &cfg);
+        assert_ne!(dd, gs, "mode is part of the fingerprint");
+        let again = window_fingerprint(
+            TuningMode::Dd(DdSequence::Xx),
+            w,
+            0,
+            &scheduled,
+            &noise,
+            pulse,
+            &cfg,
+        );
+        assert_eq!(dd, again, "fingerprints are pure");
+        let other_ordinal = window_fingerprint(
+            TuningMode::Dd(DdSequence::Xx),
+            w,
+            1,
+            &scheduled,
+            &noise,
+            pulse,
+            &cfg,
+        );
+        assert_ne!(dd, other_ordinal);
     }
 
     #[test]

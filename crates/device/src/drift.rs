@@ -65,7 +65,7 @@ impl DriftModel {
 
     /// Index of the calibration cycle containing hour `t`.
     pub fn cycle_index(&self, t_hours: f64) -> u64 {
-        (t_hours / self.calibration_period_hours).floor().max(0.0) as u64
+        cycle_of(t_hours, self.calibration_period_hours)
     }
 
     /// Returns `true` when `t0` and `t1` fall in different calibration
@@ -73,6 +73,23 @@ impl DriftModel {
     /// shifts (Fig. 16's pink-to-grey transition).
     pub fn crosses_recalibration(&self, t0_hours: f64, t1_hours: f64) -> bool {
         self.cycle_index(t0_hours) != self.cycle_index(t1_hours)
+    }
+
+    /// The calibration epoch at hour `t_hours` — the cache-key component
+    /// fleet-scale config reuse is scoped by. An epoch is simply the
+    /// calibration cycle index: tuned mitigation choices recorded in one
+    /// epoch are presumed valid within it and stale outside it (Fig. 16's
+    /// distribution shift at recalibration).
+    pub fn epoch_at(&self, t_hours: f64) -> u64 {
+        self.cycle_index(t_hours)
+    }
+
+    /// Creates an [`EpochTracker`] for this model's calibration period.
+    pub fn epoch_tracker(&self) -> EpochTracker {
+        EpochTracker {
+            period_hours: self.calibration_period_hours,
+            current: None,
+        }
     }
 
     /// Noise parameters for `device` as they would be at hour `t_hours`.
@@ -103,6 +120,49 @@ impl DriftModel {
         }
         noise
     }
+}
+
+/// Surfaces calibration-epoch *transitions* as discrete events — the hook
+/// a fleet-scale config cache wires its drift invalidation to.
+///
+/// Feed it the wall-clock of each observation (monotonically); whenever
+/// the clock crosses into a new calibration cycle the tracker returns the
+/// new epoch once, which is the caller's cue to invalidate cached tuned
+/// configurations from earlier epochs
+/// (`ConfigStore::invalidate_before` in `vaqem-runtime`).
+#[derive(Debug, Clone)]
+pub struct EpochTracker {
+    period_hours: f64,
+    current: Option<u64>,
+}
+
+impl EpochTracker {
+    /// Observes wall-clock hour `t_hours`. Returns `Some(epoch)` on the
+    /// first observation and whenever the time has crossed into a new
+    /// calibration cycle since the last observation; `None` while the
+    /// epoch is unchanged.
+    pub fn observe(&mut self, t_hours: f64) -> Option<u64> {
+        let epoch = cycle_of(t_hours, self.period_hours);
+        if self.current == Some(epoch) {
+            None
+        } else {
+            self.current = Some(epoch);
+            Some(epoch)
+        }
+    }
+
+    /// The last observed epoch, if any time has been observed yet.
+    pub fn epoch(&self) -> Option<u64> {
+        self.current
+    }
+}
+
+/// The one definition of "which calibration cycle is hour `t` in" —
+/// shared by [`DriftModel::cycle_index`]/[`DriftModel::epoch_at`] and
+/// [`EpochTracker::observe`] so cache keys and invalidation events can
+/// never number epochs differently.
+fn cycle_of(t_hours: f64, period_hours: f64) -> u64 {
+    (t_hours / period_hours).floor().max(0.0) as u64
 }
 
 /// A smooth multiplicative wander in `[e^{-3a}, e^{3a}]` roughly, built from
@@ -186,6 +246,21 @@ mod tests {
                 assert!(qn.readout_p10 <= 0.3);
             }
         }
+    }
+
+    #[test]
+    fn epoch_tracker_fires_once_per_crossing() {
+        let m = model().with_calibration_period_hours(12.0);
+        let mut t = m.epoch_tracker();
+        assert_eq!(t.epoch(), None);
+        assert_eq!(t.observe(0.5), Some(0), "first observation reports");
+        assert_eq!(t.observe(5.0), None, "same cycle is silent");
+        assert_eq!(t.observe(11.9), None);
+        assert_eq!(t.observe(12.1), Some(1), "recalibration crossing fires");
+        assert_eq!(t.observe(13.0), None);
+        assert_eq!(t.observe(36.5), Some(3), "skipped cycles still fire once");
+        assert_eq!(t.epoch(), Some(3));
+        assert_eq!(m.epoch_at(36.5), 3, "tracker agrees with the model");
     }
 
     #[test]

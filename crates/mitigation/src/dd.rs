@@ -2,7 +2,7 @@
 //!
 //! A [`DdSequence`] (XX, YY, XY4, XY8) is inserted into each idle window as
 //! `N` repetitions spaced periodically — the paper's "periodic DD
-//! distribution" [10]. The repetition count per window is the parameter
+//! distribution" \[10\]. The repetition count per window is the parameter
 //! VAQEM tunes variationally: too few repetitions under-correct, too many
 //! accumulate gate error (Fig. 5's yellow region), and the optimum is
 //! window- and qubit-dependent (Fig. 14).

@@ -1,7 +1,7 @@
 //! Zero-noise extrapolation (ZNE).
 //!
 //! One of the orthogonal mitigation techniques the paper surveys (§II-C,
-//! refs [14], [24], [46]) and names as a future VAQEM integration target:
+//! refs \[14\], \[24\], \[46\]) and names as a future VAQEM integration target:
 //! its configuration (noise-scale factors, extrapolation order) is exactly
 //! the kind of knob the variational framework could tune. This module
 //! implements digital ZNE by **global unitary folding** — the circuit `U`

@@ -5,7 +5,7 @@
 //! Qiskit Runtime, (3) error-mitigation tuning on the machine, and (4)
 //! cloud queuing. The constants are calibrated to the paper's reported
 //! scales: Runtime gives ~120x faster iteration than the classic
-//! client-server loop [2], sessions are capped at 5 hours (§VI-A), queue
+//! client-server loop \[2\], sessions are capped at 5 hours (§VI-A), queue
 //! times dominate everything else, and EM tuning adds "under one hour"
 //! (§VIII-D).
 
@@ -95,7 +95,7 @@ pub struct CostModel {
     /// Per-job fixed overhead on the machine via Runtime (seconds):
     /// compile + load + readout streaming inside a held session.
     pub runtime_job_overhead_s: f64,
-    /// Per-job overhead via the classic loop (seconds): ~120x worse [2].
+    /// Per-job overhead via the classic loop (seconds): ~120x worse \[2\].
     pub classic_job_overhead_s: f64,
     /// Per-SPSA-iteration classical processing inside a Runtime session
     /// (parameter update, binding, transpile, result marshalling), seconds.
@@ -188,6 +188,66 @@ impl CostModel {
     /// Speedup of the batched EM-tuning path over the sequential one.
     pub fn em_tuning_batch_speedup(&self, p: &WorkloadProfile, dispatch: &BatchDispatch) -> f64 {
         self.em_tuning_minutes(p) / self.em_tuning_minutes_batched(p, dispatch).max(1e-12)
+    }
+
+    /// Minutes for an EM-tuning stage that performed a *measured* number of
+    /// machine objective `evaluations`, dispatched as `batches` batched
+    /// submissions with the jobs pooled across `dispatch.workers` lanes.
+    ///
+    /// This is the pricing primitive the fleet replay uses: the warm-start
+    /// tuner reports exactly how many evaluations it spent (cache hits
+    /// skip their window's sweep entirely), and this converts that count
+    /// into machine minutes. One evaluation executes one job per
+    /// measurement group. Because the caller's jobs are pooled rather than
+    /// fenced per window, compare numbers from this function only against
+    /// other numbers from this function (the replay prices cold and warm
+    /// rounds identically); the per-window-fenced analytic formulas are
+    /// [`Self::em_tuning_minutes_batched`] and
+    /// [`Self::em_tuning_minutes_warm`].
+    pub fn em_minutes_for_evaluations(
+        &self,
+        p: &WorkloadProfile,
+        dispatch: &BatchDispatch,
+        evaluations: usize,
+        batches: usize,
+    ) -> f64 {
+        let jobs = evaluations * p.measurement_groups.max(1);
+        let lanes = dispatch.workers.max(1) as f64;
+        let exec = (jobs as f64 / lanes).ceil() * self.machine_job_seconds(p, true);
+        (exec + batches as f64 * dispatch.per_batch_overhead_s) / 60.0
+    }
+
+    /// Minutes of warm-started per-window EM tuning: windows whose
+    /// fingerprint hits the config cache adopt the cached choice without
+    /// sweeping, missing windows pay the full batched sweep, and the
+    /// §IX-C acceptance guard (2 x `guard_repeats` fresh evaluations, one
+    /// batch) always runs — the cache amortizes the search, never the
+    /// safety check.
+    ///
+    /// Missed windows are priced exactly as in
+    /// [`Self::em_tuning_minutes_batched`] (per-window batches, lanes
+    /// clamped to the window's job count), so a fully-cold warm run
+    /// (`hit_rate == 0`) always costs *more* than the cold formula — by
+    /// precisely the guard batch.
+    pub fn em_tuning_minutes_warm(
+        &self,
+        p: &WorkloadProfile,
+        dispatch: &BatchDispatch,
+        hit_rate: f64,
+        guard_repeats: usize,
+    ) -> f64 {
+        let hit_rate = hit_rate.clamp(0.0, 1.0);
+        let misses = (p.windows as f64 * (1.0 - hit_rate)).ceil() as usize;
+        let mut missed = p.clone();
+        missed.windows = misses;
+        let sweep_min = self.em_tuning_minutes_batched(&missed, dispatch);
+        // The guard ships as one extra batch of its own.
+        let guard_jobs = 2 * guard_repeats.max(1) * p.measurement_groups.max(1);
+        let lanes = dispatch.workers.clamp(1, guard_jobs) as f64;
+        let guard_min = ((guard_jobs as f64 / lanes).ceil() * self.machine_job_seconds(p, true)
+            + dispatch.per_batch_overhead_s)
+            / 60.0;
+        sweep_min + guard_min
     }
 
     /// Number of queue events the workflow pays.
@@ -390,6 +450,46 @@ mod tests {
         let seq = m.em_tuning_minutes(&p);
         let one = m.em_tuning_minutes_batched(&p, &d);
         assert!((one - seq).abs() / seq < 1e-9, "{one} vs {seq}");
+    }
+
+    #[test]
+    fn warm_start_is_strictly_cheaper_and_monotone_in_hit_rate() {
+        let m = CostModel::ibm_cloud_2021();
+        let p = tfim_profile();
+        let d = BatchDispatch::local(8);
+        let cold = m.em_tuning_minutes_batched(&p, &d);
+        let mut prev = f64::INFINITY;
+        for hr in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let warm = m.em_tuning_minutes_warm(&p, &d, hr, 4);
+            assert!(warm <= prev + 1e-12, "warm minutes rise with hit rate");
+            prev = warm;
+        }
+        let all_hits = m.em_tuning_minutes_warm(&p, &d, 1.0, 4);
+        assert!(
+            all_hits < cold,
+            "a fully warm run must beat cold: {all_hits} vs {cold}"
+        );
+        // Even fully warm, the guard batch is still paid.
+        assert!(all_hits > 0.0);
+        // And a fully *cold* warm run costs more than the cold formula —
+        // the sweeps are priced identically and the guard batch is extra.
+        let no_hits = m.em_tuning_minutes_warm(&p, &d, 0.0, 4);
+        assert!(
+            no_hits > cold,
+            "hit rate 0 must not undercut cold: {no_hits} vs {cold}"
+        );
+    }
+
+    #[test]
+    fn measured_evaluation_pricing_matches_structure() {
+        let m = CostModel::ibm_cloud_2021();
+        let p = tfim_profile();
+        let d = BatchDispatch::local(4);
+        let none = m.em_minutes_for_evaluations(&p, &d, 0, 0);
+        assert_eq!(none, 0.0);
+        let some = m.em_minutes_for_evaluations(&p, &d, 10, 2);
+        let more = m.em_minutes_for_evaluations(&p, &d, 20, 2);
+        assert!(some > 0.0 && more > some);
     }
 
     #[test]

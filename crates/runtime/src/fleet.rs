@@ -1,0 +1,161 @@
+//! Fleet-level scheduling: many VQA clients, few shared devices.
+//!
+//! The ROADMAP's north star is "millions of users"; the unit of contention
+//! on a quantum cloud is the per-client EM-tuning session (the dominant
+//! machine-time cost, Fig. 15). This module answers the throughput
+//! question cluster-evaluation work frames as *jobs per hour under
+//! contention*: given per-session minutes (measured or priced by
+//! [`crate::cost::CostModel`]), how long does a fleet of clients take on a
+//! pool of devices, and how much does the warm-start cache buy?
+//!
+//! The model is deliberately simple and deterministic: each device
+//! serializes its sessions (a tuning session holds the machine), clients
+//! are assigned round-robin, and the fleet finishes when its slowest
+//! device drains. No RNG is involved, so a replay is bit-reproducible.
+
+/// One client's EM-tuning session on one device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuningSession {
+    /// Client label (reporting only).
+    pub client: String,
+    /// Index of the device the session runs on.
+    pub device: usize,
+    /// Machine minutes the session occupies its device.
+    pub minutes: f64,
+}
+
+/// The fleet timeline that results from draining a set of sessions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetSchedule {
+    /// Busy minutes accumulated per device.
+    pub device_busy_min: Vec<f64>,
+    /// Number of sessions scheduled.
+    pub sessions: usize,
+}
+
+impl FleetSchedule {
+    /// Fleet makespan: minutes until the slowest device drains.
+    pub fn makespan_min(&self) -> f64 {
+        self.device_busy_min.iter().fold(0.0, |a, &b| a.max(b))
+    }
+
+    /// Total machine minutes consumed across the fleet.
+    pub fn total_machine_min(&self) -> f64 {
+        self.device_busy_min.iter().sum()
+    }
+
+    /// Throughput: tuning sessions completed per wall-clock hour
+    /// (0 when no session ran).
+    pub fn sessions_per_hour(&self) -> f64 {
+        let makespan = self.makespan_min();
+        if makespan <= 0.0 {
+            0.0
+        } else {
+            self.sessions as f64 * 60.0 / makespan
+        }
+    }
+
+    /// Load imbalance: makespan over the ideal (perfectly balanced)
+    /// drain time. 1.0 means perfectly balanced; larger means one device
+    /// is the bottleneck.
+    pub fn imbalance(&self) -> f64 {
+        let ideal = self.total_machine_min() / self.device_busy_min.len().max(1) as f64;
+        if ideal <= 0.0 {
+            1.0
+        } else {
+            self.makespan_min() / ideal
+        }
+    }
+}
+
+/// Assigns device `i % num_devices` to the `i`-th client — the fleet
+/// replay's deterministic placement policy.
+pub fn round_robin_device(client_index: usize, num_devices: usize) -> usize {
+    assert!(num_devices > 0, "fleet needs at least one device");
+    client_index % num_devices
+}
+
+/// Drains `sessions` over `num_devices` serializing devices.
+///
+/// # Panics
+///
+/// Panics when `num_devices` is zero or a session names a device out of
+/// range.
+pub fn schedule_sessions(num_devices: usize, sessions: &[TuningSession]) -> FleetSchedule {
+    assert!(num_devices > 0, "fleet needs at least one device");
+    let mut busy = vec![0.0f64; num_devices];
+    for s in sessions {
+        assert!(
+            s.device < num_devices,
+            "session {} targets device {} of {}",
+            s.client,
+            s.device,
+            num_devices
+        );
+        assert!(s.minutes >= 0.0, "negative session time");
+        busy[s.device] += s.minutes;
+    }
+    FleetSchedule {
+        device_busy_min: busy,
+        sessions: sessions.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn session(client: &str, device: usize, minutes: f64) -> TuningSession {
+        TuningSession {
+            client: client.into(),
+            device,
+            minutes,
+        }
+    }
+
+    #[test]
+    fn devices_serialize_their_sessions() {
+        let s = schedule_sessions(
+            2,
+            &[
+                session("c0", 0, 10.0),
+                session("c1", 1, 5.0),
+                session("c2", 0, 7.0),
+            ],
+        );
+        assert_eq!(s.device_busy_min, vec![17.0, 5.0]);
+        assert_eq!(s.makespan_min(), 17.0);
+        assert_eq!(s.total_machine_min(), 22.0);
+        assert_eq!(s.sessions, 3);
+    }
+
+    #[test]
+    fn throughput_and_imbalance() {
+        let s = schedule_sessions(2, &[session("a", 0, 30.0), session("b", 1, 30.0)]);
+        assert!((s.sessions_per_hour() - 4.0).abs() < 1e-12);
+        assert!((s.imbalance() - 1.0).abs() < 1e-12);
+        let skewed = schedule_sessions(2, &[session("a", 0, 30.0), session("b", 0, 30.0)]);
+        assert!(skewed.imbalance() > 1.9);
+        assert!(skewed.sessions_per_hour() < s.sessions_per_hour());
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        assert_eq!(round_robin_device(0, 3), 0);
+        assert_eq!(round_robin_device(4, 3), 1);
+    }
+
+    #[test]
+    fn empty_fleet_is_defined() {
+        let s = schedule_sessions(3, &[]);
+        assert_eq!(s.makespan_min(), 0.0);
+        assert_eq!(s.sessions_per_hour(), 0.0);
+        assert_eq!(s.imbalance(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "device")]
+    fn out_of_range_device_rejected() {
+        schedule_sessions(1, &[session("c", 1, 1.0)]);
+    }
+}

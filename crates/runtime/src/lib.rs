@@ -1,12 +1,83 @@
 //! # vaqem-runtime
 //!
-//! A quantum-cloud execution-cost model standing in for the paper's Qiskit
-//! Runtime measurements (§VI-A, §VIII-D, Fig. 15): per-job latency for
-//! Runtime vs. the classic client loop, session caps, log-normal queue
-//! waits, and the four-way wall-clock breakdown the paper plots.
+//! The quantum-cloud *runtime* layer of the VAQEM reproduction: everything
+//! about executing the feasible flow at fleet scale that is not quantum
+//! mechanics.
+//!
+//! Three modules:
+//!
+//! * [`cost`] — the execution-cost model standing in for the paper's
+//!   Qiskit Runtime measurements (§VI-A, §VIII-D, Fig. 15): per-job
+//!   latency for Runtime vs. the classic client loop, session caps,
+//!   log-normal queue waits, the four-way wall-clock breakdown, and the
+//!   batched/warm-start re-pricings of the EM-tuning stage.
+//! * [`cache`] — the fleet-scale tuned-configuration store: a bounded LRU
+//!   map from `(device, calibration epoch, window fingerprint)` to a
+//!   tuned per-window choice, with hit/miss metrics and the drift
+//!   invalidation contract. The concrete fingerprint lives in the core
+//!   crate (`vaqem::window_tuner::WindowFingerprint`); this crate owns
+//!   eviction and bookkeeping.
+//! * [`fleet`] — deterministic contention scheduling: N clients' tuning
+//!   sessions draining over D serializing devices, reported as makespan,
+//!   machine minutes, and sessions/hour.
+//!
+//! Together they answer the question the per-circuit crates cannot: what
+//! does a *repeated, shared* workload cost, and how much of the paper's
+//! dominant EM-tuning bill (Fig. 15) does the transfer result of §IX let
+//! a fleet amortize?
+//!
+//! ```
+//! use vaqem_runtime::{
+//!     cache::ConfigStore,
+//!     fleet::{schedule_sessions, TuningSession},
+//!     AngleTuningMode, BatchDispatch, CostModel, WorkloadProfile,
+//! };
+//!
+//! let model = CostModel::ibm_cloud_2021();
+//! let profile = WorkloadProfile {
+//!     num_qubits: 6,
+//!     circuit_ns: 12_000.0,
+//!     iterations: 400,
+//!     measurement_groups: 2,
+//!     windows: 30,
+//!     sweep_resolution: 8,
+//!     shots: 2048,
+//! };
+//! let dispatch = BatchDispatch::local(8);
+//!
+//! // Cold vs. fully warm EM tuning for one client.
+//! let cold = model.em_tuning_minutes_batched(&profile, &dispatch);
+//! let warm = model.em_tuning_minutes_warm(&profile, &dispatch, 1.0, 4);
+//! assert!(warm < cold);
+//!
+//! // A two-device fleet drains two cold clients and two warm ones.
+//! let sessions: Vec<TuningSession> = (0..4)
+//!     .map(|i| TuningSession {
+//!         client: format!("client-{i}"),
+//!         device: i % 2,
+//!         minutes: if i < 2 { cold } else { warm },
+//!     })
+//!     .collect();
+//! let timeline = schedule_sessions(2, &sessions);
+//! assert_eq!(timeline.sessions, 4);
+//! assert!(timeline.makespan_min() < 2.0 * cold);
+//!
+//! // The store that produces those warm hits.
+//! let mut store: ConfigStore<u64, usize> = ConfigStore::new(1024);
+//! store.insert("ibmq_casablanca", 3, 0xfeed, 2);
+//! assert_eq!(store.get("ibmq_casablanca", 3, &0xfeed), Some(&2));
+//! assert!(store.metrics().hit_rate() > 0.99);
+//! let _ = model.angle_tuning_minutes(&profile, AngleTuningMode::IdealSimulation);
+//! ```
 
+#![deny(missing_docs)]
+
+pub mod cache;
 pub mod cost;
+pub mod fleet;
 
+pub use cache::{CacheMetrics, ConfigStore};
 pub use cost::{
     AngleTuningMode, BatchDispatch, CostModel, ExecutionTimeBreakdown, WorkloadProfile,
 };
+pub use fleet::{round_robin_device, schedule_sessions, FleetSchedule, TuningSession};

@@ -1,0 +1,175 @@
+//! Property tests for the fleet cache's window fingerprints (the
+//! determinism contract of the warm-start path):
+//!
+//! * **stability** — fingerprints are pure functions of the schedule and
+//!   the calibration snapshot: re-scheduling the same circuit, permuting
+//!   sweep evaluations, and relabeling job indices all leave them
+//!   unchanged (so batched and sequential tuner replays key the same
+//!   cache entries);
+//! * **distinctness** — windows on qubits with genuinely different noise
+//!   classes fingerprint differently, and within one circuit
+//!   fingerprints never collide (the `(qubit, ordinal)` anchor).
+
+use proptest::prelude::*;
+use vaqem_suite::circuit::circuit::QuantumCircuit;
+use vaqem_suite::circuit::schedule::{schedule, DurationModel, ScheduleKind, ScheduledCircuit};
+use vaqem_suite::device::noise::NoiseParameters;
+use vaqem_suite::mathkit::rng::SeedStream;
+use vaqem_suite::mitigation::combined::MitigationConfig;
+use vaqem_suite::mitigation::dd::DdSequence;
+use vaqem_suite::vaqem::backend::QuantumBackend;
+use vaqem_suite::vaqem::vqe::VqeProblem;
+use vaqem_suite::vaqem::window_tuner::{
+    classify_qubit_noise, window_fingerprint, TuningMode, WindowFingerprint, WindowTunerConfig,
+};
+
+/// A random concrete circuit guaranteed to contain idle windows: a CX
+/// spine with random-length single-qubit bursts, so some qubits idle
+/// while others work.
+fn arb_windowed_circuit(n: usize) -> impl Strategy<Value = QuantumCircuit> {
+    let burst = (0..n, 1usize..12);
+    proptest::collection::vec(burst, 2..8).prop_map(move |bursts| {
+        let mut qc = QuantumCircuit::new(n);
+        for q in 0..n {
+            qc.h(q).unwrap();
+        }
+        for (i, (q, len)) in bursts.into_iter().enumerate() {
+            let a = i % (n - 1);
+            qc.cx(a, a + 1).unwrap();
+            for _ in 0..len {
+                qc.sx(q).unwrap();
+            }
+        }
+        for a in 0..n - 1 {
+            qc.cx(a, a + 1).unwrap();
+        }
+        qc.measure_all();
+        qc
+    })
+}
+
+fn alap(qc: &QuantumCircuit) -> ScheduledCircuit {
+    schedule(qc, &DurationModel::ibm_default(), ScheduleKind::Alap).unwrap()
+}
+
+fn tuner_config() -> WindowTunerConfig {
+    WindowTunerConfig {
+        sweep_resolution: 4,
+        dd_sequence: DdSequence::Xy4,
+        max_repetitions: 8,
+        guard_repeats: 2,
+    }
+}
+
+/// Fingerprints every idle window of `scheduled` in the tuner's canonical
+/// order (per-qubit ordinals).
+fn fingerprints(scheduled: &ScheduledCircuit, noise: &NoiseParameters) -> Vec<WindowFingerprint> {
+    let pulse = DurationModel::ibm_default().single_qubit_ns();
+    let windows = scheduled.idle_windows(pulse);
+    windows
+        .iter()
+        .enumerate()
+        .map(|(i, w)| {
+            let ordinal = windows[..i].iter().filter(|v| v.qubit == w.qubit).count();
+            window_fingerprint(
+                TuningMode::Dd(DdSequence::Xy4),
+                w,
+                ordinal,
+                scheduled,
+                noise,
+                pulse,
+                &tuner_config(),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn fingerprints_stable_across_rescheduling(qc in arb_windowed_circuit(3)) {
+        let noise = NoiseParameters::uniform(3);
+        let a = fingerprints(&alap(&qc), &noise);
+        let b = fingerprints(&alap(&qc), &noise);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fingerprints_stable_across_execution_and_relabeling(qc in arb_windowed_circuit(3)) {
+        // Fingerprints are computed before any execution; running the
+        // schedule batched, sequentially, or with relabeled sweep-point
+        // job indices must not perturb them.
+        let noise = NoiseParameters::uniform(3);
+        let scheduled = alap(&qc);
+        let before = fingerprints(&scheduled, &noise);
+
+        let mut h = vaqem_suite::pauli::hamiltonian::PauliSum::new(3);
+        h.add_label(1.0, "ZZI");
+        h.add_label(0.5, "IXX");
+        let mut bare = QuantumCircuit::new(3);
+        for q in 0..3 {
+            bare.ry_param(q, q).unwrap();
+        }
+        let problem = VqeProblem::new("prop", h, bare).unwrap();
+        let backend = QuantumBackend::new(noise.clone(), SeedStream::new(5)).with_shots(32);
+        let params = vec![0.2, 0.3, 0.4];
+        let cache = problem.schedule_groups(&backend, &params).unwrap();
+
+        // Batched dispatch with one labeling...
+        let evals: Vec<(MitigationConfig, u64)> =
+            (0..4u64).map(|j| (MitigationConfig::baseline(), j)).collect();
+        let batched = problem.machine_energy_batch(&backend, &cache, &evals);
+        // ...sequential execution with permuted, relabeled sweep points.
+        let relabeled: Vec<(MitigationConfig, u64)> =
+            [3u64, 1, 2, 0].iter().map(|&j| (MitigationConfig::baseline(), j)).collect();
+        for (cfg, j) in &relabeled {
+            let single = problem.machine_energy_batch(&backend, &cache, &[(cfg.clone(), *j)]);
+            prop_assert_eq!(single[0], batched[*j as usize]);
+        }
+
+        let after = fingerprints(&scheduled, &noise);
+        prop_assert_eq!(before, after);
+    }
+
+    #[test]
+    fn fingerprints_split_on_noise_class_and_never_collide(
+        qc in arb_windowed_circuit(3),
+        scale in 4.0f64..32.0,
+    ) {
+        let noise = NoiseParameters::uniform(3);
+        let scheduled = alap(&qc);
+        let base = fingerprints(&scheduled, &noise);
+
+        // Within one circuit, fingerprints are unique (warm replays can
+        // never cross-seed two windows).
+        for i in 0..base.len() {
+            for j in i + 1..base.len() {
+                prop_assert!(base[i] != base[j], "windows {} and {} collide", i, j);
+            }
+        }
+
+        // A genuinely different noise class on qubit 1 re-fingerprints
+        // exactly the windows on qubit 1.
+        let mut degraded = noise.clone();
+        {
+            let q = degraded.qubit_mut(1);
+            q.t1_ns /= scale;
+            q.t2_ns /= scale;
+        }
+        prop_assert!(
+            classify_qubit_noise(degraded.qubit(1)) != classify_qubit_noise(noise.qubit(1)),
+            "a {}x coherence change must switch noise class",
+            scale
+        );
+        let shifted = fingerprints(&scheduled, &degraded);
+        prop_assert_eq!(base.len(), shifted.len());
+        for (b, s) in base.iter().zip(&shifted) {
+            if b.qubit == 1 {
+                prop_assert!(b != s, "qubit-1 window must re-fingerprint");
+            } else {
+                prop_assert!(b == s, "other windows must be untouched");
+            }
+        }
+    }
+}
