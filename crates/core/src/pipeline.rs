@@ -16,7 +16,8 @@ use crate::executor::Executor;
 use crate::metrics;
 use crate::vqe::{GroupSchedules, VqeProblem};
 use crate::window_tuner::{
-    FleetCacheSession, TunedMitigation, WarmStats, WindowTuner, WindowTunerConfig,
+    FleetCacheSession, MitigationConfigStore, MitigationStoreBackend, TunedMitigation, WarmStats,
+    WindowTuner, WindowTunerConfig,
 };
 use vaqem_device::noise::NoiseParameters;
 use vaqem_mathkit::rng::SeedStream;
@@ -236,7 +237,7 @@ pub fn run_pipeline(
     config: &PipelineConfig,
     strategies: &[Strategy],
 ) -> Result<BenchmarkRun, VaqemError> {
-    run_pipeline_with_cache(problem, noise, config, strategies, None)
+    run_pipeline_with_cache::<MitigationConfigStore>(problem, noise, config, strategies, None)
 }
 
 /// [`run_pipeline`] with an optional fleet-cache session: when `session`
@@ -245,15 +246,20 @@ pub fn run_pipeline(
 /// acceptance guard still gates every assembled configuration) and the
 /// run's [`CacheUsage`] is reported on the returned [`BenchmarkRun`].
 ///
+/// Generic over the session's store backend: a deterministic replay
+/// passes the single-owner [`MitigationConfigStore`], while a fleet
+/// daemon passes an `Arc` of a shared sharded/durable store so many
+/// pipelines can tune against one config pool concurrently.
+///
 /// # Errors
 ///
 /// Propagates tuning and evaluation errors.
-pub fn run_pipeline_with_cache(
+pub fn run_pipeline_with_cache<S: MitigationStoreBackend>(
     problem: &VqeProblem,
     noise: &NoiseParameters,
     config: &PipelineConfig,
     strategies: &[Strategy],
-    mut session: Option<&mut FleetCacheSession<'_>>,
+    mut session: Option<&mut FleetCacheSession<'_, S>>,
 ) -> Result<BenchmarkRun, VaqemError> {
     // Phase (a): angle tuning on the ideal simulator.
     let (params, angle_trace) = tune_angles(problem, &config.spsa, &config.seeds)?;

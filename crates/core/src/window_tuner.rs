@@ -52,6 +52,8 @@ use vaqem_mitigation::dd::{DdPass, DdSequence};
 use vaqem_mitigation::scheduling::GsPass;
 use vaqem_optim::sweep::{integer_candidates, position_candidates, sweep_minimize};
 use vaqem_runtime::cache::ConfigStore;
+use vaqem_runtime::persist::Codec;
+use vaqem_runtime::store::StoreBackend;
 use vaqem_sim::machine::MachineExecutor;
 
 /// Configuration of the per-window tuner.
@@ -273,18 +275,142 @@ pub struct CachedChoice {
     pub objective: f64,
 }
 
+// --- persistence codec -------------------------------------------------
+//
+// The byte encodings that let `vaqem_runtime::persist::DurableStore`
+// carry fingerprints and choices across process restarts. They live here
+// (not in the runtime crate) because of the orphan rule: core owns the
+// types. `DdSequence` belongs to vaqem-mitigation, so its tag is encoded
+// inline rather than via a foreign `Codec` impl.
+
+fn dd_sequence_tag(seq: DdSequence) -> u8 {
+    match seq {
+        DdSequence::Xx => 0,
+        DdSequence::Yy => 1,
+        DdSequence::Xy4 => 2,
+        DdSequence::Xy8 => 3,
+    }
+}
+
+fn dd_sequence_from_tag(tag: u8) -> Option<DdSequence> {
+    Some(match tag {
+        0 => DdSequence::Xx,
+        1 => DdSequence::Yy,
+        2 => DdSequence::Xy4,
+        3 => DdSequence::Xy8,
+        _ => return None,
+    })
+}
+
+impl Codec for TuningMode {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            TuningMode::Gs => out.push(0),
+            TuningMode::Dd(seq) => {
+                out.push(1);
+                out.push(dd_sequence_tag(*seq));
+            }
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        match u8::decode(input)? {
+            0 => Some(TuningMode::Gs),
+            1 => Some(TuningMode::Dd(dd_sequence_from_tag(u8::decode(input)?)?)),
+            _ => None,
+        }
+    }
+}
+
+impl Codec for NoiseClass {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.t1.encode(out);
+        self.t2.encode(out);
+        self.detuning.encode(out);
+        self.telegraph.encode(out);
+        self.readout.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(NoiseClass {
+            t1: i16::decode(input)?,
+            t2: i16::decode(input)?,
+            detuning: i16::decode(input)?,
+            telegraph: i16::decode(input)?,
+            readout: i16::decode(input)?,
+        })
+    }
+}
+
+impl Codec for WindowFingerprint {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.mode.encode(out);
+        self.duration_slots.encode(out);
+        self.qubit.encode(out);
+        self.ordinal.encode(out);
+        self.noise_class.encode(out);
+        self.neighbors_active.encode(out);
+        self.coupled_active.encode(out);
+        self.sweep_resolution.encode(out);
+        self.max_repetitions.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(WindowFingerprint {
+            mode: TuningMode::decode(input)?,
+            duration_slots: u32::decode(input)?,
+            qubit: u16::decode(input)?,
+            ordinal: u32::decode(input)?,
+            noise_class: NoiseClass::decode(input)?,
+            neighbors_active: u8::decode(input)?,
+            coupled_active: u8::decode(input)?,
+            sweep_resolution: u8::decode(input)?,
+            max_repetitions: u8::decode(input)?,
+        })
+    }
+}
+
+impl Codec for CachedChoice {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.fraction_of_max.encode(out);
+        self.value.encode(out);
+        self.objective.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(CachedChoice {
+            fraction_of_max: f64::decode(input)?,
+            value: f64::decode(input)?,
+            objective: f64::decode(input)?,
+        })
+    }
+}
+
 /// The concrete fleet store: window fingerprints to guard-validated
 /// choices, keyed by `(device, calibration epoch, fingerprint)` with LRU
 /// eviction and hit/miss metrics (see `vaqem_runtime::cache`).
 pub type MitigationConfigStore = ConfigStore<WindowFingerprint, CachedChoice>;
 
+/// The store interface a warm-started tuning session requires — any
+/// `vaqem_runtime::store::StoreBackend` over window fingerprints and
+/// cached choices: the single-owner [`MitigationConfigStore`], a
+/// `ShardedStore` (or an `Arc` of one) shared by concurrent clients, or
+/// an `Arc<DurableStore>` that survives restarts.
+pub trait MitigationStoreBackend: StoreBackend<WindowFingerprint, CachedChoice> {}
+impl<S: StoreBackend<WindowFingerprint, CachedChoice>> MitigationStoreBackend for S {}
+
 /// One client's view of the shared fleet cache during a tuning run: the
 /// store, the device identity, the calibration epoch, and the epoch's
 /// calibration snapshot used to classify qubits.
+///
+/// Generic over the store backend `S` (default: the single-owner
+/// [`MitigationConfigStore`], so deterministic replays read as before).
+/// Fleet daemons hand each worker an `Arc` of a shared sharded or
+/// durable store instead.
 #[derive(Debug)]
-pub struct FleetCacheSession<'a> {
+pub struct FleetCacheSession<'a, S: MitigationStoreBackend = MitigationConfigStore> {
     /// The shared config store.
-    pub store: &'a mut MitigationConfigStore,
+    pub store: &'a mut S,
     /// Device the client is tuning on (cache key component).
     pub device: &'a str,
     /// Calibration epoch (cache key component; see
@@ -297,19 +423,19 @@ pub struct FleetCacheSession<'a> {
 /// Applies a stage's guard verdict to the store: accepted runs publish
 /// their freshly swept choices; rejected runs evict the cached entries
 /// that seeded them (stale within their epoch).
-fn reconcile_store(
-    s: &mut FleetCacheSession<'_>,
+fn reconcile_store<S: MitigationStoreBackend>(
+    s: &mut FleetCacheSession<'_, S>,
     accepted: bool,
     pending: Vec<(WindowFingerprint, CachedChoice)>,
     seeded: &[WindowFingerprint],
 ) {
     if accepted {
         for (fp, choice) in pending {
-            s.store.insert(s.device, s.epoch, fp, choice);
+            s.store.publish(s.device, s.epoch, fp, choice);
         }
     } else {
         for fp in seeded {
-            s.store.remove(s.device, s.epoch, fp);
+            s.store.discard(s.device, s.epoch, fp);
         }
     }
 }
@@ -449,7 +575,7 @@ impl<'a, E: Executor> WindowTuner<'a, E> {
     }
 
     fn tune_gs_cached(&self, cache: &GroupSchedules) -> Result<TunedMitigation, VaqemError> {
-        Ok(self.tune_gs_impl(cache, None)?.0)
+        Ok(self.tune_gs_impl::<MitigationConfigStore>(cache, None)?.0)
     }
 
     /// GS tuning with an optional fleet-cache session. With a session,
@@ -457,10 +583,10 @@ impl<'a, E: Executor> WindowTuner<'a, E> {
     /// sweeping; misses sweep in full. The acceptance guard always runs;
     /// swept choices enter the store only on acceptance, and a rejection
     /// evicts the entries that seeded the run.
-    fn tune_gs_impl(
+    fn tune_gs_impl<S: MitigationStoreBackend>(
         &self,
         cache: &GroupSchedules,
-        mut session: Option<&mut FleetCacheSession<'_>>,
+        mut session: Option<&mut FleetCacheSession<'_, S>>,
     ) -> Result<(TunedMitigation, WarmStats), VaqemError> {
         let pulse = self.backend.durations().single_qubit_ns();
         let scheduled = self.canonical_schedule(cache, &MitigationConfig::baseline())?;
@@ -489,7 +615,7 @@ impl<'a, E: Executor> WindowTuner<'a, E> {
                 )
             });
             if let (Some(fp), Some(s)) = (fingerprint, session.as_deref_mut()) {
-                if let Some(&cached) = s.store.get(s.device, s.epoch, &fp) {
+                if let Some(cached) = s.store.lookup(s.device, s.epoch, &fp) {
                     positions[i] = cached.value.clamp(0.0, 1.0);
                     choices.push(WindowChoice {
                         window: i,
@@ -631,16 +757,18 @@ impl<'a, E: Executor> WindowTuner<'a, E> {
         cache: &GroupSchedules,
         base: &MitigationConfig,
     ) -> Result<TunedMitigation, VaqemError> {
-        Ok(self.tune_dd_on_top_impl(cache, base, None)?.0)
+        Ok(self
+            .tune_dd_on_top_impl::<MitigationConfigStore>(cache, base, None)?
+            .0)
     }
 
     /// DD tuning with an optional fleet-cache session — see
     /// [`Self::tune_gs_impl`] for the warm-start contract.
-    fn tune_dd_on_top_impl(
+    fn tune_dd_on_top_impl<S: MitigationStoreBackend>(
         &self,
         cache: &GroupSchedules,
         base: &MitigationConfig,
-        mut session: Option<&mut FleetCacheSession<'_>>,
+        mut session: Option<&mut FleetCacheSession<'_, S>>,
     ) -> Result<(TunedMitigation, WarmStats), VaqemError> {
         let pulse = self.backend.durations().single_qubit_ns();
         let scheduled = self.canonical_schedule(cache, base)?;
@@ -683,7 +811,7 @@ impl<'a, E: Executor> WindowTuner<'a, E> {
                 )
             });
             if let (Some(fp), Some(s)) = (fingerprint, session.as_deref_mut()) {
-                if let Some(&cached) = s.store.get(s.device, s.epoch, &fp) {
+                if let Some(cached) = s.store.lookup(s.device, s.epoch, &fp) {
                     // An identical window replays the exact repetition
                     // count; a same-class window with a different cap
                     // rescales by the cached fraction.
@@ -782,10 +910,10 @@ impl<'a, E: Executor> WindowTuner<'a, E> {
     /// # Errors
     ///
     /// Propagates objective-evaluation errors.
-    pub fn tune_dd_warm(
+    pub fn tune_dd_warm<S: MitigationStoreBackend>(
         &self,
         params: &[f64],
-        session: &mut FleetCacheSession<'_>,
+        session: &mut FleetCacheSession<'_, S>,
     ) -> Result<WarmTuneReport, VaqemError> {
         let cache = self.problem.schedule_groups(self.backend, params)?;
         let (tuned, stats) =
@@ -799,10 +927,10 @@ impl<'a, E: Executor> WindowTuner<'a, E> {
     /// # Errors
     ///
     /// Propagates objective-evaluation errors.
-    pub fn tune_gs_warm(
+    pub fn tune_gs_warm<S: MitigationStoreBackend>(
         &self,
         params: &[f64],
-        session: &mut FleetCacheSession<'_>,
+        session: &mut FleetCacheSession<'_, S>,
     ) -> Result<WarmTuneReport, VaqemError> {
         let cache = self.problem.schedule_groups(self.backend, params)?;
         let (tuned, stats) = self.tune_gs_impl(&cache, Some(session))?;
@@ -816,10 +944,10 @@ impl<'a, E: Executor> WindowTuner<'a, E> {
     /// # Errors
     ///
     /// Propagates objective-evaluation errors.
-    pub fn tune_combined_warm(
+    pub fn tune_combined_warm<S: MitigationStoreBackend>(
         &self,
         params: &[f64],
-        session: &mut FleetCacheSession<'_>,
+        session: &mut FleetCacheSession<'_, S>,
     ) -> Result<WarmTuneReport, VaqemError> {
         let cache = self.problem.schedule_groups(self.backend, params)?;
         let (gs, mut stats) = self.tune_gs_impl(&cache, Some(session))?;
@@ -1111,6 +1239,89 @@ mod tests {
             &cfg,
         );
         assert_ne!(dd, other_ordinal);
+    }
+
+    #[test]
+    fn fingerprint_and_choice_codecs_round_trip() {
+        let fp = WindowFingerprint {
+            mode: TuningMode::Dd(DdSequence::Xy8),
+            duration_slots: 37,
+            qubit: 5,
+            ordinal: 2,
+            noise_class: NoiseClass {
+                t1: 33,
+                t2: -4,
+                detuning: i16::MIN,
+                telegraph: 0,
+                readout: -7,
+            },
+            neighbors_active: 3,
+            coupled_active: 1,
+            sweep_resolution: 4,
+            max_repetitions: 8,
+        };
+        let mut buf = Vec::new();
+        fp.encode(&mut buf);
+        let mut input = buf.as_slice();
+        assert_eq!(WindowFingerprint::decode(&mut input), Some(fp));
+        assert!(input.is_empty());
+
+        let choice = CachedChoice {
+            fraction_of_max: 0.75,
+            value: 6.0,
+            objective: -1.25,
+        };
+        buf.clear();
+        choice.encode(&mut buf);
+        let mut input = buf.as_slice();
+        assert_eq!(CachedChoice::decode(&mut input), Some(choice));
+
+        // Every DD sequence tag and the GS tag survive the round trip.
+        for mode in [
+            TuningMode::Gs,
+            TuningMode::Dd(DdSequence::Xx),
+            TuningMode::Dd(DdSequence::Yy),
+            TuningMode::Dd(DdSequence::Xy4),
+            TuningMode::Dd(DdSequence::Xy8),
+        ] {
+            buf.clear();
+            mode.encode(&mut buf);
+            assert_eq!(TuningMode::decode(&mut buf.as_slice()), Some(mode));
+        }
+        // Unknown tags fail cleanly instead of misparsing.
+        assert_eq!(TuningMode::decode(&mut [9u8].as_slice()), None);
+    }
+
+    #[test]
+    fn warm_tuning_runs_against_a_shared_sharded_store() {
+        use std::sync::Arc;
+        use vaqem_runtime::store::ShardedStore;
+        let p = small_problem();
+        let b = small_backend();
+        let tuner = WindowTuner::new(&p, &b, tiny_config());
+        let params = vec![0.3; p.num_params()];
+        let calibration = NoiseParameters::uniform(3);
+        let store: Arc<ShardedStore<WindowFingerprint, CachedChoice>> =
+            Arc::new(ShardedStore::new(4, 256));
+        let run = |handle: &mut Arc<ShardedStore<WindowFingerprint, CachedChoice>>| {
+            let mut session = FleetCacheSession {
+                store: handle,
+                device: "dev-test",
+                epoch: 0,
+                calibration: &calibration,
+            };
+            tuner.tune_dd_warm(&params, &mut session).unwrap()
+        };
+        let mut handle = Arc::clone(&store);
+        let cold = run(&mut handle);
+        assert_eq!(cold.stats.hits, 0);
+        // The plain single-owner path and the sharded path agree.
+        assert_eq!(cold.tuned, tuner.tune_dd(&params).unwrap());
+        if !cold.stats.guard_rejected {
+            let warm = run(&mut handle);
+            assert_eq!(warm.stats.misses, 0);
+            assert_eq!(warm.tuned.config, cold.tuned.config);
+        }
     }
 
     #[test]

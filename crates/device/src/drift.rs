@@ -157,6 +157,82 @@ impl EpochTracker {
     }
 }
 
+/// The fleet-wide epoch feed: one named [`EpochTracker`] per device,
+/// surfacing every device's recalibration crossings through a single
+/// observer — the hook a fleet daemon wires its store invalidation to
+/// (each crossing maps to one `ConfigStore::invalidate_before` call and
+/// one journal record in `vaqem-runtime`).
+///
+/// ```
+/// use vaqem_device::drift::{DriftModel, EpochFeed};
+/// use vaqem_mathkit::rng::SeedStream;
+///
+/// let east = DriftModel::new(SeedStream::new(1));
+/// let west = DriftModel::new(SeedStream::new(2)).with_calibration_period_hours(6.0);
+/// let mut feed = EpochFeed::new(&[("fleet-east", &east), ("fleet-west", &west)]);
+/// assert_eq!(feed.observe(0, 1.0), Some(("fleet-east", 0)));
+/// assert_eq!(feed.observe(0, 5.0), None, "same cycle is silent");
+/// assert_eq!(feed.observe(1, 7.0), Some(("fleet-west", 1)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct EpochFeed {
+    devices: Vec<(String, EpochTracker)>,
+}
+
+impl EpochFeed {
+    /// Builds a feed with one tracker per `(name, drift model)` pair,
+    /// each using its model's calibration period.
+    pub fn new(devices: &[(&str, &DriftModel)]) -> Self {
+        EpochFeed {
+            devices: devices
+                .iter()
+                .map(|(name, drift)| (name.to_string(), drift.epoch_tracker()))
+                .collect(),
+        }
+    }
+
+    /// Number of tracked devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Returns `true` when no device is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// The name of device `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range.
+    pub fn name(&self, index: usize) -> &str {
+        &self.devices[index].0
+    }
+
+    /// Observes wall-clock hour `t_hours` on device `index`. Returns
+    /// `Some((name, epoch))` on the first observation and on every
+    /// recalibration crossing — the caller's cue to invalidate that
+    /// device's stale cached configs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range.
+    pub fn observe(&mut self, index: usize, t_hours: f64) -> Option<(&str, u64)> {
+        let (name, tracker) = &mut self.devices[index];
+        tracker.observe(t_hours).map(|epoch| (name.as_str(), epoch))
+    }
+
+    /// The last observed epoch of device `index`, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range.
+    pub fn epoch(&self, index: usize) -> Option<u64> {
+        self.devices[index].1.epoch()
+    }
+}
+
 /// The one definition of "which calibration cycle is hour `t` in" —
 /// shared by [`DriftModel::cycle_index`]/[`DriftModel::epoch_at`] and
 /// [`EpochTracker::observe`] so cache keys and invalidation events can
@@ -261,6 +337,23 @@ mod tests {
         assert_eq!(t.observe(36.5), Some(3), "skipped cycles still fire once");
         assert_eq!(t.epoch(), Some(3));
         assert_eq!(m.epoch_at(36.5), 3, "tracker agrees with the model");
+    }
+
+    #[test]
+    fn epoch_feed_tracks_devices_independently() {
+        let east = model().with_calibration_period_hours(12.0);
+        let west = model().with_calibration_period_hours(6.0);
+        let mut feed = EpochFeed::new(&[("east", &east), ("west", &west)]);
+        assert_eq!(feed.len(), 2);
+        assert_eq!(feed.name(1), "west");
+        assert_eq!(feed.observe(0, 1.0), Some(("east", 0)));
+        assert_eq!(feed.observe(1, 1.0), Some(("west", 0)));
+        // 7 h: west (6 h cycles) has recalibrated, east has not.
+        assert_eq!(feed.observe(0, 7.0), None);
+        assert_eq!(feed.observe(1, 7.0), Some(("west", 1)));
+        assert_eq!(feed.epoch(0), Some(0));
+        assert_eq!(feed.epoch(1), Some(1));
+        assert_eq!(feed.observe(0, 13.0), Some(("east", 1)));
     }
 
     #[test]

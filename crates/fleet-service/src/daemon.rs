@@ -1,0 +1,479 @@
+//! The fleet daemon: many concurrent clients, few devices, one durable
+//! config store.
+//!
+//! # Architecture
+//!
+//! ```text
+//!  client threads ──submit()──▶ admission (queue-aware, scheduler.rs)
+//!                                   │ per-device FIFO work queues
+//!                     ┌─────────────┼─────────────┐
+//!                worker 0       worker 1       worker M-1   (std threads)
+//!                (device 0)     (device 1)     (device M-1)
+//!                     │             │             │ warm-start tuning
+//!                     ▼             ▼             ▼
+//!              Arc<DurableMitigationStore>  (sharded; device → shard)
+//!                     │ mutations journaled, snapshot on checkpoint
+//!                     ▼
+//!                store_dir/store.snapshot + store.journal
+//! ```
+//!
+//! One worker thread per device serializes that device's sessions — a
+//! tuning session holds the machine, so per-device FIFO *is* the
+//! physical contention model — while different devices tune fully in
+//! parallel against the shared store. Because shard routing keys on the
+//! device name, cross-device traffic never meets on a shard lock.
+//!
+//! Each session: observe the device's drift clock (crossing ⇒ journaled
+//! invalidation of the device's stale epochs), rebuild the calibration
+//! snapshot, warm-start tune through PR 2's guard-gated cache path
+//! (unchanged — the daemon only swaps the store backend), and price the
+//! measured evaluation count with the cost model.
+//!
+//! # Determinism
+//!
+//! Per-device trajectory streams are derived from the root seed and the
+//! device name, exactly as in the single-threaded `extension_fleet_cache`
+//! replay — so a session's tuned result is independent of which client
+//! submitted first, and N concurrent clients tuning identical
+//! fingerprints converge to the single-threaded replay's configs
+//! (`tests/fleet_service.rs` pins this).
+
+use std::collections::VecDeque;
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use vaqem::backend::QuantumBackend;
+use vaqem::vqe::VqeProblem;
+use vaqem::window_tuner::{
+    CachedChoice, FleetCacheSession, WindowFingerprint, WindowTuner, WindowTunerConfig,
+};
+use vaqem_device::backend::DeviceModel;
+use vaqem_device::drift::{DriftModel, EpochFeed};
+use vaqem_mathkit::rng::SeedStream;
+use vaqem_mitigation::combined::MitigationConfig;
+use vaqem_runtime::persist::DurableStore;
+use vaqem_runtime::{BatchDispatch, CostModel, WorkloadProfile};
+
+use crate::scheduler;
+
+/// The concrete durable fleet store: window fingerprints to
+/// guard-validated choices, sharded by device and journaled to disk.
+pub type DurableMitigationStore = DurableStore<WindowFingerprint, CachedChoice>;
+
+/// One shared device: identity, hardware model, drift clock.
+#[derive(Debug, Clone)]
+pub struct DeviceSpec {
+    /// Device name — the cache key, shard-routing key, and seed label.
+    pub name: String,
+    /// The hardware model.
+    pub model: DeviceModel,
+    /// The device's drift/recalibration clock.
+    pub drift: DriftModel,
+}
+
+/// Which warm-start tuning family a session runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SessionKind {
+    /// DD repetition tuning (the paper's "VAQEM: XY/XX").
+    #[default]
+    Dd,
+    /// Gate-position tuning ("VAQEM: GS").
+    Gs,
+    /// GS then DD ("VAQEM: GS+XY").
+    Combined,
+}
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct FleetServiceConfig {
+    /// Directory holding the persistent store (snapshot + journal).
+    pub store_dir: PathBuf,
+    /// Shard count for the config store (≥ device count keeps devices on
+    /// distinct shards).
+    pub shards: usize,
+    /// LRU capacity per shard.
+    pub capacity_per_shard: usize,
+    /// Shots per machine execution.
+    pub shots: u64,
+    /// Per-window tuner settings (sweep resolution, DD sequence, guard).
+    pub tuner: WindowTunerConfig,
+    /// Workload template for cost pricing and queue-wait sampling; the
+    /// per-session `windows` count is overridden by the measured value.
+    pub profile: WorkloadProfile,
+    /// The cost model pricing EM minutes and queue waits.
+    pub cost: CostModel,
+    /// Batched-dispatch shape for pricing.
+    pub dispatch: BatchDispatch,
+}
+
+/// One client's tuning request.
+#[derive(Debug, Clone)]
+pub struct SessionRequest {
+    /// Client label (reporting only).
+    pub client: String,
+    /// Wall-clock hour of the request (drives the drift clock).
+    pub t_hours: f64,
+    /// Tuned ansatz angles the mitigation is tuned under.
+    pub params: Vec<f64>,
+    /// Pin the session to a device, or let queue-aware admission choose.
+    pub device: Option<usize>,
+    /// Tuning family.
+    pub kind: SessionKind,
+}
+
+/// What one completed session reports back to its client.
+#[derive(Debug, Clone)]
+pub struct SessionOutcome {
+    /// Client label, echoed.
+    pub client: String,
+    /// Device index the session ran on.
+    pub device: usize,
+    /// Device name.
+    pub device_name: String,
+    /// Calibration epoch the session tuned under.
+    pub epoch: u64,
+    /// Windows warm-started from the store.
+    pub hits: usize,
+    /// Windows swept in full.
+    pub misses: usize,
+    /// Whether any stage's acceptance guard rejected.
+    pub guard_rejected: bool,
+    /// Machine objective evaluations spent.
+    pub evaluations: usize,
+    /// Machine minutes, priced from the measured evaluation count.
+    pub minutes: f64,
+    /// Stale entries invalidated by a recalibration crossing this
+    /// session observed (0 almost always).
+    pub invalidated: usize,
+    /// The guard-validated mitigation configuration.
+    pub config: MitigationConfig,
+}
+
+/// How a session concludes: the outcome, or a tuning-error message.
+pub type SessionResult = Result<SessionOutcome, String>;
+
+struct QueuedJob {
+    request: SessionRequest,
+    device: usize,
+    estimate_min: f64,
+    reply: mpsc::Sender<SessionResult>,
+}
+
+struct DeviceQueue {
+    jobs: Mutex<VecDeque<QueuedJob>>,
+    ready: Condvar,
+    backlog_min: Mutex<f64>,
+}
+
+struct ServiceState {
+    config: FleetServiceConfig,
+    devices: Vec<DeviceSpec>,
+    queues: Vec<DeviceQueue>,
+    queue_wait_min: Vec<f64>,
+    feed: Mutex<EpochFeed>,
+    store: Arc<DurableMitigationStore>,
+    problem: VqeProblem,
+    seeds: SeedStream,
+    /// Serializes un-pinned admission's read-choose-increment sequence:
+    /// without it, N simultaneous submits would all see the same backlog
+    /// snapshot and pile onto the same "cheapest" device.
+    admission: Mutex<()>,
+    shutdown: AtomicBool,
+    completed: AtomicUsize,
+}
+
+/// The long-lived fleet daemon. See the module docs for the architecture.
+pub struct FleetService {
+    state: Arc<ServiceState>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl FleetService {
+    /// Opens the persistent store under `config.store_dir` (recovering
+    /// any snapshot + journal left by a previous process) and spawns one
+    /// worker thread per device.
+    ///
+    /// # Errors
+    ///
+    /// Store recovery I/O or format errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `devices` is empty.
+    pub fn open(
+        config: FleetServiceConfig,
+        devices: Vec<DeviceSpec>,
+        problem: VqeProblem,
+        seeds: SeedStream,
+    ) -> io::Result<Self> {
+        assert!(!devices.is_empty(), "fleet needs at least one device");
+        let store = Arc::new(DurableMitigationStore::open(
+            &config.store_dir,
+            config.shards,
+            config.capacity_per_shard,
+        )?);
+        let names: Vec<String> = devices.iter().map(|d| d.name.clone()).collect();
+        let queue_wait_min =
+            scheduler::device_queue_minutes(&config.cost, &seeds, &config.profile, &names);
+        let feed_pairs: Vec<(&str, &DriftModel)> = devices
+            .iter()
+            .map(|d| (d.name.as_str(), &d.drift))
+            .collect();
+        let feed = Mutex::new(EpochFeed::new(&feed_pairs));
+        let queues = devices
+            .iter()
+            .map(|_| DeviceQueue {
+                jobs: Mutex::new(VecDeque::new()),
+                ready: Condvar::new(),
+                backlog_min: Mutex::new(0.0),
+            })
+            .collect();
+        let state = Arc::new(ServiceState {
+            config,
+            devices,
+            queues,
+            queue_wait_min,
+            feed,
+            store,
+            problem,
+            seeds,
+            admission: Mutex::new(()),
+            shutdown: AtomicBool::new(false),
+            completed: AtomicUsize::new(0),
+        });
+        let workers = (0..state.devices.len())
+            .map(|dev| {
+                let state = Arc::clone(&state);
+                std::thread::spawn(move || worker_loop(state, dev))
+            })
+            .collect();
+        Ok(FleetService { state, workers })
+    }
+
+    /// Submits a session. Admission is queue-aware when the request does
+    /// not pin a device: the session goes to the device minimizing
+    /// `queue wait + projected backlog`. Returns the channel the outcome
+    /// arrives on.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called after shutdown began, or when a pinned device
+    /// index is out of range.
+    pub fn submit(&self, request: SessionRequest) -> mpsc::Receiver<SessionResult> {
+        assert!(
+            !self.state.shutdown.load(Ordering::SeqCst),
+            "submit after shutdown"
+        );
+        let estimate_min = self
+            .state
+            .config
+            .cost
+            .em_tuning_minutes_batched(&self.state.config.profile, &self.state.config.dispatch);
+        // Choose a device and claim its backlog under one admission
+        // lock: concurrent un-pinned submits must each see the previous
+        // one's claim, or they would all pick the same device.
+        let device = {
+            let _admission = self.state.admission.lock().expect("admission lock");
+            let backlogs: Vec<f64> = self
+                .state
+                .queues
+                .iter()
+                .map(|q| *q.backlog_min.lock().expect("backlog lock"))
+                .collect();
+            let device = match request.device {
+                Some(d) => {
+                    assert!(d < self.state.devices.len(), "device index out of range");
+                    d
+                }
+                None => scheduler::admit(&self.state.queue_wait_min, &backlogs),
+            };
+            *self.state.queues[device]
+                .backlog_min
+                .lock()
+                .expect("backlog lock") += estimate_min;
+            device
+        };
+        let (tx, rx) = mpsc::channel();
+        let queue = &self.state.queues[device];
+        queue.jobs.lock().expect("queue lock").push_back(QueuedJob {
+            request,
+            device,
+            estimate_min,
+            reply: tx,
+        });
+        queue.ready.notify_one();
+        rx
+    }
+
+    /// The shared store handle (metrics, checkpointing, diagnostics).
+    pub fn store(&self) -> Arc<DurableMitigationStore> {
+        Arc::clone(&self.state.store)
+    }
+
+    /// Device names, in index order.
+    pub fn device_names(&self) -> Vec<String> {
+        self.state.devices.iter().map(|d| d.name.clone()).collect()
+    }
+
+    /// The deterministic per-device queue-wait samples admission uses.
+    pub fn queue_wait_min(&self) -> &[f64] {
+        &self.state.queue_wait_min
+    }
+
+    /// Sessions completed since open.
+    pub fn sessions_completed(&self) -> usize {
+        self.state.completed.load(Ordering::Relaxed)
+    }
+
+    fn stop_workers(self) -> Arc<ServiceState> {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        for q in &self.state.queues {
+            q.ready.notify_all();
+        }
+        for w in self.workers {
+            let _ = w.join();
+        }
+        self.state
+    }
+
+    /// Graceful shutdown: drains every queue, joins the workers, then
+    /// checkpoints the store (snapshot written, journal truncated).
+    ///
+    /// # Errors
+    ///
+    /// Checkpoint I/O errors (the journal still holds the full history).
+    pub fn shutdown(self) -> io::Result<()> {
+        let state = self.stop_workers();
+        state.store.checkpoint()
+    }
+
+    /// Abrupt stop: drains queued work and joins the workers but writes
+    /// **no checkpoint** — the append-only journal is the only durable
+    /// record, exactly as after a process kill. The next
+    /// [`FleetService::open`] on the same directory must rebuild the
+    /// store by journal replay (`extension_fleet_service` exercises
+    /// this mid-run).
+    pub fn halt(self) {
+        let _ = self.stop_workers();
+    }
+}
+
+fn worker_loop(state: Arc<ServiceState>, dev: usize) {
+    loop {
+        let job = {
+            let queue = &state.queues[dev];
+            let mut jobs = queue.jobs.lock().expect("queue lock");
+            loop {
+                if let Some(job) = jobs.pop_front() {
+                    break Some(job);
+                }
+                if state.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                jobs = queue.ready.wait(jobs).expect("queue wait");
+            }
+        };
+        let Some(job) = job else { return };
+        let result = run_session(&state, &job);
+        {
+            let mut backlog = state.queues[dev].backlog_min.lock().expect("backlog lock");
+            *backlog = (*backlog - job.estimate_min).max(0.0);
+        }
+        state.completed.fetch_add(1, Ordering::Relaxed);
+        // A client that dropped its receiver just doesn't hear back.
+        let _ = job.reply.send(result);
+    }
+}
+
+fn run_session(state: &ServiceState, job: &QueuedJob) -> SessionResult {
+    let dev = job.device;
+    let spec = &state.devices[dev];
+    let cfg = &state.config;
+
+    // Drift clock: a recalibration crossing invalidates the device's
+    // stale-epoch entries (journaled, so the drop survives a restart).
+    let crossing = {
+        let mut feed = state.feed.lock().expect("feed lock");
+        feed.observe(dev, job.request.t_hours).map(|(_, e)| e)
+    };
+    let invalidated = match crossing {
+        Some(epoch) => state.store.invalidate_before(&spec.name, epoch),
+        None => 0,
+    };
+    let epoch = {
+        let feed = state.feed.lock().expect("feed lock");
+        feed.epoch(dev).expect("observed above")
+    };
+
+    // The backend executes under the instantaneous drifted noise;
+    // fingerprints classify the epoch's calibration snapshot — all a
+    // real control stack would know.
+    let num_qubits = state.problem.ansatz().num_qubits();
+    let layout: Vec<usize> = (0..num_qubits).collect();
+    let noise_now = spec
+        .drift
+        .noise_at(&spec.model, job.request.t_hours)
+        .subset(&layout);
+    let calibration = spec
+        .drift
+        .noise_at(
+            &spec.model,
+            epoch as f64 * spec.drift.calibration_period_hours(),
+        )
+        .subset(&layout);
+    // One trajectory stream per device: clients share the machine, so
+    // identical jobs see identical noise realizations whichever client
+    // queued first — the property that lets cached configs re-verify.
+    let backend = QuantumBackend::new(
+        noise_now,
+        state.seeds.substream(&format!("machine-{}", spec.name)),
+    )
+    .with_shots(cfg.shots);
+
+    let tuner = WindowTuner::new(&state.problem, &backend, cfg.tuner.clone());
+    let mut handle = Arc::clone(&state.store);
+    let mut session = FleetCacheSession {
+        store: &mut handle,
+        device: &spec.name,
+        epoch,
+        calibration: &calibration,
+    };
+    let report = match job.request.kind {
+        SessionKind::Dd => tuner.tune_dd_warm(&job.request.params, &mut session),
+        SessionKind::Gs => tuner.tune_gs_warm(&job.request.params, &mut session),
+        SessionKind::Combined => tuner.tune_combined_warm(&job.request.params, &mut session),
+    }
+    .map_err(|e| format!("tuning failed on {}: {e:?}", spec.name))?;
+
+    let profile = WorkloadProfile {
+        num_qubits,
+        measurement_groups: state.problem.groups().len(),
+        windows: report.stats.hits + report.stats.misses,
+        sweep_resolution: cfg.tuner.sweep_resolution,
+        shots: cfg.shots,
+        ..cfg.profile.clone()
+    };
+    let minutes = cfg.cost.em_minutes_for_evaluations(
+        &profile,
+        &cfg.dispatch,
+        report.tuned.evaluations,
+        report.stats.misses + 1,
+    );
+
+    Ok(SessionOutcome {
+        client: job.request.client.clone(),
+        device: dev,
+        device_name: spec.name.clone(),
+        epoch,
+        hits: report.stats.hits,
+        misses: report.stats.misses,
+        guard_rejected: report.stats.guard_rejected,
+        evaluations: report.tuned.evaluations,
+        minutes,
+        invalidated,
+        config: report.tuned.config,
+    })
+}

@@ -1,0 +1,54 @@
+//! # vaqem-fleet-service
+//!
+//! The long-lived fleet daemon of the VAQEM reproduction: many concurrent
+//! clients submit EM-tuning sessions against a few shared devices, backed
+//! by a sharded, **persistent** mitigation-config store
+//! (`vaqem_runtime::persist::DurableStore`) so the fleet's tuned-config
+//! capital survives process restarts.
+//!
+//! The paper's §IX transfer result makes per-window EM tuning cacheable;
+//! PR 2 built the cache; this crate makes it a *service*: per-device
+//! worker threads over FIFO work queues, queue-aware admission fed by
+//! `CostModel::queuing_minutes`, journaled drift invalidation, and
+//! graceful ([`FleetService::shutdown`]) vs. abrupt
+//! ([`FleetService::halt`]) stops with journal-replay recovery.
+//!
+//! ```no_run
+//! use std::sync::mpsc;
+//! use vaqem_fleet_service::{
+//!     DeviceSpec, FleetService, FleetServiceConfig, SessionKind, SessionRequest,
+//! };
+//! # fn demo(config: FleetServiceConfig, devices: Vec<DeviceSpec>,
+//! #         problem: vaqem::vqe::VqeProblem,
+//! #         seeds: vaqem_mathkit::rng::SeedStream,
+//! #         params: Vec<f64>) -> std::io::Result<()> {
+//! let service = FleetService::open(config, devices, problem, seeds)?;
+//! let replies: Vec<mpsc::Receiver<_>> = (0..4)
+//!     .map(|c| {
+//!         service.submit(SessionRequest {
+//!             client: format!("c{c}"),
+//!             t_hours: 1.0,
+//!             params: params.clone(),
+//!             device: None, // queue-aware admission picks
+//!             kind: SessionKind::Dd,
+//!         })
+//!     })
+//!     .collect();
+//! for rx in replies {
+//!     let outcome = rx.recv().expect("worker alive").expect("tuning ok");
+//!     println!("{}: {} hits, {:.2} min", outcome.client, outcome.hits, outcome.minutes);
+//! }
+//! service.shutdown()?; // checkpoint: snapshot + truncated journal
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod daemon;
+pub mod scheduler;
+
+pub use daemon::{
+    DeviceSpec, DurableMitigationStore, FleetService, FleetServiceConfig, SessionKind,
+    SessionOutcome, SessionRequest, SessionResult,
+};

@@ -1,0 +1,259 @@
+//! End-to-end daemon tests: concurrent clients over two devices, abrupt
+//! halt + journal-replay recovery, graceful shutdown + snapshot reload.
+
+use std::path::{Path, PathBuf};
+
+use vaqem::vqe::VqeProblem;
+use vaqem::window_tuner::WindowTunerConfig;
+use vaqem_ansatz::su2::{EfficientSu2, Entanglement};
+use vaqem_circuit::schedule::DurationModel;
+use vaqem_device::backend::DeviceModel;
+use vaqem_device::drift::DriftModel;
+use vaqem_device::noise::{NoiseParameters, QubitNoise};
+use vaqem_fleet_service::{
+    DeviceSpec, FleetService, FleetServiceConfig, SessionKind, SessionRequest,
+};
+use vaqem_mathkit::rng::SeedStream;
+use vaqem_mitigation::dd::DdSequence;
+use vaqem_pauli::models::tfim_paper;
+use vaqem_runtime::{BatchDispatch, CostModel, WorkloadProfile};
+
+const NUM_QUBITS: usize = 3;
+
+fn device(name: &str, seed: u64) -> DeviceSpec {
+    let q = QubitNoise {
+        t1_ns: 120_000.0,
+        t2_ns: 90_000.0,
+        quasi_static_sigma_rad_ns: 2.0e-3,
+        telegraph_rate_per_ns: 2.0e-6,
+        readout_p01: 0.012,
+        readout_p10: 0.025,
+        gate_error_1q: 1.5e-4,
+    };
+    let coupling: Vec<(usize, usize)> = (0..NUM_QUBITS - 1).map(|i| (i, i + 1)).collect();
+    let mut noise = NoiseParameters::from_qubits(vec![q; NUM_QUBITS]);
+    for &(a, b) in &coupling {
+        noise.set_zz(a, b, 1.0e-5);
+    }
+    let model = DeviceModel::new(
+        name,
+        NUM_QUBITS,
+        coupling,
+        DurationModel::ibm_default(),
+        noise,
+    );
+    let drift = DriftModel::new(SeedStream::new(seed).substream(&format!("drift-{name}")));
+    DeviceSpec {
+        name: name.to_string(),
+        model,
+        drift,
+    }
+}
+
+fn problem() -> VqeProblem {
+    let ansatz = EfficientSu2::new(NUM_QUBITS, 1, Entanglement::Linear)
+        .circuit()
+        .unwrap();
+    VqeProblem::new("daemon_tfim_3q", tfim_paper(NUM_QUBITS), ansatz).unwrap()
+}
+
+fn params() -> Vec<f64> {
+    vec![0.3; problem().num_params()]
+}
+
+fn config(dir: &Path) -> FleetServiceConfig {
+    FleetServiceConfig {
+        store_dir: dir.to_path_buf(),
+        shards: 8,
+        capacity_per_shard: 256,
+        shots: 256,
+        tuner: WindowTunerConfig {
+            sweep_resolution: 3,
+            dd_sequence: DdSequence::Xy4,
+            max_repetitions: 8,
+            guard_repeats: 3,
+        },
+        profile: WorkloadProfile {
+            num_qubits: NUM_QUBITS,
+            circuit_ns: 12_000.0,
+            iterations: 50,
+            measurement_groups: 2,
+            windows: 8,
+            sweep_resolution: 3,
+            shots: 256,
+        },
+        cost: CostModel::ibm_cloud_2021(),
+        dispatch: BatchDispatch::local(4),
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("vaqem-daemon-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn open_service(dir: &Path, seed: u64) -> FleetService {
+    FleetService::open(
+        config(dir),
+        vec![device("fleet-east", seed), device("fleet-west", seed)],
+        problem(),
+        SeedStream::new(seed),
+    )
+    .expect("service opens")
+}
+
+/// Deterministically scans root seeds for one where both devices' cold
+/// guards accept and the warm round fully re-accepts (the same
+/// scan-and-pin pattern as `tests/fleet_cache.rs`: rejection under shot
+/// noise is legitimate tuner behavior, so the lifecycle tests pin a seed
+/// where the cache path is exercised end to end). The scan replays
+/// deterministically, so every test sees the same seed.
+fn accepting_seed() -> u64 {
+    static SEED: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+    *SEED.get_or_init(|| {
+        for seed in 4242..4274 {
+            let dir = temp_dir(&format!("scan-{seed}"));
+            let service = open_service(&dir, seed);
+            let cold = round(&service, 2, 1.0);
+            let warm = round(&service, 2, 3.0);
+            service.halt();
+            let _ = std::fs::remove_dir_all(&dir);
+            let ok = cold
+                .iter()
+                .all(|&(h, m, rejected)| h == 0 && m > 0 && !rejected)
+                && warm
+                    .iter()
+                    .all(|&(h, m, rejected)| h > 0 && m == 0 && !rejected);
+            if ok {
+                return seed;
+            }
+        }
+        panic!("no seed in 4242..4274 lets both cold guards accept");
+    })
+}
+
+fn round(service: &FleetService, clients: usize, t_hours: f64) -> Vec<(usize, usize, bool)> {
+    let receivers: Vec<_> = (0..clients)
+        .map(|c| {
+            service.submit(SessionRequest {
+                client: format!("c{c}"),
+                t_hours,
+                params: params(),
+                device: Some(c % 2),
+                kind: SessionKind::Dd,
+            })
+        })
+        .collect();
+    receivers
+        .into_iter()
+        .map(|rx| {
+            let o = rx.recv().expect("worker alive").expect("tuning ok");
+            (o.hits, o.misses, o.guard_rejected)
+        })
+        .collect()
+}
+
+#[test]
+fn daemon_survives_abrupt_halt_and_graceful_shutdown() {
+    let seed = accepting_seed();
+    let dir = temp_dir("lifecycle");
+
+    // Process 1: cold round, then a warm round, then an abrupt halt — no
+    // checkpoint, the journal is the only durable record.
+    let (cold_misses, warm_hits_before);
+    {
+        let service = open_service(&dir, seed);
+        let cold = round(&service, 4, 1.0);
+        cold_misses = cold.iter().map(|&(_, m, _)| m).sum::<usize>();
+        assert!(cold_misses > 0, "round 1 must sweep");
+        // Within a round, the first session per device is cold, later
+        // ones on the same device hit.
+        let warm = round(&service, 4, 3.0);
+        warm_hits_before = warm.iter().map(|&(h, _, _)| h).sum::<usize>();
+        assert!(warm_hits_before > 0, "round 2 warm-starts");
+        assert_eq!(
+            warm.iter().map(|&(_, m, _)| m).sum::<usize>(),
+            0,
+            "round 2 is fully warm"
+        );
+        assert_eq!(service.sessions_completed(), 8);
+        service.halt(); // kill: journal only
+    }
+    assert!(dir.join("store.journal").exists());
+    assert!(!dir.join("store.snapshot").exists(), "halt never snapshots");
+
+    // Process 2: journal replay rebuilds the store; the warm-hit rate
+    // recovers immediately.
+    {
+        let service = open_service(&dir, seed);
+        let store = service.store();
+        assert!(store.recovery().journal_records > 0);
+        assert!(!store.is_empty(), "entries recovered from the journal");
+        let warm = round(&service, 4, 5.0);
+        let hits: usize = warm.iter().map(|&(h, _, _)| h).sum();
+        let misses: usize = warm.iter().map(|&(_, m, _)| m).sum();
+        assert_eq!(misses, 0, "reloaded store answers every window");
+        assert_eq!(hits, warm_hits_before, "hit volume recovers exactly");
+        service.shutdown().expect("checkpoint");
+    }
+    assert!(dir.join("store.snapshot").exists(), "shutdown snapshots");
+
+    // Process 3: snapshot (plus empty journal) reload.
+    {
+        let service = open_service(&dir, seed);
+        let store = service.store();
+        assert_eq!(store.recovery().journal_records, 0, "journal truncated");
+        assert!(store.recovery().snapshot_entries > 0);
+        let warm = round(&service, 2, 7.0);
+        assert_eq!(warm.iter().map(|&(_, m, _)| m).sum::<usize>(), 0);
+        service.shutdown().expect("checkpoint");
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn recalibration_crossing_invalidates_and_retunes() {
+    let seed = accepting_seed();
+    let dir = temp_dir("recal");
+    let service = open_service(&dir, seed);
+    let cold = round(&service, 2, 1.0);
+    assert!(cold.iter().map(|&(_, m, _)| m).sum::<usize>() > 0);
+    let warm = round(&service, 2, 3.0);
+    assert_eq!(warm.iter().map(|&(_, m, _)| m).sum::<usize>(), 0);
+    // 13 h crosses the 12 h recalibration boundary on both devices: the
+    // new epoch misses naturally and the stale entries are dropped.
+    let recal = round(&service, 2, 13.0);
+    assert!(
+        recal.iter().map(|&(_, m, _)| m).sum::<usize>() > 0,
+        "new epoch re-tunes"
+    );
+    let store = service.store();
+    assert!(store.metrics().invalidations > 0, "stale entries dropped");
+    service.shutdown().expect("checkpoint");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn unpinned_admission_follows_the_queue_samples() {
+    let dir = temp_dir("admit");
+    let service = open_service(&dir, 4242);
+    let waits = service.queue_wait_min().to_vec();
+    assert_eq!(waits.len(), 2);
+    assert_ne!(waits[0], waits[1], "labels decorrelate queue samples");
+    let expected = if waits[0] <= waits[1] { 0 } else { 1 };
+    // The first unpinned submission races nothing (no backlog yet, no
+    // completions): it must land on the device with the shorter sampled
+    // queue — CostModel::queuing_minutes driving admission.
+    let rx = service.submit(SessionRequest {
+        client: "c0".to_string(),
+        t_hours: 1.0,
+        params: params(),
+        device: None,
+        kind: SessionKind::Dd,
+    });
+    let outcome = rx.recv().unwrap().unwrap();
+    assert_eq!(outcome.device, expected);
+    service.shutdown().expect("checkpoint");
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -63,6 +63,16 @@ impl CacheMetrics {
             self.hits as f64 / total as f64
         }
     }
+
+    /// Accumulates another counter set into this one — used to aggregate
+    /// per-shard metrics (`crate::store::ShardedStore::metrics`).
+    pub fn merge(&mut self, other: &CacheMetrics) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.insertions += other.insertions;
+        self.evictions += other.evictions;
+        self.invalidations += other.invalidations;
+    }
 }
 
 /// Full key of one cached entry: device, calibration epoch, fingerprint.
@@ -241,6 +251,40 @@ impl<F: Hash + Eq + Clone, V> ConfigStore<F, V> {
         self.metrics.invalidations += dropped as u64;
         dropped
     }
+
+    /// Drops every entry with an epoch strictly before `epoch`, whatever
+    /// its device — the per-shard leg of a fleet-wide drift broadcast
+    /// (`crate::store::ShardedStore::invalidate_all_before`).
+    pub fn invalidate_all_before(&mut self, epoch: u64) -> usize {
+        let before = self.map.len();
+        self.map.retain(|k, _| k.epoch >= epoch);
+        let dropped = before - self.map.len();
+        self.metrics.invalidations += dropped as u64;
+        dropped
+    }
+
+    /// Every live entry as `(device, epoch, fingerprint, value)`, ordered
+    /// oldest-to-newest by LRU recency — the persistence snapshot order:
+    /// re-inserting the entries in this order into an empty store
+    /// reproduces both the content and the eviction order.
+    pub fn export_entries(&self) -> Vec<(String, u64, F, V)>
+    where
+        V: Clone,
+    {
+        let mut entries: Vec<(&StoreKey<F>, &Entry<V>)> = self.map.iter().collect();
+        entries.sort_by_key(|(_, e)| e.last_used);
+        entries
+            .into_iter()
+            .map(|(k, e)| {
+                (
+                    k.device.clone(),
+                    k.epoch,
+                    k.fingerprint.clone(),
+                    e.value.clone(),
+                )
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -322,5 +366,35 @@ mod tests {
     #[should_panic(expected = "capacity")]
     fn zero_capacity_rejected() {
         let _: ConfigStore<u64, u32> = ConfigStore::new(0);
+    }
+
+    #[test]
+    fn export_preserves_lru_order_and_roundtrips() {
+        let mut s: ConfigStore<u64, u32> = ConfigStore::new(8);
+        s.insert("d", 0, 1, 10);
+        s.insert("d", 0, 2, 20);
+        s.insert("e", 1, 3, 30);
+        assert_eq!(s.get("d", 0, &1), Some(&10)); // refresh 1: now newest
+        let exported = s.export_entries();
+        assert_eq!(exported.len(), 3);
+        assert_eq!(exported.last().unwrap().2, 1, "refreshed entry is newest");
+        // Re-inserting in export order reproduces content and LRU order.
+        let mut r: ConfigStore<u64, u32> = ConfigStore::new(8);
+        for (d, ep, f, v) in exported {
+            r.insert(&d, ep, f, v);
+        }
+        assert_eq!(r.export_entries(), s.export_entries());
+    }
+
+    #[test]
+    fn invalidate_all_before_sweeps_every_device() {
+        let mut s: ConfigStore<u64, u32> = ConfigStore::new(8);
+        s.insert("a", 0, 1, 1);
+        s.insert("b", 0, 1, 2);
+        s.insert("b", 2, 1, 3);
+        assert_eq!(s.invalidate_all_before(1), 2);
+        assert_eq!(s.len(), 1);
+        assert!(s.peek("b", 2, &1).is_some());
+        assert_eq!(s.metrics().invalidations, 2);
     }
 }

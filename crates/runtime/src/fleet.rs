@@ -27,19 +27,30 @@ pub struct TuningSession {
 /// The fleet timeline that results from draining a set of sessions.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FleetSchedule {
-    /// Busy minutes accumulated per device.
+    /// Busy minutes accumulated per device (machine time only — queue
+    /// waits are tracked separately in [`Self::device_queue_min`]).
     pub device_busy_min: Vec<f64>,
+    /// Queue-wait minutes charged per device before its sessions start.
+    /// All zeros unless built by [`schedule_sessions_queued`]; idle time
+    /// in a cloud queue is wall-clock, never machine time, so it extends
+    /// the makespan without inflating [`Self::total_machine_min`].
+    pub device_queue_min: Vec<f64>,
     /// Number of sessions scheduled.
     pub sessions: usize,
 }
 
 impl FleetSchedule {
-    /// Fleet makespan: minutes until the slowest device drains.
+    /// Fleet makespan: minutes until the slowest device drains (its
+    /// queue wait plus its busy minutes).
     pub fn makespan_min(&self) -> f64 {
-        self.device_busy_min.iter().fold(0.0, |a, &b| a.max(b))
+        self.device_busy_min
+            .iter()
+            .zip(&self.device_queue_min)
+            .fold(0.0, |a, (&b, &q)| a.max(b + q))
     }
 
-    /// Total machine minutes consumed across the fleet.
+    /// Total machine minutes consumed across the fleet (queue waits
+    /// excluded — nothing executes while a session queues).
     pub fn total_machine_min(&self) -> f64 {
         self.device_busy_min.iter().sum()
     }
@@ -96,9 +107,48 @@ pub fn schedule_sessions(num_devices: usize, sessions: &[TuningSession]) -> Flee
         busy[s.device] += s.minutes;
     }
     FleetSchedule {
+        device_queue_min: vec![0.0; num_devices],
         device_busy_min: busy,
         sessions: sessions.len(),
     }
+}
+
+/// [`schedule_sessions`] with cloud queuing folded in: each device that
+/// runs at least one session first pays its queue wait (minutes, e.g.
+/// sampled from [`crate::cost::CostModel::queuing_minutes`]) before its
+/// sessions drain. Devices with no sessions stay idle and pay nothing —
+/// queue waits are per held block, not per existing machine.
+///
+/// This is the ROADMAP's "queueing-aware fleet scheduler" primitive: the
+/// makespan now reflects that a lightly-loaded device behind a long queue
+/// can still be the fleet bottleneck.
+///
+/// # Panics
+///
+/// Panics when `num_devices` is zero, `queue_min.len() != num_devices`, a
+/// queue wait is negative, or a session names a device out of range.
+pub fn schedule_sessions_queued(
+    num_devices: usize,
+    sessions: &[TuningSession],
+    queue_min: &[f64],
+) -> FleetSchedule {
+    assert_eq!(
+        queue_min.len(),
+        num_devices,
+        "one queue wait per device required"
+    );
+    assert!(queue_min.iter().all(|&q| q >= 0.0), "negative queue wait");
+    let mut schedule = schedule_sessions(num_devices, sessions);
+    let mut used = vec![false; num_devices];
+    for s in sessions {
+        used[s.device] = true;
+    }
+    for (d, queue) in schedule.device_queue_min.iter_mut().enumerate() {
+        if used[d] {
+            *queue = queue_min[d];
+        }
+    }
+    schedule
 }
 
 #[cfg(test)]
@@ -157,5 +207,79 @@ mod tests {
     #[should_panic(expected = "device")]
     fn out_of_range_device_rejected() {
         schedule_sessions(1, &[session("c", 1, 1.0)]);
+    }
+
+    #[test]
+    fn queued_schedule_charges_only_used_devices() {
+        let sessions = [session("a", 0, 10.0), session("b", 0, 5.0)];
+        let s = schedule_sessions_queued(2, &sessions, &[7.0, 1000.0]);
+        assert_eq!(
+            s.device_queue_min,
+            vec![7.0, 0.0],
+            "idle device pays no queue"
+        );
+        assert_eq!(s.makespan_min(), 22.0);
+        assert_eq!(
+            s.total_machine_min(),
+            15.0,
+            "queue waits never count as machine time"
+        );
+    }
+
+    #[test]
+    fn queuing_minutes_feed_pins_the_makespan() {
+        // The ROADMAP "Concurrency" item: CostModel::queuing_minutes flows
+        // into the fleet schedule. The sampled waits are deterministic per
+        // (seed, device label), so the queued makespan is pinned to the
+        // recomputed expectation and reproducible run to run.
+        use crate::cost::{AngleTuningMode, CostModel, WorkloadProfile};
+        use vaqem_mathkit::rng::SeedStream;
+        let model = CostModel::ibm_cloud_2021();
+        let seeds = SeedStream::new(77);
+        let profile = WorkloadProfile {
+            num_qubits: 4,
+            circuit_ns: 12_000.0,
+            iterations: 100,
+            measurement_groups: 2,
+            windows: 12,
+            sweep_resolution: 4,
+            shots: 512,
+        };
+        let queue: Vec<f64> = ["fleet-east", "fleet-west"]
+            .iter()
+            .map(|d| model.queuing_minutes(&profile, AngleTuningMode::IdealSimulation, &seeds, d))
+            .collect();
+        assert!(queue.iter().all(|&q| q > 0.0));
+        let sessions = [
+            session("c0", 0, 30.0),
+            session("c1", 1, 30.0),
+            session("c2", 0, 10.0),
+        ];
+        let queued = schedule_sessions_queued(2, &sessions, &queue);
+        let plain = schedule_sessions(2, &sessions);
+        let expected = (40.0 + queue[0]).max(30.0 + queue[1]);
+        assert!((queued.makespan_min() - expected).abs() < 1e-12);
+        assert!(queued.makespan_min() > plain.makespan_min());
+        assert_eq!(
+            queued.total_machine_min(),
+            plain.total_machine_min(),
+            "queuing extends the makespan, not the machine bill"
+        );
+        // Replays are bit-identical: same seed, same labels, same makespan.
+        let queue2: Vec<f64> = ["fleet-east", "fleet-west"]
+            .iter()
+            .map(|d| model.queuing_minutes(&profile, AngleTuningMode::IdealSimulation, &seeds, d))
+            .collect();
+        assert_eq!(queue, queue2);
+        assert_eq!(
+            schedule_sessions_queued(2, &sessions, &queue2).makespan_min(),
+            queued.makespan_min()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "queue wait")]
+    fn queue_vector_length_must_match() {
+        schedule_sessions_queued(2, &[], &[1.0]);
     }
 }

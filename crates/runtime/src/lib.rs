@@ -4,7 +4,7 @@
 //! about executing the feasible flow at fleet scale that is not quantum
 //! mechanics.
 //!
-//! Three modules:
+//! Five modules:
 //!
 //! * [`cost`] — the execution-cost model standing in for the paper's
 //!   Qiskit Runtime measurements (§VI-A, §VIII-D, Fig. 15): per-job
@@ -17,9 +17,17 @@
 //!   invalidation contract. The concrete fingerprint lives in the core
 //!   crate (`vaqem::window_tuner::WindowFingerprint`); this crate owns
 //!   eviction and bookkeeping.
+//! * [`store`] — the [`store::StoreBackend`] trait the warm-start tuner
+//!   runs against, plus [`store::ShardedStore`]: one `ConfigStore` per
+//!   shard behind its own mutex, routed by a stable hash of the device
+//!   name, with per-shard hit/miss/contention metrics.
+//! * [`persist`] — restart survival: a handwritten byte [`persist::Codec`],
+//!   a versioned snapshot + append-only journal, and
+//!   [`persist::DurableStore`] tying both to a sharded store.
 //! * [`fleet`] — deterministic contention scheduling: N clients' tuning
-//!   sessions draining over D serializing devices, reported as makespan,
-//!   machine minutes, and sessions/hour.
+//!   sessions draining over D serializing devices (optionally behind
+//!   per-device queue waits), reported as makespan, machine minutes, and
+//!   sessions/hour.
 //!
 //! Together they answer the question the per-circuit crates cannot: what
 //! does a *repeated, shared* workload cost, and how much of the paper's
@@ -75,9 +83,15 @@
 pub mod cache;
 pub mod cost;
 pub mod fleet;
+pub mod persist;
+pub mod store;
 
 pub use cache::{CacheMetrics, ConfigStore};
 pub use cost::{
     AngleTuningMode, BatchDispatch, CostModel, ExecutionTimeBreakdown, WorkloadProfile,
 };
-pub use fleet::{round_robin_device, schedule_sessions, FleetSchedule, TuningSession};
+pub use fleet::{
+    round_robin_device, schedule_sessions, schedule_sessions_queued, FleetSchedule, TuningSession,
+};
+pub use persist::{Codec, DurableStore, RecoveryReport};
+pub use store::{ShardMetrics, ShardedStore, StoreBackend};

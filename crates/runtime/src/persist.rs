@@ -1,0 +1,805 @@
+//! Persistence for the fleet config store: versioned snapshot +
+//! append-only journal, with a handwritten byte codec (the build is
+//! offline — no serde).
+//!
+//! A fleet daemon must not lose its tuned-configuration capital when the
+//! process dies: the ROADMAP calls for a store that "survives restarts".
+//! The design is the classic snapshot/journal pair:
+//!
+//! * **Snapshot** (`store.snapshot`): the full store content, written
+//!   atomically (temp file + rename) by [`DurableStore::checkpoint`].
+//!   Entries are written shard 0 first, each shard oldest-to-newest in
+//!   LRU order, so reloading into an equally-sharded store reproduces
+//!   per-shard eviction order exactly.
+//! * **Journal** (`store.journal`): every mutation since the last
+//!   checkpoint, appended as a length-prefixed record. Recovery loads the
+//!   snapshot, then replays the journal in order; a torn tail (crash
+//!   mid-append) is detected by the length prefix and ignored.
+//!
+//! Both files carry a 4-byte magic and a `u32` version; an unknown magic
+//! or version fails recovery loudly rather than misparsing.
+//!
+//! # Locking
+//!
+//! [`DurableStore`] wraps a [`ShardedStore`] plus one journal writer.
+//! **Mutations take the journal lock first, then the shard lock** (via
+//! the inner store), so record order in the journal always matches
+//! mutation order in the store and replay converges to the same content.
+//! Lookups never touch the journal — they contend only on their device's
+//! shard, which is where fleet concurrency matters.
+//!
+//! What the journal does *not* record: LRU touches from lookups. After a
+//! journal-only recovery the content is exact but recency order is
+//! insertion order; a [`DurableStore::checkpoint`] (which snapshots
+//! recency) restores it. The round-trip property — content equality
+//! through save/reload — is pinned in `tests/fleet_store_props.rs`.
+
+use std::fs::{File, OpenOptions};
+use std::hash::Hash;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::cache::CacheMetrics;
+use crate::store::{ShardMetrics, ShardedStore, StoreBackend};
+
+/// Handwritten byte serialization: little-endian, length-prefixed where
+/// variable. Implemented here for primitives and `String`; the concrete
+/// fingerprint/value types implement it in the crate that owns them.
+pub trait Codec: Sized {
+    /// Appends this value's encoding to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+    /// Decodes one value from the front of `input`, advancing it.
+    /// Returns `None` on malformed or truncated input.
+    fn decode(input: &mut &[u8]) -> Option<Self>;
+}
+
+/// Splits `n` bytes off the front of `input`.
+pub fn take<'a>(input: &mut &'a [u8], n: usize) -> Option<&'a [u8]> {
+    if input.len() < n {
+        return None;
+    }
+    let (head, tail) = input.split_at(n);
+    *input = tail;
+    Some(head)
+}
+
+macro_rules! int_codec {
+    ($($t:ty),*) => {$(
+        impl Codec for $t {
+            fn encode(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            fn decode(input: &mut &[u8]) -> Option<Self> {
+                let bytes = take(input, std::mem::size_of::<$t>())?;
+                Some(<$t>::from_le_bytes(bytes.try_into().ok()?))
+            }
+        }
+    )*};
+}
+
+int_codec!(u8, u16, u32, u64, i16);
+
+impl Codec for f64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_bits().to_le_bytes());
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(f64::from_bits(u64::decode(input)?))
+    }
+}
+
+impl Codec for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(*self as u8);
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        match u8::decode(input)? {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
+}
+
+impl Codec for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        let len = u32::decode(input)? as usize;
+        let bytes = take(input, len)?;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+}
+
+const SNAPSHOT_MAGIC: [u8; 4] = *b"VQSN";
+const JOURNAL_MAGIC: [u8; 4] = *b"VQJL";
+const FORMAT_VERSION: u32 = 1;
+
+const SNAPSHOT_FILE: &str = "store.snapshot";
+const JOURNAL_FILE: &str = "store.journal";
+
+/// Journal record tags.
+const TAG_INSERT: u8 = 1;
+const TAG_REMOVE: u8 = 2;
+const TAG_INVALIDATE_BEFORE: u8 = 3;
+const TAG_INVALIDATE_ALL_BEFORE: u8 = 4;
+
+fn bad_data(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, what.to_string())
+}
+
+fn check_header(input: &mut &[u8], magic: [u8; 4], what: &str) -> io::Result<()> {
+    let head = take(input, 4).ok_or_else(|| bad_data(what))?;
+    if head != magic {
+        return Err(bad_data(what));
+    }
+    let version = u32::decode(input).ok_or_else(|| bad_data(what))?;
+    if version != FORMAT_VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{what}: unsupported version {version}"),
+        ));
+    }
+    Ok(())
+}
+
+/// Serializes a flat entry list (snapshot body).
+fn encode_entries<F: Codec, V: Codec>(entries: &[(String, u64, F, V)]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&SNAPSHOT_MAGIC);
+    FORMAT_VERSION.encode(&mut out);
+    (entries.len() as u64).encode(&mut out);
+    for (device, epoch, fp, value) in entries {
+        device.encode(&mut out);
+        epoch.encode(&mut out);
+        fp.encode(&mut out);
+        value.encode(&mut out);
+    }
+    out
+}
+
+fn decode_entries<F: Codec, V: Codec>(mut input: &[u8]) -> io::Result<Vec<(String, u64, F, V)>> {
+    let input = &mut input;
+    check_header(input, SNAPSHOT_MAGIC, "snapshot header")?;
+    let count = u64::decode(input).ok_or_else(|| bad_data("snapshot count"))?;
+    let mut entries = Vec::with_capacity(count.min(1 << 20) as usize);
+    for _ in 0..count {
+        let device = String::decode(input).ok_or_else(|| bad_data("snapshot entry"))?;
+        let epoch = u64::decode(input).ok_or_else(|| bad_data("snapshot entry"))?;
+        let fp = F::decode(input).ok_or_else(|| bad_data("snapshot entry"))?;
+        let value = V::decode(input).ok_or_else(|| bad_data("snapshot entry"))?;
+        entries.push((device, epoch, fp, value));
+    }
+    Ok(entries)
+}
+
+/// One journaled mutation.
+#[derive(Debug, Clone, PartialEq)]
+enum JournalRecord<F, V> {
+    Insert {
+        device: String,
+        epoch: u64,
+        fingerprint: F,
+        value: V,
+    },
+    Remove {
+        device: String,
+        epoch: u64,
+        fingerprint: F,
+    },
+    InvalidateBefore {
+        device: String,
+        epoch: u64,
+    },
+    InvalidateAllBefore {
+        epoch: u64,
+    },
+}
+
+impl<F: Codec, V: Codec> JournalRecord<F, V> {
+    fn encode_payload(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            JournalRecord::Insert {
+                device,
+                epoch,
+                fingerprint,
+                value,
+            } => {
+                out.push(TAG_INSERT);
+                device.encode(&mut out);
+                epoch.encode(&mut out);
+                fingerprint.encode(&mut out);
+                value.encode(&mut out);
+            }
+            JournalRecord::Remove {
+                device,
+                epoch,
+                fingerprint,
+            } => {
+                out.push(TAG_REMOVE);
+                device.encode(&mut out);
+                epoch.encode(&mut out);
+                fingerprint.encode(&mut out);
+            }
+            JournalRecord::InvalidateBefore { device, epoch } => {
+                out.push(TAG_INVALIDATE_BEFORE);
+                device.encode(&mut out);
+                epoch.encode(&mut out);
+            }
+            JournalRecord::InvalidateAllBefore { epoch } => {
+                out.push(TAG_INVALIDATE_ALL_BEFORE);
+                epoch.encode(&mut out);
+            }
+        }
+        out
+    }
+
+    fn decode_payload(mut payload: &[u8]) -> Option<Self> {
+        let input = &mut payload;
+        let record = match u8::decode(input)? {
+            TAG_INSERT => JournalRecord::Insert {
+                device: String::decode(input)?,
+                epoch: u64::decode(input)?,
+                fingerprint: F::decode(input)?,
+                value: V::decode(input)?,
+            },
+            TAG_REMOVE => JournalRecord::Remove {
+                device: String::decode(input)?,
+                epoch: u64::decode(input)?,
+                fingerprint: F::decode(input)?,
+            },
+            TAG_INVALIDATE_BEFORE => JournalRecord::InvalidateBefore {
+                device: String::decode(input)?,
+                epoch: u64::decode(input)?,
+            },
+            TAG_INVALIDATE_ALL_BEFORE => JournalRecord::InvalidateAllBefore {
+                epoch: u64::decode(input)?,
+            },
+            _ => return None,
+        };
+        if input.is_empty() {
+            Some(record)
+        } else {
+            None // trailing garbage inside a record is corruption
+        }
+    }
+}
+
+/// The append side of the journal.
+#[derive(Debug)]
+struct JournalWriter {
+    file: File,
+    records: u64,
+}
+
+impl JournalWriter {
+    fn append(&mut self, payload: &[u8]) -> io::Result<()> {
+        let mut framed = Vec::with_capacity(payload.len() + 4);
+        (payload.len() as u32).encode(&mut framed);
+        framed.extend_from_slice(payload);
+        self.file.write_all(&framed)?;
+        self.file.flush()?;
+        self.records += 1;
+        Ok(())
+    }
+}
+
+/// Counters describing one [`DurableStore::open`] recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryReport {
+    /// Entries loaded from the snapshot.
+    pub snapshot_entries: usize,
+    /// Journal records replayed on top of the snapshot.
+    pub journal_records: usize,
+    /// `true` when a torn record terminated journal replay early (the
+    /// well-formed prefix was still applied).
+    pub journal_truncated: bool,
+}
+
+/// A [`ShardedStore`] that survives restarts: every mutation is appended
+/// to an on-disk journal, and [`Self::checkpoint`] compacts the journal
+/// into a versioned snapshot.
+///
+/// All methods take `&self`; share the store across worker threads behind
+/// an `Arc`. The warm-start tuner runs against `Arc<DurableStore>` via
+/// [`StoreBackend`].
+#[derive(Debug)]
+pub struct DurableStore<F, V> {
+    store: ShardedStore<F, V>,
+    journal: Mutex<JournalWriter>,
+    dir: PathBuf,
+    recovery: RecoveryReport,
+    journal_write_errors: AtomicU64,
+}
+
+impl<F, V> DurableStore<F, V>
+where
+    F: Codec + Hash + Eq + Clone,
+    V: Codec + Clone,
+{
+    /// Opens (or creates) the store persisted under `dir`: loads the
+    /// snapshot if present, replays the journal on top, and reopens the
+    /// journal for appending. Cache metrics start at zero — recovery
+    /// inserts are not client traffic.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or a snapshot/journal header with the wrong magic or
+    /// an unsupported version.
+    pub fn open(dir: &Path, num_shards: usize, capacity_per_shard: usize) -> io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        let store = ShardedStore::new(num_shards, capacity_per_shard);
+        let mut recovery = RecoveryReport::default();
+
+        let snapshot_path = dir.join(SNAPSHOT_FILE);
+        if snapshot_path.exists() {
+            let mut bytes = Vec::new();
+            File::open(&snapshot_path)?.read_to_end(&mut bytes)?;
+            let entries = decode_entries::<F, V>(&bytes)?;
+            recovery.snapshot_entries = entries.len();
+            for (device, epoch, fp, value) in entries {
+                store.insert(&device, epoch, fp, value);
+            }
+        }
+
+        let journal_path = dir.join(JOURNAL_FILE);
+        if journal_path.exists() {
+            let mut bytes = Vec::new();
+            File::open(&journal_path)?.read_to_end(&mut bytes)?;
+            let mut input = bytes.as_slice();
+            check_header(&mut input, JOURNAL_MAGIC, "journal header")?;
+            // Bytes of well-formed journal prefix (header + valid records):
+            // a torn tail is truncated to this length before reopening for
+            // append, so post-recovery records never land behind garbage
+            // (which the next open's replay would discard).
+            let mut valid_len = bytes.len() - input.len();
+            loop {
+                if input.is_empty() {
+                    break;
+                }
+                let remaining_before = input.len();
+                let framed = (|| {
+                    let len = u32::decode(&mut input)? as usize;
+                    let payload = take(&mut input, len)?;
+                    JournalRecord::<F, V>::decode_payload(payload)
+                })();
+                let Some(record) = framed else {
+                    // Torn tail from a crash mid-append: the well-formed
+                    // prefix is the durable history; stop here.
+                    recovery.journal_truncated = true;
+                    break;
+                };
+                valid_len += remaining_before - input.len();
+                recovery.journal_records += 1;
+                match record {
+                    JournalRecord::Insert {
+                        device,
+                        epoch,
+                        fingerprint,
+                        value,
+                    } => store.insert(&device, epoch, fingerprint, value),
+                    JournalRecord::Remove {
+                        device,
+                        epoch,
+                        fingerprint,
+                    } => {
+                        store.remove(&device, epoch, &fingerprint);
+                    }
+                    JournalRecord::InvalidateBefore { device, epoch } => {
+                        store.invalidate_before(&device, epoch);
+                    }
+                    JournalRecord::InvalidateAllBefore { epoch } => {
+                        store.invalidate_all_before(epoch);
+                    }
+                }
+            }
+            if recovery.journal_truncated {
+                let file = OpenOptions::new().write(true).open(&journal_path)?;
+                file.set_len(valid_len as u64)?;
+                file.sync_all()?;
+            }
+        } else {
+            let mut file = File::create(&journal_path)?;
+            file.write_all(&JOURNAL_MAGIC)?;
+            let mut v = Vec::new();
+            FORMAT_VERSION.encode(&mut v);
+            file.write_all(&v)?;
+            file.flush()?;
+        }
+
+        let file = OpenOptions::new().append(true).open(&journal_path)?;
+        store.reset_metrics();
+        Ok(DurableStore {
+            store,
+            journal: Mutex::new(JournalWriter {
+                file,
+                records: recovery.journal_records as u64,
+            }),
+            dir: dir.to_path_buf(),
+            recovery,
+            journal_write_errors: AtomicU64::new(0),
+        })
+    }
+
+    /// What [`Self::open`] recovered from disk.
+    pub fn recovery(&self) -> RecoveryReport {
+        self.recovery
+    }
+
+    /// Journal appends that failed with an I/O error since open. The
+    /// in-memory store stays correct when this is non-zero, but
+    /// durability of those mutations is lost; a daemon should checkpoint
+    /// and alert.
+    pub fn journal_write_errors(&self) -> u64 {
+        self.journal_write_errors.load(Ordering::Relaxed)
+    }
+
+    /// Records appended to the journal since the last checkpoint
+    /// (including replayed ones at open).
+    pub fn journal_records(&self) -> u64 {
+        self.journal.lock().expect("journal lock").records
+    }
+
+    /// Applies a mutation and appends its record — but only when `apply`
+    /// reports it was effectful, so no-op removals/invalidations (a guard
+    /// discarding an already-evicted seed, a fresh epoch with nothing
+    /// stale) don't bloat the journal and slow every future replay.
+    ///
+    /// Journal lock first, shard lock second (inside `apply`): journal
+    /// order always matches store mutation order.
+    fn journaled(
+        &self,
+        record: JournalRecord<F, V>,
+        apply: impl FnOnce(&ShardedStore<F, V>) -> bool,
+    ) {
+        let mut journal = self.journal.lock().expect("journal lock");
+        if apply(&self.store) && journal.append(&record.encode_payload()).is_err() {
+            self.journal_write_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Looks up a fingerprint — shard lock only, never journaled.
+    pub fn lookup(&self, device: &str, epoch: u64, fingerprint: &F) -> Option<V> {
+        self.store.lookup(device, epoch, fingerprint)
+    }
+
+    /// Inserts an entry and journals the mutation.
+    pub fn insert(&self, device: &str, epoch: u64, fingerprint: F, value: V) {
+        self.journaled(
+            JournalRecord::Insert {
+                device: device.to_string(),
+                epoch,
+                fingerprint: fingerprint.clone(),
+                value: value.clone(),
+            },
+            |s| {
+                s.insert(device, epoch, fingerprint, value);
+                true
+            },
+        );
+    }
+
+    /// Removes one entry and journals the mutation.
+    pub fn remove(&self, device: &str, epoch: u64, fingerprint: &F) -> bool {
+        let mut existed = false;
+        self.journaled(
+            JournalRecord::Remove {
+                device: device.to_string(),
+                epoch,
+                fingerprint: fingerprint.clone(),
+            },
+            |s| {
+                existed = s.remove(device, epoch, fingerprint);
+                existed
+            },
+        );
+        existed
+    }
+
+    /// Drops a device's stale-epoch entries and journals the event.
+    pub fn invalidate_before(&self, device: &str, epoch: u64) -> usize {
+        let mut dropped = 0;
+        self.journaled(
+            JournalRecord::InvalidateBefore {
+                device: device.to_string(),
+                epoch,
+            },
+            |s| {
+                dropped = s.invalidate_before(device, epoch);
+                dropped > 0
+            },
+        );
+        dropped
+    }
+
+    /// Fleet-wide drift broadcast: drops stale-epoch entries on every
+    /// shard and journals the event.
+    pub fn invalidate_all_before(&self, epoch: u64) -> usize {
+        let mut dropped = 0;
+        self.journaled(JournalRecord::InvalidateAllBefore { epoch }, |s| {
+            dropped = s.invalidate_all_before(epoch);
+            dropped > 0
+        });
+        dropped
+    }
+
+    /// Writes a fresh snapshot atomically (temp file + rename) and
+    /// truncates the journal. Blocks mutations (journal lock) for the
+    /// duration; lookups keep flowing.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures; the previous snapshot and journal stay intact.
+    pub fn checkpoint(&self) -> io::Result<()> {
+        let mut journal = self.journal.lock().expect("journal lock");
+        let bytes = encode_entries(&self.store.export_entries());
+        let tmp = self.dir.join("store.snapshot.tmp");
+        {
+            let mut file = File::create(&tmp)?;
+            file.write_all(&bytes)?;
+            file.sync_all()?;
+        }
+        std::fs::rename(&tmp, self.dir.join(SNAPSHOT_FILE))?;
+        let journal_path = self.dir.join(JOURNAL_FILE);
+        let mut file = File::create(&journal_path)?;
+        file.write_all(&JOURNAL_MAGIC)?;
+        let mut v = Vec::new();
+        FORMAT_VERSION.encode(&mut v);
+        file.write_all(&v)?;
+        file.flush()?;
+        *journal = JournalWriter { file, records: 0 };
+        Ok(())
+    }
+
+    /// Total live entries.
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Returns `true` when the store holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// Aggregate cache counters since open (recovery inserts excluded).
+    pub fn metrics(&self) -> CacheMetrics {
+        self.store.metrics()
+    }
+
+    /// Per-shard observability snapshots.
+    pub fn shard_metrics(&self) -> Vec<ShardMetrics> {
+        self.store.shard_metrics()
+    }
+
+    /// Zeroes the cache counters on every shard.
+    pub fn reset_metrics(&self) {
+        self.store.reset_metrics()
+    }
+
+    /// The shard a device routes to (see [`ShardedStore::shard_of`]).
+    pub fn shard_of(&self, device: &str) -> usize {
+        self.store.shard_of(device)
+    }
+
+    /// Every live entry in snapshot order.
+    pub fn export_entries(&self) -> Vec<(String, u64, F, V)> {
+        self.store.export_entries()
+    }
+}
+
+impl<F, V> StoreBackend<F, V> for std::sync::Arc<DurableStore<F, V>>
+where
+    F: Codec + Hash + Eq + Clone,
+    V: Codec + Clone,
+{
+    fn lookup(&mut self, device: &str, epoch: u64, fingerprint: &F) -> Option<V> {
+        DurableStore::lookup(self, device, epoch, fingerprint)
+    }
+
+    fn publish(&mut self, device: &str, epoch: u64, fingerprint: F, value: V) {
+        DurableStore::insert(self, device, epoch, fingerprint, value);
+    }
+
+    fn discard(&mut self, device: &str, epoch: u64, fingerprint: &F) -> bool {
+        DurableStore::remove(self, device, epoch, fingerprint)
+    }
+
+    fn invalidate_device_before(&mut self, device: &str, epoch: u64) -> usize {
+        DurableStore::invalidate_before(self, device, epoch)
+    }
+
+    fn metrics_snapshot(&self) -> CacheMetrics {
+        self.metrics()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("vaqem-persist-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn primitive_codecs_round_trip() {
+        let mut buf = Vec::new();
+        42u8.encode(&mut buf);
+        7u16.encode(&mut buf);
+        9u32.encode(&mut buf);
+        u64::MAX.encode(&mut buf);
+        (-3i16).encode(&mut buf);
+        1.5f64.encode(&mut buf);
+        true.encode(&mut buf);
+        "fleet-east".to_string().encode(&mut buf);
+        let mut input = buf.as_slice();
+        assert_eq!(u8::decode(&mut input), Some(42));
+        assert_eq!(u16::decode(&mut input), Some(7));
+        assert_eq!(u32::decode(&mut input), Some(9));
+        assert_eq!(u64::decode(&mut input), Some(u64::MAX));
+        assert_eq!(i16::decode(&mut input), Some(-3));
+        assert_eq!(f64::decode(&mut input), Some(1.5));
+        assert_eq!(bool::decode(&mut input), Some(true));
+        assert_eq!(String::decode(&mut input), Some("fleet-east".into()));
+        assert!(input.is_empty());
+        assert_eq!(u8::decode(&mut input), None, "empty input fails cleanly");
+    }
+
+    #[test]
+    fn journal_replay_restores_content() {
+        let dir = temp_dir("journal");
+        {
+            let store: DurableStore<u64, u64> = DurableStore::open(&dir, 4, 64).unwrap();
+            store.insert("a", 0, 1, 10);
+            store.insert("a", 0, 2, 20);
+            store.insert("b", 1, 1, 30);
+            store.remove("a", 0, &2);
+            store.invalidate_before("b", 1); // no-op: entry is at epoch 1
+            assert!(!store.remove("a", 0, &2), "second removal is a no-op");
+            assert_eq!(
+                store.journal_records(),
+                4,
+                "no-op removals/invalidations are not journaled"
+            );
+            assert_eq!(store.journal_write_errors(), 0);
+            // No checkpoint: the journal alone carries the state.
+        }
+        let reloaded: DurableStore<u64, u64> = DurableStore::open(&dir, 4, 64).unwrap();
+        assert_eq!(reloaded.recovery().journal_records, 4);
+        assert_eq!(reloaded.recovery().snapshot_entries, 0);
+        assert_eq!(reloaded.len(), 2);
+        assert_eq!(reloaded.lookup("a", 0, &1), Some(10));
+        assert_eq!(reloaded.lookup("a", 0, &2), None);
+        assert_eq!(reloaded.lookup("b", 1, &1), Some(30));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_compacts_and_preserves_lru_order() {
+        let dir = temp_dir("checkpoint");
+        let before;
+        {
+            let store: DurableStore<u64, u64> = DurableStore::open(&dir, 2, 64).unwrap();
+            for k in 0..16u64 {
+                store.insert("dev", 0, k, k * 2);
+            }
+            store.lookup("dev", 0, &3); // refresh: 3 becomes newest
+            store.checkpoint().unwrap();
+            assert_eq!(store.journal_records(), 0, "checkpoint truncates");
+            store.insert("dev", 0, 99, 198); // post-checkpoint journal tail
+            before = store.export_entries();
+        }
+        let reloaded: DurableStore<u64, u64> = DurableStore::open(&dir, 2, 64).unwrap();
+        assert_eq!(reloaded.recovery().snapshot_entries, 16);
+        assert_eq!(reloaded.recovery().journal_records, 1);
+        assert_eq!(
+            reloaded.export_entries(),
+            before,
+            "content and order survive"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_journal_tail_is_ignored() {
+        let dir = temp_dir("torn");
+        {
+            let store: DurableStore<u64, u64> = DurableStore::open(&dir, 2, 64).unwrap();
+            store.insert("dev", 0, 1, 10);
+            store.insert("dev", 0, 2, 20);
+        }
+        // Simulate a crash mid-append: a length prefix promising more
+        // bytes than exist.
+        {
+            let mut f = OpenOptions::new()
+                .append(true)
+                .open(dir.join(JOURNAL_FILE))
+                .unwrap();
+            f.write_all(&[200, 0, 0, 0, TAG_INSERT, 1, 2]).unwrap();
+        }
+        let reloaded: DurableStore<u64, u64> = DurableStore::open(&dir, 2, 64).unwrap();
+        assert!(reloaded.recovery().journal_truncated);
+        assert_eq!(reloaded.recovery().journal_records, 2);
+        assert_eq!(reloaded.len(), 2, "well-formed prefix still applied");
+        // The torn bytes were truncated away, so post-recovery mutations
+        // append cleanly and survive the *next* restart too.
+        reloaded.insert("dev", 0, 3, 30);
+        drop(reloaded);
+        let again: DurableStore<u64, u64> = DurableStore::open(&dir, 2, 64).unwrap();
+        assert!(!again.recovery().journal_truncated, "tail was repaired");
+        assert_eq!(again.recovery().journal_records, 3);
+        assert_eq!(
+            again.lookup("dev", 0, &3),
+            Some(30),
+            "post-recovery record durable"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wrong_magic_fails_loudly() {
+        let dir = temp_dir("magic");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(SNAPSHOT_FILE), b"NOPE\x01\x00\x00\x00").unwrap();
+        let err = DurableStore::<u64, u64>::open(&dir, 2, 64).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn invalidate_all_before_is_journaled() {
+        let dir = temp_dir("broadcast");
+        {
+            let store: DurableStore<u64, u64> = DurableStore::open(&dir, 4, 64).unwrap();
+            store.insert("a", 0, 1, 1);
+            store.insert("b", 0, 1, 2);
+            store.insert("b", 3, 1, 3);
+            assert_eq!(store.invalidate_all_before(2), 2);
+        }
+        let reloaded: DurableStore<u64, u64> = DurableStore::open(&dir, 4, 64).unwrap();
+        assert_eq!(reloaded.len(), 1);
+        assert_eq!(reloaded.lookup("b", 3, &1), Some(3));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn concurrent_mutations_replay_consistently() {
+        let dir = temp_dir("concurrent");
+        {
+            let store = std::sync::Arc::new(DurableStore::<u64, u64>::open(&dir, 4, 1024).unwrap());
+            let threads: Vec<_> = (0..4)
+                .map(|t| {
+                    let store = std::sync::Arc::clone(&store);
+                    std::thread::spawn(move || {
+                        for k in 0..32u64 {
+                            store.insert(&format!("dev-{t}"), 0, k, t * 100 + k);
+                        }
+                    })
+                })
+                .collect();
+            for t in threads {
+                t.join().unwrap();
+            }
+            assert_eq!(store.len(), 128);
+            assert_eq!(store.journal_write_errors(), 0);
+        }
+        let reloaded: DurableStore<u64, u64> = DurableStore::open(&dir, 4, 1024).unwrap();
+        assert_eq!(reloaded.len(), 128);
+        for t in 0..4u64 {
+            for k in 0..32u64 {
+                assert_eq!(
+                    reloaded.lookup(&format!("dev-{t}"), 0, &k),
+                    Some(t * 100 + k)
+                );
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

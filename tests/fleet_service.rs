@@ -1,0 +1,187 @@
+//! Concurrency parity for the shared fleet store: N threads warm-tuning
+//! identical fingerprints must produce guard-accepted configurations
+//! identical to the single-threaded replay.
+//!
+//! Clients on one device share the machine's trajectory streams, so the
+//! tuner's result is a pure function of `(problem, backend seed, store
+//! content)` — thread interleavings can change who publishes first, never
+//! what gets published. This test pins that:
+//!
+//! * N threads racing on a **cold** shared store all converge to the
+//!   plain (storeless) tuner's configuration;
+//! * N threads on a **warmed** store all hit every window and reproduce
+//!   the cold configuration exactly while spending only guard
+//!   evaluations.
+
+use std::sync::Arc;
+
+use vaqem_suite::device::noise::NoiseParameters;
+use vaqem_suite::mathkit::rng::SeedStream;
+use vaqem_suite::mitigation::dd::DdSequence;
+use vaqem_suite::pauli::models::tfim_paper;
+use vaqem_suite::runtime::store::ShardedStore;
+use vaqem_suite::vaqem::backend::QuantumBackend;
+use vaqem_suite::vaqem::vqe::VqeProblem;
+use vaqem_suite::vaqem::window_tuner::{
+    CachedChoice, FleetCacheSession, WindowFingerprint, WindowTuner, WindowTunerConfig,
+};
+
+type SharedStore = Arc<ShardedStore<WindowFingerprint, CachedChoice>>;
+
+const NUM_THREADS: usize = 4;
+
+fn small_problem() -> VqeProblem {
+    use vaqem_suite::ansatz::su2::{EfficientSu2, Entanglement};
+    let ansatz = EfficientSu2::new(3, 1, Entanglement::Linear)
+        .circuit()
+        .unwrap();
+    VqeProblem::new("tiny", tfim_paper(3), ansatz).unwrap()
+}
+
+fn backend(seed: u64) -> QuantumBackend {
+    QuantumBackend::new(NoiseParameters::uniform(3), SeedStream::new(seed)).with_shots(128)
+}
+
+fn tiny_config() -> WindowTunerConfig {
+    WindowTunerConfig {
+        sweep_resolution: 3,
+        dd_sequence: DdSequence::Xx,
+        max_repetitions: 4,
+        guard_repeats: 2,
+    }
+}
+
+/// Warm-tunes once against the shared store on `device`, returning the
+/// report. Each caller builds its own backend from the same seed — the
+/// "clients share the machine" model.
+fn tune_once(
+    problem: &VqeProblem,
+    seed: u64,
+    store: &SharedStore,
+    device: &str,
+) -> vaqem_suite::vaqem::window_tuner::WarmTuneReport {
+    let b = backend(seed);
+    let tuner = WindowTuner::new(problem, &b, tiny_config());
+    let params = vec![0.3; problem.num_params()];
+    let mut handle = Arc::clone(store);
+    let mut session = FleetCacheSession {
+        store: &mut handle,
+        device,
+        epoch: 0,
+        calibration: &NoiseParameters::uniform(3),
+    };
+    tuner.tune_dd_warm(&params, &mut session).unwrap()
+}
+
+#[test]
+fn concurrent_warm_tuning_matches_single_threaded_replay() {
+    let problem = small_problem();
+    let params = vec![0.3; problem.num_params()];
+
+    // Deterministically pin a seed whose cold guard accepts (rejection
+    // under shot noise is valid tuner behavior but would leave nothing
+    // in the store to race on) — same scan pattern as tests/fleet_cache.rs.
+    let mut pinned = None;
+    for seed in 21..36 {
+        let b = backend(seed);
+        let tuner = WindowTuner::new(&problem, &b, tiny_config());
+        let plain = tuner.tune_dd(&params).unwrap();
+        let rejected = {
+            let store: SharedStore = Arc::new(ShardedStore::new(4, 256));
+            tune_once(&problem, seed, &store, "dev-race")
+                .stats
+                .guard_rejected
+        };
+        if !rejected {
+            pinned = Some((seed, plain));
+            break;
+        }
+    }
+    let (seed, plain) = pinned.expect("some seed's cold guard accepts");
+
+    // Phase 1: N threads race on a COLD shared store. Whoever finishes
+    // first publishes; later threads may warm-start mid-run. Either way
+    // every thread must converge to the plain tuner's configuration.
+    let store: SharedStore = Arc::new(ShardedStore::new(4, 256));
+    let cold_reports: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..NUM_THREADS)
+            .map(|_| {
+                let store = Arc::clone(&store);
+                let problem = &problem;
+                scope.spawn(move || tune_once(problem, seed, &store, "dev-race"))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for report in &cold_reports {
+        assert!(
+            !report.stats.guard_rejected,
+            "shared trajectories re-verify"
+        );
+        assert_eq!(
+            report.tuned.config, plain.config,
+            "every racing thread converges to the single-threaded config"
+        );
+    }
+    let windows = plain.dd_choices.len();
+    assert!(windows > 0);
+
+    // Phase 2: N threads on the WARMED store. All hits, all identical,
+    // all cheaper than the cold plain run.
+    let warm_reports: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..NUM_THREADS)
+            .map(|_| {
+                let store = Arc::clone(&store);
+                let problem = &problem;
+                scope.spawn(move || tune_once(problem, seed, &store, "dev-race"))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for report in &warm_reports {
+        assert_eq!(report.stats.misses, 0, "warmed store answers every window");
+        assert!(report.stats.hits > 0);
+        assert!(!report.stats.guard_rejected);
+        assert_eq!(report.tuned.config, plain.config);
+        assert!(report.tuned.evaluations < plain.evaluations);
+    }
+
+    // The store held exactly one entry per swept window throughout: the
+    // racing publishers were idempotent.
+    assert_eq!(
+        store.len(),
+        cold_reports[0].stats.hits + cold_reports[0].stats.misses,
+        "same fingerprints overwrite, never duplicate"
+    );
+    let m = store.metrics();
+    assert!(m.hits > 0 && m.insertions > 0);
+}
+
+#[test]
+fn devices_race_on_disjoint_shards_without_contention() {
+    // Two devices on shards of their own: concurrent tuning on different
+    // devices must never block on a shard lock.
+    let problem = small_problem();
+    let store: SharedStore = Arc::new(ShardedStore::new(8, 256));
+    let (east, west) = ("fleet-east", "fleet-west");
+    assert_ne!(store.shard_of(east), store.shard_of(west));
+
+    std::thread::scope(|scope| {
+        for device in [east, west] {
+            let store = Arc::clone(&store);
+            let problem = &problem;
+            scope.spawn(move || {
+                for _ in 0..2 {
+                    tune_once(problem, 23, &store, device);
+                }
+            });
+        }
+    });
+
+    let per_shard = store.shard_metrics();
+    let contended: u64 = per_shard.iter().map(|s| s.lock_contended).sum();
+    assert_eq!(contended, 0, "cross-device traffic never meets on a lock");
+    // Both device shards saw traffic.
+    assert!(per_shard[store.shard_of(east)].lock_acquisitions > 0);
+    assert!(per_shard[store.shard_of(west)].lock_acquisitions > 0);
+}
