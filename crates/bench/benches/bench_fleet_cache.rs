@@ -33,6 +33,7 @@ fn tuner_config() -> WindowTunerConfig {
         dd_sequence: DdSequence::Xy4,
         max_repetitions: 8,
         guard_repeats: 2,
+        ..WindowTunerConfig::default()
     }
 }
 
@@ -103,18 +104,18 @@ fn bench_store_operations(c: &mut Criterion) {
             )
         })
         .collect();
-    let choice = vaqem::window_tuner::CachedChoice {
+    let choice = vaqem::window_tuner::StoredChoice::Window(vaqem::window_tuner::CachedChoice {
         fraction_of_max: 0.5,
         value: 2.0,
         objective: -1.0,
-    };
+    });
 
     let mut group = c.benchmark_group("fleet_store");
     group.bench_function(CriterionId::from_parameter("insert_get"), |b| {
         b.iter(|| {
             let mut store = MitigationConfigStore::new(1024);
             for fp in &fingerprints {
-                store.insert("bench-dev", 0, *fp, choice);
+                store.insert("bench-dev", 0, *fp, choice.clone());
             }
             fingerprints
                 .iter()

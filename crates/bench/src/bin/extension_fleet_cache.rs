@@ -103,6 +103,7 @@ fn main() {
         dd_sequence: DdSequence::Xy4,
         max_repetitions: 8,
         guard_repeats: 3,
+        ..WindowTunerConfig::default()
     };
 
     // The shared fleet store and the pricing model.

@@ -220,6 +220,7 @@ fn main() {
             dd_sequence: DdSequence::Xy4,
             max_repetitions: 8,
             guard_repeats: 3,
+            ..WindowTunerConfig::default()
         },
         profile: WorkloadProfile {
             num_qubits,

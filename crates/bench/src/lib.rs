@@ -3,7 +3,7 @@
 //! Shared infrastructure for the figure/table regeneration binaries and the
 //! Criterion benches. Every table and figure of the paper's evaluation has
 //! a `src/bin/` binary that prints the corresponding rows/series; see
-//! `EXPERIMENTS.md` at the repository root for the index and for
+//! `DESIGN.md` at the repository root for the experiment index and for
 //! paper-vs-measured comparisons.
 //!
 //! Set `VAQEM_QUICK=1` to run the heavyweight pipeline binaries with

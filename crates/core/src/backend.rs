@@ -133,6 +133,27 @@ impl<E: Executor> QuantumBackend<E> {
         }
     }
 
+    /// Builds the job for one ZNE noise scale: applies the schedule-level
+    /// part of `config` (GS/DD — [`MitigationConfig::apply`] ignores the
+    /// ZNE field), then folds the mitigated schedule `folds` times on its
+    /// own timeline ([`vaqem_mitigation::zne::fold_schedule`]), so the
+    /// amplified circuit carries the tuned mitigation structure in every
+    /// segment. With `folds == 0` this is exactly [`Self::prepare_job`].
+    pub fn prepare_zne_job(
+        &self,
+        base: &ScheduledCircuit,
+        config: &MitigationConfig,
+        folds: usize,
+        job_index: u64,
+    ) -> Job {
+        let mitigated = config.apply_under(base, &self.durations);
+        Job {
+            scheduled: vaqem_mitigation::zne::fold_schedule(&mitigated, folds),
+            shots: self.shots,
+            seed: job_index,
+        }
+    }
+
     /// Runs a batch of jobs in parallel through the executor, applying MEM
     /// post-processing per job when calibrated. Results are in job order
     /// and bit-identical to running the jobs one at a time.

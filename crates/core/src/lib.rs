@@ -18,8 +18,11 @@
 //! * [`pipeline::tune_angles`] — SPSA angle tuning on the ideal simulator,
 //! * [`window_tuner`] — the independent per-window EM tuner (§VI-C), plus
 //!   the fleet-scale warm-start path: canonical window fingerprints and
-//!   the shared `(device, epoch, fingerprint)` config store,
-//! * [`pipeline`] — all §VII-B comparison strategies,
+//!   the shared `(device, epoch, fingerprint)` config store, and the §IX
+//!   ZNE stage: tuned zero-noise-extrapolation protocols, composed
+//!   `(gs, dd, zne)` configurations cached as one unit,
+//! * [`pipeline`] — all §VII-B comparison strategies (+ the ZNE
+//!   extension strategies),
 //! * [`benchmarks`] — the seven Table I applications,
 //! * [`soundness`] — the §V variational-bound checks,
 //! * [`metrics`] — the Fig. 12/13 reporting metrics.
@@ -44,7 +47,7 @@ pub use pipeline::{
 };
 pub use vqe::{GroupSchedules, VqeProblem};
 pub use window_tuner::{
-    window_fingerprint, CachedChoice, FleetCacheSession, MitigationConfigStore, NoiseClass,
-    TunedMitigation, TuningMode, WarmStats, WarmTuneReport, WindowFingerprint, WindowTuner,
-    WindowTunerConfig,
+    circuit_fingerprint, window_fingerprint, CachedChoice, ComposedChoice, FleetCacheSession,
+    MitigationConfigStore, NoiseClass, StoredChoice, TunedMitigation, TuningMode, WarmStats,
+    WarmTuneReport, WindowFingerprint, WindowTuner, WindowTunerConfig,
 };

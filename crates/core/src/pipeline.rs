@@ -8,7 +8,12 @@
 //! * `No-EM` — ALAP scheduling, no DD, no MEM (worst case),
 //! * `Baseline/MEM` — ALAP + measurement error mitigation,
 //! * `DD (XX | XY4)` — one uniform DD round per window, MEM on,
-//! * `VAQEM: GS | XX | XY | GS+XY` — variationally tuned mitigation, MEM on.
+//! * `VAQEM: GS | XX | XY | GS+XY` — variationally tuned mitigation, MEM on,
+//!
+//! plus the §IX ZNE extension strategies (`ZNE (fixed)`, `VAQEM: ZNE`,
+//! `VAQEM: GS+XY+ZNE` — see [`Strategy::WITH_ZNE`]): zero-noise
+//! extrapolation as a fixed protocol, as a tuned protocol, and composed
+//! on top of the tuned GS+DD configuration.
 
 use crate::backend::QuantumBackend;
 use crate::error::VaqemError;
@@ -23,6 +28,7 @@ use vaqem_device::noise::NoiseParameters;
 use vaqem_mathkit::rng::SeedStream;
 use vaqem_mitigation::combined::MitigationConfig;
 use vaqem_mitigation::dd::{DdPass, DdSequence};
+use vaqem_mitigation::zne::ZneConfig;
 use vaqem_optim::spsa::{self, SpsaConfig};
 
 /// The evaluation strategies of §VII-B.
@@ -44,6 +50,16 @@ pub enum Strategy {
     VaqemXy,
     /// VAQEM-tuned GS then XY4 (+ MEM) — the headline configuration.
     VaqemGsXy,
+    /// One fixed round of ZNE (`ZneConfig::standard`, + MEM) — the naive
+    /// comparison for the §IX extension, analogous to the uniform-DD
+    /// baselines.
+    ZneFixed,
+    /// VAQEM-tuned ZNE protocol (+ MEM): scale-factor set and
+    /// extrapolation model swept under the acceptance guard.
+    VaqemZne,
+    /// The full composition: VAQEM-tuned GS, then XY4, then ZNE (+ MEM)
+    /// — "VAQEM: GS+XY+ZNE".
+    VaqemGsXyZne,
 }
 
 impl Strategy {
@@ -59,6 +75,22 @@ impl Strategy {
         Strategy::VaqemGsXy,
     ];
 
+    /// [`Self::ALL`] extended with the §IX ZNE strategies, in
+    /// fixed-before-tuned order.
+    pub const WITH_ZNE: [Strategy; 11] = [
+        Strategy::NoEm,
+        Strategy::MemBaseline,
+        Strategy::VaqemGs,
+        Strategy::DdXy,
+        Strategy::VaqemXy,
+        Strategy::DdXx,
+        Strategy::VaqemXx,
+        Strategy::VaqemGsXy,
+        Strategy::ZneFixed,
+        Strategy::VaqemZne,
+        Strategy::VaqemGsXyZne,
+    ];
+
     /// Display label matching the paper's legends.
     pub fn label(self) -> &'static str {
         match self {
@@ -70,14 +102,22 @@ impl Strategy {
             Strategy::VaqemXx => "VAQEM: XX",
             Strategy::VaqemXy => "VAQEM: XY",
             Strategy::VaqemGsXy => "VAQEM: GS+XY",
+            Strategy::ZneFixed => "ZNE (fixed)",
+            Strategy::VaqemZne => "VAQEM: ZNE",
+            Strategy::VaqemGsXyZne => "VAQEM: GS+XY+ZNE",
         }
     }
 
-    /// Returns `true` for strategies that require the per-window tuner.
+    /// Returns `true` for strategies that require the variational tuner.
     pub fn is_vaqem(self) -> bool {
         matches!(
             self,
-            Strategy::VaqemGs | Strategy::VaqemXx | Strategy::VaqemXy | Strategy::VaqemGsXy
+            Strategy::VaqemGs
+                | Strategy::VaqemXx
+                | Strategy::VaqemXy
+                | Strategy::VaqemGsXy
+                | Strategy::VaqemZne
+                | Strategy::VaqemGsXyZne
         )
     }
 }
@@ -282,6 +322,8 @@ pub fn run_pipeline_with_cache<S: MitigationStoreBackend>(
     let mut tuned_xx: Option<TunedMitigation> = None;
     let mut tuned_xy: Option<TunedMitigation> = None;
     let mut tuned_combined: Option<TunedMitigation> = None;
+    let mut tuned_zne: Option<TunedMitigation> = None;
+    let mut tuned_combined_zne: Option<TunedMitigation> = None;
 
     let tuner_config = |seq: DdSequence| WindowTunerConfig {
         sweep_resolution: config.sweep_resolution,
@@ -376,6 +418,48 @@ pub fn run_pipeline_with_cache<S: MitigationStoreBackend>(
                     });
                 }
                 let t = tuned_combined.as_ref().expect("just set");
+                (t.config.clone(), t.evaluations)
+            }
+            Strategy::ZneFixed => (
+                MitigationConfig::zero_noise_extrapolation(ZneConfig::standard()),
+                0,
+            ),
+            Strategy::VaqemZne => {
+                if tuned_zne.is_none() {
+                    let tuner = WindowTuner::new(problem, &backend, tuner_config(DdSequence::Xy4));
+                    tuned_zne = Some(match session.as_deref_mut() {
+                        Some(s) => {
+                            let report = tuner.tune_zne_warm(&params, s)?;
+                            usage
+                                .as_mut()
+                                .expect("usage set with session")
+                                .absorb(report.stats);
+                            report.tuned
+                        }
+                        None => tuner.tune_zne(&params)?,
+                    });
+                }
+                let t = tuned_zne.as_ref().expect("just set");
+                (t.config.clone(), t.evaluations)
+            }
+            Strategy::VaqemGsXyZne => {
+                if tuned_combined_zne.is_none() {
+                    let tuner = WindowTuner::new(problem, &backend, tuner_config(DdSequence::Xy4));
+                    tuned_combined_zne = Some(match session.as_deref_mut() {
+                        Some(s) => {
+                            // The composed (dd, gs, zne) choice is cached
+                            // as one unit — see tune_combined_zne_warm.
+                            let report = tuner.tune_combined_zne_warm(&params, s)?;
+                            usage
+                                .as_mut()
+                                .expect("usage set with session")
+                                .absorb(report.stats);
+                            report.tuned
+                        }
+                        None => tuner.tune_combined_zne(&params)?,
+                    });
+                }
+                let t = tuned_combined_zne.as_ref().expect("just set");
                 (t.config.clone(), t.evaluations)
             }
         };
@@ -565,5 +649,41 @@ mod tests {
         assert_eq!(Strategy::MemBaseline.label(), "MEM (Base)");
         assert!(Strategy::VaqemXy.is_vaqem());
         assert!(!Strategy::DdXy.is_vaqem());
+        assert_eq!(Strategy::VaqemGsXyZne.label(), "VAQEM: GS+XY+ZNE");
+        assert!(Strategy::VaqemZne.is_vaqem());
+        assert!(!Strategy::ZneFixed.is_vaqem());
+        assert_eq!(&Strategy::WITH_ZNE[..Strategy::ALL.len()], &Strategy::ALL);
+    }
+
+    #[test]
+    fn zne_strategies_run_end_to_end() {
+        let p = tiny_problem();
+        let noise = vaqem_device::noise::NoiseParameters::uniform(2);
+        let cfg = PipelineConfig::quick();
+        let run = run_pipeline(
+            &p,
+            &noise,
+            &cfg,
+            &[
+                Strategy::MemBaseline,
+                Strategy::ZneFixed,
+                Strategy::VaqemZne,
+            ],
+        )
+        .unwrap();
+        assert_eq!(run.results.len(), 3);
+        let fixed = run.result(Strategy::ZneFixed).unwrap();
+        assert_eq!(fixed.config.zne, Some(ZneConfig::standard()));
+        assert_eq!(fixed.tuning_evaluations, 0, "fixed ZNE is not tuned");
+        let tuned = run.result(Strategy::VaqemZne).unwrap();
+        assert!(tuned.tuning_evaluations > 0);
+        for r in &run.results {
+            assert!(r.energy.is_finite());
+            assert!(crate::soundness::measured_energy_is_sound(
+                r.energy,
+                run.exact_ground,
+                0.5
+            ));
+        }
     }
 }

@@ -142,6 +142,16 @@ impl VqeProblem {
         job_index.wrapping_mul(131).wrapping_add(group as u64)
     }
 
+    /// Derives the sub-evaluation job index for one ZNE noise scale: a
+    /// distinct deterministic stream per `(evaluation, scale slot)` so the
+    /// amplified executions of one evaluation never share a noise stream
+    /// with each other or with any plain evaluation.
+    fn zne_scale_job_index(job_index: u64, scale_slot: usize) -> u64 {
+        job_index
+            .wrapping_mul(7919)
+            .wrapping_add(1 + scale_slot as u64)
+    }
+
     /// Schedules every measurement-group circuit for `params` once (ALAP,
     /// under the backend's duration table) — the base the batched paths
     /// stamp mitigation configs onto.
@@ -197,6 +207,18 @@ impl VqeProblem {
     /// Seed-deterministic and bit-identical to calling
     /// [`Self::machine_energy`] per pair: each job's seed derivation is
     /// shared with the sequential path.
+    ///
+    /// # Zero-noise extrapolation
+    ///
+    /// An evaluation whose config carries a
+    /// [`vaqem_mitigation::zne::ZneConfig`] expands into one job per
+    /// (noise scale, measurement group): the GS/DD-mitigated group
+    /// schedules are folded to each configured scale
+    /// ([`QuantumBackend::prepare_zne_job`]), all folded jobs ride the
+    /// same batch, and the per-scale energies are extrapolated back to
+    /// the zero-noise limit — the returned value is the extrapolated
+    /// estimate. Plain evaluations are byte-identical to the historical
+    /// path; mixing plain and ZNE evaluations in one batch is fine.
     pub fn machine_energy_batch<E: Executor>(
         &self,
         backend: &QuantumBackend<E>,
@@ -211,14 +233,49 @@ impl VqeProblem {
                 .map(|_| self.energy_from_group_counts(&[]))
                 .collect();
         }
-        let jobs: Vec<Job> = evals
-            .iter()
-            .flat_map(|(config, job_index)| self.energy_jobs(backend, cache, config, *job_index))
-            .collect();
+        let mut jobs: Vec<Job> = Vec::new();
+        for (config, job_index) in evals {
+            match &config.zne {
+                None => jobs.extend(self.energy_jobs(backend, cache, config, *job_index)),
+                Some(zne) => {
+                    for (slot, folds) in zne.fold_counts().into_iter().enumerate() {
+                        let sub = Self::zne_scale_job_index(*job_index, slot);
+                        jobs.extend(cache.schedules.iter().enumerate().map(|(gi, base)| {
+                            backend.prepare_zne_job(
+                                base,
+                                config,
+                                folds,
+                                Self::group_job_index(sub, gi),
+                            )
+                        }));
+                    }
+                }
+            }
+        }
         let counts = backend.run_jobs(&jobs);
-        counts
-            .chunks(self.groups.len())
-            .map(|per_group| self.energy_from_group_counts(per_group))
+        let g = self.groups.len();
+        let mut cursor = 0usize;
+        evals
+            .iter()
+            .map(|(config, _)| match &config.zne {
+                None => {
+                    let e = self.energy_from_group_counts(&counts[cursor..cursor + g]);
+                    cursor += g;
+                    e
+                }
+                Some(zne) => {
+                    let samples: Vec<(f64, f64)> = zne
+                        .fold_counts()
+                        .into_iter()
+                        .map(|folds| {
+                            let e = self.energy_from_group_counts(&counts[cursor..cursor + g]);
+                            cursor += g;
+                            (vaqem_mitigation::zne::scale_factor(folds), e)
+                        })
+                        .collect();
+                    zne.extrapolate(&samples)
+                }
+            })
             .collect()
     }
 
@@ -371,6 +428,54 @@ mod tests {
         );
         assert_eq!(batch.len(), 2);
         assert!(batch.iter().all(|e| (e - 1.5).abs() < 1e-12));
+    }
+
+    #[test]
+    fn zne_energy_matches_ideal_when_noiseless() {
+        // Folding a noiseless circuit changes nothing, so every scale
+        // measures the same distribution and the extrapolation returns a
+        // value statistically equal to the plain estimate.
+        use vaqem_mitigation::zne::ZneConfig;
+        let p = tfim_problem(2);
+        let backend = QuantumBackend::new(NoiseParameters::noiseless(2), SeedStream::new(11))
+            .with_shots(4096);
+        let params: Vec<f64> = (0..p.num_params()).map(|i| 0.2 * i as f64).collect();
+        let ideal = p.ideal_energy(&params).unwrap();
+        let cfg = MitigationConfig::zero_noise_extrapolation(ZneConfig::standard());
+        let zne = p.machine_energy(&backend, &params, &cfg, 3).unwrap();
+        assert!((zne - ideal).abs() < 0.15, "zne {zne} vs ideal {ideal}");
+    }
+
+    #[test]
+    fn zne_evaluations_are_deterministic_and_mix_with_plain() {
+        use vaqem_mitigation::zne::ZneConfig;
+        let p = tfim_problem(2);
+        let backend =
+            QuantumBackend::new(NoiseParameters::uniform(2), SeedStream::new(12)).with_shots(256);
+        let params = vec![0.3; p.num_params()];
+        let cache = p.schedule_groups(&backend, &params).unwrap();
+        let zne_cfg = MitigationConfig::zero_noise_extrapolation(ZneConfig::standard());
+        let evals = [
+            (MitigationConfig::baseline(), 7u64),
+            (zne_cfg.clone(), 8),
+            (MitigationConfig::baseline(), 9),
+        ];
+        let a = p.machine_energy_batch(&backend, &cache, &evals);
+        let b = p.machine_energy_batch(&backend, &cache, &evals);
+        assert_eq!(a, b, "ZNE batches replay bit-identically");
+        // Plain members are unaffected by the ZNE neighbor: they match a
+        // batch without it.
+        let plain = p.machine_energy_batch(
+            &backend,
+            &cache,
+            &[
+                (MitigationConfig::baseline(), 7),
+                (MitigationConfig::baseline(), 9),
+            ],
+        );
+        assert_eq!(a[0], plain[0]);
+        assert_eq!(a[2], plain[1]);
+        assert!(a[1].is_finite());
     }
 
     #[test]

@@ -50,6 +50,7 @@ use vaqem_device::noise::{NoiseParameters, QubitNoise};
 use vaqem_mitigation::combined::MitigationConfig;
 use vaqem_mitigation::dd::{DdPass, DdSequence};
 use vaqem_mitigation::scheduling::GsPass;
+use vaqem_mitigation::zne::{Extrapolation, ZneConfig};
 use vaqem_optim::sweep::{integer_candidates, position_candidates, sweep_minimize};
 use vaqem_runtime::cache::ConfigStore;
 use vaqem_runtime::persist::Codec;
@@ -71,6 +72,12 @@ pub struct WindowTunerConfig {
     /// shot noise lets a worse-than-baseline configuration through
     /// (paper §IX-C).
     pub guard_repeats: usize,
+    /// Candidate ZNE protocols [`WindowTuner::tune_zne`] sweeps (paper
+    /// §IX: scale-factor set and extrapolation model as variational
+    /// knobs). The default is [`ZneConfig::tuned_candidates`], which
+    /// always contains [`ZneConfig::standard`] — so a tuned sweep can
+    /// never measure worse than the fixed protocol within its own batch.
+    pub zne_candidates: Vec<ZneConfig>,
 }
 
 impl Default for WindowTunerConfig {
@@ -80,6 +87,7 @@ impl Default for WindowTunerConfig {
             dd_sequence: DdSequence::Xy4,
             max_repetitions: 24,
             guard_repeats: 4,
+            zne_candidates: ZneConfig::tuned_candidates(),
         }
     }
 }
@@ -111,17 +119,33 @@ pub struct TunedMitigation {
     pub dd_choices: Vec<WindowChoice>,
     /// Machine objective evaluations spent.
     pub evaluations: usize,
+    /// Of [`Self::evaluations`], how many executed **folded** (ZNE)
+    /// circuits — the candidate sweep plus the guard's tuned side of a
+    /// ZNE stage. Cost accounting prices these with the folded-circuit
+    /// shot multiplier and the rest at plain rates (0 for DD/GS-only
+    /// tuning).
+    pub zne_evaluations: usize,
 }
 
-/// Which tuning family a cached per-window choice belongs to. Part of the
+/// Which tuning family a cached choice belongs to. Part of the
 /// fingerprint: a DD repetition count must never warm-start a gate
-/// position (and XX counts must not seed XY4 windows).
+/// position (and XX counts must not seed XY4 windows). The per-window
+/// families ([`TuningMode::Dd`], [`TuningMode::Gs`]) key per-window
+/// choices; the circuit-level families ([`TuningMode::Zne`],
+/// [`TuningMode::Composed`]) key whole-circuit
+/// [`StoredChoice::Composed`] entries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TuningMode {
     /// DD repetition tuning with a specific sequence type.
     Dd(DdSequence),
     /// Gate-position tuning.
     Gs,
+    /// Circuit-level ZNE protocol tuning (scale-factor set +
+    /// extrapolation model).
+    Zne,
+    /// The fully composed `(gs, dd, zne)` configuration of one circuit,
+    /// tuned with the given DD sequence type.
+    Composed(DdSequence),
 }
 
 /// Half-octave equivalence class of one qubit's calibration data.
@@ -263,6 +287,52 @@ pub fn window_fingerprint(
     }
 }
 
+/// Computes the canonical **circuit-level** fingerprint of a scheduled
+/// circuit — the cache key for whole-circuit choices ([`TuningMode::Zne`]
+/// protocols and [`TuningMode::Composed`] configurations).
+///
+/// The per-window fields are reinterpreted at circuit granularity:
+/// `duration_slots` is the schedule makespan, `qubit` the circuit width,
+/// `ordinal` the idle-window count, `noise_class` the element-wise
+/// worst-case class over every qubit (so a recalibration jump on *any*
+/// qubit splits the class), and the activity pair is `(width, ZZ-coupled
+/// pair count)`. Like window fingerprints it is a pure function of
+/// `(baseline schedule, calibration snapshot, tuner configuration)` —
+/// callers always fingerprint the *unmitigated* canonical schedule, so
+/// the key never depends on which composition is being tuned on top.
+pub fn circuit_fingerprint(
+    mode: TuningMode,
+    scheduled: &ScheduledCircuit,
+    calibration: &NoiseParameters,
+    pulse_ns: f64,
+    config: &WindowTunerConfig,
+) -> WindowFingerprint {
+    let mut worst = classify_qubit_noise(calibration.qubit(0));
+    for q in 1..scheduled.num_qubits() {
+        let c = classify_qubit_noise(calibration.qubit(q));
+        worst.t1 = worst.t1.min(c.t1);
+        worst.t2 = worst.t2.min(c.t2);
+        worst.detuning = worst.detuning.min(c.detuning);
+        worst.telegraph = worst.telegraph.min(c.telegraph);
+        worst.readout = worst.readout.min(c.readout);
+    }
+    let coupled = calibration.zz_couplings().count();
+    WindowFingerprint {
+        mode,
+        duration_slots: (scheduled.total_ns() / pulse_ns).round().max(0.0) as u32,
+        qubit: scheduled.num_qubits().min(u16::MAX as usize) as u16,
+        ordinal: scheduled
+            .idle_windows(pulse_ns)
+            .len()
+            .min(u32::MAX as usize) as u32,
+        noise_class: worst,
+        neighbors_active: scheduled.num_qubits().min(255) as u8,
+        coupled_active: coupled.min(255) as u8,
+        sweep_resolution: config.sweep_resolution.min(255) as u8,
+        max_repetitions: config.max_repetitions.min(255) as u8,
+    }
+}
+
 /// One guard-validated per-window choice, as stored in the fleet cache.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CachedChoice {
@@ -273,6 +343,66 @@ pub struct CachedChoice {
     pub value: f64,
     /// Objective measured at the choice when it was tuned.
     pub objective: f64,
+}
+
+/// A guard-validated **whole-circuit** configuration, as stored in the
+/// fleet cache under a circuit-level fingerprint ([`TuningMode::Zne`],
+/// [`TuningMode::Composed`]) — the ROADMAP's "cache composed configs, not
+/// just per-stage picks" follow-on. It is the persistable mirror of a
+/// [`MitigationConfig`] plus the objective it was tuned at.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComposedChoice {
+    /// Per-movable-window gate positions (empty = ALAP baseline).
+    pub gate_positions: Vec<f64>,
+    /// DD sequence type, when DD is part of the composition.
+    pub dd_sequence: Option<DdSequence>,
+    /// Per-window DD repetition counts (empty = no DD).
+    pub dd_repetitions: Vec<u32>,
+    /// ZNE protocol, when ZNE is part of the composition.
+    pub zne: Option<ZneConfig>,
+    /// Objective measured when the composition was tuned (`NaN` when the
+    /// final stage adopted a guard-reverted partial composition).
+    pub objective: f64,
+}
+
+impl ComposedChoice {
+    /// Captures a tuned configuration for the cache.
+    pub fn from_config(config: &MitigationConfig, objective: f64) -> Self {
+        ComposedChoice {
+            gate_positions: config.gate_positions.clone(),
+            dd_sequence: config.dd_sequence,
+            dd_repetitions: config
+                .dd_repetitions
+                .iter()
+                .map(|&r| r.min(u32::MAX as usize) as u32)
+                .collect(),
+            zne: config.zne.clone(),
+            objective,
+        }
+    }
+
+    /// Reassembles the executable configuration.
+    pub fn to_config(&self) -> MitigationConfig {
+        MitigationConfig {
+            gate_positions: self.gate_positions.clone(),
+            dd_repetitions: self.dd_repetitions.iter().map(|&r| r as usize).collect(),
+            dd_sequence: self.dd_sequence,
+            zne: self.zne.clone(),
+        }
+    }
+}
+
+/// What the fleet store maps a fingerprint to: per-window fingerprints
+/// carry [`StoredChoice::Window`] entries, circuit-level fingerprints
+/// carry [`StoredChoice::Composed`] entries. The fingerprint's
+/// [`TuningMode`] decides which variant a publisher writes; readers treat
+/// a variant mismatch as a miss.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoredChoice {
+    /// A per-window DD/GS choice.
+    Window(CachedChoice),
+    /// A whole-circuit composed `(gs, dd, zne)` configuration.
+    Composed(ComposedChoice),
 }
 
 // --- persistence codec -------------------------------------------------
@@ -310,6 +440,11 @@ impl Codec for TuningMode {
                 out.push(1);
                 out.push(dd_sequence_tag(*seq));
             }
+            TuningMode::Zne => out.push(2),
+            TuningMode::Composed(seq) => {
+                out.push(3);
+                out.push(dd_sequence_tag(*seq));
+            }
         }
     }
 
@@ -317,7 +452,157 @@ impl Codec for TuningMode {
         match u8::decode(input)? {
             0 => Some(TuningMode::Gs),
             1 => Some(TuningMode::Dd(dd_sequence_from_tag(u8::decode(input)?)?)),
+            2 => Some(TuningMode::Zne),
+            3 => Some(TuningMode::Composed(dd_sequence_from_tag(u8::decode(
+                input,
+            )?)?)),
             _ => None,
+        }
+    }
+}
+
+// `ZneConfig` belongs to vaqem-mitigation and `Codec` to vaqem-runtime,
+// so (like `DdSequence` above) its encoding lives inline here rather
+// than as a foreign trait impl.
+
+fn extrapolation_tag(e: Extrapolation) -> (u8, u8) {
+    match e {
+        Extrapolation::Richardson { order } => (0, order),
+        Extrapolation::Exponential => (1, 0),
+    }
+}
+
+fn encode_zne(zne: &ZneConfig, out: &mut Vec<u8>) {
+    (zne.folds.len() as u32).encode(out);
+    out.extend_from_slice(&zne.folds);
+    let (tag, order) = extrapolation_tag(zne.extrapolation);
+    out.push(tag);
+    out.push(order);
+}
+
+fn decode_zne(input: &mut &[u8]) -> Option<ZneConfig> {
+    let len = u32::decode(input)? as usize;
+    let folds = vaqem_runtime::persist::take(input, len)?.to_vec();
+    let extrapolation = match u8::decode(input)? {
+        0 => Extrapolation::Richardson {
+            order: u8::decode(input)?,
+        },
+        1 => {
+            let _ = u8::decode(input)?;
+            Extrapolation::Exponential
+        }
+        _ => return None,
+    };
+    // Enforce the full ZneConfig invariant here so malformed persisted
+    // bytes fail the decode cleanly (Codec contract) instead of producing
+    // a protocol that panics at extrapolation time: ≥ 2 scales, all
+    // distinct.
+    if folds.len() < 2 {
+        return None;
+    }
+    for (i, a) in folds.iter().enumerate() {
+        if folds[..i].contains(a) {
+            return None;
+        }
+    }
+    Some(ZneConfig {
+        folds,
+        extrapolation,
+    })
+}
+
+impl Codec for ComposedChoice {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.gate_positions.len() as u32).encode(out);
+        for p in &self.gate_positions {
+            p.encode(out);
+        }
+        match self.dd_sequence {
+            None => out.push(0),
+            Some(seq) => {
+                out.push(1);
+                out.push(dd_sequence_tag(seq));
+            }
+        }
+        (self.dd_repetitions.len() as u32).encode(out);
+        for r in &self.dd_repetitions {
+            r.encode(out);
+        }
+        match &self.zne {
+            None => out.push(0),
+            Some(z) => {
+                out.push(1);
+                encode_zne(z, out);
+            }
+        }
+        self.objective.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        let n = u32::decode(input)? as usize;
+        let mut gate_positions = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            gate_positions.push(f64::decode(input)?);
+        }
+        let dd_sequence = match u8::decode(input)? {
+            0 => None,
+            1 => Some(dd_sequence_from_tag(u8::decode(input)?)?),
+            _ => return None,
+        };
+        let n = u32::decode(input)? as usize;
+        let mut dd_repetitions = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            dd_repetitions.push(u32::decode(input)?);
+        }
+        let zne = match u8::decode(input)? {
+            0 => None,
+            1 => Some(decode_zne(input)?),
+            _ => return None,
+        };
+        Some(ComposedChoice {
+            gate_positions,
+            dd_sequence,
+            dd_repetitions,
+            zne,
+            objective: f64::decode(input)?,
+        })
+    }
+}
+
+const STORED_WINDOW_TAG: u8 = 0;
+const STORED_COMPOSED_TAG: u8 = 1;
+
+impl Codec for StoredChoice {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            StoredChoice::Window(c) => {
+                out.push(STORED_WINDOW_TAG);
+                c.encode(out);
+            }
+            StoredChoice::Composed(c) => {
+                out.push(STORED_COMPOSED_TAG);
+                c.encode(out);
+            }
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        match u8::decode(input)? {
+            STORED_WINDOW_TAG => Some(StoredChoice::Window(CachedChoice::decode(input)?)),
+            STORED_COMPOSED_TAG => Some(StoredChoice::Composed(ComposedChoice::decode(input)?)),
+            _ => None,
+        }
+    }
+
+    /// Format-version-1 snapshots and journals (pre-ZNE) stored bare,
+    /// untagged [`CachedChoice`] bytes: decode those as
+    /// [`StoredChoice::Window`] so a fleet's persisted tuning capital
+    /// survives the upgrade.
+    fn decode_versioned(input: &mut &[u8], version: u32) -> Option<Self> {
+        if version <= 1 {
+            CachedChoice::decode(input).map(StoredChoice::Window)
+        } else {
+            Self::decode(input)
         }
     }
 }
@@ -386,18 +671,20 @@ impl Codec for CachedChoice {
     }
 }
 
-/// The concrete fleet store: window fingerprints to guard-validated
-/// choices, keyed by `(device, calibration epoch, fingerprint)` with LRU
-/// eviction and hit/miss metrics (see `vaqem_runtime::cache`).
-pub type MitigationConfigStore = ConfigStore<WindowFingerprint, CachedChoice>;
+/// The concrete fleet store: fingerprints to guard-validated
+/// [`StoredChoice`]s — per-window picks and whole-circuit composed
+/// configs side by side — keyed by `(device, calibration epoch,
+/// fingerprint)` with LRU eviction and hit/miss metrics (see
+/// `vaqem_runtime::cache`).
+pub type MitigationConfigStore = ConfigStore<WindowFingerprint, StoredChoice>;
 
 /// The store interface a warm-started tuning session requires — any
 /// `vaqem_runtime::store::StoreBackend` over window fingerprints and
-/// cached choices: the single-owner [`MitigationConfigStore`], a
+/// stored choices: the single-owner [`MitigationConfigStore`], a
 /// `ShardedStore` (or an `Arc` of one) shared by concurrent clients, or
 /// an `Arc<DurableStore>` that survives restarts.
-pub trait MitigationStoreBackend: StoreBackend<WindowFingerprint, CachedChoice> {}
-impl<S: StoreBackend<WindowFingerprint, CachedChoice>> MitigationStoreBackend for S {}
+pub trait MitigationStoreBackend: StoreBackend<WindowFingerprint, StoredChoice> {}
+impl<S: StoreBackend<WindowFingerprint, StoredChoice>> MitigationStoreBackend for S {}
 
 /// One client's view of the shared fleet cache during a tuning run: the
 /// store, the device identity, the calibration epoch, and the epoch's
@@ -431,7 +718,8 @@ fn reconcile_store<S: MitigationStoreBackend>(
 ) {
     if accepted {
         for (fp, choice) in pending {
-            s.store.publish(s.device, s.epoch, fp, choice);
+            s.store
+                .publish(s.device, s.epoch, fp, StoredChoice::Window(choice));
         }
     } else {
         for fp in seeded {
@@ -615,7 +903,7 @@ impl<'a, E: Executor> WindowTuner<'a, E> {
                 )
             });
             if let (Some(fp), Some(s)) = (fingerprint, session.as_deref_mut()) {
-                if let Some(cached) = s.store.lookup(s.device, s.epoch, &fp) {
+                if let Some(StoredChoice::Window(cached)) = s.store.lookup(s.device, s.epoch, &fp) {
                     positions[i] = cached.value.clamp(0.0, 1.0);
                     choices.push(WindowChoice {
                         window: i,
@@ -685,6 +973,7 @@ impl<'a, E: Executor> WindowTuner<'a, E> {
                 gs_choices: choices,
                 dd_choices: Vec::new(),
                 evaluations,
+                zne_evaluations: 0,
             },
             stats,
         ))
@@ -708,6 +997,7 @@ impl<'a, E: Executor> WindowTuner<'a, E> {
             gs_choices: gs.gs_choices,
             dd_choices: dd.dd_choices,
             evaluations: gs.evaluations + dd.evaluations,
+            zne_evaluations: 0,
         })
     }
 
@@ -811,7 +1101,7 @@ impl<'a, E: Executor> WindowTuner<'a, E> {
                 )
             });
             if let (Some(fp), Some(s)) = (fingerprint, session.as_deref_mut()) {
-                if let Some(cached) = s.store.lookup(s.device, s.epoch, &fp) {
+                if let Some(StoredChoice::Window(cached)) = s.store.lookup(s.device, s.epoch, &fp) {
                     // An identical window replays the exact repetition
                     // count; a same-class window with a different cap
                     // rescales by the cached fraction.
@@ -890,6 +1180,7 @@ impl<'a, E: Executor> WindowTuner<'a, E> {
                 gs_choices: Vec::new(),
                 dd_choices: choices,
                 evaluations,
+                zne_evaluations: 0,
             },
             stats,
         ))
@@ -959,9 +1250,276 @@ impl<'a, E: Executor> WindowTuner<'a, E> {
                 gs_choices: gs.gs_choices,
                 dd_choices: dd.dd_choices,
                 evaluations: gs.evaluations + dd.evaluations,
+                zne_evaluations: 0,
             },
             stats,
         })
+    }
+
+    /// Tunes the ZNE protocol on the untuned baseline (paper §IX): every
+    /// candidate in [`WindowTunerConfig::zne_candidates`] is evaluated in
+    /// one batch, the best extrapolated objective wins, and the §IX-C
+    /// acceptance guard keeps the winner only if it measures at least as
+    /// well as the un-extrapolated baseline on fresh evaluations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates objective-evaluation errors.
+    pub fn tune_zne(&self, params: &[f64]) -> Result<TunedMitigation, VaqemError> {
+        let cache = self.problem.schedule_groups(self.backend, params)?;
+        Ok(self
+            .tune_zne_on_top_impl::<MitigationConfigStore>(
+                &cache,
+                &MitigationConfig::baseline(),
+                None,
+            )?
+            .0)
+    }
+
+    /// Warm-started ZNE tuning against the fleet cache: the circuit-level
+    /// [`TuningMode::Zne`] fingerprint hitting a cached protocol skips the
+    /// candidate sweep entirely; the guard always re-validates, swept
+    /// winners publish on acceptance, and a rejected seed is evicted —
+    /// the same contract as the per-window warm paths.
+    ///
+    /// # Errors
+    ///
+    /// Propagates objective-evaluation errors.
+    pub fn tune_zne_warm<S: MitigationStoreBackend>(
+        &self,
+        params: &[f64],
+        session: &mut FleetCacheSession<'_, S>,
+    ) -> Result<WarmTuneReport, VaqemError> {
+        let cache = self.problem.schedule_groups(self.backend, params)?;
+        let (tuned, stats, _) =
+            self.tune_zne_on_top_impl(&cache, &MitigationConfig::baseline(), Some(session))?;
+        Ok(WarmTuneReport { tuned, stats })
+    }
+
+    /// The full composed pipeline: GS, then DD on the GS-adjusted
+    /// schedule, then the ZNE protocol over the mitigated circuit — the
+    /// "VAQEM: GS+XY+ZNE" configuration. Each stage's guard compares
+    /// against the previous stage's surviving config, so the composition
+    /// can only improve stage by stage.
+    ///
+    /// # Errors
+    ///
+    /// Propagates objective-evaluation errors.
+    pub fn tune_combined_zne(&self, params: &[f64]) -> Result<TunedMitigation, VaqemError> {
+        let cache = self.problem.schedule_groups(self.backend, params)?;
+        let gs = self.tune_gs_cached(&cache)?;
+        let dd = self.tune_dd_on_top(&cache, &gs.config)?;
+        let zne = self
+            .tune_zne_on_top_impl::<MitigationConfigStore>(&cache, &dd.config, None)?
+            .0;
+        Ok(TunedMitigation {
+            config: zne.config.clone(),
+            gs_choices: gs.gs_choices,
+            dd_choices: dd.dd_choices,
+            evaluations: gs.evaluations + dd.evaluations + zne.evaluations,
+            zne_evaluations: zne.zne_evaluations,
+        })
+    }
+
+    /// Warm-started GS+DD+ZNE tuning that caches the **composed** choice:
+    /// the circuit-level [`TuningMode::Composed`] fingerprint maps to the
+    /// whole `(gs, dd, zne)` configuration as one unit (the ROADMAP's
+    /// composed-config cache follow-on).
+    ///
+    /// * **Hit:** the cached composition is re-validated by a single
+    ///   guard batch against the baseline; acceptance adopts it outright
+    ///   — no per-stage sweeps, no per-window lookups — and rejection
+    ///   evicts the entry and falls through to a full re-tune.
+    /// * **Miss:** the three stages tune as in [`Self::tune_combined_zne`]
+    ///   (sharing the session's per-window cache), and the final
+    ///   composition is published under the composed fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// Propagates objective-evaluation errors.
+    pub fn tune_combined_zne_warm<S: MitigationStoreBackend>(
+        &self,
+        params: &[f64],
+        session: &mut FleetCacheSession<'_, S>,
+    ) -> Result<WarmTuneReport, VaqemError> {
+        let cache = self.problem.schedule_groups(self.backend, params)?;
+        let pulse = self.backend.durations().single_qubit_ns();
+        let scheduled = self.canonical_schedule(&cache, &MitigationConfig::baseline())?;
+        let fp = circuit_fingerprint(
+            TuningMode::Composed(self.config.dd_sequence),
+            &scheduled,
+            session.calibration,
+            pulse,
+            &self.config,
+        );
+        let mut seed_rejected = false;
+        if let Some(StoredChoice::Composed(c)) =
+            session.store.lookup(session.device, session.epoch, &fp)
+        {
+            let mut evaluations = 0usize;
+            let (config, accepted) = self.accept_or_revert(
+                &cache,
+                &MitigationConfig::baseline(),
+                c.to_config(),
+                6_000_000,
+                &mut evaluations,
+            );
+            if accepted {
+                let zne_evaluations = if config.zne.is_some() {
+                    self.config.guard_repeats.max(1)
+                } else {
+                    0
+                };
+                return Ok(WarmTuneReport {
+                    tuned: TunedMitigation {
+                        config,
+                        gs_choices: Vec::new(),
+                        dd_choices: Vec::new(),
+                        evaluations,
+                        zne_evaluations,
+                    },
+                    stats: WarmStats {
+                        hits: 1,
+                        misses: 0,
+                        guard_rejected: false,
+                    },
+                });
+            }
+            session.store.discard(session.device, session.epoch, &fp);
+            seed_rejected = true;
+        }
+        let (gs, mut stats) = self.tune_gs_impl(&cache, Some(session))?;
+        let (dd, dd_stats) = self.tune_dd_on_top_impl(&cache, &gs.config, Some(session))?;
+        let (zne, zne_stats, zne_objective) =
+            self.tune_zne_on_top_impl(&cache, &dd.config, Some(session))?;
+        stats.absorb(dd_stats);
+        stats.absorb(zne_stats);
+        stats.misses += 1; // the composed lookup itself re-tuned
+        stats.guard_rejected |= seed_rejected;
+        let config = zne.config.clone();
+        session.store.publish(
+            session.device,
+            session.epoch,
+            fp,
+            StoredChoice::Composed(ComposedChoice::from_config(&config, zne_objective)),
+        );
+        Ok(WarmTuneReport {
+            tuned: TunedMitigation {
+                config,
+                gs_choices: gs.gs_choices,
+                dd_choices: dd.dd_choices,
+                evaluations: gs.evaluations + dd.evaluations + zne.evaluations,
+                zne_evaluations: zne.zne_evaluations,
+            },
+            stats,
+        })
+    }
+
+    /// ZNE-protocol tuning on top of `base`, with an optional fleet-cache
+    /// session — the circuit-level counterpart of
+    /// [`Self::tune_dd_on_top_impl`]. The fingerprint is always computed
+    /// from the unmitigated canonical schedule, so warm lookups are
+    /// independent of the composition being amplified.
+    ///
+    /// The third return value is the chosen protocol's measured objective
+    /// (`NaN` when the guard reverted to `base`) — recorded in composed
+    /// cache entries.
+    fn tune_zne_on_top_impl<S: MitigationStoreBackend>(
+        &self,
+        cache: &GroupSchedules,
+        base: &MitigationConfig,
+        mut session: Option<&mut FleetCacheSession<'_, S>>,
+    ) -> Result<(TunedMitigation, WarmStats, f64), VaqemError> {
+        let candidates = &self.config.zne_candidates;
+        assert!(!candidates.is_empty(), "at least one ZNE candidate");
+        let mut stats = WarmStats::default();
+        let mut evaluations = 0usize;
+        // The fingerprint (and the canonical-schedule pass it needs) is
+        // only computed when a cache session is present.
+        let fingerprint = match session.as_deref_mut() {
+            Some(s) => {
+                let pulse = self.backend.durations().single_qubit_ns();
+                let scheduled = self.canonical_schedule(cache, &MitigationConfig::baseline())?;
+                Some(circuit_fingerprint(
+                    TuningMode::Zne,
+                    &scheduled,
+                    s.calibration,
+                    pulse,
+                    &self.config,
+                ))
+            }
+            None => None,
+        };
+        let mut chosen: Option<(ZneConfig, f64)> = None;
+        let mut seeded = false;
+        if let (Some(fp), Some(s)) = (fingerprint, session.as_deref_mut()) {
+            match s.store.lookup(s.device, s.epoch, &fp) {
+                Some(StoredChoice::Composed(c)) if c.zne.is_some() => {
+                    chosen = Some((c.zne.clone().expect("checked above"), c.objective));
+                    stats.hits += 1;
+                    seeded = true;
+                }
+                _ => stats.misses += 1,
+            }
+        }
+        let mut swept = false;
+        if chosen.is_none() {
+            // The whole candidate sweep ships as one batch; each ZNE
+            // evaluation internally executes one job per (scale factor,
+            // measurement group).
+            let evals: Vec<(MitigationConfig, u64)> = candidates
+                .iter()
+                .enumerate()
+                .map(|(i, z)| {
+                    evaluations += 1;
+                    (base.clone().with_zne(z.clone()), 5_000_000 + i as u64)
+                })
+                .collect();
+            let energies = self
+                .problem
+                .machine_energy_batch(self.backend, cache, &evals);
+            let mut best = 0usize;
+            for (i, e) in energies.iter().enumerate() {
+                if *e < energies[best] {
+                    best = i;
+                }
+            }
+            chosen = Some((candidates[best].clone(), energies[best]));
+            swept = true;
+        }
+        let (zne, objective) = chosen.expect("hit or swept");
+        let tuned = base.clone().with_zne(zne);
+        let (config, accepted) =
+            self.accept_or_revert(cache, base, tuned, 5_500_000, &mut evaluations);
+        stats.guard_rejected = !accepted;
+        // Folded-circuit accounting: the sweep (all candidates) plus the
+        // guard's tuned side executed ZNE evaluations; the guard's base
+        // side ran unfolded.
+        let zne_evaluations =
+            if swept { candidates.len() } else { 0 } + self.config.guard_repeats.max(1);
+        if let (Some(fp), Some(s)) = (fingerprint, session) {
+            if accepted && swept {
+                s.store.publish(
+                    s.device,
+                    s.epoch,
+                    fp,
+                    StoredChoice::Composed(ComposedChoice::from_config(&config, objective)),
+                );
+            } else if !accepted && seeded {
+                s.store.discard(s.device, s.epoch, &fp);
+            }
+        }
+        Ok((
+            TunedMitigation {
+                config,
+                gs_choices: Vec::new(),
+                dd_choices: Vec::new(),
+                evaluations,
+                zne_evaluations,
+            },
+            stats,
+            if accepted { objective } else { f64::NAN },
+        ))
     }
 }
 
@@ -992,6 +1550,10 @@ mod tests {
             dd_sequence: DdSequence::Xx,
             max_repetitions: 4,
             guard_repeats: 2,
+            zne_candidates: vec![
+                ZneConfig::new(vec![0, 1], Extrapolation::Richardson { order: 1 }),
+                ZneConfig::standard(),
+            ],
         }
     }
 
@@ -1276,13 +1838,15 @@ mod tests {
         let mut input = buf.as_slice();
         assert_eq!(CachedChoice::decode(&mut input), Some(choice));
 
-        // Every DD sequence tag and the GS tag survive the round trip.
+        // Every tuning-mode tag survives the round trip.
         for mode in [
             TuningMode::Gs,
             TuningMode::Dd(DdSequence::Xx),
             TuningMode::Dd(DdSequence::Yy),
             TuningMode::Dd(DdSequence::Xy4),
             TuningMode::Dd(DdSequence::Xy8),
+            TuningMode::Zne,
+            TuningMode::Composed(DdSequence::Xy4),
         ] {
             buf.clear();
             mode.encode(&mut buf);
@@ -1290,6 +1854,95 @@ mod tests {
         }
         // Unknown tags fail cleanly instead of misparsing.
         assert_eq!(TuningMode::decode(&mut [9u8].as_slice()), None);
+    }
+
+    #[test]
+    fn stored_choice_codec_round_trips_both_variants() {
+        let window = StoredChoice::Window(CachedChoice {
+            fraction_of_max: 0.5,
+            value: 3.0,
+            objective: -2.0,
+        });
+        let composed = StoredChoice::Composed(ComposedChoice {
+            gate_positions: vec![0.25, 1.0, 0.0],
+            dd_sequence: Some(DdSequence::Xy4),
+            dd_repetitions: vec![2, 0, 7],
+            zne: Some(ZneConfig::new(vec![0, 1, 3], Extrapolation::Exponential)),
+            objective: -1.75,
+        });
+        for choice in [window, composed] {
+            let mut buf = Vec::new();
+            choice.encode(&mut buf);
+            let mut input = buf.as_slice();
+            assert_eq!(StoredChoice::decode(&mut input), Some(choice));
+            assert!(input.is_empty());
+        }
+        // Unknown variant tags fail cleanly.
+        assert_eq!(StoredChoice::decode(&mut [7u8].as_slice()), None);
+        // A corrupted ZNE payload with duplicate folds must fail the
+        // decode (Codec contract) rather than yield a ZneConfig that
+        // panics at extrapolation time.
+        let mut corrupt = vec![1u8]; // Composed tag
+        0u32.encode(&mut corrupt); // no gate positions
+        corrupt.push(0); // no dd sequence
+        0u32.encode(&mut corrupt); // no dd repetitions
+        corrupt.push(1); // zne present
+        2u32.encode(&mut corrupt); // two folds...
+        corrupt.extend_from_slice(&[1, 1]); // ...but duplicated
+        corrupt.push(1); // exponential
+        corrupt.push(0); // padding order byte
+        0.0f64.encode(&mut corrupt); // objective
+        assert_eq!(StoredChoice::decode(&mut corrupt.as_slice()), None);
+        // A composed choice without DD or ZNE (GS-only composition).
+        let bare = StoredChoice::Composed(ComposedChoice {
+            gate_positions: vec![],
+            dd_sequence: None,
+            dd_repetitions: vec![],
+            zne: None,
+            objective: 0.0,
+        });
+        let mut buf = Vec::new();
+        bare.encode(&mut buf);
+        assert_eq!(StoredChoice::decode(&mut buf.as_slice()), Some(bare));
+    }
+
+    #[test]
+    fn stored_choice_versioned_decode_reads_legacy_bytes() {
+        // Format version 1 stored bare CachedChoice bytes; the versioned
+        // decoder must lift them into StoredChoice::Window.
+        let legacy = CachedChoice {
+            fraction_of_max: 0.75,
+            value: 6.0,
+            objective: -1.25,
+        };
+        let mut buf = Vec::new();
+        legacy.encode(&mut buf);
+        let mut input = buf.as_slice();
+        assert_eq!(
+            StoredChoice::decode_versioned(&mut input, 1),
+            Some(StoredChoice::Window(legacy))
+        );
+        assert!(input.is_empty());
+        // Current-version bytes go through the tagged decoder.
+        let tagged = StoredChoice::Window(legacy);
+        buf.clear();
+        tagged.encode(&mut buf);
+        assert_eq!(
+            StoredChoice::decode_versioned(&mut buf.as_slice(), 2),
+            Some(tagged)
+        );
+    }
+
+    #[test]
+    fn composed_choice_config_round_trip() {
+        let cfg = MitigationConfig {
+            gate_positions: vec![0.5, 0.0],
+            dd_repetitions: vec![1, 2, 3],
+            dd_sequence: Some(DdSequence::Xx),
+            zne: Some(ZneConfig::standard()),
+        };
+        let choice = ComposedChoice::from_config(&cfg, -3.0);
+        assert_eq!(choice.to_config(), cfg);
     }
 
     #[test]
@@ -1301,9 +1954,9 @@ mod tests {
         let tuner = WindowTuner::new(&p, &b, tiny_config());
         let params = vec![0.3; p.num_params()];
         let calibration = NoiseParameters::uniform(3);
-        let store: Arc<ShardedStore<WindowFingerprint, CachedChoice>> =
+        let store: Arc<ShardedStore<WindowFingerprint, StoredChoice>> =
             Arc::new(ShardedStore::new(4, 256));
-        let run = |handle: &mut Arc<ShardedStore<WindowFingerprint, CachedChoice>>| {
+        let run = |handle: &mut Arc<ShardedStore<WindowFingerprint, StoredChoice>>| {
             let mut session = FleetCacheSession {
                 store: handle,
                 device: "dev-test",
@@ -1322,6 +1975,163 @@ mod tests {
             assert_eq!(warm.stats.misses, 0);
             assert_eq!(warm.tuned.config, cold.tuned.config);
         }
+    }
+
+    #[test]
+    fn zne_tuning_selects_a_candidate_and_respects_the_guard() {
+        let p = small_problem();
+        let b = small_backend();
+        let tuner = WindowTuner::new(&p, &b, tiny_config());
+        let params = vec![0.3; p.num_params()];
+        let tuned = tuner.tune_zne(&params).unwrap();
+        assert!(tuned.evaluations > 0);
+        // Either a candidate was accepted (config carries its protocol)
+        // or the guard reverted to the baseline — both valid under shot
+        // noise.
+        if let Some(z) = &tuned.config.zne {
+            assert!(tiny_config().zne_candidates.contains(z));
+        } else {
+            assert!(tuned.config.is_baseline());
+        }
+        // The tuned config evaluates end to end.
+        let e = p.machine_energy(&b, &params, &tuned.config, 6_666).unwrap();
+        assert!(e.is_finite());
+    }
+
+    #[test]
+    fn zne_warm_start_adopts_the_cached_protocol() {
+        let p = small_problem();
+        let params = vec![0.3; p.num_params()];
+        let calibration = NoiseParameters::uniform(3);
+        // Scan seeds for a cold run whose guard accepts (so the protocol
+        // publishes); each attempt must match the plain path exactly.
+        let mut pinned = None;
+        for seed in 21..40 {
+            let b = QuantumBackend::new(NoiseParameters::uniform(3), SeedStream::new(seed))
+                .with_shots(128);
+            let tuner = WindowTuner::new(&p, &b, tiny_config());
+            let mut store = MitigationConfigStore::new(256);
+            let plain = tuner.tune_zne(&params).unwrap();
+            let cold = {
+                let mut session = FleetCacheSession {
+                    store: &mut store,
+                    device: "dev-test",
+                    epoch: 0,
+                    calibration: &calibration,
+                };
+                tuner.tune_zne_warm(&params, &mut session).unwrap()
+            };
+            assert_eq!(cold.tuned, plain, "cold warm-path run == plain run");
+            assert_eq!(cold.stats.hits, 0);
+            assert_eq!(cold.stats.misses, 1, "one circuit-level lookup");
+            if !cold.stats.guard_rejected {
+                pinned = Some((seed, store, cold));
+                break;
+            }
+        }
+        let (seed, mut store, cold) = pinned.expect("some seed's cold guard accepts");
+        let b =
+            QuantumBackend::new(NoiseParameters::uniform(3), SeedStream::new(seed)).with_shots(128);
+        let tuner = WindowTuner::new(&p, &b, tiny_config());
+        let warm = {
+            let mut session = FleetCacheSession {
+                store: &mut store,
+                device: "dev-test",
+                epoch: 0,
+                calibration: &calibration,
+            };
+            tuner.tune_zne_warm(&params, &mut session).unwrap()
+        };
+        assert_eq!(warm.stats.hits, 1, "cached protocol adopted");
+        assert_eq!(warm.stats.misses, 0);
+        assert!(!warm.stats.guard_rejected, "replayed protocol re-accepts");
+        assert_eq!(warm.tuned.config, cold.tuned.config);
+        assert!(
+            warm.tuned.evaluations < cold.tuned.evaluations,
+            "warm skips the candidate sweep"
+        );
+        // A different epoch misses naturally.
+        let mut session = FleetCacheSession {
+            store: &mut store,
+            device: "dev-test",
+            epoch: 1,
+            calibration: &calibration,
+        };
+        let next = tuner.tune_zne_warm(&params, &mut session).unwrap();
+        assert_eq!(next.stats.hits, 0, "new epoch must re-tune");
+    }
+
+    #[test]
+    fn composed_cache_round_trips_the_whole_configuration() {
+        let p = small_problem();
+        let params = vec![0.4; p.num_params()];
+        let calibration = NoiseParameters::uniform(3);
+        for seed in 21..40 {
+            let b = QuantumBackend::new(NoiseParameters::uniform(3), SeedStream::new(seed))
+                .with_shots(128);
+            let tuner = WindowTuner::new(&p, &b, tiny_config());
+            let mut store = MitigationConfigStore::new(256);
+            let run = |store: &mut MitigationConfigStore| {
+                let mut session = FleetCacheSession {
+                    store,
+                    device: "dev-test",
+                    epoch: 0,
+                    calibration: &calibration,
+                };
+                tuner.tune_combined_zne_warm(&params, &mut session).unwrap()
+            };
+            let cold = run(&mut store);
+            assert_eq!(cold.stats.hits, 0, "cold run sweeps everything");
+            assert!(cold.stats.misses > 0);
+            // The composed entry is always published after a full tune.
+            let warm = run(&mut store);
+            if warm.stats.guard_rejected {
+                continue; // shot noise rejected the replay; try another seed
+            }
+            assert_eq!(
+                warm.stats.hits, 1,
+                "the composed fingerprint answers the whole session"
+            );
+            assert_eq!(warm.stats.misses, 0, "no per-window traffic on a hit");
+            assert_eq!(warm.tuned.config, cold.tuned.config);
+            assert!(
+                warm.tuned.evaluations < cold.tuned.evaluations.max(1),
+                "one guard batch replaces three tuning stages"
+            );
+            return;
+        }
+        panic!("no seed produced an accepted composed replay");
+    }
+
+    #[test]
+    fn circuit_fingerprints_are_pure_and_mode_distinct() {
+        let p = small_problem();
+        let b = small_backend();
+        let cfg = tiny_config();
+        let params = vec![0.3; p.num_params()];
+        let cache = p.schedule_groups(&b, &params).unwrap();
+        let scheduled = MitigationConfig::baseline()
+            .apply_under(cache.schedules().first().unwrap(), b.durations());
+        let pulse = b.durations().single_qubit_ns();
+        let noise = NoiseParameters::uniform(3);
+        let zne = circuit_fingerprint(TuningMode::Zne, &scheduled, &noise, pulse, &cfg);
+        let again = circuit_fingerprint(TuningMode::Zne, &scheduled, &noise, pulse, &cfg);
+        assert_eq!(zne, again, "fingerprints are pure");
+        let composed = circuit_fingerprint(
+            TuningMode::Composed(cfg.dd_sequence),
+            &scheduled,
+            &noise,
+            pulse,
+            &cfg,
+        );
+        assert_ne!(zne, composed, "mode is part of the key");
+        assert_eq!(zne.qubit, 3, "circuit width");
+        assert!(zne.duration_slots > 0);
+        // A coherence jump on any qubit splits the worst-case class.
+        let mut jumped = NoiseParameters::uniform(3);
+        jumped.qubit_mut(2).t1_ns /= 4.0;
+        let moved = circuit_fingerprint(TuningMode::Zne, &scheduled, &jumped, pulse, &cfg);
+        assert_ne!(zne.noise_class, moved.noise_class);
     }
 
     #[test]

@@ -25,9 +25,11 @@
 //!
 //! Each session: observe the device's drift clock (crossing ⇒ journaled
 //! invalidation of the device's stale epochs), rebuild the calibration
-//! snapshot, warm-start tune through PR 2's guard-gated cache path
-//! (unchanged — the daemon only swaps the store backend), and price the
-//! measured evaluation count with the cost model.
+//! snapshot, warm-start tune through the core crate's guard-gated cache
+//! path (the daemon only swaps the store backend; ZNE and composed
+//! sessions ride the same path via their circuit-level fingerprints),
+//! and price the measured evaluation count with the cost model — folded
+//! (ZNE) evaluations at the folded-shot multiplier, the rest plain.
 //!
 //! # Determinism
 //!
@@ -48,7 +50,7 @@ use std::thread::JoinHandle;
 use vaqem::backend::QuantumBackend;
 use vaqem::vqe::VqeProblem;
 use vaqem::window_tuner::{
-    CachedChoice, FleetCacheSession, WindowFingerprint, WindowTuner, WindowTunerConfig,
+    FleetCacheSession, StoredChoice, WindowFingerprint, WindowTuner, WindowTunerConfig,
 };
 use vaqem_device::backend::DeviceModel;
 use vaqem_device::drift::{DriftModel, EpochFeed};
@@ -59,9 +61,11 @@ use vaqem_runtime::{BatchDispatch, CostModel, WorkloadProfile};
 
 use crate::scheduler;
 
-/// The concrete durable fleet store: window fingerprints to
-/// guard-validated choices, sharded by device and journaled to disk.
-pub type DurableMitigationStore = DurableStore<WindowFingerprint, CachedChoice>;
+/// The concrete durable fleet store: fingerprints to guard-validated
+/// [`StoredChoice`]s — per-window picks and whole-circuit composed
+/// `(gs, dd, zne)` configs side by side — sharded by device and
+/// journaled to disk.
+pub type DurableMitigationStore = DurableStore<WindowFingerprint, StoredChoice>;
 
 /// One shared device: identity, hardware model, drift clock.
 #[derive(Debug, Clone)]
@@ -84,6 +88,12 @@ pub enum SessionKind {
     Gs,
     /// GS then DD ("VAQEM: GS+XY").
     Combined,
+    /// ZNE protocol tuning (paper §IX: scale-factor set + extrapolation
+    /// model swept under the guard).
+    Zne,
+    /// The full composition — GS, then DD, then ZNE — cached as one
+    /// composed choice ("VAQEM: GS+XY+ZNE").
+    CombinedZne,
 }
 
 /// Daemon configuration.
@@ -445,6 +455,8 @@ fn run_session(state: &ServiceState, job: &QueuedJob) -> SessionResult {
         SessionKind::Dd => tuner.tune_dd_warm(&job.request.params, &mut session),
         SessionKind::Gs => tuner.tune_gs_warm(&job.request.params, &mut session),
         SessionKind::Combined => tuner.tune_combined_warm(&job.request.params, &mut session),
+        SessionKind::Zne => tuner.tune_zne_warm(&job.request.params, &mut session),
+        SessionKind::CombinedZne => tuner.tune_combined_zne_warm(&job.request.params, &mut session),
     }
     .map_err(|e| format!("tuning failed on {}: {e:?}", spec.name))?;
 
@@ -456,12 +468,32 @@ fn run_session(state: &ServiceState, job: &QueuedJob) -> SessionResult {
         shots: cfg.shots,
         ..cfg.profile.clone()
     };
-    let minutes = cfg.cost.em_minutes_for_evaluations(
+    // Split billing by what actually executed: the tuner reports how many
+    // of its evaluations ran folded (ZNE) circuits; those pay the
+    // folded-shot multiplier, the rest (per-window GS/DD sweeps, guard
+    // base sides) are priced plain. The scale set is the session's tuned
+    // protocol when one survived, else the standard protocol the sweep is
+    // centered on.
+    let zne_evals = report.tuned.zne_evaluations.min(report.tuned.evaluations);
+    let plain_evals = report.tuned.evaluations - zne_evals;
+    let mut minutes = cfg.cost.em_minutes_for_evaluations(
         &profile,
         &cfg.dispatch,
-        report.tuned.evaluations,
+        plain_evals,
         report.stats.misses + 1,
     );
+    if zne_evals > 0 {
+        let scales = report
+            .tuned
+            .config
+            .zne
+            .as_ref()
+            .map(|z| z.scale_factors())
+            .unwrap_or_else(|| vaqem_mitigation::zne::ZneConfig::standard().scale_factors());
+        minutes +=
+            cfg.cost
+                .em_minutes_for_zne_evaluations(&profile, &cfg.dispatch, zne_evals, 1, &scales);
+    }
 
     Ok(SessionOutcome {
         client: job.request.client.clone(),

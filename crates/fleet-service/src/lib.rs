@@ -11,34 +11,83 @@
 //! worker threads over FIFO work queues, queue-aware admission fed by
 //! `CostModel::queuing_minutes`, journaled drift invalidation, and
 //! graceful ([`FleetService::shutdown`]) vs. abrupt
-//! ([`FleetService::halt`]) stops with journal-replay recovery.
+//! ([`FleetService::halt`]) stops with journal-replay recovery. Sessions
+//! cover every tuning family the core tuner exposes — per-window DD/GS,
+//! the coordinated GS+DD mode, and the §IX ZNE extension
+//! ([`SessionKind::Zne`], [`SessionKind::CombinedZne`], whose composed
+//! `(gs, dd, zne)` choices are cached and journaled as single units).
 //!
-//! ```no_run
-//! use std::sync::mpsc;
+//! The full daemon lifecycle — open, submit, await, shutdown — runs
+//! in-process:
+//!
+//! ```
+//! use vaqem_ansatz::su2::{EfficientSu2, Entanglement};
+//! use vaqem_circuit::schedule::DurationModel;
+//! use vaqem_device::{backend::DeviceModel, drift::DriftModel, noise::NoiseParameters};
 //! use vaqem_fleet_service::{
 //!     DeviceSpec, FleetService, FleetServiceConfig, SessionKind, SessionRequest,
 //! };
-//! # fn demo(config: FleetServiceConfig, devices: Vec<DeviceSpec>,
-//! #         problem: vaqem::vqe::VqeProblem,
-//! #         seeds: vaqem_mathkit::rng::SeedStream,
-//! #         params: Vec<f64>) -> std::io::Result<()> {
-//! let service = FleetService::open(config, devices, problem, seeds)?;
-//! let replies: Vec<mpsc::Receiver<_>> = (0..4)
-//!     .map(|c| {
-//!         service.submit(SessionRequest {
-//!             client: format!("c{c}"),
-//!             t_hours: 1.0,
-//!             params: params.clone(),
-//!             device: None, // queue-aware admission picks
-//!             kind: SessionKind::Dd,
-//!         })
-//!     })
-//!     .collect();
-//! for rx in replies {
-//!     let outcome = rx.recv().expect("worker alive").expect("tuning ok");
-//!     println!("{}: {} hits, {:.2} min", outcome.client, outcome.hits, outcome.minutes);
-//! }
-//! service.shutdown()?; // checkpoint: snapshot + truncated journal
+//! use vaqem_mathkit::rng::SeedStream;
+//! use vaqem_runtime::{BatchDispatch, CostModel, WorkloadProfile};
+//!
+//! # fn main() -> std::io::Result<()> {
+//! // A tiny 2-qubit TFIM problem and one device keep this example fast.
+//! let problem = vaqem::vqe::VqeProblem::new(
+//!     "doc_tfim_2q",
+//!     vaqem_pauli::models::tfim_paper(2),
+//!     EfficientSu2::new(2, 1, Entanglement::Linear).circuit().unwrap(),
+//! )
+//! .unwrap();
+//! let noise = NoiseParameters::uniform(2);
+//! let device = DeviceSpec {
+//!     name: "doc-device".into(),
+//!     model: DeviceModel::new(
+//!         "doc-device", 2, vec![(0, 1)], DurationModel::ibm_default(), noise,
+//!     ),
+//!     drift: DriftModel::new(SeedStream::new(7).substream("drift")),
+//! };
+//! let store_dir = std::env::temp_dir().join(format!("vaqem-doc-{}", std::process::id()));
+//! # let _ = std::fs::remove_dir_all(&store_dir);
+//! let config = FleetServiceConfig {
+//!     store_dir: store_dir.clone(),
+//!     shards: 2,
+//!     capacity_per_shard: 64,
+//!     shots: 64,
+//!     tuner: vaqem::window_tuner::WindowTunerConfig {
+//!         sweep_resolution: 2,
+//!         max_repetitions: 2,
+//!         guard_repeats: 1,
+//!         ..Default::default()
+//!     },
+//!     profile: WorkloadProfile {
+//!         num_qubits: 2,
+//!         circuit_ns: 8_000.0,
+//!         iterations: 10,
+//!         measurement_groups: 2,
+//!         windows: 4,
+//!         sweep_resolution: 2,
+//!         shots: 64,
+//!     },
+//!     cost: CostModel::ibm_cloud_2021(),
+//!     dispatch: BatchDispatch::local(2),
+//! };
+//!
+//! // Open (recovers any previous snapshot + journal), submit, await.
+//! let service = FleetService::open(config, vec![device], problem.clone(), SeedStream::new(7))?;
+//! let rx = service.submit(SessionRequest {
+//!     client: "c0".into(),
+//!     t_hours: 1.0,
+//!     params: vec![0.3; problem.num_params()],
+//!     device: None, // queue-aware admission picks
+//!     kind: SessionKind::Dd,
+//! });
+//! let outcome = rx.recv().expect("worker alive").expect("tuning ok");
+//! assert_eq!(outcome.client, "c0");
+//! assert!(outcome.minutes >= 0.0);
+//!
+//! // Graceful shutdown: checkpoint (snapshot written, journal truncated).
+//! service.shutdown()?;
+//! # std::fs::remove_dir_all(&store_dir).ok();
 //! # Ok(())
 //! # }
 //! ```

@@ -72,6 +72,7 @@ fn config(dir: &Path) -> FleetServiceConfig {
             dd_sequence: DdSequence::Xy4,
             max_repetitions: 8,
             guard_repeats: 3,
+            ..WindowTunerConfig::default()
         },
         profile: WorkloadProfile {
             num_qubits: NUM_QUBITS,
@@ -231,6 +232,53 @@ fn recalibration_crossing_invalidates_and_retunes() {
     let store = service.store();
     assert!(store.metrics().invalidations > 0, "stale entries dropped");
     service.shutdown().expect("checkpoint");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn zne_sessions_flow_through_the_daemon_unchanged() {
+    // ZNE-bearing session kinds ride the same submit/worker/store path:
+    // a tuned-ZNE session and a composed GS+DD+ZNE session complete, the
+    // composed choice persists (journal), and a second composed session
+    // warm-starts from the cached composition after a halt + reopen.
+    let dir = temp_dir("zne");
+    let mut warmed = false;
+    for seed in 4242..4262 {
+        let _ = std::fs::remove_dir_all(&dir);
+        let submit = |service: &FleetService, kind, t_hours| {
+            let rx = service.submit(SessionRequest {
+                client: "zne-client".to_string(),
+                t_hours,
+                params: params(),
+                device: Some(0),
+                kind,
+            });
+            rx.recv().expect("worker alive").expect("tuning ok")
+        };
+        {
+            let service = open_service(&dir, seed);
+            let zne = submit(&service, SessionKind::Zne, 1.0);
+            assert_eq!(zne.hits, 0, "cold ZNE session sweeps candidates");
+            assert!(zne.minutes > 0.0);
+            let composed = submit(&service, SessionKind::CombinedZne, 1.5);
+            assert!(composed.misses > 0, "cold composition tunes all stages");
+            service.halt(); // journal-only durability
+        }
+        let service = open_service(&dir, seed);
+        let replay = submit(&service, SessionKind::CombinedZne, 2.0);
+        service.shutdown().expect("checkpoint");
+        if replay.guard_rejected {
+            continue; // shot noise rejected the replay; try another seed
+        }
+        assert_eq!(
+            (replay.hits, replay.misses),
+            (1, 0),
+            "the journaled composed choice answers the whole session"
+        );
+        warmed = true;
+        break;
+    }
+    assert!(warmed, "no seed produced an accepted composed replay");
     std::fs::remove_dir_all(&dir).unwrap();
 }
 

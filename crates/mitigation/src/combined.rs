@@ -1,13 +1,23 @@
-//! Combined mitigation configuration (the paper's "VAQEM: GS+XY").
+//! Combined mitigation configuration (the paper's "VAQEM: GS+XY", plus
+//! the §IX ZNE extension: "VAQEM: GS+XY+ZNE").
 //!
 //! [`MitigationConfig`] bundles per-window gate-scheduling positions and DD
 //! repetition counts into one applicable object. Gate scheduling is applied
 //! first (it moves the window's trailing gate), windows are re-extracted,
 //! and DD fills the remaining idle spans — so the two techniques compose
 //! without overlapping, mirroring the coordinated tuning of §VIII-A.
+//!
+//! The optional ZNE stage is different in kind: it is an **execution
+//! protocol**, not a schedule transform. [`MitigationConfig::apply`]
+//! therefore ignores it; the execution layer (`vaqem`'s
+//! `VqeProblem::machine_energy_batch`) reads [`MitigationConfig::zne`],
+//! runs the GS/DD-mitigated schedule at each configured noise scale via
+//! [`crate::zne::fold_schedule`], and extrapolates the measured
+//! expectations to the zero-noise limit.
 
 use crate::dd::{DdPass, DdSequence};
 use crate::scheduling::GsPass;
+use crate::zne::ZneConfig;
 use vaqem_circuit::schedule::{DurationModel, ScheduledCircuit};
 
 /// A complete idle-time mitigation configuration for one circuit.
@@ -19,6 +29,9 @@ pub struct MitigationConfig {
     pub dd_repetitions: Vec<usize>,
     /// DD sequence type (used only when `dd_repetitions` is non-empty).
     pub dd_sequence: Option<DdSequence>,
+    /// Zero-noise-extrapolation protocol; `None` = no ZNE. Consumed by the
+    /// execution layer, not by [`Self::apply`] (see the module docs).
+    pub zne: Option<ZneConfig>,
 }
 
 impl MitigationConfig {
@@ -44,9 +57,23 @@ impl MitigationConfig {
         }
     }
 
+    /// A ZNE-only configuration.
+    pub fn zero_noise_extrapolation(zne: ZneConfig) -> Self {
+        MitigationConfig {
+            zne: Some(zne),
+            ..Default::default()
+        }
+    }
+
+    /// Returns `self` with the ZNE protocol replaced.
+    pub fn with_zne(mut self, zne: ZneConfig) -> Self {
+        self.zne = Some(zne);
+        self
+    }
+
     /// Returns `true` when the configuration changes nothing.
     pub fn is_baseline(&self) -> bool {
-        self.gate_positions.is_empty() && self.dd_repetitions.is_empty()
+        self.gate_positions.is_empty() && self.dd_repetitions.is_empty() && self.zne.is_none()
     }
 
     /// Applies the configuration to a scheduled circuit.
@@ -121,6 +148,7 @@ mod tests {
             gate_positions: vec![0.5],
             dd_repetitions: vec![2, 2],
             dd_sequence: Some(DdSequence::Xy4),
+            ..Default::default()
         };
         let out = cfg.apply(&s, SLOT, SLOT);
         out.validate().unwrap();
@@ -144,6 +172,7 @@ mod tests {
             gate_positions: vec![0.5],
             dd_repetitions: vec![1; windows_after_gs.len()],
             dd_sequence: Some(DdSequence::Xx),
+            ..Default::default()
         };
         let out = cfg.apply(&s, SLOT, SLOT);
         out.validate().unwrap();
@@ -156,5 +185,19 @@ mod tests {
         let dd = MitigationConfig::dynamical_decoupling(DdSequence::Xx, vec![1]);
         assert_eq!(dd.dd_sequence, Some(DdSequence::Xx));
         assert!(!dd.is_baseline());
+        let zne = MitigationConfig::zero_noise_extrapolation(ZneConfig::standard());
+        assert!(!zne.is_baseline(), "ZNE alone is not the baseline");
+        let composed = dd.with_zne(ZneConfig::standard());
+        assert_eq!(composed.zne, Some(ZneConfig::standard()));
+    }
+
+    #[test]
+    fn apply_ignores_zne() {
+        // ZNE is an execution protocol: the schedule transform is
+        // untouched by it (the execution layer folds separately).
+        let s = circuit();
+        let cfg = MitigationConfig::zero_noise_extrapolation(ZneConfig::standard());
+        let out = cfg.apply(&s, SLOT, SLOT);
+        assert_eq!(out.ops().len(), s.ops().len());
     }
 }

@@ -9,9 +9,11 @@
 //!   (ALAP ... ASAP position fraction);
 //! * [`mem`] — tensored measurement-error mitigation, applied orthogonally
 //!   as in the paper's baseline;
-//! * [`combined`] — the composed GS + DD configuration object;
-//! * [`zne`] — digital zero-noise extrapolation (an orthogonal technique
-//!   the paper lists as a future VAQEM integration target, §II-C/§IX-C).
+//! * [`combined`] — the composed GS + DD (+ ZNE) configuration object;
+//! * [`zne`] — digital zero-noise extrapolation: schedule-level unitary
+//!   folding, Richardson/exponential extrapolators, and the tunable
+//!   [`zne::ZneConfig`] protocol the variational framework sweeps (the
+//!   paper's §IX integration target).
 //!
 //! All passes operate on [`vaqem_circuit::schedule::ScheduledCircuit`] and
 //! preserve circuit semantics by construction (inserted sequences compose
@@ -27,3 +29,4 @@ pub use combined::MitigationConfig;
 pub use dd::{DdPass, DdSequence, DdSpacing};
 pub use mem::MeasurementMitigator;
 pub use scheduling::GsPass;
+pub use zne::{fold_schedule, Extrapolation, ZneConfig};

@@ -46,10 +46,14 @@ pub struct CacheMetrics {
     pub misses: u64,
     /// Entries written (fresh keys and overwrites alike).
     pub insertions: u64,
-    /// Entries dropped to respect the capacity bound.
+    /// Entries dropped to respect the capacity bound — and *only* those:
+    /// capacity pressure and staleness are separate operational signals,
+    /// so invalidation-driven removals never count here (pinned by
+    /// `crate::store` tests).
     pub evictions: u64,
     /// Entries dropped by explicit invalidation ([`ConfigStore::remove`],
-    /// [`ConfigStore::invalidate_before`]).
+    /// [`ConfigStore::invalidate_before`],
+    /// [`ConfigStore::invalidate_all_before`]).
     pub invalidations: u64,
 }
 

@@ -217,6 +217,57 @@ impl CostModel {
         (exec + batches as f64 * dispatch.per_batch_overhead_s) / 60.0
     }
 
+    /// Seconds for one machine job whose circuit is folded to `scale`
+    /// times its unfolded length (ZNE noise amplification): shot
+    /// streaming scales with the circuit, while per-shot reset/readout
+    /// and per-job overhead do not.
+    pub fn machine_job_seconds_scaled(
+        &self,
+        p: &WorkloadProfile,
+        runtime: bool,
+        scale: f64,
+    ) -> f64 {
+        let exec = p.shots as f64 * (scale.max(1.0) * p.circuit_ns * 1e-9 + 4.0e-6);
+        let overhead = if runtime {
+            self.runtime_job_overhead_s
+        } else {
+            self.classic_job_overhead_s
+        };
+        exec + overhead
+    }
+
+    /// Minutes for a *measured* number of ZNE objective `evaluations`:
+    /// each evaluation executes one job per `(noise scale, measurement
+    /// group)`, with the job at scale `s` priced by
+    /// [`Self::machine_job_seconds_scaled`]. `scale_factors` is the
+    /// protocol's scale set (e.g. `[1, 3, 5]`) — the folded-circuit shot
+    /// multiplier the ZNE stage leaves on the bill. With
+    /// `scale_factors == [1.0]` this degenerates to
+    /// [`Self::em_minutes_for_evaluations`].
+    pub fn em_minutes_for_zne_evaluations(
+        &self,
+        p: &WorkloadProfile,
+        dispatch: &BatchDispatch,
+        evaluations: usize,
+        batches: usize,
+        scale_factors: &[f64],
+    ) -> f64 {
+        assert!(!scale_factors.is_empty(), "at least one noise scale");
+        let groups = p.measurement_groups.max(1);
+        let lanes = dispatch.workers.max(1) as f64;
+        // One wave of `groups` jobs per (evaluation, scale); waves at the
+        // same scale share a job duration, so the lane-rounded serial time
+        // is priced per scale and summed.
+        let exec: f64 = scale_factors
+            .iter()
+            .map(|&s| {
+                let jobs = evaluations * groups;
+                (jobs as f64 / lanes).ceil() * self.machine_job_seconds_scaled(p, true, s)
+            })
+            .sum();
+        (exec + batches as f64 * dispatch.per_batch_overhead_s) / 60.0
+    }
+
     /// Minutes of warm-started per-window EM tuning: windows whose
     /// fingerprint hits the config cache adopt the cached choice without
     /// sweeping, missing windows pay the full batched sweep, and the
@@ -490,6 +541,26 @@ mod tests {
         let some = m.em_minutes_for_evaluations(&p, &d, 10, 2);
         let more = m.em_minutes_for_evaluations(&p, &d, 20, 2);
         assert!(some > 0.0 && more > some);
+    }
+
+    #[test]
+    fn zne_pricing_scales_with_the_fold_set() {
+        let m = CostModel::ibm_cloud_2021();
+        let p = tfim_profile();
+        let d = BatchDispatch::local(4);
+        // Unit scale degenerates to the plain measured-evaluation price.
+        let plain = m.em_minutes_for_evaluations(&p, &d, 10, 2);
+        let unit = m.em_minutes_for_zne_evaluations(&p, &d, 10, 2, &[1.0]);
+        assert!((plain - unit).abs() < 1e-9, "{plain} vs {unit}");
+        // More / larger scales cost strictly more.
+        let z135 = m.em_minutes_for_zne_evaluations(&p, &d, 10, 2, &[1.0, 3.0, 5.0]);
+        let z13 = m.em_minutes_for_zne_evaluations(&p, &d, 10, 2, &[1.0, 3.0]);
+        assert!(z13 > unit && z135 > z13, "{unit} {z13} {z135}");
+        // A folded job's streaming time scales, its overhead doesn't.
+        let j1 = m.machine_job_seconds_scaled(&p, true, 1.0);
+        let j5 = m.machine_job_seconds_scaled(&p, true, 5.0);
+        assert!((j1 - m.machine_job_seconds(&p, true)).abs() < 1e-12);
+        assert!(j5 > j1 && j5 < 5.0 * j1);
     }
 
     #[test]

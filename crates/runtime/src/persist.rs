@@ -53,6 +53,17 @@ pub trait Codec: Sized {
     /// Decodes one value from the front of `input`, advancing it.
     /// Returns `None` on malformed or truncated input.
     fn decode(input: &mut &[u8]) -> Option<Self>;
+    /// Decodes one value written by a file of the given format
+    /// `version` (see [`FORMAT_VERSION`]). The default delegates to
+    /// [`Self::decode`] — the right behavior for every type whose
+    /// encoding never changed. Types that gained a richer encoding in a
+    /// later format (e.g. the core crate's `StoredChoice`, whose
+    /// version-1 form was a bare untagged choice) override this to keep
+    /// old snapshots and journals loadable.
+    fn decode_versioned(input: &mut &[u8], version: u32) -> Option<Self> {
+        let _ = version;
+        Self::decode(input)
+    }
 }
 
 /// Splits `n` bytes off the front of `input`.
@@ -117,7 +128,23 @@ impl Codec for String {
 
 const SNAPSHOT_MAGIC: [u8; 4] = *b"VQSN";
 const JOURNAL_MAGIC: [u8; 4] = *b"VQJL";
-const FORMAT_VERSION: u32 = 1;
+
+/// The snapshot/journal format version new files are written at.
+///
+/// * **1** — the PR-3 format: bare per-window choice values.
+/// * **2** — values are tagged `StoredChoice` encodings (per-window or
+///   composed `(gs, dd, zne)`); fingerprints gained the `Zne`/`Composed`
+///   mode tags (a superset encoding, readable by the same decoder).
+///
+/// Files at any version in
+/// `MIN_SUPPORTED_VERSION..=FORMAT_VERSION` are readable: the header
+/// version is threaded into every value decode via
+/// [`Codec::decode_versioned`], so a fleet upgraded across the ZNE
+/// change keeps its persisted tuning capital.
+pub const FORMAT_VERSION: u32 = 2;
+
+/// Oldest format version [`DurableStore::open`] still reads.
+pub const MIN_SUPPORTED_VERSION: u32 = 1;
 
 const SNAPSHOT_FILE: &str = "store.snapshot";
 const JOURNAL_FILE: &str = "store.journal";
@@ -132,19 +159,21 @@ fn bad_data(what: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, what.to_string())
 }
 
-fn check_header(input: &mut &[u8], magic: [u8; 4], what: &str) -> io::Result<()> {
+/// Validates a file header and returns the format version it declares
+/// (any version in the supported range).
+fn check_header(input: &mut &[u8], magic: [u8; 4], what: &str) -> io::Result<u32> {
     let head = take(input, 4).ok_or_else(|| bad_data(what))?;
     if head != magic {
         return Err(bad_data(what));
     }
     let version = u32::decode(input).ok_or_else(|| bad_data(what))?;
-    if version != FORMAT_VERSION {
+    if !(MIN_SUPPORTED_VERSION..=FORMAT_VERSION).contains(&version) {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             format!("{what}: unsupported version {version}"),
         ));
     }
-    Ok(())
+    Ok(version)
 }
 
 /// Serializes a flat entry list (snapshot body).
@@ -164,14 +193,15 @@ fn encode_entries<F: Codec, V: Codec>(entries: &[(String, u64, F, V)]) -> Vec<u8
 
 fn decode_entries<F: Codec, V: Codec>(mut input: &[u8]) -> io::Result<Vec<(String, u64, F, V)>> {
     let input = &mut input;
-    check_header(input, SNAPSHOT_MAGIC, "snapshot header")?;
+    let version = check_header(input, SNAPSHOT_MAGIC, "snapshot header")?;
     let count = u64::decode(input).ok_or_else(|| bad_data("snapshot count"))?;
     let mut entries = Vec::with_capacity(count.min(1 << 20) as usize);
     for _ in 0..count {
         let device = String::decode(input).ok_or_else(|| bad_data("snapshot entry"))?;
         let epoch = u64::decode(input).ok_or_else(|| bad_data("snapshot entry"))?;
-        let fp = F::decode(input).ok_or_else(|| bad_data("snapshot entry"))?;
-        let value = V::decode(input).ok_or_else(|| bad_data("snapshot entry"))?;
+        let fp = F::decode_versioned(input, version).ok_or_else(|| bad_data("snapshot entry"))?;
+        let value =
+            V::decode_versioned(input, version).ok_or_else(|| bad_data("snapshot entry"))?;
         entries.push((device, epoch, fp, value));
     }
     Ok(entries)
@@ -239,19 +269,19 @@ impl<F: Codec, V: Codec> JournalRecord<F, V> {
         out
     }
 
-    fn decode_payload(mut payload: &[u8]) -> Option<Self> {
+    fn decode_payload(mut payload: &[u8], version: u32) -> Option<Self> {
         let input = &mut payload;
         let record = match u8::decode(input)? {
             TAG_INSERT => JournalRecord::Insert {
                 device: String::decode(input)?,
                 epoch: u64::decode(input)?,
-                fingerprint: F::decode(input)?,
-                value: V::decode(input)?,
+                fingerprint: F::decode_versioned(input, version)?,
+                value: V::decode_versioned(input, version)?,
             },
             TAG_REMOVE => JournalRecord::Remove {
                 device: String::decode(input)?,
                 epoch: u64::decode(input)?,
-                fingerprint: F::decode(input)?,
+                fingerprint: F::decode_versioned(input, version)?,
             },
             TAG_INVALIDATE_BEFORE => JournalRecord::InvalidateBefore {
                 device: String::decode(input)?,
@@ -308,6 +338,25 @@ pub struct RecoveryReport {
 /// All methods take `&self`; share the store across worker threads behind
 /// an `Arc`. The warm-start tuner runs against `Arc<DurableStore>` via
 /// [`StoreBackend`].
+///
+/// ```
+/// use vaqem_runtime::persist::DurableStore;
+///
+/// let dir = std::env::temp_dir().join(format!("vaqem-doc-store-{}", std::process::id()));
+/// # let _ = std::fs::remove_dir_all(&dir);
+/// {
+///     let store: DurableStore<u64, u64> = DurableStore::open(&dir, 4, 256)?;
+///     store.insert("fleet-east", 0, 7, 42);
+///     // Dropped without a checkpoint — like a process kill: the
+///     // append-only journal is the only durable record.
+/// }
+/// let store: DurableStore<u64, u64> = DurableStore::open(&dir, 4, 256)?;
+/// assert_eq!(store.recovery().journal_records, 1);
+/// assert_eq!(store.lookup("fleet-east", 0, &7), Some(42));
+/// store.checkpoint()?; // compact: snapshot written, journal truncated
+/// # std::fs::remove_dir_all(&dir).ok();
+/// # Ok::<(), std::io::Error>(())
+/// ```
 #[derive(Debug)]
 pub struct DurableStore<F, V> {
     store: ShardedStore<F, V>,
@@ -348,11 +397,17 @@ where
         }
 
         let journal_path = dir.join(JOURNAL_FILE);
+        let mut journal_upgraded = false;
         if journal_path.exists() {
             let mut bytes = Vec::new();
             File::open(&journal_path)?.read_to_end(&mut bytes)?;
             let mut input = bytes.as_slice();
-            check_header(&mut input, JOURNAL_MAGIC, "journal header")?;
+            let version = check_header(&mut input, JOURNAL_MAGIC, "journal header")?;
+            // An old-format journal is replayed, then rewritten at the
+            // current version: records appended by this process use the
+            // current encoding, which must never land behind a header
+            // declaring the old one.
+            journal_upgraded = version < FORMAT_VERSION;
             // Bytes of well-formed journal prefix (header + valid records):
             // a torn tail is truncated to this length before reopening for
             // append, so post-recovery records never land behind garbage
@@ -366,7 +421,7 @@ where
                 let framed = (|| {
                     let len = u32::decode(&mut input)? as usize;
                     let payload = take(&mut input, len)?;
-                    JournalRecord::<F, V>::decode_payload(payload)
+                    JournalRecord::<F, V>::decode_payload(payload, version)
                 })();
                 let Some(record) = framed else {
                     // Torn tail from a crash mid-append: the well-formed
@@ -414,7 +469,7 @@ where
 
         let file = OpenOptions::new().append(true).open(&journal_path)?;
         store.reset_metrics();
-        Ok(DurableStore {
+        let opened = DurableStore {
             store,
             journal: Mutex::new(JournalWriter {
                 file,
@@ -423,7 +478,14 @@ where
             dir: dir.to_path_buf(),
             recovery,
             journal_write_errors: AtomicU64::new(0),
-        })
+        };
+        if journal_upgraded {
+            // Old-format journal: compact immediately so every on-disk
+            // byte — snapshot and journal header alike — is at the
+            // current format before any new record is appended.
+            opened.checkpoint()?;
+        }
+        Ok(opened)
     }
 
     /// What [`Self::open`] recovered from disk.
@@ -740,6 +802,69 @@ mod tests {
             Some(30),
             "post-recovery record durable"
         );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn version_1_snapshot_and_journal_still_load() {
+        // Hand-craft version-1 files (the u64 codec is unchanged across
+        // versions) and open them: the entries must load, and the journal
+        // must be upgraded to the current format by an immediate
+        // compaction so new records never land behind an old header.
+        let dir = temp_dir("v1-compat");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut snap = Vec::new();
+        snap.extend_from_slice(&SNAPSHOT_MAGIC);
+        1u32.encode(&mut snap);
+        1u64.encode(&mut snap); // one entry
+        "dev-legacy".to_string().encode(&mut snap);
+        3u64.encode(&mut snap); // epoch
+        7u64.encode(&mut snap); // fingerprint
+        70u64.encode(&mut snap); // value
+        std::fs::write(dir.join(SNAPSHOT_FILE), &snap).unwrap();
+        let mut journal = Vec::new();
+        journal.extend_from_slice(&JOURNAL_MAGIC);
+        1u32.encode(&mut journal);
+        let payload = JournalRecord::<u64, u64>::Insert {
+            device: "dev-legacy".into(),
+            epoch: 3,
+            fingerprint: 8,
+            value: 80,
+        }
+        .encode_payload();
+        (payload.len() as u32).encode(&mut journal);
+        journal.extend_from_slice(&payload);
+        std::fs::write(dir.join(JOURNAL_FILE), &journal).unwrap();
+
+        let store: DurableStore<u64, u64> = DurableStore::open(&dir, 2, 64).unwrap();
+        assert_eq!(store.recovery().snapshot_entries, 1);
+        assert_eq!(store.recovery().journal_records, 1);
+        assert_eq!(store.lookup("dev-legacy", 3, &7), Some(70));
+        assert_eq!(store.lookup("dev-legacy", 3, &8), Some(80));
+        // The upgrade compacted: the on-disk journal header is current.
+        let bytes = std::fs::read(dir.join(JOURNAL_FILE)).unwrap();
+        let mut input = &bytes[4..];
+        assert_eq!(u32::decode(&mut input), Some(FORMAT_VERSION));
+        // Post-upgrade mutations survive the next restart.
+        store.insert("dev-legacy", 3, 9, 90);
+        drop(store);
+        let again: DurableStore<u64, u64> = DurableStore::open(&dir, 2, 64).unwrap();
+        assert_eq!(again.len(), 3);
+        assert_eq!(again.lookup("dev-legacy", 3, &9), Some(90));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn future_versions_fail_loudly() {
+        let dir = temp_dir("future");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut snap = Vec::new();
+        snap.extend_from_slice(&SNAPSHOT_MAGIC);
+        (FORMAT_VERSION + 1).encode(&mut snap);
+        0u64.encode(&mut snap);
+        std::fs::write(dir.join(SNAPSHOT_FILE), &snap).unwrap();
+        let err = DurableStore::<u64, u64>::open(&dir, 2, 64).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -43,6 +43,25 @@ use std::hash::Hash;
 /// `Arc`, `DurableStore` in [`crate::persist`]) use interior locking and
 /// implement the trait for their `Arc` handles, where `&mut self` costs
 /// nothing.
+///
+/// ```
+/// use std::sync::Arc;
+/// use vaqem_runtime::cache::ConfigStore;
+/// use vaqem_runtime::store::{ShardedStore, StoreBackend};
+///
+/// // Code written against the trait runs unchanged on a deterministic
+/// // single-owner store and on a shared sharded store.
+/// fn warm_lookup<S: StoreBackend<u64, u32>>(store: &mut S) -> Option<u32> {
+///     store.lookup("dev", 0, &7)
+/// }
+/// let mut plain: ConfigStore<u64, u32> = ConfigStore::new(8);
+/// plain.insert("dev", 0, 7, 42);
+/// assert_eq!(warm_lookup(&mut plain), Some(42));
+///
+/// let mut shared = Arc::new(ShardedStore::<u64, u32>::new(2, 8));
+/// StoreBackend::publish(&mut shared, "dev", 0, 7, 43);
+/// assert_eq!(warm_lookup(&mut shared), Some(43));
+/// ```
 pub trait StoreBackend<F, V> {
     /// Looks up the cached value for a fingerprint on a device at a
     /// calibration epoch, recording a hit or miss.
@@ -449,5 +468,50 @@ mod tests {
     #[should_panic(expected = "shard")]
     fn zero_shards_rejected() {
         let _: ShardedStore<u64, u32> = ShardedStore::new(0, 8);
+    }
+
+    #[test]
+    fn aggregate_metrics_split_evictions_from_invalidations() {
+        // Capacity pressure and staleness are different operational
+        // signals: an LRU overflow must count *only* as an eviction and
+        // an explicit removal / drift invalidation *only* as an
+        // invalidation — in each shard's counters and in the fleet-wide
+        // aggregation alike. Pinned here so no future path can fold one
+        // counter into the other.
+        let s: ShardedStore<u64, u32> = ShardedStore::new(2, 2);
+        // Two device names that provably land on different shards.
+        let names: Vec<String> = (0..32).map(|i| format!("fleet-dev-{i}")).collect();
+        let a = names[0].as_str();
+        let b = names[1..]
+            .iter()
+            .find(|n| s.shard_of(n) != s.shard_of(a))
+            .expect("some name routes to the other shard")
+            .as_str();
+
+        // Device A overflows its shard's capacity: exactly one eviction.
+        s.insert(a, 0, 1, 10);
+        s.insert(a, 0, 2, 20);
+        s.insert(a, 0, 3, 30);
+        // Device B takes one explicit removal and one drift invalidation.
+        s.insert(b, 0, 1, 40);
+        s.insert(b, 0, 2, 50);
+        assert!(s.remove(b, 0, &1));
+        assert_eq!(s.invalidate_before(b, 1), 1);
+
+        let shard_a = &s.shard_metrics()[s.shard_of(a)];
+        assert_eq!(
+            (shard_a.cache.evictions, shard_a.cache.invalidations),
+            (1, 0),
+            "capacity overflow is eviction-only"
+        );
+        let shard_b = &s.shard_metrics()[s.shard_of(b)];
+        assert_eq!(
+            (shard_b.cache.evictions, shard_b.cache.invalidations),
+            (0, 2),
+            "removal + drift are invalidation-only"
+        );
+        let total = s.metrics();
+        assert_eq!((total.evictions, total.invalidations), (1, 2));
+        assert_eq!(total.insertions, 5);
     }
 }

@@ -141,6 +141,7 @@ fn tuner_is_deterministic_across_runs() {
             dd_sequence: DdSequence::Xx,
             max_repetitions: 4,
             guard_repeats: 2,
+            ..Default::default()
         },
     );
     let a = tuner.tune_dd(&params).unwrap();

@@ -37,6 +37,7 @@ fn tuner_config() -> WindowTunerConfig {
         dd_sequence: DdSequence::Xy4,
         max_repetitions: 8,
         guard_repeats: 2,
+        ..WindowTunerConfig::default()
     }
 }
 

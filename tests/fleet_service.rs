@@ -23,10 +23,10 @@ use vaqem_suite::runtime::store::ShardedStore;
 use vaqem_suite::vaqem::backend::QuantumBackend;
 use vaqem_suite::vaqem::vqe::VqeProblem;
 use vaqem_suite::vaqem::window_tuner::{
-    CachedChoice, FleetCacheSession, WindowFingerprint, WindowTuner, WindowTunerConfig,
+    FleetCacheSession, StoredChoice, WindowFingerprint, WindowTuner, WindowTunerConfig,
 };
 
-type SharedStore = Arc<ShardedStore<WindowFingerprint, CachedChoice>>;
+type SharedStore = Arc<ShardedStore<WindowFingerprint, StoredChoice>>;
 
 const NUM_THREADS: usize = 4;
 
@@ -48,6 +48,7 @@ fn tiny_config() -> WindowTunerConfig {
         dd_sequence: DdSequence::Xx,
         max_repetitions: 4,
         guard_repeats: 2,
+        ..WindowTunerConfig::default()
     }
 }
 

@@ -12,9 +12,12 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use proptest::prelude::*;
 use vaqem_suite::mitigation::dd::DdSequence;
+use vaqem_suite::mitigation::zne::{Extrapolation, ZneConfig};
 use vaqem_suite::runtime::persist::DurableStore;
 use vaqem_suite::runtime::store::ShardedStore;
-use vaqem_suite::vaqem::window_tuner::{CachedChoice, NoiseClass, TuningMode, WindowFingerprint};
+use vaqem_suite::vaqem::window_tuner::{
+    CachedChoice, ComposedChoice, NoiseClass, StoredChoice, TuningMode, WindowFingerprint,
+};
 
 static DIR_COUNTER: AtomicUsize = AtomicUsize::new(0);
 
@@ -36,12 +39,14 @@ fn device_name(tag: u8) -> String {
 /// Builds a structurally varied fingerprint from a handful of raw draws.
 fn fingerprint(raw: (u8, u32, u16, u32, i16)) -> WindowFingerprint {
     let (mode, duration, qubit, ordinal, class) = raw;
-    let mode = match mode % 5 {
+    let mode = match mode % 7 {
         0 => TuningMode::Gs,
         1 => TuningMode::Dd(DdSequence::Xx),
         2 => TuningMode::Dd(DdSequence::Yy),
         3 => TuningMode::Dd(DdSequence::Xy4),
-        _ => TuningMode::Dd(DdSequence::Xy8),
+        4 => TuningMode::Dd(DdSequence::Xy8),
+        5 => TuningMode::Zne,
+        _ => TuningMode::Composed(DdSequence::Xy4),
     };
     WindowFingerprint {
         mode,
@@ -52,7 +57,11 @@ fn fingerprint(raw: (u8, u32, u16, u32, i16)) -> WindowFingerprint {
             t1: class,
             t2: class.wrapping_add(1),
             detuning: class.wrapping_sub(7),
-            telegraph: if class % 3 == 0 { i16::MIN } else { class },
+            telegraph: if class.rem_euclid(3) == 0 {
+                i16::MIN
+            } else {
+                class
+            },
             readout: class.wrapping_mul(3),
         },
         neighbors_active: (duration % 7) as u8,
@@ -73,11 +82,36 @@ fn entry_strategy() -> impl Strategy<Value = RawEntry> {
     )
 }
 
-fn choice(value: (u32, u32)) -> CachedChoice {
-    CachedChoice {
-        fraction_of_max: value.0 as f64 / 1000.0,
-        value: value.1 as f64,
-        objective: -(value.0 as f64) / 64.0,
+/// Alternates between the per-window and composed store variants so the
+/// persistence properties cover both encodings (and the ZNE payload).
+fn choice(value: (u32, u32)) -> StoredChoice {
+    if value.0.is_multiple_of(2) {
+        StoredChoice::Window(CachedChoice {
+            fraction_of_max: value.0 as f64 / 1000.0,
+            value: value.1 as f64,
+            objective: -(value.0 as f64) / 64.0,
+        })
+    } else {
+        StoredChoice::Composed(ComposedChoice {
+            gate_positions: vec![value.0 as f64 / 1000.0; (value.1 % 4) as usize],
+            dd_sequence: if value.1.is_multiple_of(2) {
+                Some(DdSequence::Xy4)
+            } else {
+                None
+            },
+            dd_repetitions: (0..value.0 % 5).collect(),
+            zne: if value.0.is_multiple_of(3) {
+                Some(ZneConfig::new(vec![0, 1, 2], Extrapolation::Exponential))
+            } else {
+                Some(ZneConfig::new(
+                    vec![0, (1 + value.1 % 4) as u8],
+                    Extrapolation::Richardson {
+                        order: (value.0 % 3) as u8,
+                    },
+                ))
+            },
+            objective: -(value.0 as f64) / 64.0,
+        })
     }
 }
 
@@ -94,7 +128,7 @@ proptest! {
         let dir = fresh_dir();
         let populated: Vec<_>;
         {
-            let store: DurableStore<WindowFingerprint, CachedChoice> =
+            let store: DurableStore<WindowFingerprint, StoredChoice> =
                 DurableStore::open(&dir, 4, 256).expect("open");
             for ((dev, epoch), raw, val) in &entries {
                 store.insert(&device_name(*dev), *epoch, fingerprint(*raw), choice(*val));
@@ -109,14 +143,14 @@ proptest! {
             // Journal-only reload: content must match exactly (same
             // shard count ⇒ same per-shard insertion order ⇒ same
             // export order).
-            let replayed: DurableStore<WindowFingerprint, CachedChoice> =
+            let replayed: DurableStore<WindowFingerprint, StoredChoice> =
                 DurableStore::open(&dir, 4, 256).expect("reopen");
             prop_assert_eq!(replayed.export_entries(), populated.clone());
             // Now save (checkpoint) through the *replayed* handle and
             // reload again: snapshot path must also be lossless.
             replayed.checkpoint().expect("checkpoint");
         }
-        let reloaded: DurableStore<WindowFingerprint, CachedChoice> =
+        let reloaded: DurableStore<WindowFingerprint, StoredChoice> =
             DurableStore::open(&dir, 4, 256).expect("reload");
         prop_assert_eq!(reloaded.recovery().journal_records, 0);
         prop_assert_eq!(reloaded.export_entries(), populated);
@@ -157,8 +191,8 @@ proptest! {
     ) {
         // The same inserts land with the same content whatever the shard
         // layout — only lock striping changes, never visibility.
-        let a: ShardedStore<WindowFingerprint, CachedChoice> = ShardedStore::new(shards_a, 256);
-        let b: ShardedStore<WindowFingerprint, CachedChoice> = ShardedStore::new(shards_b, 256);
+        let a: ShardedStore<WindowFingerprint, StoredChoice> = ShardedStore::new(shards_a, 256);
+        let b: ShardedStore<WindowFingerprint, StoredChoice> = ShardedStore::new(shards_b, 256);
         for ((dev, epoch), raw, val) in &entries {
             a.insert(&device_name(*dev), *epoch, fingerprint(*raw), choice(*val));
             b.insert(&device_name(*dev), *epoch, fingerprint(*raw), choice(*val));

@@ -115,6 +115,7 @@ fn vaqem_tuned_config_not_much_worse_than_baseline() {
             dd_sequence: DdSequence::Xy4,
             max_repetitions: 6,
             guard_repeats: 4,
+            ..WindowTunerConfig::default()
         },
     );
     let tuned = tuner.tune_dd(&params).expect("tuning");
