@@ -1,35 +1,52 @@
 //! The fleet daemon: many concurrent clients, few devices, one durable
-//! config store.
+//! config store — scheduled by an event-driven reactor.
 //!
 //! # Architecture
 //!
 //! ```text
-//!  client threads ──submit()──▶ admission (queue-aware, scheduler.rs)
-//!                                   │ per-device FIFO work queues
-//!                     ┌─────────────┼─────────────┐
-//!                worker 0       worker 1       worker M-1   (std threads)
-//!                (device 0)     (device 1)     (device M-1)
-//!                     │             │             │ warm-start tuning
-//!                     ▼             ▼             ▼
-//!              Arc<DurableMitigationStore>  (sharded; device → shard)
-//!                     │ mutations journaled, snapshot on checkpoint
-//!                     ▼
-//!                store_dir/store.snapshot + store.journal
+//!  client threads ──submit()──▶ event channel
+//!                                    │
+//!                                    ▼            (one scheduler thread)
+//!                     ┌──────── REACTOR ────────────────────────────┐
+//!                     │ unified event queue:                        │
+//!                     │   arrival · completion · recalibration ·    │
+//!                     │   checkpoint tick                           │
+//!                     │ per-device DRR fair queues (fairness.rs)    │
+//!                     │ per-client quotas (quota.rs)                │
+//!                     │ queue-aware admission (scheduler.rs)        │
+//!                     └──┬───────────┬──────────────┬───────────────┘
+//!                        │ dispatch  │              │ ≤1 session per
+//!                        ▼           ▼              ▼ device in flight
+//!                    worker 0    worker 1  …   worker P-1   (bounded pool)
+//!                        │ warm-start tuning (core crate)
+//!                        ▼
+//!               Arc<DurableMitigationStore>  (sharded; device → shard)
+//!                        │ mutations journaled; reactor ticks
+//!                        │ auto-compact past the journal bound
+//!                        ▼
+//!                 store_dir/store.snapshot + store.journal
 //! ```
 //!
-//! One worker thread per device serializes that device's sessions — a
-//! tuning session holds the machine, so per-device FIFO *is* the
-//! physical contention model — while different devices tune fully in
-//! parallel against the shared store. Because shard routing keys on the
-//! device name, cross-device traffic never meets on a shard lock.
+//! The reactor owns *all* scheduling state — per-device deficit-
+//! round-robin queues across clients, the quota ledger, the drift feed,
+//! worker availability — and mutates it only while handling events, so
+//! there is no admission lock and no per-device condvar parking (the
+//! PR 3 design this replaced). Devices still serialize their own
+//! sessions (a tuning session holds the machine), but *which* client's
+//! session runs next is weighted fair queueing, not FIFO: one heavy
+//! tenant can no longer head-of-line-block every other client on its
+//! device, and per-client quotas (in-flight cap, machine-minute budget
+//! per epoch priced through the cost model) bound what any tenant can
+//! claim. See `crate::reactor`, `crate::fairness`, `crate::quota`.
 //!
-//! Each session: observe the device's drift clock (crossing ⇒ journaled
-//! invalidation of the device's stale epochs), rebuild the calibration
-//! snapshot, warm-start tune through the core crate's guard-gated cache
-//! path (the daemon only swaps the store backend; ZNE and composed
-//! sessions ride the same path via their circuit-level fingerprints),
-//! and price the measured evaluation count with the cost model — folded
-//! (ZNE) evaluations at the folded-shot multiplier, the rest plain.
+//! Each session: the reactor observes the device's drift clock at
+//! arrival (crossing ⇒ a recalibration event that journal-invalidates
+//! the device's stale epochs), then a pool worker rebuilds the
+//! calibration snapshot, warm-start tunes through the core crate's
+//! guard-gated cache path (ZNE and composed sessions ride the same path
+//! via their circuit-level fingerprints), and prices the measured
+//! evaluation count with the cost model — folded (ZNE) evaluations at
+//! the folded-shot multiplier, the rest plain.
 //!
 //! # Determinism
 //!
@@ -38,13 +55,15 @@
 //! replay — so a session's tuned result is independent of which client
 //! submitted first, and N concurrent clients tuning identical
 //! fingerprints converge to the single-threaded replay's configs
-//! (`tests/fleet_service.rs` pins this).
+//! (`tests/fleet_service.rs` pins this). Scheduling itself is a pure
+//! function of the event order: the DRR dispatch sequence and quota
+//! verdicts contain no RNG and no wall clocks.
 
-use std::collections::VecDeque;
+use std::fmt;
 use std::io;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 
 use vaqem::backend::QuantumBackend;
@@ -53,12 +72,15 @@ use vaqem::window_tuner::{
     FleetCacheSession, StoredChoice, WindowFingerprint, WindowTuner, WindowTunerConfig,
 };
 use vaqem_device::backend::DeviceModel;
-use vaqem_device::drift::{DriftModel, EpochFeed};
+use vaqem_device::drift::DriftModel;
 use vaqem_mathkit::rng::SeedStream;
 use vaqem_mitigation::combined::MitigationConfig;
-use vaqem_runtime::persist::DurableStore;
+use vaqem_runtime::persist::{CompactionPolicy, DurableStore};
 use vaqem_runtime::{BatchDispatch, CostModel, WorkloadProfile};
 
+use crate::fairness::FairnessConfig;
+use crate::quota::{ClientQuota, QuotaError};
+use crate::reactor::{reactor_loop, worker_loop, Event, FleetMetricsReport, WorkItem};
 use crate::scheduler;
 
 /// The concrete durable fleet store: fingerprints to guard-validated
@@ -96,6 +118,48 @@ pub enum SessionKind {
     CombinedZne,
 }
 
+/// Multi-tenancy policy: worker pool bound, fairness weights, quotas,
+/// and the self-compaction cadence. The default is the "no policy"
+/// fleet — unlimited equal-weight tenants, a pool of one worker per
+/// device, auto-compaction at the store's default journal bound — which
+/// behaves like the pre-reactor daemon.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenancyConfig {
+    /// Worker pool size; `0` means one worker per device (each device
+    /// runs at most one session at a time regardless, so a larger pool
+    /// never helps).
+    pub workers: usize,
+    /// Deficit-round-robin weights (see `crate::fairness`).
+    pub fairness: FairnessConfig,
+    /// Quota for clients without an override.
+    pub default_quota: ClientQuota,
+    /// Per-client quota overrides.
+    pub quotas: Vec<(String, ClientQuota)>,
+    /// Length of the machine-minute budget accounting window, in the
+    /// request clock's hours.
+    pub quota_epoch_hours: f64,
+    /// When checkpoint ticks compact the journal into a snapshot.
+    pub compaction: CompactionPolicy,
+    /// Completions per checkpoint tick (the tick then applies
+    /// `compaction`). Higher values check less often; the journal bound
+    /// is still respected to within one tick's worth of sessions.
+    pub checkpoint_tick_completions: u64,
+}
+
+impl Default for TenancyConfig {
+    fn default() -> Self {
+        TenancyConfig {
+            workers: 0,
+            fairness: FairnessConfig::default(),
+            default_quota: ClientQuota::unlimited(),
+            quotas: Vec::new(),
+            quota_epoch_hours: 24.0,
+            compaction: CompactionPolicy::default(),
+            checkpoint_tick_completions: 1,
+        }
+    }
+}
+
 /// Daemon configuration.
 #[derive(Debug, Clone)]
 pub struct FleetServiceConfig {
@@ -117,14 +181,17 @@ pub struct FleetServiceConfig {
     pub cost: CostModel,
     /// Batched-dispatch shape for pricing.
     pub dispatch: BatchDispatch,
+    /// Multi-tenancy policy (fairness, quotas, pool size, compaction).
+    pub tenancy: TenancyConfig,
 }
 
 /// One client's tuning request.
 #[derive(Debug, Clone)]
 pub struct SessionRequest {
-    /// Client label (reporting only).
+    /// Client label — the fairness lane and quota account.
     pub client: String,
-    /// Wall-clock hour of the request (drives the drift clock).
+    /// Wall-clock hour of the request (drives the drift clock and the
+    /// quota epoch).
     pub t_hours: f64,
     /// Tuned ansatz angles the mitigation is tuned under.
     pub params: Vec<f64>,
@@ -158,53 +225,68 @@ pub struct SessionOutcome {
     /// Stale entries invalidated by a recalibration crossing this
     /// session observed (0 almost always).
     pub invalidated: usize,
+    /// Global completion index across the service since open (the
+    /// dispatch-order audit trail: restricted to one device it is the
+    /// device's completion order, which the starvation-freedom replay
+    /// asserts against).
+    pub sequence: u64,
     /// The guard-validated mitigation configuration.
     pub config: MitigationConfig,
 }
 
-/// How a session concludes: the outcome, or a tuning-error message.
-pub type SessionResult = Result<SessionOutcome, String>;
-
-struct QueuedJob {
-    request: SessionRequest,
-    device: usize,
-    estimate_min: f64,
-    reply: mpsc::Sender<SessionResult>,
+/// Why a session concluded without an outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionError {
+    /// Rejected at admission by the client's quota (typed; nothing ran).
+    Quota(QuotaError),
+    /// The tuning run itself failed on the device.
+    Tuning(String),
 }
 
-struct DeviceQueue {
-    jobs: Mutex<VecDeque<QueuedJob>>,
-    ready: Condvar,
-    backlog_min: Mutex<f64>,
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Quota(e) => write!(f, "quota rejection: {e}"),
+            SessionError::Tuning(msg) => write!(f, "tuning failed: {msg}"),
+        }
+    }
 }
 
-struct ServiceState {
-    config: FleetServiceConfig,
-    devices: Vec<DeviceSpec>,
-    queues: Vec<DeviceQueue>,
-    queue_wait_min: Vec<f64>,
-    feed: Mutex<EpochFeed>,
-    store: Arc<DurableMitigationStore>,
-    problem: VqeProblem,
-    seeds: SeedStream,
-    /// Serializes un-pinned admission's read-choose-increment sequence:
-    /// without it, N simultaneous submits would all see the same backlog
-    /// snapshot and pile onto the same "cheapest" device.
-    admission: Mutex<()>,
-    shutdown: AtomicBool,
-    completed: AtomicUsize,
+impl std::error::Error for SessionError {}
+
+/// How a session concludes: the outcome, or a typed error.
+pub type SessionResult = Result<SessionOutcome, SessionError>;
+
+/// State shared by the reactor, the worker pool, and the service
+/// handle. Immutable after open except for the atomics.
+pub(crate) struct ServiceShared {
+    pub config: FleetServiceConfig,
+    pub devices: Vec<DeviceSpec>,
+    pub queue_wait_min: Vec<f64>,
+    pub store: Arc<DurableMitigationStore>,
+    pub problem: VqeProblem,
+    pub seeds: SeedStream,
+    /// The per-session cost estimate (uniform across sessions: the
+    /// profile is per-service), used for admission, DRR costs, and
+    /// quota reservations.
+    pub estimate_min: f64,
+    pub shutdown: AtomicBool,
+    pub completed: AtomicUsize,
 }
 
-/// The long-lived fleet daemon. See the module docs for the architecture.
+/// The long-lived fleet daemon. See the module docs for the
+/// architecture.
 pub struct FleetService {
-    state: Arc<ServiceState>,
+    shared: Arc<ServiceShared>,
+    events: mpsc::Sender<Event>,
+    reactor: JoinHandle<()>,
     workers: Vec<JoinHandle<()>>,
 }
 
 impl FleetService {
     /// Opens the persistent store under `config.store_dir` (recovering
-    /// any snapshot + journal left by a previous process) and spawns one
-    /// worker thread per device.
+    /// any snapshot + journal left by a previous process), spawns the
+    /// reactor thread and the bounded worker pool.
     ///
     /// # Errors
     ///
@@ -228,45 +310,55 @@ impl FleetService {
         let names: Vec<String> = devices.iter().map(|d| d.name.clone()).collect();
         let queue_wait_min =
             scheduler::device_queue_minutes(&config.cost, &seeds, &config.profile, &names);
-        let feed_pairs: Vec<(&str, &DriftModel)> = devices
-            .iter()
-            .map(|d| (d.name.as_str(), &d.drift))
-            .collect();
-        let feed = Mutex::new(EpochFeed::new(&feed_pairs));
-        let queues = devices
-            .iter()
-            .map(|_| DeviceQueue {
-                jobs: Mutex::new(VecDeque::new()),
-                ready: Condvar::new(),
-                backlog_min: Mutex::new(0.0),
-            })
-            .collect();
-        let state = Arc::new(ServiceState {
+        let estimate_min = config
+            .cost
+            .em_tuning_minutes_batched(&config.profile, &config.dispatch);
+        let pool = match config.tenancy.workers {
+            0 => devices.len(),
+            n => n,
+        };
+        let shared = Arc::new(ServiceShared {
             config,
             devices,
-            queues,
             queue_wait_min,
-            feed,
             store,
             problem,
             seeds,
-            admission: Mutex::new(()),
+            estimate_min,
             shutdown: AtomicBool::new(false),
             completed: AtomicUsize::new(0),
         });
-        let workers = (0..state.devices.len())
-            .map(|dev| {
-                let state = Arc::clone(&state);
-                std::thread::spawn(move || worker_loop(state, dev))
-            })
-            .collect();
-        Ok(FleetService { state, workers })
+        let (events, event_rx) = mpsc::channel();
+        let mut worker_txs = Vec::with_capacity(pool);
+        let mut workers = Vec::with_capacity(pool);
+        for _ in 0..pool {
+            let (tx, rx) = mpsc::channel::<WorkItem>();
+            worker_txs.push(tx);
+            let shared = Arc::clone(&shared);
+            let events = events.clone();
+            workers.push(std::thread::spawn(move || worker_loop(shared, rx, events)));
+        }
+        let reactor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || reactor_loop(shared, event_rx, worker_txs))
+        };
+        Ok(FleetService {
+            shared,
+            events,
+            reactor,
+            workers,
+        })
     }
 
-    /// Submits a session. Admission is queue-aware when the request does
-    /// not pin a device: the session goes to the device minimizing
-    /// `queue wait + projected backlog`. Returns the channel the outcome
-    /// arrives on.
+    /// Submits a session and returns the channel its result arrives on.
+    ///
+    /// The reactor handles the arrival: queue-aware admission when the
+    /// request does not pin a device (the device minimizing
+    /// `queue wait + projected backlog`), then the quota gate — a breach
+    /// answers the channel immediately with
+    /// [`SessionError::Quota`] — then the device's deficit-round-robin
+    /// fair queue decides when the session runs relative to other
+    /// clients'.
     ///
     /// # Panics
     ///
@@ -274,164 +366,117 @@ impl FleetService {
     /// index is out of range.
     pub fn submit(&self, request: SessionRequest) -> mpsc::Receiver<SessionResult> {
         assert!(
-            !self.state.shutdown.load(Ordering::SeqCst),
+            !self.shared.shutdown.load(Ordering::SeqCst),
             "submit after shutdown"
         );
-        let estimate_min = self
-            .state
-            .config
-            .cost
-            .em_tuning_minutes_batched(&self.state.config.profile, &self.state.config.dispatch);
-        // Choose a device and claim its backlog under one admission
-        // lock: concurrent un-pinned submits must each see the previous
-        // one's claim, or they would all pick the same device.
-        let device = {
-            let _admission = self.state.admission.lock().expect("admission lock");
-            let backlogs: Vec<f64> = self
-                .state
-                .queues
-                .iter()
-                .map(|q| *q.backlog_min.lock().expect("backlog lock"))
-                .collect();
-            let device = match request.device {
-                Some(d) => {
-                    assert!(d < self.state.devices.len(), "device index out of range");
-                    d
-                }
-                None => scheduler::admit(&self.state.queue_wait_min, &backlogs),
-            };
-            *self.state.queues[device]
-                .backlog_min
-                .lock()
-                .expect("backlog lock") += estimate_min;
-            device
-        };
+        if let Some(d) = request.device {
+            assert!(d < self.shared.devices.len(), "device index out of range");
+        }
         let (tx, rx) = mpsc::channel();
-        let queue = &self.state.queues[device];
-        queue.jobs.lock().expect("queue lock").push_back(QueuedJob {
-            request,
-            device,
-            estimate_min,
-            reply: tx,
-        });
-        queue.ready.notify_one();
+        self.events
+            .send(Event::Arrive { request, reply: tx })
+            .expect("reactor alive");
         rx
+    }
+
+    /// A structured dump of the live service: reactor event counters,
+    /// per-device queue depth/backlog and fairness lanes, per-client
+    /// quota usage and attributed store traffic, per-shard store
+    /// metrics. Answered by the reactor between events, so the snapshot
+    /// is internally consistent.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the reactor is gone (after shutdown began).
+    pub fn metrics_report(&self) -> FleetMetricsReport {
+        let (tx, rx) = mpsc::channel();
+        self.events.send(Event::Metrics(tx)).expect("reactor alive");
+        rx.recv().expect("reactor answers metrics")
     }
 
     /// The shared store handle (metrics, checkpointing, diagnostics).
     pub fn store(&self) -> Arc<DurableMitigationStore> {
-        Arc::clone(&self.state.store)
+        Arc::clone(&self.shared.store)
     }
 
     /// Device names, in index order.
     pub fn device_names(&self) -> Vec<String> {
-        self.state.devices.iter().map(|d| d.name.clone()).collect()
+        self.shared.devices.iter().map(|d| d.name.clone()).collect()
     }
 
     /// The deterministic per-device queue-wait samples admission uses.
     pub fn queue_wait_min(&self) -> &[f64] {
-        &self.state.queue_wait_min
+        &self.shared.queue_wait_min
     }
 
     /// Sessions completed since open.
     pub fn sessions_completed(&self) -> usize {
-        self.state.completed.load(Ordering::Relaxed)
+        self.shared.completed.load(Ordering::Relaxed)
     }
 
-    fn stop_workers(self) -> Arc<ServiceState> {
-        self.state.shutdown.store(true, Ordering::SeqCst);
-        for q in &self.state.queues {
-            q.ready.notify_all();
-        }
+    /// The uniform per-session machine-minute estimate used for
+    /// admission backlogs, DRR costs, and quota reservations.
+    pub fn session_estimate_min(&self) -> f64 {
+        self.shared.estimate_min
+    }
+
+    fn stop(self) -> Arc<ServiceShared> {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // The reactor drains every queue (completions included) before
+        // exiting; dropping its worker senders then ends the pool.
+        let _ = self.events.send(Event::Shutdown);
+        let _ = self.reactor.join();
         for w in self.workers {
             let _ = w.join();
         }
-        self.state
+        self.shared
     }
 
-    /// Graceful shutdown: drains every queue, joins the workers, then
-    /// checkpoints the store (snapshot written, journal truncated).
+    /// Graceful shutdown: drains every queue, joins the reactor and the
+    /// worker pool, then checkpoints the store (snapshot written,
+    /// journal truncated).
     ///
     /// # Errors
     ///
     /// Checkpoint I/O errors (the journal still holds the full history).
     pub fn shutdown(self) -> io::Result<()> {
-        let state = self.stop_workers();
-        state.store.checkpoint()
+        let shared = self.stop();
+        shared.store.checkpoint()
     }
 
-    /// Abrupt stop: drains queued work and joins the workers but writes
+    /// Abrupt stop: drains queued work and joins the threads but writes
     /// **no checkpoint** — the append-only journal is the only durable
     /// record, exactly as after a process kill. The next
     /// [`FleetService::open`] on the same directory must rebuild the
     /// store by journal replay (`extension_fleet_service` exercises
     /// this mid-run).
     pub fn halt(self) {
-        let _ = self.stop_workers();
+        let _ = self.stop();
     }
 }
 
-fn worker_loop(state: Arc<ServiceState>, dev: usize) {
-    loop {
-        let job = {
-            let queue = &state.queues[dev];
-            let mut jobs = queue.jobs.lock().expect("queue lock");
-            loop {
-                if let Some(job) = jobs.pop_front() {
-                    break Some(job);
-                }
-                if state.shutdown.load(Ordering::SeqCst) {
-                    break None;
-                }
-                jobs = queue.ready.wait(jobs).expect("queue wait");
-            }
-        };
-        let Some(job) = job else { return };
-        let result = run_session(&state, &job);
-        {
-            let mut backlog = state.queues[dev].backlog_min.lock().expect("backlog lock");
-            *backlog = (*backlog - job.estimate_min).max(0.0);
-        }
-        state.completed.fetch_add(1, Ordering::Relaxed);
-        // A client that dropped its receiver just doesn't hear back.
-        let _ = job.reply.send(result);
-    }
-}
-
-fn run_session(state: &ServiceState, job: &QueuedJob) -> SessionResult {
-    let dev = job.device;
-    let spec = &state.devices[dev];
-    let cfg = &state.config;
-
-    // Drift clock: a recalibration crossing invalidates the device's
-    // stale-epoch entries (journaled, so the drop survives a restart).
-    let crossing = {
-        let mut feed = state.feed.lock().expect("feed lock");
-        feed.observe(dev, job.request.t_hours).map(|(_, e)| e)
-    };
-    let invalidated = match crossing {
-        Some(epoch) => state.store.invalidate_before(&spec.name, epoch),
-        None => 0,
-    };
-    let epoch = {
-        let feed = state.feed.lock().expect("feed lock");
-        feed.epoch(dev).expect("observed above")
-    };
+/// Executes one session on a pool worker. Scheduling decisions (device,
+/// epoch, invalidation attribution) were made by the reactor and travel
+/// in the [`WorkItem`].
+pub(crate) fn run_session(shared: &ServiceShared, item: &WorkItem) -> SessionResult {
+    let dev = item.device;
+    let spec = &shared.devices[dev];
+    let cfg = &shared.config;
 
     // The backend executes under the instantaneous drifted noise;
     // fingerprints classify the epoch's calibration snapshot — all a
     // real control stack would know.
-    let num_qubits = state.problem.ansatz().num_qubits();
+    let num_qubits = shared.problem.ansatz().num_qubits();
     let layout: Vec<usize> = (0..num_qubits).collect();
     let noise_now = spec
         .drift
-        .noise_at(&spec.model, job.request.t_hours)
+        .noise_at(&spec.model, item.request.t_hours)
         .subset(&layout);
     let calibration = spec
         .drift
         .noise_at(
             &spec.model,
-            epoch as f64 * spec.drift.calibration_period_hours(),
+            item.epoch as f64 * spec.drift.calibration_period_hours(),
         )
         .subset(&layout);
     // One trajectory stream per device: clients share the machine, so
@@ -439,30 +484,32 @@ fn run_session(state: &ServiceState, job: &QueuedJob) -> SessionResult {
     // queued first — the property that lets cached configs re-verify.
     let backend = QuantumBackend::new(
         noise_now,
-        state.seeds.substream(&format!("machine-{}", spec.name)),
+        shared.seeds.substream(&format!("machine-{}", spec.name)),
     )
     .with_shots(cfg.shots);
 
-    let tuner = WindowTuner::new(&state.problem, &backend, cfg.tuner.clone());
-    let mut handle = Arc::clone(&state.store);
+    let tuner = WindowTuner::new(&shared.problem, &backend, cfg.tuner.clone());
+    let mut handle = Arc::clone(&shared.store);
     let mut session = FleetCacheSession {
         store: &mut handle,
         device: &spec.name,
-        epoch,
+        epoch: item.epoch,
         calibration: &calibration,
     };
-    let report = match job.request.kind {
-        SessionKind::Dd => tuner.tune_dd_warm(&job.request.params, &mut session),
-        SessionKind::Gs => tuner.tune_gs_warm(&job.request.params, &mut session),
-        SessionKind::Combined => tuner.tune_combined_warm(&job.request.params, &mut session),
-        SessionKind::Zne => tuner.tune_zne_warm(&job.request.params, &mut session),
-        SessionKind::CombinedZne => tuner.tune_combined_zne_warm(&job.request.params, &mut session),
+    let report = match item.request.kind {
+        SessionKind::Dd => tuner.tune_dd_warm(&item.request.params, &mut session),
+        SessionKind::Gs => tuner.tune_gs_warm(&item.request.params, &mut session),
+        SessionKind::Combined => tuner.tune_combined_warm(&item.request.params, &mut session),
+        SessionKind::Zne => tuner.tune_zne_warm(&item.request.params, &mut session),
+        SessionKind::CombinedZne => {
+            tuner.tune_combined_zne_warm(&item.request.params, &mut session)
+        }
     }
-    .map_err(|e| format!("tuning failed on {}: {e:?}", spec.name))?;
+    .map_err(|e| SessionError::Tuning(format!("on {}: {e:?}", spec.name)))?;
 
     let profile = WorkloadProfile {
         num_qubits,
-        measurement_groups: state.problem.groups().len(),
+        measurement_groups: shared.problem.groups().len(),
         windows: report.stats.hits + report.stats.misses,
         sweep_resolution: cfg.tuner.sweep_resolution,
         shots: cfg.shots,
@@ -496,16 +543,19 @@ fn run_session(state: &ServiceState, job: &QueuedJob) -> SessionResult {
     }
 
     Ok(SessionOutcome {
-        client: job.request.client.clone(),
+        client: item.request.client.clone(),
         device: dev,
         device_name: spec.name.clone(),
-        epoch,
+        epoch: item.epoch,
         hits: report.stats.hits,
         misses: report.stats.misses,
         guard_rejected: report.stats.guard_rejected,
         evaluations: report.tuned.evaluations,
         minutes,
-        invalidated,
+        invalidated: item.invalidated,
+        // Stamped by the worker loop at completion time (the counter is
+        // shared across the pool).
+        sequence: 0,
         config: report.tuned.config,
     })
 }

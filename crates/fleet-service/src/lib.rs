@@ -7,13 +7,24 @@
 //! capital survives process restarts.
 //!
 //! The paper's §IX transfer result makes per-window EM tuning cacheable;
-//! PR 2 built the cache; this crate makes it a *service*: per-device
-//! worker threads over FIFO work queues, queue-aware admission fed by
-//! `CostModel::queuing_minutes`, journaled drift invalidation, and
-//! graceful ([`FleetService::shutdown`]) vs. abrupt
-//! ([`FleetService::halt`]) stops with journal-replay recovery. Sessions
-//! cover every tuning family the core tuner exposes — per-window DD/GS,
-//! the coordinated GS+DD mode, and the §IX ZNE extension
+//! PR 2 built the cache; this crate makes it a *multi-tenant service*:
+//! an **event-driven reactor** (one scheduler thread over a unified
+//! event queue — session arrival, session completion, recalibration
+//! crossing, checkpoint tick) dispatches sessions onto a bounded worker
+//! pool. Per device, the next session is chosen by deficit-round-robin
+//! **weighted fair queueing across clients** ([`fairness`]) — no tenant
+//! head-of-line-blocks another — and per-client **quotas** ([`quota`]:
+//! in-flight caps, machine-minute budgets priced through the cost
+//! model) reject greedy submissions with a typed error. Admission stays
+//! queue-aware (fed by `CostModel::queuing_minutes`), drift
+//! invalidation stays journaled, checkpoint ticks auto-compact the
+//! journal, and stops are graceful ([`FleetService::shutdown`]) or
+//! abrupt ([`FleetService::halt`]) with journal-replay recovery.
+//! [`FleetService::metrics_report`] dumps the whole picture — event
+//! counters, per-device queues and fairness lanes, per-client quota and
+//! store-traffic attribution, per-shard metrics. Sessions cover every
+//! tuning family the core tuner exposes — per-window DD/GS, the
+//! coordinated GS+DD mode, and the §IX ZNE extension
 //! ([`SessionKind::Zne`], [`SessionKind::CombinedZne`], whose composed
 //! `(gs, dd, zne)` choices are cached and journaled as single units).
 //!
@@ -70,6 +81,9 @@
 //!     },
 //!     cost: CostModel::ibm_cloud_2021(),
 //!     dispatch: BatchDispatch::local(2),
+//!     // Default tenancy: equal weights, unlimited quotas, one worker
+//!     // per device, auto-compaction at the default journal bound.
+//!     tenancy: vaqem_fleet_service::TenancyConfig::default(),
 //! };
 //!
 //! // Open (recovers any previous snapshot + journal), submit, await.
@@ -95,9 +109,15 @@
 #![deny(missing_docs)]
 
 pub mod daemon;
+pub mod fairness;
+pub mod quota;
+pub mod reactor;
 pub mod scheduler;
 
 pub use daemon::{
-    DeviceSpec, DurableMitigationStore, FleetService, FleetServiceConfig, SessionKind,
-    SessionOutcome, SessionRequest, SessionResult,
+    DeviceSpec, DurableMitigationStore, FleetService, FleetServiceConfig, SessionError,
+    SessionKind, SessionOutcome, SessionRequest, SessionResult, TenancyConfig,
 };
+pub use fairness::FairnessConfig;
+pub use quota::{ClientQuota, QuotaError, QuotaUsage};
+pub use reactor::{DeviceMetricsReport, EventCounters, FleetMetricsReport};

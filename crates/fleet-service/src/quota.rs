@@ -1,0 +1,425 @@
+//! Per-client quotas: in-flight session caps and machine-minute budgets.
+//!
+//! A shared fleet needs more than fair *ordering* (`crate::fairness`):
+//! nothing in a fair queue stops one tenant from swamping the service
+//! with admitted-but-queued work, or from burning the whole fleet's
+//! machine-minute budget on its own sessions. This module bounds both:
+//!
+//! * **In-flight cap** — sessions admitted but not yet completed
+//!   (queued *or* running). A breach rejects the submission at arrival
+//!   with [`QuotaError::InFlightExceeded`].
+//! * **Machine-minute budget per quota epoch** — minutes of machine
+//!   time, priced through `CostModel` (the reactor reserves the
+//!   admission-time estimate, then settles to the session's measured
+//!   bill on completion). The budget resets when the request clock
+//!   (`SessionRequest::t_hours`) crosses into a new quota epoch of
+//!   configurable length. A breach rejects with
+//!   [`QuotaError::BudgetExhausted`].
+//!
+//! Accounting is reserve-then-settle: admission charges the estimate so
+//! a burst of concurrent submissions cannot overshoot the budget before
+//! any of them completes; completion replaces the reservation with the
+//! measured minutes. Everything is deterministic — the book is plain
+//! arithmetic on the reactor thread, no clocks beyond the request's own
+//! `t_hours`.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// One client's limits. The default is unlimited on both axes, so a
+/// fleet that configures no quotas behaves exactly like the pre-quota
+/// daemon.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClientQuota {
+    /// Maximum sessions admitted but not yet completed (queued or
+    /// running). `usize::MAX` = unlimited.
+    pub max_in_flight: usize,
+    /// Machine-minute budget per quota epoch (estimates reserved at
+    /// admission, settled to measured minutes at completion).
+    /// `f64::INFINITY` = unlimited.
+    pub minutes_per_epoch: f64,
+}
+
+impl ClientQuota {
+    /// No limits on either axis.
+    pub const fn unlimited() -> Self {
+        ClientQuota {
+            max_in_flight: usize::MAX,
+            minutes_per_epoch: f64::INFINITY,
+        }
+    }
+}
+
+impl Default for ClientQuota {
+    fn default() -> Self {
+        ClientQuota::unlimited()
+    }
+}
+
+/// Why a submission was rejected at admission — the typed error a
+/// client receives on its reply channel instead of a session outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuotaError {
+    /// The client already has `limit` sessions admitted-but-incomplete.
+    InFlightExceeded {
+        /// The offending client.
+        client: String,
+        /// Its configured in-flight cap.
+        limit: usize,
+    },
+    /// Admitting the session would push the client's reserved + spent
+    /// machine minutes past its budget for the current quota epoch.
+    BudgetExhausted {
+        /// The offending client.
+        client: String,
+        /// The per-epoch budget (minutes).
+        limit_min: f64,
+        /// Minutes already spent or reserved this epoch.
+        used_min: f64,
+        /// The estimate the rejected session would have added.
+        requested_min: f64,
+        /// The quota epoch the rejection happened in.
+        epoch: u64,
+    },
+}
+
+impl fmt::Display for QuotaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuotaError::InFlightExceeded { client, limit } => {
+                write!(f, "client {client} already has {limit} sessions in flight")
+            }
+            QuotaError::BudgetExhausted {
+                client,
+                limit_min,
+                used_min,
+                requested_min,
+                epoch,
+            } => write!(
+                f,
+                "client {client} machine budget exhausted in quota epoch {epoch}: \
+                 {used_min:.2} of {limit_min:.2} min used, {requested_min:.2} more requested"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for QuotaError {}
+
+/// A point-in-time view of one client's quota accounting
+/// (`FleetService::metrics_report`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuotaUsage {
+    /// Client label.
+    pub client: String,
+    /// Sessions admitted but not yet completed.
+    pub in_flight: usize,
+    /// The client's in-flight cap (`usize::MAX` = unlimited).
+    pub max_in_flight: usize,
+    /// Estimated minutes reserved by in-flight sessions.
+    pub reserved_min: f64,
+    /// Measured minutes settled this quota epoch.
+    pub spent_min: f64,
+    /// The per-epoch budget (`f64::INFINITY` = unlimited).
+    pub budget_min: f64,
+    /// The quota epoch the spend is accounted against.
+    pub epoch: u64,
+    /// Sessions completed since the book opened (all epochs).
+    pub completed: u64,
+    /// Submissions rejected for this client since the book opened.
+    pub rejected: u64,
+}
+
+#[derive(Debug, Default)]
+struct ClientUsage {
+    in_flight: usize,
+    epoch: u64,
+    reserved_min: f64,
+    spent_min: f64,
+    completed: u64,
+    rejected: u64,
+}
+
+/// The reactor's quota ledger: per-client limits plus reserve/settle
+/// accounting. Owned by the single reactor thread — no locking.
+#[derive(Debug)]
+pub struct QuotaBook {
+    default: ClientQuota,
+    overrides: HashMap<String, ClientQuota>,
+    usage: HashMap<String, ClientUsage>,
+}
+
+impl QuotaBook {
+    /// Creates a ledger with a default quota and per-client overrides.
+    pub fn new(default: ClientQuota, overrides: &[(String, ClientQuota)]) -> Self {
+        QuotaBook {
+            default,
+            overrides: overrides.iter().cloned().collect(),
+            usage: HashMap::new(),
+        }
+    }
+
+    /// The quota applying to `client`.
+    pub fn quota_of(&self, client: &str) -> ClientQuota {
+        self.overrides.get(client).copied().unwrap_or(self.default)
+    }
+
+    fn roll_epoch(usage: &mut ClientUsage, epoch: u64) {
+        // Epochs only roll *forward*: a request clock behind the
+        // client's latest epoch (concurrent submissions reaching the
+        // reactor out of t-order around a boundary — or a client
+        // deliberately alternating t_hours) accounts against the
+        // current epoch instead of resetting its spend, so a budget can
+        // never be evaded by replaying an older timestamp.
+        if epoch > usage.epoch {
+            // A new quota epoch resets the settled spend; reservations of
+            // still-in-flight sessions carry over (they will execute and
+            // bill *somewhere* — dropping them would let a burst
+            // straddling the boundary double-spend).
+            usage.epoch = epoch;
+            usage.spent_min = 0.0;
+        }
+    }
+
+    /// Tries to admit a session of `estimate_min` for `client` in quota
+    /// `epoch`: checks both axes, then reserves the estimate and counts
+    /// the session in flight. On rejection nothing is charged and the
+    /// client's rejection counter increments.
+    pub fn admit(&mut self, client: &str, epoch: u64, estimate_min: f64) -> Result<(), QuotaError> {
+        let quota = self.quota_of(client);
+        let usage = self.usage.entry(client.to_string()).or_default();
+        Self::roll_epoch(usage, epoch);
+        if usage.in_flight >= quota.max_in_flight {
+            usage.rejected += 1;
+            return Err(QuotaError::InFlightExceeded {
+                client: client.to_string(),
+                limit: quota.max_in_flight,
+            });
+        }
+        let used = usage.spent_min + usage.reserved_min;
+        if used + estimate_min > quota.minutes_per_epoch {
+            usage.rejected += 1;
+            return Err(QuotaError::BudgetExhausted {
+                client: client.to_string(),
+                limit_min: quota.minutes_per_epoch,
+                used_min: used,
+                requested_min: estimate_min,
+                epoch,
+            });
+        }
+        usage.in_flight += 1;
+        usage.reserved_min += estimate_min;
+        Ok(())
+    }
+
+    /// Settles a completed session: releases its reservation and books
+    /// the measured `actual_min` against the client's current epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `client` has no in-flight session to settle (a
+    /// reactor accounting bug, never a client-triggerable state).
+    pub fn settle(&mut self, client: &str, estimate_min: f64, actual_min: f64) {
+        let usage = self
+            .usage
+            .get_mut(client)
+            .expect("settle without admission");
+        assert!(usage.in_flight > 0, "settle without admission");
+        usage.in_flight -= 1;
+        usage.reserved_min = (usage.reserved_min - estimate_min).max(0.0);
+        usage.spent_min += actual_min.max(0.0);
+        usage.completed += 1;
+    }
+
+    /// Per-client accounting snapshots, sorted by client label.
+    pub fn usage(&self) -> Vec<QuotaUsage> {
+        let mut out: Vec<QuotaUsage> = self
+            .usage
+            .iter()
+            .map(|(client, u)| {
+                let quota = self.quota_of(client);
+                QuotaUsage {
+                    client: client.clone(),
+                    in_flight: u.in_flight,
+                    max_in_flight: quota.max_in_flight,
+                    reserved_min: u.reserved_min,
+                    spent_min: u.spent_min,
+                    budget_min: quota.minutes_per_epoch,
+                    epoch: u.epoch,
+                    completed: u.completed,
+                    rejected: u.rejected,
+                }
+            })
+            .collect();
+        out.sort_by(|a, b| a.client.cmp(&b.client));
+        out
+    }
+}
+
+/// Maps a request's wall-clock hour onto a quota epoch of
+/// `epoch_hours` length (budgets reset on each crossing).
+///
+/// # Panics
+///
+/// Panics when `epoch_hours` is not strictly positive.
+pub fn quota_epoch(t_hours: f64, epoch_hours: f64) -> u64 {
+    assert!(
+        epoch_hours > 0.0 && epoch_hours.is_finite(),
+        "quota epoch length must be positive"
+    );
+    (t_hours.max(0.0) / epoch_hours) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_default_admits_everything() {
+        let mut book = QuotaBook::new(ClientQuota::unlimited(), &[]);
+        for i in 0..100 {
+            book.admit("free", 0, 1000.0).unwrap_or_else(|e| {
+                panic!("admission {i} rejected: {e}");
+            });
+        }
+        let usage = &book.usage()[0];
+        assert_eq!(usage.in_flight, 100);
+        assert_eq!(usage.rejected, 0);
+    }
+
+    #[test]
+    fn in_flight_cap_rejects_and_recovers() {
+        let quota = ClientQuota {
+            max_in_flight: 2,
+            minutes_per_epoch: f64::INFINITY,
+        };
+        let mut book = QuotaBook::new(ClientQuota::unlimited(), &[("greedy".into(), quota)]);
+        book.admit("greedy", 0, 5.0).unwrap();
+        book.admit("greedy", 0, 5.0).unwrap();
+        let err = book.admit("greedy", 0, 5.0).unwrap_err();
+        assert_eq!(
+            err,
+            QuotaError::InFlightExceeded {
+                client: "greedy".into(),
+                limit: 2
+            }
+        );
+        // Other clients are untouched by one tenant's cap.
+        book.admit("polite", 0, 5.0).unwrap();
+        // A completion frees a slot.
+        book.settle("greedy", 5.0, 4.0);
+        book.admit("greedy", 0, 5.0).unwrap();
+        let usage = book.usage();
+        let greedy = usage.iter().find(|u| u.client == "greedy").unwrap();
+        assert_eq!(greedy.in_flight, 2);
+        assert_eq!(greedy.completed, 1);
+        assert_eq!(greedy.rejected, 1);
+        assert!((greedy.spent_min - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn budget_reserves_estimates_and_settles_actuals() {
+        let quota = ClientQuota {
+            max_in_flight: usize::MAX,
+            minutes_per_epoch: 10.0,
+        };
+        let mut book = QuotaBook::new(quota, &[]);
+        book.admit("c", 0, 6.0).unwrap();
+        // Reservation counts before completion: 6 + 6 > 10.
+        let err = book.admit("c", 0, 6.0).unwrap_err();
+        match err {
+            QuotaError::BudgetExhausted {
+                used_min,
+                limit_min,
+                requested_min,
+                epoch,
+                ..
+            } => {
+                assert!((used_min - 6.0).abs() < 1e-12);
+                assert_eq!(limit_min, 10.0);
+                assert_eq!(requested_min, 6.0);
+                assert_eq!(epoch, 0);
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
+        // The session came in cheaper than its estimate: settling frees
+        // the difference for a follow-up.
+        book.settle("c", 6.0, 3.0);
+        book.admit("c", 0, 6.0).unwrap();
+    }
+
+    #[test]
+    fn budget_resets_on_quota_epoch_crossing() {
+        let quota = ClientQuota {
+            max_in_flight: usize::MAX,
+            minutes_per_epoch: 10.0,
+        };
+        let mut book = QuotaBook::new(quota, &[]);
+        book.admit("c", 0, 8.0).unwrap();
+        book.settle("c", 8.0, 8.0);
+        assert!(book.admit("c", 0, 8.0).is_err(), "epoch 0 spent out");
+        book.admit("c", 1, 8.0).unwrap(); // fresh epoch, fresh budget
+        let usage = &book.usage()[0];
+        assert_eq!(usage.epoch, 1);
+        assert!((usage.spent_min - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn backdated_epochs_cannot_reset_the_budget() {
+        let quota = ClientQuota {
+            max_in_flight: usize::MAX,
+            minutes_per_epoch: 10.0,
+        };
+        let mut book = QuotaBook::new(quota, &[]);
+        book.admit("c", 1, 8.0).unwrap();
+        book.settle("c", 8.0, 8.0);
+        // Replaying an earlier epoch must not wipe the epoch-1 spend:
+        // the backdated request accounts against the current epoch and
+        // is rejected by the same exhausted budget.
+        let err = book.admit("c", 0, 8.0).unwrap_err();
+        match err {
+            QuotaError::BudgetExhausted {
+                epoch, used_min, ..
+            } => {
+                assert_eq!(epoch, 0, "rejection reports the request's epoch");
+                assert!((used_min - 8.0).abs() < 1e-12, "spend survived");
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
+        assert_eq!(book.usage()[0].epoch, 1, "accounting epoch never regresses");
+        // A genuinely newer epoch still resets as designed.
+        book.admit("c", 2, 8.0).unwrap();
+    }
+
+    #[test]
+    fn quota_epoch_buckets_wall_clock() {
+        assert_eq!(quota_epoch(0.0, 24.0), 0);
+        assert_eq!(quota_epoch(23.9, 24.0), 0);
+        assert_eq!(quota_epoch(24.0, 24.0), 1);
+        assert_eq!(quota_epoch(-3.0, 24.0), 0, "pre-epoch clocks clamp");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn quota_epoch_rejects_zero_length() {
+        quota_epoch(1.0, 0.0);
+    }
+
+    #[test]
+    fn errors_render_for_operators() {
+        let e = QuotaError::InFlightExceeded {
+            client: "c9".into(),
+            limit: 4,
+        };
+        assert!(e.to_string().contains("c9"));
+        let e = QuotaError::BudgetExhausted {
+            client: "c9".into(),
+            limit_min: 10.0,
+            used_min: 9.5,
+            requested_min: 2.0,
+            epoch: 3,
+        };
+        let s = e.to_string();
+        assert!(s.contains("epoch 3") && s.contains("9.50"));
+    }
+}

@@ -1,0 +1,604 @@
+//! The event-driven reactor: one scheduler loop, one unified event
+//! queue, a bounded worker pool.
+//!
+//! PR 3's daemon parked one thread per device on a condvar; scheduling
+//! policy (FIFO) was implicit in the queue type and unobservable. The
+//! reactor inverts that: **all** scheduling state — per-device fair
+//! queues, the quota ledger, the drift feed, worker availability — is
+//! owned by a single thread that reacts to events:
+//!
+//! * `Arrive` — a client submitted a session: resolve the device
+//!   (queue-aware admission), observe the drift clock (recording a
+//!   pending `Recalibration` on a crossing), check quotas (typed
+//!   rejection straight to the client's channel), enqueue on the
+//!   device's DRR arbiter, and dispatch if a worker is free.
+//! * `Complete` — a worker finished a session: settle the quota
+//!   reservation, credit the client's store traffic, free the worker,
+//!   schedule a `CheckpointTick`, dispatch more work.
+//! * `Recalibration` — a device crossed a calibration boundary:
+//!   journal-invalidate its stale epochs. Applied in the device's
+//!   dispatch order — just before the next session runs, when no
+//!   old-epoch session is still in flight — with the dropped count
+//!   attributed to that session's outcome.
+//! * `CheckpointTick` — ask the durable store to auto-compact under
+//!   the configured `CompactionPolicy` (see `vaqem_runtime::persist`).
+//!
+//! Handlers never block on anything but the event channel: tuning runs
+//! on the worker pool, and every mutation of scheduling state happens
+//! on the reactor thread — no admission lock, no per-device condvars,
+//! no lock-ordering rules beyond the store's own.
+//!
+//! Dispatch policy: devices are scanned in index order; a free device
+//! with queued work takes the next session its `DeviceArbiter` picks
+//! (deficit-round-robin across clients — see `crate::fairness`), bounded
+//! by pool size (at most one in-flight session per device, at most
+//! `workers` fleet-wide).
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+
+use vaqem_device::drift::EpochFeed;
+use vaqem_runtime::cache::CacheMetrics;
+use vaqem_runtime::store::ShardMetrics;
+use vaqem_runtime::DrrLaneSnapshot;
+
+use crate::daemon::{run_session, ServiceShared, SessionError, SessionRequest, SessionResult};
+use crate::fairness::DeviceArbiter;
+use crate::quota::{quota_epoch, QuotaBook, QuotaUsage};
+use crate::scheduler;
+
+/// One unit of the reactor's unified event queue.
+pub(crate) enum Event {
+    /// A client submitted a session.
+    Arrive {
+        /// The request as submitted.
+        request: SessionRequest,
+        /// Where the client awaits its outcome (or typed rejection).
+        reply: Sender<SessionResult>,
+    },
+    /// A worker finished a session.
+    Complete(CompletionReport),
+    /// A device crossed a recalibration boundary (reactor-internal:
+    /// recorded at the observing arrival, applied at the device's next
+    /// dispatch).
+    Recalibration {
+        /// Device index.
+        device: usize,
+        /// The calibration epoch just entered.
+        epoch: u64,
+    },
+    /// Time to consider auto-compaction (reactor-internal, scheduled
+    /// every `checkpoint_tick_completions` completions).
+    CheckpointTick,
+    /// A metrics snapshot was requested.
+    Metrics(Sender<FleetMetricsReport>),
+    /// Drain the queues, then stop.
+    Shutdown,
+}
+
+/// What a worker reports back to the reactor when a session finishes
+/// (the client-facing outcome travels on the session's own channel).
+pub(crate) struct CompletionReport {
+    pub worker: usize,
+    pub device: usize,
+    pub client: String,
+    pub estimate_min: f64,
+    /// Measured machine minutes (0 when tuning failed).
+    pub actual_min: f64,
+    /// The session's store-traffic delta, measured on the device's
+    /// shard (exact while devices keep distinct shards — the default
+    /// layout the replay asserts).
+    pub store_delta: CacheMetrics,
+}
+
+/// A session dispatched to the worker pool.
+pub(crate) struct WorkItem {
+    pub worker: usize,
+    pub device: usize,
+    pub epoch: u64,
+    /// Stale entries a recalibration crossing dropped, attributed to
+    /// this session's outcome.
+    pub invalidated: usize,
+    pub estimate_min: f64,
+    pub request: SessionRequest,
+    pub reply: Sender<SessionResult>,
+}
+
+/// Counts of every event kind the reactor has handled — the "what has
+/// the scheduler been doing" half of [`FleetMetricsReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EventCounters {
+    /// Sessions submitted.
+    pub arrivals: u64,
+    /// Sessions finished (successfully or not).
+    pub completions: u64,
+    /// Recalibration crossings observed.
+    pub recalibrations: u64,
+    /// Checkpoint ticks handled.
+    pub checkpoint_ticks: u64,
+    /// Ticks that actually compacted the journal into a snapshot.
+    pub compactions: u64,
+    /// Compaction attempts that failed with an I/O error (the journal
+    /// still holds the history; the daemon keeps running).
+    pub compaction_errors: u64,
+    /// Submissions rejected by quota with a typed error.
+    pub quota_rejections: u64,
+}
+
+/// One device's scheduling state as seen by the reactor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceMetricsReport {
+    /// Device index.
+    pub device: usize,
+    /// Device name.
+    pub name: String,
+    /// Whether a session is running on the device right now.
+    pub busy: bool,
+    /// Sessions queued (not yet dispatched).
+    pub queue_depth: usize,
+    /// Estimated minutes queued (excluding the in-flight session).
+    pub backlog_min: f64,
+    /// The deterministic cloud queue-wait sample admission uses.
+    pub queue_wait_min: f64,
+    /// Sessions completed on this device since open.
+    pub completed: u64,
+    /// Per-client DRR lanes: weight, carried deficit, queue depth.
+    pub lanes: Vec<DrrLaneSnapshot>,
+}
+
+/// A structured dump of the whole service: reactor event counters,
+/// per-device queues and fairness lanes, per-client quota usage and
+/// attributed store traffic, per-shard store metrics, durability state.
+///
+/// Render it with `Display` for a human, or walk the fields from a
+/// test/replay. Produced by `FleetService::metrics_report`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetMetricsReport {
+    /// Reactor event counts.
+    pub events: EventCounters,
+    /// Per-device queue depth/wait, busy flag, fairness lanes.
+    pub devices: Vec<DeviceMetricsReport>,
+    /// Per-client quota accounting (in-flight, reserved, spent, caps).
+    pub quotas: Vec<QuotaUsage>,
+    /// Per-client store traffic (hits/misses/insertions... attributed
+    /// from each session's shard delta), sorted by client.
+    pub client_store_traffic: Vec<(String, CacheMetrics)>,
+    /// Per-shard store metrics (entries, hit/miss, lock contention).
+    pub shards: Vec<ShardMetrics>,
+    /// Live entries in the store.
+    pub store_entries: usize,
+    /// Journal records since the last checkpoint.
+    pub journal_records: u64,
+    /// Journal appends that failed with I/O errors.
+    pub journal_write_errors: u64,
+    /// Worker pool size.
+    pub workers_total: usize,
+    /// Workers idle at snapshot time.
+    pub workers_idle: usize,
+}
+
+impl fmt::Display for FleetMetricsReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let e = &self.events;
+        writeln!(f, "fleet metrics:")?;
+        writeln!(
+            f,
+            "  events: {} arrivals, {} completions, {} recalibrations, {} ticks \
+             ({} compactions, {} failed), {} quota rejections",
+            e.arrivals,
+            e.completions,
+            e.recalibrations,
+            e.checkpoint_ticks,
+            e.compactions,
+            e.compaction_errors,
+            e.quota_rejections
+        )?;
+        writeln!(
+            f,
+            "  workers: {}/{} idle; store: {} entries, {} journal records, {} journal errors",
+            self.workers_idle,
+            self.workers_total,
+            self.store_entries,
+            self.journal_records,
+            self.journal_write_errors
+        )?;
+        for d in &self.devices {
+            writeln!(
+                f,
+                "  device {} ({}): {} | depth {} | backlog {:.2} min | queue wait {:.1} min | {} done",
+                d.device,
+                d.name,
+                if d.busy { "busy" } else { "idle" },
+                d.queue_depth,
+                d.backlog_min,
+                d.queue_wait_min,
+                d.completed
+            )?;
+            for l in &d.lanes {
+                writeln!(
+                    f,
+                    "    lane {:<10} weight {} deficit {:+.3} min, {} queued ({:.2} min)",
+                    l.client, l.weight, l.deficit_min, l.queued, l.queued_min
+                )?;
+            }
+        }
+        for q in &self.quotas {
+            let cap = if q.max_in_flight == usize::MAX {
+                "inf".to_string()
+            } else {
+                q.max_in_flight.to_string()
+            };
+            let budget = if q.budget_min.is_finite() {
+                format!("{:.2}", q.budget_min)
+            } else {
+                "inf".to_string()
+            };
+            writeln!(
+                f,
+                "  client {:<10} in-flight {}/{} | epoch {} spend {:.3}+{:.3} of {} min | {} done, {} rejected",
+                q.client,
+                q.in_flight,
+                cap,
+                q.epoch,
+                q.spent_min,
+                q.reserved_min,
+                budget,
+                q.completed,
+                q.rejected
+            )?;
+        }
+        for (client, m) in &self.client_store_traffic {
+            writeln!(
+                f,
+                "  store traffic {:<10} {} hits / {} misses / {} inserts / {} evict / {} invalidated",
+                client, m.hits, m.misses, m.insertions, m.evictions, m.invalidations
+            )?;
+        }
+        for s in &self.shards {
+            writeln!(
+                f,
+                "  shard {:>2}: {} entries | {} hits / {} misses | {} lock acq, {} contended",
+                s.shard,
+                s.entries,
+                s.cache.hits,
+                s.cache.misses,
+                s.lock_acquisitions,
+                s.lock_contended
+            )?;
+        }
+        Ok(())
+    }
+}
+
+struct DeviceLane {
+    arbiter: DeviceArbiter<Pending>,
+    busy: bool,
+    completed: u64,
+    /// Invalidation count from a recalibration event, carried to the
+    /// next session dispatched on the device (the first to run under
+    /// the new epoch).
+    pending_invalidated: usize,
+    /// A crossing observed at some arrival, applied (journaled
+    /// invalidation) just before the device's next dispatch — the
+    /// serialized point where no old-epoch session is in flight.
+    pending_recalibration: Option<u64>,
+}
+
+struct Pending {
+    request: SessionRequest,
+    reply: Sender<SessionResult>,
+}
+
+struct Reactor {
+    shared: Arc<ServiceShared>,
+    /// The unified event queue: handler-emitted events drain before the
+    /// channel is polled again, so e.g. a recalibration settles before
+    /// the session that observed it dispatches.
+    queue: VecDeque<Event>,
+    lanes: Vec<DeviceLane>,
+    feed: EpochFeed,
+    quota: QuotaBook,
+    worker_txs: Vec<Sender<WorkItem>>,
+    free_workers: Vec<usize>,
+    counters: EventCounters,
+    completions_since_tick: u64,
+    draining: bool,
+}
+
+impl Reactor {
+    fn idle(&self) -> bool {
+        self.lanes.iter().all(|l| !l.busy && l.arbiter.is_empty())
+    }
+
+    /// Estimated minutes of admitted-but-unfinished work on a device —
+    /// the projection queue-aware admission adds to the sampled wait.
+    fn projected_backlog_min(&self, device: usize) -> f64 {
+        let lane = &self.lanes[device];
+        lane.arbiter.backlog_min()
+            + if lane.busy {
+                self.shared.estimate_min
+            } else {
+                0.0
+            }
+    }
+
+    fn handle(&mut self, event: Event) {
+        match event {
+            Event::Arrive { request, reply } => self.handle_arrive(request, reply),
+            Event::Complete(report) => self.handle_complete(report),
+            Event::Recalibration { device, epoch } => {
+                self.counters.recalibrations += 1;
+                let name = &self.shared.devices[device].name;
+                let dropped = self.shared.store.invalidate_before(name, epoch);
+                self.lanes[device].pending_invalidated += dropped;
+            }
+            Event::CheckpointTick => {
+                self.counters.checkpoint_ticks += 1;
+                match self
+                    .shared
+                    .store
+                    .maybe_compact(self.shared.config.tenancy.compaction)
+                {
+                    Ok(true) => self.counters.compactions += 1,
+                    Ok(false) => {}
+                    Err(_) => self.counters.compaction_errors += 1,
+                }
+            }
+            Event::Metrics(tx) => {
+                let _ = tx.send(self.report());
+            }
+            Event::Shutdown => self.draining = true,
+        }
+    }
+
+    fn handle_arrive(&mut self, request: SessionRequest, reply: Sender<SessionResult>) {
+        self.counters.arrivals += 1;
+        // Queue-aware admission: the pinned device, or the one
+        // minimizing sampled queue wait + projected backlog (ties to the
+        // lowest index — see `scheduler::admit`).
+        let device = match request.device {
+            Some(d) => d,
+            None => {
+                let backlogs: Vec<f64> = (0..self.lanes.len())
+                    .map(|d| self.projected_backlog_min(d))
+                    .collect();
+                scheduler::admit(&self.shared.queue_wait_min, &backlogs)
+            }
+        };
+        // Drift clock: a crossing becomes a Recalibration event — but it
+        // is *applied* in the device's dispatch order (see `pump`), not
+        // here. Invalidating at arrival would race the device's
+        // serialized sessions twice over: an old-epoch session still
+        // in flight would publish entries *after* the drop (stale
+        // squatters the crossing was meant to remove), and a queued
+        // old-epoch session would re-publish at the invalidated epoch.
+        // Deferring to the next dispatch reproduces the pre-reactor
+        // semantics, where each session observed the clock in-line.
+        if let Some((_, epoch)) = self.feed.observe(device, request.t_hours) {
+            self.lanes[device].pending_recalibration = Some(epoch);
+        }
+        // Quota gate: a breach answers the client immediately with the
+        // typed error; nothing is enqueued.
+        let tenancy = &self.shared.config.tenancy;
+        let q_epoch = quota_epoch(request.t_hours, tenancy.quota_epoch_hours);
+        if let Err(err) = self
+            .quota
+            .admit(&request.client, q_epoch, self.shared.estimate_min)
+        {
+            self.counters.quota_rejections += 1;
+            let _ = reply.send(Err(SessionError::Quota(err)));
+            return;
+        }
+        let client = request.client.clone();
+        let estimate = self.shared.estimate_min;
+        self.lanes[device]
+            .arbiter
+            .enqueue(&client, estimate, Pending { request, reply });
+        self.pump();
+    }
+
+    fn handle_complete(&mut self, report: CompletionReport) {
+        self.counters.completions += 1;
+        let lane = &mut self.lanes[report.device];
+        lane.busy = false;
+        lane.completed += 1;
+        self.quota
+            .settle(&report.client, report.estimate_min, report.actual_min);
+        self.shared
+            .store
+            .attribute_client(&report.client, &report.store_delta);
+        self.free_workers.push(report.worker);
+        self.completions_since_tick += 1;
+        if self.completions_since_tick >= self.shared.config.tenancy.checkpoint_tick_completions {
+            self.completions_since_tick = 0;
+            self.queue.push_back(Event::CheckpointTick);
+        }
+        self.pump();
+    }
+
+    /// Dispatches runnable sessions: devices in index order, one
+    /// in-flight session per device, bounded by free workers. A pending
+    /// recalibration is applied just before the device's next dispatch
+    /// — the serialized point where no old-epoch session can still be
+    /// in flight or queued ahead on that device.
+    fn pump(&mut self) {
+        for device in 0..self.lanes.len() {
+            if self.free_workers.is_empty() {
+                return;
+            }
+            if self.lanes[device].busy || self.lanes[device].arbiter.is_empty() {
+                continue;
+            }
+            if let Some(epoch) = self.lanes[device].pending_recalibration.take() {
+                self.handle(Event::Recalibration { device, epoch });
+            }
+            let lane = &mut self.lanes[device];
+            let (_, estimate_min, pending) = lane.arbiter.dispatch_next().expect("non-empty");
+            lane.busy = true;
+            // The invalidation count of a just-applied recalibration is
+            // attributed to this session — the first to run under the
+            // new epoch.
+            let invalidated = std::mem::take(&mut lane.pending_invalidated);
+            let worker = self.free_workers.pop().expect("checked non-empty");
+            // Epoch at dispatch: the device's serialized run order, same
+            // semantics as the PR 3 worker observing the feed in-line —
+            // a queued session that outlived a recalibration tunes (and
+            // publishes) under the new epoch, never the invalidated one.
+            let epoch = self
+                .feed
+                .epoch(device)
+                .expect("observed at this session's arrival");
+            let item = WorkItem {
+                worker,
+                device,
+                epoch,
+                invalidated,
+                estimate_min,
+                request: pending.request,
+                reply: pending.reply,
+            };
+            self.worker_txs[worker]
+                .send(item)
+                .expect("worker pool alive");
+        }
+    }
+
+    fn report(&self) -> FleetMetricsReport {
+        let store = &self.shared.store;
+        let devices = self
+            .lanes
+            .iter()
+            .enumerate()
+            .map(|(d, lane)| DeviceMetricsReport {
+                device: d,
+                name: self.shared.devices[d].name.clone(),
+                busy: lane.busy,
+                queue_depth: lane.arbiter.len(),
+                backlog_min: lane.arbiter.backlog_min(),
+                queue_wait_min: self.shared.queue_wait_min[d],
+                completed: lane.completed,
+                lanes: lane.arbiter.lanes(),
+            })
+            .collect();
+        FleetMetricsReport {
+            events: self.counters,
+            devices,
+            quotas: self.quota.usage(),
+            client_store_traffic: store.client_attribution(),
+            shards: store.shard_metrics(),
+            store_entries: store.len(),
+            journal_records: store.journal_records(),
+            journal_write_errors: store.journal_write_errors(),
+            workers_total: self.worker_txs.len(),
+            workers_idle: self.free_workers.len(),
+        }
+    }
+}
+
+/// The reactor thread body: drains the unified event queue until
+/// shutdown *and* quiescence, then drops the worker senders (which ends
+/// the worker loops).
+pub(crate) fn reactor_loop(
+    shared: Arc<ServiceShared>,
+    events: Receiver<Event>,
+    worker_txs: Vec<Sender<WorkItem>>,
+) {
+    let tenancy = &shared.config.tenancy;
+    let lanes = shared
+        .devices
+        .iter()
+        .map(|_| DeviceLane {
+            arbiter: DeviceArbiter::new(tenancy.fairness.clone(), shared.estimate_min),
+            busy: false,
+            completed: 0,
+            pending_invalidated: 0,
+            pending_recalibration: None,
+        })
+        .collect();
+    let feed_pairs: Vec<(&str, &vaqem_device::drift::DriftModel)> = shared
+        .devices
+        .iter()
+        .map(|d| (d.name.as_str(), &d.drift))
+        .collect();
+    let mut reactor = Reactor {
+        queue: VecDeque::new(),
+        lanes,
+        feed: EpochFeed::new(&feed_pairs),
+        quota: QuotaBook::new(tenancy.default_quota, &tenancy.quotas),
+        free_workers: (0..worker_txs.len()).rev().collect(),
+        worker_txs,
+        counters: EventCounters::default(),
+        completions_since_tick: 0,
+        draining: false,
+        shared: Arc::clone(&shared),
+    };
+    loop {
+        let event = match reactor.queue.pop_front() {
+            Some(event) => event,
+            None => {
+                if reactor.draining && reactor.idle() {
+                    break;
+                }
+                match events.recv() {
+                    Ok(event) => event,
+                    // Every sender gone (service dropped mid-flight):
+                    // nothing more can arrive.
+                    Err(_) => break,
+                }
+            }
+        };
+        reactor.handle(event);
+    }
+    // Dropping the senders ends each worker's receive loop.
+}
+
+/// One pool worker: executes sessions the reactor dispatches, answers
+/// the client, and reports completion back to the event queue.
+pub(crate) fn worker_loop(
+    shared: Arc<ServiceShared>,
+    items: Receiver<WorkItem>,
+    events: Sender<Event>,
+) {
+    while let Ok(item) = items.recv() {
+        // Only the session's own shard is snapshotted: a full
+        // shard_metrics() sweep would briefly hold every shard's lock
+        // and register as contention against other devices' concurrent
+        // tuning traffic.
+        let shard = shared.store.shard_of(&shared.devices[item.device].name);
+        let before = shared.store.shard_metrics_of(shard).cache;
+        let mut result = run_session(&shared, &item);
+        let store_delta = shared
+            .store
+            .shard_metrics_of(shard)
+            .cache
+            .saturating_delta(&before);
+        // The completion counter doubles as the global sequence stamp:
+        // per-device sequences are monotone because a device's next
+        // session dispatches only after this completion is processed.
+        let sequence = shared.completed.fetch_add(1, Ordering::Relaxed) as u64;
+        if let Ok(outcome) = result.as_mut() {
+            outcome.sequence = sequence;
+        }
+        let report = CompletionReport {
+            worker: item.worker,
+            device: item.device,
+            client: item.request.client.clone(),
+            estimate_min: item.estimate_min,
+            actual_min: result.as_ref().map(|o| o.minutes).unwrap_or(0.0),
+            store_delta,
+        };
+        // Reactor first, client second: by the time a client observes
+        // its outcome, the completion event is already queued, so a
+        // follow-up metrics request (a later event) sees the session
+        // settled. A send can only fail during teardown.
+        let reactor_alive = events.send(Event::Complete(report)).is_ok();
+        // A client that dropped its receiver just doesn't hear back.
+        let _ = item.reply.send(result);
+        if !reactor_alive {
+            return; // reactor gone: the service is tearing down
+        }
+    }
+}

@@ -1,5 +1,9 @@
 //! End-to-end daemon tests: concurrent clients over two devices, abrupt
-//! halt + journal-replay recovery, graceful shutdown + snapshot reload.
+//! halt + journal-replay recovery, graceful shutdown + snapshot reload —
+//! plus the reactor's multi-tenant behaviors: deficit-round-robin
+//! fairness across clients, typed quota rejections, journal
+//! auto-compaction on checkpoint ticks, and the structured metrics
+//! report.
 
 use std::path::{Path, PathBuf};
 
@@ -11,11 +15,13 @@ use vaqem_device::backend::DeviceModel;
 use vaqem_device::drift::DriftModel;
 use vaqem_device::noise::{NoiseParameters, QubitNoise};
 use vaqem_fleet_service::{
-    DeviceSpec, FleetService, FleetServiceConfig, SessionKind, SessionRequest,
+    ClientQuota, DeviceSpec, FleetService, FleetServiceConfig, QuotaError, SessionError,
+    SessionKind, SessionRequest, TenancyConfig,
 };
 use vaqem_mathkit::rng::SeedStream;
 use vaqem_mitigation::dd::DdSequence;
 use vaqem_pauli::models::tfim_paper;
+use vaqem_runtime::persist::CompactionPolicy;
 use vaqem_runtime::{BatchDispatch, CostModel, WorkloadProfile};
 
 const NUM_QUBITS: usize = 3;
@@ -85,6 +91,7 @@ fn config(dir: &Path) -> FleetServiceConfig {
         },
         cost: CostModel::ibm_cloud_2021(),
         dispatch: BatchDispatch::local(4),
+        tenancy: TenancyConfig::default(),
     }
 }
 
@@ -279,6 +286,267 @@ fn zne_sessions_flow_through_the_daemon_unchanged() {
         break;
     }
     assert!(warmed, "no seed produced an accepted composed replay");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+fn request(client: &str, t_hours: f64, device: Option<usize>) -> SessionRequest {
+    SessionRequest {
+        client: client.to_string(),
+        t_hours,
+        params: params(),
+        device,
+        kind: SessionKind::Dd,
+    }
+}
+
+#[test]
+fn fair_queueing_interleaves_heavy_and_light_tenants() {
+    // One device, one heavy tenant queueing four sessions before two
+    // light tenants submit one each. Under the PR 3 FIFO daemon the
+    // light clients would drain *after* the heavy backlog; under DRR
+    // they complete within the first rotation. The completion order is
+    // read from the outcomes' global sequence stamps (a single device,
+    // so device order == global order).
+    let dir = temp_dir("fairness");
+    let service = open_service(&dir, 4242);
+    let heavy_rx: Vec<_> = (0..4)
+        .map(|_| service.submit(request("heavy", 1.0, Some(0))))
+        .collect();
+    let light_rx: Vec<_> = ["light-a", "light-b"]
+        .iter()
+        .map(|c| service.submit(request(c, 1.0, Some(0))))
+        .collect();
+    let heavy_seq: Vec<u64> = heavy_rx
+        .into_iter()
+        .map(|rx| rx.recv().unwrap().expect("tuning ok").sequence)
+        .collect();
+    let light_seq: Vec<u64> = light_rx
+        .into_iter()
+        .map(|rx| rx.recv().unwrap().expect("tuning ok").sequence)
+        .collect();
+    // Six sessions, sequences 0..=5. The first completion is heavy's
+    // (it was dispatched while alone); both light sessions finish
+    // within the first DRR rotation — positions 1 and 2 — instead of
+    // trailing the heavy backlog at positions 4 and 5.
+    assert_eq!(heavy_seq[0], 0);
+    let mut lights = light_seq.clone();
+    lights.sort_unstable();
+    assert_eq!(
+        lights,
+        vec![1, 2],
+        "light tenants complete inside the first rotation, got {light_seq:?} (heavy {heavy_seq:?})"
+    );
+    assert_eq!(heavy_seq[1..].to_vec(), vec![3, 4, 5]);
+    service.shutdown().expect("checkpoint");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn quota_breach_is_rejected_with_a_typed_error() {
+    // "greedy" may hold at most two admitted-but-incomplete sessions.
+    // A blocker session occupies the device first, so greedy's three
+    // rapid submissions are all *queued* when the reactor processes
+    // them: the third must bounce with the typed in-flight error while
+    // the first two eventually tune fine.
+    let dir = temp_dir("quota");
+    let mut config = config(&dir);
+    config.tenancy.quotas = vec![(
+        "greedy".to_string(),
+        ClientQuota {
+            max_in_flight: 2,
+            minutes_per_epoch: f64::INFINITY,
+        },
+    )];
+    let service = FleetService::open(
+        config,
+        vec![device("fleet-east", 4242), device("fleet-west", 4242)],
+        problem(),
+        SeedStream::new(4242),
+    )
+    .expect("service opens");
+    let blocker = service.submit(request("blocker", 1.0, Some(0)));
+    let greedy_rx: Vec<_> = (0..3)
+        .map(|_| service.submit(request("greedy", 1.0, Some(0))))
+        .collect();
+    let results: Vec<_> = greedy_rx
+        .into_iter()
+        .map(|rx| rx.recv().expect("reply delivered"))
+        .collect();
+    assert!(results[0].is_ok() && results[1].is_ok());
+    match &results[2] {
+        Err(SessionError::Quota(QuotaError::InFlightExceeded { client, limit })) => {
+            assert_eq!(client, "greedy");
+            assert_eq!(*limit, 2);
+        }
+        other => panic!("expected a typed in-flight rejection, got {other:?}"),
+    }
+    blocker.recv().unwrap().expect("blocker tunes");
+    let report = service.metrics_report();
+    assert_eq!(report.events.quota_rejections, 1);
+    let greedy = report
+        .quotas
+        .iter()
+        .find(|q| q.client == "greedy")
+        .expect("greedy accounted");
+    assert_eq!(greedy.rejected, 1);
+    assert_eq!(greedy.completed, 2);
+    assert_eq!(greedy.in_flight, 0);
+    service.shutdown().expect("checkpoint");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn machine_minute_budget_is_enforced_per_epoch() {
+    // A budget below two sessions' reserved estimates rejects the
+    // second submission in the same quota epoch, deterministically
+    // (reservations are charged at admission, before anything runs).
+    let dir = temp_dir("budget");
+    let mut config = config(&dir);
+    let estimate = config
+        .cost
+        .em_tuning_minutes_batched(&config.profile, &config.dispatch);
+    config.tenancy.quotas = vec![(
+        "metered".to_string(),
+        ClientQuota {
+            max_in_flight: usize::MAX,
+            minutes_per_epoch: 1.5 * estimate,
+        },
+    )];
+    let service = FleetService::open(
+        config,
+        vec![device("fleet-east", 4242), device("fleet-west", 4242)],
+        problem(),
+        SeedStream::new(4242),
+    )
+    .expect("service opens");
+    let first = service.submit(request("metered", 1.0, Some(0)));
+    let second = service.submit(request("metered", 1.0, Some(0)));
+    match second.recv().expect("reply delivered") {
+        Err(SessionError::Quota(QuotaError::BudgetExhausted {
+            client, limit_min, ..
+        })) => {
+            assert_eq!(client, "metered");
+            assert!((limit_min - 1.5 * estimate).abs() < 1e-9);
+        }
+        other => panic!("expected a typed budget rejection, got {other:?}"),
+    }
+    first.recv().unwrap().expect("first session tunes");
+    service.shutdown().expect("checkpoint");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn checkpoint_ticks_auto_compact_the_journal() {
+    let seed = accepting_seed();
+    let dir = temp_dir("compaction");
+    let mut config = config(&dir);
+    // Compact once more than one record sits in the journal, checked
+    // after every completion (the 3-qubit problem yields one tuned
+    // window per session, so a cold round journals ~one insert per
+    // device).
+    config.tenancy.compaction = CompactionPolicy::after_records(1);
+    config.tenancy.checkpoint_tick_completions = 1;
+    let service = FleetService::open(
+        config,
+        vec![device("fleet-east", seed), device("fleet-west", seed)],
+        problem(),
+        SeedStream::new(seed),
+    )
+    .expect("service opens");
+    let cold = round(&service, 4, 1.0);
+    assert!(
+        cold.iter().map(|&(_, m, _)| m).sum::<usize>() > 1,
+        "cold round must journal more than the compaction bound"
+    );
+    let report = service.metrics_report();
+    assert!(
+        report.events.compactions >= 1,
+        "ticks must have compacted: {:?}",
+        report.events
+    );
+    assert_eq!(report.events.compaction_errors, 0);
+    assert!(
+        report.journal_records <= 1,
+        "journal stays within one tick of its bound, got {}",
+        report.journal_records
+    );
+    assert!(
+        dir.join("store.snapshot").exists(),
+        "auto-compaction wrote a snapshot without any shutdown"
+    );
+    // Kill without a checkpoint: snapshot + bounded journal recover the
+    // full store.
+    let entries = service.store().len();
+    service.halt();
+    let service = FleetService::open(
+        config_for_recovery(&dir),
+        vec![device("fleet-east", seed), device("fleet-west", seed)],
+        problem(),
+        SeedStream::new(seed),
+    )
+    .expect("service reopens");
+    let store = service.store();
+    assert!(store.recovery().snapshot_entries > 0);
+    assert_eq!(store.len(), entries, "auto-compacted state recovers");
+    let warm = round(&service, 4, 3.0);
+    assert_eq!(
+        warm.iter().map(|&(_, m, _)| m).sum::<usize>(),
+        0,
+        "recovered store answers every window"
+    );
+    service.shutdown().expect("checkpoint");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+fn config_for_recovery(dir: &Path) -> FleetServiceConfig {
+    let mut c = config(dir);
+    c.tenancy.compaction = CompactionPolicy::after_records(1);
+    c
+}
+
+#[test]
+fn metrics_report_is_structured_and_prints() {
+    let dir = temp_dir("metrics");
+    let service = open_service(&dir, 4242);
+    let _ = round(&service, 4, 1.0);
+    let report = service.metrics_report();
+    assert_eq!(report.events.arrivals, 4);
+    assert_eq!(report.events.completions, 4);
+    assert_eq!(report.events.quota_rejections, 0);
+    assert_eq!(report.devices.len(), 2);
+    for d in &report.devices {
+        assert!(!d.busy);
+        assert_eq!(d.queue_depth, 0);
+        assert_eq!(d.completed, 2);
+        assert!(d.queue_wait_min > 0.0);
+        // Two clients submitted to each device: two fairness lanes.
+        assert_eq!(d.lanes.len(), 2);
+        assert!(d.lanes.iter().all(|l| l.weight == 1 && l.queued == 0));
+    }
+    assert_eq!(report.quotas.len(), 4, "one quota account per client");
+    assert!(report
+        .quotas
+        .iter()
+        .all(|q| q.completed == 1 && q.in_flight == 0 && q.rejected == 0));
+    assert_eq!(
+        report.client_store_traffic.len(),
+        4,
+        "per-client store attribution"
+    );
+    let attributed_misses: u64 = report
+        .client_store_traffic
+        .iter()
+        .map(|(_, m)| m.misses)
+        .sum();
+    assert!(attributed_misses > 0, "cold round misses are attributed");
+    assert_eq!(report.shards.len(), 8);
+    assert!(report.store_entries > 0);
+    assert_eq!(report.workers_idle, report.workers_total);
+    let rendered = report.to_string();
+    assert!(rendered.contains("fleet metrics"));
+    assert!(rendered.contains("device 0 (fleet-east)"));
+    assert!(rendered.contains("lane"));
+    service.shutdown().expect("checkpoint");
     std::fs::remove_dir_all(&dir).unwrap();
 }
 

@@ -77,6 +77,23 @@ impl CacheMetrics {
         self.evictions += other.evictions;
         self.invalidations += other.invalidations;
     }
+
+    /// Field-wise saturating difference `self - earlier` — what happened
+    /// *between* two metric snapshots. This is the per-session
+    /// attribution primitive: a daemon snapshots the store counters
+    /// around one client's session and attributes the delta to that
+    /// client (`crate::store::ShardedStore::attribute_client`).
+    /// Saturating, so a counter reset between snapshots yields zeros
+    /// rather than wrapping.
+    pub fn saturating_delta(&self, earlier: &CacheMetrics) -> CacheMetrics {
+        CacheMetrics {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            insertions: self.insertions.saturating_sub(earlier.insertions),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+            invalidations: self.invalidations.saturating_sub(earlier.invalidations),
+        }
+    }
 }
 
 /// Full key of one cached entry: device, calibration epoch, fingerprint.
@@ -357,6 +374,33 @@ mod tests {
         assert!(!s.remove("d", 0, &1));
         assert_eq!(s.metrics().invalidations, 1);
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn saturating_delta_attributes_a_window() {
+        let earlier = CacheMetrics {
+            hits: 3,
+            misses: 1,
+            insertions: 1,
+            evictions: 0,
+            invalidations: 0,
+        };
+        let later = CacheMetrics {
+            hits: 5,
+            misses: 4,
+            insertions: 2,
+            evictions: 1,
+            invalidations: 0,
+        };
+        let delta = later.saturating_delta(&earlier);
+        assert_eq!((delta.hits, delta.misses), (2, 3));
+        assert_eq!(
+            (delta.insertions, delta.evictions, delta.invalidations),
+            (1, 1, 0)
+        );
+        // A counter reset between snapshots saturates to zero.
+        let reset = CacheMetrics::default().saturating_delta(&later);
+        assert_eq!(reset, CacheMetrics::default());
     }
 
     #[test]

@@ -12,6 +12,17 @@
 //! serializes its sessions (a tuning session holds the machine), clients
 //! are assigned round-robin, and the fleet finishes when its slowest
 //! device drains. No RNG is involved, so a replay is bit-reproducible.
+//!
+//! # Fair arbitration
+//!
+//! [`DrrQueue`] is the fleet's single arbitration policy: deficit-
+//! round-robin weighted fair queueing across clients. The live daemon
+//! (`vaqem-fleet-service`) instantiates one per device to pick the next
+//! session, and [`schedule_sessions_fair`] drives the *same* type to
+//! predict the offline makespan and completion order — model and service
+//! can never disagree about who runs next.
+
+use std::collections::VecDeque;
 
 /// One client's EM-tuning session on one device.
 #[derive(Debug, Clone, PartialEq)]
@@ -151,6 +162,316 @@ pub fn schedule_sessions_queued(
     schedule
 }
 
+/// A deficit-round-robin (DRR) weighted fair queue over per-client lanes.
+///
+/// This is the fleet's arbitration policy, shared by the live daemon
+/// (one `DrrQueue` per device) and the offline
+/// [`schedule_sessions_fair`] model. Lanes are visited in registration
+/// order (ties between equally-eligible lanes always break toward the
+/// **lowest lane index**, i.e. earliest registration); on each visit a
+/// lane is granted `weight x quantum` minutes of deficit, serves queued
+/// items while its deficit covers their cost, and carries the remainder
+/// to its next visit. A lane that drains empty forfeits its deficit —
+/// the standard DRR rule that stops an idle client from banking credit.
+///
+/// # Starvation-freedom bound
+///
+/// With every queued item costing at most the quantum, a lane of weight
+/// `w` is served at least `w` items per full rotation while it stays
+/// backlogged, and one rotation serves at most `sum(w_i)` items. Hence a
+/// continuously-backlogged client's completed share never falls below
+/// its weight share by more than one rotation's worth — for unit
+/// weights, **at most one session** behind the proportional share per
+/// device (`tests/fairness_props.rs` pins this under arbitrary arrival
+/// interleavings).
+///
+/// Everything is deterministic: no RNG, no clocks — the dispatch order
+/// is a pure function of the enqueue/next call sequence.
+#[derive(Debug)]
+pub struct DrrQueue<T> {
+    quantum_min: f64,
+    lanes: Vec<DrrLane<T>>,
+    cursor: usize,
+    queued: usize,
+}
+
+#[derive(Debug)]
+struct DrrLane<T> {
+    client: String,
+    weight: u32,
+    deficit_min: f64,
+    granted_this_visit: bool,
+    queue: VecDeque<(f64, T)>,
+}
+
+/// One lane's observable state (metrics/debugging; see
+/// [`DrrQueue::lanes`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DrrLaneSnapshot {
+    /// Client label of the lane.
+    pub client: String,
+    /// The lane's weight.
+    pub weight: u32,
+    /// Deficit carried into the lane's next visit (minutes).
+    pub deficit_min: f64,
+    /// Sessions currently queued in the lane.
+    pub queued: usize,
+    /// Total estimated minutes queued in the lane.
+    pub queued_min: f64,
+}
+
+impl<T> DrrQueue<T> {
+    /// Creates an arbiter whose per-visit grant is `weight x quantum_min`.
+    ///
+    /// Pick the quantum at least as large as the costliest single item so
+    /// every backlogged lane is served on every rotation (the daemon uses
+    /// the per-session cost estimate itself, which makes DRR degenerate
+    /// to exact weighted round-robin for uniform sessions).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `quantum_min` is not strictly positive and finite.
+    pub fn new(quantum_min: f64) -> Self {
+        assert!(
+            quantum_min.is_finite() && quantum_min > 0.0,
+            "DRR quantum must be positive and finite"
+        );
+        DrrQueue {
+            quantum_min,
+            lanes: Vec::new(),
+            cursor: 0,
+            queued: 0,
+        }
+    }
+
+    /// Registers a client lane with the given weight. Idempotent: a
+    /// client registered twice keeps its original lane (and therefore its
+    /// tie-break position); the weight is updated in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `weight` is zero (a zero-weight lane would starve by
+    /// construction).
+    pub fn register(&mut self, client: &str, weight: u32) {
+        assert!(weight > 0, "DRR weight must be positive");
+        if let Some(lane) = self.lanes.iter_mut().find(|l| l.client == client) {
+            lane.weight = weight;
+            return;
+        }
+        self.lanes.push(DrrLane {
+            client: client.to_string(),
+            weight,
+            deficit_min: 0.0,
+            granted_this_visit: false,
+            queue: VecDeque::new(),
+        });
+    }
+
+    /// Queues an item of `cost_min` estimated minutes on the client's
+    /// lane, registering the client with weight 1 first if unknown.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cost_min` is negative or non-finite.
+    pub fn enqueue(&mut self, client: &str, cost_min: f64, item: T) {
+        assert!(
+            cost_min.is_finite() && cost_min >= 0.0,
+            "session cost must be finite and non-negative"
+        );
+        if !self.lanes.iter().any(|l| l.client == client) {
+            self.register(client, 1);
+        }
+        let lane = self
+            .lanes
+            .iter_mut()
+            .find(|l| l.client == client)
+            .expect("registered above");
+        lane.queue.push_back((cost_min, item));
+        self.queued += 1;
+    }
+
+    /// Dispatches the next item under DRR, or `None` when every lane is
+    /// empty. Returns `(client, cost_min, item)`.
+    pub fn dispatch_next(&mut self) -> Option<(String, f64, T)> {
+        if self.queued == 0 {
+            return None;
+        }
+        loop {
+            let n = self.lanes.len();
+            let lane = &mut self.lanes[self.cursor];
+            if lane.queue.is_empty() {
+                // Empty lanes forfeit their credit and their visit.
+                lane.deficit_min = 0.0;
+                lane.granted_this_visit = false;
+                self.cursor = (self.cursor + 1) % n;
+                continue;
+            }
+            if !lane.granted_this_visit {
+                lane.deficit_min += lane.weight as f64 * self.quantum_min;
+                lane.granted_this_visit = true;
+            }
+            let head_cost = lane.queue.front().expect("non-empty").0;
+            if lane.deficit_min + 1e-12 >= head_cost {
+                let (cost, item) = lane.queue.pop_front().expect("non-empty");
+                lane.deficit_min -= cost;
+                self.queued -= 1;
+                // The cursor stays: the lane keeps serving while its
+                // deficit covers the next head (the DRR burst).
+                return Some((lane.client.clone(), cost, item));
+            }
+            // Deficit exhausted: carry it and move on.
+            lane.granted_this_visit = false;
+            self.cursor = (self.cursor + 1) % n;
+        }
+    }
+
+    /// Items queued across all lanes.
+    pub fn len(&self) -> usize {
+        self.queued
+    }
+
+    /// Returns `true` when no lane holds a queued item.
+    pub fn is_empty(&self) -> bool {
+        self.queued == 0
+    }
+
+    /// Total estimated minutes queued across all lanes.
+    pub fn backlog_min(&self) -> f64 {
+        // Explicit fold: `Sum for f64` seeds with -0.0, which would
+        // render an empty backlog as "-0.00" in reports.
+        self.lanes
+            .iter()
+            .flat_map(|l| l.queue.iter())
+            .fold(0.0, |acc, (c, _)| acc + c)
+    }
+
+    /// Per-lane snapshots in registration (tie-break) order.
+    pub fn lanes(&self) -> Vec<DrrLaneSnapshot> {
+        self.lanes
+            .iter()
+            .map(|l| DrrLaneSnapshot {
+                client: l.client.clone(),
+                weight: l.weight,
+                deficit_min: l.deficit_min,
+                queued: l.queue.len(),
+                queued_min: l.queue.iter().fold(0.0, |acc, (c, _)| acc + c),
+            })
+            .collect()
+    }
+}
+
+/// A [`FleetSchedule`] plus the per-device session completion order the
+/// DRR arbiter produced — the offline counterpart of the live daemon's
+/// dispatch log, used to audit starvation-freedom without running the
+/// service.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FairFleetSchedule {
+    /// The priced timeline (same accounting as
+    /// [`schedule_sessions_queued`]).
+    pub schedule: FleetSchedule,
+    /// Per device: the client label of each completed session, in
+    /// completion order.
+    pub completion_order: Vec<Vec<String>>,
+}
+
+/// Drains `sessions` over `num_devices` serializing devices with
+/// **deficit-round-robin weighted fair queueing** across clients on each
+/// device — the same [`DrrQueue`] policy the live daemon dispatches
+/// with. `weights` overrides per-client weights (unlisted clients weigh
+/// 1); lanes are registered in first-appearance order of `sessions`, so
+/// the dispatch order is a pure function of the inputs.
+///
+/// The timeline is accumulated **from the DRR drain itself**: each
+/// dispatched session adds its minutes to its device, and a device that
+/// dispatched at least one session pays its queue wait, exactly as in
+/// [`schedule_sessions_queued`]. Comparing the two is therefore a real
+/// conservation check on the arbiter — a `DrrQueue` that dropped,
+/// duplicated, or misrouted a session would produce a different
+/// timeline. Because every device serializes its sessions, a correct
+/// drain yields the same makespan and machine minutes as FIFO: fairness
+/// reorders *who waits*, never how long the device works, so a uniform
+/// workload never loses throughput to it (pinned by a unit test, a
+/// proptest, and the fleet replay). What changes is
+/// [`FairFleetSchedule::completion_order`], where light clients no
+/// longer trail a heavy tenant's backlog.
+///
+/// The per-visit quantum is each device's largest single session, so
+/// every backlogged client is served on every rotation (the
+/// starvation-freedom bound in [`DrrQueue`]).
+///
+/// # Panics
+///
+/// Panics as [`schedule_sessions_queued`] does (empty fleet, queue
+/// vector length mismatch, negative waits, out-of-range device,
+/// negative minutes), and when a weight override is zero.
+pub fn schedule_sessions_fair(
+    num_devices: usize,
+    sessions: &[TuningSession],
+    weights: &[(String, u32)],
+    queue_min: &[f64],
+) -> FairFleetSchedule {
+    assert!(num_devices > 0, "fleet needs at least one device");
+    assert_eq!(
+        queue_min.len(),
+        num_devices,
+        "one queue wait per device required"
+    );
+    assert!(queue_min.iter().all(|&q| q >= 0.0), "negative queue wait");
+    for s in sessions {
+        assert!(
+            s.device < num_devices,
+            "session {} targets device {} of {}",
+            s.client,
+            s.device,
+            num_devices
+        );
+    }
+    let weight_of = |client: &str| {
+        weights
+            .iter()
+            .find(|(c, _)| c == client)
+            .map(|&(_, w)| w)
+            .unwrap_or(1)
+    };
+    let mut schedule = FleetSchedule {
+        device_busy_min: vec![0.0; num_devices],
+        device_queue_min: vec![0.0; num_devices],
+        sessions: 0,
+    };
+    let mut completion_order = Vec::with_capacity(num_devices);
+    for (device, &wait_min) in queue_min.iter().enumerate() {
+        let device_sessions: Vec<&TuningSession> =
+            sessions.iter().filter(|s| s.device == device).collect();
+        if device_sessions.is_empty() {
+            completion_order.push(Vec::new());
+            continue;
+        }
+        let quantum = device_sessions
+            .iter()
+            .map(|s| s.minutes)
+            .fold(0.0f64, f64::max)
+            .max(1e-9);
+        let mut arbiter: DrrQueue<()> = DrrQueue::new(quantum);
+        for s in &device_sessions {
+            arbiter.register(&s.client, weight_of(&s.client));
+            arbiter.enqueue(&s.client, s.minutes, ());
+        }
+        // The device's timeline is what the arbiter actually dispatches.
+        let mut order = Vec::with_capacity(device_sessions.len());
+        while let Some((client, minutes, ())) = arbiter.dispatch_next() {
+            schedule.device_busy_min[device] += minutes;
+            schedule.sessions += 1;
+            order.push(client);
+        }
+        schedule.device_queue_min[device] = wait_min;
+        completion_order.push(order);
+    }
+    FairFleetSchedule {
+        schedule,
+        completion_order,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -281,5 +602,163 @@ mod tests {
     #[should_panic(expected = "queue wait")]
     fn queue_vector_length_must_match() {
         schedule_sessions_queued(2, &[], &[1.0]);
+    }
+
+    #[test]
+    fn drr_equal_weights_round_robin() {
+        // Unit-cost sessions, quantum = cost: DRR degenerates to plain
+        // round-robin over backlogged lanes, ties toward the earliest-
+        // registered lane.
+        let mut q: DrrQueue<usize> = DrrQueue::new(1.0);
+        for (c, item) in [("a", 0), ("a", 1), ("a", 2), ("b", 3), ("c", 4)] {
+            q.enqueue(c, 1.0, item);
+        }
+        let order: Vec<(String, usize)> =
+            std::iter::from_fn(|| q.dispatch_next().map(|(c, _, i)| (c, i))).collect();
+        let clients: Vec<&str> = order.iter().map(|(c, _)| c.as_str()).collect();
+        assert_eq!(clients, ["a", "b", "c", "a", "a"]);
+        // FIFO within a lane.
+        let a_items: Vec<usize> = order
+            .iter()
+            .filter(|(c, _)| c == "a")
+            .map(|&(_, i)| i)
+            .collect();
+        assert_eq!(a_items, [0, 1, 2]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn drr_weighted_shares_per_rotation() {
+        // Weights 1:2:3 with unit costs and quantum 1: each full rotation
+        // serves exactly (1, 2, 3) sessions per lane while all stay
+        // backlogged.
+        let mut q: DrrQueue<()> = DrrQueue::new(1.0);
+        q.register("w1", 1);
+        q.register("w2", 2);
+        q.register("w3", 3);
+        for c in ["w1", "w2", "w3"] {
+            for _ in 0..6 {
+                q.enqueue(c, 1.0, ());
+            }
+        }
+        let first_rotation: Vec<String> = (0..6).map(|_| q.dispatch_next().unwrap().0).collect();
+        assert_eq!(first_rotation, ["w1", "w2", "w2", "w3", "w3", "w3"]);
+        let second_rotation: Vec<String> = (0..6).map(|_| q.dispatch_next().unwrap().0).collect();
+        assert_eq!(second_rotation, first_rotation);
+    }
+
+    #[test]
+    fn drr_empty_lane_forfeits_deficit() {
+        let mut q: DrrQueue<()> = DrrQueue::new(1.0);
+        q.enqueue("a", 1.0, ());
+        assert_eq!(q.dispatch_next().unwrap().0, "a");
+        assert!(q.dispatch_next().is_none());
+        // While "a" sat empty it banked nothing: a rival enqueued later
+        // is not starved by stored credit.
+        q.enqueue("b", 1.0, ());
+        q.enqueue("a", 1.0, ());
+        let order: Vec<String> = (0..2).map(|_| q.dispatch_next().unwrap().0).collect();
+        assert_eq!(order.iter().filter(|c| *c == "a").count(), 1);
+        let lanes = q.lanes();
+        assert_eq!(lanes.len(), 2);
+        assert!(lanes.iter().all(|l| l.queued == 0));
+    }
+
+    #[test]
+    fn drr_costly_item_accumulates_deficit_over_rotations() {
+        // A 3-minute session under a 1-minute quantum needs three visits'
+        // worth of deficit; cheap rivals keep flowing meanwhile and the
+        // expensive lane is served as soon as its credit covers the cost.
+        let mut q: DrrQueue<&'static str> = DrrQueue::new(1.0);
+        q.enqueue("big", 3.0, "B");
+        for i in 0..4 {
+            q.enqueue("small", 1.0, ["s0", "s1", "s2", "s3"][i]);
+        }
+        let order: Vec<&str> =
+            std::iter::from_fn(|| q.dispatch_next().map(|(_, _, i)| i)).collect();
+        assert_eq!(order, ["s0", "s1", "B", "s2", "s3"]);
+    }
+
+    #[test]
+    fn drr_accounting_and_registration() {
+        let mut q: DrrQueue<()> = DrrQueue::new(2.0);
+        q.register("a", 2);
+        q.register("a", 3); // idempotent: weight updated, lane kept
+        q.enqueue("a", 1.5, ());
+        q.enqueue("b", 0.5, ());
+        assert_eq!(q.len(), 2);
+        assert!((q.backlog_min() - 2.0).abs() < 1e-12);
+        let lanes = q.lanes();
+        assert_eq!(lanes[0].client, "a");
+        assert_eq!(lanes[0].weight, 3);
+        assert_eq!(lanes[1].client, "b");
+        assert_eq!(lanes[1].queued, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantum")]
+    fn drr_rejects_zero_quantum() {
+        let _: DrrQueue<()> = DrrQueue::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight")]
+    fn drr_rejects_zero_weight() {
+        let mut q: DrrQueue<()> = DrrQueue::new(1.0);
+        q.register("a", 0);
+    }
+
+    #[test]
+    fn fair_schedule_matches_fifo_throughput_and_interleaves() {
+        // One heavy client (4 sessions) vs two light ones (1 each), all
+        // on device 0. Fairness cannot change the makespan (the device
+        // serializes either way) but must reorder completions so the
+        // light clients finish inside the first rotation instead of
+        // behind the heavy backlog.
+        let mut sessions = vec![
+            session("heavy", 0, 10.0),
+            session("heavy", 0, 10.0),
+            session("heavy", 0, 10.0),
+            session("heavy", 0, 10.0),
+        ];
+        sessions.push(session("light-a", 0, 10.0));
+        sessions.push(session("light-b", 0, 10.0));
+        let queue = [5.0];
+        let fifo = schedule_sessions_queued(1, &sessions, &queue);
+        let fair = schedule_sessions_fair(1, &sessions, &[], &queue);
+        assert_eq!(fair.schedule.makespan_min(), fifo.makespan_min());
+        assert_eq!(
+            fair.schedule.sessions_per_hour(),
+            fifo.sessions_per_hour(),
+            "fairness never costs uniform throughput"
+        );
+        let order = &fair.completion_order[0];
+        assert_eq!(order.len(), 6);
+        // Every client completes within the first rotation (3 clients):
+        // the light tenants are not parked behind heavy's backlog.
+        assert!(order[..3].contains(&"light-a".to_string()));
+        assert!(order[..3].contains(&"light-b".to_string()));
+        assert_eq!(order.iter().filter(|c| *c == "heavy").count(), 4);
+    }
+
+    #[test]
+    fn fair_schedule_honours_weight_overrides() {
+        let sessions: Vec<TuningSession> = (0..8)
+            .map(|i| session(if i % 2 == 0 { "gold" } else { "econ" }, 0, 1.0))
+            .collect();
+        let fair = schedule_sessions_fair(1, &sessions, &[("gold".to_string(), 3)], &[0.0]);
+        // First rotation: gold's weight-3 burst, then econ's single slot.
+        assert_eq!(
+            fair.completion_order[0][..4],
+            ["gold", "gold", "gold", "econ"].map(String::from)
+        );
+    }
+
+    #[test]
+    fn fair_schedule_empty_devices_are_defined() {
+        let fair = schedule_sessions_fair(2, &[session("c", 1, 4.0)], &[], &[9.0, 2.0]);
+        assert_eq!(fair.completion_order[0], Vec::<String>::new());
+        assert_eq!(fair.completion_order[1], vec!["c".to_string()]);
+        assert_eq!(fair.schedule.makespan_min(), 6.0);
     }
 }

@@ -27,7 +27,9 @@
 //! * [`fleet`] — deterministic contention scheduling: N clients' tuning
 //!   sessions draining over D serializing devices (optionally behind
 //!   per-device queue waits), reported as makespan, machine minutes, and
-//!   sessions/hour.
+//!   sessions/hour — plus [`fleet::DrrQueue`], the deficit-round-robin
+//!   weighted fair queueing policy the live daemon and the offline
+//!   [`fleet::schedule_sessions_fair`] model share.
 //!
 //! Together they answer the question the per-circuit crates cannot: what
 //! does a *repeated, shared* workload cost, and how much of the paper's
@@ -91,7 +93,8 @@ pub use cost::{
     AngleTuningMode, BatchDispatch, CostModel, ExecutionTimeBreakdown, WorkloadProfile,
 };
 pub use fleet::{
-    round_robin_device, schedule_sessions, schedule_sessions_queued, FleetSchedule, TuningSession,
+    round_robin_device, schedule_sessions, schedule_sessions_fair, schedule_sessions_queued,
+    DrrLaneSnapshot, DrrQueue, FairFleetSchedule, FleetSchedule, TuningSession,
 };
-pub use persist::{Codec, DurableStore, RecoveryReport};
+pub use persist::{Codec, CompactionPolicy, DurableStore, RecoveryReport};
 pub use store::{ShardMetrics, ShardedStore, StoreBackend};

@@ -319,6 +319,50 @@ impl JournalWriter {
     }
 }
 
+/// When a [`DurableStore`] compacts its journal into a snapshot on its
+/// own — the self-compacting durability policy.
+///
+/// An append-only journal grows without bound between explicit
+/// checkpoints, and every record slows the next recovery replay. The
+/// policy bounds that: once the journal holds more than
+/// `max_journal_records` records, [`DurableStore::maybe_compact`]
+/// checkpoints (snapshot written atomically, journal truncated). The
+/// fleet reactor calls `maybe_compact` on its checkpoint ticks, so a
+/// long-lived daemon keeps recovery O(snapshot + bounded journal) with
+/// no operator in the loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionPolicy {
+    /// Journal records beyond which the next compaction check
+    /// checkpoints. `0` disables auto-compaction (explicit
+    /// [`DurableStore::checkpoint`] calls only).
+    pub max_journal_records: u64,
+}
+
+impl CompactionPolicy {
+    /// Auto-compaction disabled: only explicit checkpoints compact.
+    pub const fn disabled() -> Self {
+        CompactionPolicy {
+            max_journal_records: 0,
+        }
+    }
+
+    /// Compact once the journal exceeds `max_journal_records` records.
+    pub const fn after_records(max_journal_records: u64) -> Self {
+        CompactionPolicy {
+            max_journal_records,
+        }
+    }
+}
+
+impl Default for CompactionPolicy {
+    /// Compact past 4096 journal records — roughly a few hundred fleet
+    /// sessions' worth of mutations, small enough that recovery replay
+    /// stays instant and large enough that snapshot writes stay rare.
+    fn default() -> Self {
+        CompactionPolicy::after_records(4096)
+    }
+}
+
 /// Counters describing one [`DurableStore::open`] recovery.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RecoveryReport {
@@ -618,6 +662,35 @@ where
         Ok(())
     }
 
+    /// Checkpoints if (and only if) `policy` says the journal has grown
+    /// past its record bound, returning whether a compaction ran. The
+    /// check is one journal-lock acquisition when it declines — cheap
+    /// enough to call on every reactor checkpoint tick.
+    ///
+    /// # Errors
+    ///
+    /// Checkpoint I/O errors (the previous snapshot and journal stay
+    /// intact, exactly as for [`Self::checkpoint`]).
+    pub fn maybe_compact(&self, policy: CompactionPolicy) -> io::Result<bool> {
+        if policy.max_journal_records == 0 || self.journal_records() <= policy.max_journal_records {
+            return Ok(false);
+        }
+        self.checkpoint()?;
+        Ok(true)
+    }
+
+    /// Credits `delta` store traffic to `client`
+    /// (see [`ShardedStore::attribute_client`]).
+    pub fn attribute_client(&self, client: &str, delta: &CacheMetrics) {
+        self.store.attribute_client(client, delta)
+    }
+
+    /// Per-client attributed traffic, sorted by client label
+    /// (see [`ShardedStore::client_attribution`]).
+    pub fn client_attribution(&self) -> Vec<(String, CacheMetrics)> {
+        self.store.client_attribution()
+    }
+
     /// Total live entries.
     pub fn len(&self) -> usize {
         self.store.len()
@@ -636,6 +709,12 @@ where
     /// Per-shard observability snapshots.
     pub fn shard_metrics(&self) -> Vec<ShardMetrics> {
         self.store.shard_metrics()
+    }
+
+    /// One shard's snapshot, touching only that shard's lock
+    /// (see [`ShardedStore::shard_metrics_of`]).
+    pub fn shard_metrics_of(&self, shard: usize) -> ShardMetrics {
+        self.store.shard_metrics_of(shard)
     }
 
     /// Zeroes the cache counters on every shard.
@@ -766,6 +845,55 @@ mod tests {
             before,
             "content and order survive"
         );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn auto_compaction_shrinks_the_journal_and_round_trips() {
+        let dir = temp_dir("autocompact");
+        let policy = CompactionPolicy::after_records(8);
+        let before;
+        {
+            let store: DurableStore<u64, u64> = DurableStore::open(&dir, 2, 64).unwrap();
+            for k in 0..6u64 {
+                store.insert("dev", 0, k, k);
+            }
+            // Under the bound: the policy declines, the journal keeps
+            // its records and the disk file keeps its bytes.
+            let bytes_before = std::fs::metadata(dir.join(JOURNAL_FILE)).unwrap().len();
+            assert!(!store.maybe_compact(policy).unwrap());
+            assert_eq!(store.journal_records(), 6);
+            assert_eq!(
+                std::fs::metadata(dir.join(JOURNAL_FILE)).unwrap().len(),
+                bytes_before
+            );
+            // Disabled policy never compacts, whatever the length.
+            assert!(!store.maybe_compact(CompactionPolicy::disabled()).unwrap());
+
+            // Past the bound: one check compacts — snapshot written,
+            // journal truncated back to its bare header.
+            for k in 6..12u64 {
+                store.insert("dev", 0, k, k * 10);
+            }
+            assert!(store.journal_records() > policy.max_journal_records);
+            assert!(store.maybe_compact(policy).unwrap());
+            assert_eq!(store.journal_records(), 0, "journal truncated");
+            let bytes_after = std::fs::metadata(dir.join(JOURNAL_FILE)).unwrap().len();
+            assert!(
+                bytes_after < bytes_before,
+                "journal file shrank: {bytes_after} vs {bytes_before}"
+            );
+            assert!(dir.join(SNAPSHOT_FILE).exists());
+            // Immediately after compacting, the policy has nothing to do.
+            assert!(!store.maybe_compact(policy).unwrap());
+            before = store.export_entries();
+        }
+        // Recovery after an auto-compaction round-trips content and
+        // per-shard LRU order from the snapshot alone.
+        let reloaded: DurableStore<u64, u64> = DurableStore::open(&dir, 2, 64).unwrap();
+        assert_eq!(reloaded.recovery().snapshot_entries, 12);
+        assert_eq!(reloaded.recovery().journal_records, 0);
+        assert_eq!(reloaded.export_entries(), before);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

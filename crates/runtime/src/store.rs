@@ -183,6 +183,14 @@ pub struct ShardMetrics {
 #[derive(Debug)]
 pub struct ShardedStore<F, V> {
     shards: Vec<Shard<F, V>>,
+    /// Per-client traffic attribution, keyed by client label in
+    /// first-attribution order. The store itself cannot know which
+    /// client caused a lookup (the tuner speaks [`StoreBackend`], which
+    /// has no client notion), so the fleet layer measures each session's
+    /// counter delta ([`CacheMetrics::saturating_delta`]) and credits it
+    /// here — the per-client usage signal the fairness/quota layer and
+    /// the observability report read back.
+    attribution: Mutex<Vec<(String, CacheMetrics)>>,
 }
 
 impl<F: Hash + Eq + Clone, V> ShardedStore<F, V> {
@@ -202,7 +210,26 @@ impl<F: Hash + Eq + Clone, V> ShardedStore<F, V> {
                     contended: AtomicU64::new(0),
                 })
                 .collect(),
+            attribution: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Credits `delta` store traffic to `client` (see the field docs on
+    /// `attribution`). Merges into the client's running total.
+    pub fn attribute_client(&self, client: &str, delta: &CacheMetrics) {
+        let mut attribution = self.attribution.lock().expect("attribution lock");
+        match attribution.iter_mut().find(|(c, _)| c == client) {
+            Some((_, total)) => total.merge(delta),
+            None => attribution.push((client.to_string(), *delta)),
+        }
+    }
+
+    /// Per-client attributed traffic, sorted by client label for
+    /// deterministic reporting.
+    pub fn client_attribution(&self) -> Vec<(String, CacheMetrics)> {
+        let mut out = self.attribution.lock().expect("attribution lock").clone();
+        out.sort_by(|(a, _), (b, _)| a.cmp(b));
+        out
     }
 
     /// Number of shards.
@@ -280,20 +307,32 @@ impl<F: Hash + Eq + Clone, V> ShardedStore<F, V> {
 
     /// Per-shard observability snapshots, in shard order.
     pub fn shard_metrics(&self) -> Vec<ShardMetrics> {
-        self.shards
-            .iter()
-            .enumerate()
-            .map(|(i, s)| {
-                let guard = s.lock_quiet();
-                ShardMetrics {
-                    shard: i,
-                    entries: guard.len(),
-                    cache: *guard.metrics(),
-                    lock_acquisitions: s.acquisitions.load(Ordering::Relaxed),
-                    lock_contended: s.contended.load(Ordering::Relaxed),
-                }
-            })
+        (0..self.shards.len())
+            .map(|i| self.shard_metrics_of(i))
             .collect()
+    }
+
+    /// One shard's observability snapshot, touching **only** that
+    /// shard's lock (quietly). Observers watching a single device —
+    /// e.g. a worker measuring its own session's counter delta — must
+    /// use this rather than sweeping [`Self::shard_metrics`]: a full
+    /// sweep briefly holds every shard's mutex, which a concurrent
+    /// counted access on an unrelated shard would register as
+    /// contention.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shard` is out of range.
+    pub fn shard_metrics_of(&self, shard: usize) -> ShardMetrics {
+        let s = &self.shards[shard];
+        let guard = s.lock_quiet();
+        ShardMetrics {
+            shard,
+            entries: guard.len(),
+            cache: *guard.metrics(),
+            lock_acquisitions: s.acquisitions.load(Ordering::Relaxed),
+            lock_contended: s.contended.load(Ordering::Relaxed),
+        }
     }
 
     /// Zeroes every shard's cache counters (entries and lock counters are
@@ -462,6 +501,29 @@ mod tests {
         StoreBackend::publish(&mut arc, "d", 0, 5, 51);
         assert_eq!(StoreBackend::lookup(&mut arc, "d", 0, &5), Some(51));
         assert_eq!(arc.metrics_snapshot().hits, 1);
+    }
+
+    #[test]
+    fn client_attribution_merges_and_sorts() {
+        let s: ShardedStore<u64, u32> = ShardedStore::new(2, 8);
+        let hit = CacheMetrics {
+            hits: 1,
+            ..CacheMetrics::default()
+        };
+        let miss = CacheMetrics {
+            misses: 1,
+            insertions: 1,
+            ..CacheMetrics::default()
+        };
+        s.attribute_client("zeta", &miss);
+        s.attribute_client("alpha", &hit);
+        s.attribute_client("zeta", &hit);
+        let per_client = s.client_attribution();
+        assert_eq!(per_client.len(), 2);
+        assert_eq!(per_client[0].0, "alpha", "sorted by label");
+        assert_eq!(per_client[0].1.hits, 1);
+        assert_eq!((per_client[1].1.hits, per_client[1].1.misses), (1, 1));
+        assert_eq!(per_client[1].1.insertions, 1);
     }
 
     #[test]
