@@ -26,8 +26,10 @@ pub mod eigen;
 pub mod linalg;
 pub mod matrix;
 pub mod rng;
+pub mod smallmat;
 pub mod stats;
 
 pub use complex::{c64, Complex64};
 pub use matrix::CMatrix;
 pub use rng::SeedStream;
+pub use smallmat::{M2, M4};

@@ -55,7 +55,7 @@ impl SeedStream {
     /// Derives a stable child seed for `label` and an index, for per-shot or
     /// per-iteration streams.
     pub fn child_seed_indexed(&self, label: &str, index: u64) -> u64 {
-        splitmix64(self.child_seed(label) ^ splitmix64(index.wrapping_add(0xabcd_ef01)))
+        indexed_seed(self.child_seed(label), index)
     }
 
     /// Creates a deterministic RNG for `label`.
@@ -72,6 +72,15 @@ impl SeedStream {
     pub fn substream(&self, label: &str) -> SeedStream {
         SeedStream::new(self.child_seed(label))
     }
+}
+
+/// Combines a precomputed label base (from [`SeedStream::child_seed`]) with
+/// an index, producing exactly the seed [`SeedStream::child_seed_indexed`]
+/// would. Hot loops that derive one RNG per shot hoist the label hash out of
+/// the loop with this: `child_seed` once, then `indexed_seed` per shot —
+/// bit-identical to the un-hoisted path.
+pub fn indexed_seed(label_base: u64, index: u64) -> u64 {
+    splitmix64(label_base ^ splitmix64(index.wrapping_add(0xabcd_ef01)))
 }
 
 /// Default root seed: the bytes "VAQEM202" interpreted as a u64.
@@ -139,6 +148,18 @@ mod tests {
         let b = s.child_seed_indexed("shot", 1);
         assert_ne!(a, b);
         assert_eq!(a, s.child_seed_indexed("shot", 0));
+    }
+
+    #[test]
+    fn hoisted_indexed_seed_matches() {
+        let s = SeedStream::new(99);
+        let base = s.child_seed("machine-trajectory");
+        for i in [0u64, 1, 77, u64::MAX] {
+            assert_eq!(
+                indexed_seed(base, i),
+                s.child_seed_indexed("machine-trajectory", i)
+            );
+        }
     }
 
     #[test]

@@ -54,6 +54,53 @@ pub fn normalize_counts(counts: &HashMap<String, u64>) -> HashMap<String, f64> {
         .collect()
 }
 
+/// Apportions `total` integer units across `weights` by the largest-remainder
+/// (Hamilton) method: each entry gets the floor of its exact quota
+/// `weight / sum * total`, and the leftover units go to the entries with the
+/// largest fractional remainders (ties broken by lowest index).
+///
+/// Unlike independent per-entry rounding, the result always sums to exactly
+/// `total` — the property the simulators' `exact_counts` paths rely on so a
+/// "noise-free reference histogram" really contains `shots` shots.
+/// Non-finite or negative weights are treated as zero; if every weight is
+/// zero, the whole `total` is assigned to index 0 (if any).
+pub fn largest_remainder(weights: &[f64], total: u64) -> Vec<u64> {
+    if weights.is_empty() {
+        return Vec::new();
+    }
+    let clean: Vec<f64> = weights
+        .iter()
+        .map(|&w| if w.is_finite() && w > 0.0 { w } else { 0.0 })
+        .collect();
+    let sum: f64 = clean.iter().sum();
+    let mut out = vec![0u64; clean.len()];
+    if sum <= 0.0 {
+        out[0] = total;
+        return out;
+    }
+    let mut fracs: Vec<(usize, f64)> = Vec::with_capacity(clean.len());
+    let mut assigned: u64 = 0;
+    for (i, &w) in clean.iter().enumerate() {
+        let quota = w / sum * total as f64;
+        let floor = quota.floor().min(total as f64) as u64;
+        out[i] = floor;
+        assigned += floor;
+        fracs.push((i, quota - floor as f64));
+    }
+    // Largest fractional remainder first; ties to the lowest index so the
+    // apportionment is deterministic.
+    fracs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    let mut leftover = total.saturating_sub(assigned);
+    let mut cursor = 0;
+    while leftover > 0 {
+        let (idx, _) = fracs[cursor % fracs.len()];
+        out[idx] += 1;
+        leftover -= 1;
+        cursor += 1;
+    }
+    out
+}
+
 /// Geometric mean of strictly positive values, the aggregation the paper uses
 /// for its headline "3.02x over baseline" claim (Fig. 12, last column).
 ///
@@ -319,5 +366,30 @@ mod tests {
         assert_eq!(s.count(), 0);
         assert_eq!(s.variance(), 0.0);
         assert_eq!(s.range(), 0.0);
+    }
+
+    #[test]
+    fn largest_remainder_sums_exactly() {
+        // Independent rounding would give 333+333+333 = 999 or
+        // 334+334+334 = 1002; Hamilton apportionment hits 1000 exactly.
+        let out = largest_remainder(&[1.0, 1.0, 1.0], 1000);
+        assert_eq!(out.iter().sum::<u64>(), 1000);
+        assert_eq!(out, vec![334, 333, 333]);
+    }
+
+    #[test]
+    fn largest_remainder_respects_proportions() {
+        let out = largest_remainder(&[0.5, 0.25, 0.25], 4096);
+        assert_eq!(out, vec![2048, 1024, 1024]);
+        let skew = largest_remainder(&[0.9, 0.1], 10);
+        assert_eq!(skew, vec![9, 1]);
+    }
+
+    #[test]
+    fn largest_remainder_edge_cases() {
+        assert!(largest_remainder(&[], 10).is_empty());
+        assert_eq!(largest_remainder(&[0.0, 0.0], 7), vec![7, 0]);
+        assert_eq!(largest_remainder(&[f64::NAN, 1.0], 5), vec![0, 5]);
+        assert_eq!(largest_remainder(&[1.0], 0), vec![0]);
     }
 }

@@ -55,6 +55,21 @@ impl Counts {
         *self.map.entry(key).or_insert(0) += n;
     }
 
+    /// Builds a histogram from per-basis-state tallies (`hist[i]` = shots
+    /// observing index `i`). Shot loops accumulate into a `Vec<u64>` and
+    /// convert once here, instead of allocating and hashing a bitstring per
+    /// shot.
+    pub fn from_index_histogram(num_qubits: usize, hist: &[u64]) -> Self {
+        let mut counts = Counts::new(num_qubits);
+        counts.map.reserve(hist.iter().filter(|&&n| n > 0).count());
+        for (i, &n) in hist.iter().enumerate() {
+            if n > 0 {
+                counts.map.insert(index_to_bitstring(i, num_qubits), n);
+            }
+        }
+        counts
+    }
+
     /// Total number of shots recorded.
     pub fn total(&self) -> u64 {
         self.map.values().sum()
@@ -214,6 +229,21 @@ mod tests {
         c.record_index_n(0, 700);
         c.record_index_n(1, 300);
         assert!((c.hellinger_fidelity(&c.clone()) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_index_histogram_matches_per_shot_recording() {
+        let hist = [3u64, 0, 5, 1];
+        let fast = Counts::from_index_histogram(2, &hist);
+        let mut slow = Counts::new(2);
+        for (i, &n) in hist.iter().enumerate() {
+            for _ in 0..n {
+                slow.record_index(i);
+            }
+        }
+        assert_eq!(fast, slow);
+        assert_eq!(fast.total(), 9);
+        assert_eq!(fast.get("01"), 0, "zero bins are omitted");
     }
 
     #[test]

@@ -11,12 +11,15 @@
 
 use crate::channels::KrausChannel;
 use crate::counts::Counts;
+use crate::kernels;
+use crate::sampling::CdfSampler;
 use vaqem_circuit::gate::Gate;
 use vaqem_circuit::schedule::ScheduledCircuit;
-use vaqem_circuit::unitary::{embed_single, embed_two};
 use vaqem_device::noise::NoiseParameters;
 use vaqem_mathkit::complex::Complex64;
 use vaqem_mathkit::matrix::CMatrix;
+use vaqem_mathkit::smallmat::{M2, M4};
+use vaqem_mathkit::stats;
 
 /// A mixed quantum state over `n` qubits.
 #[derive(Debug, Clone, PartialEq)]
@@ -69,55 +72,64 @@ impl DensityMatrix {
     }
 
     /// Applies a unitary on one qubit.
+    ///
+    /// A direct O(4^n) sub-block sweep ([`kernels::dm_apply_kraus_single`]
+    /// with a single operator) — the embed-and-multiply original, preserved
+    /// as [`crate::naive::density_apply_unitary_single`], was O(8^n).
     pub fn apply_unitary_single(&mut self, u: &CMatrix, q: usize) {
-        let full = embed_single(u, q, self.num_qubits);
-        self.rho = self.rho.conjugate_by(&full);
+        assert!(q < self.num_qubits, "qubit out of range");
+        let dim = 1 << self.num_qubits;
+        kernels::dm_apply_kraus_single(
+            self.rho.as_mut_slice(),
+            dim,
+            1 << q,
+            &[M2::from_cmatrix(u)],
+        );
     }
 
     /// Applies a unitary on two qubits (first operand = high bit).
     pub fn apply_unitary_two(&mut self, u: &CMatrix, q_hi: usize, q_lo: usize) {
-        let full = embed_two(u, q_hi, q_lo, self.num_qubits);
-        self.rho = self.rho.conjugate_by(&full);
+        assert!(
+            q_hi < self.num_qubits && q_lo < self.num_qubits,
+            "qubit out of range"
+        );
+        assert_ne!(q_hi, q_lo, "operands must differ");
+        let dim = 1 << self.num_qubits;
+        kernels::dm_apply_m4(
+            self.rho.as_mut_slice(),
+            dim,
+            1 << q_hi,
+            1 << q_lo,
+            &M4::from_cmatrix(u),
+        );
     }
 
     /// Applies a single-qubit Kraus channel to qubit `q`.
     pub fn apply_channel(&mut self, channel: &KrausChannel, q: usize) {
-        let dim = self.rho.rows();
-        let mut out = CMatrix::zeros(dim, dim);
-        for k in channel.ops() {
-            let full = embed_single(k, q, self.num_qubits);
-            out = &out + &self.rho.conjugate_by(&full);
-        }
-        self.rho = out;
+        assert!(q < self.num_qubits, "qubit out of range");
+        let dim = 1 << self.num_qubits;
+        let ops: Vec<M2> = channel.ops().iter().map(M2::from_cmatrix).collect();
+        kernels::dm_apply_kraus_single(self.rho.as_mut_slice(), dim, 1 << q, &ops);
     }
 
     /// Applies a two-qubit depolarizing channel with probability `p`:
     /// `rho -> (1-p) rho + p/15 sum_{P != II} P rho P`.
+    ///
+    /// Evaluated in closed form per sub-block via the Pauli-twirl identity
+    /// (see [`kernels::dm_depolarize_two_qubit`]) instead of enumerating the
+    /// 15 embedded Pauli pairs.
     pub fn apply_two_qubit_depolarizing(&mut self, p: f64, a: usize, b: usize) {
         assert!((0.0..=1.0).contains(&p), "p must be a probability");
+        assert!(
+            a < self.num_qubits && b < self.num_qubits,
+            "qubit out of range"
+        );
+        assert_ne!(a, b, "operands must differ");
         if p == 0.0 {
             return;
         }
-        let paulis = [
-            CMatrix::identity(2),
-            Gate::X.unitary().expect("const"),
-            Gate::Y.unitary().expect("const"),
-            Gate::Z.unitary().expect("const"),
-        ];
-        let dim = self.rho.rows();
-        let mut sum = CMatrix::zeros(dim, dim);
-        for (i, pa) in paulis.iter().enumerate() {
-            for (j, pb) in paulis.iter().enumerate() {
-                if i == 0 && j == 0 {
-                    continue;
-                }
-                let full =
-                    &embed_single(pa, a, self.num_qubits) * &embed_single(pb, b, self.num_qubits);
-                sum = &sum + &self.rho.conjugate_by(&full);
-            }
-        }
-        self.rho = &self.rho.scale(vaqem_mathkit::c64(1.0 - p, 0.0))
-            + &sum.scale(vaqem_mathkit::c64(p / 15.0, 0.0));
+        let dim = 1 << self.num_qubits;
+        kernels::dm_depolarize_two_qubit(self.rho.as_mut_slice(), dim, 1 << a, 1 << b, p);
     }
 
     /// Diagonal of `rho`: basis-state probabilities.
@@ -164,13 +176,16 @@ impl DensityMatrix {
     }
 
     /// Exact counts under per-qubit readout error: the true distribution is
-    /// pushed through each qubit's assignment matrix, then scaled to
-    /// `shots`.
+    /// pushed through each qubit's assignment matrix, then apportioned to
+    /// `shots` by the largest-remainder method so the histogram always
+    /// totals exactly `shots` (independent rounding, preserved as
+    /// [`crate::naive::density_counts_with_readout`], could drift by
+    /// several shots).
     pub fn counts_with_readout(&self, noise: &NoiseParameters, shots: u64) -> Counts {
         let p = self.readout_probabilities(noise);
+        let alloc = stats::largest_remainder(&p, shots);
         let mut counts = Counts::new(self.num_qubits);
-        for (i, &pi) in p.iter().enumerate() {
-            let c = (pi * shots as f64).round() as u64;
+        for (i, &c) in alloc.iter().enumerate() {
             if c > 0 {
                 counts.record_index_n(i, c);
             }
@@ -180,7 +195,9 @@ impl DensityMatrix {
 
     /// Shot-sampled counts under per-qubit readout error, for callers that
     /// want the finite-shot statistics of a real submission rather than the
-    /// rounded exact distribution.
+    /// rounded exact distribution. Uses the same build-once
+    /// [`CdfSampler`] as the statevector engine (bit-identical draws to the
+    /// original per-shot linear scan).
     pub fn sample_counts_with_readout<R: rand::Rng + ?Sized>(
         &self,
         noise: &NoiseParameters,
@@ -188,21 +205,10 @@ impl DensityMatrix {
         rng: &mut R,
     ) -> Counts {
         let p = self.readout_probabilities(noise);
-        let mut counts = Counts::new(self.num_qubits);
-        for _ in 0..shots {
-            let r: f64 = rng.gen();
-            let mut acc = 0.0;
-            let mut picked = p.len() - 1;
-            for (i, &pi) in p.iter().enumerate() {
-                acc += pi;
-                if r < acc {
-                    picked = i;
-                    break;
-                }
-            }
-            counts.record_index(picked);
-        }
-        counts
+        let cdf = CdfSampler::from_probabilities(p.iter().copied());
+        let mut hist = Vec::new();
+        cdf.sample_histogram(rng, shots, &mut hist);
+        Counts::from_index_histogram(self.num_qubits, &hist)
     }
 }
 
@@ -446,6 +452,125 @@ mod tests {
         let counts = dm.counts_with_readout(&noise, 1000);
         assert_eq!(counts.get("1"), 100);
         assert_eq!(counts.get("0"), 900);
+    }
+
+    /// A state with three equal probabilities: independent rounding loses a
+    /// shot (333 * 3 = 999), largest-remainder apportionment does not.
+    #[test]
+    fn readout_counts_total_exactly_shots() {
+        let third = Complex64::new(1.0 / 3.0, 0.0);
+        let dm = DensityMatrix::from_matrix(CMatrix::from_diagonal(&[
+            third,
+            third,
+            third,
+            Complex64::ZERO,
+        ]));
+        let noise = NoiseParameters::noiseless(2);
+        assert_eq!(dm.counts_with_readout(&noise, 1000).total(), 1000);
+        assert_eq!(
+            crate::naive::density_counts_with_readout(&dm, &noise, 1000).total(),
+            999,
+            "the drift the apportionment fixes"
+        );
+    }
+
+    /// The block-sweep applies must match the embed-and-conjugate originals
+    /// preserved in `naive` on every operation the engine uses.
+    #[test]
+    fn kernel_applies_match_embedded_reference() {
+        use crate::naive;
+        // A state with broad support and off-diagonal structure.
+        let mut dm = DensityMatrix::zero_state(3);
+        dm.apply_unitary_single(&Gate::H.unitary().unwrap(), 0);
+        dm.apply_unitary_single(&Gate::Sx.unitary().unwrap(), 1);
+        dm.apply_unitary_two(&Gate::Cx.unitary().unwrap(), 0, 2);
+        dm.apply_channel(&KrausChannel::amplitude_damping(0.2), 1);
+
+        for (fast_op, naive_op) in [
+            (
+                Box::new(|d: &mut DensityMatrix| {
+                    d.apply_unitary_single(&Gate::Rz(0.7.into()).unitary().unwrap(), 2)
+                }) as Box<dyn Fn(&mut DensityMatrix)>,
+                Box::new(|d: &mut DensityMatrix| {
+                    naive::density_apply_unitary_single(
+                        d,
+                        &Gate::Rz(0.7.into()).unitary().unwrap(),
+                        2,
+                    )
+                }) as Box<dyn Fn(&mut DensityMatrix)>,
+            ),
+            (
+                Box::new(|d: &mut DensityMatrix| {
+                    d.apply_unitary_two(&Gate::Cx.unitary().unwrap(), 2, 1)
+                }),
+                Box::new(|d: &mut DensityMatrix| {
+                    naive::density_apply_unitary_two(d, &Gate::Cx.unitary().unwrap(), 2, 1)
+                }),
+            ),
+            (
+                Box::new(|d: &mut DensityMatrix| {
+                    d.apply_channel(&KrausChannel::depolarizing(0.05), 0)
+                }),
+                Box::new(|d: &mut DensityMatrix| {
+                    naive::density_apply_channel(d, &KrausChannel::depolarizing(0.05), 0)
+                }),
+            ),
+            (
+                Box::new(|d: &mut DensityMatrix| d.apply_two_qubit_depolarizing(0.3, 1, 2)),
+                Box::new(|d: &mut DensityMatrix| {
+                    naive::density_apply_two_qubit_depolarizing(d, 0.3, 1, 2)
+                }),
+            ),
+        ] {
+            let mut fast = dm.clone();
+            let mut slow = dm.clone();
+            fast_op(&mut fast);
+            naive_op(&mut slow);
+            assert!(fast.matrix().max_abs_diff(slow.matrix()) < 1e-12);
+        }
+    }
+
+    /// Full-engine parity: the optimized Markovian run agrees with the
+    /// preserved embed-based engine on a noisy multi-qubit circuit.
+    #[test]
+    fn fast_markovian_matches_naive_engine() {
+        let mut qc = QuantumCircuit::new(3);
+        qc.h(0).unwrap();
+        qc.cx(0, 1).unwrap();
+        qc.rz(0.4, 1).unwrap();
+        qc.delay(5_000.0, 2).unwrap();
+        qc.cx(1, 2).unwrap();
+        qc.sx(2).unwrap();
+        let sched = scheduled(&qc);
+        let noise = NoiseParameters::uniform(3);
+        let fast = run_markovian(&sched, &noise);
+        let slow = crate::naive::density_run_markovian(&sched, &noise);
+        assert!(
+            fast.matrix().max_abs_diff(slow.matrix()) < 1e-12,
+            "diff {}",
+            fast.matrix().max_abs_diff(slow.matrix())
+        );
+        assert!((fast.trace() - 1.0).abs() < 1e-9);
+    }
+
+    /// The shared CDF sampler consumes the RNG stream exactly like the
+    /// original per-shot linear scan, so same-seed counts are identical.
+    #[test]
+    fn sampled_readout_counts_are_bit_identical_to_naive_scan() {
+        use rand::SeedableRng;
+        let mut qc = QuantumCircuit::new(2);
+        qc.h(0).unwrap();
+        qc.cx(0, 1).unwrap();
+        let mut noise = NoiseParameters::uniform(2);
+        noise.qubit_mut(0).readout_p01 = 0.03;
+        noise.qubit_mut(1).readout_p10 = 0.08;
+        let dm = run_markovian(&scheduled(&qc), &noise);
+        let mut rng_a = rand::rngs::StdRng::seed_from_u64(99);
+        let mut rng_b = rand::rngs::StdRng::seed_from_u64(99);
+        let fast = dm.sample_counts_with_readout(&noise, 2000, &mut rng_a);
+        let slow = crate::naive::density_sample_counts_with_readout(&dm, &noise, 2000, &mut rng_b);
+        assert_eq!(fast, slow);
+        assert_eq!(fast.total(), 2000);
     }
 
     #[test]

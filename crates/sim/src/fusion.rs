@@ -1,0 +1,236 @@
+//! Single-qubit gate fusion.
+//!
+//! Ansatz circuits in this repo (and NISQ circuits generally) interleave
+//! runs of single-qubit rotations with sparse two-qubit gates. Applying
+//! each rotation separately sweeps the whole state per gate; fusing a run
+//! of adjacent single-qubit gates on the same qubit into one 2x2 product
+//! matrix does the run in a single sweep. The fusion pass also converts
+//! every gate's [`Gate::unitary`] into an unpacked [`M2`]/[`M4`] exactly
+//! once, so executors that replay a circuit many times (the trajectory
+//! engine runs one replay per shot) pay the matrix construction once per
+//! compile instead of once per gate per shot.
+//!
+//! Fusion multiplies gate matrices before touching the state, which
+//! reassociates floating-point arithmetic; results therefore match the
+//! unfused path to `1e-12` per amplitude rather than bit-for-bit. The
+//! parity suite pins that bound.
+
+use crate::statevector::StateVector;
+use vaqem_circuit::circuit::QuantumCircuit;
+use vaqem_circuit::error::CircuitError;
+use vaqem_circuit::gate::Gate;
+use vaqem_circuit::schedule::ScheduledCircuit;
+use vaqem_mathkit::smallmat::{M2, M4};
+
+/// Unpacks a single-qubit gate's unitary.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::UnboundParameter`] for symbolic gates.
+pub fn gate_m2(gate: &Gate) -> Result<M2, CircuitError> {
+    Ok(M2::from_cmatrix(&gate.unitary()?))
+}
+
+/// Unpacks a two-qubit gate's unitary.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::UnboundParameter`] for symbolic gates.
+pub fn gate_m4(gate: &Gate) -> Result<M4, CircuitError> {
+    Ok(M4::from_cmatrix(&gate.unitary()?))
+}
+
+/// One fused operation: a 2x2 product on one qubit or a 4x4 on a pair.
+#[derive(Debug, Clone, Copy)]
+pub enum FusedOp {
+    /// A (possibly fused) single-qubit unitary.
+    One {
+        /// Target qubit.
+        q: usize,
+        /// Product of the fused run, earliest gate right-most.
+        u: M2,
+    },
+    /// A two-qubit unitary (`q_hi` is the more significant gate operand).
+    Two {
+        /// More significant gate operand (control of [`Gate::Cx`]).
+        q_hi: usize,
+        /// Less significant gate operand.
+        q_lo: usize,
+        /// Gate unitary.
+        u: M4,
+    },
+}
+
+impl FusedOp {
+    /// Applies the operation to a statevector through the fast kernels.
+    pub fn apply(&self, sv: &mut StateVector) {
+        match *self {
+            FusedOp::One { q, ref u } => sv.apply_m2(u, q),
+            FusedOp::Two { q_hi, q_lo, ref u } => sv.apply_m4(u, q_hi, q_lo),
+        }
+    }
+}
+
+/// Streaming fusion pass: feed gates in program order, harvest fused ops.
+#[derive(Debug)]
+pub struct Fuser {
+    pending: Vec<Option<M2>>,
+    out: Vec<FusedOp>,
+    gates_in: usize,
+}
+
+impl Fuser {
+    /// Creates a pass over `num_qubits` qubits.
+    pub fn new(num_qubits: usize) -> Self {
+        Fuser {
+            pending: vec![None; num_qubits],
+            out: Vec::new(),
+            gates_in: 0,
+        }
+    }
+
+    /// Feeds one instruction. Non-unitary operations (measure, barrier,
+    /// delay, identity) contribute no evolution and are skipped — matching
+    /// the unfused ideal-engine semantics, where they are no-ops.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnboundParameter`] for symbolic gates.
+    pub fn push(&mut self, gate: &Gate, qubits: &[usize]) -> Result<(), CircuitError> {
+        match gate {
+            Gate::Measure | Gate::Barrier | Gate::Delay { .. } | Gate::I => Ok(()),
+            g if qubits.len() == 1 => {
+                let u = gate_m2(g)?;
+                self.gates_in += 1;
+                let q = qubits[0];
+                self.pending[q] = Some(match self.pending[q].take() {
+                    // Later gate multiplies from the left.
+                    Some(prev) => u.mul(&prev),
+                    None => u,
+                });
+                Ok(())
+            }
+            g if qubits.len() == 2 => {
+                let u = gate_m4(g)?;
+                self.gates_in += 1;
+                self.flush(qubits[0]);
+                self.flush(qubits[1]);
+                self.out.push(FusedOp::Two {
+                    q_hi: qubits[0],
+                    q_lo: qubits[1],
+                    u,
+                });
+                Ok(())
+            }
+            _ => panic!("unsupported arity {}", qubits.len()),
+        }
+    }
+
+    fn flush(&mut self, q: usize) {
+        if let Some(u) = self.pending[q].take() {
+            self.out.push(FusedOp::One { q, u });
+        }
+    }
+
+    /// Flushes all pending runs (lowest qubit first) and returns the plan.
+    pub fn finish(mut self) -> Vec<FusedOp> {
+        for q in 0..self.pending.len() {
+            self.flush(q);
+        }
+        self.out
+    }
+
+    /// Number of unitary gates fed in so far (fusion statistics).
+    pub fn gates_in(&self) -> usize {
+        self.gates_in
+    }
+}
+
+/// Compiles a concrete circuit into a fused plan.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::UnboundParameter`] for symbolic circuits.
+pub fn fuse_circuit(circuit: &QuantumCircuit) -> Result<Vec<FusedOp>, CircuitError> {
+    let mut fuser = Fuser::new(circuit.num_qubits());
+    for inst in circuit.instructions() {
+        fuser.push(&inst.gate, &inst.qubits)?;
+    }
+    Ok(fuser.finish())
+}
+
+/// Compiles a scheduled circuit into a fused plan (timing is irrelevant to
+/// the ideal engine, so all unitary ops fuse regardless of gaps).
+///
+/// # Errors
+///
+/// Returns [`CircuitError::UnboundParameter`] for symbolic circuits.
+pub fn fuse_scheduled(scheduled: &ScheduledCircuit) -> Result<Vec<FusedOp>, CircuitError> {
+    let mut fuser = Fuser::new(scheduled.num_qubits());
+    for op in scheduled.ops() {
+        fuser.push(&op.gate, &op.qubits)?;
+    }
+    Ok(fuser.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_collapse_to_single_ops() {
+        let mut qc = QuantumCircuit::new(2);
+        qc.h(0).unwrap();
+        qc.rz(0.3, 0).unwrap();
+        qc.ry(0.7, 0).unwrap();
+        qc.h(1).unwrap();
+        qc.cx(0, 1).unwrap();
+        qc.rx(0.2, 1).unwrap();
+        let plan = fuse_circuit(&qc).unwrap();
+        // h+rz+ry on q0 fuse; h on q1 flushes before cx; rx(q1) flushes at end.
+        assert_eq!(plan.len(), 4);
+        assert!(matches!(
+            plan[2],
+            FusedOp::Two {
+                q_hi: 0,
+                q_lo: 1,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn fused_product_matches_sequential_application() {
+        let mut qc = QuantumCircuit::new(1);
+        qc.h(0).unwrap();
+        qc.rz(1.1, 0).unwrap();
+        qc.sx(0).unwrap();
+        let plan = fuse_circuit(&qc).unwrap();
+        assert_eq!(plan.len(), 1);
+        let FusedOp::One { u, .. } = plan[0] else {
+            panic!("expected 1q op")
+        };
+        let expect = &(&Gate::Sx.unitary().unwrap() * &Gate::Rz(1.1.into()).unitary().unwrap())
+            * &Gate::H.unitary().unwrap();
+        assert!(u.to_cmatrix().max_abs_diff(&expect) < 1e-14);
+    }
+
+    #[test]
+    fn non_unitary_ops_are_transparent() {
+        let mut qc = QuantumCircuit::new(1);
+        qc.h(0).unwrap();
+        qc.barrier_all();
+        qc.delay(50.0, 0).unwrap();
+        qc.h(0).unwrap();
+        qc.measure(0).unwrap();
+        let plan = fuse_circuit(&qc).unwrap();
+        assert_eq!(plan.len(), 1, "H..H fuses across barrier/delay/measure");
+    }
+
+    #[test]
+    fn unbound_parameter_surfaces() {
+        let mut qc = QuantumCircuit::new(1);
+        qc.ry_param(0, 0).unwrap();
+        assert!(fuse_circuit(&qc).is_err());
+    }
+}

@@ -19,16 +19,28 @@
 //! endpoints (scheduled circuit + shots + seed → counts) with the same
 //! shape as [`machine`], so the core crate's `Executor` trait can drive
 //! all three substrates interchangeably.
+//!
+//! The hot paths of all three engines run through shared infrastructure:
+//! [`kernels`] (half/quarter-index-space amplitude sweeps, parallel for
+//! large states), [`fusion`] (single-qubit gate fusion and unpacked gate
+//! matrices), and [`sampling`] (build-once CDF shot sampling). [`naive`]
+//! preserves the original implementations as the parity oracle and the
+//! benchmark baseline.
 
 pub mod channels;
 pub mod counts;
 pub mod density;
 pub mod exec;
+pub mod fusion;
+pub mod kernels;
 pub mod machine;
+pub mod naive;
+pub mod sampling;
 pub mod statevector;
 
 pub use counts::Counts;
 pub use density::DensityMatrix;
 pub use exec::{DensityExecutor, StateVectorSampler};
 pub use machine::MachineExecutor;
+pub use sampling::CdfSampler;
 pub use statevector::StateVector;

@@ -1,0 +1,136 @@
+//! Shared fast measurement sampling.
+//!
+//! The statevector and density engines both used to draw each shot with a
+//! linear scan over all `2^n` outcome probabilities — `O(shots * 2^n)` per
+//! job. [`CdfSampler`] builds the cumulative distribution once and answers
+//! each draw with a binary search, making a shot loop
+//! `O(2^n + shots * n)`. Both engines now share this one implementation.
+//!
+//! The binary search is constructed to return *exactly* the index the old
+//! linear scan returned for the same uniform draw: the scan picked the
+//! first `i` with `r < cdf[i]` (falling back to the last index when `r`
+//! landed beyond the accumulated total), and
+//! `partition_point(|&c| c <= r)` is precisely that first index. Sampling
+//! is therefore bit-identical to the naive path, RNG draw for RNG draw.
+
+use rand::Rng;
+use vaqem_mathkit::complex::Complex64;
+
+/// A build-once cumulative-probability table over basis-state indices.
+#[derive(Debug, Clone)]
+pub struct CdfSampler {
+    cdf: Vec<f64>,
+}
+
+impl CdfSampler {
+    /// Builds the table from outcome probabilities (need not be normalized;
+    /// draws beyond the total clamp to the last outcome, as the linear scan
+    /// did).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty distribution.
+    pub fn from_probabilities<I: IntoIterator<Item = f64>>(probs: I) -> Self {
+        let mut acc = 0.0;
+        let cdf: Vec<f64> = probs
+            .into_iter()
+            .map(|p| {
+                acc += p;
+                acc
+            })
+            .collect();
+        assert!(!cdf.is_empty(), "empty distribution");
+        CdfSampler { cdf }
+    }
+
+    /// Builds the table from state amplitudes (Born-rule probabilities).
+    pub fn from_amplitudes(amps: &[Complex64]) -> Self {
+        Self::from_probabilities(amps.iter().map(|a| a.norm_sqr()))
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Returns `true` when there are no outcomes (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Outcome index for a uniform draw `r` in `[0, 1)`: the first index
+    /// whose cumulative probability exceeds `r`, clamped to the last.
+    pub fn index_for(&self, r: f64) -> usize {
+        self.cdf
+            .partition_point(|&c| c <= r)
+            .min(self.cdf.len() - 1)
+    }
+
+    /// Draws one outcome index, consuming exactly one `rng.gen::<f64>()`
+    /// (the same draw the linear-scan samplers consumed).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        self.index_for(rng.gen())
+    }
+
+    /// Draws `shots` outcomes into an index histogram sized to the outcome
+    /// space, reusing `hist`'s storage. Returns the histogram.
+    pub fn sample_histogram<R: Rng + ?Sized>(&self, rng: &mut R, shots: u64, hist: &mut Vec<u64>) {
+        hist.clear();
+        hist.resize(self.cdf.len(), 0);
+        for _ in 0..shots {
+            hist[self.sample(rng)] += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn linear_scan(probs: &[f64], r: f64) -> usize {
+        let mut acc = 0.0;
+        for (i, p) in probs.iter().enumerate() {
+            acc += p;
+            if r < acc {
+                return i;
+            }
+        }
+        probs.len() - 1
+    }
+
+    #[test]
+    fn binary_search_matches_linear_scan_exactly() {
+        let probs = [0.125, 0.0, 0.25, 0.375, 0.0, 0.25];
+        let cdf = CdfSampler::from_probabilities(probs.iter().copied());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for _ in 0..10_000 {
+            let r: f64 = rng.gen();
+            assert_eq!(cdf.index_for(r), linear_scan(&probs, r));
+        }
+        // Boundary draws: exactly at a cumulative edge the scan moves past
+        // the edge (strict `r < acc`), and so does partition_point.
+        for r in [0.0, 0.125, 0.375, 0.75, 0.9999999, 1.0, 2.0] {
+            assert_eq!(cdf.index_for(r), linear_scan(&probs, r), "r = {r}");
+        }
+    }
+
+    #[test]
+    fn zero_probability_outcomes_never_sampled() {
+        let cdf = CdfSampler::from_probabilities([0.0, 1.0, 0.0]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert_eq!(cdf.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn histogram_totals_shots() {
+        let cdf = CdfSampler::from_probabilities([0.5, 0.3, 0.2]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut hist = Vec::new();
+        cdf.sample_histogram(&mut rng, 10_000, &mut hist);
+        assert_eq!(hist.iter().sum::<u64>(), 10_000);
+        assert!(hist[0] > hist[1] && hist[1] > hist[2]);
+    }
+}

@@ -5,15 +5,27 @@
 //! Model"), (b) exact reference distributions for Hellinger fidelity, and
 //! (c) exact expectation values `<psi|H|psi>`.
 //!
+//! Gate application runs through the half/quarter-index-space kernels in
+//! [`crate::kernels`] (amplitude-parallel for large states), circuit
+//! execution fuses runs of single-qubit gates via [`crate::fusion`], and
+//! shot sampling goes through the shared build-once CDF in
+//! [`crate::sampling`]. The pre-optimization implementations survive in
+//! [`crate::naive`] as the parity oracle and benchmark baseline.
+//!
 //! Qubit 0 is the least significant bit of the amplitude index.
 
 use crate::counts::Counts;
+use crate::fusion;
+use crate::kernels;
+use crate::sampling::CdfSampler;
 use rand::Rng;
 use vaqem_circuit::circuit::QuantumCircuit;
 use vaqem_circuit::error::CircuitError;
 use vaqem_circuit::gate::Gate;
 use vaqem_mathkit::complex::Complex64;
 use vaqem_mathkit::matrix::CMatrix;
+use vaqem_mathkit::smallmat::{M2, M4};
+use vaqem_mathkit::stats;
 
 /// A pure quantum state over `n` qubits.
 #[derive(Debug, Clone, PartialEq)]
@@ -57,6 +69,19 @@ impl StateVector {
         &self.amps
     }
 
+    /// Mutable amplitude access for in-crate engines (trajectory executor,
+    /// naive reference) that manipulate the state directly.
+    pub(crate) fn amps_mut(&mut self) -> &mut [Complex64] {
+        &mut self.amps
+    }
+
+    /// Resets to `|0...0>` without reallocating — the trajectory executor
+    /// reuses one state buffer across all shots of a job.
+    pub fn reset_zero(&mut self) {
+        self.amps.fill(Complex64::ZERO);
+        self.amps[0] = Complex64::ONE;
+    }
+
     /// Two-norm of the state.
     pub fn norm(&self) -> f64 {
         CMatrix::vec_norm(&self.amps)
@@ -72,27 +97,38 @@ impl StateVector {
         }
     }
 
+    /// Applies an unpacked 2x2 unitary to qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn apply_m2(&mut self, u: &M2, q: usize) {
+        assert!(q < self.num_qubits, "qubit out of range");
+        kernels::apply_m2(&mut self.amps, 1 << q, u);
+    }
+
+    /// Applies an unpacked 4x4 unitary to `(q_hi, q_lo)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range or equal qubits.
+    pub fn apply_m4(&mut self, u: &M4, q_hi: usize, q_lo: usize) {
+        assert!(
+            q_hi < self.num_qubits && q_lo < self.num_qubits,
+            "qubit out of range"
+        );
+        assert_ne!(q_hi, q_lo, "distinct qubits required");
+        kernels::apply_m4(&mut self.amps, 1 << q_hi, 1 << q_lo, u);
+    }
+
     /// Applies a 2x2 unitary to qubit `q`.
     ///
     /// # Panics
     ///
     /// Panics if `q` is out of range or `u` is not 2x2.
     pub fn apply_single(&mut self, u: &CMatrix, q: usize) {
-        assert!(q < self.num_qubits, "qubit out of range");
         assert_eq!(u.rows(), 2, "expected 2x2");
-        let bit = 1usize << q;
-        let (u00, u01, u10, u11) = (u[(0, 0)], u[(0, 1)], u[(1, 0)], u[(1, 1)]);
-        for base in 0..self.amps.len() {
-            if base & bit != 0 {
-                continue;
-            }
-            let i0 = base;
-            let i1 = base | bit;
-            let a0 = self.amps[i0];
-            let a1 = self.amps[i1];
-            self.amps[i0] = u00 * a0 + u01 * a1;
-            self.amps[i1] = u10 * a0 + u11 * a1;
-        }
+        self.apply_m2(&M2::from_cmatrix(u), q);
     }
 
     /// Applies a 4x4 unitary to `(q_hi, q_lo)` where `q_hi` indexes the more
@@ -102,39 +138,14 @@ impl StateVector {
     ///
     /// Panics on out-of-range or equal qubits, or a non-4x4 matrix.
     pub fn apply_two(&mut self, u: &CMatrix, q_hi: usize, q_lo: usize) {
-        assert!(
-            q_hi < self.num_qubits && q_lo < self.num_qubits,
-            "qubit out of range"
-        );
-        assert_ne!(q_hi, q_lo, "distinct qubits required");
         assert_eq!(u.rows(), 4, "expected 4x4");
-        let (bh, bl) = (1usize << q_hi, 1usize << q_lo);
-        for base in 0..self.amps.len() {
-            if base & bh != 0 || base & bl != 0 {
-                continue;
-            }
-            let idx = [base, base | bl, base | bh, base | bh | bl];
-            let a: Vec<Complex64> = idx.iter().map(|&i| self.amps[i]).collect();
-            for (r, &i) in idx.iter().enumerate() {
-                let mut acc = Complex64::ZERO;
-                for c in 0..4 {
-                    acc += u[(r, c)] * a[c];
-                }
-                self.amps[i] = acc;
-            }
-        }
+        self.apply_m4(&M4::from_cmatrix(u), q_hi, q_lo);
     }
 
     /// Applies a phase `e^{i theta}` to every basis state where qubit `q` is 1
     /// (fast diagonal path used by the noisy executor's detuning model).
     pub fn apply_phase_if_one(&mut self, theta: f64, q: usize) {
-        let bit = 1usize << q;
-        let phase = Complex64::cis(theta);
-        for (i, a) in self.amps.iter_mut().enumerate() {
-            if i & bit != 0 {
-                *a *= phase;
-            }
-        }
+        kernels::phase_if_one(&mut self.amps, 1 << q, Complex64::cis(theta));
     }
 
     /// Applies `exp(-i theta Z_a Z_b / 2)` (always-on ZZ coupling step).
@@ -165,10 +176,9 @@ impl StateVector {
             Gate::Barrier | Gate::Delay { .. } | Gate::I => Ok(()),
             Gate::Measure => panic!("apply_gate cannot measure; sample the state instead"),
             g => {
-                let u = g.unitary()?;
                 match qubits.len() {
-                    1 => self.apply_single(&u, qubits[0]),
-                    2 => self.apply_two(&u, qubits[0], qubits[1]),
+                    1 => self.apply_m2(&fusion::gate_m2(g)?, qubits[0]),
+                    2 => self.apply_m4(&fusion::gate_m4(g)?, qubits[0], qubits[1]),
                     k => panic!("unsupported arity {k}"),
                 }
                 Ok(())
@@ -176,7 +186,8 @@ impl StateVector {
         }
     }
 
-    /// Runs a full concrete circuit from `|0...0>`.
+    /// Runs a full concrete circuit from `|0...0>`, fusing runs of
+    /// single-qubit gates into one sweep each.
     ///
     /// Measurements are ignored (the state before measurement is returned);
     /// use [`Self::sample_counts`] for shot results.
@@ -186,11 +197,8 @@ impl StateVector {
     /// Returns [`CircuitError::UnboundParameter`] for symbolic circuits.
     pub fn run(circuit: &QuantumCircuit) -> Result<StateVector, CircuitError> {
         let mut sv = StateVector::zero_state(circuit.num_qubits());
-        for inst in circuit.instructions() {
-            if matches!(inst.gate, Gate::Measure) {
-                continue;
-            }
-            sv.apply_gate(&inst.gate, &inst.qubits)?;
+        for op in fusion::fuse_circuit(circuit)? {
+            op.apply(&mut sv);
         }
         Ok(sv)
     }
@@ -208,11 +216,8 @@ impl StateVector {
         scheduled: &vaqem_circuit::schedule::ScheduledCircuit,
     ) -> Result<StateVector, CircuitError> {
         let mut sv = StateVector::zero_state(scheduled.num_qubits());
-        for op in scheduled.ops() {
-            match op.gate {
-                Gate::Measure | Gate::Barrier | Gate::Delay { .. } | Gate::I => {}
-                ref g => sv.apply_gate(g, &op.qubits)?,
-            }
+        for op in fusion::fuse_scheduled(scheduled)? {
+            op.apply(&mut sv);
         }
         Ok(sv)
     }
@@ -222,7 +227,13 @@ impl StateVector {
         self.amps.iter().map(|a| a.norm_sqr()).collect()
     }
 
-    /// Samples one basis-state index.
+    /// Probability that qubit `q` reads 1.
+    pub fn excited_probability(&self, q: usize) -> f64 {
+        kernels::excited_population(&self.amps, 1 << q)
+    }
+
+    /// Samples one basis-state index (one `O(2^n)` scan; for shot loops use
+    /// [`Self::sample_counts`], which amortizes the scan into one CDF).
     pub fn sample_index<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let r: f64 = rng.gen();
         let mut acc = 0.0;
@@ -235,21 +246,25 @@ impl StateVector {
         self.amps.len() - 1
     }
 
-    /// Samples a histogram of `shots` measurements of all qubits.
+    /// Samples a histogram of `shots` measurements of all qubits: one CDF
+    /// build, then a binary search per shot, accumulated into an index
+    /// histogram (no per-shot string allocation).
     pub fn sample_counts<R: Rng + ?Sized>(&self, rng: &mut R, shots: u64) -> Counts {
-        let mut counts = Counts::new(self.num_qubits);
-        for _ in 0..shots {
-            counts.record_index(self.sample_index(rng));
-        }
-        counts
+        let cdf = CdfSampler::from_amplitudes(&self.amps);
+        let mut hist = Vec::new();
+        cdf.sample_histogram(rng, shots, &mut hist);
+        Counts::from_index_histogram(self.num_qubits, &hist)
     }
 
-    /// Exact counts: probabilities scaled to `shots` and rounded (useful as
-    /// an ideal reference distribution without sampling noise).
+    /// Exact counts: probabilities apportioned to `shots` by the
+    /// largest-remainder method, so the histogram always totals exactly
+    /// `shots` (independent rounding could drift by several shots on wide
+    /// distributions).
     pub fn exact_counts(&self, shots: u64) -> Counts {
+        let probs = self.probabilities();
+        let alloc = stats::largest_remainder(&probs, shots);
         let mut counts = Counts::new(self.num_qubits);
-        for (i, a) in self.amps.iter().enumerate() {
-            let c = (a.norm_sqr() * shots as f64).round() as u64;
+        for (i, &c) in alloc.iter().enumerate() {
             if c > 0 {
                 counts.record_index_n(i, c);
             }
@@ -282,6 +297,7 @@ impl StateVector {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::naive;
     use rand::SeedableRng;
     use std::f64::consts::FRAC_1_SQRT_2;
     use vaqem_mathkit::c64;
@@ -333,6 +349,63 @@ mod tests {
     }
 
     #[test]
+    fn kernel_paths_match_naive_reference_bitwise() {
+        // The optimized single/two-qubit kernels must be bit-identical to
+        // the original full-index-space loops on a random state.
+        let mut r = rng();
+        let amps: Vec<Complex64> = (0..1 << 6)
+            .map(|_| c64(r.gen::<f64>() - 0.5, r.gen::<f64>() - 0.5))
+            .collect();
+        let h = Gate::H.unitary().unwrap();
+        let cx = Gate::Cx.unitary().unwrap();
+        for q in 0..6 {
+            let mut fast = StateVector::from_amplitudes(amps.clone());
+            let mut slow = StateVector::from_amplitudes(amps.clone());
+            fast.apply_single(&h, q);
+            naive::apply_single(&mut slow, &h, q);
+            assert_eq!(fast.amplitudes(), slow.amplitudes(), "1q on {q}");
+        }
+        for (a, b) in [(0, 1), (1, 0), (2, 5), (5, 2), (0, 5)] {
+            let mut fast = StateVector::from_amplitudes(amps.clone());
+            let mut slow = StateVector::from_amplitudes(amps.clone());
+            fast.apply_two(&cx, a, b);
+            naive::apply_two(&mut slow, &cx, a, b);
+            assert_eq!(fast.amplitudes(), slow.amplitudes(), "2q on ({a},{b})");
+        }
+    }
+
+    #[test]
+    fn fused_run_matches_naive_run() {
+        let mut qc = QuantumCircuit::new(4);
+        for i in 0..4 {
+            qc.h(i).unwrap();
+            qc.rz(0.3 * (i + 1) as f64, i).unwrap();
+            qc.ry(0.7 - 0.1 * i as f64, i).unwrap();
+        }
+        for i in 0..3 {
+            qc.cx(i, i + 1).unwrap();
+        }
+        for i in 0..4 {
+            qc.rx(0.2 * i as f64, i).unwrap();
+        }
+        let fast = StateVector::run(&qc).unwrap();
+        let slow = naive::run(&qc).unwrap();
+        for (a, b) in fast.amplitudes().iter().zip(slow.amplitudes()) {
+            assert!(a.approx_eq(*b, 1e-12));
+        }
+    }
+
+    #[test]
+    fn reset_zero_restores_ground_state() {
+        let mut qc = QuantumCircuit::new(3);
+        qc.h(0).unwrap();
+        qc.cx(0, 2).unwrap();
+        let mut sv = StateVector::run(&qc).unwrap();
+        sv.reset_zero();
+        assert_eq!(sv, StateVector::zero_state(3));
+    }
+
+    #[test]
     fn phase_if_one_only_touches_one_branch() {
         let mut sv = StateVector::zero_state(1);
         sv.apply_single(&Gate::H.unitary().unwrap(), 0);
@@ -375,6 +448,22 @@ mod tests {
     }
 
     #[test]
+    fn cdf_sampling_is_bit_identical_to_naive_scan() {
+        let mut qc = QuantumCircuit::new(5);
+        for i in 0..5 {
+            qc.ry(0.4 + 0.3 * i as f64, i).unwrap();
+        }
+        for i in 0..4 {
+            qc.cx(i, i + 1).unwrap();
+        }
+        let sv = StateVector::run(&qc).unwrap();
+        // Same RNG stream through both samplers: identical histograms.
+        let fast = sv.sample_counts(&mut rng(), 4096);
+        let slow = naive::sample_counts(&sv, &mut rng(), 4096);
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
     fn exact_counts_have_no_sampling_noise() {
         let mut qc = QuantumCircuit::new(1);
         qc.h(0).unwrap();
@@ -382,6 +471,48 @@ mod tests {
         let counts = sv.exact_counts(1000);
         assert_eq!(counts.get("0"), 500);
         assert_eq!(counts.get("1"), 500);
+    }
+
+    #[test]
+    fn exact_counts_total_exactly_shots() {
+        // A three-way 1/3 split: independent rounding gives 333*3 = 999,
+        // largest-remainder apportionment must hand the leftover shot out.
+        let a = (1.0f64 / 3.0).sqrt();
+        let sv = StateVector::from_amplitudes(vec![
+            c64(a, 0.0),
+            c64(a, 0.0),
+            c64(a, 0.0),
+            Complex64::ZERO,
+        ]);
+        let counts = sv.exact_counts(1000);
+        assert_eq!(counts.total(), 1000);
+        let naive_total = naive::exact_counts_rounded(&sv, 1000).total();
+        assert_eq!(naive_total, 999, "the defect this fixes");
+        // 7-qubit uniform superposition: 128 outcomes of 1000/128 shots.
+        let mut qc = QuantumCircuit::new(7);
+        for i in 0..7 {
+            qc.h(i).unwrap();
+        }
+        let sv = StateVector::run(&qc).unwrap();
+        assert_eq!(sv.exact_counts(1000).total(), 1000);
+    }
+
+    #[test]
+    fn excited_probability_matches_full_sum() {
+        let mut qc = QuantumCircuit::new(3);
+        qc.ry(0.9, 0).unwrap();
+        qc.cx(0, 2).unwrap();
+        let sv = StateVector::run(&qc).unwrap();
+        for q in 0..3 {
+            let expect: f64 = sv
+                .probabilities()
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i & (1 << q) != 0)
+                .map(|(_, p)| p)
+                .sum();
+            assert!((sv.excited_probability(q) - expect).abs() < 1e-15);
+        }
     }
 
     #[test]

@@ -12,10 +12,34 @@
 //! `harness = false`, exactly as with upstream criterion.
 
 use std::fmt;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Re-export of the standard black box (upstream `criterion::black_box`).
 pub use std::hint::black_box;
+
+/// One completed benchmark measurement (shim extension; upstream criterion
+/// persists these to `target/criterion` instead).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Full label, `group/case` for grouped benches.
+    pub label: String,
+    /// Mean wall-clock per iteration, nanoseconds.
+    pub mean_ns: f64,
+    /// Best (minimum) batch-averaged time per iteration, nanoseconds.
+    pub min_ns: f64,
+    /// Total measured iterations.
+    pub iters: u64,
+}
+
+static MEASUREMENTS: Mutex<Vec<Measurement>> = Mutex::new(Vec::new());
+
+/// Returns (and clears) every measurement recorded so far in this process.
+/// Lets `harness = false` bench mains emit machine-readable reports after
+/// the groups have run.
+pub fn drain_measurements() -> Vec<Measurement> {
+    std::mem::take(&mut MEASUREMENTS.lock().expect("measurement registry"))
+}
 
 /// Identifier for one benchmark case within a group.
 #[derive(Debug, Clone)]
@@ -116,6 +140,15 @@ fn run_one(full_label: &str, warmup: Duration, budget: Duration, f: impl FnOnce(
                 fmt_duration(mean),
                 fmt_duration(best),
             );
+            MEASUREMENTS
+                .lock()
+                .expect("measurement registry")
+                .push(Measurement {
+                    label: full_label.to_string(),
+                    mean_ns: total.as_nanos() as f64 / iters.max(1) as f64,
+                    min_ns: best.as_nanos() as f64,
+                    iters,
+                });
         }
         None => println!("bench: {full_label:<48} (no measurement — iter() never called)"),
     }
@@ -134,9 +167,12 @@ impl BenchmarkGroup<'_> {
         self
     }
 
-    /// Overrides the measurement budget for this group.
+    /// Overrides the measurement budget for this group (ignored in quick
+    /// mode, which caps every case at the smoke budget).
     pub fn measurement_time(&mut self, budget: Duration) -> &mut Self {
-        self.criterion.budget = budget;
+        if !self.criterion.quick {
+            self.criterion.budget = budget;
+        }
         self
     }
 
@@ -179,16 +215,33 @@ impl BenchmarkGroup<'_> {
 }
 
 /// Benchmark driver (upstream `criterion::Criterion` subset).
+///
+/// `VAQEM_QUICK=1` (the workspace-wide smoke switch) shrinks warm-up and
+/// measurement budgets ~10x so CI can exercise every bench cheaply;
+/// quick-mode numbers are noisier and only meaningful as ratios.
 pub struct Criterion {
     warmup: Duration,
     budget: Duration,
+    quick: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion {
-            warmup: Duration::from_millis(300),
-            budget: Duration::from_millis(1500),
+        let quick = std::env::var("VAQEM_QUICK")
+            .map(|v| v == "1")
+            .unwrap_or(false);
+        if quick {
+            Criterion {
+                warmup: Duration::from_millis(30),
+                budget: Duration::from_millis(150),
+                quick,
+            }
+        } else {
+            Criterion {
+                warmup: Duration::from_millis(300),
+                budget: Duration::from_millis(1500),
+                quick,
+            }
         }
     }
 }
@@ -239,10 +292,11 @@ mod tests {
     use super::*;
 
     #[test]
-    fn bencher_measures_something() {
+    fn bencher_measures_and_registers() {
         let mut c = Criterion {
             warmup: Duration::from_millis(5),
             budget: Duration::from_millis(20),
+            quick: false,
         };
         c.bench_function("spin", |b| b.iter(|| (0..100u64).sum::<u64>()));
         let mut g = c.benchmark_group("group");
@@ -251,6 +305,27 @@ mod tests {
             b.iter(|| (0..n).product::<u64>())
         });
         g.finish();
+        let seen = drain_measurements();
+        let labels: Vec<&str> = seen.iter().map(|m| m.label.as_str()).collect();
+        assert!(labels.contains(&"spin"), "labels: {labels:?}");
+        assert!(labels.contains(&"group/4"), "labels: {labels:?}");
+        for m in &seen {
+            assert!(m.mean_ns > 0.0 && m.iters > 0);
+        }
+        assert!(drain_measurements().is_empty(), "drain clears the registry");
+    }
+
+    #[test]
+    fn quick_mode_pins_measurement_time() {
+        let mut c = Criterion {
+            warmup: Duration::from_millis(1),
+            budget: Duration::from_millis(5),
+            quick: true,
+        };
+        let mut g = c.benchmark_group("g");
+        g.measurement_time(Duration::from_secs(30));
+        g.finish();
+        assert_eq!(c.budget, Duration::from_millis(5));
     }
 
     #[test]
