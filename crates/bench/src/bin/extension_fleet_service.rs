@@ -48,7 +48,7 @@ use vaqem_fleet_service::{
     ClientQuota, DeviceSpec, FleetService, FleetServiceConfig, QuotaError, SessionError,
     SessionKind, SessionOutcome, SessionRequest, TenancyConfig,
 };
-use vaqem_mathkit::rng::SeedStream;
+use vaqem_mathkit::rng::{root_seed_from_env, SeedStream};
 use vaqem_mitigation::dd::DdSequence;
 use vaqem_optim::spsa::SpsaConfig;
 use vaqem_pauli::models::tfim_paper;
@@ -57,7 +57,8 @@ use vaqem_runtime::{BatchDispatch, CostModel, WorkloadProfile};
 
 /// Default root seed: every stream in the replay derives from it, so a
 /// run is bit-reproducible. Chosen (by deterministic scan, overridable
-/// with `VAQEM_FLEET_SEED` for re-scanning) so the acceptance guards on
+/// with `VAQEM_SEED` — or the legacy `VAQEM_FLEET_SEED` alias — via
+/// [`root_seed_from_env`] for re-scanning) so the acceptance guards on
 /// every device accept their cold sweeps and re-accept warm ones in
 /// both quick and full modes — guard rejection under shot noise is
 /// legitimate tuner behavior, but it would conflate "the journal
@@ -66,10 +67,7 @@ use vaqem_runtime::{BatchDispatch, CostModel, WorkloadProfile};
 const DEFAULT_ROOT_SEED: u64 = 4243;
 
 fn root_seed() -> u64 {
-    std::env::var("VAQEM_FLEET_SEED")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(DEFAULT_ROOT_SEED)
+    root_seed_from_env(DEFAULT_ROOT_SEED)
 }
 
 /// Same co-tenanted fleet device as `extension_fleet_cache`: solid

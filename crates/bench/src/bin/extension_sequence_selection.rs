@@ -10,7 +10,7 @@ use vaqem::backend::QuantumBackend;
 use vaqem::benchmarks::BenchmarkId;
 use vaqem::pipeline::tune_angles;
 use vaqem::window_tuner::{WindowTuner, WindowTunerConfig};
-use vaqem_mathkit::rng::SeedStream;
+use vaqem_mathkit::rng::{root_seed_from_env, SeedStream};
 use vaqem_mitigation::combined::MitigationConfig;
 use vaqem_mitigation::dd::DdSequence;
 use vaqem_optim::spsa::SpsaConfig;
@@ -19,7 +19,7 @@ fn main() {
     let quick = vaqem_bench::quick_mode();
     let id = BenchmarkId::Tfim6qC2r;
     let problem = id.problem().expect("benchmark builds");
-    let seeds = SeedStream::new(1717);
+    let seeds = SeedStream::new(root_seed_from_env(1717));
     let spsa = SpsaConfig::paper_default().with_iterations(if quick { 40 } else { 150 });
     let (params, _) = tune_angles(&problem, &spsa, &seeds).expect("angle tuning");
 

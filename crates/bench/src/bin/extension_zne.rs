@@ -36,7 +36,7 @@ use vaqem::Strategy;
 use vaqem_ansatz::su2::{EfficientSu2, Entanglement};
 use vaqem_device::noise::NoiseParameters;
 use vaqem_fleet_service::DurableMitigationStore;
-use vaqem_mathkit::rng::SeedStream;
+use vaqem_mathkit::rng::{root_seed_from_env, SeedStream};
 use vaqem_mitigation::combined::MitigationConfig;
 use vaqem_mitigation::dd::DdSequence;
 use vaqem_mitigation::zne::ZneConfig;
@@ -75,7 +75,8 @@ fn main() {
     let quick = quick();
     let num_qubits = if quick { 3 } else { 4 };
     let shots = if quick { 256 } else { 512 };
-    let seeds = SeedStream::new(ROOT_SEED);
+    // `VAQEM_SEED` overrides the scanned default for re-scanning.
+    let seeds = SeedStream::new(root_seed_from_env(ROOT_SEED));
     let problem = problem(num_qubits);
     let noise = NoiseParameters::uniform(num_qubits);
 

@@ -24,6 +24,9 @@
 //! * [`pipeline`] — all §VII-B comparison strategies (+ the ZNE
 //!   extension strategies),
 //! * [`benchmarks`] — the seven Table I applications,
+//! * [`workloads`] — the scenario-matrix workload catalog (TFIM/SU2 at
+//!   configurable depth, H2/UCCSD chemistry, QAOA-style ring ansätze)
+//!   the verification grid crosses against device classes and tenants,
 //! * [`soundness`] — the §V variational-bound checks,
 //! * [`metrics`] — the Fig. 12/13 reporting metrics.
 
@@ -36,6 +39,7 @@ pub mod pipeline;
 pub mod soundness;
 pub mod vqe;
 pub mod window_tuner;
+pub mod workloads;
 
 pub use backend::QuantumBackend;
 pub use benchmarks::BenchmarkId;
@@ -51,3 +55,4 @@ pub use window_tuner::{
     MitigationConfigStore, NoiseClass, StoredChoice, TunedMitigation, TuningMode, WarmStats,
     WarmTuneReport, WindowFingerprint, WindowTuner, WindowTunerConfig,
 };
+pub use workloads::ScenarioWorkload;

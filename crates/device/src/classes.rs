@@ -1,0 +1,155 @@
+//! Device-class presets: named noise/drift regimes for the scenario
+//! matrix's device axis.
+//!
+//! The paper's machines differ along two temporal axes the fleet stack
+//! cares about — how fast coherence decays *within* a circuit
+//! ([`crate::noise::QubitNoise`]) and how fast calibration drifts
+//! *between* sessions ([`crate::drift::DriftModel`]). A
+//! [`DeviceClass`] bundles one point in that plane into a reproducible
+//! preset; the scenario harness instantiates each class at whatever
+//! width its workload needs (the trajectory machine is all-to-all, so
+//! width is free — what a class pins down is the physics).
+//!
+//! Both presets keep a strong quasi-static detuning component relative
+//! to their coherence: that is the Fig. 5 regime where idle-window DD
+//! has a real optimum, so the tuner's acceptance-guard verdicts reflect
+//! physics rather than shot noise.
+
+use crate::backend::DeviceModel;
+use crate::drift::DriftModel;
+use crate::noise::{NoiseParameters, QubitNoise};
+use vaqem_circuit::schedule::DurationModel;
+use vaqem_mathkit::rng::SeedStream;
+
+/// A named device noise/drift regime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceClass {
+    /// Slow decoherence, slow drift: T1 = 120 µs / T2 = 90 µs, 12-hour
+    /// calibration cycles with gentle wander — the well-behaved lab
+    /// backend most of the paper's runs assume.
+    StableLab,
+    /// Fast decoherence, fast drift: T1 = 45 µs / T2 = 30 µs, 6-hour
+    /// calibration cycles with strong wander and recalibration jumps —
+    /// the aggressive end of the fleet, where cached configs go stale
+    /// twice as often and DD has more to refocus.
+    NoisyFab,
+}
+
+impl DeviceClass {
+    /// Both classes, in grid order.
+    pub const ALL: [DeviceClass; 2] = [DeviceClass::StableLab, DeviceClass::NoisyFab];
+
+    /// Stable grid label (`stable-lab` / `noisy-fab`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            DeviceClass::StableLab => "stable-lab",
+            DeviceClass::NoisyFab => "noisy-fab",
+        }
+    }
+
+    /// The class's per-qubit noise point.
+    pub fn qubit_noise(&self) -> QubitNoise {
+        match self {
+            DeviceClass::StableLab => QubitNoise {
+                t1_ns: 120_000.0,
+                t2_ns: 90_000.0,
+                quasi_static_sigma_rad_ns: 2.0e-3,
+                telegraph_rate_per_ns: 2.0e-6,
+                readout_p01: 0.012,
+                readout_p10: 0.025,
+                gate_error_1q: 1.5e-4,
+            },
+            DeviceClass::NoisyFab => QubitNoise {
+                t1_ns: 45_000.0,
+                t2_ns: 30_000.0,
+                quasi_static_sigma_rad_ns: 3.0e-3,
+                telegraph_rate_per_ns: 6.0e-6,
+                readout_p01: 0.02,
+                readout_p10: 0.035,
+                gate_error_1q: 4.0e-4,
+            },
+        }
+    }
+
+    /// Linear-chain coupling map for an `n`-qubit instance.
+    pub fn coupling(&self, n: usize) -> Vec<(usize, usize)> {
+        (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect()
+    }
+
+    /// Full noise parameters at width `n`: the class's qubit point on
+    /// every qubit, plus always-on ZZ coupling along the chain.
+    pub fn noise(&self, n: usize) -> NoiseParameters {
+        let zz = match self {
+            DeviceClass::StableLab => 1.0e-5,
+            DeviceClass::NoisyFab => 2.5e-5,
+        };
+        let mut noise = NoiseParameters::from_qubits(vec![self.qubit_noise(); n]);
+        for (a, b) in self.coupling(n) {
+            noise.set_zz(a, b, zz);
+        }
+        noise
+    }
+
+    /// The class's drift regime, seeded from `seeds` (callers derive a
+    /// per-device substream so two devices of the same class drift
+    /// independently).
+    pub fn drift(&self, seeds: SeedStream) -> DriftModel {
+        match self {
+            DeviceClass::StableLab => DriftModel::new(seeds)
+                .with_calibration_period_hours(12.0)
+                .with_amplitudes(0.10, 0.18, 0.15),
+            DeviceClass::NoisyFab => DriftModel::new(seeds)
+                .with_calibration_period_hours(6.0)
+                .with_amplitudes(0.22, 0.35, 0.30),
+        }
+    }
+
+    /// A complete `n`-qubit [`DeviceModel`] of this class named `name`.
+    pub fn device(&self, name: &str, n: usize) -> DeviceModel {
+        DeviceModel::new(
+            name,
+            n,
+            self.coupling(n),
+            DurationModel::ibm_default(),
+            self.noise(n),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_are_ordered_fast_vs_slow() {
+        let lab = DeviceClass::StableLab.qubit_noise();
+        let fab = DeviceClass::NoisyFab.qubit_noise();
+        assert!(lab.t1_ns > fab.t1_ns && lab.t2_ns > fab.t2_ns);
+        assert!(lab.gate_error_1q < fab.gate_error_1q);
+        let seeds = SeedStream::new(1);
+        let lab_drift = DeviceClass::StableLab.drift(seeds);
+        let fab_drift = DeviceClass::NoisyFab.drift(seeds);
+        assert!(
+            lab_drift.calibration_period_hours() > fab_drift.calibration_period_hours(),
+            "the noisy class recalibrates more often"
+        );
+    }
+
+    #[test]
+    fn device_instantiates_at_any_width() {
+        for n in [2, 4, 6] {
+            let d = DeviceClass::NoisyFab.device("fab-0", n);
+            assert_eq!(d.noise().num_qubits(), n);
+            let drifted = DeviceClass::NoisyFab
+                .drift(SeedStream::new(3))
+                .noise_at(&d, 1.0);
+            assert_eq!(drifted.num_qubits(), n);
+        }
+    }
+
+    #[test]
+    fn zz_coupling_present_on_every_chain_edge() {
+        let noise = DeviceClass::StableLab.noise(4);
+        assert_eq!(noise.zz_couplings().count(), 3);
+    }
+}

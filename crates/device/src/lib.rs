@@ -21,9 +21,11 @@
 //! ```
 
 pub mod backend;
+pub mod classes;
 pub mod drift;
 pub mod noise;
 
 pub use backend::DeviceModel;
+pub use classes::DeviceClass;
 pub use drift::DriftModel;
 pub use noise::{NoiseParameters, QubitNoise};

@@ -42,6 +42,7 @@ use std::sync::Arc;
 
 use vaqem_device::drift::EpochFeed;
 use vaqem_runtime::cache::CacheMetrics;
+use vaqem_runtime::json::JsonValue;
 use vaqem_runtime::store::ShardMetrics;
 use vaqem_runtime::DrrLaneSnapshot;
 
@@ -178,6 +179,127 @@ pub struct FleetMetricsReport {
     pub workers_total: usize,
     /// Workers idle at snapshot time.
     pub workers_idle: usize,
+}
+
+fn cache_metrics_json(m: &CacheMetrics) -> JsonValue {
+    JsonValue::object([
+        ("hits", JsonValue::from(m.hits)),
+        ("misses", JsonValue::from(m.misses)),
+        ("insertions", JsonValue::from(m.insertions)),
+        ("evictions", JsonValue::from(m.evictions)),
+        ("invalidations", JsonValue::from(m.invalidations)),
+    ])
+}
+
+/// Caps that mean "unlimited" (`usize::MAX` in-flight, `f64::INFINITY`
+/// minutes) encode as JSON `null` — the conventional lossy mapping for
+/// values JSON cannot carry, and unambiguous because real caps are
+/// always finite.
+fn in_flight_cap_json(cap: usize) -> JsonValue {
+    if cap == usize::MAX {
+        JsonValue::Null
+    } else {
+        JsonValue::from(cap)
+    }
+}
+
+impl FleetMetricsReport {
+    /// Renders the report as a JSON document — the machine-readable form
+    /// external consumers (and the scenario-matrix grid report) build
+    /// on. Field names match the struct fields; the structure is pinned
+    /// by the golden-schema test in `tests/metrics_schema.rs`, so it
+    /// cannot drift silently.
+    pub fn to_json(&self) -> JsonValue {
+        let e = &self.events;
+        JsonValue::object([
+            (
+                "events",
+                JsonValue::object([
+                    ("arrivals", JsonValue::from(e.arrivals)),
+                    ("completions", JsonValue::from(e.completions)),
+                    ("recalibrations", JsonValue::from(e.recalibrations)),
+                    ("checkpoint_ticks", JsonValue::from(e.checkpoint_ticks)),
+                    ("compactions", JsonValue::from(e.compactions)),
+                    ("compaction_errors", JsonValue::from(e.compaction_errors)),
+                    ("quota_rejections", JsonValue::from(e.quota_rejections)),
+                ]),
+            ),
+            (
+                "devices",
+                JsonValue::array(self.devices.iter().map(|d| {
+                    JsonValue::object([
+                        ("device", JsonValue::from(d.device)),
+                        ("name", JsonValue::from(d.name.as_str())),
+                        ("busy", JsonValue::from(d.busy)),
+                        ("queue_depth", JsonValue::from(d.queue_depth)),
+                        ("backlog_min", JsonValue::from(d.backlog_min)),
+                        ("queue_wait_min", JsonValue::from(d.queue_wait_min)),
+                        ("completed", JsonValue::from(d.completed)),
+                        (
+                            "lanes",
+                            JsonValue::array(d.lanes.iter().map(|l| {
+                                JsonValue::object([
+                                    ("client", JsonValue::from(l.client.as_str())),
+                                    ("weight", JsonValue::from(l.weight)),
+                                    ("deficit_min", JsonValue::from(l.deficit_min)),
+                                    ("queued", JsonValue::from(l.queued)),
+                                    ("queued_min", JsonValue::from(l.queued_min)),
+                                ])
+                            })),
+                        ),
+                    ])
+                })),
+            ),
+            (
+                "quotas",
+                JsonValue::array(self.quotas.iter().map(|q| {
+                    JsonValue::object([
+                        ("client", JsonValue::from(q.client.as_str())),
+                        ("in_flight", JsonValue::from(q.in_flight)),
+                        ("max_in_flight", in_flight_cap_json(q.max_in_flight)),
+                        ("reserved_min", JsonValue::from(q.reserved_min)),
+                        ("spent_min", JsonValue::from(q.spent_min)),
+                        // Infinite budgets render as null (see
+                        // `in_flight_cap_json`): JsonValue maps
+                        // non-finite floats to null by construction.
+                        ("budget_min", JsonValue::from(q.budget_min)),
+                        ("epoch", JsonValue::from(q.epoch)),
+                        ("completed", JsonValue::from(q.completed)),
+                        ("rejected", JsonValue::from(q.rejected)),
+                    ])
+                })),
+            ),
+            (
+                "client_store_traffic",
+                JsonValue::array(self.client_store_traffic.iter().map(|(client, m)| {
+                    JsonValue::object([
+                        ("client", JsonValue::from(client.as_str())),
+                        ("metrics", cache_metrics_json(m)),
+                    ])
+                })),
+            ),
+            (
+                "shards",
+                JsonValue::array(self.shards.iter().map(|s| {
+                    JsonValue::object([
+                        ("shard", JsonValue::from(s.shard)),
+                        ("entries", JsonValue::from(s.entries)),
+                        ("cache", cache_metrics_json(&s.cache)),
+                        ("lock_acquisitions", JsonValue::from(s.lock_acquisitions)),
+                        ("lock_contended", JsonValue::from(s.lock_contended)),
+                    ])
+                })),
+            ),
+            ("store_entries", JsonValue::from(self.store_entries)),
+            ("journal_records", JsonValue::from(self.journal_records)),
+            (
+                "journal_write_errors",
+                JsonValue::from(self.journal_write_errors),
+            ),
+            ("workers_total", JsonValue::from(self.workers_total)),
+            ("workers_idle", JsonValue::from(self.workers_idle)),
+        ])
+    }
 }
 
 impl fmt::Display for FleetMetricsReport {

@@ -1,0 +1,350 @@
+//! A minimal, dependency-free JSON document builder — the text-format
+//! counterpart of the byte [`crate::persist::Codec`] discipline.
+//!
+//! The fleet's machine-readable reports (the scenario-matrix grid, the
+//! structured `metrics_report()` dump) must be consumable by external
+//! tooling, and the build is offline — no serde. This module is the one
+//! JSON writer every report goes through, with the same rules the byte
+//! codec follows:
+//!
+//! * **Handwritten and total** — every [`JsonValue`] renders; there is
+//!   no fallible serialization path to mishandle.
+//! * **Deterministic** — object keys render in insertion order (reports
+//!   list fields in their struct order), so two runs of the same replay
+//!   produce byte-identical documents and goldens can pin the schema.
+//! * **Loud about lossy cases** — non-finite floats have no JSON
+//!   encoding; they render as `null` (the conventional lossy mapping)
+//!   and [`JsonValue::key_paths`] still lists the key, so a schema pin
+//!   cannot silently drop a field that happens to be `NaN` in one run.
+//!
+//! Schema pinning: [`JsonValue::key_paths`] flattens a document into
+//! sorted `a.b[].c`-style paths. Golden tests compare those paths
+//! against a committed list, so any drift in a report's structure —
+//! a renamed field, a vanished array — fails loudly instead of breaking
+//! external consumers downstream (`crates/fleet-service/tests/`
+//! `metrics_schema.rs` pins the live daemon's report this way).
+//!
+//! # Examples
+//!
+//! ```
+//! use vaqem_runtime::json::JsonValue;
+//!
+//! let doc = JsonValue::object([
+//!     ("device", JsonValue::from("fleet-east")),
+//!     ("hits", JsonValue::from(42u64)),
+//!     ("hit_rate", JsonValue::from(0.5)),
+//!     ("lanes", JsonValue::array(vec![JsonValue::from(1u64)])),
+//! ]);
+//! assert_eq!(
+//!     doc.render(),
+//!     r#"{"device":"fleet-east","hits":42,"hit_rate":0.5,"lanes":[1]}"#
+//! );
+//! assert_eq!(doc.key_paths(), vec!["device", "hit_rate", "hits", "lanes"]);
+//! ```
+
+use std::fmt::Write as _;
+
+/// One JSON value: the full document model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer, rendered exactly (never via `f64`, so `u64` counters
+    /// like journal sequence numbers survive round-trips).
+    Int(i128),
+    /// A float. Non-finite values render as `null` — JSON has no
+    /// encoding for them.
+    Num(f64),
+    /// A string (escaped per RFC 8259 on render).
+    Str(String),
+    /// An ordered array.
+    Array(Vec<JsonValue>),
+    /// An object. Keys render in insertion order and are expected to be
+    /// unique (the builders below always produce unique keys).
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Builds an object from `(key, value)` pairs, preserving order.
+    pub fn object<K: Into<String>, I: IntoIterator<Item = (K, JsonValue)>>(pairs: I) -> JsonValue {
+        JsonValue::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds an array.
+    pub fn array<I: IntoIterator<Item = JsonValue>>(items: I) -> JsonValue {
+        JsonValue::Array(items.into_iter().collect())
+    }
+
+    /// Renders the document compactly (no whitespace).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Renders the document with `indent`-space indentation — the form
+    /// written to report files for humans and diff tools.
+    pub fn render_pretty(&self, indent: usize) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(indent), 0);
+        out.push('\n');
+        out
+    }
+
+    /// Flattens the document into its sorted, deduplicated key paths:
+    /// object keys joined by `.`, arrays contributing a `[]` segment.
+    /// The structural fingerprint golden-schema tests pin.
+    pub fn key_paths(&self) -> Vec<String> {
+        let mut paths = Vec::new();
+        self.collect_paths("", &mut paths);
+        paths.sort();
+        paths.dedup();
+        paths
+    }
+
+    fn collect_paths(&self, prefix: &str, out: &mut Vec<String>) {
+        match self {
+            JsonValue::Object(pairs) => {
+                for (k, v) in pairs {
+                    let path = if prefix.is_empty() {
+                        k.clone()
+                    } else {
+                        format!("{prefix}.{k}")
+                    };
+                    out.push(path.clone());
+                    v.collect_paths(&path, out);
+                }
+            }
+            JsonValue::Array(items) => {
+                let path = format!("{prefix}[]");
+                for v in items {
+                    v.collect_paths(&path, out);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            JsonValue::Num(x) => {
+                if x.is_finite() {
+                    // `{}` on f64 prints the shortest representation
+                    // that round-trips; integral floats gain a `.0` so
+                    // the value reads back as a float.
+                    if x.fract() == 0.0 && x.abs() < 1e15 {
+                        let _ = write!(out, "{x:.1}");
+                    } else {
+                        let _ = write!(out, "{x}");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Str(s) => write_escaped(out, s),
+            JsonValue::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    v.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push(']');
+            }
+            JsonValue::Object(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for JsonValue {
+    fn from(b: bool) -> Self {
+        JsonValue::Bool(b)
+    }
+}
+impl From<u64> for JsonValue {
+    fn from(v: u64) -> Self {
+        JsonValue::Int(v as i128)
+    }
+}
+impl From<u32> for JsonValue {
+    fn from(v: u32) -> Self {
+        JsonValue::Int(v as i128)
+    }
+}
+impl From<usize> for JsonValue {
+    fn from(v: usize) -> Self {
+        JsonValue::Int(v as i128)
+    }
+}
+impl From<i64> for JsonValue {
+    fn from(v: i64) -> Self {
+        JsonValue::Int(v as i128)
+    }
+}
+impl From<f64> for JsonValue {
+    fn from(v: f64) -> Self {
+        JsonValue::Num(v)
+    }
+}
+impl From<&str> for JsonValue {
+    fn from(v: &str) -> Self {
+        JsonValue::Str(v.to_string())
+    }
+}
+impl From<String> for JsonValue {
+    fn from(v: String) -> Self {
+        JsonValue::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(JsonValue::Null.render(), "null");
+        assert_eq!(JsonValue::from(true).render(), "true");
+        assert_eq!(JsonValue::from(42u64).render(), "42");
+        assert_eq!(
+            JsonValue::Int(u64::MAX as i128).render(),
+            "18446744073709551615"
+        );
+        assert_eq!(JsonValue::from(-3i64).render(), "-3");
+        assert_eq!(JsonValue::from(0.5).render(), "0.5");
+        assert_eq!(
+            JsonValue::from(3.0).render(),
+            "3.0",
+            "integral floats keep .0"
+        );
+        assert_eq!(JsonValue::from("hi").render(), "\"hi\"");
+    }
+
+    #[test]
+    fn non_finite_floats_render_null() {
+        assert_eq!(JsonValue::from(f64::NAN).render(), "null");
+        assert_eq!(JsonValue::from(f64::INFINITY).render(), "null");
+        assert_eq!(JsonValue::from(f64::NEG_INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn strings_escape_controls_and_quotes() {
+        let s = JsonValue::from("a\"b\\c\nd\te\u{01}f");
+        assert_eq!(s.render(), "\"a\\\"b\\\\c\\nd\\te\\u0001f\"");
+    }
+
+    #[test]
+    fn nested_compact_and_pretty_agree_on_content() {
+        let doc = JsonValue::object([
+            (
+                "a",
+                JsonValue::array(vec![JsonValue::from(1u64), JsonValue::Null]),
+            ),
+            ("b", JsonValue::object([("c", JsonValue::from(false))])),
+            ("empty_arr", JsonValue::array(vec![])),
+            (
+                "empty_obj",
+                JsonValue::object(Vec::<(String, JsonValue)>::new()),
+            ),
+        ]);
+        assert_eq!(
+            doc.render(),
+            r#"{"a":[1,null],"b":{"c":false},"empty_arr":[],"empty_obj":{}}"#
+        );
+        let pretty = doc.render_pretty(2);
+        assert!(pretty.contains("\n  \"a\": [\n    1,\n    null\n  ]"));
+        // Same token stream: stripping indentation whitespace recovers
+        // the compact form.
+        let stripped: String = pretty
+            .lines()
+            .map(|l| l.trim_start())
+            .collect::<Vec<_>>()
+            .join("")
+            .replace("\": ", "\":");
+        assert_eq!(stripped, doc.render());
+    }
+
+    #[test]
+    fn key_paths_flatten_sorted_and_deduped() {
+        let doc = JsonValue::object([
+            (
+                "cells",
+                JsonValue::array(vec![
+                    JsonValue::object([("pass", JsonValue::from(true))]),
+                    JsonValue::object([("pass", JsonValue::from(false))]),
+                ]),
+            ),
+            ("seed", JsonValue::from(7u64)),
+        ]);
+        assert_eq!(doc.key_paths(), vec!["cells", "cells[].pass", "seed"]);
+    }
+
+    #[test]
+    fn object_key_order_is_insertion_order() {
+        let doc = JsonValue::object([("z", JsonValue::Null), ("a", JsonValue::Null)]);
+        assert_eq!(doc.render(), r#"{"z":null,"a":null}"#);
+    }
+}

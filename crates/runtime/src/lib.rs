@@ -4,7 +4,7 @@
 //! about executing the feasible flow at fleet scale that is not quantum
 //! mechanics.
 //!
-//! Five modules:
+//! Six modules:
 //!
 //! * [`cost`] — the execution-cost model standing in for the paper's
 //!   Qiskit Runtime measurements (§VI-A, §VIII-D, Fig. 15): per-job
@@ -30,6 +30,9 @@
 //!   sessions/hour — plus [`fleet::DrrQueue`], the deficit-round-robin
 //!   weighted fair queueing policy the live daemon and the offline
 //!   [`fleet::schedule_sessions_fair`] model share.
+//! * [`json`] — the handwritten JSON document builder the structured
+//!   reports (`metrics_report()` dumps, the scenario-matrix grid) render
+//!   through, with the key-path flattening golden-schema tests pin.
 //!
 //! Together they answer the question the per-circuit crates cannot: what
 //! does a *repeated, shared* workload cost, and how much of the paper's
@@ -85,6 +88,7 @@
 pub mod cache;
 pub mod cost;
 pub mod fleet;
+pub mod json;
 pub mod persist;
 pub mod store;
 
@@ -96,5 +100,6 @@ pub use fleet::{
     round_robin_device, schedule_sessions, schedule_sessions_fair, schedule_sessions_queued,
     DrrLaneSnapshot, DrrQueue, FairFleetSchedule, FleetSchedule, TuningSession,
 };
+pub use json::JsonValue;
 pub use persist::{Codec, CompactionPolicy, DurableStore, RecoveryReport};
 pub use store::{ShardMetrics, ShardedStore, StoreBackend};

@@ -1,0 +1,170 @@
+//! The grid report: per-cell results, the aggregate verdict, and the
+//! machine-readable JSON rendering CI uploads as an artifact.
+
+use std::fmt;
+
+use crate::invariant::InvariantOutcome;
+use vaqem_fleet_service::FleetMetricsReport;
+use vaqem_runtime::json::JsonValue;
+
+/// One cell's result: its grid coordinates, the per-invariant verdicts,
+/// the round costs the invariants were judged on, and the final daemon
+/// metrics dump.
+#[derive(Debug, Clone)]
+pub struct CellReport {
+    /// Workload label (`ScenarioWorkload::label`).
+    pub workload: String,
+    /// Device-class label (`DeviceClass::label`).
+    pub device_class: String,
+    /// Tenant-behavior label (`TenantBehavior::label`).
+    pub tenant: String,
+    /// Workload width in qubits (the instantiated device width).
+    pub qubits: usize,
+    /// Cold-round machine minutes.
+    pub cold_min: f64,
+    /// Warm-round machine minutes.
+    pub warm_min: f64,
+    /// Post-restart recovery-round machine minutes.
+    pub recovery_min: f64,
+    /// Warm-round store hits / misses across clients.
+    pub warm_hits: usize,
+    /// Warm-round misses.
+    pub warm_misses: usize,
+    /// Recovery-round store hits.
+    pub recovery_hits: usize,
+    /// Recovery-round misses.
+    pub recovery_misses: usize,
+    /// Sessions completed by the cell's daemon (both processes).
+    pub sessions: usize,
+    /// Every invariant verdict, in check order.
+    pub invariants: Vec<InvariantOutcome>,
+    /// The final `metrics_report()` dump of the cell's daemon.
+    pub metrics: FleetMetricsReport,
+}
+
+impl CellReport {
+    /// Whether every invariant held.
+    pub fn pass(&self) -> bool {
+        self.invariants.iter().all(|i| i.pass)
+    }
+
+    /// `workload/device_class/tenant` — the cell's grid key.
+    pub fn key(&self) -> String {
+        format!("{}/{}/{}", self.workload, self.device_class, self.tenant)
+    }
+
+    /// The cell as a JSON object (invariants inline, full metrics dump
+    /// embedded under `metrics`).
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("workload", JsonValue::from(self.workload.as_str())),
+            ("device_class", JsonValue::from(self.device_class.as_str())),
+            ("tenant", JsonValue::from(self.tenant.as_str())),
+            ("qubits", JsonValue::from(self.qubits)),
+            ("pass", JsonValue::from(self.pass())),
+            (
+                "invariants",
+                JsonValue::array(self.invariants.iter().map(|i| {
+                    JsonValue::object([
+                        ("name", JsonValue::from(i.name)),
+                        ("pass", JsonValue::from(i.pass)),
+                        ("detail", JsonValue::from(i.detail.as_str())),
+                    ])
+                })),
+            ),
+            (
+                "rounds",
+                JsonValue::object([
+                    ("cold_min", JsonValue::from(self.cold_min)),
+                    ("warm_min", JsonValue::from(self.warm_min)),
+                    ("recovery_min", JsonValue::from(self.recovery_min)),
+                    ("warm_hits", JsonValue::from(self.warm_hits)),
+                    ("warm_misses", JsonValue::from(self.warm_misses)),
+                    ("recovery_hits", JsonValue::from(self.recovery_hits)),
+                    ("recovery_misses", JsonValue::from(self.recovery_misses)),
+                    ("sessions", JsonValue::from(self.sessions)),
+                ]),
+            ),
+            ("metrics", self.metrics.to_json()),
+        ])
+    }
+}
+
+/// The whole grid: every cell plus the run's provenance.
+#[derive(Debug, Clone)]
+pub struct MatrixReport {
+    /// Root seed the run derived every stream from.
+    pub root_seed: u64,
+    /// `quick` or `full` — which grid shape ran.
+    pub mode: String,
+    /// Every cell, in grid order (workload-major).
+    pub cells: Vec<CellReport>,
+}
+
+impl MatrixReport {
+    /// Whether every cell passed every invariant.
+    pub fn pass(&self) -> bool {
+        self.cells.iter().all(|c| c.pass())
+    }
+
+    /// Cells that failed at least one invariant.
+    pub fn failures(&self) -> Vec<&CellReport> {
+        self.cells.iter().filter(|c| !c.pass()).collect()
+    }
+
+    /// The grid as one JSON document (the CI artifact).
+    pub fn to_json(&self) -> JsonValue {
+        let passed = self.cells.iter().filter(|c| c.pass()).count();
+        JsonValue::object([
+            ("schema", JsonValue::from("vaqem-scenario-matrix/v1")),
+            ("mode", JsonValue::from(self.mode.as_str())),
+            ("root_seed", JsonValue::from(self.root_seed)),
+            (
+                "summary",
+                JsonValue::object([
+                    ("cells", JsonValue::from(self.cells.len())),
+                    ("passed", JsonValue::from(passed)),
+                    ("failed", JsonValue::from(self.cells.len() - passed)),
+                ]),
+            ),
+            (
+                "cells",
+                JsonValue::array(self.cells.iter().map(CellReport::to_json)),
+            ),
+        ])
+    }
+}
+
+impl fmt::Display for MatrixReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<42} {:>4} {:>9} {:>9} {:>9} {:>5} {:>6}",
+            "cell (workload/device/tenant)", "pass", "cold", "warm", "recov", "hits", "misses"
+        )?;
+        for c in &self.cells {
+            writeln!(
+                f,
+                "{:<42} {:>4} {:>8.2}m {:>8.2}m {:>8.2}m {:>5} {:>6}",
+                c.key(),
+                if c.pass() { "ok" } else { "FAIL" },
+                c.cold_min,
+                c.warm_min,
+                c.recovery_min,
+                c.warm_hits + c.recovery_hits,
+                c.warm_misses + c.recovery_misses,
+            )?;
+            for i in c.invariants.iter().filter(|i| !i.pass) {
+                writeln!(f, "    !! {}: {}", i.name, i.detail)?;
+            }
+        }
+        let passed = self.cells.iter().filter(|c| c.pass()).count();
+        write!(
+            f,
+            "{} mode, seed {}: {passed}/{} cells passed every invariant",
+            self.mode,
+            self.root_seed,
+            self.cells.len()
+        )
+    }
+}

@@ -19,4 +19,5 @@ pub use vaqem_mitigation as mitigation;
 pub use vaqem_optim as optim;
 pub use vaqem_pauli as pauli;
 pub use vaqem_runtime as runtime;
+pub use vaqem_scenario as scenario;
 pub use vaqem_sim as sim;

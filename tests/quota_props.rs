@@ -1,0 +1,265 @@
+//! Property tests for the reactor's quota ledger
+//! (`vaqem_fleet_service::quota::QuotaBook`): random admit/settle/
+//! epoch-advance schedules checked against an independent reference
+//! model.
+//!
+//! The ledger's accounting is reserve-then-settle across quota epochs,
+//! and its two subtle obligations are exactly the ones directed unit
+//! tests cannot sweep:
+//!
+//! * every reservation settles **exactly once** — `reserved_min` equals
+//!   the sum of outstanding admission-time estimates at every instant,
+//!   and returns to zero when the ledger drains, no matter how
+//!   admissions and completions interleave;
+//! * a session that completes **in a later quota epoch** than it was
+//!   admitted in leaks no budget: the rollover wipes settled spend but
+//!   carries live reservations, and the late settle bills the new epoch
+//!   once.
+//!
+//! Minutes are quantized to 0.25 (dyadic rationals), so every sum and
+//! difference below is exact in `f64` and admission verdicts compare
+//! bit-for-bit with the model's.
+
+use proptest::prelude::*;
+use vaqem_fleet_service::quota::{ClientQuota, QuotaBook, QuotaError};
+
+const CLIENTS: [&str; 3] = ["alice", "bob", "mallory"];
+
+// A schedule step is a generated `(kind, client, minutes_steps, jitter)`
+// tuple: `kind` selects admit / settle / clock-advance; `minutes_steps`
+// quantizes to quarter-minutes; `jitter` drives backdating and
+// settle-index picks. Decoded inline in the property body.
+
+/// One client's quota, decoded from `(axis_mask, cap, budget_steps)`:
+/// bit 0 of the mask bounds the in-flight cap, bit 1 the budget.
+type QuotaSpec = (u32, usize, u64);
+
+fn decode_quota((mask, cap, budget_steps): QuotaSpec) -> ClientQuota {
+    ClientQuota {
+        max_in_flight: if mask & 1 == 0 { usize::MAX } else { cap },
+        minutes_per_epoch: if mask & 2 == 0 {
+            f64::INFINITY
+        } else {
+            8.0 + 0.25 * budget_steps as f64
+        },
+    }
+}
+
+/// The reference: one client's state per the documented contract,
+/// re-implemented independently of the `QuotaBook` internals.
+#[derive(Default)]
+struct ModelClient {
+    /// Outstanding admission-time estimates, one per in-flight session.
+    outstanding: Vec<f64>,
+    epoch: u64,
+    spent_min: f64,
+    completed: u64,
+    rejected: u64,
+}
+
+impl ModelClient {
+    fn reserved(&self) -> f64 {
+        self.outstanding.iter().sum()
+    }
+
+    fn roll(&mut self, epoch: u64) {
+        // Forward-only: a backdated request accounts against the
+        // current epoch instead of resetting the spend.
+        if epoch > self.epoch {
+            self.epoch = epoch;
+            self.spent_min = 0.0;
+        }
+    }
+
+    fn admit(&mut self, quota: ClientQuota, epoch: u64, estimate: f64) -> bool {
+        self.roll(epoch);
+        if self.outstanding.len() >= quota.max_in_flight
+            || self.spent_min + self.reserved() + estimate > quota.minutes_per_epoch
+        {
+            self.rejected += 1;
+            return false;
+        }
+        self.outstanding.push(estimate);
+        true
+    }
+
+    fn settle(&mut self, index: usize, actual: f64) -> f64 {
+        let estimate = self.outstanding.remove(index);
+        self.spent_min += actual;
+        self.completed += 1;
+        estimate
+    }
+}
+
+fn check_against_model(
+    book: &QuotaBook,
+    model: &[(&str, ModelClient)],
+    op: usize,
+) -> TestCaseResult {
+    let usage = book.usage();
+    for (client, m) in model {
+        if m.outstanding.is_empty() && m.completed == 0 && m.rejected == 0 && m.epoch == 0 {
+            continue; // client never touched the book
+        }
+        let u = usage.iter().find(|u| u.client == *client);
+        prop_assert!(u.is_some(), "op {op}: {client} missing from usage");
+        let u = u.unwrap();
+        prop_assert_eq!(u.in_flight, m.outstanding.len());
+        prop_assert!(
+            u.reserved_min == m.reserved(),
+            "op {op} client {client}: reserved {} != outstanding sum {}",
+            u.reserved_min,
+            m.reserved()
+        );
+        prop_assert!(
+            u.spent_min == m.spent_min,
+            "op {op} client {client}: spent {} != model {}",
+            u.spent_min,
+            m.spent_min
+        );
+        prop_assert_eq!(u.epoch, m.epoch);
+        prop_assert_eq!(u.completed, m.completed);
+        prop_assert_eq!(u.rejected, m.rejected);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Replays a random schedule against the book and the model in
+    /// lockstep, checking the full usage snapshot after every op, then
+    /// drains the ledger and requires zero reservations remain.
+    #[test]
+    fn quota_book_matches_reference_model(
+        specs in (
+            (0u32..4, 1usize..5, 0u64..129),
+            (0u32..4, 1usize..5, 0u64..129),
+            (0u32..4, 1usize..5, 0u64..129),
+        ),
+        ops in collection::vec((0u32..10, 0usize..3, 0u64..48, 0u64..60), 20..250),
+    ) {
+        let quotas: Vec<(String, ClientQuota)> = CLIENTS
+            .iter()
+            .zip([specs.0, specs.1, specs.2])
+            .map(|(c, s)| (c.to_string(), decode_quota(s)))
+            .collect();
+        let mut book = QuotaBook::new(ClientQuota::unlimited(), &quotas);
+        let mut model: Vec<(&str, ModelClient)> = CLIENTS
+            .iter()
+            .map(|c| (*c, ModelClient::default()))
+            .collect();
+        // The request clock advances monotonically apart from
+        // deliberate backdating, crossing several epoch boundaries per
+        // case so sessions straddle rollovers.
+        let mut clock = 0u64;
+        for (op, &(kind, which, steps, jitter)) in ops.iter().enumerate() {
+            let (client, m) = &mut model[which];
+            let quota = book.quota_of(client);
+            match kind {
+                // Admission, possibly backdated around the boundary.
+                0..=5 => {
+                    if jitter % 4 == 0 {
+                        clock += 1 + jitter % 2; // epoch rollover
+                    }
+                    let epoch = if jitter % 5 == 0 {
+                        clock.saturating_sub(1 + jitter % 3) // backdated
+                    } else {
+                        clock
+                    };
+                    let estimate = 0.25 + 0.25 * steps as f64;
+                    let admitted = book.admit(client, epoch, estimate);
+                    let model_admits = m.admit(quota, epoch, estimate);
+                    prop_assert!(
+                        admitted.is_ok() == model_admits,
+                        "op {op}: verdict diverged for {client} (epoch {epoch}, \
+                         estimate {estimate}): book={admitted:?}"
+                    );
+                    if let Err(e) = admitted {
+                        match e {
+                            QuotaError::InFlightExceeded { limit, .. } => {
+                                prop_assert_eq!(limit, quota.max_in_flight);
+                            }
+                            QuotaError::BudgetExhausted { epoch: reported, .. } => {
+                                // The error names the request's epoch,
+                                // even when backdated.
+                                prop_assert_eq!(reported, epoch);
+                            }
+                        }
+                    }
+                }
+                // Settle a random in-flight session; the measured bill
+                // deliberately disagrees with the estimate both ways.
+                6..=8 if !m.outstanding.is_empty() => {
+                    let index = (jitter as usize) % m.outstanding.len();
+                    let actual = 0.25 * (jitter % 61) as f64;
+                    let estimate = m.settle(index, actual);
+                    book.settle(client, estimate, actual);
+                }
+                // Pure clock advance: the next admission lands in a
+                // fresh epoch.
+                _ => clock += 1,
+            }
+            check_against_model(&book, &model, op)?;
+        }
+        // Drain: everything outstanding settles exactly once, after
+        // which nothing is reserved and nothing is in flight.
+        for (client, m) in &mut model {
+            while !m.outstanding.is_empty() {
+                let estimate = m.settle(0, 1.25);
+                book.settle(client, estimate, 1.25);
+            }
+        }
+        check_against_model(&book, &model, ops.len())?;
+        for u in book.usage() {
+            prop_assert_eq!(u.in_flight, 0);
+            prop_assert!(u.reserved_min == 0.0, "drained ledger reserves {}", u.reserved_min);
+        }
+    }
+}
+
+/// The named rollover scenario, pinned directly: a session admitted in
+/// epoch `e` completes in epoch `e + 1`. The rollover must carry the
+/// reservation (no double-spendable headroom), wipe only settled spend,
+/// and the late settle must bill the new epoch exactly once.
+#[test]
+fn completion_in_a_later_epoch_leaks_no_budget() {
+    let quota = ClientQuota {
+        max_in_flight: usize::MAX,
+        minutes_per_epoch: 10.0,
+    };
+    let mut book = QuotaBook::new(quota, &[]);
+    book.admit("c", 0, 6.0).expect("fits epoch-0 budget");
+
+    // The clock crosses into epoch 1 while the session is still in
+    // flight: the reservation must survive the rollover...
+    let err = book.admit("c", 1, 6.0).expect_err("6 reserved + 6 > 10");
+    match err {
+        QuotaError::BudgetExhausted { used_min, .. } => {
+            assert_eq!(used_min, 6.0, "carried reservation counts in the new epoch")
+        }
+        other => panic!("wrong rejection: {other:?}"),
+    }
+    let u = &book.usage()[0];
+    assert_eq!(u.epoch, 1);
+    assert_eq!(u.spent_min, 0.0, "rollover wiped settled spend only");
+    assert_eq!(u.reserved_min, 6.0, "rollover carried the live reservation");
+
+    // ...and the late completion settles once, against epoch 1.
+    book.settle("c", 6.0, 5.0);
+    let u = &book.usage()[0];
+    assert_eq!(u.reserved_min, 0.0, "reservation released exactly once");
+    assert_eq!(
+        u.spent_min, 5.0,
+        "measured bill lands in the completion epoch"
+    );
+    assert_eq!(u.completed, 1);
+
+    // Headroom after the late settle is budget minus the *measured*
+    // bill — the estimate's extra minute came back.
+    book.admit("c", 1, 5.0).expect("5 spent + 5 <= 10");
+    let err = book
+        .admit("c", 1, 0.25)
+        .expect_err("budget now exactly full");
+    assert!(matches!(err, QuotaError::BudgetExhausted { .. }));
+}
