@@ -1,0 +1,123 @@
+//! `fleetd` — the fleet daemon as a standalone process: opens the
+//! durable store, starts the reactor, and serves the VQRP wire protocol
+//! on a TCP or Unix-domain socket until told to stop.
+//!
+//! ```text
+//! fleetd [--store-dir DIR] [--unix PATH | --tcp ADDR]
+//!        [--devices N] [--run-secs S]
+//! ```
+//!
+//! * `--store-dir DIR` — durable store location (default: a fresh
+//!   per-process directory under the system temp dir). Point it at an
+//!   existing directory to recover that store on startup.
+//! * `--unix PATH` — serve on a Unix socket at `PATH` (a stale socket
+//!   file from a killed predecessor is replaced).
+//! * `--tcp ADDR` — serve on `ADDR` (default `127.0.0.1:0`; the bound
+//!   address is printed, so port 0 works for scripting).
+//! * `--devices N` — fleet size (default 4).
+//! * `--run-secs S` — exit after `S` seconds; without it the daemon
+//!   runs until stdin reaches EOF (so `fleetd &` with a closed stdin,
+//!   or a CI step killing the background process, both work).
+//!
+//! The root seed comes from `VAQEM_SEED` (legacy alias
+//! `VAQEM_FLEET_SEED`) via `root_seed_from_env`. On exit the daemon
+//! shuts down gracefully: checkpoint written, metrics report printed.
+
+use std::io::Read;
+use std::path::PathBuf;
+
+use vaqem_bench::rpcload;
+use vaqem_fleet_rpc::server::{RpcListener, RpcServer, RpcServerConfig};
+use vaqem_fleet_service::FleetService;
+use vaqem_mathkit::rng::{root_seed_from_env, SeedStream};
+
+const DEFAULT_ROOT_SEED: u64 = 7077;
+
+struct Args {
+    store_dir: Option<PathBuf>,
+    unix: Option<PathBuf>,
+    tcp: Option<String>,
+    devices: usize,
+    run_secs: Option<u64>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        store_dir: None,
+        unix: None,
+        tcp: None,
+        devices: 4,
+        run_secs: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--store-dir" => args.store_dir = Some(PathBuf::from(value("--store-dir"))),
+            "--unix" => args.unix = Some(PathBuf::from(value("--unix"))),
+            "--tcp" => args.tcp = Some(value("--tcp")),
+            "--devices" => args.devices = value("--devices").parse().expect("--devices: integer"),
+            "--run-secs" => {
+                args.run_secs = Some(value("--run-secs").parse().expect("--run-secs: integer"))
+            }
+            other => panic!("unknown flag {other} (see the module docs)"),
+        }
+    }
+    assert!(
+        args.unix.is_none() || args.tcp.is_none(),
+        "--unix and --tcp are mutually exclusive"
+    );
+    assert!(args.devices > 0, "--devices must be positive");
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let seed = root_seed_from_env(DEFAULT_ROOT_SEED);
+    let store_dir = args.store_dir.clone().unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("vaqem-fleetd-{}", std::process::id()))
+    });
+
+    let devices: Vec<_> = (0..args.devices)
+        .map(|i| rpcload::device(i, seed))
+        .collect();
+    let service = FleetService::open(
+        rpcload::service_config(store_dir.clone()),
+        devices,
+        rpcload::problem(),
+        SeedStream::new(seed),
+    )
+    .expect("service opens");
+
+    let listener = match (&args.unix, &args.tcp) {
+        (Some(path), _) => RpcListener::bind_unix(path).expect("unix socket binds"),
+        (None, Some(addr)) => RpcListener::bind_tcp(addr.as_str()).expect("tcp binds"),
+        (None, None) => RpcListener::bind_tcp("127.0.0.1:0").expect("tcp binds"),
+    };
+    let server = RpcServer::serve(&service, listener, RpcServerConfig::default()).expect("serves");
+    println!(
+        "fleetd: {} devices, store {}, seed {seed}, listening on {}",
+        args.devices,
+        store_dir.display(),
+        server.local_addr()
+    );
+
+    match args.run_secs {
+        Some(secs) => std::thread::sleep(std::time::Duration::from_secs(secs)),
+        None => {
+            // Park until stdin closes — the conventional "run until the
+            // parent lets go" daemon contract for scripts and CI.
+            let mut sink = Vec::new();
+            let _ = std::io::stdin().read_to_end(&mut sink);
+        }
+    }
+
+    server.stop();
+    let report = service.metrics_report();
+    println!("{report}");
+    service.shutdown().expect("checkpoint");
+    println!("fleetd: graceful shutdown complete");
+}

@@ -1,0 +1,421 @@
+//! `loadgen` — multi-client load generation against a running `fleetd`:
+//! hundreds of concurrent synthetic tenants hammering the VQRP wire
+//! protocol with open/submit/poll churn, slow readers, mid-stream
+//! disconnects, and greedy quota-probers, then a machine-readable
+//! latency/throughput report.
+//!
+//! ```text
+//! loadgen (--unix PATH | --tcp ADDR) [--clients N] [--out FILE] [--quick]
+//! ```
+//!
+//! Each client thread owns one connection and plays one of the
+//! `vaqem-scenario` tenant behaviors, cycled round-robin:
+//!
+//! * **uniform** — two sequential sessions with a poll between;
+//! * **bursty** — three pipelined submissions, then a drain;
+//! * **greedy** — a quota-prober: three pipelined submissions under the
+//!   daemon's one-in-flight `greedy-*` cap, so the surplus must bounce
+//!   with the typed `SessionError::Quota` — the same rejection an
+//!   in-process caller gets;
+//! * **churn** — submits a session, writes half a frame, and vanishes;
+//!   the daemon must complete (and discard) the orphan without
+//!   stalling anyone.
+//!
+//! Every 11th thread is additionally a **slow reader**: it sleeps
+//! before draining replies, exercising the outbound backpressure path.
+//!
+//! Completed-session latency lands in a merged `LatencyHistogram`
+//! (p50/p95/p99), throughput in sessions/hour, and the whole summary —
+//! including the daemon's own RPC counters fetched over the wire — is
+//! written to `BENCH_rpc.json` (or `--out`/`$BENCH_RPC_OUT`).
+//!
+//! Asserted in-binary (CI smoke-runs `--quick` against a background
+//! `fleetd`): zero decode errors at the server, nonzero completed
+//! sessions, at least one typed greedy rejection, every well-behaved
+//! session completed, and a post-churn probe session succeeds — the
+//! daemon is quiescent, not stalled.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use vaqem_bench::rpcload;
+use vaqem_fleet_rpc::client::RpcClient;
+use vaqem_fleet_service::SessionError;
+use vaqem_mathkit::rng::root_seed_from_env;
+use vaqem_runtime::latency::LatencyHistogram;
+use vaqem_runtime::JsonValue;
+use vaqem_scenario::tenant::TenantBehavior;
+
+const DEFAULT_ROOT_SEED: u64 = 7077;
+
+#[derive(Clone)]
+enum Target {
+    Unix(PathBuf),
+    Tcp(String),
+}
+
+impl Target {
+    fn connect(&self) -> std::io::Result<RpcClient> {
+        match self {
+            Target::Unix(path) => RpcClient::connect_unix(path),
+            Target::Tcp(addr) => RpcClient::connect_tcp(addr.as_str()),
+        }
+    }
+
+    /// Connects with retries — a connect storm can outrun the accept
+    /// backlog, which is load the harness creates on purpose.
+    fn connect_patiently(&self) -> RpcClient {
+        let mut delay = Duration::from_millis(20);
+        for _ in 0..7 {
+            match self.connect() {
+                Ok(client) => return client,
+                Err(_) => {
+                    std::thread::sleep(delay);
+                    delay *= 2;
+                }
+            }
+        }
+        self.connect().expect("daemon reachable")
+    }
+
+    fn label(&self) -> String {
+        match self {
+            Target::Unix(p) => format!("unix:{}", p.display()),
+            Target::Tcp(a) => format!("tcp:{a}"),
+        }
+    }
+}
+
+struct Args {
+    target: Target,
+    clients: usize,
+    out: PathBuf,
+    quick: bool,
+}
+
+fn parse_args() -> Args {
+    let mut unix: Option<PathBuf> = None;
+    let mut tcp: Option<String> = None;
+    let mut clients: Option<usize> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut quick = vaqem_bench::quick_mode();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--unix" => unix = Some(PathBuf::from(value("--unix"))),
+            "--tcp" => tcp = Some(value("--tcp")),
+            "--clients" => clients = Some(value("--clients").parse().expect("--clients: integer")),
+            "--out" => out = Some(PathBuf::from(value("--out"))),
+            "--quick" => quick = true,
+            other => panic!("unknown flag {other} (see the module docs)"),
+        }
+    }
+    let target = match (unix, tcp) {
+        (Some(path), None) => Target::Unix(path),
+        (None, Some(addr)) => Target::Tcp(addr),
+        _ => panic!("exactly one of --unix PATH or --tcp ADDR is required"),
+    };
+    // Full mode drives the acceptance floor of ≥500 concurrent clients;
+    // quick mode is the CI smoke size.
+    let clients = clients.unwrap_or(if quick { 48 } else { 600 });
+    let out = out.unwrap_or_else(|| {
+        PathBuf::from(std::env::var("BENCH_RPC_OUT").unwrap_or_else(|_| "BENCH_rpc.json".into()))
+    });
+    Args {
+        target,
+        clients,
+        out,
+        quick,
+    }
+}
+
+/// What one client thread did.
+#[derive(Default)]
+struct TenantStats {
+    completed: u64,
+    quota_rejected: u64,
+    errors: u64,
+    hist: LatencyHistogram,
+}
+
+fn await_and_record(client: &mut RpcClient, token: u64, started: Instant, stats: &mut TenantStats) {
+    match client.await_result(token) {
+        Ok(Ok(_outcome)) => {
+            stats.completed += 1;
+            stats.hist.record_us(started.elapsed().as_secs_f64() * 1e6);
+        }
+        Ok(Err(SessionError::Quota(_))) => stats.quota_rejected += 1,
+        Ok(Err(_)) | Err(_) => stats.errors += 1,
+    }
+}
+
+fn run_tenant(target: &Target, index: usize, behavior: TenantBehavior) -> TenantStats {
+    let mut stats = TenantStats::default();
+    let slow_reader = index % 11 == 3;
+    let mut client = target.connect_patiently();
+    client
+        .set_read_timeout(Some(Duration::from_secs(600)))
+        .expect("timeout set");
+    let name = format!("{}-{index}", behavior.label());
+    if client.open(&name).is_err() {
+        stats.errors += 1;
+        return stats;
+    }
+    let drain_delay = if slow_reader {
+        // A slow reader: replies pile up server-side before this thread
+        // gets around to draining them.
+        Some(Duration::from_millis(150))
+    } else {
+        None
+    };
+    match behavior {
+        TenantBehavior::Uniform => {
+            for _ in 0..2 {
+                let started = Instant::now();
+                match client.submit(rpcload::request(1.0)) {
+                    Ok(token) => {
+                        if let Some(delay) = drain_delay {
+                            std::thread::sleep(delay);
+                        }
+                        await_and_record(&mut client, token, started, &mut stats);
+                    }
+                    Err(_) => stats.errors += 1,
+                }
+                if client.poll().is_err() {
+                    stats.errors += 1;
+                }
+            }
+            let _ = client.shutdown();
+        }
+        TenantBehavior::Bursty | TenantBehavior::Greedy => {
+            let mut tokens: Vec<(u64, Instant)> = Vec::new();
+            for _ in 0..3 {
+                match client.submit(rpcload::request(1.0)) {
+                    Ok(token) => tokens.push((token, Instant::now())),
+                    Err(_) => stats.errors += 1,
+                }
+            }
+            if let Some(delay) = drain_delay {
+                std::thread::sleep(delay);
+            }
+            for (token, started) in tokens {
+                await_and_record(&mut client, token, started, &mut stats);
+            }
+            let _ = client.shutdown();
+        }
+        TenantBehavior::Churn => {
+            // Submit, then vanish mid-frame: half a length-prefixed
+            // frame followed by a hangup, with the session in flight.
+            if client.submit(rpcload::request(1.0)).is_err() {
+                stats.errors += 1;
+            }
+            let mut torn = 64u32.to_le_bytes().to_vec();
+            torn.extend_from_slice(&[0x5A; 9]);
+            let _ = client.send_raw(&torn);
+            drop(client);
+        }
+    }
+    stats
+}
+
+fn quantiles_json(hist: &LatencyHistogram) -> JsonValue {
+    JsonValue::object([
+        ("count", JsonValue::Int(hist.count() as i128)),
+        ("p50_us", JsonValue::Num(hist.quantile_us(0.50))),
+        ("p95_us", JsonValue::Num(hist.quantile_us(0.95))),
+        ("p99_us", JsonValue::Num(hist.quantile_us(0.99))),
+        ("mean_us", JsonValue::Num(hist.mean_us())),
+        ("min_us", JsonValue::Num(hist.min_us())),
+        ("max_us", JsonValue::Num(hist.max_us())),
+    ])
+}
+
+fn main() {
+    let args = parse_args();
+    let seed = root_seed_from_env(DEFAULT_ROOT_SEED);
+    println!(
+        "loadgen: {} clients against {}{} (seed {seed})",
+        args.clients,
+        args.target.label(),
+        if args.quick { ", quick" } else { "" },
+    );
+
+    let started = Instant::now();
+    let mut handles = Vec::with_capacity(args.clients);
+    for i in 0..args.clients {
+        let target = args.target.clone();
+        let behavior = TenantBehavior::ALL[i % TenantBehavior::ALL.len()];
+        handles.push(std::thread::spawn(move || {
+            (behavior, run_tenant(&target, i, behavior))
+        }));
+        if i % 32 == 31 {
+            // Soften the connect storm just enough that the kernel's
+            // accept backlog is pressure, not a brick wall.
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    let mut hist = LatencyHistogram::new();
+    let mut by_behavior: HashMap<&'static str, TenantStats> = HashMap::new();
+    let (mut completed, mut quota_rejected, mut errors) = (0u64, 0u64, 0u64);
+    for handle in handles {
+        let (behavior, stats) = handle.join().expect("tenant thread");
+        completed += stats.completed;
+        quota_rejected += stats.quota_rejected;
+        errors += stats.errors;
+        hist.merge(&stats.hist);
+        let entry = by_behavior.entry(behavior.label()).or_default();
+        entry.completed += stats.completed;
+        entry.quota_rejected += stats.quota_rejected;
+        entry.errors += stats.errors;
+        entry.hist.merge(&stats.hist);
+    }
+    let elapsed = started.elapsed();
+
+    // The quiescence probe: after all the churn, a fresh tenant must
+    // still get a session through promptly — the daemon survived its
+    // slow readers and mid-stream disconnects without stalling.
+    let mut probe = args.target.connect_patiently();
+    probe
+        .set_read_timeout(Some(Duration::from_secs(600)))
+        .expect("timeout set");
+    probe.open("probe").expect("daemon still accepting");
+    let probe_started = Instant::now();
+    let token = probe.submit(rpcload::request(2.0)).expect("probe submits");
+    probe
+        .await_result(token)
+        .expect("probe reply")
+        .expect("probe session completes");
+    let probe_us = probe_started.elapsed().as_secs_f64() * 1e6;
+    let (rpc, _report_json) = probe.metrics().expect("metrics over the wire");
+    let _ = probe.shutdown();
+
+    let sessions_per_hour = completed as f64 / elapsed.as_secs_f64() * 3600.0;
+    let report = JsonValue::object([
+        (
+            "config",
+            JsonValue::object([
+                ("clients", JsonValue::Int(args.clients as i128)),
+                ("target", JsonValue::Str(args.target.label())),
+                ("quick", JsonValue::Bool(args.quick)),
+                ("seed", JsonValue::Int(seed as i128)),
+            ]),
+        ),
+        ("latency", quantiles_json(&hist)),
+        (
+            "throughput",
+            JsonValue::object([
+                ("completed_sessions", JsonValue::Int(completed as i128)),
+                ("quota_rejections", JsonValue::Int(quota_rejected as i128)),
+                ("errors", JsonValue::Int(errors as i128)),
+                ("elapsed_secs", JsonValue::Num(elapsed.as_secs_f64())),
+                ("sessions_per_hour", JsonValue::Num(sessions_per_hour)),
+                ("probe_latency_us", JsonValue::Num(probe_us)),
+            ]),
+        ),
+        (
+            "tenants",
+            JsonValue::object(TenantBehavior::ALL.map(|b| {
+                let stats = by_behavior.remove(b.label()).unwrap_or_default();
+                (
+                    b.label(),
+                    JsonValue::object([
+                        ("completed", JsonValue::Int(stats.completed as i128)),
+                        (
+                            "quota_rejections",
+                            JsonValue::Int(stats.quota_rejected as i128),
+                        ),
+                        ("errors", JsonValue::Int(stats.errors as i128)),
+                        ("latency", quantiles_json(&stats.hist)),
+                    ]),
+                )
+            })),
+        ),
+        ("rpc", rpc.to_json()),
+    ]);
+    std::fs::write(&args.out, report.render_pretty(2)).expect("write BENCH_rpc.json");
+
+    println!(
+        "loadgen: {completed} sessions in {:.1}s ({sessions_per_hour:.0}/hour), \
+         p50 {:.0}us p95 {:.0}us p99 {:.0}us, {quota_rejected} quota rejections, \
+         {errors} errors, probe {probe_us:.0}us",
+        elapsed.as_secs_f64(),
+        hist.quantile_us(0.50),
+        hist.quantile_us(0.95),
+        hist.quantile_us(0.99),
+    );
+    println!(
+        "loadgen: server counters — {} frames in / {} out, {} decode errors, \
+         {} overload rejections, {} connections accepted",
+        rpc.frames_in,
+        rpc.frames_out,
+        rpc.decode_errors,
+        rpc.overload_rejections,
+        rpc.connections_accepted
+    );
+    println!("wrote {}", args.out.display());
+
+    // The acceptance gate, asserted in-binary so the CI smoke step
+    // cannot silently pass a broken front-end.
+    assert_eq!(rpc.decode_errors, 0, "server decoded every frame we sent");
+    assert!(completed > 0, "sessions completed under load");
+    assert!(
+        quota_rejected > 0,
+        "greedy probers bounced off the typed quota"
+    );
+    assert_eq!(errors, 0, "no untyped failures anywhere");
+    let n = |label: &str| {
+        (0..args.clients)
+            .filter(|i| i % 4 == label_index(label))
+            .count() as u64
+    };
+    fn label_index(label: &str) -> usize {
+        TenantBehavior::ALL
+            .iter()
+            .position(|b| b.label() == label)
+            .expect("known label")
+    }
+    assert_eq!(
+        by_behavior_total(&report, "uniform"),
+        2 * n("uniform"),
+        "every uniform session completed"
+    );
+    assert_eq!(
+        by_behavior_total(&report, "bursty"),
+        3 * n("bursty"),
+        "every bursty session completed"
+    );
+    println!("loadgen: all in-binary assertions passed");
+}
+
+/// Reads `tenants.<label>.completed` back out of the report document.
+fn by_behavior_total(report: &JsonValue, label: &str) -> u64 {
+    let JsonValue::Object(fields) = report else {
+        unreachable!("report is an object")
+    };
+    let tenants = &fields
+        .iter()
+        .find(|(k, _)| k == "tenants")
+        .expect("tenants section")
+        .1;
+    let JsonValue::Object(tenants) = tenants else {
+        unreachable!("tenants is an object")
+    };
+    let entry = &tenants
+        .iter()
+        .find(|(k, _)| k == label)
+        .expect("behavior entry")
+        .1;
+    let JsonValue::Object(entry) = entry else {
+        unreachable!("behavior entry is an object")
+    };
+    match entry.iter().find(|(k, _)| k == "completed") {
+        Some((_, JsonValue::Int(n))) => *n as u64,
+        _ => 0,
+    }
+}

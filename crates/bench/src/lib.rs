@@ -102,6 +102,110 @@ pub fn fmt_ratio(v: f64) -> String {
     format!("{v:>8.2}x")
 }
 
+pub mod rpcload {
+    //! The fixture shared by the `fleetd` daemon binary and the
+    //! `loadgen` harness: a fleet of small 2-qubit devices running a
+    //! deliberately light tuning problem, so a load run measures the
+    //! RPC front-end and reactor — admission, fairness, quota,
+    //! framing — rather than simulator physics.
+
+    use vaqem::vqe::VqeProblem;
+    use vaqem::window_tuner::WindowTunerConfig;
+    use vaqem_ansatz::su2::{EfficientSu2, Entanglement};
+    use vaqem_circuit::schedule::DurationModel;
+    use vaqem_device::backend::DeviceModel;
+    use vaqem_device::drift::DriftModel;
+    use vaqem_device::noise::NoiseParameters;
+    use vaqem_fleet_service::{
+        ClientQuota, DeviceSpec, FleetServiceConfig, SessionKind, SessionRequest, TenancyConfig,
+    };
+    use vaqem_mathkit::rng::SeedStream;
+    use vaqem_runtime::{BatchDispatch, CostModel, WorkloadProfile};
+
+    const NUM_QUBITS: usize = 2;
+
+    /// The tuning problem both binaries agree on (`params` lengths must
+    /// match across the wire).
+    pub fn problem() -> VqeProblem {
+        let ansatz = EfficientSu2::new(NUM_QUBITS, 1, Entanglement::Linear)
+            .circuit()
+            .expect("ansatz builds");
+        VqeProblem::new(
+            "rpcload_tfim_2q",
+            vaqem_pauli::models::tfim_paper(NUM_QUBITS),
+            ansatz,
+        )
+        .expect("problem builds")
+    }
+
+    /// One light fleet device.
+    pub fn device(index: usize, seed: u64) -> DeviceSpec {
+        let name = format!("rpc-fleet-{index}");
+        DeviceSpec {
+            model: DeviceModel::new(
+                &name,
+                NUM_QUBITS,
+                vec![(0, 1)],
+                DurationModel::ibm_default(),
+                NoiseParameters::uniform(NUM_QUBITS),
+            ),
+            drift: DriftModel::new(SeedStream::new(seed).substream(&format!("drift-{name}"))),
+            name,
+        }
+    }
+
+    /// The daemon configuration: light tuner, and the `greedy-*` tenant
+    /// class capped at one in-flight session so quota-probers bounce
+    /// with the typed rejection.
+    pub fn service_config(store_dir: std::path::PathBuf) -> FleetServiceConfig {
+        FleetServiceConfig {
+            store_dir,
+            shards: 4,
+            capacity_per_shard: 128,
+            shots: 64,
+            tuner: WindowTunerConfig {
+                sweep_resolution: 2,
+                max_repetitions: 2,
+                guard_repeats: 1,
+                ..Default::default()
+            },
+            profile: WorkloadProfile {
+                num_qubits: NUM_QUBITS,
+                circuit_ns: 8_000.0,
+                iterations: 10,
+                measurement_groups: 2,
+                windows: 4,
+                sweep_resolution: 2,
+                shots: 64,
+            },
+            cost: CostModel::ibm_cloud_2021(),
+            dispatch: BatchDispatch::local(2),
+            tenancy: TenancyConfig {
+                quotas: vec![(
+                    "greedy-*".into(),
+                    ClientQuota {
+                        max_in_flight: 1,
+                        minutes_per_epoch: f64::INFINITY,
+                    },
+                )],
+                ..TenancyConfig::default()
+            },
+        }
+    }
+
+    /// One synthetic session request (the server rebinds `client` to the
+    /// connection identity anyway).
+    pub fn request(t_hours: f64) -> SessionRequest {
+        SessionRequest {
+            client: "loadgen".into(),
+            t_hours,
+            params: vec![0.3; problem().num_params()],
+            device: None,
+            kind: SessionKind::Dd,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

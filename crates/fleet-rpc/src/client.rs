@@ -1,0 +1,318 @@
+//! A small blocking VQRP client: the counterpart the load-generation
+//! harness and the integration tests drive.
+//!
+//! One [`RpcClient`] is one connection is one client identity. The
+//! submit path is deliberately split from the await path — `submit`
+//! only writes, so a caller can pipeline many sessions and then drain
+//! results in any order; [`RpcClient::await_result`] buffers
+//! out-of-order completions by token until asked for them.
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::time::Duration;
+
+use vaqem_fleet_service::{RpcMetricsReport, SessionRequest, SessionResult};
+use vaqem_runtime::persist::Codec;
+use vaqem_runtime::wire::FrameReader;
+
+use crate::wire::{check_preamble, preamble, Frame, PREAMBLE_LEN};
+
+/// Largest frame a client will accept from the server. Metrics replies
+/// carry a full JSON report, so this is roomier than a result frame
+/// needs.
+const CLIENT_MAX_FRAME: usize = 4 << 20;
+
+enum ClientStream {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl ClientStream {
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        match self {
+            ClientStream::Tcp(s) => s.set_read_timeout(timeout),
+            ClientStream::Unix(s) => s.set_read_timeout(timeout),
+        }
+    }
+}
+
+impl Read for ClientStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            ClientStream::Tcp(s) => s.read(buf),
+            ClientStream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for ClientStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            ClientStream::Tcp(s) => s.write(buf),
+            ClientStream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            ClientStream::Tcp(s) => s.flush(),
+            ClientStream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+fn protocol_error(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// A blocking connection to a [`crate::server::RpcServer`].
+pub struct RpcClient {
+    stream: ClientStream,
+    reader: FrameReader,
+    next_token: u64,
+    /// Completions read while waiting for a different token.
+    pending: HashMap<u64, SessionResult>,
+    /// Non-result reply frames read while draining results.
+    stray: Vec<Frame>,
+}
+
+impl RpcClient {
+    /// Connects over TCP and exchanges preambles.
+    ///
+    /// # Errors
+    ///
+    /// Connect failures, or a peer that is not a VQRP server of our
+    /// version (`InvalidData`).
+    pub fn connect_tcp<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Self::handshake(ClientStream::Tcp(stream))
+    }
+
+    /// Connects over a Unix-domain socket and exchanges preambles.
+    ///
+    /// # Errors
+    ///
+    /// Connect failures, or a peer that is not a VQRP server of our
+    /// version (`InvalidData`).
+    pub fn connect_unix<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        let stream = UnixStream::connect(path)?;
+        Self::handshake(ClientStream::Unix(stream))
+    }
+
+    fn handshake(mut stream: ClientStream) -> io::Result<Self> {
+        stream.write_all(&preamble())?;
+        stream.flush()?;
+        let mut theirs = [0u8; PREAMBLE_LEN];
+        stream.read_exact(&mut theirs)?;
+        check_preamble(&theirs).map_err(|e| protocol_error(e.to_string()))?;
+        Ok(RpcClient {
+            stream,
+            reader: FrameReader::new(CLIENT_MAX_FRAME),
+            next_token: 1,
+            pending: HashMap::new(),
+            stray: Vec::new(),
+        })
+    }
+
+    /// Bounds how long any single blocking read waits (`None` = wait
+    /// forever).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket option error.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// Binds this connection's client identity and waits for the ack.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure, or a server reply other than an `OpenAck`.
+    pub fn open(&mut self, client: &str) -> io::Result<()> {
+        self.send_frame(&Frame::Open {
+            client: client.to_string(),
+        })?;
+        match self.read_reply()? {
+            Frame::OpenAck { .. } => Ok(()),
+            other => Err(protocol_error(format!("expected OpenAck, got {other:?}"))),
+        }
+    }
+
+    /// Submits a session and returns its correlation token without
+    /// waiting; pair with [`RpcClient::await_result`].
+    ///
+    /// # Errors
+    ///
+    /// Write failures (e.g. the server force-closed an overloaded
+    /// connection).
+    pub fn submit(&mut self, request: SessionRequest) -> io::Result<u64> {
+        let token = self.next_token;
+        self.next_token += 1;
+        self.send_frame(&Frame::Submit { token, request })?;
+        Ok(token)
+    }
+
+    /// Blocks until the session behind `token` completes, buffering any
+    /// other tokens' results that arrive first.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure (including read timeout) or a malformed reply.
+    pub fn await_result(&mut self, token: u64) -> io::Result<SessionResult> {
+        loop {
+            if let Some(result) = self.pending.remove(&token) {
+                return Ok(result);
+            }
+            match self.read_reply()? {
+                Frame::Outcome { token: t, outcome } => {
+                    self.pending.insert(t, Ok(outcome));
+                }
+                Frame::Error { token: t, error } => {
+                    self.pending.insert(t, Err(error));
+                }
+                other => self.stray.push(other),
+            }
+        }
+    }
+
+    /// Asks the server how this connection is doing: returns
+    /// `(in_flight, completed)` as the server counts them.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure or a malformed reply.
+    pub fn poll(&mut self) -> io::Result<(u64, u64)> {
+        if let Some(i) = self
+            .stray
+            .iter()
+            .position(|f| matches!(f, Frame::PollReply { .. }))
+        {
+            if let Frame::PollReply {
+                in_flight,
+                completed,
+            } = self.stray.remove(i)
+            {
+                return Ok((in_flight, completed));
+            }
+        }
+        self.send_frame(&Frame::Poll)?;
+        loop {
+            match self.read_reply()? {
+                Frame::PollReply {
+                    in_flight,
+                    completed,
+                } => return Ok((in_flight, completed)),
+                Frame::Outcome { token, outcome } => {
+                    self.pending.insert(token, Ok(outcome));
+                }
+                Frame::Error { token, error } => {
+                    self.pending.insert(token, Err(error));
+                }
+                other => self.stray.push(other),
+            }
+        }
+    }
+
+    /// Fetches a metrics snapshot: the typed RPC counters plus the full
+    /// fleet report rendered as JSON.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure or a malformed reply.
+    pub fn metrics(&mut self) -> io::Result<(RpcMetricsReport, String)> {
+        let token = self.next_token;
+        self.next_token += 1;
+        self.send_frame(&Frame::Metrics { token })?;
+        loop {
+            match self.read_reply()? {
+                Frame::MetricsReply {
+                    token: t,
+                    rpc,
+                    report_json,
+                } if t == token => return Ok((rpc, report_json)),
+                Frame::Outcome { token: t, outcome } => {
+                    self.pending.insert(t, Ok(outcome));
+                }
+                Frame::Error { token: t, error } => {
+                    self.pending.insert(t, Err(error));
+                }
+                other => self.stray.push(other),
+            }
+        }
+    }
+
+    /// Says goodbye and waits for the server's ack (EOF counts — the
+    /// server closes right after the ack flushes).
+    ///
+    /// # Errors
+    ///
+    /// Write failures sending the goodbye.
+    pub fn shutdown(mut self) -> io::Result<()> {
+        self.send_frame(&Frame::Shutdown)?;
+        loop {
+            match self.read_reply() {
+                Ok(Frame::ShutdownAck) => return Ok(()),
+                Ok(Frame::Outcome { .. }) | Ok(Frame::Error { .. }) => continue,
+                Ok(other) => {
+                    return Err(protocol_error(format!(
+                        "expected ShutdownAck, got {other:?}"
+                    )))
+                }
+                // The server may win the race and close first.
+                Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Writes raw bytes to the connection — a test hook for torn,
+    /// corrupt, or hostile streams.
+    ///
+    /// # Errors
+    ///
+    /// Write failures.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.stream.write_all(bytes)?;
+        self.stream.flush()
+    }
+
+    fn send_frame(&mut self, frame: &Frame) -> io::Result<()> {
+        self.stream.write_all(&frame.to_wire())?;
+        self.stream.flush()
+    }
+
+    /// Reads the next server frame off the wire (blocking).
+    fn read_reply(&mut self) -> io::Result<Frame> {
+        let mut buf = [0u8; 16 << 10];
+        loop {
+            match self
+                .reader
+                .next_frame()
+                .map_err(|e| protocol_error(e.to_string()))?
+            {
+                Some(payload) => {
+                    let mut input = payload.as_slice();
+                    let frame = Frame::decode(&mut input)
+                        .filter(|_| input.is_empty())
+                        .ok_or_else(|| protocol_error("undecodable server frame"))?;
+                    if frame.is_client_frame() {
+                        return Err(protocol_error("client-tagged frame from server"));
+                    }
+                    return Ok(frame);
+                }
+                None => {
+                    let n = self.stream.read(&mut buf)?;
+                    if n == 0 {
+                        return Err(io::ErrorKind::UnexpectedEof.into());
+                    }
+                    self.reader.push(&buf[..n]);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,749 @@
+//! The serving side: a nonblocking socket pump feeding the reactor, and
+//! the [`SocketDriver`] implementation that speaks VQRP on the reactor
+//! thread.
+//!
+//! ```text
+//!   TCP / Unix listener           reactor thread (fleet-service)
+//!         │ accept                      ▲
+//!         ▼                             │ SocketEvent::{Accepted,
+//!   ┌──── pump thread ────┐             │   Readable, HungUp}
+//!   │ nonblocking accept/ ├─────────────┘
+//!   │ read/write, per-conn│◀────────────┐
+//!   │ outbound buffers    │  PumpCommand│::{Send, Close, …}
+//!   └─────────────────────┘             │
+//!                              ┌────────┴─────────┐
+//!                              │   ConnDriver     │  (runs inside the
+//!                              │ framing, identity│   reactor loop)
+//!                              │ quota/overload   │
+//!                              └──────────────────┘
+//! ```
+//!
+//! The pump owns every stream and does only byte work; the driver owns
+//! every byte's *meaning*. Backpressure flows through shared per-
+//! connection gauges of pending outbound bytes: the driver increments
+//! when it queues a frame, the pump decrements as bytes reach the
+//! kernel. A submission arriving while the gauge is past the **soft
+//! bound** is rejected with the typed `SessionError::Overloaded`; a
+//! result that would be queued past the **hard bound** closes the
+//! connection instead — a reader too slow to drain even rejections
+//! cannot grow server memory without bound, and other tenants never
+//! notice (the reactor thread never blocks on a socket).
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, Sender, TryRecvError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use vaqem_fleet_service::reactor::SocketEventSender;
+use vaqem_fleet_service::{
+    DriverAction, FleetMetricsReport, FleetService, RpcMetricsReport, SessionError, SessionResult,
+    SocketDriver, SocketEvent,
+};
+use vaqem_runtime::persist::Codec;
+use vaqem_runtime::wire::FrameReader;
+
+use crate::wire::{check_preamble, preamble, Frame, PREAMBLE_LEN};
+
+/// Server tuning knobs. The defaults suit the load-generation harness;
+/// every bound exists to keep a hostile or slow peer from growing
+/// server-side memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RpcServerConfig {
+    /// Largest frame payload accepted from a peer; a longer length
+    /// prefix is a decode error and drops the connection.
+    pub max_frame_bytes: usize,
+    /// Pending-outbound-bytes level past which new *submissions* on the
+    /// connection are rejected with `SessionError::Overloaded`.
+    pub soft_pending_out_bytes: usize,
+    /// Pending-outbound-bytes level past which the connection is
+    /// force-closed instead of queueing more (must be ≥ the soft
+    /// bound).
+    pub hard_pending_out_bytes: usize,
+}
+
+impl Default for RpcServerConfig {
+    fn default() -> Self {
+        RpcServerConfig {
+            max_frame_bytes: 1 << 20,
+            soft_pending_out_bytes: 256 << 10,
+            hard_pending_out_bytes: 1 << 20,
+        }
+    }
+}
+
+/// The transports the server binds.
+#[derive(Debug)]
+pub enum RpcListener {
+    /// A TCP listener (use port 0 to let the kernel pick).
+    Tcp(TcpListener),
+    /// A Unix-domain stream listener.
+    Unix(UnixListener),
+}
+
+impl RpcListener {
+    /// Binds a TCP listener.
+    ///
+    /// # Errors
+    ///
+    /// Bind errors from the OS.
+    pub fn bind_tcp<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        Ok(RpcListener::Tcp(TcpListener::bind(addr)?))
+    }
+
+    /// Binds a Unix-domain listener, replacing a stale socket file left
+    /// by a killed predecessor (the kill-and-restart path).
+    ///
+    /// # Errors
+    ///
+    /// Bind errors from the OS.
+    pub fn bind_unix<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        let path = path.as_ref();
+        // A daemon killed without cleanup leaves the socket file behind;
+        // rebinding over it is the restart contract.
+        let _ = std::fs::remove_file(path);
+        Ok(RpcListener::Unix(UnixListener::bind(path)?))
+    }
+
+    /// A human-readable description of the bound address.
+    pub fn local_addr_string(&self) -> String {
+        match self {
+            RpcListener::Tcp(l) => l
+                .local_addr()
+                .map(|a| a.to_string())
+                .unwrap_or_else(|_| "tcp:?".into()),
+            RpcListener::Unix(l) => l
+                .local_addr()
+                .ok()
+                .and_then(|a| a.as_pathname().map(|p| p.display().to_string()))
+                .unwrap_or_else(|| "unix:?".into()),
+        }
+    }
+
+    fn set_nonblocking(&self) -> io::Result<()> {
+        match self {
+            RpcListener::Tcp(l) => l.set_nonblocking(true),
+            RpcListener::Unix(l) => l.set_nonblocking(true),
+        }
+    }
+
+    fn accept(&self) -> io::Result<(Stream, String)> {
+        match self {
+            RpcListener::Tcp(l) => {
+                let (s, peer) = l.accept()?;
+                s.set_nonblocking(true)?;
+                // Frames are small and latency-sensitive; never batch
+                // them behind Nagle.
+                let _ = s.set_nodelay(true);
+                Ok((Stream::Tcp(s), peer.to_string()))
+            }
+            RpcListener::Unix(l) => {
+                let (s, _) = l.accept()?;
+                s.set_nonblocking(true)?;
+                Ok((Stream::Unix(s), "unix-peer".into()))
+            }
+        }
+    }
+}
+
+/// One accepted connection's stream, either transport.
+pub(crate) enum Stream {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// What the driver asks the pump to do.
+pub(crate) enum PumpCommand {
+    /// Queue bytes toward a connection (already counted on its gauge).
+    Send { conn: u64, bytes: Vec<u8> },
+    /// Close a connection once its outbound buffer has flushed (the
+    /// polite goodbye after a `ShutdownAck`).
+    Close { conn: u64 },
+    /// Close a connection immediately, discarding queued bytes (the
+    /// overload hard bound, or a protocol violation).
+    CloseNow { conn: u64 },
+    /// Stop serving: close everything and exit the pump thread.
+    Stop,
+}
+
+/// Pending-outbound gauges, shared between driver (adds) and pump
+/// (subtracts); keyed by connection id.
+type Gauges = Arc<Mutex<HashMap<u64, Arc<AtomicUsize>>>>;
+
+/// Per-connection protocol state, owned by the driver on the reactor
+/// thread.
+struct ConnState {
+    /// Identity bound by the open frame; submissions before it are
+    /// protocol errors.
+    client: Option<String>,
+    /// Stream reassembly (torn reads, fused reads, length bound).
+    reader: FrameReader,
+    /// Client preamble bytes still owed before framing starts.
+    preamble_buf: Vec<u8>,
+    /// This connection's pending-outbound gauge.
+    gauge: Arc<AtomicUsize>,
+    /// Submissions forwarded to the reactor and not yet answered.
+    in_flight: u64,
+    /// Results (outcomes or errors) delivered on this connection.
+    completed: u64,
+}
+
+/// The VQRP protocol driver: implements
+/// [`SocketDriver`] over the pump's raw events. Constructed by
+/// [`RpcServer::serve`]; never used directly.
+struct ConnDriver {
+    control: Sender<PumpCommand>,
+    gauges: Gauges,
+    config: RpcServerConfig,
+    conns: HashMap<u64, ConnState>,
+    counters: RpcMetricsReport,
+}
+
+impl ConnDriver {
+    fn send_bytes(&mut self, conn: u64, bytes: Vec<u8>) {
+        if let Some(state) = self.conns.get(&conn) {
+            let pending = state.gauge.fetch_add(bytes.len(), Ordering::Relaxed) + bytes.len();
+            self.counters.peak_pending_out_bytes =
+                self.counters.peak_pending_out_bytes.max(pending as u64);
+        }
+        let _ = self.control.send(PumpCommand::Send { conn, bytes });
+    }
+
+    /// Encodes and queues one frame; enforces the hard outbound bound
+    /// first (returns `false` when it closed the connection instead).
+    fn send_frame(&mut self, conn: u64, frame: &Frame) -> bool {
+        let Some(state) = self.conns.get(&conn) else {
+            return false; // connection already gone
+        };
+        let pending = state.gauge.load(Ordering::Relaxed);
+        if pending > self.config.hard_pending_out_bytes {
+            // The reader is too slow to drain even its rejections:
+            // drop the connection rather than buffer without bound.
+            self.counters.overload_closes += 1;
+            let _ = self.control.send(PumpCommand::CloseNow { conn });
+            return false;
+        }
+        let mut payload = Vec::new();
+        frame.encode(&mut payload);
+        self.counters.frames_out += 1;
+        self.counters.bytes_out += payload.len() as u64;
+        self.send_bytes(conn, vaqem_runtime::wire::frame(&payload));
+        true
+    }
+
+    /// A peer broke the protocol (bad preamble, oversized or
+    /// undecodable frame, reply tag on the inbound side): count it and
+    /// drop the connection.
+    fn decode_error(&mut self, conn: u64) {
+        self.counters.decode_errors += 1;
+        let _ = self.control.send(PumpCommand::CloseNow { conn });
+    }
+
+    fn handle_frame(&mut self, conn: u64, frame: Frame, actions: &mut Vec<DriverAction>) {
+        match frame {
+            Frame::Open { client } => {
+                if let Some(state) = self.conns.get_mut(&conn) {
+                    state.client = Some(client.clone());
+                }
+                self.send_frame(conn, &Frame::OpenAck { client });
+            }
+            Frame::Submit { token, mut request } => {
+                let Some(state) = self.conns.get(&conn) else {
+                    return;
+                };
+                let Some(identity) = state.client.clone() else {
+                    self.send_frame(
+                        conn,
+                        &Frame::Error {
+                            token,
+                            error: SessionError::Protocol(
+                                "submit before open: bind a client identity first".into(),
+                            ),
+                        },
+                    );
+                    return;
+                };
+                let pending = state.gauge.load(Ordering::Relaxed);
+                if pending > self.config.soft_pending_out_bytes {
+                    // Slow-reader backpressure: the typed rejection is
+                    // itself small, so it still fits under the hard
+                    // bound `send_frame` enforces.
+                    self.counters.overload_rejections += 1;
+                    self.send_frame(
+                        conn,
+                        &Frame::Error {
+                            token,
+                            error: SessionError::Overloaded {
+                                pending_out_bytes: pending,
+                                limit: self.config.soft_pending_out_bytes,
+                            },
+                        },
+                    );
+                    return;
+                }
+                // Identity is connection-scoped: whatever the frame
+                // claimed, the session runs as the bound client.
+                request.client = identity;
+                if let Some(state) = self.conns.get_mut(&conn) {
+                    state.in_flight += 1;
+                }
+                actions.push(DriverAction::Submit {
+                    conn,
+                    token,
+                    request,
+                });
+            }
+            Frame::Poll => {
+                let (in_flight, completed) = self
+                    .conns
+                    .get(&conn)
+                    .map(|s| (s.in_flight, s.completed))
+                    .unwrap_or((0, 0));
+                self.send_frame(
+                    conn,
+                    &Frame::PollReply {
+                        in_flight,
+                        completed,
+                    },
+                );
+            }
+            Frame::Metrics { token } => actions.push(DriverAction::Metrics { conn, token }),
+            Frame::Shutdown => {
+                self.send_frame(conn, &Frame::ShutdownAck);
+                // Close after the ack flushes; the HungUp the pump
+                // reports back cleans up this connection's state.
+                let _ = self.control.send(PumpCommand::Close { conn });
+            }
+            // A reply tag on the server's inbound side is a protocol
+            // violation.
+            Frame::OpenAck { .. }
+            | Frame::Outcome { .. }
+            | Frame::Error { .. }
+            | Frame::PollReply { .. }
+            | Frame::MetricsReply { .. }
+            | Frame::ShutdownAck => self.decode_error(conn),
+        }
+    }
+
+    fn handle_readable(&mut self, conn: u64, bytes: Vec<u8>, actions: &mut Vec<DriverAction>) {
+        let Some(state) = self.conns.get_mut(&conn) else {
+            return; // raced a close; the stream is already gone
+        };
+        let mut rest: &[u8] = &bytes;
+        // The connection owes its preamble before any framing.
+        if state.preamble_buf.len() < PREAMBLE_LEN {
+            let need = PREAMBLE_LEN - state.preamble_buf.len();
+            let take = need.min(rest.len());
+            state.preamble_buf.extend_from_slice(&rest[..take]);
+            rest = &rest[take..];
+            if state.preamble_buf.len() < PREAMBLE_LEN {
+                return; // still torn
+            }
+            let fixed: [u8; PREAMBLE_LEN] =
+                state.preamble_buf.as_slice().try_into().expect("8 bytes");
+            if check_preamble(&fixed).is_err() {
+                self.decode_error(conn);
+                return;
+            }
+        }
+        state.reader.push(rest);
+        loop {
+            let Some(state) = self.conns.get_mut(&conn) else {
+                return;
+            };
+            match state.reader.next_frame() {
+                Ok(None) => return,
+                Err(_) => {
+                    // Oversized length prefix: hostile or corrupt peer.
+                    self.decode_error(conn);
+                    return;
+                }
+                Ok(Some(payload)) => {
+                    self.counters.frames_in += 1;
+                    self.counters.bytes_in += payload.len() as u64;
+                    let mut input = payload.as_slice();
+                    match Frame::decode(&mut input) {
+                        // Trailing garbage after a frame body is as
+                        // corrupt as a torn one.
+                        Some(frame) if input.is_empty() => self.handle_frame(conn, frame, actions),
+                        _ => {
+                            self.decode_error(conn);
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl SocketDriver for ConnDriver {
+    fn on_event(&mut self, event: SocketEvent) -> Vec<DriverAction> {
+        let mut actions = Vec::new();
+        match event {
+            SocketEvent::Accepted { conn, .. } => {
+                self.counters.connections_accepted += 1;
+                self.counters.connections_open += 1;
+                let gauge = self
+                    .gauges
+                    .lock()
+                    .expect("gauge registry healthy")
+                    .get(&conn)
+                    .cloned()
+                    .unwrap_or_default();
+                self.conns.insert(
+                    conn,
+                    ConnState {
+                        client: None,
+                        reader: FrameReader::new(self.config.max_frame_bytes),
+                        preamble_buf: Vec::with_capacity(PREAMBLE_LEN),
+                        gauge,
+                        in_flight: 0,
+                        completed: 0,
+                    },
+                );
+                // The server announces itself first; the client may
+                // already be pipelining its own preamble + frames.
+                self.send_bytes(conn, preamble().to_vec());
+            }
+            SocketEvent::Readable { conn, bytes } => {
+                self.handle_readable(conn, bytes, &mut actions)
+            }
+            SocketEvent::HungUp { conn } => {
+                if self.conns.remove(&conn).is_some() {
+                    self.counters.connections_open -= 1;
+                    self.counters.connections_closed += 1;
+                }
+                // In-flight sessions of this connection keep running;
+                // their results arrive at `on_result` and are dropped
+                // there (quiescence — no stalling, no dangling state).
+            }
+        }
+        actions
+    }
+
+    fn on_result(&mut self, conn: u64, token: u64, result: &SessionResult) {
+        let Some(state) = self.conns.get_mut(&conn) else {
+            return; // peer disconnected mid-flight: drop silently
+        };
+        state.in_flight = state.in_flight.saturating_sub(1);
+        state.completed += 1;
+        let frame = match result {
+            Ok(outcome) => Frame::Outcome {
+                token,
+                outcome: outcome.clone(),
+            },
+            Err(error) => Frame::Error {
+                token,
+                error: error.clone(),
+            },
+        };
+        self.send_frame(conn, &frame);
+    }
+
+    fn on_metrics(&mut self, conn: u64, token: u64, report: &FleetMetricsReport) {
+        self.send_frame(
+            conn,
+            &Frame::MetricsReply {
+                token,
+                rpc: report.rpc,
+                report_json: report.to_json().render(),
+            },
+        );
+    }
+
+    fn metrics(&self) -> RpcMetricsReport {
+        self.counters
+    }
+}
+
+/// One connection's I/O state, owned by the pump thread.
+struct ConnIo {
+    stream: Stream,
+    /// Outbound bytes not yet written; `out_pos` marks the flushed
+    /// prefix (compacted lazily).
+    out: Vec<u8>,
+    out_pos: usize,
+    gauge: Arc<AtomicUsize>,
+    /// Close once `out` drains (the polite goodbye).
+    close_after_flush: bool,
+}
+
+impl ConnIo {
+    fn queue(&mut self, bytes: &[u8]) {
+        if self.out_pos > 0 && self.out_pos == self.out.len() {
+            self.out.clear();
+            self.out_pos = 0;
+        }
+        self.out.extend_from_slice(bytes);
+    }
+
+    /// Writes what the kernel will take. `Ok(true)` = made progress.
+    fn flush_some(&mut self) -> io::Result<bool> {
+        let mut progressed = false;
+        while self.out_pos < self.out.len() {
+            match self.stream.write(&self.out[self.out_pos..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => {
+                    self.out_pos += n;
+                    self.gauge.fetch_sub(n, Ordering::Relaxed);
+                    progressed = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        if self.out_pos > 4096 && self.out_pos == self.out.len() {
+            self.out.clear();
+            self.out_pos = 0;
+        }
+        Ok(progressed)
+    }
+}
+
+/// How much one connection may read per pump pass — keeps one firehose
+/// peer from starving the rest of the poll loop.
+const READ_BUDGET_PER_PASS: usize = 256 << 10;
+
+/// The pump thread body: nonblocking accept/read/write over every
+/// connection, forwarding semantic events to the reactor and executing
+/// the driver's commands. Exits when told to [`PumpCommand::Stop`], when
+/// the driver side hangs up, or when the reactor is gone.
+fn pump_loop(
+    listener: RpcListener,
+    control: Receiver<PumpCommand>,
+    events: SocketEventSender,
+    gauges: Gauges,
+) {
+    let mut conns: HashMap<u64, ConnIo> = HashMap::new();
+    let mut next_conn: u64 = 1;
+    let mut read_buf = vec![0u8; 64 << 10];
+    let mut hangups: Vec<u64> = Vec::new();
+    loop {
+        let mut active = false;
+        // 1. Driver commands.
+        loop {
+            match control.try_recv() {
+                Ok(PumpCommand::Send { conn, bytes }) => {
+                    active = true;
+                    if let Some(io) = conns.get_mut(&conn) {
+                        io.queue(&bytes);
+                    } else {
+                        // Connection already gone: the driver's gauge
+                        // increment must not leak — but the gauge map
+                        // entry is gone too, so nothing to undo.
+                    }
+                }
+                Ok(PumpCommand::Close { conn }) => {
+                    active = true;
+                    if let Some(io) = conns.get_mut(&conn) {
+                        io.close_after_flush = true;
+                    }
+                }
+                Ok(PumpCommand::CloseNow { conn }) => {
+                    active = true;
+                    if conns.contains_key(&conn) {
+                        hangups.push(conn);
+                    }
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) | Ok(PumpCommand::Stop) => return,
+            }
+        }
+        // 2. New connections.
+        loop {
+            match listener.accept() {
+                Ok((stream, peer)) => {
+                    active = true;
+                    let conn = next_conn;
+                    next_conn += 1;
+                    let gauge = Arc::new(AtomicUsize::new(0));
+                    gauges
+                        .lock()
+                        .expect("gauge registry healthy")
+                        .insert(conn, Arc::clone(&gauge));
+                    conns.insert(
+                        conn,
+                        ConnIo {
+                            stream,
+                            out: Vec::new(),
+                            out_pos: 0,
+                            gauge,
+                            close_after_flush: false,
+                        },
+                    );
+                    if !events.send(SocketEvent::Accepted { conn, peer }) {
+                        return; // reactor gone
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                // Transient accept errors (peer reset mid-handshake):
+                // nothing to clean up, keep serving.
+                Err(_) => break,
+            }
+        }
+        // 3. Per-connection write, then read.
+        let ids: Vec<u64> = conns.keys().copied().collect();
+        for conn in ids {
+            let io = conns.get_mut(&conn).expect("collected above");
+            match io.flush_some() {
+                Ok(progressed) => active |= progressed,
+                Err(_) => {
+                    hangups.push(conn);
+                    continue;
+                }
+            }
+            if io.close_after_flush && io.out_pos == io.out.len() {
+                hangups.push(conn);
+                continue;
+            }
+            let mut read_total = 0usize;
+            loop {
+                if read_total >= READ_BUDGET_PER_PASS {
+                    break;
+                }
+                match io.stream.read(&mut read_buf) {
+                    Ok(0) => {
+                        hangups.push(conn);
+                        break;
+                    }
+                    Ok(n) => {
+                        active = true;
+                        read_total += n;
+                        if !events.send(SocketEvent::Readable {
+                            conn,
+                            bytes: read_buf[..n].to_vec(),
+                        }) {
+                            return; // reactor gone
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        hangups.push(conn);
+                        break;
+                    }
+                }
+            }
+        }
+        // 4. Closures (driver-ordered and peer-initiated alike).
+        for conn in hangups.drain(..) {
+            if conns.remove(&conn).is_some() {
+                gauges.lock().expect("gauge registry healthy").remove(&conn);
+                if !events.send(SocketEvent::HungUp { conn }) {
+                    return;
+                }
+            }
+        }
+        // 5. Idle backoff: short enough that session latency stays
+        // dominated by tuning work, long enough to not spin a core.
+        if !active {
+            std::thread::sleep(Duration::from_micros(300));
+        }
+    }
+}
+
+/// A serving RPC front-end: owns the pump thread. Dropping (or
+/// [`RpcServer::stop`]) closes every connection and unbinds.
+#[derive(Debug)]
+pub struct RpcServer {
+    control: Sender<PumpCommand>,
+    pump: Option<JoinHandle<()>>,
+    addr: String,
+}
+
+impl RpcServer {
+    /// Attaches a VQRP driver to `service`'s reactor and starts the
+    /// pump thread on `listener`. The service keeps working for
+    /// in-process callers exactly as before; remote sessions share its
+    /// admission, fairness, and quota path.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors switching the listener to nonblocking mode.
+    pub fn serve(
+        service: &FleetService,
+        listener: RpcListener,
+        config: RpcServerConfig,
+    ) -> io::Result<RpcServer> {
+        assert!(
+            config.hard_pending_out_bytes >= config.soft_pending_out_bytes,
+            "hard outbound bound below the soft bound"
+        );
+        listener.set_nonblocking()?;
+        let addr = listener.local_addr_string();
+        let (control, control_rx) = mpsc::channel();
+        let gauges: Gauges = Arc::new(Mutex::new(HashMap::new()));
+        let driver = ConnDriver {
+            control: control.clone(),
+            gauges: Arc::clone(&gauges),
+            config,
+            conns: HashMap::new(),
+            counters: RpcMetricsReport::default(),
+        };
+        let events = service.attach_socket_driver(Box::new(driver));
+        let pump = std::thread::spawn(move || pump_loop(listener, control_rx, events, gauges));
+        Ok(RpcServer {
+            control,
+            pump: Some(pump),
+            addr,
+        })
+    }
+
+    /// The bound address: `ip:port` for TCP, the socket path for Unix.
+    pub fn local_addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Stops serving: closes every connection, joins the pump thread.
+    /// Sessions already dispatched keep running in the service; their
+    /// results are dropped at delivery (the connections are gone).
+    pub fn stop(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        let _ = self.control.send(PumpCommand::Stop);
+        if let Some(pump) = self.pump.take() {
+            let _ = pump.join();
+        }
+    }
+}
+
+impl Drop for RpcServer {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}

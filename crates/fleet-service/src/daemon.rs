@@ -80,8 +80,11 @@ use vaqem_runtime::{BatchDispatch, CostModel, WorkloadProfile};
 
 use crate::fairness::FairnessConfig;
 use crate::quota::{ClientQuota, QuotaError};
-use crate::reactor::{reactor_loop, worker_loop, Event, FleetMetricsReport, WorkItem};
+use crate::reactor::{
+    reactor_loop, worker_loop, Event, FleetMetricsReport, Reply, SocketEventSender, WorkItem,
+};
 use crate::scheduler;
+use crate::socket::SocketDriver;
 
 /// The concrete durable fleet store: fingerprints to guard-validated
 /// [`StoredChoice`]s — per-window picks and whole-circuit composed
@@ -186,7 +189,7 @@ pub struct FleetServiceConfig {
 }
 
 /// One client's tuning request.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SessionRequest {
     /// Client label — the fairness lane and quota account.
     pub client: String,
@@ -202,7 +205,7 @@ pub struct SessionRequest {
 }
 
 /// What one completed session reports back to its client.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SessionOutcome {
     /// Client label, echoed.
     pub client: String,
@@ -241,6 +244,20 @@ pub enum SessionError {
     Quota(QuotaError),
     /// The tuning run itself failed on the device.
     Tuning(String),
+    /// Rejected before admission because the submitting connection's
+    /// outbound queue is too deep — a reader too slow to drain its own
+    /// results must not pile unbounded frames onto the server. Only
+    /// RPC submissions can see this; nothing was charged or enqueued.
+    Overloaded {
+        /// Bytes already queued toward the connection.
+        pending_out_bytes: usize,
+        /// The soft bound the queue crossed.
+        limit: usize,
+    },
+    /// The peer violated the wire protocol (e.g. submitted before
+    /// binding an identity with an open frame). Only RPC submissions
+    /// can see this.
+    Protocol(String),
 }
 
 impl fmt::Display for SessionError {
@@ -248,6 +265,14 @@ impl fmt::Display for SessionError {
         match self {
             SessionError::Quota(e) => write!(f, "quota rejection: {e}"),
             SessionError::Tuning(msg) => write!(f, "tuning failed: {msg}"),
+            SessionError::Overloaded {
+                pending_out_bytes,
+                limit,
+            } => write!(
+                f,
+                "connection overloaded: {pending_out_bytes} bytes pending (soft bound {limit})"
+            ),
+            SessionError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
         }
     }
 }
@@ -374,9 +399,32 @@ impl FleetService {
         }
         let (tx, rx) = mpsc::channel();
         self.events
-            .send(Event::Arrive { request, reply: tx })
+            .send(Event::Arrive {
+                request,
+                reply: Reply::Channel(tx),
+            })
             .expect("reactor alive");
         rx
+    }
+
+    /// Attaches a transport protocol driver (see `crate::socket`) and
+    /// returns the [`crate::SocketEventSender`] its pump thread forwards
+    /// connection I/O through. The driver runs on the reactor thread,
+    /// so remote submissions share the in-process admission, fairness,
+    /// and quota path — and its counters appear in every subsequent
+    /// [`FleetService::metrics_report`].
+    ///
+    /// Attaching a second driver replaces the first (the events of the
+    /// first pump are then dropped by the new driver's bookkeeping).
+    ///
+    /// # Panics
+    ///
+    /// Panics when called after shutdown began.
+    pub fn attach_socket_driver(&self, driver: Box<dyn SocketDriver>) -> SocketEventSender {
+        self.events
+            .send(Event::AttachDriver(driver))
+            .expect("reactor alive");
+        SocketEventSender::new(self.events.clone())
     }
 
     /// A structured dump of the live service: reactor event counters,

@@ -108,11 +108,13 @@
 
 #![deny(missing_docs)]
 
+mod codec;
 pub mod daemon;
 pub mod fairness;
 pub mod quota;
 pub mod reactor;
 pub mod scheduler;
+pub mod socket;
 
 pub use daemon::{
     DeviceSpec, DurableMitigationStore, FleetService, FleetServiceConfig, SessionError,
@@ -120,4 +122,5 @@ pub use daemon::{
 };
 pub use fairness::FairnessConfig;
 pub use quota::{ClientQuota, QuotaError, QuotaUsage};
-pub use reactor::{DeviceMetricsReport, EventCounters, FleetMetricsReport};
+pub use reactor::{DeviceMetricsReport, EventCounters, FleetMetricsReport, SocketEventSender};
+pub use socket::{DriverAction, RpcMetricsReport, SocketDriver, SocketEvent};

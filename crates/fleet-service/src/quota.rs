@@ -160,8 +160,27 @@ impl QuotaBook {
     }
 
     /// The quota applying to `client`.
+    ///
+    /// Resolution order: an exact-name override wins; otherwise an
+    /// override whose name ends in `*` applies to every client the
+    /// prefix matches (`"greedy-*"` covers `greedy-0`, `greedy-17`, …),
+    /// longest matching prefix first — so operators can cap a *class*
+    /// of tenants (a load generator's synthetic swarm) without knowing
+    /// each name in advance; otherwise the default.
     pub fn quota_of(&self, client: &str) -> ClientQuota {
-        self.overrides.get(client).copied().unwrap_or(self.default)
+        if let Some(quota) = self.overrides.get(client) {
+            return *quota;
+        }
+        let mut best: Option<(usize, ClientQuota)> = None;
+        for (pattern, quota) in &self.overrides {
+            let Some(prefix) = pattern.strip_suffix('*') else {
+                continue;
+            };
+            if client.starts_with(prefix) && best.is_none_or(|(len, _)| prefix.len() > len) {
+                best = Some((prefix.len(), *quota));
+            }
+        }
+        best.map_or(self.default, |(_, quota)| quota)
     }
 
     fn roll_epoch(usage: &mut ClientUsage, epoch: u64) {
@@ -389,6 +408,44 @@ mod tests {
         assert_eq!(book.usage()[0].epoch, 1, "accounting epoch never regresses");
         // A genuinely newer epoch still resets as designed.
         book.admit("c", 2, 8.0).unwrap();
+    }
+
+    #[test]
+    fn wildcard_overrides_cap_tenant_classes() {
+        let capped = ClientQuota {
+            max_in_flight: 1,
+            minutes_per_epoch: f64::INFINITY,
+        };
+        let tighter = ClientQuota {
+            max_in_flight: 0,
+            minutes_per_epoch: f64::INFINITY,
+        };
+        let exact = ClientQuota {
+            max_in_flight: 7,
+            minutes_per_epoch: f64::INFINITY,
+        };
+        let mut book = QuotaBook::new(
+            ClientQuota::unlimited(),
+            &[
+                ("greedy-*".into(), capped),
+                ("greedy-vip*".into(), tighter),
+                ("greedy-vip-1".into(), exact),
+            ],
+        );
+        // A class member inherits the wildcard cap.
+        assert_eq!(book.quota_of("greedy-42").max_in_flight, 1);
+        // The longest matching prefix wins among wildcards.
+        assert_eq!(book.quota_of("greedy-vip-9").max_in_flight, 0);
+        // An exact-name override beats every wildcard.
+        assert_eq!(book.quota_of("greedy-vip-1").max_in_flight, 7);
+        // Non-members keep the default.
+        assert_eq!(book.quota_of("polite-3").max_in_flight, usize::MAX);
+        // The cap actually enforces through admission.
+        book.admit("greedy-42", 0, 1.0).unwrap();
+        assert!(matches!(
+            book.admit("greedy-42", 0, 1.0),
+            Err(QuotaError::InFlightExceeded { limit: 1, .. })
+        ));
     }
 
     #[test]

@@ -50,6 +50,16 @@ use crate::daemon::{run_session, ServiceShared, SessionError, SessionRequest, Se
 use crate::fairness::DeviceArbiter;
 use crate::quota::{quota_epoch, QuotaBook, QuotaUsage};
 use crate::scheduler;
+use crate::socket::{DriverAction, RpcMetricsReport, SocketDriver, SocketEvent};
+
+/// Where a session's outcome (or typed rejection) is delivered.
+pub(crate) enum Reply {
+    /// An in-process client awaiting on its own channel.
+    Channel(Sender<SessionResult>),
+    /// A remote client behind the attached [`SocketDriver`]: the result
+    /// is handed to the driver with its `(conn, token)` correlation.
+    Rpc { conn: u64, token: u64 },
+}
 
 /// One unit of the reactor's unified event queue.
 pub(crate) enum Event {
@@ -58,10 +68,16 @@ pub(crate) enum Event {
         /// The request as submitted.
         request: SessionRequest,
         /// Where the client awaits its outcome (or typed rejection).
-        reply: Sender<SessionResult>,
+        reply: Reply,
     },
-    /// A worker finished a session.
-    Complete(CompletionReport),
+    /// A worker finished a session (boxed: the report carries the
+    /// full outcome and store delta, far larger than the other arms).
+    Complete(Box<CompletionReport>),
+    /// The pump thread observed connection I/O; handled by the attached
+    /// [`SocketDriver`] (dropped when none is attached).
+    Socket(SocketEvent),
+    /// A transport front-end attached its protocol driver.
+    AttachDriver(Box<dyn SocketDriver>),
     /// A device crossed a recalibration boundary (reactor-internal:
     /// recorded at the observing arrival, applied at the device's next
     /// dispatch).
@@ -80,8 +96,11 @@ pub(crate) enum Event {
     Shutdown,
 }
 
-/// What a worker reports back to the reactor when a session finishes
-/// (the client-facing outcome travels on the session's own channel).
+/// What a worker reports back to the reactor when a session finishes.
+/// The client-facing outcome travels inside the report: the reactor
+/// settles accounting first, then answers the reply — so by the time
+/// any client observes its outcome, a follow-up metrics request sees
+/// the session settled.
 pub(crate) struct CompletionReport {
     pub worker: usize,
     pub device: usize,
@@ -93,6 +112,10 @@ pub(crate) struct CompletionReport {
     /// shard (exact while devices keep distinct shards — the default
     /// layout the replay asserts).
     pub store_delta: CacheMetrics,
+    /// Where the outcome goes.
+    pub reply: Reply,
+    /// The outcome itself.
+    pub result: SessionResult,
 }
 
 /// A session dispatched to the worker pool.
@@ -105,7 +128,7 @@ pub(crate) struct WorkItem {
     pub invalidated: usize,
     pub estimate_min: f64,
     pub request: SessionRequest,
-    pub reply: Sender<SessionResult>,
+    pub reply: Reply,
 }
 
 /// Counts of every event kind the reactor has handled — the "what has
@@ -127,6 +150,9 @@ pub struct EventCounters {
     pub compaction_errors: u64,
     /// Submissions rejected by quota with a typed error.
     pub quota_rejections: u64,
+    /// Socket events (accept/read/hang-up) folded into the queue by the
+    /// RPC pump thread (0 without an attached front-end).
+    pub socket_events: u64,
 }
 
 /// One device's scheduling state as seen by the reactor.
@@ -179,6 +205,8 @@ pub struct FleetMetricsReport {
     pub workers_total: usize,
     /// Workers idle at snapshot time.
     pub workers_idle: usize,
+    /// RPC front-end counters (all zero when no driver is attached).
+    pub rpc: RpcMetricsReport,
 }
 
 fn cache_metrics_json(m: &CacheMetrics) -> JsonValue {
@@ -222,6 +250,7 @@ impl FleetMetricsReport {
                     ("compactions", JsonValue::from(e.compactions)),
                     ("compaction_errors", JsonValue::from(e.compaction_errors)),
                     ("quota_rejections", JsonValue::from(e.quota_rejections)),
+                    ("socket_events", JsonValue::from(e.socket_events)),
                 ]),
             ),
             (
@@ -298,6 +327,7 @@ impl FleetMetricsReport {
             ),
             ("workers_total", JsonValue::from(self.workers_total)),
             ("workers_idle", JsonValue::from(self.workers_idle)),
+            ("rpc", self.rpc.to_json()),
         ])
     }
 }
@@ -309,14 +339,33 @@ impl fmt::Display for FleetMetricsReport {
         writeln!(
             f,
             "  events: {} arrivals, {} completions, {} recalibrations, {} ticks \
-             ({} compactions, {} failed), {} quota rejections",
+             ({} compactions, {} failed), {} quota rejections, {} socket events",
             e.arrivals,
             e.completions,
             e.recalibrations,
             e.checkpoint_ticks,
             e.compactions,
             e.compaction_errors,
-            e.quota_rejections
+            e.quota_rejections,
+            e.socket_events
+        )?;
+        let r = &self.rpc;
+        writeln!(
+            f,
+            "  rpc: {} conns ({} open, {} closed) | {} frames in / {} out \
+             ({} B in / {} B out) | {} decode errors, {} overload rejections, \
+             {} overload closes, peak out {} B",
+            r.connections_accepted,
+            r.connections_open,
+            r.connections_closed,
+            r.frames_in,
+            r.frames_out,
+            r.bytes_in,
+            r.bytes_out,
+            r.decode_errors,
+            r.overload_rejections,
+            r.overload_closes,
+            r.peak_pending_out_bytes
         )?;
         writeln!(
             f,
@@ -411,7 +460,7 @@ struct DeviceLane {
 
 struct Pending {
     request: SessionRequest,
-    reply: Sender<SessionResult>,
+    reply: Reply,
 }
 
 struct Reactor {
@@ -428,6 +477,8 @@ struct Reactor {
     counters: EventCounters,
     completions_since_tick: u64,
     draining: bool,
+    /// The attached transport protocol driver, if any.
+    driver: Option<Box<dyn SocketDriver>>,
 }
 
 impl Reactor {
@@ -450,7 +501,7 @@ impl Reactor {
     fn handle(&mut self, event: Event) {
         match event {
             Event::Arrive { request, reply } => self.handle_arrive(request, reply),
-            Event::Complete(report) => self.handle_complete(report),
+            Event::Complete(report) => self.handle_complete(*report),
             Event::Recalibration { device, epoch } => {
                 self.counters.recalibrations += 1;
                 let name = &self.shared.devices[device].name;
@@ -472,11 +523,51 @@ impl Reactor {
             Event::Metrics(tx) => {
                 let _ = tx.send(self.report());
             }
+            Event::Socket(ev) => {
+                self.counters.socket_events += 1;
+                let actions = match self.driver.as_mut() {
+                    Some(driver) => driver.on_event(ev),
+                    None => Vec::new(),
+                };
+                for action in actions {
+                    match action {
+                        DriverAction::Submit {
+                            conn,
+                            token,
+                            request,
+                        } => self.handle_arrive(request, Reply::Rpc { conn, token }),
+                        DriverAction::Metrics { conn, token } => {
+                            let report = self.report();
+                            if let Some(driver) = self.driver.as_mut() {
+                                driver.on_metrics(conn, token, &report);
+                            }
+                        }
+                    }
+                }
+            }
+            Event::AttachDriver(driver) => self.driver = Some(driver),
             Event::Shutdown => self.draining = true,
         }
     }
 
-    fn handle_arrive(&mut self, request: SessionRequest, reply: Sender<SessionResult>) {
+    /// Delivers a session's conclusion wherever the submitter awaits it:
+    /// an in-process channel, or the socket driver's `(conn, token)`.
+    fn answer(&mut self, reply: Reply, result: SessionResult) {
+        match reply {
+            Reply::Channel(tx) => {
+                // A client that dropped its receiver just doesn't hear
+                // back.
+                let _ = tx.send(result);
+            }
+            Reply::Rpc { conn, token } => {
+                if let Some(driver) = self.driver.as_mut() {
+                    driver.on_result(conn, token, &result);
+                }
+            }
+        }
+    }
+
+    fn handle_arrive(&mut self, request: SessionRequest, reply: Reply) {
         self.counters.arrivals += 1;
         // Queue-aware admission: the pinned device, or the one
         // minimizing sampled queue wait + projected backlog (ties to the
@@ -511,7 +602,7 @@ impl Reactor {
             .admit(&request.client, q_epoch, self.shared.estimate_min)
         {
             self.counters.quota_rejections += 1;
-            let _ = reply.send(Err(SessionError::Quota(err)));
+            self.answer(reply, Err(SessionError::Quota(err)));
             return;
         }
         let client = request.client.clone();
@@ -538,6 +629,8 @@ impl Reactor {
             self.completions_since_tick = 0;
             self.queue.push_back(Event::CheckpointTick);
         }
+        // Accounting settled above; only now does the submitter hear.
+        self.answer(report.reply, report.result);
         self.pump();
     }
 
@@ -616,7 +709,39 @@ impl Reactor {
             journal_write_errors: store.journal_write_errors(),
             workers_total: self.worker_txs.len(),
             workers_idle: self.free_workers.len(),
+            rpc: self
+                .driver
+                .as_ref()
+                .map(|d| d.metrics())
+                .unwrap_or_default(),
         }
+    }
+}
+
+/// The handle a transport pump thread forwards its observations
+/// through: an opaque wrapper over the reactor's event channel that
+/// admits only socket events.
+#[derive(Clone)]
+pub struct SocketEventSender {
+    events: Sender<Event>,
+}
+
+impl SocketEventSender {
+    pub(crate) fn new(events: Sender<Event>) -> Self {
+        SocketEventSender { events }
+    }
+
+    /// Folds one socket event into the reactor's unified queue. Returns
+    /// `false` when the reactor is gone (service shut down) — the pump
+    /// should exit.
+    pub fn send(&self, event: SocketEvent) -> bool {
+        self.events.send(Event::Socket(event)).is_ok()
+    }
+}
+
+impl fmt::Debug for SocketEventSender {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SocketEventSender")
     }
 }
 
@@ -655,6 +780,7 @@ pub(crate) fn reactor_loop(
         counters: EventCounters::default(),
         completions_since_tick: 0,
         draining: false,
+        driver: None,
         shared: Arc::clone(&shared),
     };
     loop {
@@ -704,22 +830,28 @@ pub(crate) fn worker_loop(
         if let Ok(outcome) = result.as_mut() {
             outcome.sequence = sequence;
         }
-        let report = CompletionReport {
+        let report = Box::new(CompletionReport {
             worker: item.worker,
             device: item.device,
             client: item.request.client.clone(),
             estimate_min: item.estimate_min,
             actual_min: result.as_ref().map(|o| o.minutes).unwrap_or(0.0),
             store_delta,
-        };
-        // Reactor first, client second: by the time a client observes
-        // its outcome, the completion event is already queued, so a
-        // follow-up metrics request (a later event) sees the session
-        // settled. A send can only fail during teardown.
-        let reactor_alive = events.send(Event::Complete(report)).is_ok();
-        // A client that dropped its receiver just doesn't hear back.
-        let _ = item.reply.send(result);
-        if !reactor_alive {
+            reply: item.reply,
+            result,
+        });
+        // The outcome travels inside the completion report: the reactor
+        // settles accounting and *then* answers the submitter, so by
+        // the time any client observes its outcome, a follow-up metrics
+        // request (a later event) sees the session settled. A send can
+        // only fail during teardown; in-process clients still hear back
+        // directly, RPC replies have no one left to encode them.
+        if let Err(std::sync::mpsc::SendError(Event::Complete(report))) =
+            events.send(Event::Complete(report))
+        {
+            if let Reply::Channel(tx) = report.reply {
+                let _ = tx.send(report.result);
+            }
             return; // reactor gone: the service is tearing down
         }
     }

@@ -1,0 +1,177 @@
+//! The reactor's socket surface: how a transport front-end (the
+//! `vaqem-fleet-rpc` crate) folds nonblocking connection I/O into the
+//! unified event queue.
+//!
+//! The split of responsibilities is strict:
+//!
+//! * A **pump thread** (owned by the transport crate) does the raw
+//!   nonblocking syscalls — accept, read, write — and forwards what it
+//!   observes as [`SocketEvent`]s through a [`crate::SocketEventSender`]. It
+//!   holds no protocol state beyond per-connection byte buffers.
+//! * A [`SocketDriver`] (also supplied by the transport crate, attached
+//!   via `FleetService::attach_socket_driver`) runs **on the reactor
+//!   thread**, interleaved with arrivals, completions, and
+//!   recalibrations. It owns all protocol state — framing, identity,
+//!   per-connection accounting — and reacts to socket events by
+//!   returning [`DriverAction`]s the reactor executes: submitting a
+//!   session on behalf of a remote client (which then flows through the
+//!   *same* admission, DRR fairness, and quota gates as an in-process
+//!   `submit()`), or requesting a metrics snapshot.
+//!
+//! Because the driver runs on the reactor thread, a remote submission
+//! and a local one are literally the same code path from admission
+//! onward: remote greedy clients receive the same typed
+//! `SessionError::Quota` rejections, remote sessions occupy the same
+//! DRR lanes, and the metrics report covers both without merging.
+//!
+//! The driver's aggregate counters ([`RpcMetricsReport`]) ride inside
+//! every `FleetMetricsReport` (zeroed when no driver is attached), so
+//! the golden-schema pin covers the RPC surface too.
+
+use crate::daemon::{SessionRequest, SessionResult};
+use crate::reactor::FleetMetricsReport;
+use vaqem_runtime::json::JsonValue;
+
+/// What the pump thread observed on a connection. Connection ids are
+/// assigned by the pump and never reused within a server's lifetime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SocketEvent {
+    /// A new connection was accepted.
+    Accepted {
+        /// Pump-assigned connection id.
+        conn: u64,
+        /// Peer description (address or socket path) for diagnostics.
+        peer: String,
+    },
+    /// Bytes arrived on a connection — an arbitrary slice of the
+    /// stream, torn wherever the kernel tore it.
+    Readable {
+        /// Connection id.
+        conn: u64,
+        /// The bytes, in stream order.
+        bytes: Vec<u8>,
+    },
+    /// The peer disconnected (EOF or error), or the pump force-closed
+    /// the connection. The driver must drop its state for `conn`;
+    /// results for sessions still in flight are discarded on arrival.
+    HungUp {
+        /// Connection id.
+        conn: u64,
+    },
+}
+
+/// What a [`SocketDriver`] asks the reactor to do after handling a
+/// socket event. Returned (rather than called back) so the driver
+/// borrow and the reactor borrow never overlap.
+#[derive(Debug)]
+pub enum DriverAction {
+    /// Submit a session on behalf of a remote client. The result is
+    /// delivered back through [`SocketDriver::on_result`] with the same
+    /// `(conn, token)` — or dropped silently if the connection hung up
+    /// in the meantime.
+    Submit {
+        /// Connection the submission arrived on.
+        conn: u64,
+        /// Client-chosen correlation token, echoed with the result.
+        token: u64,
+        /// The request, with its client identity already bound by the
+        /// driver (connection-scoped, not frame-scoped).
+        request: SessionRequest,
+    },
+    /// Deliver a metrics snapshot through
+    /// [`SocketDriver::on_metrics`].
+    Metrics {
+        /// Connection that asked.
+        conn: u64,
+        /// Correlation token, echoed with the reply.
+        token: u64,
+    },
+}
+
+/// Aggregate counters of the RPC front-end, reported inside every
+/// [`FleetMetricsReport`]. All zero when no driver is attached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RpcMetricsReport {
+    /// Connections accepted since the server started.
+    pub connections_accepted: u64,
+    /// Connections currently open.
+    pub connections_open: u64,
+    /// Connections closed (EOF, error, protocol violation, overload).
+    pub connections_closed: u64,
+    /// Whole frames decoded from peers.
+    pub frames_in: u64,
+    /// Frames sent to peers.
+    pub frames_out: u64,
+    /// Payload bytes received (framing overhead excluded).
+    pub bytes_in: u64,
+    /// Payload bytes sent (framing overhead excluded).
+    pub bytes_out: u64,
+    /// Frames that failed to decode (bad tag, torn body, oversized
+    /// prefix). Each also closes its connection.
+    pub decode_errors: u64,
+    /// Submissions rejected with `SessionError::Overloaded` because the
+    /// connection's outbound queue crossed the soft bound.
+    pub overload_rejections: u64,
+    /// Connections force-closed because their outbound queue crossed
+    /// the hard bound (a reader too slow to keep even rejections).
+    pub overload_closes: u64,
+    /// High-water mark of any single connection's pending outbound
+    /// bytes.
+    pub peak_pending_out_bytes: u64,
+}
+
+impl RpcMetricsReport {
+    /// JSON rendering, nested under `"rpc"` in the fleet report; the
+    /// golden-schema test pins these keys.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            (
+                "connections_accepted",
+                JsonValue::from(self.connections_accepted),
+            ),
+            ("connections_open", JsonValue::from(self.connections_open)),
+            (
+                "connections_closed",
+                JsonValue::from(self.connections_closed),
+            ),
+            ("frames_in", JsonValue::from(self.frames_in)),
+            ("frames_out", JsonValue::from(self.frames_out)),
+            ("bytes_in", JsonValue::from(self.bytes_in)),
+            ("bytes_out", JsonValue::from(self.bytes_out)),
+            ("decode_errors", JsonValue::from(self.decode_errors)),
+            (
+                "overload_rejections",
+                JsonValue::from(self.overload_rejections),
+            ),
+            ("overload_closes", JsonValue::from(self.overload_closes)),
+            (
+                "peak_pending_out_bytes",
+                JsonValue::from(self.peak_pending_out_bytes),
+            ),
+        ])
+    }
+}
+
+/// The protocol half of a transport front-end, executed on the reactor
+/// thread. Implementations own per-connection state and speak to the
+/// pump through whatever channel they were constructed with; the
+/// reactor only sees events in and actions out.
+pub trait SocketDriver: Send {
+    /// Handles one socket event; returns the reactor-facing actions it
+    /// implies (often none).
+    fn on_event(&mut self, event: SocketEvent) -> Vec<DriverAction>;
+
+    /// Delivers the result of a [`DriverAction::Submit`]. Called for
+    /// quota rejections exactly like successes — the typed error is the
+    /// payload. The connection may already be gone; implementations
+    /// drop such results silently.
+    fn on_result(&mut self, conn: u64, token: u64, result: &SessionResult);
+
+    /// Delivers the snapshot a [`DriverAction::Metrics`] asked for. The
+    /// report already embeds this driver's own [`RpcMetricsReport`].
+    fn on_metrics(&mut self, conn: u64, token: u64, report: &FleetMetricsReport);
+
+    /// The driver's aggregate counters, embedded in every metrics
+    /// report the reactor produces.
+    fn metrics(&self) -> RpcMetricsReport;
+}

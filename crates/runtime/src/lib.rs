@@ -4,7 +4,7 @@
 //! about executing the feasible flow at fleet scale that is not quantum
 //! mechanics.
 //!
-//! Six modules:
+//! Eight modules:
 //!
 //! * [`cost`] — the execution-cost model standing in for the paper's
 //!   Qiskit Runtime measurements (§VI-A, §VIII-D, Fig. 15): per-job
@@ -33,6 +33,13 @@
 //! * [`json`] — the handwritten JSON document builder the structured
 //!   reports (`metrics_report()` dumps, the scenario-matrix grid) render
 //!   through, with the key-path flattening golden-schema tests pin.
+//! * [`wire`] — streaming length-prefixed framing for the RPC
+//!   front-end: [`wire::FrameReader`] reassembles frames from
+//!   arbitrarily-torn nonblocking-socket reads with the same torn-tail
+//!   tolerance the journal applies on disk.
+//! * [`latency`] — [`latency::LatencyHistogram`], the fixed-footprint
+//!   log-bucketed histogram the load generator reads p50/p95/p99
+//!   session latencies from.
 //!
 //! Together they answer the question the per-circuit crates cannot: what
 //! does a *repeated, shared* workload cost, and how much of the paper's
@@ -89,8 +96,10 @@ pub mod cache;
 pub mod cost;
 pub mod fleet;
 pub mod json;
+pub mod latency;
 pub mod persist;
 pub mod store;
+pub mod wire;
 
 pub use cache::{CacheMetrics, ConfigStore};
 pub use cost::{
@@ -101,5 +110,7 @@ pub use fleet::{
     DrrLaneSnapshot, DrrQueue, FairFleetSchedule, FleetSchedule, TuningSession,
 };
 pub use json::JsonValue;
+pub use latency::LatencyHistogram;
 pub use persist::{Codec, CompactionPolicy, DurableStore, RecoveryReport};
 pub use store::{ShardMetrics, ShardedStore, StoreBackend};
+pub use wire::{frame, FrameError, FrameReader};

@@ -126,6 +126,63 @@ impl Codec for String {
     }
 }
 
+/// `usize` travels as `u64` so encodings are identical across word
+/// sizes; decoding fails cleanly on a value the local word cannot hold.
+impl Codec for usize {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (*self as u64).encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        usize::try_from(u64::decode(input)?).ok()
+    }
+}
+
+/// Presence-flagged: one tag byte (0 = `None`, 1 = `Some`) then the
+/// value. Any other tag is corruption.
+impl<T: Codec> Codec for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        match u8::decode(input)? {
+            0 => Some(None),
+            1 => Some(Some(T::decode(input)?)),
+            _ => None,
+        }
+    }
+}
+
+/// `u32` element count then the elements, mirroring `String`. The count
+/// is bounds-checked against the remaining input before reserving, so a
+/// hostile length prefix cannot force a huge allocation.
+impl<T: Codec> Codec for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode(out);
+        for v in self {
+            v.encode(out);
+        }
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        let n = u32::decode(input)? as usize;
+        // Every element consumes at least one byte in this codec family,
+        // so a count beyond the remaining bytes is provably corrupt.
+        if n > input.len() {
+            return None;
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(T::decode(input)?);
+        }
+        Some(out)
+    }
+}
+
 const SNAPSHOT_MAGIC: [u8; 4] = *b"VQSN";
 const JOURNAL_MAGIC: [u8; 4] = *b"VQJL";
 

@@ -1,0 +1,209 @@
+//! Streaming length-prefixed framing for the wire protocol.
+//!
+//! The fleet's RPC front-end (`vaqem-fleet-rpc`) moves frames over
+//! nonblocking sockets, so bytes arrive in arbitrary slices: half a
+//! length prefix now, the rest of the frame three reads later, two
+//! frames fused into one read. [`FrameReader`] is the accumulator that
+//! turns that stream back into whole frames:
+//!
+//! * bytes are [`FrameReader::push`]ed as they arrive;
+//! * [`FrameReader::next_frame`] pops one complete frame payload when
+//!   the buffer holds one, and `None` while a frame is still torn —
+//!   exactly the torn-tail tolerance the journal replay in [`persist`]
+//!   applies to its on-disk records, applied to a live stream;
+//! * a length prefix larger than the configured bound is a protocol
+//!   error ([`FrameError::TooLong`]) — the caller should drop the
+//!   connection rather than buffer unboundedly.
+//!
+//! The matching write side is [`frame`]: one allocation, `u32`
+//! little-endian length prefix + payload, the same discipline
+//! `persist::JournalWriter` uses for journal records.
+//!
+//! [`persist`]: crate::persist
+//!
+//! ```
+//! use vaqem_runtime::wire::{frame, FrameReader};
+//!
+//! let mut reader = FrameReader::new(1024);
+//! let bytes = frame(b"hello");
+//! // Feed the frame in two torn halves: no frame until it completes.
+//! reader.push(&bytes[..3]);
+//! assert_eq!(reader.next_frame().unwrap(), None);
+//! reader.push(&bytes[3..]);
+//! assert_eq!(reader.next_frame().unwrap().as_deref(), Some(&b"hello"[..]));
+//! assert_eq!(reader.next_frame().unwrap(), None);
+//! ```
+
+use std::fmt;
+
+use crate::persist::Codec;
+
+/// Framing violations a stream can commit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// A length prefix promised more bytes than the reader's bound —
+    /// either a corrupt/hostile peer or a protocol mismatch. The
+    /// connection should be dropped; the reader refuses to buffer it.
+    TooLong {
+        /// The declared payload length.
+        declared: usize,
+        /// The reader's configured maximum.
+        max: usize,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::TooLong { declared, max } => {
+                write!(f, "frame length {declared} exceeds the {max}-byte bound")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Wraps `payload` in the wire framing: `u32` little-endian length
+/// prefix, then the payload bytes.
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 4);
+    (payload.len() as u32).encode(&mut out);
+    out.extend_from_slice(payload);
+    out
+}
+
+/// A streaming accumulator that reassembles length-prefixed frames from
+/// arbitrarily-torn byte slices. See the module docs for the contract.
+#[derive(Debug)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already consumed by popped frames. Compacted
+    /// lazily so a burst of small frames costs one `drain`, not N.
+    consumed: usize,
+    max_frame: usize,
+}
+
+impl FrameReader {
+    /// Creates a reader that refuses frames longer than `max_frame`
+    /// payload bytes.
+    pub fn new(max_frame: usize) -> Self {
+        FrameReader {
+            buf: Vec::new(),
+            consumed: 0,
+            max_frame,
+        }
+    }
+
+    /// Appends freshly-read bytes to the stream buffer.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.compact();
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet popped as frames (a torn frame's
+    /// prefix counts).
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len() - self.consumed
+    }
+
+    fn compact(&mut self) {
+        if self.consumed > 0 {
+            self.buf.drain(..self.consumed);
+            self.consumed = 0;
+        }
+    }
+
+    /// Pops the next complete frame payload, `Ok(None)` while the
+    /// buffer holds only a torn frame (or nothing).
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::TooLong`] when the stream declares a frame past the
+    /// reader's bound; the reader is then poisoned-by-construction (the
+    /// oversized prefix stays at the front), so the caller must drop the
+    /// connection.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
+        let pending = &self.buf[self.consumed..];
+        let mut input = pending;
+        let Some(len) = u32::decode(&mut input) else {
+            return Ok(None); // torn length prefix
+        };
+        let len = len as usize;
+        if len > self.max_frame {
+            return Err(FrameError::TooLong {
+                declared: len,
+                max: self.max_frame,
+            });
+        }
+        if input.len() < len {
+            return Ok(None); // torn payload
+        }
+        let payload = input[..len].to_vec();
+        self.consumed += 4 + len;
+        Ok(Some(payload))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reassembles_across_arbitrary_tears() {
+        let payloads: Vec<Vec<u8>> = vec![vec![1, 2, 3], vec![], vec![9; 100]];
+        let mut stream = Vec::new();
+        for p in &payloads {
+            stream.extend_from_slice(&frame(p));
+        }
+        // Feed one byte at a time: every frame still comes out whole.
+        let mut reader = FrameReader::new(1024);
+        let mut got = Vec::new();
+        for b in &stream {
+            reader.push(std::slice::from_ref(b));
+            while let Some(f) = reader.next_frame().unwrap() {
+                got.push(f);
+            }
+        }
+        assert_eq!(got, payloads);
+        assert_eq!(reader.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn fused_reads_pop_multiple_frames() {
+        let mut stream = frame(b"a");
+        stream.extend_from_slice(&frame(b"bb"));
+        let mut reader = FrameReader::new(16);
+        reader.push(&stream);
+        assert_eq!(reader.next_frame().unwrap().as_deref(), Some(&b"a"[..]));
+        assert_eq!(reader.next_frame().unwrap().as_deref(), Some(&b"bb"[..]));
+        assert_eq!(reader.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_prefix_is_rejected_not_buffered() {
+        let mut reader = FrameReader::new(8);
+        let mut bytes = Vec::new();
+        (1_000_000u32).encode(&mut bytes);
+        reader.push(&bytes);
+        assert_eq!(
+            reader.next_frame(),
+            Err(FrameError::TooLong {
+                declared: 1_000_000,
+                max: 8
+            })
+        );
+    }
+
+    #[test]
+    fn torn_prefix_waits() {
+        let mut reader = FrameReader::new(8);
+        reader.push(&[3, 0]); // half a length prefix
+        assert_eq!(reader.next_frame().unwrap(), None);
+        reader.push(&[0, 0, 7, 8, 9]);
+        assert_eq!(
+            reader.next_frame().unwrap().as_deref(),
+            Some(&[7, 8, 9][..])
+        );
+    }
+}

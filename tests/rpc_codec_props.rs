@@ -1,0 +1,278 @@
+//! Wire-frame properties of the VQRP protocol (`vaqem-fleet-rpc`):
+//!
+//! * **frames are lossless** — any protocol frame, client- or
+//!   server-tagged, round-trips byte-exactly through the persist codec
+//!   with nothing left over;
+//! * **hostile bytes never panic** — every truncation cut of a valid
+//!   frame, garbage-prefixed payloads, and fully arbitrary byte soup
+//!   all decode to `None` (or a valid frame, for soup that happens to
+//!   parse) without panicking;
+//! * **torn delivery reassembles** — a stream of frames chopped into
+//!   arbitrary chunk sizes comes back out of `FrameReader` as exactly
+//!   the original frame sequence.
+
+use proptest::prelude::*;
+use vaqem_suite::fleet_rpc::wire::Frame;
+use vaqem_suite::fleet_service::{
+    QuotaError, RpcMetricsReport, SessionError, SessionKind, SessionOutcome, SessionRequest,
+};
+use vaqem_suite::mitigation::combined::MitigationConfig;
+use vaqem_suite::mitigation::dd::DdSequence;
+use vaqem_suite::mitigation::zne::{Extrapolation, ZneConfig};
+use vaqem_suite::runtime::persist::Codec;
+use vaqem_suite::runtime::wire::{frame as wire_frame, FrameReader};
+
+/// Lowercase labels of length `0..max` (the vendored proptest subset has
+/// no string strategies).
+fn label(max: usize) -> impl Strategy<Value = String> {
+    collection::vec(97u8..123, 0..max)
+        .prop_map(|bytes| String::from_utf8(bytes).expect("ascii lowercase"))
+}
+
+fn byte() -> impl Strategy<Value = u8> {
+    (0u16..256).prop_map(|b| b as u8)
+}
+
+fn kind_strategy() -> impl Strategy<Value = SessionKind> {
+    prop_oneof![
+        Just(SessionKind::Dd),
+        Just(SessionKind::Gs),
+        Just(SessionKind::Combined),
+        Just(SessionKind::Zne),
+        Just(SessionKind::CombinedZne),
+    ]
+}
+
+fn request_strategy() -> impl Strategy<Value = SessionRequest> {
+    (
+        label(12),
+        0.0f64..100.0,
+        collection::vec(-3.2f64..3.2, 0..6),
+        prop_oneof![Just(None), (0usize..4).prop_map(Some)],
+        kind_strategy(),
+    )
+        .prop_map(|(client, t_hours, params, device, kind)| SessionRequest {
+            client,
+            t_hours,
+            params,
+            device,
+            kind,
+        })
+}
+
+fn mitigation_strategy() -> impl Strategy<Value = MitigationConfig> {
+    (
+        collection::vec(0.0f64..1.0, 0..5),
+        collection::vec(0usize..9, 0..5),
+        0u8..5, // 0..4 = a DD sequence, 4 = none
+        0u8..3, // 0 = no ZNE, 1 = Richardson, 2 = Exponential
+        1u8..4, // extra fold for distinctness
+    )
+        .prop_map(|(gate_positions, dd_repetitions, seq, zne_draw, extra)| {
+            let dd_sequence = match seq {
+                0 => Some(DdSequence::Xx),
+                1 => Some(DdSequence::Yy),
+                2 => Some(DdSequence::Xy4),
+                3 => Some(DdSequence::Xy8),
+                _ => None,
+            };
+            let zne = match zne_draw {
+                1 => Some(ZneConfig::new(
+                    vec![0, extra],
+                    Extrapolation::Richardson { order: extra },
+                )),
+                2 => Some(ZneConfig::new(vec![0, extra], Extrapolation::Exponential)),
+                _ => None,
+            };
+            MitigationConfig {
+                gate_positions,
+                dd_repetitions,
+                dd_sequence,
+                zne,
+            }
+        })
+}
+
+fn outcome_strategy() -> impl Strategy<Value = SessionOutcome> {
+    (
+        (label(12), 0usize..4, label(16), 0u64..50),
+        (0usize..40, 0usize..40, 0u8..2, 0usize..500),
+        (0.0f64..1000.0, 0usize..10, 0u64..1000),
+        mitigation_strategy(),
+    )
+        .prop_map(
+            |(
+                (client, device, device_name, epoch),
+                (hits, misses, guard, evaluations),
+                (minutes, invalidated, sequence),
+                config,
+            )| SessionOutcome {
+                client,
+                device,
+                device_name,
+                epoch,
+                hits,
+                misses,
+                guard_rejected: guard == 1,
+                evaluations,
+                minutes,
+                invalidated,
+                sequence,
+                config,
+            },
+        )
+}
+
+fn error_strategy() -> impl Strategy<Value = SessionError> {
+    prop_oneof![
+        (label(10), 0usize..8).prop_map(|(client, limit)| SessionError::Quota(
+            QuotaError::InFlightExceeded { client, limit }
+        )),
+        (
+            label(10),
+            0.0f64..100.0,
+            0.0f64..100.0,
+            0.0f64..10.0,
+            0u64..9
+        )
+            .prop_map(|(client, limit_min, used_min, requested_min, epoch)| {
+                SessionError::Quota(QuotaError::BudgetExhausted {
+                    client,
+                    limit_min,
+                    used_min,
+                    requested_min,
+                    epoch,
+                })
+            }),
+        label(30).prop_map(SessionError::Tuning),
+        (0usize..1_000_000, 0usize..1_000_000).prop_map(|(pending_out_bytes, limit)| {
+            SessionError::Overloaded {
+                pending_out_bytes,
+                limit,
+            }
+        }),
+        label(30).prop_map(SessionError::Protocol),
+    ]
+}
+
+fn metrics_strategy() -> impl Strategy<Value = RpcMetricsReport> {
+    collection::vec(0u64..u64::MAX / 2, 11).prop_map(|v| RpcMetricsReport {
+        connections_accepted: v[0],
+        connections_open: v[1],
+        connections_closed: v[2],
+        frames_in: v[3],
+        frames_out: v[4],
+        bytes_in: v[5],
+        bytes_out: v[6],
+        decode_errors: v[7],
+        overload_rejections: v[8],
+        overload_closes: v[9],
+        peak_pending_out_bytes: v[10],
+    })
+}
+
+/// Every frame variant, client- and server-tagged alike.
+fn frame_strategy() -> impl Strategy<Value = Frame> {
+    prop_oneof![
+        label(12).prop_map(|client| Frame::Open { client }),
+        (0u64..1000, request_strategy())
+            .prop_map(|(token, request)| Frame::Submit { token, request }),
+        Just(Frame::Poll),
+        (0u64..1000).prop_map(|token| Frame::Metrics { token }),
+        Just(Frame::Shutdown),
+        label(12).prop_map(|client| Frame::OpenAck { client }),
+        (0u64..1000, outcome_strategy())
+            .prop_map(|(token, outcome)| Frame::Outcome { token, outcome }),
+        (0u64..1000, error_strategy()).prop_map(|(token, error)| Frame::Error { token, error }),
+        (0u64..100, 0u64..100).prop_map(|(in_flight, completed)| Frame::PollReply {
+            in_flight,
+            completed
+        }),
+        (0u64..1000, metrics_strategy(), label(60)).prop_map(|(token, rpc, report_json)| {
+            Frame::MetricsReply {
+                token,
+                rpc,
+                report_json,
+            }
+        }),
+        Just(Frame::ShutdownAck),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn frames_round_trip_losslessly(frame in frame_strategy()) {
+        let mut buf = Vec::new();
+        frame.encode(&mut buf);
+        let mut input = buf.as_slice();
+        prop_assert_eq!(Frame::decode(&mut input), Some(frame.clone()));
+        prop_assert!(input.is_empty(), "no trailing bytes");
+    }
+
+    #[test]
+    fn every_truncation_cut_is_refused_without_panicking(frame in frame_strategy()) {
+        let mut buf = Vec::new();
+        frame.encode(&mut buf);
+        for cut in 0..buf.len() {
+            prop_assert_eq!(Frame::decode(&mut &buf[..cut]), None);
+        }
+    }
+
+    #[test]
+    fn garbage_prefixed_payloads_are_refused(
+        frame in frame_strategy(),
+        prefix in collection::vec(byte(), 1..8),
+    ) {
+        // No valid tag occupies 0x06..=0x80 or 0x87..: force the lead
+        // byte into the dead zones so the payload cannot accidentally
+        // parse, then check the decoder refuses it cleanly.
+        let mut bytes = prefix;
+        bytes[0] = if bytes[0] % 2 == 0 { 0x50 } else { 0xF0 };
+        frame.encode(&mut bytes);
+        prop_assert_eq!(Frame::decode(&mut bytes.as_slice()), None);
+    }
+
+    #[test]
+    fn arbitrary_byte_soup_never_panics(bytes in collection::vec(byte(), 0..200)) {
+        // Outcome is irrelevant — most soup is `None`, some happens to
+        // parse — the property is "no panic, no infinite loop".
+        let _ = Frame::decode(&mut bytes.as_slice());
+    }
+
+    #[test]
+    fn torn_delivery_reassembles_the_exact_frame_sequence(
+        frames in collection::vec(frame_strategy(), 1..6),
+        chunk in 1usize..40,
+    ) {
+        let mut stream = Vec::new();
+        for f in &frames {
+            let mut payload = Vec::new();
+            f.encode(&mut payload);
+            stream.extend_from_slice(&wire_frame(&payload));
+        }
+        let mut reader = FrameReader::new(1 << 20);
+        let mut decoded = Vec::new();
+        for piece in stream.chunks(chunk) {
+            reader.push(piece);
+            while let Some(payload) = reader.next_frame().expect("under the bound") {
+                let mut input = payload.as_slice();
+                let f = Frame::decode(&mut input).expect("valid frame");
+                prop_assert!(input.is_empty());
+                decoded.push(f);
+            }
+        }
+        prop_assert_eq!(decoded, frames);
+    }
+}
+
+#[test]
+fn oversized_length_prefix_poisons_the_reader() {
+    let mut reader = FrameReader::new(64);
+    reader.push(&1_000_000u32.to_le_bytes());
+    assert!(
+        reader.next_frame().is_err(),
+        "declared length over the bound"
+    );
+}
