@@ -6,7 +6,19 @@
 //!
 //! ```text
 //! loadgen (--unix PATH | --tcp ADDR) [--clients N] [--out FILE] [--quick]
+//!         [--failover [--expect-failover]]
 //! ```
+//!
+//! With `--failover` the harness instead drives `FailoverClient`s
+//! against a replica pair: every client submits sessions in a loop and
+//! rides reconnect-with-backoff through a leader death. The run stops
+//! once each client has completed a floor of sessions and — under
+//! `--expect-failover`, the CI kill-the-leader smoke — at least one
+//! session has completed *after* a reconnect. In-binary gates: zero
+//! errors (no acknowledged session lost), nonzero completions, and
+//! under `--expect-failover` at least one reconnect and one
+//! post-failover completion. The summary lands in `BENCH_failover.json`
+//! (or `--out`/`$BENCH_FAILOVER_OUT`).
 //!
 //! Each client thread owns one connection and plays one of the
 //! `vaqem-scenario` tenant behaviors, cycled round-robin:
@@ -41,6 +53,7 @@ use std::time::{Duration, Instant};
 
 use vaqem_bench::rpcload;
 use vaqem_fleet_rpc::client::RpcClient;
+use vaqem_fleet_rpc::{FailoverClient, FailoverTarget, ReconnectPolicy};
 use vaqem_fleet_service::SessionError;
 use vaqem_mathkit::rng::root_seed_from_env;
 use vaqem_runtime::latency::LatencyHistogram;
@@ -92,6 +105,8 @@ struct Args {
     clients: usize,
     out: PathBuf,
     quick: bool,
+    failover: bool,
+    expect_failover: bool,
 }
 
 fn parse_args() -> Args {
@@ -100,6 +115,8 @@ fn parse_args() -> Args {
     let mut clients: Option<usize> = None;
     let mut out: Option<PathBuf> = None;
     let mut quick = vaqem_bench::quick_mode();
+    let mut failover = false;
+    let mut expect_failover = false;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -112,25 +129,48 @@ fn parse_args() -> Args {
             "--clients" => clients = Some(value("--clients").parse().expect("--clients: integer")),
             "--out" => out = Some(PathBuf::from(value("--out"))),
             "--quick" => quick = true,
+            "--failover" => failover = true,
+            "--expect-failover" => expect_failover = true,
             other => panic!("unknown flag {other} (see the module docs)"),
         }
     }
+    assert!(
+        failover || !expect_failover,
+        "--expect-failover requires --failover"
+    );
     let target = match (unix, tcp) {
         (Some(path), None) => Target::Unix(path),
         (None, Some(addr)) => Target::Tcp(addr),
         _ => panic!("exactly one of --unix PATH or --tcp ADDR is required"),
     };
     // Full mode drives the acceptance floor of ≥500 concurrent clients;
-    // quick mode is the CI smoke size.
-    let clients = clients.unwrap_or(if quick { 48 } else { 600 });
+    // quick mode is the CI smoke size. Failover clients are long-lived
+    // session loops, so that mode runs far fewer of them.
+    let clients = clients.unwrap_or(match (failover, quick) {
+        (true, true) => 6,
+        (true, false) => 24,
+        (false, true) => 48,
+        (false, false) => 600,
+    });
     let out = out.unwrap_or_else(|| {
-        PathBuf::from(std::env::var("BENCH_RPC_OUT").unwrap_or_else(|_| "BENCH_rpc.json".into()))
+        if failover {
+            PathBuf::from(
+                std::env::var("BENCH_FAILOVER_OUT")
+                    .unwrap_or_else(|_| "BENCH_failover.json".into()),
+            )
+        } else {
+            PathBuf::from(
+                std::env::var("BENCH_RPC_OUT").unwrap_or_else(|_| "BENCH_rpc.json".into()),
+            )
+        }
     });
     Args {
         target,
         clients,
         out,
         quick,
+        failover,
+        expect_failover,
     }
 }
 
@@ -223,6 +263,215 @@ fn run_tenant(target: &Target, index: usize, behavior: TenantBehavior) -> Tenant
     stats
 }
 
+/// What one failover client thread did.
+#[derive(Default)]
+struct FailoverStats {
+    completed: u64,
+    completed_after_reconnect: u64,
+    errors: u64,
+    reconnects: u64,
+    hist: LatencyHistogram,
+}
+
+/// One failover client: a session loop over a [`FailoverClient`],
+/// riding through leader death. Runs until `stop` is raised (and a
+/// floor of sessions is met) or the session cap is hit.
+fn run_failover_tenant(
+    target: FailoverTarget,
+    index: usize,
+    stop: &std::sync::atomic::AtomicBool,
+    reconnects_seen: &std::sync::atomic::AtomicU64,
+    after_reconnect: &std::sync::atomic::AtomicU64,
+) -> FailoverStats {
+    use std::sync::atomic::Ordering;
+
+    const SESSION_FLOOR: u64 = 2;
+    const SESSION_CAP: u64 = 500;
+
+    let mut stats = FailoverStats::default();
+    let mut client = match FailoverClient::connect(
+        target,
+        &format!("failover-{index}"),
+        ReconnectPolicy::default(),
+    ) {
+        Ok(client) => client,
+        Err(_) => {
+            stats.errors += 1;
+            return stats;
+        }
+    };
+    if client
+        .set_read_timeout(Some(Duration::from_secs(600)))
+        .is_err()
+    {
+        stats.errors += 1;
+        return stats;
+    }
+    let mut sessions = 0u64;
+    while sessions < SESSION_CAP {
+        if stop.load(Ordering::Relaxed) && sessions >= SESSION_FLOOR {
+            break;
+        }
+        let started = Instant::now();
+        // Failover runs target a fleetd serving the *windowed* fixture
+        // (the one with journal traffic for shipping); the request must
+        // match its 3-qubit problem.
+        let result = client
+            .submit(rpcload::windowed_request(1.0))
+            .and_then(|token| client.await_result(token));
+        sessions += 1;
+        match result {
+            Ok(Ok(_outcome)) => {
+                stats.completed += 1;
+                stats.hist.record_us(started.elapsed().as_secs_f64() * 1e6);
+                if client.reconnects() > 0 {
+                    stats.completed_after_reconnect += 1;
+                    after_reconnect.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            // Quota rejections cannot happen here (identities are not
+            // greedy-*), so any session error is a real failure.
+            Ok(Err(_)) | Err(_) => stats.errors += 1,
+        }
+        let delta = client.reconnects().saturating_sub(stats.reconnects);
+        if delta > 0 {
+            stats.reconnects = client.reconnects();
+            reconnects_seen.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+    stats
+}
+
+/// The `--failover` mode: drive a replica pair through a leader death
+/// (inflicted externally — the CI step `kill -9`s the leader) and gate
+/// on lossless ride-through.
+fn run_failover(args: &Args) {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    let seed = root_seed_from_env(DEFAULT_ROOT_SEED);
+    println!(
+        "loadgen: failover mode, {} clients against {}{}{} (seed {seed})",
+        args.clients,
+        args.target.label(),
+        if args.quick { ", quick" } else { "" },
+        if args.expect_failover {
+            ", expecting a leader death"
+        } else {
+            ""
+        },
+    );
+    let failover_target = match &args.target {
+        Target::Unix(path) => FailoverTarget::Unix(path.clone()),
+        Target::Tcp(addr) => FailoverTarget::Tcp(addr.clone()),
+    };
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let reconnects_seen = Arc::new(AtomicU64::new(0));
+    let after_reconnect = Arc::new(AtomicU64::new(0));
+    let started = Instant::now();
+    let mut handles = Vec::with_capacity(args.clients);
+    for i in 0..args.clients {
+        let target = failover_target.clone();
+        let stop = Arc::clone(&stop);
+        let reconnects_seen = Arc::clone(&reconnects_seen);
+        let after_reconnect = Arc::clone(&after_reconnect);
+        handles.push(std::thread::spawn(move || {
+            run_failover_tenant(target, i, &stop, &reconnects_seen, &after_reconnect)
+        }));
+    }
+
+    // Run until the gate condition is observable (or a hard cap): when
+    // expecting a failover, keep the load on until at least one session
+    // completed against the promoted leader; otherwise just let every
+    // client clear its floor.
+    let hard_cap = Duration::from_secs(180);
+    loop {
+        std::thread::sleep(Duration::from_millis(100));
+        let satisfied = !args.expect_failover || after_reconnect.load(Ordering::Relaxed) > 0;
+        if (started.elapsed() >= Duration::from_secs(2) && satisfied)
+            || started.elapsed() >= hard_cap
+        {
+            stop.store(true, Ordering::Relaxed);
+            break;
+        }
+    }
+
+    let mut total = FailoverStats::default();
+    for handle in handles {
+        let stats = handle.join().expect("failover tenant thread");
+        total.completed += stats.completed;
+        total.completed_after_reconnect += stats.completed_after_reconnect;
+        total.errors += stats.errors;
+        total.reconnects += stats.reconnects;
+        total.hist.merge(&stats.hist);
+    }
+    let elapsed = started.elapsed();
+
+    let report = JsonValue::object([
+        (
+            "config",
+            JsonValue::object([
+                ("clients", JsonValue::Int(args.clients as i128)),
+                ("target", JsonValue::Str(args.target.label())),
+                ("quick", JsonValue::Bool(args.quick)),
+                ("expect_failover", JsonValue::Bool(args.expect_failover)),
+                ("seed", JsonValue::Int(seed as i128)),
+            ]),
+        ),
+        ("latency", quantiles_json(&total.hist)),
+        (
+            "failover",
+            JsonValue::object([
+                (
+                    "completed_sessions",
+                    JsonValue::Int(total.completed as i128),
+                ),
+                (
+                    "completed_after_reconnect",
+                    JsonValue::Int(total.completed_after_reconnect as i128),
+                ),
+                ("reconnects", JsonValue::Int(total.reconnects as i128)),
+                ("errors", JsonValue::Int(total.errors as i128)),
+                ("elapsed_secs", JsonValue::Num(elapsed.as_secs_f64())),
+            ]),
+        ),
+    ]);
+    std::fs::write(&args.out, report.render_pretty(2)).expect("write BENCH_failover.json");
+
+    println!(
+        "loadgen: failover — {} sessions ({} after reconnect) in {:.1}s, \
+         {} reconnects, {} errors, p50 {:.0}us p95 {:.0}us",
+        total.completed,
+        total.completed_after_reconnect,
+        elapsed.as_secs_f64(),
+        total.reconnects,
+        total.errors,
+        total.hist.quantile_us(0.50),
+        total.hist.quantile_us(0.95),
+    );
+    println!("wrote {}", args.out.display());
+
+    // The failover acceptance gate, asserted in-binary so the CI smoke
+    // step cannot silently pass a broken replica pair.
+    assert!(total.completed > 0, "sessions completed");
+    assert_eq!(
+        total.errors, 0,
+        "no session lost: every submit was answered, across the failover"
+    );
+    if args.expect_failover {
+        assert!(
+            total.reconnects >= 1,
+            "clients reconnected after the leader death"
+        );
+        assert!(
+            total.completed_after_reconnect >= 1,
+            "sessions completed against the promoted leader"
+        );
+    }
+    println!("loadgen: all failover assertions passed");
+}
+
 fn quantiles_json(hist: &LatencyHistogram) -> JsonValue {
     JsonValue::object([
         ("count", JsonValue::Int(hist.count() as i128)),
@@ -237,6 +486,10 @@ fn quantiles_json(hist: &LatencyHistogram) -> JsonValue {
 
 fn main() {
     let args = parse_args();
+    if args.failover {
+        run_failover(&args);
+        return;
+    }
     let seed = root_seed_from_env(DEFAULT_ROOT_SEED);
     println!(
         "loadgen: {} clients against {}{} (seed {seed})",

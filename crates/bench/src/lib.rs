@@ -115,7 +115,7 @@ pub mod rpcload {
     use vaqem_circuit::schedule::DurationModel;
     use vaqem_device::backend::DeviceModel;
     use vaqem_device::drift::DriftModel;
-    use vaqem_device::noise::NoiseParameters;
+    use vaqem_device::noise::{NoiseParameters, QubitNoise};
     use vaqem_fleet_service::{
         ClientQuota, DeviceSpec, FleetServiceConfig, SessionKind, SessionRequest, TenancyConfig,
     };
@@ -201,6 +201,98 @@ pub mod rpcload {
             t_hours,
             params: vec![0.3; problem().num_params()],
             device: None,
+            kind: SessionKind::Dd,
+        }
+    }
+
+    /// The 2-qubit fixture above schedules no idle windows — it stresses
+    /// framing and scheduling, never the config cache. Replication tests
+    /// need *cache traffic* (published entries are what journal shipping
+    /// ships), so this 3-qubit variant schedules real windows.
+    pub const WINDOWED_QUBITS: usize = 3;
+
+    /// The windowed tuning problem (see [`WINDOWED_QUBITS`]).
+    pub fn windowed_problem() -> VqeProblem {
+        let ansatz = EfficientSu2::new(WINDOWED_QUBITS, 1, Entanglement::Linear)
+            .circuit()
+            .expect("ansatz builds");
+        VqeProblem::new(
+            "rpcload_tfim_3q",
+            vaqem_pauli::models::tfim_paper(WINDOWED_QUBITS),
+            ansatz,
+        )
+        .expect("problem builds")
+    }
+
+    /// One windowed fleet device: realistic per-qubit noise plus ZZ
+    /// coupling, so the scheduler finds idle windows worth tuning.
+    pub fn windowed_device(index: usize, seed: u64) -> DeviceSpec {
+        let q = QubitNoise {
+            t1_ns: 120_000.0,
+            t2_ns: 90_000.0,
+            quasi_static_sigma_rad_ns: 2.0e-3,
+            telegraph_rate_per_ns: 2.0e-6,
+            readout_p01: 0.012,
+            readout_p10: 0.025,
+            gate_error_1q: 1.5e-4,
+        };
+        let coupling: Vec<(usize, usize)> = (0..WINDOWED_QUBITS - 1).map(|i| (i, i + 1)).collect();
+        let mut noise = NoiseParameters::from_qubits(vec![q; WINDOWED_QUBITS]);
+        for &(a, b) in &coupling {
+            noise.set_zz(a, b, 1.0e-5);
+        }
+        let name = format!("rpc-windowed-{index}");
+        DeviceSpec {
+            model: DeviceModel::new(
+                &name,
+                WINDOWED_QUBITS,
+                coupling,
+                DurationModel::ibm_default(),
+                noise,
+            ),
+            drift: DriftModel::new(SeedStream::new(seed).substream(&format!("drift-{name}"))),
+            name,
+        }
+    }
+
+    /// Daemon configuration for the windowed fixture: the full tuner
+    /// (real sweeps, guard repeats) over the same store geometry as
+    /// [`service_config`], so a replica opened with either fixture's
+    /// geometry can replay the other's journal.
+    pub fn windowed_service_config(store_dir: std::path::PathBuf) -> FleetServiceConfig {
+        FleetServiceConfig {
+            store_dir,
+            shards: 4,
+            capacity_per_shard: 128,
+            shots: 256,
+            tuner: WindowTunerConfig {
+                sweep_resolution: 3,
+                max_repetitions: 8,
+                guard_repeats: 3,
+                ..Default::default()
+            },
+            profile: WorkloadProfile {
+                num_qubits: WINDOWED_QUBITS,
+                circuit_ns: 12_000.0,
+                iterations: 50,
+                measurement_groups: 2,
+                windows: 8,
+                sweep_resolution: 3,
+                shots: 256,
+            },
+            cost: CostModel::ibm_cloud_2021(),
+            dispatch: BatchDispatch::local(4),
+            tenancy: TenancyConfig::default(),
+        }
+    }
+
+    /// One windowed session request.
+    pub fn windowed_request(t_hours: f64) -> SessionRequest {
+        SessionRequest {
+            client: "loadgen".into(),
+            t_hours,
+            params: vec![0.3; windowed_problem().num_params()],
+            device: Some(0),
             kind: SessionKind::Dd,
         }
     }

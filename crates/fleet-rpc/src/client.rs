@@ -17,6 +17,7 @@ use std::time::Duration;
 use vaqem_fleet_service::{RpcMetricsReport, SessionRequest, SessionResult};
 use vaqem_runtime::persist::Codec;
 use vaqem_runtime::wire::FrameReader;
+use vaqem_runtime::{ShipBatch, ShipCursor};
 
 use crate::wire::{check_preamble, preamble, Frame, PREAMBLE_LEN};
 
@@ -157,6 +158,55 @@ impl RpcClient {
         Ok(token)
     }
 
+    /// Submits a session under a caller-chosen token — the failover
+    /// retry path, where a resubmission on a fresh connection must keep
+    /// the token the original submission promised. The internal token
+    /// counter is bumped past `token` so later [`RpcClient::submit`]
+    /// calls never collide with it.
+    ///
+    /// # Errors
+    ///
+    /// Write failures (e.g. the server force-closed an overloaded
+    /// connection).
+    pub fn submit_with_token(&mut self, token: u64, request: SessionRequest) -> io::Result<()> {
+        self.next_token = self.next_token.max(token + 1);
+        self.send_frame(&Frame::Submit { token, request })
+    }
+
+    /// One replication round-trip: sends a `JournalAck` carrying
+    /// `cursor` (the follower's durable position) and blocks until the
+    /// leader's `JournalShip` arrives, buffering unrelated completions.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure (including read timeout — how a follower notices a
+    /// dead leader) or a malformed reply.
+    pub fn journal_sync(&mut self, cursor: ShipCursor) -> io::Result<ShipBatch> {
+        self.send_frame(&Frame::JournalAck { cursor })?;
+        loop {
+            match self.read_reply()? {
+                Frame::JournalShip {
+                    cursor,
+                    snapshot,
+                    payload,
+                } => {
+                    return Ok(ShipBatch {
+                        snapshot,
+                        cursor,
+                        payload,
+                    })
+                }
+                Frame::Outcome { token: t, outcome } => {
+                    self.pending.insert(t, Ok(outcome));
+                }
+                Frame::Error { token: t, error } => {
+                    self.pending.insert(t, Err(error));
+                }
+                other => self.stray.push(other),
+            }
+        }
+    }
+
     /// Blocks until the session behind `token` completes, buffering any
     /// other tokens' results that arrive first.
     ///
@@ -268,6 +318,14 @@ impl RpcClient {
                 Err(e) => return Err(e),
             }
         }
+    }
+
+    /// Drains every completion this client has buffered while waiting
+    /// for other tokens — harvested by the failover wrapper before it
+    /// abandons a dead connection, so results that already arrived are
+    /// never re-run.
+    pub(crate) fn take_buffered(&mut self) -> Vec<(u64, SessionResult)> {
+        self.pending.drain().collect()
     }
 
     /// Writes raw bytes to the connection — a test hook for torn,

@@ -23,6 +23,13 @@
 //! - [`client`] — a small blocking client used by the `loadgen`
 //!   harness and the integration tests.
 //!
+//! Plus the availability layer on top: [`failover`] wraps the client in
+//! reconnect-with-backoff so sessions in flight when a leader daemon
+//! dies are resubmitted (same tokens) against the follower that
+//! promotes onto the same address, and the wire grammar carries the
+//! replication pair (`JournalAck`/`JournalShip`) a follower uses to
+//! stream the leader's journal.
+//!
 //! ```no_run
 //! use vaqem_fleet_rpc::client::RpcClient;
 //! # fn main() -> std::io::Result<()> {
@@ -35,9 +42,11 @@
 #![deny(missing_docs)]
 
 pub mod client;
+pub mod failover;
 pub mod server;
 pub mod wire;
 
 pub use client::RpcClient;
+pub use failover::{FailoverClient, FailoverTarget, ReconnectPolicy};
 pub use server::{RpcListener, RpcServer, RpcServerConfig};
 pub use wire::{check_preamble, preamble, Frame, PreambleError, MAGIC, PREAMBLE_LEN, VERSION};

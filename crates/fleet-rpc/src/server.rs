@@ -47,6 +47,7 @@ use vaqem_fleet_service::{
 };
 use vaqem_runtime::persist::Codec;
 use vaqem_runtime::wire::FrameReader;
+use vaqem_runtime::ShipBatch;
 
 use crate::wire::{check_preamble, preamble, Frame, PREAMBLE_LEN};
 
@@ -216,6 +217,10 @@ struct ConnState {
     in_flight: u64,
     /// Results (outcomes or errors) delivered on this connection.
     completed: u64,
+    /// Whether this connection subscribed as a replication follower (it
+    /// sent at least one `JournalAck`); its hang-up must tell the
+    /// reactor to drop the follower's cursor.
+    replica: bool,
 }
 
 /// The VQRP protocol driver: implements
@@ -338,6 +343,12 @@ impl ConnDriver {
                 );
             }
             Frame::Metrics { token } => actions.push(DriverAction::Metrics { conn, token }),
+            Frame::JournalAck { cursor } => {
+                if let Some(state) = self.conns.get_mut(&conn) {
+                    state.replica = true;
+                }
+                actions.push(DriverAction::ReplicaAck { conn, cursor });
+            }
             Frame::Shutdown => {
                 self.send_frame(conn, &Frame::ShutdownAck);
                 // Close after the ack flushes; the HungUp the pump
@@ -351,7 +362,8 @@ impl ConnDriver {
             | Frame::Error { .. }
             | Frame::PollReply { .. }
             | Frame::MetricsReply { .. }
-            | Frame::ShutdownAck => self.decode_error(conn),
+            | Frame::ShutdownAck
+            | Frame::JournalShip { .. } => self.decode_error(conn),
         }
     }
 
@@ -430,6 +442,7 @@ impl SocketDriver for ConnDriver {
                         gauge,
                         in_flight: 0,
                         completed: 0,
+                        replica: false,
                     },
                 );
                 // The server announces itself first; the client may
@@ -440,9 +453,12 @@ impl SocketDriver for ConnDriver {
                 self.handle_readable(conn, bytes, &mut actions)
             }
             SocketEvent::HungUp { conn } => {
-                if self.conns.remove(&conn).is_some() {
+                if let Some(state) = self.conns.remove(&conn) {
                     self.counters.connections_open -= 1;
                     self.counters.connections_closed += 1;
+                    if state.replica {
+                        actions.push(DriverAction::ReplicaGone { conn });
+                    }
                 }
                 // In-flight sessions of this connection keep running;
                 // their results arrive at `on_result` and are dropped
@@ -478,6 +494,17 @@ impl SocketDriver for ConnDriver {
                 token,
                 rpc: report.rpc,
                 report_json: report.to_json().render(),
+            },
+        );
+    }
+
+    fn on_ship(&mut self, conn: u64, batch: &ShipBatch) {
+        self.send_frame(
+            conn,
+            &Frame::JournalShip {
+                cursor: batch.cursor,
+                snapshot: batch.snapshot,
+                payload: batch.payload.clone(),
             },
         );
     }
@@ -536,6 +563,46 @@ impl ConnIo {
 /// peer from starving the rest of the poll loop.
 const READ_BUDGET_PER_PASS: usize = 256 << 10;
 
+/// Adaptive idle sleep for the std-only poll pump.
+///
+/// A fixed 300µs idle sleep burns a measurable fraction of a core on a
+/// quiet daemon — and a replica pair doubles the daemons, so the spin
+/// doubles too. Instead the sleep starts at [`IdleBackoff::FLOOR`] and
+/// doubles per consecutive idle pass up to [`IdleBackoff::CEILING`],
+/// snapping back to the floor the moment any pass does work: an active
+/// server keeps the 300µs responsiveness, an idle one converges to a
+/// 5ms doze (≥ 16× fewer wakeups).
+#[derive(Debug)]
+pub(crate) struct IdleBackoff {
+    current: Duration,
+}
+
+impl IdleBackoff {
+    /// First idle sleep after activity — the old fixed granularity.
+    pub(crate) const FLOOR: Duration = Duration::from_micros(300);
+    /// Idle sleep cap: long enough to stop spinning, short enough that
+    /// a first frame after a quiet spell waits at most ~5ms.
+    pub(crate) const CEILING: Duration = Duration::from_millis(5);
+
+    pub(crate) fn new() -> Self {
+        IdleBackoff {
+            current: Self::FLOOR,
+        }
+    }
+
+    /// Called once per pump pass: returns how long to sleep (`None`
+    /// after an active pass, which also resets the backoff).
+    pub(crate) fn after(&mut self, active: bool) -> Option<Duration> {
+        if active {
+            self.current = Self::FLOOR;
+            return None;
+        }
+        let sleep = self.current;
+        self.current = (self.current * 2).min(Self::CEILING);
+        Some(sleep)
+    }
+}
+
 /// The pump thread body: nonblocking accept/read/write over every
 /// connection, forwarding semantic events to the reactor and executing
 /// the driver's commands. Exits when told to [`PumpCommand::Stop`], when
@@ -550,6 +617,7 @@ fn pump_loop(
     let mut next_conn: u64 = 1;
     let mut read_buf = vec![0u8; 64 << 10];
     let mut hangups: Vec<u64> = Vec::new();
+    let mut backoff = IdleBackoff::new();
     loop {
         let mut active = false;
         // 1. Driver commands.
@@ -667,10 +735,12 @@ fn pump_loop(
                 }
             }
         }
-        // 5. Idle backoff: short enough that session latency stays
-        // dominated by tuning work, long enough to not spin a core.
-        if !active {
-            std::thread::sleep(Duration::from_micros(300));
+        // 5. Adaptive idle backoff: 300µs responsiveness while traffic
+        // flows, doubling toward a 5ms doze across consecutive idle
+        // passes so a quiet daemon (or a replica pair of them) doesn't
+        // spin cores.
+        if let Some(sleep) = backoff.after(active) {
+            std::thread::sleep(sleep);
         }
     }
 }
@@ -745,5 +815,28 @@ impl RpcServer {
 impl Drop for RpcServer {
     fn drop(&mut self) {
         self.stop_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_backoff_doubles_to_ceiling_and_resets_on_activity() {
+        let mut backoff = IdleBackoff::new();
+        // Consecutive idle passes: 300µs, 600µs, 1.2ms, 2.4ms, 4.8ms,
+        // then pinned at the 5ms ceiling.
+        let expected = [300u64, 600, 1_200, 2_400, 4_800, 5_000, 5_000];
+        for (pass, &micros) in expected.iter().enumerate() {
+            assert_eq!(
+                backoff.after(false),
+                Some(Duration::from_micros(micros)),
+                "idle pass {pass}"
+            );
+        }
+        // One active pass: no sleep, and the backoff snaps to the floor.
+        assert_eq!(backoff.after(true), None);
+        assert_eq!(backoff.after(false), Some(IdleBackoff::FLOOR));
     }
 }

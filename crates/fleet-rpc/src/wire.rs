@@ -12,13 +12,21 @@
 //! fleet daemon's own types, serialized verbatim — the remote API *is*
 //! the in-process API.
 //!
-//! Client-to-server tags occupy `0x01..=0x05`, server-to-client tags
-//! `0x81..=0x86`; a server receiving a reply tag (or vice versa) treats
+//! Client-to-server tags occupy `0x01..=0x06`, server-to-client tags
+//! `0x81..=0x87`; a server receiving a reply tag (or vice versa) treats
 //! it as a decode error and drops the connection. Unknown tags and torn
 //! bodies decode to `None`, never panic — sockets deliver hostile bytes.
+//!
+//! The replication pair rides the same grammar: a follower daemon
+//! connects as an ordinary client and sends [`Frame::JournalAck`] (its
+//! durable [`ShipCursor`]); the leader answers with
+//! [`Frame::JournalShip`], whose payload is the byte-exact journal
+//! slice (or snapshot body) `DurableStore::ship_since` produced — the
+//! disk, wire, and replication formats are one discipline.
 
 use vaqem_fleet_service::{RpcMetricsReport, SessionError, SessionOutcome, SessionRequest};
 use vaqem_runtime::persist::Codec;
+use vaqem_runtime::ShipCursor;
 
 /// The connection magic: the first four bytes either side sends.
 pub const MAGIC: [u8; 4] = *b"VQRP";
@@ -115,6 +123,14 @@ pub enum Frame {
     /// Client → server: goodbye — the server acks and closes this
     /// connection once the ack has flushed.
     Shutdown,
+    /// Follower → leader: "my store durably holds everything up to this
+    /// cursor — ship me what's next." The first ack on a connection
+    /// subscribes it as a replication follower; `ShipCursor::default()`
+    /// (generation 0, offset 0) requests a snapshot bootstrap.
+    JournalAck {
+        /// The follower's durable replication cursor.
+        cursor: ShipCursor,
+    },
     /// Server → client: identity bound, echoing the accepted label.
     OpenAck {
         /// The bound client label.
@@ -157,6 +173,18 @@ pub enum Frame {
     /// Server → client: goodbye acknowledged; the connection closes
     /// after this frame.
     ShutdownAck,
+    /// Leader → follower: answer to [`Frame::JournalAck`] — one
+    /// shipment of journal bytes (or a snapshot body), exactly the
+    /// `ShipBatch` the leader's `DurableStore::ship_since` produced.
+    JournalShip {
+        /// Where the follower stands after durably applying `payload`.
+        cursor: ShipCursor,
+        /// `true`: `payload` is a full snapshot body; `false`: raw
+        /// framed journal records.
+        snapshot: bool,
+        /// The bytes to apply — possibly empty (already caught up).
+        payload: Vec<u8>,
+    },
 }
 
 fn encode_rpc_metrics(m: &RpcMetricsReport, out: &mut Vec<u8>) {
@@ -211,6 +239,11 @@ impl Codec for Frame {
                 token.encode(out);
             }
             Frame::Shutdown => 0x05u8.encode(out),
+            Frame::JournalAck { cursor } => {
+                0x06u8.encode(out);
+                cursor.generation.encode(out);
+                cursor.offset.encode(out);
+            }
             Frame::OpenAck { client } => {
                 0x81u8.encode(out);
                 client.encode(out);
@@ -244,6 +277,17 @@ impl Codec for Frame {
                 report_json.encode(out);
             }
             Frame::ShutdownAck => 0x86u8.encode(out),
+            Frame::JournalShip {
+                cursor,
+                snapshot,
+                payload,
+            } => {
+                0x87u8.encode(out);
+                cursor.generation.encode(out);
+                cursor.offset.encode(out);
+                snapshot.encode(out);
+                payload.encode(out);
+            }
         }
     }
 
@@ -261,6 +305,12 @@ impl Codec for Frame {
                 token: u64::decode(input)?,
             },
             0x05 => Frame::Shutdown,
+            0x06 => Frame::JournalAck {
+                cursor: ShipCursor {
+                    generation: u64::decode(input)?,
+                    offset: u64::decode(input)?,
+                },
+            },
             0x81 => Frame::OpenAck {
                 client: String::decode(input)?,
             },
@@ -282,6 +332,14 @@ impl Codec for Frame {
                 report_json: String::decode(input)?,
             },
             0x86 => Frame::ShutdownAck,
+            0x87 => Frame::JournalShip {
+                cursor: ShipCursor {
+                    generation: u64::decode(input)?,
+                    offset: u64::decode(input)?,
+                },
+                snapshot: bool::decode(input)?,
+                payload: Vec::<u8>::decode(input)?,
+            },
             _ => return None,
         })
     }
@@ -298,6 +356,7 @@ impl Frame {
                 | Frame::Poll
                 | Frame::Metrics { .. }
                 | Frame::Shutdown
+                | Frame::JournalAck { .. }
         )
     }
 
@@ -347,6 +406,28 @@ mod tests {
                 completed: 17,
             },
             Frame::ShutdownAck,
+            Frame::JournalAck {
+                cursor: ShipCursor {
+                    generation: 3,
+                    offset: 712,
+                },
+            },
+            Frame::JournalShip {
+                cursor: ShipCursor {
+                    generation: 3,
+                    offset: 900,
+                },
+                snapshot: false,
+                payload: vec![1, 2, 3, 4, 5],
+            },
+            Frame::JournalShip {
+                cursor: ShipCursor {
+                    generation: 4,
+                    offset: 8,
+                },
+                snapshot: true,
+                payload: Vec::new(),
+            },
         ] {
             let mut bytes = Vec::new();
             f.encode(&mut bytes);
@@ -365,11 +446,28 @@ mod tests {
 
     #[test]
     fn truncated_bodies_are_refused() {
-        let f = Frame::Metrics { token: 77 };
-        let mut bytes = Vec::new();
-        f.encode(&mut bytes);
-        for cut in 0..bytes.len() {
-            assert_eq!(Frame::decode(&mut &bytes[..cut]), None, "cut at {cut}");
+        for f in [
+            Frame::Metrics { token: 77 },
+            Frame::JournalAck {
+                cursor: ShipCursor {
+                    generation: 2,
+                    offset: 4096,
+                },
+            },
+            Frame::JournalShip {
+                cursor: ShipCursor {
+                    generation: 2,
+                    offset: 4200,
+                },
+                snapshot: false,
+                payload: vec![7; 32],
+            },
+        ] {
+            let mut bytes = Vec::new();
+            f.encode(&mut bytes);
+            for cut in 0..bytes.len() {
+                assert_eq!(Frame::decode(&mut &bytes[..cut]), None, "cut at {cut}");
+            }
         }
     }
 }

@@ -34,7 +34,7 @@
 //! by pool size (at most one in-flight session per device, at most
 //! `workers` fleet-wide).
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::Ordering;
 use std::sync::mpsc::{Receiver, Sender};
@@ -45,6 +45,7 @@ use vaqem_runtime::cache::CacheMetrics;
 use vaqem_runtime::json::JsonValue;
 use vaqem_runtime::store::ShardMetrics;
 use vaqem_runtime::DrrLaneSnapshot;
+use vaqem_runtime::ShipCursor;
 
 use crate::daemon::{run_session, ServiceShared, SessionError, SessionRequest, SessionResult};
 use crate::fairness::DeviceArbiter;
@@ -153,6 +154,12 @@ pub struct EventCounters {
     /// Socket events (accept/read/hang-up) folded into the queue by the
     /// RPC pump thread (0 without an attached front-end).
     pub socket_events: u64,
+    /// Journal shipments produced for replication followers (0 without
+    /// a subscribed follower).
+    pub journal_ships: u64,
+    /// Session replies held back until a follower's acked cursor
+    /// covered their store mutations — the acknowledged-durable gate.
+    pub replies_gated: u64,
 }
 
 /// One device's scheduling state as seen by the reactor.
@@ -251,6 +258,8 @@ impl FleetMetricsReport {
                     ("compaction_errors", JsonValue::from(e.compaction_errors)),
                     ("quota_rejections", JsonValue::from(e.quota_rejections)),
                     ("socket_events", JsonValue::from(e.socket_events)),
+                    ("journal_ships", JsonValue::from(e.journal_ships)),
+                    ("replies_gated", JsonValue::from(e.replies_gated)),
                 ]),
             ),
             (
@@ -339,7 +348,8 @@ impl fmt::Display for FleetMetricsReport {
         writeln!(
             f,
             "  events: {} arrivals, {} completions, {} recalibrations, {} ticks \
-             ({} compactions, {} failed), {} quota rejections, {} socket events",
+             ({} compactions, {} failed), {} quota rejections, {} socket events, \
+             {} journal ships, {} replies gated",
             e.arrivals,
             e.completions,
             e.recalibrations,
@@ -347,7 +357,9 @@ impl fmt::Display for FleetMetricsReport {
             e.compactions,
             e.compaction_errors,
             e.quota_rejections,
-            e.socket_events
+            e.socket_events,
+            e.journal_ships,
+            e.replies_gated
         )?;
         let r = &self.rpc;
         writeln!(
@@ -479,6 +491,13 @@ struct Reactor {
     draining: bool,
     /// The attached transport protocol driver, if any.
     driver: Option<Box<dyn SocketDriver>>,
+    /// Replication followers by connection id → the durable cursor each
+    /// last acked (monotone max — reordered acks cannot regress it).
+    followers: HashMap<u64, ShipCursor>,
+    /// Replies held until the follower watermark (min acked cursor)
+    /// covers the store cursor sampled at their completion. Cursors are
+    /// monotone in completion order, so only the front can release.
+    gated: VecDeque<(ShipCursor, Reply, SessionResult)>,
 }
 
 impl Reactor {
@@ -542,11 +561,66 @@ impl Reactor {
                                 driver.on_metrics(conn, token, &report);
                             }
                         }
+                        DriverAction::ReplicaAck { conn, cursor } => {
+                            self.handle_replica_ack(conn, cursor);
+                        }
+                        DriverAction::ReplicaGone { conn } => {
+                            self.followers.remove(&conn);
+                            // Last follower gone: degrade to
+                            // single-process durability — everything
+                            // journaled locally is as durable as it gets.
+                            self.release_covered();
+                        }
                     }
                 }
             }
             Event::AttachDriver(driver) => self.driver = Some(driver),
-            Event::Shutdown => self.draining = true,
+            Event::Shutdown => {
+                self.draining = true;
+                // Shutdown checkpoints the store before the process
+                // exits; gated replies are locally durable by then, and
+                // holding them would deadlock the drain.
+                let gated: Vec<_> = self.gated.drain(..).collect();
+                for (_, reply, result) in gated {
+                    self.answer(reply, result);
+                }
+            }
+        }
+    }
+
+    /// Records a follower's durable cursor (monotone max — duplicate and
+    /// reordered acks are no-ops), releases every gated reply the new
+    /// follower watermark covers, and ships the follower its next batch.
+    fn handle_replica_ack(&mut self, conn: u64, cursor: ShipCursor) {
+        let entry = self.followers.entry(conn).or_default();
+        if cursor > *entry {
+            *entry = cursor;
+        }
+        let acked = *entry;
+        self.release_covered();
+        if let Ok(batch) = self.shared.store.ship_since(acked) {
+            self.counters.journal_ships += 1;
+            if let Some(driver) = self.driver.as_mut() {
+                driver.on_ship(conn, &batch);
+            }
+        }
+    }
+
+    /// Releases gated replies from the front while the follower
+    /// watermark (min acked cursor) covers them — or all of them when no
+    /// follower remains subscribed.
+    fn release_covered(&mut self) {
+        let watermark = self.followers.values().copied().min();
+        while let Some((point, _, _)) = self.gated.front() {
+            let covered = match watermark {
+                Some(w) => w.covers(*point),
+                None => true,
+            };
+            if !covered {
+                break;
+            }
+            let (_, reply, result) = self.gated.pop_front().expect("front exists");
+            self.answer(reply, result);
         }
     }
 
@@ -629,8 +703,18 @@ impl Reactor {
             self.completions_since_tick = 0;
             self.queue.push_back(Event::CheckpointTick);
         }
-        // Accounting settled above; only now does the submitter hear.
-        self.answer(report.reply, report.result);
+        // Accounting settled above; only now does the submitter hear —
+        // and with a replication follower subscribed, not before the
+        // follower's acked cursor covers this session's store mutations:
+        // an *acknowledged* result is always replicated, so a leader
+        // kill after the client heard back can never lose it.
+        if self.followers.is_empty() {
+            self.answer(report.reply, report.result);
+        } else {
+            let point = self.shared.store.ship_cursor();
+            self.counters.replies_gated += 1;
+            self.gated.push_back((point, report.reply, report.result));
+        }
         self.pump();
     }
 
@@ -781,6 +865,8 @@ pub(crate) fn reactor_loop(
         completions_since_tick: 0,
         draining: false,
         driver: None,
+        followers: HashMap::new(),
+        gated: VecDeque::new(),
         shared: Arc::clone(&shared),
     };
     loop {

@@ -31,6 +31,7 @@
 use crate::daemon::{SessionRequest, SessionResult};
 use crate::reactor::FleetMetricsReport;
 use vaqem_runtime::json::JsonValue;
+use vaqem_runtime::{ShipBatch, ShipCursor};
 
 /// What the pump thread observed on a connection. Connection ids are
 /// assigned by the pump and never reused within a server's lifetime.
@@ -85,6 +86,26 @@ pub enum DriverAction {
         conn: u64,
         /// Correlation token, echoed with the reply.
         token: u64,
+    },
+    /// A replication follower acknowledged its durable cursor (a
+    /// `JournalAck` frame). The reactor records the cursor, releases any
+    /// session replies it now covers, produces the next shipment from
+    /// the durable store, and hands it back through
+    /// [`SocketDriver::on_ship`]. The first ack on a connection
+    /// subscribes it as a follower.
+    ReplicaAck {
+        /// Connection the ack arrived on.
+        conn: u64,
+        /// The follower's durable replication cursor.
+        cursor: ShipCursor,
+    },
+    /// A connection that had subscribed as a replication follower hung
+    /// up. The reactor drops its cursor; when no followers remain, all
+    /// gated replies release (the fleet degrades to single-process
+    /// durability).
+    ReplicaGone {
+        /// The departed follower's connection.
+        conn: u64,
     },
 }
 
@@ -170,6 +191,13 @@ pub trait SocketDriver: Send {
     /// Delivers the snapshot a [`DriverAction::Metrics`] asked for. The
     /// report already embeds this driver's own [`RpcMetricsReport`].
     fn on_metrics(&mut self, conn: u64, token: u64, report: &FleetMetricsReport);
+
+    /// Delivers the journal shipment a [`DriverAction::ReplicaAck`]
+    /// asked for (a `JournalShip` frame on the wire). Default: dropped —
+    /// transports that don't speak replication need no change.
+    fn on_ship(&mut self, conn: u64, batch: &ShipBatch) {
+        let _ = (conn, batch);
+    }
 
     /// The driver's aggregate counters, embedded in every metrics
     /// report the reactor produces.

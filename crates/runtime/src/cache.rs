@@ -184,6 +184,13 @@ impl<F: Hash + Eq + Clone, V> ConfigStore<F, V> {
         self.metrics = CacheMetrics::default();
     }
 
+    /// Drops every entry without touching the traffic counters — a
+    /// replication snapshot install, not client traffic (the same
+    /// exemption recovery inserts get).
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+
     fn key(device: &str, epoch: u64, fingerprint: F) -> StoreKey<F> {
         StoreKey {
             device: device.to_string(),

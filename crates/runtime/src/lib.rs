@@ -4,7 +4,7 @@
 //! about executing the feasible flow at fleet scale that is not quantum
 //! mechanics.
 //!
-//! Eight modules:
+//! Nine modules:
 //!
 //! * [`cost`] — the execution-cost model standing in for the paper's
 //!   Qiskit Runtime measurements (§VI-A, §VIII-D, Fig. 15): per-job
@@ -40,6 +40,10 @@
 //! * [`latency`] — [`latency::LatencyHistogram`], the fixed-footprint
 //!   log-bucketed histogram the load generator reads p50/p95/p99
 //!   session latencies from.
+//! * [`ring`] — [`ring::HashRing`], consistent-hash device ownership
+//!   for the multi-process replicated fleet: the same FNV-1a routing
+//!   discipline as [`store::ShardedStore`], lifted from shards within a
+//!   process to daemon instances across processes.
 //!
 //! Together they answer the question the per-circuit crates cannot: what
 //! does a *repeated, shared* workload cost, and how much of the paper's
@@ -98,6 +102,7 @@ pub mod fleet;
 pub mod json;
 pub mod latency;
 pub mod persist;
+pub mod ring;
 pub mod store;
 pub mod wire;
 
@@ -111,6 +116,7 @@ pub use fleet::{
 };
 pub use json::JsonValue;
 pub use latency::LatencyHistogram;
-pub use persist::{Codec, CompactionPolicy, DurableStore, RecoveryReport};
+pub use persist::{Codec, CompactionPolicy, DurableStore, RecoveryReport, ShipBatch, ShipCursor};
+pub use ring::HashRing;
 pub use store::{ShardMetrics, ShardedStore, StoreBackend};
 pub use wire::{frame, FrameError, FrameReader};

@@ -357,11 +357,17 @@ impl<F: Codec, V: Codec> JournalRecord<F, V> {
     }
 }
 
+/// Length of the journal file header (magic + `u32` version).
+const JOURNAL_HEADER_LEN: u64 = 8;
+
 /// The append side of the journal.
 #[derive(Debug)]
 struct JournalWriter {
     file: File,
     records: u64,
+    /// Current journal file length in bytes, header included — the
+    /// replication shipping offset (see [`ShipCursor`]).
+    bytes: u64,
 }
 
 impl JournalWriter {
@@ -372,8 +378,58 @@ impl JournalWriter {
         self.file.write_all(&framed)?;
         self.file.flush()?;
         self.records += 1;
+        self.bytes += framed.len() as u64;
         Ok(())
     }
+}
+
+/// A replication position in a leader's journal: which journal
+/// *incarnation* (`generation` — bumped by every checkpoint, which
+/// truncates and recreates the journal file) and how many bytes of it
+/// (header included) a follower has durably applied.
+///
+/// Cursors order lexicographically — generation first, then offset — and
+/// [`ShipCursor::covers`] is exactly that order: a follower sitting at a
+/// *later* generation has applied a full snapshot taken at-or-after any
+/// point in an earlier generation, so generation-crossing comparisons are
+/// safe.
+///
+/// `ShipCursor::default()` — generation 0, offset 0 — matches no live
+/// journal and therefore always provokes a snapshot bootstrap from
+/// [`DurableStore::ship_since`]: the canonical "I have nothing" ack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct ShipCursor {
+    /// Journal incarnation: starts at 1 on open, +1 per checkpoint.
+    pub generation: u64,
+    /// Bytes of that incarnation's journal file applied (the 8-byte
+    /// header counts, so a freshly-bootstrapped follower sits at 8).
+    pub offset: u64,
+}
+
+impl ShipCursor {
+    /// Whether this cursor has durably applied everything up to `point`.
+    pub fn covers(&self, point: ShipCursor) -> bool {
+        *self >= point
+    }
+}
+
+/// One leader→follower shipment produced by [`DurableStore::ship_since`].
+///
+/// The payload is either a byte-exact slice of the on-disk journal
+/// (`snapshot == false` — the same `u32`-framed records
+/// [`DurableStore::open`] replays) or a full snapshot body
+/// (`snapshot == true` — the same bytes [`DurableStore::checkpoint`]
+/// writes). One serialization discipline for disk, wire, and
+/// replication.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShipBatch {
+    /// `true`: `payload` is a full snapshot body (magic + version +
+    /// entries); `false`: `payload` is raw framed journal records.
+    pub snapshot: bool,
+    /// Where a follower stands after durably applying `payload`.
+    pub cursor: ShipCursor,
+    /// The bytes to apply — possibly empty (follower already caught up).
+    pub payload: Vec<u8>,
 }
 
 /// When a [`DurableStore`] compacts its journal into a snapshot on its
@@ -465,6 +521,10 @@ pub struct DurableStore<F, V> {
     dir: PathBuf,
     recovery: RecoveryReport,
     journal_write_errors: AtomicU64,
+    /// Journal incarnation counter for replication cursors; bumped by
+    /// every checkpoint. Only ever written under the journal lock — the
+    /// atomic is for lock-free reads in metrics paths.
+    generation: AtomicU64,
 }
 
 impl<F, V> DurableStore<F, V>
@@ -499,6 +559,7 @@ where
 
         let journal_path = dir.join(JOURNAL_FILE);
         let mut journal_upgraded = false;
+        let mut journal_bytes = JOURNAL_HEADER_LEN;
         if journal_path.exists() {
             let mut bytes = Vec::new();
             File::open(&journal_path)?.read_to_end(&mut bytes)?;
@@ -559,6 +620,7 @@ where
                 file.set_len(valid_len as u64)?;
                 file.sync_all()?;
             }
+            journal_bytes = valid_len as u64;
         } else {
             let mut file = File::create(&journal_path)?;
             file.write_all(&JOURNAL_MAGIC)?;
@@ -575,10 +637,12 @@ where
             journal: Mutex::new(JournalWriter {
                 file,
                 records: recovery.journal_records as u64,
+                bytes: journal_bytes,
             }),
             dir: dir.to_path_buf(),
             recovery,
             journal_write_errors: AtomicU64::new(0),
+            generation: AtomicU64::new(1),
         };
         if journal_upgraded {
             // Old-format journal: compact immediately so every on-disk
@@ -715,8 +779,140 @@ where
         FORMAT_VERSION.encode(&mut v);
         file.write_all(&v)?;
         file.flush()?;
-        *journal = JournalWriter { file, records: 0 };
+        *journal = JournalWriter {
+            file,
+            records: 0,
+            bytes: JOURNAL_HEADER_LEN,
+        };
+        // New journal incarnation: replication cursors into the old file
+        // are dead, so followers behind them get a snapshot bootstrap.
+        self.generation.fetch_add(1, Ordering::Relaxed);
         Ok(())
+    }
+
+    /// The store's current replication position: everything a follower
+    /// must durably hold to have applied every mutation so far.
+    pub fn ship_cursor(&self) -> ShipCursor {
+        let journal = self.journal.lock().expect("journal lock");
+        ShipCursor {
+            generation: self.generation.load(Ordering::Relaxed),
+            offset: journal.bytes,
+        }
+    }
+
+    /// Produces the next leader→follower shipment for a follower that
+    /// has durably applied up to `acked`.
+    ///
+    /// When `acked` points into the live journal incarnation, the
+    /// payload is the byte-exact on-disk journal slice from that offset
+    /// to the current end (possibly empty — caught up). Any other
+    /// cursor — the `(0, 0)` bootstrap ack, a cursor from a compacted
+    /// generation, or an offset past the end (a foreign journal) — gets
+    /// a full snapshot body instead.
+    ///
+    /// # Errors
+    ///
+    /// Journal file read failures.
+    pub fn ship_since(&self, acked: ShipCursor) -> io::Result<ShipBatch> {
+        use std::io::{Seek, SeekFrom};
+        let journal = self.journal.lock().expect("journal lock");
+        let cursor = ShipCursor {
+            generation: self.generation.load(Ordering::Relaxed),
+            offset: journal.bytes,
+        };
+        let live = acked.generation == cursor.generation
+            && acked.offset >= JOURNAL_HEADER_LEN
+            && acked.offset <= cursor.offset;
+        if live {
+            let mut file = File::open(self.dir.join(JOURNAL_FILE))?;
+            file.seek(SeekFrom::Start(acked.offset))?;
+            let mut payload = vec![0u8; (cursor.offset - acked.offset) as usize];
+            file.read_exact(&mut payload)?;
+            Ok(ShipBatch {
+                snapshot: false,
+                cursor,
+                payload,
+            })
+        } else {
+            // Journal lock is already held, so export_entries (shard
+            // locks) follows the journal→shard order every mutation
+            // path uses.
+            Ok(ShipBatch {
+                snapshot: true,
+                cursor,
+                payload: encode_entries(&self.store.export_entries()),
+            })
+        }
+    }
+
+    /// Applies one shipment to this (follower) store and returns the
+    /// number of entries or records applied.
+    ///
+    /// Snapshot shipments replace the whole store contents and
+    /// checkpoint immediately, so the follower's own on-disk state is a
+    /// faithful restart point. Record shipments replay each journal
+    /// record through the store's own journaled mutation paths — a
+    /// follower's local journal therefore re-records everything it
+    /// applies, and promotion is a plain [`DurableStore::open`] of the
+    /// follower's directory.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` when the payload is torn or malformed (a follower
+    /// should re-ack `ShipCursor::default()` to force a snapshot
+    /// resync); checkpoint I/O errors on the snapshot path.
+    pub fn apply_ship(&self, batch: &ShipBatch) -> io::Result<usize> {
+        if batch.snapshot {
+            let entries = decode_entries::<F, V>(&batch.payload)?;
+            let count = entries.len();
+            self.store.clear_all();
+            for (device, epoch, fp, value) in entries {
+                self.store.insert(&device, epoch, fp, value);
+            }
+            // Compact immediately: the follower's snapshot now equals
+            // the leader's shipped state and its journal is empty.
+            self.checkpoint()?;
+            Ok(count)
+        } else {
+            let mut input = batch.payload.as_slice();
+            let mut applied = 0usize;
+            while !input.is_empty() {
+                let record = (|| {
+                    let len = u32::decode(&mut input)? as usize;
+                    let payload = take(&mut input, len)?;
+                    JournalRecord::<F, V>::decode_payload(payload, FORMAT_VERSION)
+                })();
+                let Some(record) = record else {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "torn or malformed shipped journal record",
+                    ));
+                };
+                match record {
+                    JournalRecord::Insert {
+                        device,
+                        epoch,
+                        fingerprint,
+                        value,
+                    } => self.insert(&device, epoch, fingerprint, value),
+                    JournalRecord::Remove {
+                        device,
+                        epoch,
+                        fingerprint,
+                    } => {
+                        self.remove(&device, epoch, &fingerprint);
+                    }
+                    JournalRecord::InvalidateBefore { device, epoch } => {
+                        self.invalidate_before(&device, epoch);
+                    }
+                    JournalRecord::InvalidateAllBefore { epoch } => {
+                        self.invalidate_all_before(epoch);
+                    }
+                }
+                applied += 1;
+            }
+            Ok(applied)
+        }
     }
 
     /// Checkpoints if (and only if) `policy` says the journal has grown

@@ -1,0 +1,176 @@
+//! Consistent-hash device ownership for a multi-process fleet.
+//!
+//! A replicated fleet partitions its devices across N daemon instances.
+//! The assignment must be:
+//!
+//! * **deterministic across processes** — every daemon, and every
+//!   client, computes the same owner for a device from nothing but the
+//!   instance list, with no coordination;
+//! * **stable under membership change** — when an instance joins or
+//!   leaves, only ~1/N of the devices move; everything else keeps its
+//!   owner (and therefore its warm cache);
+//! * **consistent with the in-process discipline** — the hash is the
+//!   same FNV-1a the [`crate::store::ShardedStore`] uses to route
+//!   devices to shards, so a one-instance ring agrees with a one-shard
+//!   store: everything routes to the single slot.
+//!
+//! [`HashRing`] is the classic virtual-node construction: each instance
+//! contributes [`VNODES_PER_INSTANCE`] points at
+//! `spread(fnv1a("{instance}#{vnode}"))` on the `u64` ring, and a
+//! device is owned by the first point clockwise from
+//! `spread(fnv1a(device))` (wrapping). Ties on a ring point
+//! (astronomically unlikely, but cheap to make deterministic) resolve
+//! to the lexicographically smallest instance name.
+//!
+//! The `spread` finalizer matters: FNV-1a's final-byte avalanche only
+//! reaches the low ~48 bits (one multiply by the prime `2^40 + 2^8 +
+//! 0xb3`), so vnode points that differ only in their `#{vnode}` suffix
+//! share their high bits and clump into one arc — an instance would own
+//! one contiguous sliver instead of 64 scattered ones. `ShardedStore`
+//! is immune (it routes on `fnv1a % shards`, the well-mixed low bits);
+//! the ring orders on the *full* word, so it runs the raw FNV value
+//! through a SplitMix64-style finalizer first. Still a pure
+//! deterministic function of the name — cross-process agreement holds.
+//!
+//! ```
+//! use vaqem_runtime::ring::HashRing;
+//!
+//! let ring = HashRing::new(["alpha", "beta", "gamma"]);
+//! let owner = ring.owner("rpc-fleet-3").unwrap();
+//! assert!(["alpha", "beta", "gamma"].contains(&owner));
+//! // Same list, any order, separate process: same answer.
+//! let again = HashRing::new(["gamma", "alpha", "beta"]);
+//! assert_eq!(again.owner("rpc-fleet-3"), Some(owner));
+//! ```
+
+use crate::store::fnv1a;
+
+/// Virtual nodes per instance: enough that a 2–8 instance ring balances
+/// within a few percent, small enough that ring construction is
+/// microseconds.
+pub const VNODES_PER_INSTANCE: usize = 64;
+
+/// SplitMix64-style finalizer: full-width avalanche over the raw FNV
+/// value, so ring ordering sees uniform high bits (see module docs).
+fn spread(hash: u64) -> u64 {
+    let mut z = hash;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A consistent-hash ring mapping device names to instance names. See
+/// the module docs for the construction and its guarantees.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// Ring points sorted by position: `(point, instance index)`.
+    points: Vec<(u64, usize)>,
+    /// Instance names, sorted and deduplicated.
+    instances: Vec<String>,
+}
+
+impl HashRing {
+    /// Builds a ring from instance names. Order and duplicates are
+    /// irrelevant — the ring is a pure function of the name *set*.
+    pub fn new<I, S>(instances: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut names: Vec<String> = instances.into_iter().map(Into::into).collect();
+        names.sort();
+        names.dedup();
+        let mut points = Vec::with_capacity(names.len() * VNODES_PER_INSTANCE);
+        for (index, name) in names.iter().enumerate() {
+            for vnode in 0..VNODES_PER_INSTANCE {
+                let point = spread(fnv1a(format!("{name}#{vnode}").as_bytes()));
+                points.push((point, index));
+            }
+        }
+        // Sort by point; on a point collision the smaller instance index
+        // (lexicographically smaller name) wins deterministically.
+        points.sort();
+        points.dedup_by_key(|&mut (point, _)| point);
+        HashRing {
+            points,
+            instances: names,
+        }
+    }
+
+    /// The instance names on the ring, sorted.
+    pub fn instances(&self) -> &[String] {
+        &self.instances
+    }
+
+    /// Number of distinct instances.
+    pub fn len(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Returns `true` when the ring has no instances (every lookup is
+    /// `None`).
+    pub fn is_empty(&self) -> bool {
+        self.instances.is_empty()
+    }
+
+    /// The instance owning `device`: the first ring point clockwise from
+    /// `fnv1a(device)`, wrapping past the top. `None` on an empty ring.
+    pub fn owner(&self, device: &str) -> Option<&str> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let point = spread(fnv1a(device.as_bytes()));
+        let slot = self.points.partition_point(|&(p, _)| p < point);
+        let (_, index) = self.points[slot % self.points.len()];
+        Some(&self.instances[index])
+    }
+
+    /// Whether `instance` owns `device` on this ring.
+    pub fn owns(&self, instance: &str, device: &str) -> bool {
+        self.owner(device) == Some(instance)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_ring_owns_nothing() {
+        let ring = HashRing::new(Vec::<String>::new());
+        assert!(ring.is_empty());
+        assert_eq!(ring.owner("anything"), None);
+    }
+
+    #[test]
+    fn single_instance_owns_everything() {
+        let ring = HashRing::new(["solo"]);
+        for i in 0..100 {
+            assert_eq!(ring.owner(&format!("device-{i}")), Some("solo"));
+        }
+    }
+
+    #[test]
+    fn construction_order_and_duplicates_are_irrelevant() {
+        let a = HashRing::new(["x", "y", "z"]);
+        let b = HashRing::new(["z", "y", "x", "y"]);
+        for i in 0..200 {
+            let device = format!("rpc-fleet-{i}");
+            assert_eq!(a.owner(&device), b.owner(&device));
+        }
+    }
+
+    #[test]
+    fn leave_moves_only_the_leavers_devices() {
+        let before = HashRing::new(["a", "b", "c", "d"]);
+        let after = HashRing::new(["a", "b", "c"]);
+        for i in 0..500 {
+            let device = format!("dev-{i}");
+            let was = before.owner(&device).unwrap();
+            if was != "d" {
+                // A surviving instance's devices never move.
+                assert_eq!(after.owner(&device), Some(was));
+            }
+        }
+    }
+}

@@ -286,6 +286,15 @@ impl<F: Hash + Eq + Clone, V> ShardedStore<F, V> {
             .sum()
     }
 
+    /// Drops every entry on every shard without touching the traffic
+    /// counters — a replication snapshot install, not client traffic
+    /// (see [`crate::cache::ConfigStore::clear`]).
+    pub fn clear_all(&self) {
+        for shard in &self.shards {
+            shard.lock_quiet().clear();
+        }
+    }
+
     /// Total live entries across shards.
     pub fn len(&self) -> usize {
         self.shards.iter().map(|s| s.lock_quiet().len()).sum()

@@ -13,6 +13,7 @@ pub use vaqem;
 pub use vaqem_ansatz as ansatz;
 pub use vaqem_circuit as circuit;
 pub use vaqem_device as device;
+pub use vaqem_fleet_replica as fleet_replica;
 pub use vaqem_fleet_rpc as fleet_rpc;
 pub use vaqem_fleet_service as fleet_service;
 pub use vaqem_mathkit as mathkit;

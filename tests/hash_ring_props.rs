@@ -1,0 +1,148 @@
+//! Properties of the consistent-hash device-ownership ring
+//! (`vaqem_runtime::HashRing`) that the replicated fleet leans on:
+//!
+//! * **determinism across processes** — ownership is a pure function of
+//!   the instance-name *set*: permuted, duplicated construction input
+//!   changes nothing (two daemons computing the ring independently
+//!   always agree);
+//! * **join stability** — adding an instance only moves devices *to*
+//!   the joiner; every other device keeps its owner (the ~1/N property:
+//!   nothing reshuffles among survivors);
+//! * **leave stability** — removing an instance only moves the
+//!   leaver's devices; everyone else's assignment is untouched;
+//! * **N=1 agrees with `ShardedStore` routing** — both are pure
+//!   functions of the same FNV-1a hash, and a single-instance ring
+//!   (like a single-shard store) assigns everything to the one slot.
+
+use proptest::prelude::*;
+use vaqem_suite::runtime::store::fnv1a;
+use vaqem_suite::runtime::HashRing;
+
+/// Lowercase names of length `1..max` (the vendored proptest subset has
+/// no string strategies).
+fn name(max: usize) -> impl Strategy<Value = String> {
+    collection::vec(97u8..123, 1..max)
+        .prop_map(|bytes| String::from_utf8(bytes).expect("ascii lowercase"))
+}
+
+fn instances() -> impl Strategy<Value = Vec<String>> {
+    collection::vec(name(8), 1..7)
+}
+
+fn devices() -> impl Strategy<Value = Vec<String>> {
+    collection::vec(name(12), 1..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ownership_is_deterministic_under_permutation_and_duplication(
+        names in instances(),
+        devices in devices(),
+        rotate in 0usize..8,
+    ) {
+        let ring = HashRing::new(names.iter().cloned());
+        // A second process building "the same" ring from differently
+        // ordered (and partially duplicated) configuration.
+        let mut shuffled = names.clone();
+        let pivot = rotate % shuffled.len().max(1);
+        shuffled.rotate_left(pivot);
+        shuffled.extend(names.iter().take(2).cloned());
+        let ring2 = HashRing::new(shuffled);
+        prop_assert_eq!(ring.instances(), ring2.instances());
+        for device in &devices {
+            prop_assert_eq!(ring.owner(device), ring2.owner(device));
+        }
+    }
+
+    #[test]
+    fn join_moves_devices_only_to_the_joining_instance(
+        names in instances(),
+        joiner in name(8),
+        devices in devices(),
+    ) {
+        let before = HashRing::new(names.iter().cloned());
+        let mut grown = names.clone();
+        grown.push(joiner.clone());
+        let after = HashRing::new(grown);
+        for device in &devices {
+            let old = before.owner(device).expect("nonempty ring");
+            let new = after.owner(device).expect("nonempty ring");
+            // The ~1/N contract: a device either stays put or lands on
+            // the joiner — never reshuffles between survivors.
+            prop_assert!(
+                new == old || new == joiner.as_str(),
+                "device {device} moved {old} -> {new} on join of {joiner}"
+            );
+        }
+    }
+
+    #[test]
+    fn leave_moves_only_the_leavers_devices(
+        names in collection::vec(name(8), 2..7),
+        leaver_index in 0usize..6,
+        devices in devices(),
+    ) {
+        let leaver = names[leaver_index % names.len()].clone();
+        let before = HashRing::new(names.iter().cloned());
+        let after = HashRing::new(
+            names.iter().filter(|n| **n != leaver).cloned(),
+        );
+        if after.is_empty() {
+            // Every name was a duplicate of the leaver.
+            return Ok(());
+        }
+        for device in &devices {
+            let old = before.owner(device).expect("nonempty ring");
+            if old != leaver {
+                prop_assert!(
+                    after.owner(device) == Some(old),
+                    "surviving assignment of {device} moved on leave of {leaver}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_instance_ring_agrees_with_single_shard_store_routing(
+        instance in name(8),
+        devices in devices(),
+    ) {
+        let ring = HashRing::new([instance.clone()]);
+        // A store sharded as widely as this ring has instances: one slot.
+        let num_shards = ring.len() as u64;
+        for device in &devices {
+            // ShardedStore routes `fnv1a(device) % num_shards`; with one
+            // shard every device lands on slot 0, and the ring must
+            // agree: one instance owns everything.
+            prop_assert_eq!(fnv1a(device.as_bytes()) % num_shards, 0);
+            prop_assert_eq!(ring.owner(device), Some(instance.as_str()));
+            prop_assert!(ring.owns(&instance, device));
+        }
+    }
+}
+
+/// The quantitative half of the ~1/N claim, pinned deterministically:
+/// growing a 4-instance ring to 5 moves roughly a fifth of a large
+/// device population — well under a half, far from a full reshuffle.
+#[test]
+fn join_moves_roughly_one_in_n_devices() {
+    let names: Vec<String> = (0..4).map(|i| format!("instance-{i}")).collect();
+    let before = HashRing::new(names.iter().cloned());
+    let mut grown = names.clone();
+    grown.push("instance-4".into());
+    let after = HashRing::new(grown);
+    let total = 4000usize;
+    let moved = (0..total)
+        .filter(|i| {
+            let device = format!("device-{i}");
+            before.owner(&device) != after.owner(&device)
+        })
+        .count();
+    let fraction = moved as f64 / total as f64;
+    assert!(
+        (0.05..=0.40).contains(&fraction),
+        "expected ~1/5 of devices to move, got {fraction:.3}"
+    );
+}

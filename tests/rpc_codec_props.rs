@@ -21,6 +21,7 @@ use vaqem_suite::mitigation::dd::DdSequence;
 use vaqem_suite::mitigation::zne::{Extrapolation, ZneConfig};
 use vaqem_suite::runtime::persist::Codec;
 use vaqem_suite::runtime::wire::{frame as wire_frame, FrameReader};
+use vaqem_suite::runtime::ShipCursor;
 
 /// Lowercase labels of length `0..max` (the vendored proptest subset has
 /// no string strategies).
@@ -196,6 +197,20 @@ fn frame_strategy() -> impl Strategy<Value = Frame> {
             }
         }),
         Just(Frame::ShutdownAck),
+        (0u64..8, 0u64..100_000).prop_map(|(generation, offset)| Frame::JournalAck {
+            cursor: ShipCursor { generation, offset },
+        }),
+        (
+            0u64..8,
+            0u64..100_000,
+            0u8..2,
+            collection::vec(byte(), 0..48)
+        )
+            .prop_map(|(generation, offset, snap, payload)| Frame::JournalShip {
+                cursor: ShipCursor { generation, offset },
+                snapshot: snap == 1,
+                payload,
+            }),
     ]
 }
 
@@ -225,9 +240,10 @@ proptest! {
         frame in frame_strategy(),
         prefix in collection::vec(byte(), 1..8),
     ) {
-        // No valid tag occupies 0x06..=0x80 or 0x87..: force the lead
-        // byte into the dead zones so the payload cannot accidentally
-        // parse, then check the decoder refuses it cleanly.
+        // No valid tag occupies 0x07..=0x80 or 0x88.. (0x06/0x87 are
+        // the replication pair): force the lead byte into the dead
+        // zones so the payload cannot accidentally parse, then check
+        // the decoder refuses it cleanly.
         let mut bytes = prefix;
         bytes[0] = if bytes[0] % 2 == 0 { 0x50 } else { 0xF0 };
         frame.encode(&mut bytes);
