@@ -7,7 +7,31 @@
 //! ```text
 //! loadgen (--unix PATH | --tcp ADDR) [--clients N] [--out FILE] [--quick]
 //!         [--failover [--expect-failover]]
+//! loadgen --sweep-cores [--out FILE] [--quick]
 //! ```
+//!
+//! With `--sweep-cores` the harness is self-contained: for each
+//! worker-pool width (powers of two up to the machine's cores; `[1, 2]`
+//! in quick mode) it boots an in-process fleet daemon on a private Unix
+//! socket — `width` workers, `width` windowed devices, the light sweep
+//! tuner — and drives one closed-loop client per worker through it
+//! twice: once in the
+//! **current** configuration (readiness pump + journal group commit)
+//! and once in the **legacy** one (`VAQEM_RPC_PUMP=poll` +
+//! `VAQEM_JOURNAL_MODE=per_record`, the pre-campaign behavior). Each
+//! point records sessions/hour (total and per core), the pump's CPU
+//! fraction under load, and — from a quiet window after the load — the
+//! pump's *idle* CPU fraction. The curves land in `BENCH_fleet.json`
+//! (or `--out`/`$BENCH_FLEET_OUT`). In-binary gates: zero errors
+//! everywhere; in full mode, ≥1.3x sessions/hour for current-vs-legacy
+//! at the widest point and (on Linux) lower idle pump CPU for the
+//! readiness pump than the polling fallback; and when
+//! `$BENCH_FLEET_BASELINE` names the committed `BENCH_fleet.json` (the
+//! CI smoke does), the run's best width ratio must stay within 25% of
+//! the committed `gate_improvement_ratio` — current-vs-legacy ratios
+//! measured on the same machine in the same run, so the gate is
+//! portable across runner hardware the way raw sessions/hour would not
+//! be (the same discipline as the simulator kernel gate).
 //!
 //! With `--failover` the harness instead drives `FailoverClient`s
 //! against a replica pair: every client submits sessions in a loop and
@@ -101,12 +125,20 @@ impl Target {
 }
 
 struct Args {
-    target: Target,
+    target: Option<Target>,
     clients: usize,
     out: PathBuf,
     quick: bool,
     failover: bool,
     expect_failover: bool,
+    sweep: bool,
+}
+
+impl Args {
+    /// The connect target (every mode but `--sweep-cores` has one).
+    fn target(&self) -> &Target {
+        self.target.as_ref().expect("target parsed")
+    }
 }
 
 fn parse_args() -> Args {
@@ -117,6 +149,7 @@ fn parse_args() -> Args {
     let mut quick = vaqem_bench::quick_mode();
     let mut failover = false;
     let mut expect_failover = false;
+    let mut sweep = false;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -131,6 +164,7 @@ fn parse_args() -> Args {
             "--quick" => quick = true,
             "--failover" => failover = true,
             "--expect-failover" => expect_failover = true,
+            "--sweep-cores" => sweep = true,
             other => panic!("unknown flag {other} (see the module docs)"),
         }
     }
@@ -138,9 +172,15 @@ fn parse_args() -> Args {
         failover || !expect_failover,
         "--expect-failover requires --failover"
     );
+    assert!(
+        !(sweep && failover),
+        "--sweep-cores and --failover are mutually exclusive"
+    );
     let target = match (unix, tcp) {
-        (Some(path), None) => Target::Unix(path),
-        (None, Some(addr)) => Target::Tcp(addr),
+        (Some(path), None) => Some(Target::Unix(path)),
+        (None, Some(addr)) => Some(Target::Tcp(addr)),
+        (None, None) if sweep => None,
+        _ if sweep => panic!("--sweep-cores boots its own daemons; drop --unix/--tcp"),
         _ => panic!("exactly one of --unix PATH or --tcp ADDR is required"),
     };
     // Full mode drives the acceptance floor of ≥500 concurrent clients;
@@ -158,6 +198,10 @@ fn parse_args() -> Args {
                 std::env::var("BENCH_FAILOVER_OUT")
                     .unwrap_or_else(|_| "BENCH_failover.json".into()),
             )
+        } else if sweep {
+            PathBuf::from(
+                std::env::var("BENCH_FLEET_OUT").unwrap_or_else(|_| "BENCH_fleet.json".into()),
+            )
         } else {
             PathBuf::from(
                 std::env::var("BENCH_RPC_OUT").unwrap_or_else(|_| "BENCH_rpc.json".into()),
@@ -171,6 +215,7 @@ fn parse_args() -> Args {
         quick,
         failover,
         expect_failover,
+        sweep,
     }
 }
 
@@ -353,7 +398,7 @@ fn run_failover(args: &Args) {
     println!(
         "loadgen: failover mode, {} clients against {}{}{} (seed {seed})",
         args.clients,
-        args.target.label(),
+        args.target().label(),
         if args.quick { ", quick" } else { "" },
         if args.expect_failover {
             ", expecting a leader death"
@@ -361,7 +406,7 @@ fn run_failover(args: &Args) {
             ""
         },
     );
-    let failover_target = match &args.target {
+    let failover_target = match args.target() {
         Target::Unix(path) => FailoverTarget::Unix(path.clone()),
         Target::Tcp(addr) => FailoverTarget::Tcp(addr.clone()),
     };
@@ -413,7 +458,7 @@ fn run_failover(args: &Args) {
             "config",
             JsonValue::object([
                 ("clients", JsonValue::Int(args.clients as i128)),
-                ("target", JsonValue::Str(args.target.label())),
+                ("target", JsonValue::Str(args.target().label())),
                 ("quick", JsonValue::Bool(args.quick)),
                 ("expect_failover", JsonValue::Bool(args.expect_failover)),
                 ("seed", JsonValue::Int(seed as i128)),
@@ -472,6 +517,366 @@ fn run_failover(args: &Args) {
     println!("loadgen: all failover assertions passed");
 }
 
+/// One measured `--sweep-cores` point: a fresh in-process daemon at a
+/// fixed worker-pool width, one pump/journal configuration.
+struct SweepPoint {
+    pump: &'static str,
+    journal: &'static str,
+    completed: u64,
+    errors: u64,
+    elapsed_secs: f64,
+    sessions_per_hour: f64,
+    pump_cpu_fraction: f64,
+    idle_cpu_fraction: f64,
+    pump_passes: u64,
+    pump_wakeups: u64,
+    hist: LatencyHistogram,
+}
+
+impl SweepPoint {
+    fn to_json(&self, width: usize) -> JsonValue {
+        JsonValue::object([
+            ("pump", JsonValue::Str(self.pump.into())),
+            ("journal", JsonValue::Str(self.journal.into())),
+            ("completed_sessions", JsonValue::Int(self.completed as i128)),
+            ("errors", JsonValue::Int(self.errors as i128)),
+            ("elapsed_secs", JsonValue::Num(self.elapsed_secs)),
+            ("sessions_per_hour", JsonValue::Num(self.sessions_per_hour)),
+            (
+                "sessions_per_hour_per_core",
+                JsonValue::Num(self.sessions_per_hour / width as f64),
+            ),
+            ("pump_cpu_fraction", JsonValue::Num(self.pump_cpu_fraction)),
+            (
+                "idle_pump_cpu_fraction",
+                JsonValue::Num(self.idle_cpu_fraction),
+            ),
+            ("pump_passes", JsonValue::Int(self.pump_passes as i128)),
+            ("pump_wakeups", JsonValue::Int(self.pump_wakeups as i128)),
+            ("latency", quantiles_json(&self.hist)),
+        ])
+    }
+}
+
+/// One closed-loop sweep client: submit/await as fast as the daemon
+/// answers, until the point's measurement window closes.
+fn run_sweep_tenant(
+    target: &Target,
+    index: usize,
+    stop: &std::sync::atomic::AtomicBool,
+) -> TenantStats {
+    use std::sync::atomic::Ordering;
+
+    let mut stats = TenantStats::default();
+    let mut client = target.connect_patiently();
+    client
+        .set_read_timeout(Some(Duration::from_secs(600)))
+        .expect("timeout set");
+    if client.open(&format!("sweep-{index}")).is_err() {
+        stats.errors += 1;
+        return stats;
+    }
+    while !stop.load(Ordering::Relaxed) {
+        let started = Instant::now();
+        match client.submit(rpcload::sweep_request(1.0)) {
+            Ok(token) => await_and_record(&mut client, token, started, &mut stats),
+            Err(_) => {
+                stats.errors += 1;
+                break;
+            }
+        }
+    }
+    let _ = client.shutdown();
+    stats
+}
+
+/// Boots a daemon at `width` workers/devices under the given
+/// pump/journal selection, drives closed-loop clients through the load
+/// window, then measures an idle window, and tears everything down.
+fn run_sweep_point(
+    width: usize,
+    pump: &'static str,
+    journal: &'static str,
+    seed: u64,
+    load_window: Duration,
+    idle_window: Duration,
+) -> SweepPoint {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    use vaqem_fleet_rpc::server::{RpcListener, RpcServer, RpcServerConfig};
+    use vaqem_fleet_service::FleetService;
+    use vaqem_mathkit::rng::SeedStream;
+
+    // The selection knobs both layers read at open/serve time. The
+    // sweep is single-threaded between points, so process-global env is
+    // a safe way to reach them.
+    std::env::set_var("VAQEM_RPC_PUMP", pump);
+    std::env::set_var("VAQEM_JOURNAL_MODE", journal);
+    let dir = std::env::temp_dir().join(format!(
+        "vaqem-sweep-{}-w{width}-{pump}-{journal}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("sweep dir");
+    let devices = (0..width)
+        .map(|i| rpcload::windowed_device(i, seed))
+        .collect();
+    let service = FleetService::open(
+        rpcload::sweep_service_config(dir.join("store"), width),
+        devices,
+        rpcload::windowed_problem(),
+        SeedStream::new(seed),
+    )
+    .expect("sweep service opens");
+    let socket = dir.join("sweep.sock");
+    let listener = RpcListener::bind_unix(&socket).expect("unix socket binds");
+    let server = RpcServer::serve(&service, listener, RpcServerConfig::default()).expect("serves");
+    let serve_started = Instant::now();
+    let target = Target::Unix(socket);
+
+    // One closed-loop client per worker: each round trip crosses the
+    // pump twice, so the serving stack's per-hop latency — not queueing
+    // depth — is what the sessions/hour curve measures.
+    let stop = Arc::new(AtomicBool::new(false));
+    let clients = width;
+    let started = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|i| {
+            let target = target.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || run_sweep_tenant(&target, i, &stop))
+        })
+        .collect();
+    std::thread::sleep(load_window);
+    stop.store(true, Ordering::Relaxed);
+    let mut completed = 0u64;
+    let mut errors = 0u64;
+    let mut hist = LatencyHistogram::new();
+    for handle in handles {
+        let stats = handle.join().expect("sweep tenant thread");
+        completed += stats.completed;
+        errors += stats.errors + stats.quota_rejected; // no quotas here: any rejection is an error
+        hist.merge(&stats.hist);
+    }
+    let elapsed = started.elapsed();
+
+    // Pump CPU under load (cumulative since serve), then the idle
+    // window: with no traffic, the readiness pump blocks in the kernel
+    // while the polling fallback keeps taking backoff-paced passes —
+    // the delta between two quiet metrics fetches is the idle burn.
+    let mut probe = target.connect_patiently();
+    probe
+        .set_read_timeout(Some(Duration::from_secs(600)))
+        .expect("timeout set");
+    probe.open("sweep-probe").expect("daemon still accepting");
+    let (loaded, _) = probe.metrics().expect("metrics over the wire");
+    let idle_started = Instant::now();
+    std::thread::sleep(idle_window);
+    let (idle, _) = probe.metrics().expect("metrics over the wire");
+    let idle_elapsed = idle_started.elapsed();
+    let _ = probe.shutdown();
+    server.stop();
+    service.shutdown().expect("checkpoint");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let pump_cpu_fraction =
+        loaded.pump_cpu_micros as f64 / (serve_started.elapsed().as_secs_f64() * 1e6);
+    let idle_cpu_fraction = idle.pump_cpu_micros.saturating_sub(loaded.pump_cpu_micros) as f64
+        / (idle_elapsed.as_secs_f64() * 1e6);
+    SweepPoint {
+        pump,
+        journal,
+        completed,
+        errors,
+        elapsed_secs: elapsed.as_secs_f64(),
+        sessions_per_hour: completed as f64 / elapsed.as_secs_f64() * 3600.0,
+        pump_cpu_fraction,
+        idle_cpu_fraction,
+        pump_passes: idle.pump_passes,
+        pump_wakeups: idle.pump_wakeups,
+        hist,
+    }
+}
+
+/// The `--sweep-cores` mode: per-core scaling curves for the current
+/// configuration against the legacy (polling pump, per-record flush)
+/// one, with in-binary gates. See the module docs.
+fn run_sweep(args: &Args) {
+    let seed = root_seed_from_env(DEFAULT_ROOT_SEED);
+    let max_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2);
+    let widths: Vec<usize> = if args.quick {
+        vec![1, 2]
+    } else {
+        // Powers of two up to the core count — floored at 4 so a small
+        // machine still draws a curve (the oversubscribed tail is flat
+        // but informative), capped at 8 so a many-core one finishes in
+        // minutes.
+        let mut widths = Vec::new();
+        let mut w = 1;
+        while w <= max_cores.clamp(4, 8) {
+            widths.push(w);
+            w *= 2;
+        }
+        widths
+    };
+    let (load_window, idle_window) = if args.quick {
+        (Duration::from_millis(1500), Duration::from_millis(600))
+    } else {
+        (Duration::from_secs(6), Duration::from_millis(2500))
+    };
+    println!(
+        "loadgen: core sweep over widths {widths:?}{} (seed {seed}, {max_cores} cores)",
+        if args.quick { ", quick" } else { "" },
+    );
+
+    // The current configuration matches the daemon defaults; naming
+    // both ends of each axis keeps the points self-describing.
+    let current = ("epoll", "group");
+    let legacy = ("poll", "per_record");
+    let mut rows = Vec::new();
+    for &width in &widths {
+        let cur = run_sweep_point(width, current.0, current.1, seed, load_window, idle_window);
+        let leg = run_sweep_point(width, legacy.0, legacy.1, seed, load_window, idle_window);
+        let ratio = cur.sessions_per_hour / leg.sessions_per_hour.max(1e-9);
+        println!(
+            "loadgen: width {width} — current {:.0}/h (pump {:.1}% busy, {:.2}% idle), \
+             legacy {:.0}/h (pump {:.1}% busy, {:.2}% idle), ratio {ratio:.2}x",
+            cur.sessions_per_hour,
+            cur.pump_cpu_fraction * 100.0,
+            cur.idle_cpu_fraction * 100.0,
+            leg.sessions_per_hour,
+            leg.pump_cpu_fraction * 100.0,
+            leg.idle_cpu_fraction * 100.0,
+        );
+        rows.push((width, cur, leg, ratio));
+    }
+
+    // The gate point: the widest width that still fits in physical
+    // cores. Beyond that the comparison stops isolating the serving
+    // stack — an oversubscribed polling pump's backoff sleeps double as
+    // involuntary yields to the starved workers, flattering legacy.
+    let gate_idx = rows
+        .iter()
+        .rposition(|(w, _, _, _)| *w <= max_cores)
+        .unwrap_or(0);
+    let (gate_width, cur_at_gate, leg_at_gate, gate_ratio) = &rows[gate_idx];
+    let (gate_width, gate_ratio) = (*gate_width, *gate_ratio);
+    let report = JsonValue::object([
+        (
+            "config",
+            JsonValue::object([
+                ("quick", JsonValue::Bool(args.quick)),
+                ("seed", JsonValue::Int(seed as i128)),
+                ("machine_cores", JsonValue::Int(max_cores as i128)),
+                (
+                    "widths",
+                    JsonValue::array(widths.iter().map(|&w| JsonValue::Int(w as i128))),
+                ),
+                ("clients_per_worker", JsonValue::Int(1)),
+                (
+                    "load_window_secs",
+                    JsonValue::Num(load_window.as_secs_f64()),
+                ),
+                (
+                    "idle_window_secs",
+                    JsonValue::Num(idle_window.as_secs_f64()),
+                ),
+                ("fixture", JsonValue::Str("sweep_3q_windowed_light".into())),
+            ]),
+        ),
+        (
+            "sweep",
+            JsonValue::array(rows.iter().map(|(width, cur, leg, ratio)| {
+                JsonValue::object([
+                    ("workers", JsonValue::Int(*width as i128)),
+                    ("current", cur.to_json(*width)),
+                    ("legacy", leg.to_json(*width)),
+                    ("improvement_ratio", JsonValue::Num(*ratio)),
+                ])
+            })),
+        ),
+        (
+            "summary",
+            JsonValue::object([
+                ("gate_width", JsonValue::Int(gate_width as i128)),
+                ("gate_improvement_ratio", JsonValue::Num(gate_ratio)),
+                (
+                    "current_idle_pump_cpu_fraction",
+                    JsonValue::Num(cur_at_gate.idle_cpu_fraction),
+                ),
+                (
+                    "legacy_idle_pump_cpu_fraction",
+                    JsonValue::Num(leg_at_gate.idle_cpu_fraction),
+                ),
+            ]),
+        ),
+    ]);
+    std::fs::write(&args.out, report.render_pretty(2)).expect("write BENCH_fleet.json");
+    println!("wrote {}", args.out.display());
+
+    // The in-binary gates (see the module docs).
+    for (width, cur, leg, _) in &rows {
+        assert!(
+            cur.completed > 0,
+            "width {width}: current point completed sessions"
+        );
+        assert!(
+            leg.completed > 0,
+            "width {width}: legacy point completed sessions"
+        );
+        assert_eq!(
+            cur.errors + leg.errors,
+            0,
+            "width {width}: no errors in either point"
+        );
+    }
+    if !args.quick {
+        assert!(
+            gate_ratio >= 1.3,
+            "current configuration is ≥1.3x legacy at width {gate_width} (got {gate_ratio:.2}x)"
+        );
+        if cfg!(target_os = "linux") {
+            assert!(
+                cur_at_gate.idle_cpu_fraction < leg_at_gate.idle_cpu_fraction,
+                "readiness pump idles cheaper than the polling fallback \
+                 ({:.4} vs {:.4})",
+                cur_at_gate.idle_cpu_fraction,
+                leg_at_gate.idle_cpu_fraction
+            );
+        }
+    }
+    if let Ok(baseline_path) = std::env::var("BENCH_FLEET_BASELINE") {
+        // The committed baseline's gate ratio, extracted the same way
+        // the simulator gate reads its baseline file. Compared against
+        // this run's *best* width ratio: runners differ in core count,
+        // so the width the committed gate landed on may not be the
+        // width where this machine shows the effect most cleanly.
+        let baseline = std::fs::read_to_string(&baseline_path).expect("read fleet baseline");
+        let base_ratio: f64 = baseline
+            .lines()
+            .find_map(|line| line.trim().strip_prefix("\"gate_improvement_ratio\": "))
+            .expect("gate_improvement_ratio in baseline")
+            .trim_end_matches(',')
+            .parse()
+            .expect("baseline ratio parses");
+        let best_ratio = rows.iter().map(|(_, _, _, r)| *r).fold(0.0, f64::max);
+        assert!(
+            best_ratio >= 0.75 * base_ratio,
+            "sessions/hour improvement ratio regressed >25% vs the committed \
+             baseline ({best_ratio:.2}x measured, {base_ratio:.2}x committed)"
+        );
+        println!(
+            "loadgen: baseline gate — best ratio {best_ratio:.2}x vs committed \
+             {base_ratio:.2}x (floor {:.2}x)",
+            0.75 * base_ratio
+        );
+    }
+    println!("loadgen: all sweep assertions passed");
+}
+
 fn quantiles_json(hist: &LatencyHistogram) -> JsonValue {
     JsonValue::object([
         ("count", JsonValue::Int(hist.count() as i128)),
@@ -486,6 +891,10 @@ fn quantiles_json(hist: &LatencyHistogram) -> JsonValue {
 
 fn main() {
     let args = parse_args();
+    if args.sweep {
+        run_sweep(&args);
+        return;
+    }
     if args.failover {
         run_failover(&args);
         return;
@@ -494,14 +903,14 @@ fn main() {
     println!(
         "loadgen: {} clients against {}{} (seed {seed})",
         args.clients,
-        args.target.label(),
+        args.target().label(),
         if args.quick { ", quick" } else { "" },
     );
 
     let started = Instant::now();
     let mut handles = Vec::with_capacity(args.clients);
     for i in 0..args.clients {
-        let target = args.target.clone();
+        let target = args.target().clone();
         let behavior = TenantBehavior::ALL[i % TenantBehavior::ALL.len()];
         handles.push(std::thread::spawn(move || {
             (behavior, run_tenant(&target, i, behavior))
@@ -533,7 +942,7 @@ fn main() {
     // The quiescence probe: after all the churn, a fresh tenant must
     // still get a session through promptly — the daemon survived its
     // slow readers and mid-stream disconnects without stalling.
-    let mut probe = args.target.connect_patiently();
+    let mut probe = args.target().connect_patiently();
     probe
         .set_read_timeout(Some(Duration::from_secs(600)))
         .expect("timeout set");
@@ -554,7 +963,7 @@ fn main() {
             "config",
             JsonValue::object([
                 ("clients", JsonValue::Int(args.clients as i128)),
-                ("target", JsonValue::Str(args.target.label())),
+                ("target", JsonValue::Str(args.target().label())),
                 ("quick", JsonValue::Bool(args.quick)),
                 ("seed", JsonValue::Int(seed as i128)),
             ]),

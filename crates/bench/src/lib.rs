@@ -296,6 +296,59 @@ pub mod rpcload {
             kind: SessionKind::Dd,
         }
     }
+
+    /// The `--sweep-cores` fixture: the *windowed* devices and problem
+    /// (real idle windows, so every completed session publishes cache
+    /// entries and exercises the journal) driven by the *light* tuner —
+    /// sessions finish in milliseconds, so the measured bottleneck is
+    /// the serving stack (pump, journal flushes, reply path) rather
+    /// than simulator physics. `workers` pins the reactor worker-pool
+    /// width — the per-core axis of the scaling sweep.
+    pub fn sweep_service_config(
+        store_dir: std::path::PathBuf,
+        workers: usize,
+    ) -> FleetServiceConfig {
+        FleetServiceConfig {
+            store_dir,
+            shards: 4,
+            capacity_per_shard: 128,
+            shots: 32,
+            tuner: WindowTunerConfig {
+                sweep_resolution: 2,
+                max_repetitions: 2,
+                guard_repeats: 1,
+                ..Default::default()
+            },
+            profile: WorkloadProfile {
+                num_qubits: WINDOWED_QUBITS,
+                circuit_ns: 8_000.0,
+                iterations: 10,
+                measurement_groups: 2,
+                windows: 4,
+                sweep_resolution: 2,
+                shots: 32,
+            },
+            cost: CostModel::ibm_cloud_2021(),
+            dispatch: BatchDispatch::local(2),
+            tenancy: TenancyConfig {
+                workers,
+                ..TenancyConfig::default()
+            },
+        }
+    }
+
+    /// One sweep session request: `device: None`, so the scheduler
+    /// spreads the closed-loop clients across the whole width-sized
+    /// fleet.
+    pub fn sweep_request(t_hours: f64) -> SessionRequest {
+        SessionRequest {
+            client: "loadgen".into(),
+            t_hours,
+            params: vec![0.3; windowed_problem().num_params()],
+            device: None,
+            kind: SessionKind::Dd,
+        }
+    }
 }
 
 #[cfg(test)]

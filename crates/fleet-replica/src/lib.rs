@@ -282,13 +282,14 @@ impl Follower {
     /// idle polls with the adaptive floor→ceiling backoff from the
     /// config.
     pub fn run(&mut self, stop: &AtomicBool) -> FollowerExit {
-        let mut sleep = self.config.poll_floor;
+        let mut backoff =
+            vaqem_runtime::IdleBackoff::new(self.config.poll_floor, self.config.poll_ceiling);
         while !stop.load(Ordering::Relaxed) {
             match self.sync_once() {
-                Ok(true) => sleep = self.config.poll_floor,
-                Ok(false) => {
-                    std::thread::sleep(sleep);
-                    sleep = (sleep * 2).min(self.config.poll_ceiling);
+                Ok(progressed) => {
+                    if let Some(pause) = backoff.after(progressed) {
+                        std::thread::sleep(pause);
+                    }
                 }
                 Err(e) => return FollowerExit::LeaderDied(e),
             }

@@ -43,6 +43,7 @@
 
 pub mod client;
 pub mod failover;
+mod readiness;
 pub mod server;
 pub mod wire;
 

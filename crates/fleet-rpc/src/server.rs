@@ -1,5 +1,5 @@
-//! The serving side: a nonblocking socket pump feeding the reactor, and
-//! the [`SocketDriver`] implementation that speaks VQRP on the reactor
+//! The serving side: a socket pump feeding the reactor, and the
+//! [`SocketDriver`] implementation that speaks VQRP on the reactor
 //! thread.
 //!
 //! ```text
@@ -7,9 +7,9 @@
 //!         │ accept                      ▲
 //!         ▼                             │ SocketEvent::{Accepted,
 //!   ┌──── pump thread ────┐             │   Readable, HungUp}
-//!   │ nonblocking accept/ ├─────────────┘
-//!   │ read/write, per-conn│◀────────────┐
-//!   │ outbound buffers    │  PumpCommand│::{Send, Close, …}
+//!   │ epoll readiness or  ├─────────────┘
+//!   │ nonblocking polling;│◀────────────┐
+//!   │ per-conn write queue│  PumpCommand│::{Send, Close, …} + wakeup
 //!   └─────────────────────┘             │
 //!                              ┌────────┴─────────┐
 //!                              │   ConnDriver     │  (runs inside the
@@ -19,22 +19,43 @@
 //! ```
 //!
 //! The pump owns every stream and does only byte work; the driver owns
-//! every byte's *meaning*. Backpressure flows through shared per-
-//! connection gauges of pending outbound bytes: the driver increments
-//! when it queues a frame, the pump decrements as bytes reach the
-//! kernel. A submission arriving while the gauge is past the **soft
-//! bound** is rejected with the typed `SessionError::Overloaded`; a
-//! result that would be queued past the **hard bound** closes the
-//! connection instead — a reader too slow to drain even rejections
-//! cannot grow server memory without bound, and other tenants never
-//! notice (the reactor thread never blocks on a socket).
+//! every byte's *meaning*. Two pump implementations share that
+//! contract:
+//!
+//! * On Linux the **readiness pump** registers the listener, every
+//!   connection, and a wakeup pipe with one `epoll` instance
+//!   (the `readiness` module) and blocks until the kernel reports work —
+//!   an idle daemon consumes (almost) no CPU, and write interest is
+//!   registered only while a connection owes bytes. The reactor rouses
+//!   a blocked pump through the wakeup pipe whenever it queues a
+//!   command.
+//! * Everywhere else (or with `VAQEM_RPC_PUMP=poll`) the **polling
+//!   pump** sweeps every socket nonblockingly and sleeps an adaptive
+//!   [`IdleBackoff`] between passes — fully portable, never blocked, no
+//!   wakeups needed.
+//!
+//! Outbound frames queue per connection as owned chunks and leave
+//! through a single vectored write per pass, so a burst of replies
+//! costs one syscall instead of one per frame.
+//!
+//! Backpressure flows through shared per-connection gauges of pending
+//! outbound bytes: the driver increments when it queues a frame, the
+//! pump decrements as bytes reach the kernel. A submission arriving
+//! while the gauge is past the **soft bound** is rejected with the
+//! typed `SessionError::Overloaded`; a result that would be queued past
+//! the **hard bound** closes the connection instead — a reader too slow
+//! to drain even rejections cannot grow server memory without bound,
+//! and other tenants never notice (the reactor thread never blocks on a
+//! socket).
 
-use std::collections::HashMap;
-use std::io::{self, Read, Write};
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, IoSlice, Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+#[cfg(target_os = "linux")]
+use std::os::unix::io::{AsRawFd, RawFd};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::Path;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender, TryRecvError};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
@@ -47,8 +68,9 @@ use vaqem_fleet_service::{
 };
 use vaqem_runtime::persist::Codec;
 use vaqem_runtime::wire::FrameReader;
-use vaqem_runtime::ShipBatch;
+use vaqem_runtime::{IdleBackoff, ShipBatch};
 
+use crate::readiness;
 use crate::wire::{check_preamble, preamble, Frame, PREAMBLE_LEN};
 
 /// Server tuning knobs. The defaults suit the load-generation harness;
@@ -133,6 +155,14 @@ impl RpcListener {
         }
     }
 
+    #[cfg(target_os = "linux")]
+    fn raw_fd(&self) -> RawFd {
+        match self {
+            RpcListener::Tcp(l) => l.as_raw_fd(),
+            RpcListener::Unix(l) => l.as_raw_fd(),
+        }
+    }
+
     fn accept(&self) -> io::Result<(Stream, String)> {
         match self {
             RpcListener::Tcp(l) => {
@@ -158,6 +188,16 @@ pub(crate) enum Stream {
     Unix(UnixStream),
 }
 
+impl Stream {
+    #[cfg(target_os = "linux")]
+    fn raw_fd(&self) -> RawFd {
+        match self {
+            Stream::Tcp(s) => s.as_raw_fd(),
+            Stream::Unix(s) => s.as_raw_fd(),
+        }
+    }
+}
+
 impl Read for Stream {
     fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
         match self {
@@ -172,6 +212,15 @@ impl Write for Stream {
         match self {
             Stream::Tcp(s) => s.write(buf),
             Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn write_vectored(&mut self, bufs: &[IoSlice<'_>]) -> io::Result<usize> {
+        // Both std transports have real `writev` implementations; the
+        // reply path counts on one syscall moving many frames.
+        match self {
+            Stream::Tcp(s) => s.write_vectored(bufs),
+            Stream::Unix(s) => s.write_vectored(bufs),
         }
     }
 
@@ -201,6 +250,38 @@ pub(crate) enum PumpCommand {
 /// (subtracts); keyed by connection id.
 type Gauges = Arc<Mutex<HashMap<u64, Arc<AtomicUsize>>>>;
 
+/// The pump thread's self-observation, shared with the driver so the
+/// numbers ride every metrics report. `cpu_micros` holds the pump
+/// thread's *absolute* CPU-time reading (published once per pass):
+/// diffing two readings over a quiet window measures the pump's idle
+/// burn, which is the readiness pump's headline advantage.
+#[derive(Debug, Default)]
+pub(crate) struct PumpStats {
+    cpu_micros: AtomicU64,
+    passes: AtomicU64,
+    wakeups: AtomicU64,
+}
+
+/// Rouses a pump blocked in `epoll_wait`: one byte down a nonblocking
+/// socketpair the pump watches. Disabled when the polling pump serves —
+/// it sleeps at most a few milliseconds, so nobody needs to rouse it
+/// and `wake()` becomes free.
+#[derive(Debug)]
+pub(crate) struct Waker {
+    tx: UnixStream,
+    enabled: bool,
+}
+
+impl Waker {
+    fn wake(&self) {
+        if self.enabled {
+            // A full pipe or torn pump means the pump is already due to
+            // wake (or gone); either way the error is not actionable.
+            let _ = (&self.tx).write(&[1u8]);
+        }
+    }
+}
+
 /// Per-connection protocol state, owned by the driver on the reactor
 /// thread.
 struct ConnState {
@@ -228,20 +309,32 @@ struct ConnState {
 /// [`RpcServer::serve`]; never used directly.
 struct ConnDriver {
     control: Sender<PumpCommand>,
+    waker: Arc<Waker>,
     gauges: Gauges,
     config: RpcServerConfig,
     conns: HashMap<u64, ConnState>,
     counters: RpcMetricsReport,
+    pump_stats: Arc<PumpStats>,
+    /// Reusable frame-encoding scratch: length prefix + payload are
+    /// built in place, then cloned once at exactly the framed size.
+    encode_buf: Vec<u8>,
 }
 
 impl ConnDriver {
+    /// Sends one command to the pump and rouses it if it might be
+    /// blocked in `epoll_wait`.
+    fn command(&self, cmd: PumpCommand) {
+        let _ = self.control.send(cmd);
+        self.waker.wake();
+    }
+
     fn send_bytes(&mut self, conn: u64, bytes: Vec<u8>) {
         if let Some(state) = self.conns.get(&conn) {
             let pending = state.gauge.fetch_add(bytes.len(), Ordering::Relaxed) + bytes.len();
             self.counters.peak_pending_out_bytes =
                 self.counters.peak_pending_out_bytes.max(pending as u64);
         }
-        let _ = self.control.send(PumpCommand::Send { conn, bytes });
+        self.command(PumpCommand::Send { conn, bytes });
     }
 
     /// Encodes and queues one frame; enforces the hard outbound bound
@@ -255,14 +348,21 @@ impl ConnDriver {
             // The reader is too slow to drain even its rejections:
             // drop the connection rather than buffer without bound.
             self.counters.overload_closes += 1;
-            let _ = self.control.send(PumpCommand::CloseNow { conn });
+            self.command(PumpCommand::CloseNow { conn });
             return false;
         }
-        let mut payload = Vec::new();
-        frame.encode(&mut payload);
+        // Encode straight after a length-prefix placeholder and patch
+        // the prefix in place: one exact-size allocation per frame,
+        // instead of encode-then-copy-into-framing.
+        self.encode_buf.clear();
+        self.encode_buf.extend_from_slice(&[0u8; 4]);
+        frame.encode(&mut self.encode_buf);
+        let payload_len = self.encode_buf.len() - 4;
+        self.encode_buf[..4].copy_from_slice(&(payload_len as u32).to_le_bytes());
         self.counters.frames_out += 1;
-        self.counters.bytes_out += payload.len() as u64;
-        self.send_bytes(conn, vaqem_runtime::wire::frame(&payload));
+        self.counters.bytes_out += payload_len as u64;
+        let framed = self.encode_buf.clone();
+        self.send_bytes(conn, framed);
         true
     }
 
@@ -271,7 +371,7 @@ impl ConnDriver {
     /// drop the connection.
     fn decode_error(&mut self, conn: u64) {
         self.counters.decode_errors += 1;
-        let _ = self.control.send(PumpCommand::CloseNow { conn });
+        self.command(PumpCommand::CloseNow { conn });
     }
 
     fn handle_frame(&mut self, conn: u64, frame: Frame, actions: &mut Vec<DriverAction>) {
@@ -353,7 +453,7 @@ impl ConnDriver {
                 self.send_frame(conn, &Frame::ShutdownAck);
                 // Close after the ack flushes; the HungUp the pump
                 // reports back cleans up this connection's state.
-                let _ = self.control.send(PumpCommand::Close { conn });
+                self.command(PumpCommand::Close { conn });
             }
             // A reply tag on the server's inbound side is a protocol
             // violation.
@@ -510,114 +610,141 @@ impl SocketDriver for ConnDriver {
     }
 
     fn metrics(&self) -> RpcMetricsReport {
-        self.counters
+        let mut report = self.counters;
+        report.pump_cpu_micros = self.pump_stats.cpu_micros.load(Ordering::Relaxed);
+        report.pump_passes = self.pump_stats.passes.load(Ordering::Relaxed);
+        report.pump_wakeups = self.pump_stats.wakeups.load(Ordering::Relaxed);
+        report
     }
 }
+
+/// Most chunks a single vectored write gathers. Past this the syscall's
+/// iovec setup cost outweighs the coalescing win; the flush loop just
+/// issues another write.
+const MAX_WRITE_SLICES: usize = 32;
 
 /// One connection's I/O state, owned by the pump thread.
 struct ConnIo {
     stream: Stream,
-    /// Outbound bytes not yet written; `out_pos` marks the flushed
-    /// prefix (compacted lazily).
-    out: Vec<u8>,
-    out_pos: usize,
+    /// Outbound frames, one owned chunk each (queued without copying —
+    /// the driver's encode buffer clone is the only allocation).
+    out: VecDeque<Vec<u8>>,
+    /// Flushed prefix of the front chunk.
+    front_pos: usize,
+    /// Total unflushed bytes across `out` (the `out_pos == len` test of
+    /// the old flat buffer, kept as a counter).
+    out_bytes: usize,
     gauge: Arc<AtomicUsize>,
     /// Close once `out` drains (the polite goodbye).
     close_after_flush: bool,
+    /// Whether the readiness pump currently has `EPOLLOUT` interest
+    /// registered for this connection (only while bytes are owed).
+    #[cfg_attr(not(target_os = "linux"), allow(dead_code))]
+    want_write: bool,
 }
 
 impl ConnIo {
-    fn queue(&mut self, bytes: &[u8]) {
-        if self.out_pos > 0 && self.out_pos == self.out.len() {
-            self.out.clear();
-            self.out_pos = 0;
+    fn new(stream: Stream, gauge: Arc<AtomicUsize>) -> ConnIo {
+        ConnIo {
+            stream,
+            out: VecDeque::new(),
+            front_pos: 0,
+            out_bytes: 0,
+            gauge,
+            close_after_flush: false,
+            want_write: false,
         }
-        self.out.extend_from_slice(bytes);
     }
 
-    /// Writes what the kernel will take. `Ok(true)` = made progress.
+    fn queue(&mut self, bytes: Vec<u8>) {
+        if bytes.is_empty() {
+            return;
+        }
+        self.out_bytes += bytes.len();
+        self.out.push_back(bytes);
+    }
+
+    /// Writes what the kernel will take, coalescing queued chunks into
+    /// vectored writes. `Ok(true)` = made progress.
     fn flush_some(&mut self) -> io::Result<bool> {
         let mut progressed = false;
-        while self.out_pos < self.out.len() {
-            match self.stream.write(&self.out[self.out_pos..]) {
+        while self.out_bytes > 0 {
+            let wrote = {
+                let mut slices: Vec<IoSlice<'_>> =
+                    Vec::with_capacity(self.out.len().min(MAX_WRITE_SLICES));
+                for (i, chunk) in self.out.iter().enumerate() {
+                    if i == MAX_WRITE_SLICES {
+                        break;
+                    }
+                    let start = if i == 0 { self.front_pos } else { 0 };
+                    slices.push(IoSlice::new(&chunk[start..]));
+                }
+                self.stream.write_vectored(&slices)
+            };
+            match wrote {
                 Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
-                Ok(n) => {
-                    self.out_pos += n;
+                Ok(mut n) => {
+                    self.out_bytes -= n;
                     self.gauge.fetch_sub(n, Ordering::Relaxed);
                     progressed = true;
+                    // Retire fully-written chunks; a partial write
+                    // leaves its offset in `front_pos`.
+                    while n > 0 {
+                        let front_left =
+                            self.out.front().expect("accounted bytes").len() - self.front_pos;
+                        if n >= front_left {
+                            n -= front_left;
+                            self.out.pop_front();
+                            self.front_pos = 0;
+                        } else {
+                            self.front_pos += n;
+                            n = 0;
+                        }
+                    }
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(e) => return Err(e),
             }
         }
-        if self.out_pos > 4096 && self.out_pos == self.out.len() {
-            self.out.clear();
-            self.out_pos = 0;
-        }
         Ok(progressed)
     }
 }
 
 /// How much one connection may read per pump pass — keeps one firehose
-/// peer from starving the rest of the poll loop.
+/// peer from starving the rest of the loop. (Level-triggered readiness
+/// makes this fair for free: an fd with leftover data stays ready, so
+/// the next pass resumes it.)
 const READ_BUDGET_PER_PASS: usize = 256 << 10;
 
-/// Adaptive idle sleep for the std-only poll pump.
-///
-/// A fixed 300µs idle sleep burns a measurable fraction of a core on a
-/// quiet daemon — and a replica pair doubles the daemons, so the spin
-/// doubles too. Instead the sleep starts at [`IdleBackoff::FLOOR`] and
-/// doubles per consecutive idle pass up to [`IdleBackoff::CEILING`],
-/// snapping back to the floor the moment any pass does work: an active
-/// server keeps the 300µs responsiveness, an idle one converges to a
-/// 5ms doze (≥ 16× fewer wakeups).
-#[derive(Debug)]
-pub(crate) struct IdleBackoff {
-    current: Duration,
-}
+/// First idle sleep of the polling pump after activity — the old fixed
+/// poll granularity.
+const PUMP_BACKOFF_FLOOR: Duration = Duration::from_micros(300);
+/// The polling pump's idle sleep cap: long enough to stop spinning,
+/// short enough that a first frame after a quiet spell waits at most
+/// ~5ms.
+const PUMP_BACKOFF_CEILING: Duration = Duration::from_millis(5);
 
-impl IdleBackoff {
-    /// First idle sleep after activity — the old fixed granularity.
-    pub(crate) const FLOOR: Duration = Duration::from_micros(300);
-    /// Idle sleep cap: long enough to stop spinning, short enough that
-    /// a first frame after a quiet spell waits at most ~5ms.
-    pub(crate) const CEILING: Duration = Duration::from_millis(5);
-
-    pub(crate) fn new() -> Self {
-        IdleBackoff {
-            current: Self::FLOOR,
-        }
-    }
-
-    /// Called once per pump pass: returns how long to sleep (`None`
-    /// after an active pass, which also resets the backoff).
-    pub(crate) fn after(&mut self, active: bool) -> Option<Duration> {
-        if active {
-            self.current = Self::FLOOR;
-            return None;
-        }
-        let sleep = self.current;
-        self.current = (self.current * 2).min(Self::CEILING);
-        Some(sleep)
-    }
-}
-
-/// The pump thread body: nonblocking accept/read/write over every
-/// connection, forwarding semantic events to the reactor and executing
-/// the driver's commands. Exits when told to [`PumpCommand::Stop`], when
+/// The portable pump thread body: nonblocking accept/read/write over
+/// every connection, forwarding semantic events to the reactor and
+/// executing the driver's commands, with an adaptive [`IdleBackoff`]
+/// sleep between passes. Exits when told to [`PumpCommand::Stop`], when
 /// the driver side hangs up, or when the reactor is gone.
 fn pump_loop(
     listener: RpcListener,
     control: Receiver<PumpCommand>,
     events: SocketEventSender,
     gauges: Gauges,
+    stats: Arc<PumpStats>,
+    // Held so reactor-side wakeup writes never hit a closed pipe; this
+    // pump polls `control` on its own schedule and never reads it.
+    _wake_rx: UnixStream,
 ) {
     let mut conns: HashMap<u64, ConnIo> = HashMap::new();
     let mut next_conn: u64 = 1;
     let mut read_buf = vec![0u8; 64 << 10];
     let mut hangups: Vec<u64> = Vec::new();
-    let mut backoff = IdleBackoff::new();
+    let mut backoff = IdleBackoff::new(PUMP_BACKOFF_FLOOR, PUMP_BACKOFF_CEILING);
     loop {
         let mut active = false;
         // 1. Driver commands.
@@ -626,7 +753,7 @@ fn pump_loop(
                 Ok(PumpCommand::Send { conn, bytes }) => {
                     active = true;
                     if let Some(io) = conns.get_mut(&conn) {
-                        io.queue(&bytes);
+                        io.queue(bytes);
                     } else {
                         // Connection already gone: the driver's gauge
                         // increment must not leak — but the gauge map
@@ -661,16 +788,7 @@ fn pump_loop(
                         .lock()
                         .expect("gauge registry healthy")
                         .insert(conn, Arc::clone(&gauge));
-                    conns.insert(
-                        conn,
-                        ConnIo {
-                            stream,
-                            out: Vec::new(),
-                            out_pos: 0,
-                            gauge,
-                            close_after_flush: false,
-                        },
-                    );
+                    conns.insert(conn, ConnIo::new(stream, gauge));
                     if !events.send(SocketEvent::Accepted { conn, peer }) {
                         return; // reactor gone
                     }
@@ -693,7 +811,7 @@ fn pump_loop(
                     continue;
                 }
             }
-            if io.close_after_flush && io.out_pos == io.out.len() {
+            if io.close_after_flush && io.out_bytes == 0 {
                 hangups.push(conn);
                 continue;
             }
@@ -735,13 +853,187 @@ fn pump_loop(
                 }
             }
         }
-        // 5. Adaptive idle backoff: 300µs responsiveness while traffic
-        // flows, doubling toward a 5ms doze across consecutive idle
-        // passes so a quiet daemon (or a replica pair of them) doesn't
-        // spin cores.
+        // 5. Self-observation, then adaptive idle backoff: 300µs
+        // responsiveness while traffic flows, doubling toward a 5ms
+        // doze across consecutive idle passes so a quiet daemon (or a
+        // replica pair of them) doesn't spin cores.
+        stats.passes.fetch_add(1, Ordering::Relaxed);
+        stats
+            .cpu_micros
+            .store(readiness::thread_cpu_micros(), Ordering::Relaxed);
         if let Some(sleep) = backoff.after(active) {
             std::thread::sleep(sleep);
         }
+    }
+}
+
+/// Readiness token for the listener (connection ids count up from 1, so
+/// the top of the `u64` space is free).
+#[cfg(target_os = "linux")]
+const TOKEN_LISTENER: u64 = u64::MAX;
+/// Readiness token for the reactor's wakeup pipe.
+#[cfg(target_os = "linux")]
+const TOKEN_WAKEUP: u64 = u64::MAX - 1;
+
+/// The readiness pump thread body: blocks in `epoll_wait` until the
+/// kernel reports an accept, readable bytes, writable room on a
+/// connection that owes bytes, or a reactor wakeup — then runs one
+/// pass of the same accept/read/write/close discipline as the polling
+/// pump. An idle daemon parks here and burns (almost) no CPU.
+#[cfg(target_os = "linux")]
+fn epoll_pump_loop(
+    ep: readiness::linux::Epoll,
+    listener: RpcListener,
+    control: Receiver<PumpCommand>,
+    events: SocketEventSender,
+    gauges: Gauges,
+    stats: Arc<PumpStats>,
+    wake_rx: UnixStream,
+) {
+    use readiness::linux::{EpollEvent, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+    // Safety net: absent readiness and wakeups, still run a pass every
+    // 500ms — any lost-wakeup bug costs latency, never liveness.
+    const SAFETY_TIMEOUT_MS: i32 = 500;
+    let mut conns: HashMap<u64, ConnIo> = HashMap::new();
+    let mut next_conn: u64 = 1;
+    let mut read_buf = vec![0u8; 64 << 10];
+    let mut hangups: Vec<u64> = Vec::new();
+    let mut evbuf = [EpollEvent { events: 0, data: 0 }; 128];
+    loop {
+        let ready = ep.wait(&mut evbuf, SAFETY_TIMEOUT_MS).unwrap_or(0);
+        stats.passes.fetch_add(1, Ordering::Relaxed);
+        for ev in &evbuf[..ready] {
+            // Copy out of the (possibly packed) event record.
+            let (mask, token) = (ev.events, ev.data);
+            match token {
+                TOKEN_LISTENER => loop {
+                    match listener.accept() {
+                        Ok((stream, peer)) => {
+                            let conn = next_conn;
+                            next_conn += 1;
+                            if ep.add(stream.raw_fd(), EPOLLIN | EPOLLRDHUP, conn).is_err() {
+                                continue; // dropping the stream resets the peer
+                            }
+                            let gauge = Arc::new(AtomicUsize::new(0));
+                            gauges
+                                .lock()
+                                .expect("gauge registry healthy")
+                                .insert(conn, Arc::clone(&gauge));
+                            conns.insert(conn, ConnIo::new(stream, gauge));
+                            if !events.send(SocketEvent::Accepted { conn, peer }) {
+                                return; // reactor gone
+                            }
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                        Err(_) => break,
+                    }
+                },
+                TOKEN_WAKEUP => {
+                    stats.wakeups.fetch_add(1, Ordering::Relaxed);
+                    let mut drain = [0u8; 256];
+                    while matches!((&wake_rx).read(&mut drain), Ok(n) if n > 0) {}
+                }
+                conn => {
+                    if mask & (EPOLLERR | EPOLLHUP) != 0 {
+                        hangups.push(conn);
+                        continue;
+                    }
+                    if mask & (EPOLLIN | EPOLLRDHUP) != 0 {
+                        let Some(io) = conns.get_mut(&conn) else {
+                            continue; // raced a close within this pass
+                        };
+                        let mut read_total = 0usize;
+                        loop {
+                            if read_total >= READ_BUDGET_PER_PASS {
+                                break; // fd stays ready; next pass resumes
+                            }
+                            match io.stream.read(&mut read_buf) {
+                                Ok(0) => {
+                                    hangups.push(conn);
+                                    break;
+                                }
+                                Ok(n) => {
+                                    read_total += n;
+                                    if !events.send(SocketEvent::Readable {
+                                        conn,
+                                        bytes: read_buf[..n].to_vec(),
+                                    }) {
+                                        return; // reactor gone
+                                    }
+                                }
+                                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                                Err(_) => {
+                                    hangups.push(conn);
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    // Writable readiness needs no per-event handling:
+                    // the write sweep below flushes every connection
+                    // that owes bytes.
+                }
+            }
+        }
+        // Driver commands (the wakeup pipe guaranteed we woke for them).
+        loop {
+            match control.try_recv() {
+                Ok(PumpCommand::Send { conn, bytes }) => {
+                    if let Some(io) = conns.get_mut(&conn) {
+                        io.queue(bytes);
+                    }
+                }
+                Ok(PumpCommand::Close { conn }) => {
+                    if let Some(io) = conns.get_mut(&conn) {
+                        io.close_after_flush = true;
+                    }
+                }
+                Ok(PumpCommand::CloseNow { conn }) => {
+                    if conns.contains_key(&conn) {
+                        hangups.push(conn);
+                    }
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) | Ok(PumpCommand::Stop) => return,
+            }
+        }
+        // Write sweep: flush what the kernel will take, then keep
+        // `EPOLLOUT` interest only on connections still owing bytes —
+        // an idle connection never wakes the pump for writability.
+        for (&conn, io) in conns.iter_mut() {
+            if io.out_bytes > 0 && io.flush_some().is_err() {
+                hangups.push(conn);
+                continue;
+            }
+            if io.close_after_flush && io.out_bytes == 0 {
+                hangups.push(conn);
+                continue;
+            }
+            let want = io.out_bytes > 0;
+            if want != io.want_write {
+                let interest = EPOLLIN | EPOLLRDHUP | if want { EPOLLOUT } else { 0 };
+                if ep.modify(io.stream.raw_fd(), interest, conn).is_ok() {
+                    io.want_write = want;
+                } else {
+                    hangups.push(conn);
+                }
+            }
+        }
+        // Closures (driver-ordered and peer-initiated alike).
+        for conn in hangups.drain(..) {
+            if let Some(io) = conns.remove(&conn) {
+                let _ = ep.delete(io.stream.raw_fd());
+                gauges.lock().expect("gauge registry healthy").remove(&conn);
+                if !events.send(SocketEvent::HungUp { conn }) {
+                    return;
+                }
+            }
+        }
+        stats
+            .cpu_micros
+            .store(readiness::thread_cpu_micros(), Ordering::Relaxed);
     }
 }
 
@@ -750,6 +1042,7 @@ fn pump_loop(
 #[derive(Debug)]
 pub struct RpcServer {
     control: Sender<PumpCommand>,
+    waker: Arc<Waker>,
     pump: Option<JoinHandle<()>>,
     addr: String,
 }
@@ -760,9 +1053,17 @@ impl RpcServer {
     /// in-process callers exactly as before; remote sessions share its
     /// admission, fairness, and quota path.
     ///
+    /// On Linux the pump blocks in `epoll` readiness by default; set
+    /// `VAQEM_RPC_PUMP=poll` to force the portable adaptive-polling
+    /// pump (`VAQEM_RPC_PUMP=epoll` asks for readiness explicitly, and
+    /// falls back to polling where epoll is unavailable or fails to
+    /// set up). Both pumps speak the same `SocketEvent` interface; the
+    /// driver cannot tell them apart.
+    ///
     /// # Errors
     ///
-    /// I/O errors switching the listener to nonblocking mode.
+    /// I/O errors switching the listener to nonblocking mode or
+    /// building the wakeup channel.
     pub fn serve(
         service: &FleetService,
         listener: RpcListener,
@@ -776,17 +1077,64 @@ impl RpcServer {
         let addr = listener.local_addr_string();
         let (control, control_rx) = mpsc::channel();
         let gauges: Gauges = Arc::new(Mutex::new(HashMap::new()));
+        let stats = Arc::new(PumpStats::default());
+        let (wake_tx, wake_rx) = UnixStream::pair()?;
+        wake_tx.set_nonblocking(true)?;
+        wake_rx.set_nonblocking(true)?;
+
+        let want_epoll = match std::env::var("VAQEM_RPC_PUMP").as_deref() {
+            Ok("poll") => false,
+            Ok("epoll") => true,
+            _ => cfg!(target_os = "linux"),
+        };
+        // Build (and pre-register) the epoll instance up front so any
+        // setup failure falls back to the polling pump instead of
+        // killing the server.
+        #[cfg(target_os = "linux")]
+        let epoll = if want_epoll {
+            readiness::linux::Epoll::new()
+                .and_then(|ep| {
+                    ep.add(listener.raw_fd(), readiness::linux::EPOLLIN, TOKEN_LISTENER)?;
+                    ep.add(wake_rx.as_raw_fd(), readiness::linux::EPOLLIN, TOKEN_WAKEUP)?;
+                    Ok(ep)
+                })
+                .ok()
+        } else {
+            None
+        };
+        #[cfg(not(target_os = "linux"))]
+        let epoll: Option<std::convert::Infallible> = {
+            let _ = want_epoll;
+            None
+        };
+
+        let waker = Arc::new(Waker {
+            tx: wake_tx,
+            enabled: epoll.is_some(),
+        });
         let driver = ConnDriver {
             control: control.clone(),
+            waker: Arc::clone(&waker),
             gauges: Arc::clone(&gauges),
             config,
             conns: HashMap::new(),
             counters: RpcMetricsReport::default(),
+            pump_stats: Arc::clone(&stats),
+            encode_buf: Vec::new(),
         };
         let events = service.attach_socket_driver(Box::new(driver));
-        let pump = std::thread::spawn(move || pump_loop(listener, control_rx, events, gauges));
+        let pump = match epoll {
+            #[cfg(target_os = "linux")]
+            Some(ep) => std::thread::spawn(move || {
+                epoll_pump_loop(ep, listener, control_rx, events, gauges, stats, wake_rx)
+            }),
+            _ => std::thread::spawn(move || {
+                pump_loop(listener, control_rx, events, gauges, stats, wake_rx)
+            }),
+        };
         Ok(RpcServer {
             control,
+            waker,
             pump: Some(pump),
             addr,
         })
@@ -806,6 +1154,9 @@ impl RpcServer {
 
     fn stop_inner(&mut self) {
         let _ = self.control.send(PumpCommand::Stop);
+        // A readiness pump may be parked in epoll_wait; rouse it so the
+        // stop is prompt rather than waiting out the safety timeout.
+        self.waker.wake();
         if let Some(pump) = self.pump.take() {
             let _ = pump.join();
         }
@@ -823,8 +1174,8 @@ mod tests {
     use super::*;
 
     #[test]
-    fn idle_backoff_doubles_to_ceiling_and_resets_on_activity() {
-        let mut backoff = IdleBackoff::new();
+    fn pump_backoff_doubles_to_ceiling_and_resets_on_activity() {
+        let mut backoff = IdleBackoff::new(PUMP_BACKOFF_FLOOR, PUMP_BACKOFF_CEILING);
         // Consecutive idle passes: 300µs, 600µs, 1.2ms, 2.4ms, 4.8ms,
         // then pinned at the 5ms ceiling.
         let expected = [300u64, 600, 1_200, 2_400, 4_800, 5_000, 5_000];
@@ -837,6 +1188,67 @@ mod tests {
         }
         // One active pass: no sleep, and the backoff snaps to the floor.
         assert_eq!(backoff.after(true), None);
-        assert_eq!(backoff.after(false), Some(IdleBackoff::FLOOR));
+        assert_eq!(backoff.after(false), Some(PUMP_BACKOFF_FLOOR));
+    }
+
+    #[test]
+    fn conn_io_coalesces_chunks_into_vectored_writes() {
+        let (a, mut b) = UnixStream::pair().unwrap();
+        a.set_nonblocking(true).unwrap();
+        let gauge = Arc::new(AtomicUsize::new(0));
+        let mut io = ConnIo::new(Stream::Unix(a), Arc::clone(&gauge));
+
+        let chunks: [&[u8]; 3] = [b"alpha", b"beta", b"gamma"];
+        let total: usize = chunks.iter().map(|c| c.len()).sum();
+        gauge.fetch_add(total, Ordering::Relaxed);
+        for c in chunks {
+            io.queue(c.to_vec());
+        }
+        assert_eq!(io.out_bytes, total);
+
+        assert!(io.flush_some().unwrap());
+        assert_eq!(io.out_bytes, 0, "small burst flushes in one pass");
+        assert_eq!(gauge.load(Ordering::Relaxed), 0, "gauge fully drained");
+
+        let mut got = vec![0u8; total];
+        b.read_exact(&mut got).unwrap();
+        assert_eq!(got, b"alphabetagamma", "stream order preserved");
+    }
+
+    #[test]
+    fn conn_io_flushes_bursts_wider_than_one_vectored_write() {
+        let (a, mut b) = UnixStream::pair().unwrap();
+        a.set_nonblocking(true).unwrap();
+        let gauge = Arc::new(AtomicUsize::new(0));
+        let mut io = ConnIo::new(Stream::Unix(a), Arc::clone(&gauge));
+
+        // More chunks than MAX_WRITE_SLICES: the flush loop must issue
+        // several vectored writes and retire chunks across them.
+        let count = MAX_WRITE_SLICES * 2 + 5;
+        let mut expect = Vec::new();
+        for i in 0..count {
+            let chunk = vec![(i % 251) as u8; 17];
+            expect.extend_from_slice(&chunk);
+            io.queue(chunk);
+        }
+        gauge.fetch_add(expect.len(), Ordering::Relaxed);
+
+        assert!(io.flush_some().unwrap());
+        assert_eq!(io.out_bytes, 0);
+        assert_eq!(gauge.load(Ordering::Relaxed), 0);
+
+        let mut got = vec![0u8; expect.len()];
+        b.read_exact(&mut got).unwrap();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn conn_io_empty_queue_is_a_noop_flush() {
+        let (a, _b) = UnixStream::pair().unwrap();
+        a.set_nonblocking(true).unwrap();
+        let mut io = ConnIo::new(Stream::Unix(a), Arc::default());
+        io.queue(Vec::new()); // empty sends queue nothing
+        assert_eq!(io.out_bytes, 0);
+        assert!(!io.flush_some().unwrap(), "nothing to write");
     }
 }

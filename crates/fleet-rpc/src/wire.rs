@@ -32,8 +32,10 @@ use vaqem_runtime::ShipCursor;
 pub const MAGIC: [u8; 4] = *b"VQRP";
 
 /// Protocol version carried in the preamble; bumped on any frame-format
-/// change.
-pub const VERSION: u32 = 1;
+/// change. Version 2 widened `MetricsReply` with the pump
+/// self-observation counters (`pump_cpu_micros`, `pump_passes`,
+/// `pump_wakeups`).
+pub const VERSION: u32 = 2;
 
 /// Bytes of the connection preamble (magic + version).
 pub const PREAMBLE_LEN: usize = 8;
@@ -200,6 +202,9 @@ fn encode_rpc_metrics(m: &RpcMetricsReport, out: &mut Vec<u8>) {
         m.overload_rejections,
         m.overload_closes,
         m.peak_pending_out_bytes,
+        m.pump_cpu_micros,
+        m.pump_passes,
+        m.pump_wakeups,
     ] {
         v.encode(out);
     }
@@ -218,6 +223,9 @@ fn decode_rpc_metrics(input: &mut &[u8]) -> Option<RpcMetricsReport> {
         overload_rejections: u64::decode(input)?,
         overload_closes: u64::decode(input)?,
         peak_pending_out_bytes: u64::decode(input)?,
+        pump_cpu_micros: u64::decode(input)?,
+        pump_passes: u64::decode(input)?,
+        pump_wakeups: u64::decode(input)?,
     })
 }
 

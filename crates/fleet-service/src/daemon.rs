@@ -332,6 +332,17 @@ impl FleetService {
             config.shards,
             config.capacity_per_shard,
         )?);
+        // Group commit by default: journal records buffer in memory and
+        // the reactor flushes once per event-loop drain (replies stay
+        // gated until their batch is durable, so the acknowledged ⇒
+        // durable contract holds either way). `VAQEM_JOURNAL_MODE=
+        // per_record` restores the one-flush-per-mutation seed behavior
+        // — the loadgen sweep uses it as the comparison baseline.
+        store.set_group_commit(
+            std::env::var("VAQEM_JOURNAL_MODE")
+                .map(|v| v != "per_record")
+                .unwrap_or(true),
+        );
         let names: Vec<String> = devices.iter().map(|d| d.name.clone()).collect();
         let queue_wait_min =
             scheduler::device_queue_minutes(&config.cost, &seeds, &config.profile, &names);

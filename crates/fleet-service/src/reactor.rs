@@ -37,7 +37,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::Ordering;
-use std::sync::mpsc::{Receiver, Sender};
+use std::sync::mpsc::{Receiver, Sender, TryRecvError};
 use std::sync::Arc;
 
 use vaqem_device::drift::EpochFeed;
@@ -198,8 +198,10 @@ pub struct FleetMetricsReport {
     /// Per-client quota accounting (in-flight, reserved, spent, caps).
     pub quotas: Vec<QuotaUsage>,
     /// Per-client store traffic (hits/misses/insertions... attributed
-    /// from each session's shard delta), sorted by client.
-    pub client_store_traffic: Vec<(String, CacheMetrics)>,
+    /// from each session's shard delta), sorted by client. Shared with
+    /// the store's incremental snapshot — building a report no longer
+    /// clones every entry under the attribution lock.
+    pub client_store_traffic: Arc<Vec<(String, CacheMetrics)>>,
     /// Per-shard store metrics (entries, hit/miss, lock contention).
     pub shards: Vec<ShardMetrics>,
     /// Live entries in the store.
@@ -433,7 +435,7 @@ impl fmt::Display for FleetMetricsReport {
                 q.rejected
             )?;
         }
-        for (client, m) in &self.client_store_traffic {
+        for (client, m) in self.client_store_traffic.iter() {
             writeln!(
                 f,
                 "  store traffic {:<10} {} hits / {} misses / {} inserts / {} evict / {} invalidated",
@@ -577,9 +579,12 @@ impl Reactor {
             Event::AttachDriver(driver) => self.driver = Some(driver),
             Event::Shutdown => {
                 self.draining = true;
-                // Shutdown checkpoints the store before the process
-                // exits; gated replies are locally durable by then, and
-                // holding them would deadlock the drain.
+                // Flush any buffered journal tail first — the gated
+                // replies below must be locally durable before anyone
+                // hears them — then release: shutdown checkpoints the
+                // store before the process exits, and holding replies
+                // for a follower watermark would deadlock the drain.
+                let _ = self.shared.store.flush_journal();
                 let gated: Vec<_> = self.gated.drain(..).collect();
                 for (_, reply, result) in gated {
                     self.answer(reply, result);
@@ -606,21 +611,45 @@ impl Reactor {
         }
     }
 
-    /// Releases gated replies from the front while the follower
-    /// watermark (min acked cursor) covers them — or all of them when no
-    /// follower remains subscribed.
+    /// Releases gated replies from the front while both halves of the
+    /// durability contract cover them: the *local* flushed journal
+    /// cursor (buffered group-commit bytes are not durable until the
+    /// commit boundary writes them), and — when a replication follower
+    /// is subscribed — the follower watermark (min acked cursor).
     fn release_covered(&mut self) {
+        let local = self.shared.store.ship_cursor();
         let watermark = self.followers.values().copied().min();
         while let Some((point, _, _)) = self.gated.front() {
-            let covered = match watermark {
+            let replicated = match watermark {
                 Some(w) => w.covers(*point),
                 None => true,
             };
-            if !covered {
+            if !(local.covers(*point) && replicated) {
                 break;
             }
             let (_, reply, result) = self.gated.pop_front().expect("front exists");
             self.answer(reply, result);
+        }
+    }
+
+    /// The group-commit boundary, run once per event-loop drain: flush
+    /// every journal record buffered while the burst of events was
+    /// handled, then release the replies the flush (and follower
+    /// watermark) now covers. One `write + flush` pays for the whole
+    /// burst instead of one per mutation.
+    fn commit_batch(&mut self) {
+        if self.shared.store.flush_journal().is_ok() {
+            self.release_covered();
+        } else {
+            // The batch was dropped and counted in journal_write_errors
+            // — the same contract as a failed per-record append, which
+            // also answered its client. Holding the replies would
+            // deadlock every submitter behind a disk fault; the error
+            // counter carries the evidence instead.
+            let stuck: Vec<_> = self.gated.drain(..).collect();
+            for (_, reply, result) in stuck {
+                self.answer(reply, result);
+            }
         }
     }
 
@@ -704,17 +733,20 @@ impl Reactor {
             self.queue.push_back(Event::CheckpointTick);
         }
         // Accounting settled above; only now does the submitter hear —
-        // and with a replication follower subscribed, not before the
-        // follower's acked cursor covers this session's store mutations:
-        // an *acknowledged* result is always replicated, so a leader
-        // kill after the client heard back can never lose it.
-        if self.followers.is_empty() {
-            self.answer(report.reply, report.result);
-        } else {
-            let point = self.shared.store.ship_cursor();
-            self.counters.replies_gated += 1;
-            self.gated.push_back((point, report.reply, report.result));
-        }
+        // and never before this session's store mutations are durable.
+        // The gate point is the store's *pending* cursor (buffered
+        // group-commit bytes included); the reply releases once the
+        // local journal flush — and, with a replication follower
+        // subscribed, the follower's acked watermark — covers it. In
+        // per-record journal mode the cursors already match and the
+        // `release_covered` below answers within this same event; in
+        // group-commit mode the answer waits for the commit boundary at
+        // the end of the event-loop drain. Either way an *acknowledged*
+        // result survives a leader kill.
+        let point = self.shared.store.pending_cursor();
+        self.counters.replies_gated += 1;
+        self.gated.push_back((point, report.reply, report.result));
+        self.release_covered();
         self.pump();
     }
 
@@ -872,20 +904,31 @@ pub(crate) fn reactor_loop(
     loop {
         let event = match reactor.queue.pop_front() {
             Some(event) => event,
-            None => {
-                if reactor.draining && reactor.idle() {
-                    break;
+            None => match events.try_recv() {
+                Ok(event) => event,
+                // Every sender gone (service dropped mid-flight):
+                // nothing more can arrive.
+                Err(TryRecvError::Disconnected) => break,
+                Err(TryRecvError::Empty) => {
+                    // The burst is drained: this is the group-commit
+                    // boundary. Flush the journal records the burst
+                    // buffered and release their gated replies before
+                    // blocking for the next event.
+                    reactor.commit_batch();
+                    if reactor.draining && reactor.idle() {
+                        break;
+                    }
+                    match events.recv() {
+                        Ok(event) => event,
+                        Err(_) => break,
+                    }
                 }
-                match events.recv() {
-                    Ok(event) => event,
-                    // Every sender gone (service dropped mid-flight):
-                    // nothing more can arrive.
-                    Err(_) => break,
-                }
-            }
+            },
         };
         reactor.handle(event);
     }
+    // Final commit: nothing buffered (or gated) outlives the reactor.
+    reactor.commit_batch();
     // Dropping the senders ends each worker's receive loop.
 }
 

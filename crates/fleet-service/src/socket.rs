@@ -139,6 +139,16 @@ pub struct RpcMetricsReport {
     /// High-water mark of any single connection's pending outbound
     /// bytes.
     pub peak_pending_out_bytes: u64,
+    /// CPU time the pump thread has consumed, in microseconds (0 where
+    /// the platform offers no per-thread CPU clock). Diffing two
+    /// readings over a quiet window measures the pump's idle burn —
+    /// the readiness pump's headline advantage over the polling one.
+    pub pump_cpu_micros: u64,
+    /// Pump loop passes (readiness wakeups or poll iterations).
+    pub pump_passes: u64,
+    /// Times the reactor had to rouse a blocked pump through the wakeup
+    /// channel (readiness pump only; the polling pump never blocks).
+    pub pump_wakeups: u64,
 }
 
 impl RpcMetricsReport {
@@ -169,6 +179,9 @@ impl RpcMetricsReport {
                 "peak_pending_out_bytes",
                 JsonValue::from(self.peak_pending_out_bytes),
             ),
+            ("pump_cpu_micros", JsonValue::from(self.pump_cpu_micros)),
+            ("pump_passes", JsonValue::from(self.pump_passes)),
+            ("pump_wakeups", JsonValue::from(self.pump_wakeups)),
         ])
     }
 }

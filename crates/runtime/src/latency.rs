@@ -59,11 +59,6 @@ fn bucket_of(us: f64) -> usize {
     b.min(NUM_BUCKETS - 1)
 }
 
-/// The (geometric-mean) representative latency of a bucket, in µs.
-fn bucket_value(b: usize) -> f64 {
-    2f64.powf((b as f64 + 0.5) / BUCKETS_PER_OCTAVE)
-}
-
 impl LatencyHistogram {
     /// An empty histogram.
     pub fn new() -> Self {
@@ -124,10 +119,18 @@ impl LatencyHistogram {
         f64::from_bits(self.max_us_bits)
     }
 
-    /// The latency at quantile `q` (0..=1), in µs: the representative
-    /// value of the bucket holding the q-th sample, clamped to the
+    /// The latency at quantile `q` (0..=1), in µs: linearly
+    /// interpolated *within* the bucket holding the q-th sample (by the
+    /// rank's position among that bucket's samples), clamped to the
     /// exact observed extrema so p0/p100 never over-report. Returns 0
     /// when empty.
+    ///
+    /// Interpolation matters at the tail: a heavy-tailed run can land
+    /// both the p95 and p99 ranks in one ~7.2%-wide bucket, and
+    /// returning the bucket's single representative value collapsed
+    /// them to the identical number (the committed `BENCH_rpc.json`
+    /// once showed `p99_us == p95_us` exactly). Distinct ranks now map
+    /// to distinct positions within the bucket's span.
     ///
     /// # Panics
     ///
@@ -137,14 +140,32 @@ impl LatencyHistogram {
         if self.count == 0 {
             return 0.0;
         }
-        // Rank of the target sample, 1-based, ceil — p50 of 5 samples is
-        // the 3rd smallest.
-        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        // Fractional rank of the target sample, 1-based — p50 of 5
+        // samples targets rank 2.5, between the 2nd and 3rd smallest.
+        let rank = (q * self.count as f64).clamp(1.0, self.count as f64);
         let mut seen = 0u64;
         for (b, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let before = seen;
             seen += n;
-            if seen >= rank {
-                return bucket_value(b).clamp(self.min_us(), self.max_us());
+            if seen as f64 >= rank {
+                // Interpolate across the bucket's span [2^(b/k),
+                // 2^((b+1)/k)) by where the rank falls among its
+                // samples. Tightening the span to the exact extrema is
+                // a no-op for interior buckets (the min/max live
+                // outside them) but keeps the first/last bucket from
+                // interpolating into unoccupied space — without it, a
+                // tail bucket only partially filled pushes every tail
+                // quantile past `max_us` and the clamp collapses p95
+                // and p99 to the identical value again.
+                let lo = 2f64.powf(b as f64 / BUCKETS_PER_OCTAVE).max(self.min_us());
+                let hi = 2f64
+                    .powf((b as f64 + 1.0) / BUCKETS_PER_OCTAVE)
+                    .min(self.max_us());
+                let frac = (rank - before as f64) / n as f64;
+                return lo + (hi - lo) * frac;
             }
         }
         self.max_us()
@@ -197,6 +218,33 @@ mod tests {
         assert!((p50 / 25_000.0 - 1.0).abs() < 0.15, "p50 {p50}");
         assert!((p99 / 49_500.0 - 1.0).abs() < 0.15, "p99 {p99}");
         assert!((h.mean_us() - 25_025.0).abs() < 1.0, "mean is exact");
+    }
+
+    #[test]
+    fn interpolation_keeps_p95_and_p99_distinct() {
+        // A 1000-sample spread over many buckets: interpolated
+        // quantiles track the true order statistics closely.
+        let mut h = LatencyHistogram::new();
+        for i in 1..=1000 {
+            h.record_us(i as f64); // 1µs .. 1000µs, uniform
+        }
+        let (p95, p99) = (h.quantile_us(0.95), h.quantile_us(0.99));
+        assert!(p99 > p95, "p95 {p95} p99 {p99}");
+        assert!((p95 / 950.0 - 1.0).abs() < 0.08, "p95 {p95}");
+        assert!((p99 / 990.0 - 1.0).abs() < 0.08, "p99 {p99}");
+
+        // The regression BENCH_rpc.json exposed: a tight tail lands
+        // *both* ranks in one ~7.2%-wide bucket. The pre-interpolation
+        // quantile returned the bucket's single representative value
+        // for each, so p95 == p99 exactly; interpolation keeps them
+        // distinct and ordered.
+        let mut tight = LatencyHistogram::new();
+        for i in 0..1000 {
+            tight.record_us(1000.0 + i as f64 * 0.07); // ≈1 bucket wide
+        }
+        let (tp95, tp99) = (tight.quantile_us(0.95), tight.quantile_us(0.99));
+        assert!(tp99 > tp95, "tight tail must not collapse: {tp95} {tp99}");
+        assert!(tp95 >= tight.min_us() && tp99 <= tight.max_us());
     }
 
     #[test]

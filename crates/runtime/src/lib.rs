@@ -4,7 +4,7 @@
 //! about executing the feasible flow at fleet scale that is not quantum
 //! mechanics.
 //!
-//! Nine modules:
+//! Ten modules:
 //!
 //! * [`cost`] — the execution-cost model standing in for the paper's
 //!   Qiskit Runtime measurements (§VI-A, §VIII-D, Fig. 15): per-job
@@ -40,6 +40,9 @@
 //! * [`latency`] — [`latency::LatencyHistogram`], the fixed-footprint
 //!   log-bucketed histogram the load generator reads p50/p95/p99
 //!   session latencies from.
+//! * [`backoff`] — [`backoff::IdleBackoff`], the adaptive idle sleep
+//!   shared by the fallback RPC pump and the replication follower's
+//!   poll loop (floor-to-ceiling doubling, reset on activity).
 //! * [`ring`] — [`ring::HashRing`], consistent-hash device ownership
 //!   for the multi-process replicated fleet: the same FNV-1a routing
 //!   discipline as [`store::ShardedStore`], lifted from shards within a
@@ -96,6 +99,7 @@
 
 #![deny(missing_docs)]
 
+pub mod backoff;
 pub mod cache;
 pub mod cost;
 pub mod fleet;
@@ -106,6 +110,7 @@ pub mod ring;
 pub mod store;
 pub mod wire;
 
+pub use backoff::IdleBackoff;
 pub use cache::{CacheMetrics, ConfigStore};
 pub use cost::{
     AngleTuningMode, BatchDispatch, CostModel, ExecutionTimeBreakdown, WorkloadProfile,

@@ -38,8 +38,8 @@ use std::fs::{File, OpenOptions};
 use std::hash::Hash;
 use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use crate::cache::CacheMetrics;
 use crate::store::{ShardMetrics, ShardedStore, StoreBackend};
@@ -361,25 +361,74 @@ impl<F: Codec, V: Codec> JournalRecord<F, V> {
 const JOURNAL_HEADER_LEN: u64 = 8;
 
 /// The append side of the journal.
+///
+/// Two write disciplines share this struct. **Per-record** (`append`):
+/// every record hits the file immediately — one write syscall per
+/// mutation, the follower/standalone default. **Group commit**
+/// (`buffer` + `flush_buffered`): records accumulate in `buf` and reach
+/// the file in one write per batch — the leader reactor flushes once
+/// per event-loop drain and gates its replies on the flush, so
+/// *acknowledged ⇒ on disk* holds with far fewer syscalls.
+///
+/// `bytes` is the **durable** file length and therefore the replication
+/// ship offset: it advances only when bytes actually reach the file,
+/// never while they sit in `buf` — `ship_since` reads the on-disk file
+/// byte-exactly, so buffered bytes must never be claimable.
 #[derive(Debug)]
 struct JournalWriter {
     file: File,
     records: u64,
-    /// Current journal file length in bytes, header included — the
+    /// Durable journal file length in bytes, header included — the
     /// replication shipping offset (see [`ShipCursor`]).
     bytes: u64,
+    /// Framed records awaiting the next group-commit flush.
+    buf: Vec<u8>,
+    /// Records inside `buf`.
+    buf_records: u64,
 }
 
 impl JournalWriter {
+    fn frame_into(payload: &[u8], out: &mut Vec<u8>) {
+        (payload.len() as u32).encode(out);
+        out.extend_from_slice(payload);
+    }
+
     fn append(&mut self, payload: &[u8]) -> io::Result<()> {
         let mut framed = Vec::with_capacity(payload.len() + 4);
-        (payload.len() as u32).encode(&mut framed);
-        framed.extend_from_slice(payload);
+        Self::frame_into(payload, &mut framed);
         self.file.write_all(&framed)?;
         self.file.flush()?;
         self.records += 1;
         self.bytes += framed.len() as u64;
         Ok(())
+    }
+
+    /// Queues one record for the next [`JournalWriter::flush_buffered`];
+    /// cannot fail — I/O errors surface at flush time.
+    fn buffer(&mut self, payload: &[u8]) {
+        Self::frame_into(payload, &mut self.buf);
+        self.buf_records += 1;
+    }
+
+    /// Writes every buffered record in one syscall. On error the batch
+    /// is dropped (the in-memory store stays ahead of the journal,
+    /// exactly like a failed per-record append) and the durable length
+    /// is left untouched.
+    fn flush_buffered(&mut self) -> io::Result<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        let result = self
+            .file
+            .write_all(&self.buf)
+            .and_then(|()| self.file.flush());
+        if result.is_ok() {
+            self.records += self.buf_records;
+            self.bytes += self.buf.len() as u64;
+        }
+        self.buf.clear();
+        self.buf_records = 0;
+        result
     }
 }
 
@@ -525,6 +574,11 @@ pub struct DurableStore<F, V> {
     /// every checkpoint. Only ever written under the journal lock — the
     /// atomic is for lock-free reads in metrics paths.
     generation: AtomicU64,
+    /// Group-commit mode: mutations buffer their journal records and a
+    /// caller (the leader reactor) flushes once per batch via
+    /// [`DurableStore::flush_journal`]. Off by default — follower and
+    /// standalone stores keep the per-record flush discipline.
+    group_commit: AtomicBool,
 }
 
 impl<F, V> DurableStore<F, V>
@@ -638,11 +692,14 @@ where
                 file,
                 records: recovery.journal_records as u64,
                 bytes: journal_bytes,
+                buf: Vec::new(),
+                buf_records: 0,
             }),
             dir: dir.to_path_buf(),
             recovery,
             journal_write_errors: AtomicU64::new(0),
             generation: AtomicU64::new(1),
+            group_commit: AtomicBool::new(false),
         };
         if journal_upgraded {
             // Old-format journal: compact immediately so every on-disk
@@ -666,10 +723,57 @@ where
         self.journal_write_errors.load(Ordering::Relaxed)
     }
 
-    /// Records appended to the journal since the last checkpoint
-    /// (including replayed ones at open).
+    /// Records durably appended to the journal since the last
+    /// checkpoint (including replayed ones at open). Under group commit
+    /// this excludes records still buffered toward the next flush.
     pub fn journal_records(&self) -> u64 {
         self.journal.lock().expect("journal lock").records
+    }
+
+    /// Switches between per-record flushing (`false`, the default) and
+    /// group commit (`true`): mutations buffer their journal records
+    /// until [`DurableStore::flush_journal`] writes the whole batch in
+    /// one syscall. Callers enabling group commit own the durability
+    /// contract — nothing may be acknowledged to a client before the
+    /// flush covering it returns. Disabling flushes whatever is
+    /// buffered.
+    pub fn set_group_commit(&self, enabled: bool) {
+        self.group_commit.store(enabled, Ordering::Relaxed);
+        if !enabled {
+            let _ = self.flush_journal();
+        }
+    }
+
+    /// Writes every buffered journal record in one syscall (a no-op
+    /// when nothing is buffered). The group-commit barrier: once this
+    /// returns `Ok`, every mutation applied before the call is durable
+    /// and [`DurableStore::ship_cursor`] covers it.
+    ///
+    /// # Errors
+    ///
+    /// Journal write failures (also counted in
+    /// [`DurableStore::journal_write_errors`]; the batch is dropped,
+    /// like a failed per-record append).
+    pub fn flush_journal(&self) -> io::Result<()> {
+        let mut journal = self.journal.lock().expect("journal lock");
+        let result = journal.flush_buffered();
+        if result.is_err() {
+            self.journal_write_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        result
+    }
+
+    /// The replication position a reply must wait for: the durable
+    /// cursor *plus* any records still buffered toward the next group
+    /// commit. Gate replies on this point and release them once
+    /// [`DurableStore::ship_cursor`] (after a flush) covers it —
+    /// acknowledged ⇒ on disk.
+    pub fn pending_cursor(&self) -> ShipCursor {
+        let journal = self.journal.lock().expect("journal lock");
+        ShipCursor {
+            generation: self.generation.load(Ordering::Relaxed),
+            offset: journal.bytes + journal.buf.len() as u64,
+        }
     }
 
     /// Applies a mutation and appends its record — but only when `apply`
@@ -685,8 +789,14 @@ where
         apply: impl FnOnce(&ShardedStore<F, V>) -> bool,
     ) {
         let mut journal = self.journal.lock().expect("journal lock");
-        if apply(&self.store) && journal.append(&record.encode_payload()).is_err() {
-            self.journal_write_errors.fetch_add(1, Ordering::Relaxed);
+        if apply(&self.store) {
+            if self.group_commit.load(Ordering::Relaxed) {
+                // Buffering cannot fail; I/O errors surface (and are
+                // counted) at the batch flush.
+                journal.buffer(&record.encode_payload());
+            } else if journal.append(&record.encode_payload()).is_err() {
+                self.journal_write_errors.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 
@@ -779,10 +889,19 @@ where
         FORMAT_VERSION.encode(&mut v);
         file.write_all(&v)?;
         file.flush()?;
+        // Replacing the writer also discards any group-commit buffer:
+        // the buffered records were applied to the in-memory store
+        // before they were buffered, so the snapshot just written
+        // already covers them — their durability point only moves
+        // *earlier*, and replies gated on a pre-checkpoint
+        // `pending_cursor` release via the generation bump
+        // (lexicographic `covers`).
         *journal = JournalWriter {
             file,
             records: 0,
             bytes: JOURNAL_HEADER_LEN,
+            buf: Vec::new(),
+            buf_records: 0,
         };
         // New journal incarnation: replication cursors into the old file
         // are dead, so followers behind them get a snapshot bootstrap.
@@ -939,8 +1058,9 @@ where
     }
 
     /// Per-client attributed traffic, sorted by client label
-    /// (see [`ShardedStore::client_attribution`]).
-    pub fn client_attribution(&self) -> Vec<(String, CacheMetrics)> {
+    /// (see [`ShardedStore::client_attribution`] — a shared snapshot,
+    /// O(1) between attributions).
+    pub fn client_attribution(&self) -> Arc<Vec<(String, CacheMetrics)>> {
         self.store.client_attribution()
     }
 
@@ -983,6 +1103,17 @@ where
     /// Every live entry in snapshot order.
     pub fn export_entries(&self) -> Vec<(String, u64, F, V)> {
         self.store.export_entries()
+    }
+}
+
+impl<F, V> Drop for DurableStore<F, V> {
+    fn drop(&mut self) {
+        // A graceful drop under group commit flushes the tail batch —
+        // only a genuine crash (SIGKILL, power loss) can lose buffered,
+        // *unacknowledged* records.
+        if let Ok(mut journal) = self.journal.lock() {
+            let _ = journal.flush_buffered();
+        }
     }
 }
 
@@ -1306,6 +1437,142 @@ mod tests {
                 );
             }
         }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Copies the on-disk state of a live store to a fresh directory —
+    /// what a crash leaves behind: the durable files only, never the
+    /// group-commit buffer.
+    fn crash_copy(from: &Path, tag: &str) -> PathBuf {
+        let to = temp_dir(tag);
+        std::fs::create_dir_all(&to).unwrap();
+        for name in [SNAPSHOT_FILE, JOURNAL_FILE] {
+            let src = from.join(name);
+            if src.exists() {
+                std::fs::copy(&src, to.join(name)).unwrap();
+            }
+        }
+        to
+    }
+
+    #[test]
+    fn group_commit_buffers_until_flush() {
+        let dir = temp_dir("gc-buffer");
+        let store: DurableStore<u64, u64> = DurableStore::open(&dir, 2, 64).unwrap();
+        store.set_group_commit(true);
+        store.insert("dev", 0, 1, 10);
+        store.insert("dev", 0, 2, 20);
+        store.insert("dev", 0, 3, 30);
+
+        // Buffered records are applied in memory but not durable: the
+        // ship cursor (the on-disk truth) must not advance, while the
+        // pending cursor (the reply gate point) must.
+        let shipped = store.ship_cursor();
+        let pending = store.pending_cursor();
+        assert_eq!(store.journal_records(), 0, "nothing durable yet");
+        assert_eq!(shipped.offset, JOURNAL_HEADER_LEN);
+        assert!(pending > shipped, "buffered bytes gate replies");
+        assert!(!shipped.covers(pending));
+
+        // A crash now (durable files only) loses the whole batch —
+        // which is exactly why replies gate on the pending cursor.
+        let crashed = crash_copy(&dir, "gc-buffer-crash1");
+        let lost: DurableStore<u64, u64> = DurableStore::open(&crashed, 2, 64).unwrap();
+        assert_eq!(lost.recovery().journal_records, 0);
+        assert_eq!(lost.len(), 0);
+
+        // The flush is the group-commit barrier: everything buffered
+        // becomes durable at once and the cursors meet.
+        store.flush_journal().unwrap();
+        assert_eq!(store.journal_records(), 3);
+        assert_eq!(store.ship_cursor(), pending);
+        assert!(store.ship_cursor().covers(pending));
+        let durable = crash_copy(&dir, "gc-buffer-crash2");
+        let recovered: DurableStore<u64, u64> = DurableStore::open(&durable, 2, 64).unwrap();
+        assert_eq!(recovered.recovery().journal_records, 3);
+        assert_eq!(recovered.lookup("dev", 0, &2), Some(20));
+
+        drop(store);
+        for d in [dir, crashed, durable] {
+            std::fs::remove_dir_all(&d).unwrap();
+        }
+    }
+
+    #[test]
+    fn group_commit_graceful_drop_flushes_tail() {
+        let dir = temp_dir("gc-drop");
+        {
+            let store: DurableStore<u64, u64> = DurableStore::open(&dir, 2, 64).unwrap();
+            store.set_group_commit(true);
+            store.insert("dev", 0, 7, 70);
+            // No explicit flush: dropping the store (halt path) writes
+            // the tail batch.
+        }
+        let reloaded: DurableStore<u64, u64> = DurableStore::open(&dir, 2, 64).unwrap();
+        assert_eq!(reloaded.recovery().journal_records, 1);
+        assert_eq!(reloaded.lookup("dev", 0, &7), Some(70));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_discards_buffer_because_snapshot_covers_it() {
+        let dir = temp_dir("gc-checkpoint");
+        let store: DurableStore<u64, u64> = DurableStore::open(&dir, 2, 64).unwrap();
+        store.set_group_commit(true);
+        store.insert("dev", 0, 1, 10);
+        store.flush_journal().unwrap();
+        store.insert("dev", 0, 2, 20); // buffered, unflushed
+        let gated_point = store.pending_cursor();
+
+        store.checkpoint().unwrap();
+        assert_eq!(store.journal_records(), 0, "journal truncated");
+        let after = store.ship_cursor();
+        assert_eq!(
+            after,
+            store.pending_cursor(),
+            "checkpoint leaves nothing buffered"
+        );
+        assert!(
+            after.covers(gated_point),
+            "generation bump releases pre-checkpoint gates: {after:?} vs {gated_point:?}"
+        );
+
+        // The buffered record rode the snapshot, not the journal.
+        let crashed = crash_copy(&dir, "gc-checkpoint-crash");
+        let recovered: DurableStore<u64, u64> = DurableStore::open(&crashed, 2, 64).unwrap();
+        assert_eq!(recovered.recovery().snapshot_entries, 2);
+        assert_eq!(recovered.lookup("dev", 0, &2), Some(20));
+
+        drop(store);
+        for d in [dir, crashed] {
+            std::fs::remove_dir_all(&d).unwrap();
+        }
+    }
+
+    #[test]
+    fn ship_since_never_ships_buffered_bytes() {
+        let dir = temp_dir("gc-ship");
+        let store: DurableStore<u64, u64> = DurableStore::open(&dir, 2, 64).unwrap();
+        store.set_group_commit(true);
+        store.insert("dev", 0, 1, 10);
+        store.flush_journal().unwrap();
+        let durable = store.ship_cursor();
+        store.insert("dev", 0, 2, 20); // buffered
+
+        // A follower caught up to the durable cursor gets nothing: the
+        // buffered record is not yet on disk, and shipping it early
+        // would let a follower ack bytes a leader crash can still lose.
+        let batch = store.ship_since(durable).unwrap();
+        assert!(!batch.snapshot);
+        assert!(batch.payload.is_empty(), "buffered bytes are unshippable");
+        assert_eq!(batch.cursor, durable);
+
+        store.flush_journal().unwrap();
+        let batch = store.ship_since(durable).unwrap();
+        assert!(!batch.payload.is_empty(), "flushed bytes ship");
+        assert_eq!(batch.cursor, store.ship_cursor());
+
+        drop(store);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -157,7 +157,7 @@ fn error_strategy() -> impl Strategy<Value = SessionError> {
 }
 
 fn metrics_strategy() -> impl Strategy<Value = RpcMetricsReport> {
-    collection::vec(0u64..u64::MAX / 2, 11).prop_map(|v| RpcMetricsReport {
+    collection::vec(0u64..u64::MAX / 2, 14).prop_map(|v| RpcMetricsReport {
         connections_accepted: v[0],
         connections_open: v[1],
         connections_closed: v[2],
@@ -169,6 +169,9 @@ fn metrics_strategy() -> impl Strategy<Value = RpcMetricsReport> {
         overload_rejections: v[8],
         overload_closes: v[9],
         peak_pending_out_bytes: v[10],
+        pump_cpu_micros: v[11],
+        pump_passes: v[12],
+        pump_wakeups: v[13],
     })
 }
 
